@@ -1,0 +1,319 @@
+//! The convex min-cut automatic lower bound (Elango et al. \[13\],
+//! reconstructed — see `DESIGN.md` §3–4).
+//!
+//! For each vertex `v`, consider the instant an evaluation order finishes
+//! `v`: the set `S` of already-evaluated vertices is a *convex* (down-
+//! closed) prefix containing `Anc(v) ∪ {v}` and no strict descendant of
+//! `v`. Every vertex of the wavefront
+//! `W(S) = {u ∈ S : ∃(u,w) ∈ E, w ∉ S}` holds a value still needed later,
+//! so at least `|W(S)| − M` of them were spilled and must be re-read:
+//! `J_G(X) ≥ 2(|W(S)| − M)`.
+//!
+//! The smallest wavefront any such prefix can have is lower-bounded by the
+//! minimum vertex cut `C(v)` separating `Anc(v) ∪ {v}` from `Desc(v)` in
+//! the split-vertex network (every wavefront severs all ancestor→descendant
+//! paths), so `J*_G ≥ max_v 2·max(0, C(v) − M)` — matching the shape
+//! `max_v max(0, 2(C(v,G) − M))` the paper reports for \[13\].
+
+use crate::maxflow::{FlowNetwork, INF};
+use graphio_graph::CompGraph;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Vertex-sweep strategy for the per-vertex min cuts.
+#[derive(Debug, Clone)]
+pub enum VertexSweep {
+    /// Evaluate every vertex (the full baseline).
+    All,
+    /// Evaluate a deterministic random sample of this many vertices —
+    /// still a sound lower bound (the true baseline maximizes over more
+    /// vertices), used to keep huge graphs tractable exactly as wall-clock
+    /// cutoffs did in the paper's evaluation.
+    Sample {
+        /// Number of vertices to evaluate.
+        count: usize,
+        /// Sampling seed.
+        seed: u64,
+    },
+}
+
+/// Options for [`convex_min_cut_bound`].
+#[derive(Debug, Clone)]
+pub struct ConvexMinCutOptions {
+    /// Which vertices to sweep.
+    pub sweep: VertexSweep,
+    /// Worker threads for the per-vertex sweep (1 = serial).
+    pub threads: usize,
+}
+
+impl Default for ConvexMinCutOptions {
+    fn default() -> Self {
+        ConvexMinCutOptions {
+            sweep: VertexSweep::All,
+            threads: std::thread::available_parallelism().map_or(1, |p| p.get()),
+        }
+    }
+}
+
+/// Result of the convex min-cut baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvexMinCutResult {
+    /// The lower bound `max_v 2·max(0, C(v) − M)`.
+    pub bound: u64,
+    /// A vertex attaining the maximum cut value.
+    pub best_vertex: usize,
+    /// The maximum cut value `max_v C(v)` observed.
+    pub max_cut: u64,
+    /// Number of vertices actually evaluated.
+    pub vertices_evaluated: usize,
+}
+
+/// Computes the convex min-cut lower bound on non-trivial I/O.
+pub fn convex_min_cut_bound(
+    g: &CompGraph,
+    memory: usize,
+    opts: &ConvexMinCutOptions,
+) -> ConvexMinCutResult {
+    let n = g.n();
+    if n == 0 {
+        return ConvexMinCutResult {
+            bound: 0,
+            best_vertex: 0,
+            max_cut: 0,
+            vertices_evaluated: 0,
+        };
+    }
+    let vertices: Vec<usize> = match &opts.sweep {
+        VertexSweep::All => (0..n).collect(),
+        VertexSweep::Sample { count, seed } => {
+            let mut all: Vec<usize> = (0..n).collect();
+            let mut rng = StdRng::seed_from_u64(*seed);
+            all.shuffle(&mut rng);
+            all.truncate((*count).max(1).min(n));
+            all
+        }
+    };
+
+    let threads = opts.threads.max(1).min(vertices.len().max(1));
+    let results: Vec<(usize, u64)> = if threads == 1 {
+        vertices.iter().map(|&v| (v, wavefront_cut(g, v))).collect()
+    } else {
+        let chunk = vertices.len().div_ceil(threads);
+        let mut out: Vec<(usize, u64)> = Vec::with_capacity(vertices.len());
+        crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = vertices
+                .chunks(chunk)
+                .map(|vs| {
+                    s.spawn(move |_| {
+                        vs.iter()
+                            .map(|&v| (v, wavefront_cut(g, v)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                out.extend(h.join().expect("min-cut worker panicked"));
+            }
+        })
+        .expect("crossbeam scope failed");
+        out
+    };
+
+    let mut best_vertex = results[0].0;
+    let mut max_cut = 0u64;
+    for &(v, c) in &results {
+        if c > max_cut {
+            max_cut = c;
+            best_vertex = v;
+        }
+    }
+    let bound = 2 * max_cut.saturating_sub(memory as u64);
+    ConvexMinCutResult {
+        bound,
+        best_vertex,
+        max_cut,
+        vertices_evaluated: results.len(),
+    }
+}
+
+/// The minimum wavefront `C(v)` over *convex* (down-closed) schedule
+/// prefixes `S` with `Anc(v) ∪ {v} ⊆ S` and `Desc(v) ∩ S = ∅`, computed
+/// exactly as a projection/closure-style min cut.
+///
+/// Encoding (s-side of the cut = "u ∈ S"):
+/// * `s → a` (∞) pins `a ∈ Anc(v) ∪ {v}` into `S`; `d → t` (∞) pins the
+///   strict descendants into `T`;
+/// * each graph edge `(u, w)` adds the implication arc `w → u` (∞):
+///   cutting it would mean `w ∈ S` with parent `u ∈ T`, which would break
+///   down-closedness, so no finite cut does;
+/// * each vertex `u` with children gets a gadget `u → c_u` (capacity 1)
+///   and `c_u → w` (∞) for every child `w`: the unit arc must be cut
+///   exactly when `u ∈ S` has some child in `T` — i.e. when `u` is in the
+///   wavefront — and is counted once however many children cross.
+///
+/// A plain reachability cut (without the implication arcs) is useless
+/// here: on unique-path networks like the butterfly every
+/// ancestor-to-descendant path runs through `v` itself, collapsing the cut
+/// to 1. Down-closedness is what forces wide wavefronts.
+pub fn wavefront_cut(g: &CompGraph, v: usize) -> u64 {
+    let desc = g.descendants(v);
+    if desc.is_empty() {
+        return 0;
+    }
+    let anc = g.ancestors(v);
+    let n = g.n();
+    // Node layout: vertex u -> u, gadget c_u -> n + u, s -> 2n, t -> 2n+1.
+    let s = 2 * n;
+    let t = 2 * n + 1;
+    let mut net = FlowNetwork::new(2 * n + 2);
+    for u in 0..n {
+        if g.out_degree(u) > 0 {
+            net.add_edge(u, n + u, 1);
+        }
+    }
+    for (u, w) in g.edges() {
+        net.add_edge(n + u, w, INF); // penalty gadget reaches the child
+        net.add_edge(w, u, INF); // down-closure implication
+    }
+    net.add_edge(s, v, INF);
+    for &a in &anc {
+        net.add_edge(s, a, INF);
+    }
+    for &d in &desc {
+        net.add_edge(d, t, INF);
+    }
+    net.max_flow(s, t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphio_graph::generators::{
+        bhk_hypercube, fft_butterfly, inner_product, naive_matmul, path_dag,
+    };
+
+    #[test]
+    fn paths_have_unit_cuts() {
+        let g = path_dag(10);
+        // Any interior vertex separates the chain with wavefront 1.
+        for v in 0..9 {
+            assert_eq!(wavefront_cut(&g, v), 1, "v={v}");
+        }
+        // The sink has no descendants.
+        assert_eq!(wavefront_cut(&g, 9), 0);
+    }
+
+    #[test]
+    fn naive_matmul_is_trivial() {
+        // The paper reports the convex min-cut baseline is trivial on the
+        // naive matmul graph: wavefronts localize to a handful of values
+        // (the fan-in of one product), so C(v) stays O(1) and any
+        // realistic M swallows the bound.
+        for n in [2usize, 3, 4] {
+            let g = naive_matmul(n);
+            let r = convex_min_cut_bound(&g, 0, &ConvexMinCutOptions::default());
+            assert!(r.max_cut <= 4, "n={n}: max_cut={}", r.max_cut);
+            let r_m4 = convex_min_cut_bound(&g, 4, &ConvexMinCutOptions::default());
+            assert_eq!(r_m4.bound, 0, "n={n}");
+        }
+    }
+
+    #[test]
+    fn inner_product_cut_values() {
+        let g = inner_product(2);
+        // Products: ancestors are 2 inputs; the only descendant is the
+        // sum, fed through the product itself... and through nothing else:
+        // C = 1.
+        assert_eq!(wavefront_cut(&g, 4), 1);
+        // Inputs: single path to the sum through one product: C = 1.
+        assert_eq!(wavefront_cut(&g, 0), 1);
+        // Sum: no descendants.
+        assert_eq!(wavefront_cut(&g, 6), 0);
+    }
+
+    #[test]
+    fn fft_middle_vertices_have_growing_cuts() {
+        // Butterfly mixing gives mid-graph vertices wavefronts that grow
+        // with l — the reconstruction must be non-trivial on FFT.
+        let c4 = {
+            let g = fft_butterfly(4);
+            convex_min_cut_bound(&g, 0, &ConvexMinCutOptions::default()).max_cut
+        };
+        let c6 = {
+            let g = fft_butterfly(6);
+            convex_min_cut_bound(&g, 0, &ConvexMinCutOptions::default()).max_cut
+        };
+        assert!(c4 >= 4, "c4={c4}");
+        assert!(c6 > c4, "c6={c6} c4={c4}");
+    }
+
+    #[test]
+    fn hypercube_cut_scales_with_dimension() {
+        let c3 = {
+            let g = bhk_hypercube(3);
+            convex_min_cut_bound(&g, 0, &ConvexMinCutOptions::default()).max_cut
+        };
+        let c5 = {
+            let g = bhk_hypercube(5);
+            convex_min_cut_bound(&g, 0, &ConvexMinCutOptions::default()).max_cut
+        };
+        assert!(c5 > c3, "c5={c5} c3={c3}");
+    }
+
+    #[test]
+    fn bound_is_linear_in_memory() {
+        let g = fft_butterfly(5);
+        let r0 = convex_min_cut_bound(&g, 0, &ConvexMinCutOptions::default());
+        let r2 = convex_min_cut_bound(&g, 2, &ConvexMinCutOptions::default());
+        let r4 = convex_min_cut_bound(&g, 4, &ConvexMinCutOptions::default());
+        assert_eq!(r0.bound - r2.bound, 4);
+        assert_eq!(r2.bound - r4.bound, 4);
+    }
+
+    #[test]
+    fn sampling_is_a_sound_relaxation() {
+        let g = fft_butterfly(5);
+        let full = convex_min_cut_bound(&g, 2, &ConvexMinCutOptions::default());
+        let sampled = convex_min_cut_bound(
+            &g,
+            2,
+            &ConvexMinCutOptions {
+                sweep: VertexSweep::Sample { count: 20, seed: 3 },
+                ..Default::default()
+            },
+        );
+        assert!(sampled.bound <= full.bound);
+        assert_eq!(sampled.vertices_evaluated, 20);
+    }
+
+    #[test]
+    fn serial_and_parallel_sweeps_agree() {
+        let g = bhk_hypercube(4);
+        let serial = convex_min_cut_bound(
+            &g,
+            1,
+            &ConvexMinCutOptions {
+                threads: 1,
+                sweep: VertexSweep::All,
+            },
+        );
+        let parallel = convex_min_cut_bound(
+            &g,
+            1,
+            &ConvexMinCutOptions {
+                threads: 4,
+                sweep: VertexSweep::All,
+            },
+        );
+        assert_eq!(serial.bound, parallel.bound);
+        assert_eq!(serial.max_cut, parallel.max_cut);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = graphio_graph::GraphBuilder::new().build().unwrap();
+        let r = convex_min_cut_bound(&g, 4, &ConvexMinCutOptions::default());
+        assert_eq!(r.bound, 0);
+    }
+}

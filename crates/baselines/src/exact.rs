@@ -1,0 +1,377 @@
+//! Exact optimal non-trivial I/O for tiny graphs, by memoized
+//! branch-and-bound over schedule prefixes and eviction choices.
+//!
+//! This is the ground truth `J*_G` of the paper's §3.1 optimization (the
+//! quantity all lower bounds must stay below), tractable only for tiny
+//! graphs — exactly the role the intractable 2S-partition ILP of \[12\]
+//! would play, without needing an ILP solver.
+//!
+//! The search space is reduced by three optimality-preserving (WLOG)
+//! normalizations:
+//! * values whose consumers are all evaluated vacate fast memory
+//!   immediately (free, never harmful);
+//! * evictions happen lazily, and only the minimum number needed —
+//!   spilling earlier or more costs the same write now without adding
+//!   options later;
+//! * a live value is written at most once (slow memory retains copies).
+
+use graphio_graph::CompGraph;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Maximum graph size (vertex-set bitmask fits in `u32`).
+pub const MAX_VERTICES: usize = 26;
+
+/// Errors from [`exact_optimal_io`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExactError {
+    /// The graph exceeds [`MAX_VERTICES`].
+    TooLarge {
+        /// Actual vertex count.
+        n: usize,
+    },
+    /// Some vertex cannot be evaluated at all in memory `M`.
+    MemoryTooSmall {
+        /// The offending vertex.
+        vertex: usize,
+        /// Distinct operands + result slot.
+        required: usize,
+        /// Fast memory supplied.
+        memory: usize,
+    },
+    /// The memoization budget was exhausted before the search completed.
+    BudgetExhausted {
+        /// The state budget that was hit.
+        states: usize,
+    },
+}
+
+impl fmt::Display for ExactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExactError::TooLarge { n } => {
+                write!(f, "graph has {n} vertices; exact solver supports <= {MAX_VERTICES}")
+            }
+            ExactError::MemoryTooSmall {
+                vertex,
+                required,
+                memory,
+            } => write!(f, "vertex {vertex} needs {required} slots but M = {memory}"),
+            ExactError::BudgetExhausted { states } => {
+                write!(f, "exceeded the {states}-state search budget")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExactError {}
+
+/// Outcome of the exact search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExactResult {
+    /// The optimal non-trivial I/O `J*_G`.
+    pub io: u64,
+    /// Number of distinct states memoized (search-effort indicator).
+    pub states: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct State {
+    computed: u32,
+    resident: u32,
+    backed: u32,
+}
+
+struct Searcher {
+    memory: usize,
+    n: usize,
+    full: u32,
+    parent_mask: Vec<u32>,
+    child_mask: Vec<u32>,
+    memo: HashMap<State, u64>,
+    budget: usize,
+}
+
+/// Computes the exact optimal non-trivial I/O of evaluating `g` with fast
+/// memory `memory`.
+///
+/// `state_budget` caps the number of memoized states (a few hundred
+/// thousand suffices for graphs of ~14 vertices with small `M`).
+///
+/// # Errors
+/// [`ExactError::TooLarge`], [`ExactError::MemoryTooSmall`] or
+/// [`ExactError::BudgetExhausted`].
+pub fn exact_optimal_io(
+    g: &CompGraph,
+    memory: usize,
+    state_budget: usize,
+) -> Result<ExactResult, ExactError> {
+    let n = g.n();
+    if n > MAX_VERTICES {
+        return Err(ExactError::TooLarge { n });
+    }
+    let mut parent_mask = vec![0u32; n];
+    let mut child_mask = vec![0u32; n];
+    for v in 0..n {
+        for &p in g.parents(v) {
+            parent_mask[v] |= 1 << p;
+        }
+        for &c in g.children(v) {
+            child_mask[v] |= 1 << c;
+        }
+        let required = parent_mask[v].count_ones() as usize + 1;
+        if required > memory {
+            return Err(ExactError::MemoryTooSmall {
+                vertex: v,
+                required,
+                memory,
+            });
+        }
+    }
+    let mut searcher = Searcher {
+        memory,
+        n,
+        full: if n == 32 { u32::MAX } else { (1u32 << n) - 1 },
+        parent_mask,
+        child_mask,
+        memo: HashMap::new(),
+        budget: state_budget,
+    };
+    let io = searcher.solve(State {
+        computed: 0,
+        resident: 0,
+        backed: 0,
+    })?;
+    Ok(ExactResult {
+        io,
+        states: searcher.memo.len(),
+    })
+}
+
+impl Searcher {
+    /// True iff `v`'s value can never be needed again once `computed`.
+    fn is_dead(&self, v: usize, computed: u32) -> bool {
+        self.child_mask[v] & !computed == 0
+    }
+
+    fn solve(&mut self, state: State) -> Result<u64, ExactError> {
+        if state.computed == self.full {
+            return Ok(0);
+        }
+        if let Some(&c) = self.memo.get(&state) {
+            return Ok(c);
+        }
+        if self.memo.len() >= self.budget {
+            return Err(ExactError::BudgetExhausted {
+                states: self.budget,
+            });
+        }
+        // Reserve the slot first so the budget check sees this state.
+        self.memo.insert(state, u64::MAX);
+
+        let mut best = u64::MAX;
+        for v in 0..self.n {
+            let bit = 1u32 << v;
+            if state.computed & bit != 0 || self.parent_mask[v] & !state.computed != 0 {
+                continue; // already done, or not ready
+            }
+            let parents = self.parent_mask[v];
+            let missing = parents & !state.resident;
+            let reads = missing.count_ones() as u64;
+            // All loaded parents + the result must coexist.
+            let occupied_after = (state.resident | parents | bit).count_ones() as usize;
+            let must_evict = occupied_after.saturating_sub(self.memory);
+            let victims_pool = state.resident & !parents; // cannot evict pinned operands
+            debug_assert!(victims_pool.count_ones() as usize >= must_evict);
+
+            // Enumerate victim subsets of exactly `must_evict` vertices.
+            let pool: Vec<usize> = (0..self.n).filter(|&u| victims_pool & (1 << u) != 0).collect();
+            let mut chosen = vec![0usize; must_evict];
+            best = best.min(self.try_victim_combos(
+                state, v, reads, &pool, &mut chosen, 0, 0,
+            )?);
+        }
+        self.memo.insert(state, best);
+        Ok(best)
+    }
+
+    /// Recursively enumerates `chosen.len()`-subsets of `pool` (victims),
+    /// returning the best total cost.
+    #[allow(clippy::too_many_arguments)]
+    fn try_victim_combos(
+        &mut self,
+        state: State,
+        v: usize,
+        reads: u64,
+        pool: &[usize],
+        chosen: &mut Vec<usize>,
+        start: usize,
+        depth: usize,
+    ) -> Result<u64, ExactError> {
+        if depth == chosen.len() {
+            return self.apply_transition(state, v, reads, chosen);
+        }
+        let mut best = u64::MAX;
+        // Leave room for the remaining picks.
+        let last = pool.len() - (chosen.len() - depth - 1);
+        for (i, &u) in pool.iter().enumerate().take(last).skip(start) {
+            chosen[depth] = u;
+            let cost = self.try_victim_combos(state, v, reads, pool, chosen, i + 1, depth + 1)?;
+            best = best.min(cost);
+        }
+        Ok(best)
+    }
+
+    fn apply_transition(
+        &mut self,
+        state: State,
+        v: usize,
+        reads: u64,
+        victims: &[usize],
+    ) -> Result<u64, ExactError> {
+        let bit = 1u32 << v;
+        let mut writes = 0u64;
+        let mut backed = state.backed;
+        let mut resident = state.resident | self.parent_mask[v] | bit;
+        for &u in victims {
+            let ub = 1u32 << u;
+            // Victims are live by the eager-dead-drop invariant.
+            if backed & ub == 0 {
+                writes += 1;
+                backed |= ub;
+            }
+            resident &= !ub;
+        }
+        let computed = state.computed | bit;
+        // Eager dead-drop + canonicalize backed bits of dead values.
+        let mut live = 0u32;
+        for u in 0..self.n {
+            if computed & (1 << u) != 0 && !self.is_dead(u, computed) {
+                live |= 1 << u;
+            }
+        }
+        resident &= live;
+        backed &= live;
+        let next = State {
+            computed,
+            resident,
+            backed,
+        };
+        let tail = self.solve(next)?;
+        Ok(tail.saturating_add(reads + writes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphio_graph::generators::{
+        binary_reduction_tree, diamond_dag, inner_product, path_dag,
+    };
+    use graphio_pebble::{simulate, Policy};
+    use graphio_graph::topo::natural_order;
+
+    const BUDGET: usize = 2_000_000;
+
+    #[test]
+    fn path_is_free() {
+        let g = path_dag(8);
+        let r = exact_optimal_io(&g, 2, BUDGET).unwrap();
+        assert_eq!(r.io, 0);
+    }
+
+    #[test]
+    fn inner_product_exact_values() {
+        let g = inner_product(2);
+        // M = 3: both products cannot stay resident while the second is
+        // built: exactly one spill + one reload.
+        assert_eq!(exact_optimal_io(&g, 3, BUDGET).unwrap().io, 2);
+        // M = 4: everything fits.
+        assert_eq!(exact_optimal_io(&g, 4, BUDGET).unwrap().io, 0);
+    }
+
+    #[test]
+    fn exact_never_exceeds_any_simulation() {
+        for (g, m) in [
+            // inner_product(3)'s 3-ary sum needs 4 slots to evaluate.
+            (inner_product(3), 4usize),
+            (diamond_dag(3, 3), 3),
+            (binary_reduction_tree(3), 3),
+        ] {
+            let exact = exact_optimal_io(&g, m, BUDGET).unwrap().io;
+            let order = natural_order(&g);
+            for policy in Policy::ALL {
+                let sim = simulate(&g, &order, m, policy, 0).unwrap();
+                assert!(
+                    exact <= sim.io(),
+                    "exact {} > {} sim {}",
+                    exact,
+                    policy,
+                    sim.io()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_matches_good_simulation_when_memory_ample() {
+        let g = binary_reduction_tree(3);
+        let exact = exact_optimal_io(&g, g.n(), BUDGET).unwrap().io;
+        assert_eq!(exact, 0);
+    }
+
+    #[test]
+    fn memory_too_small_detected() {
+        let g = inner_product(2);
+        assert_eq!(
+            exact_optimal_io(&g, 2, BUDGET).unwrap_err(),
+            ExactError::MemoryTooSmall {
+                vertex: 4,
+                required: 3,
+                memory: 2
+            }
+        );
+    }
+
+    #[test]
+    fn too_large_detected() {
+        let g = binary_reduction_tree(5); // 63 vertices
+        assert_eq!(
+            exact_optimal_io(&g, 8, BUDGET).unwrap_err(),
+            ExactError::TooLarge { n: 63 }
+        );
+    }
+
+    #[test]
+    fn budget_exhaustion_detected() {
+        let g = diamond_dag(4, 4);
+        assert!(matches!(
+            exact_optimal_io(&g, 3, 10),
+            Err(ExactError::BudgetExhausted { states: 10 })
+        ));
+    }
+
+    #[test]
+    fn monotone_in_memory() {
+        let g = diamond_dag(3, 4);
+        let mut prev = u64::MAX;
+        for m in 3..=8 {
+            let io = exact_optimal_io(&g, m, BUDGET).unwrap().io;
+            assert!(io <= prev, "M={m}");
+            prev = io;
+        }
+        assert_eq!(prev, 0);
+    }
+
+    #[test]
+    fn squaring_graph_is_free() {
+        use graphio_graph::{GraphBuilder, OpKind};
+        let mut b = GraphBuilder::new();
+        let x = b.add_vertex(OpKind::Input);
+        let sq = b.add_vertex(OpKind::Mul);
+        b.add_edge(x, sq);
+        b.add_edge(x, sq);
+        let g = b.build().unwrap();
+        assert_eq!(exact_optimal_io(&g, 2, BUDGET).unwrap().io, 0);
+    }
+}

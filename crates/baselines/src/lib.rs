@@ -1,0 +1,21 @@
+//! Baseline automatic I/O lower bounds (paper §6.3) and ground-truth
+//! oracles.
+//!
+//! * [`maxflow`] — a from-scratch Dinic max-flow solver.
+//! * [`convex_mincut`] — a reconstruction of the Elango et al. convex
+//!   min-cut baseline: for each vertex `v`, a vertex-capacity min cut
+//!   computes the smallest possible *wavefront* of any schedule prefix
+//!   that has finished `v` but none of its descendants; the bound is
+//!   `max_v 2·max(0, C(v) − M)`. See `DESIGN.md` §4 for the soundness
+//!   argument and the relation to the original method.
+//! * [`exact`] — exhaustive branch-and-bound computing the *true* optimal
+//!   non-trivial I/O `J*_G` for tiny graphs; the ground truth every lower
+//!   bound is tested against.
+
+pub mod convex_mincut;
+pub mod exact;
+pub mod maxflow;
+
+pub use convex_mincut::{convex_min_cut_bound, ConvexMinCutOptions, ConvexMinCutResult};
+pub use exact::{exact_optimal_io, ExactError, ExactResult};
+pub use maxflow::FlowNetwork;

@@ -1,0 +1,40 @@
+//! Ablation for §6.5: how the eigenvalue budget `h` trades bound runtime
+//! against strength. The paper fixes `h = 100` and reports the best `k`
+//! stays far below it; this bench measures the runtime side (the strength
+//! side is recorded by the `tab_hypercube`/`fig7` tables, where the best-k
+//! column can be compared with `h`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphio_graph::generators::bhk_hypercube;
+use graphio_spectral::{spectral_bound, BoundOptions, EigenMethod};
+
+fn bench_h_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_h");
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.sample_size(10);
+    let g = bhk_hypercube(10); // n = 1024
+    let m = 16;
+    for h in [4usize, 16, 48, 100] {
+        group.bench_with_input(BenchmarkId::new("lanczos", h), &h, |b, &h| {
+            let opts = BoundOptions {
+                h,
+                method: EigenMethod::Lanczos(Default::default()),
+                ..Default::default()
+            };
+            b.iter(|| spectral_bound(&g, m, &opts).unwrap().bound)
+        });
+    }
+    // Reference: dense path at the same size.
+    group.bench_function("dense_full", |b| {
+        let opts = BoundOptions {
+            method: EigenMethod::Dense,
+            ..Default::default()
+        };
+        b.iter(|| spectral_bound(&g, m, &opts).unwrap().bound)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_h_sweep);
+criterion_main!(benches);

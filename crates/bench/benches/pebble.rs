@@ -1,0 +1,41 @@
+//! Simulator throughput and eviction-policy ablation: how much tighter is
+//! Belady's upper bound than LRU/FIFO, and what does it cost to compute?
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphio_graph::generators::fft_butterfly;
+use graphio_graph::topo::natural_order;
+use graphio_pebble::{simulate, Policy};
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pebble_policies");
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    let g = fft_butterfly(10); // 11264 vertices
+    let order = natural_order(&g);
+    let m = 8;
+    for policy in Policy::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("fft_l10", policy.name()),
+            &policy,
+            |b, &policy| b.iter(|| simulate(&g, &order, m, policy, 7).unwrap().io()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_memory_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pebble_memory_sweep");
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    let g = fft_butterfly(8);
+    let order = natural_order(&g);
+    for m in [4usize, 16, 64] {
+        group.bench_with_input(BenchmarkId::new("lru", m), &m, |b, &m| {
+            b.iter(|| simulate(&g, &order, m, Policy::Lru, 0).unwrap().io())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies, bench_memory_sweep);
+criterion_main!(benches);

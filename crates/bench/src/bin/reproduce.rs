@@ -1,0 +1,94 @@
+//! Reproduces every figure and table of the paper's evaluation.
+//!
+//! ```text
+//! reproduce [--preset quick|full] [--experiment <id>|all] [--out results]
+//! ```
+//!
+//! Prints each table as Markdown and writes `<out>/<id>.csv`. Experiment
+//! ids and their mapping to the paper's figures live in `DESIGN.md`.
+
+use graphio_bench::experiments::{run, ALL_EXPERIMENTS};
+use graphio_bench::Preset;
+use std::path::PathBuf;
+use std::time::Instant;
+
+struct Args {
+    preset: Preset,
+    experiments: Vec<String>,
+    out: PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut preset = Preset::Quick;
+    let mut experiments = vec!["all".to_string()];
+    let mut out = PathBuf::from("results");
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--preset" => {
+                i += 1;
+                let v = argv.get(i).ok_or("--preset needs a value")?;
+                preset = Preset::parse(v).ok_or_else(|| format!("unknown preset: {v}"))?;
+            }
+            "--experiment" => {
+                i += 1;
+                let v = argv.get(i).ok_or("--experiment needs a value")?;
+                experiments = v.split(',').map(|s| s.to_string()).collect();
+            }
+            "--out" => {
+                i += 1;
+                out = PathBuf::from(argv.get(i).ok_or("--out needs a value")?);
+            }
+            "--help" | "-h" => {
+                return Err(format!(
+                    "usage: reproduce [--preset quick|full] [--experiment <id>[,<id>...]|all] [--out DIR]\n\
+                     experiments: {}",
+                    ALL_EXPERIMENTS.join(", ")
+                ));
+            }
+            other => return Err(format!("unknown argument: {other} (try --help)")),
+        }
+        i += 1;
+    }
+    if experiments.len() == 1 && experiments[0] == "all" {
+        experiments = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
+    }
+    for e in &experiments {
+        if !ALL_EXPERIMENTS.contains(&e.as_str()) {
+            return Err(format!(
+                "unknown experiment: {e}\nknown: {}",
+                ALL_EXPERIMENTS.join(", ")
+            ));
+        }
+    }
+    Ok(Args {
+        preset,
+        experiments,
+        out,
+    })
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "# graphio reproduction run ({:?} preset)\n",
+        args.preset
+    );
+    for id in &args.experiments {
+        let start = Instant::now();
+        let table = run(id, args.preset);
+        let elapsed = start.elapsed();
+        println!("{}", table.to_markdown());
+        println!("_generated in {:.2}s_\n", elapsed.as_secs_f64());
+        if let Err(e) = table.write_csv(&args.out) {
+            eprintln!("warning: could not write {}/{id}.csv: {e}", args.out.display());
+        }
+    }
+}

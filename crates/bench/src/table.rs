@@ -1,0 +1,148 @@
+//! Minimal table container with CSV and Markdown rendering.
+
+use std::fmt;
+use std::io::Write as _;
+use std::path::Path;
+
+/// One table cell.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cell {
+    /// Integer value.
+    Int(i64),
+    /// Floating-point value (rendered with one decimal).
+    Float(f64),
+    /// Higher-precision floating-point value (six decimals).
+    Precise(f64),
+    /// Text.
+    Text(String),
+    /// Missing / not-applicable.
+    Empty,
+}
+
+impl fmt::Display for Cell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Cell::Int(v) => write!(f, "{v}"),
+            Cell::Float(v) => write!(f, "{v:.1}"),
+            Cell::Precise(v) => write!(f, "{v:.6}"),
+            Cell::Text(s) => write!(f, "{s}"),
+            Cell::Empty => write!(f, "-"),
+        }
+    }
+}
+
+/// A named table of results.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Identifier (also the output file stem), e.g. `fig7`.
+    pub id: String,
+    /// Human-readable description.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Data rows (each the same length as `columns`).
+    pub rows: Vec<Vec<Cell>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(id: &str, title: &str, columns: &[&str]) -> Self {
+        Table {
+            id: id.to_string(),
+            title: title.to_string(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the row width differs from the header width.
+    pub fn push(&mut self, row: Vec<Cell>) {
+        assert_eq!(row.len(), self.columns.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// CSV rendering (header + rows).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.columns.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            let cells: Vec<String> = row.iter().map(|c| c.to_string()).collect();
+            out.push_str(&cells.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// GitHub-flavoured Markdown rendering.
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("### {} — {}\n\n", self.id, self.title);
+        out.push_str("| ");
+        out.push_str(&self.columns.join(" | "));
+        out.push_str(" |\n|");
+        for _ in &self.columns {
+            out.push_str("---|");
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str("| ");
+            let cells: Vec<String> = row.iter().map(|c| c.to_string()).collect();
+            out.push_str(&cells.join(" | "));
+            out.push_str(" |\n");
+        }
+        out
+    }
+
+    /// Writes `<dir>/<id>.csv`.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn write_csv(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let mut f = std::fs::File::create(dir.join(format!("{}.csv", self.id)))?;
+        f.write_all(self.to_csv().as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("t1", "demo", &["a", "b"]);
+        t.push(vec![Cell::Int(1), Cell::Float(2.25)]);
+        t.push(vec![Cell::Text("x".into()), Cell::Empty]);
+        t
+    }
+
+    #[test]
+    fn csv_rendering() {
+        assert_eq!(sample().to_csv(), "a,b\n1,2.2\nx,-\n");
+    }
+
+    #[test]
+    fn markdown_rendering() {
+        let md = sample().to_markdown();
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("| 1 | 2.2 |"));
+        assert!(md.starts_with("### t1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn width_mismatch_panics() {
+        let mut t = Table::new("t", "t", &["a"]);
+        t.push(vec![Cell::Int(1), Cell::Int(2)]);
+    }
+
+    #[test]
+    fn csv_writes_to_disk() {
+        let dir = std::env::temp_dir().join("graphio_table_test");
+        sample().write_csv(&dir).unwrap();
+        let content = std::fs::read_to_string(dir.join("t1.csv")).unwrap();
+        assert!(content.starts_with("a,b"));
+    }
+}

@@ -1,0 +1,89 @@
+//! Graphviz (DOT) export for computation graphs.
+
+use crate::dag::CompGraph;
+use std::fmt::Write as _;
+
+/// Options for [`to_dot`].
+#[derive(Debug, Clone)]
+pub struct DotOptions {
+    /// Graph name in the DOT header.
+    pub name: String,
+    /// Include the vertex id next to the op mnemonic.
+    pub show_ids: bool,
+    /// Rank direction (`"TB"` top-to-bottom or `"LR"` left-to-right).
+    pub rankdir: &'static str,
+}
+
+impl Default for DotOptions {
+    fn default() -> Self {
+        DotOptions {
+            name: "computation".to_string(),
+            show_ids: true,
+            rankdir: "TB",
+        }
+    }
+}
+
+/// Renders the graph in Graphviz DOT format. Sources are drawn as boxes
+/// (inputs), sinks as double circles (outputs), everything else as plain
+/// circles.
+pub fn to_dot(g: &CompGraph, opts: &DotOptions) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {} {{", opts.name);
+    let _ = writeln!(out, "  rankdir={};", opts.rankdir);
+    for v in 0..g.n() {
+        let shape = if g.in_degree(v) == 0 {
+            "box"
+        } else if g.out_degree(v) == 0 {
+            "doublecircle"
+        } else {
+            "circle"
+        };
+        let label = if opts.show_ids {
+            format!("{}:{}", v, g.op(v).mnemonic())
+        } else {
+            g.op(v).mnemonic()
+        };
+        let _ = writeln!(out, "  v{v} [label=\"{label}\", shape={shape}];");
+    }
+    for (u, v) in g.edges() {
+        let _ = writeln!(out, "  v{u} -> v{v};");
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::inner_product;
+
+    #[test]
+    fn dot_contains_all_vertices_and_edges() {
+        let g = inner_product(2);
+        let dot = to_dot(&g, &DotOptions::default());
+        assert!(dot.starts_with("digraph computation {"));
+        for v in 0..g.n() {
+            assert!(dot.contains(&format!("v{v} [label=")), "missing v{v}");
+        }
+        assert_eq!(dot.matches(" -> ").count(), g.num_edges());
+        // Inputs boxed, output double-circled.
+        assert!(dot.contains("shape=box"));
+        assert!(dot.contains("shape=doublecircle"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn ids_can_be_hidden() {
+        let g = inner_product(1);
+        let dot = to_dot(
+            &g,
+            &DotOptions {
+                show_ids: false,
+                ..Default::default()
+            },
+        );
+        assert!(dot.contains("label=\"in\""));
+        assert!(!dot.contains("label=\"0:in\""));
+    }
+}

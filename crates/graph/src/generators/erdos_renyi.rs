@@ -1,0 +1,107 @@
+//! Erdős–Rényi random computation graphs (paper §5.3).
+//!
+//! `G(n, p)` is sampled on vertices `0..n` with each undirected pair
+//! `{i, j}` included independently with probability `p`; edges are oriented
+//! from the lower to the higher index, which makes the graph a DAG while
+//! leaving the unnormalized Laplacian `L` — the object §5.3's probabilistic
+//! bound analyzes — identical to that of the undirected sample.
+
+use crate::dag::{CompGraph, GraphBuilder};
+use crate::ops::OpKind;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Samples an Erdős–Rényi DAG `G(n, p)` with the given seed.
+///
+/// # Panics
+/// Panics unless `0 ≤ p ≤ 1`.
+pub fn erdos_renyi_dag(n: usize, p: f64, seed: u64) -> CompGraph {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new();
+    for _ in 0..n {
+        b.add_vertex(OpKind::Custom(0));
+    }
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.gen::<f64>() < p {
+                b.add_edge(i as u32, j as u32);
+            }
+        }
+    }
+    b.build().expect("low-to-high orientation cannot create cycles")
+}
+
+/// The paper's §5.3 sparse regime sets `p = p₀·ln(n)/(n−1)` for `p₀ > 6`.
+/// Convenience helper computing that probability (natural log, as in the
+/// reference \[18\] the paper builds on).
+pub fn sparse_regime_p(n: usize, p0: f64) -> f64 {
+    assert!(n >= 2);
+    (p0 * (n as f64).ln() / (n as f64 - 1.0)).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g1 = erdos_renyi_dag(40, 0.2, 7);
+        let g2 = erdos_renyi_dag(40, 0.2, 7);
+        assert_eq!(g1.num_edges(), g2.num_edges());
+        let e1: Vec<_> = g1.edges().collect();
+        let e2: Vec<_> = g2.edges().collect();
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let g1 = erdos_renyi_dag(40, 0.3, 1);
+        let g2 = erdos_renyi_dag(40, 0.3, 2);
+        let e1: Vec<_> = g1.edges().collect();
+        let e2: Vec<_> = g2.edges().collect();
+        assert_ne!(e1, e2);
+    }
+
+    #[test]
+    fn edge_count_concentrates_around_mean() {
+        let n = 200;
+        let p = 0.1;
+        let g = erdos_renyi_dag(n, p, 42);
+        let expected = p * (n * (n - 1) / 2) as f64;
+        let got = g.num_edges() as f64;
+        // 5-sigma band: sigma^2 = m p (1-p).
+        let sigma = (expected * (1.0 - p)).sqrt();
+        assert!(
+            (got - expected).abs() < 5.0 * sigma,
+            "edges {got} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn extreme_probabilities() {
+        let empty = erdos_renyi_dag(10, 0.0, 3);
+        assert_eq!(empty.num_edges(), 0);
+        let full = erdos_renyi_dag(10, 1.0, 3);
+        assert_eq!(full.num_edges(), 45);
+        // The complete DAG has max in-degree n-1.
+        assert_eq!(full.max_in_degree(), 9);
+    }
+
+    #[test]
+    fn edges_are_low_to_high() {
+        let g = erdos_renyi_dag(30, 0.5, 9);
+        for (u, v) in g.edges() {
+            assert!(u < v);
+        }
+    }
+
+    #[test]
+    fn sparse_regime_probability_formula() {
+        let p = sparse_regime_p(1000, 8.0);
+        let expect = 8.0 * 1000f64.ln() / 999.0;
+        assert!((p - expect).abs() < 1e-12);
+        // Clamped to 1 for tiny n.
+        assert_eq!(sparse_regime_p(2, 100.0), 1.0);
+    }
+}

@@ -1,0 +1,183 @@
+//! The unwrapped butterfly graph of a radix-2 FFT (paper §5.2, Figure 5).
+
+use crate::dag::{CompGraph, GraphBuilder};
+use crate::ops::OpKind;
+
+/// Builds the computation graph of a `2^l`-point radix-2 FFT: the
+/// unwrapped butterfly graph `B_l` with `(l+1)·2^l` vertices arranged in
+/// `l+1` columns of `2^l` rows.
+///
+/// Vertex `(t, r)` (level `t ∈ 0..=l`, row `r ∈ 0..2^l`) has id
+/// `t·2^l + r`. Level `t` feeds level `t+1` with edges
+/// `(t,r) → (t+1,r)` and `(t,r) → (t+1, r xor 2^t)`, which realizes the
+/// inductive definition of Appendix A: levels `0..l` form two disjoint
+/// copies of `B_{l-1}` (rows split on bit `l-1`) joined by the final
+/// column.
+///
+/// Every non-input vertex has in-degree 2; every non-output vertex has
+/// out-degree 2 (the maximum out-degree the FFT bound divides by).
+///
+/// # Panics
+/// Panics if `l >= 26` (the graph would not fit in memory anyway).
+pub fn fft_butterfly(l: usize) -> CompGraph {
+    assert!(l < 26, "fft_butterfly: l too large");
+    let rows = 1usize << l;
+    let n = (l + 1) * rows;
+    let mut b = GraphBuilder::with_capacity(n, 2 * l * rows);
+    for _ in 0..rows {
+        b.add_vertex(OpKind::Input);
+    }
+    for _ in rows..n {
+        b.add_vertex(OpKind::Butterfly);
+    }
+    let id = |t: usize, r: usize| (t * rows + r) as u32;
+    for t in 0..l {
+        let span = 1usize << t;
+        for r in 0..rows {
+            b.add_edge(id(t, r), id(t + 1, r));
+            b.add_edge(id(t, r), id(t + 1, r ^ span));
+        }
+    }
+    b.build().expect("butterfly construction is acyclic by levels")
+}
+
+/// Vertex id of level `t`, row `r` in [`fft_butterfly`]`(l)`.
+pub fn fft_vertex_id(l: usize, t: usize, r: usize) -> usize {
+    t * (1usize << l) + r
+}
+
+/// Builds the *wrapped* butterfly digraph `WB_l`: `l` columns of `2^l`
+/// rows with the final column feeding back into the first, the layout the
+/// paper contrasts its unwrapped spectrum against (Comellas et al., whose
+/// closed form covers only this wrapped variant).
+///
+/// The wrap-around makes the graph cyclic, so it is **not** a computation
+/// DAG; it is returned as an undirected edge list (each butterfly link
+/// once) for spectral experiments only.
+///
+/// Vertex `(t, r)` has id `t·2^l + r` for `t ∈ 0..l`; column `t` connects
+/// to column `(t+1) mod l` with edges `(t,r)—(t+1,r)` and
+/// `(t,r)—(t+1, r xor 2^t)`.
+///
+/// # Panics
+/// Panics if `l < 2` (the wrap would create self-loops) or `l >= 26`.
+pub fn wrapped_butterfly_edges(l: usize) -> (usize, Vec<(u32, u32)>) {
+    assert!(l >= 2 && l < 26, "wrapped butterfly needs 2 <= l < 26");
+    let rows = 1usize << l;
+    let n = l * rows;
+    let id = |t: usize, r: usize| (t * rows + r) as u32;
+    let mut edges = Vec::with_capacity(2 * n);
+    for t in 0..l {
+        let next = (t + 1) % l;
+        let span = 1usize << t;
+        for r in 0..rows {
+            edges.push((id(t, r), id(next, r)));
+            edges.push((id(t, r), id(next, r ^ span)));
+        }
+    }
+    (n, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_paper_formulas() {
+        for l in 0..8 {
+            let g = fft_butterfly(l);
+            assert_eq!(g.n(), (l + 1) << l, "n for l={l}");
+            assert_eq!(g.num_edges(), (2 * l) << l, "edges for l={l}");
+        }
+    }
+
+    #[test]
+    fn degrees_are_two_except_boundaries() {
+        let l = 4;
+        let g = fft_butterfly(l);
+        let rows = 1 << l;
+        for v in 0..g.n() {
+            let level = v / rows;
+            if level == 0 {
+                assert_eq!(g.in_degree(v), 0);
+                assert_eq!(g.out_degree(v), 2);
+            } else if level == l {
+                assert_eq!(g.in_degree(v), 2);
+                assert_eq!(g.out_degree(v), 0);
+            } else {
+                assert_eq!(g.in_degree(v), 2);
+                assert_eq!(g.out_degree(v), 2);
+            }
+        }
+        assert_eq!(g.max_in_degree(), 2);
+        assert_eq!(g.max_out_degree(), 2);
+    }
+
+    #[test]
+    fn figure5_four_point_fft() {
+        // 2^2 = 4-point FFT: 12 vertices in 3 columns of 4.
+        let g = fft_butterfly(2);
+        assert_eq!(g.n(), 12);
+        assert_eq!(g.sources().len(), 4);
+        assert_eq!(g.sinks().len(), 4);
+        // Level-1 vertex in row 0 has parents rows {0, 1} of level 0.
+        let p = g.parents(fft_vertex_id(2, 1, 0));
+        let mut p: Vec<u32> = p.to_vec();
+        p.sort_unstable();
+        assert_eq!(p, vec![0, 1]);
+        // Level-2 vertex in row 0 has parents rows {0, 2} of level 1.
+        let mut p: Vec<u32> = g.parents(fft_vertex_id(2, 2, 0)).to_vec();
+        p.sort_unstable();
+        assert_eq!(p, vec![4, 6]);
+    }
+
+    #[test]
+    fn every_output_depends_on_every_input() {
+        let l = 3;
+        let g = fft_butterfly(l);
+        let rows = 1 << l;
+        for out_row in 0..rows {
+            let anc = g.ancestors(fft_vertex_id(l, l, out_row));
+            let inputs = anc.iter().filter(|&&v| v < rows).count();
+            assert_eq!(inputs, rows, "output row {out_row}");
+        }
+    }
+
+    #[test]
+    fn wrapped_butterfly_is_4_regular() {
+        for l in 2..6 {
+            let (n, edges) = wrapped_butterfly_edges(l);
+            assert_eq!(n, l << l);
+            assert_eq!(edges.len(), 2 * n, "each vertex sends 2 links");
+            let mut deg = vec![0usize; n];
+            for &(u, v) in &edges {
+                deg[u as usize] += 1;
+                deg[v as usize] += 1;
+            }
+            assert!(deg.iter().all(|&d| d == 4), "l={l}: degrees {deg:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "wrapped butterfly needs")]
+    fn wrapped_butterfly_rejects_degenerate_sizes() {
+        wrapped_butterfly_edges(1);
+    }
+
+    #[test]
+    fn recursive_structure_two_copies_joined() {
+        // In B_l, levels 0..l restricted to rows with bit l-1 clear form
+        // B_{l-1}: check no edge before the last level crosses the halves.
+        let l = 4;
+        let g = fft_butterfly(l);
+        let rows = 1usize << l;
+        let half = rows / 2;
+        for (u, v) in g.edges() {
+            let (tu, ru) = (u / rows, u % rows);
+            let rv = v % rows;
+            if tu < l - 1 {
+                assert_eq!(ru >= half, rv >= half, "edge {u}->{v} crosses halves early");
+            }
+        }
+    }
+}

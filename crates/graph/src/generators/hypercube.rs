@@ -1,0 +1,89 @@
+//! The Bellman–Held–Karp hypercube computation graph (paper §5.1, Figure 4).
+
+use crate::dag::{CompGraph, GraphBuilder};
+use crate::ops::OpKind;
+
+/// Builds the computation graph of the Bellman–Held–Karp dynamic program
+/// for an `l`-city TSP: the boolean `l`-dimensional hypercube `Q_l`.
+///
+/// Vertex ids are the "cities visited" bitmasks `0..2^l`; there is an edge
+/// `k1 → k2` whenever `k2` sets exactly one additional bit of `k1`. The
+/// empty set (id 0) is the unique source and the full set (id `2^l − 1`)
+/// the unique sink. `n = 2^l`, `|E| = l·2^{l−1}`, and both the maximum in-
+/// and out-degree are `l`.
+///
+/// # Panics
+/// Panics if `l >= 28`.
+pub fn bhk_hypercube(l: usize) -> CompGraph {
+    assert!(l < 28, "bhk_hypercube: l too large");
+    let n = 1usize << l;
+    let mut b = GraphBuilder::with_capacity(n, l * n / 2);
+    b.add_vertex(OpKind::Input);
+    for _ in 1..n {
+        b.add_vertex(OpKind::BhkUpdate);
+    }
+    for u in 0..n {
+        for bit in 0..l {
+            if u & (1 << bit) == 0 {
+                b.add_edge(u as u32, (u | (1 << bit)) as u32);
+            }
+        }
+    }
+    b.build().expect("hypercube is acyclic by popcount levels")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_formulas() {
+        for l in 1..10 {
+            let g = bhk_hypercube(l);
+            assert_eq!(g.n(), 1 << l);
+            assert_eq!(g.num_edges(), l << (l - 1), "edges for l={l}");
+        }
+    }
+
+    #[test]
+    fn degrees_equal_popcounts() {
+        let l = 6;
+        let g = bhk_hypercube(l);
+        for v in 0..g.n() {
+            let ones = (v as u32).count_ones() as usize;
+            assert_eq!(g.in_degree(v), ones);
+            assert_eq!(g.out_degree(v), l - ones);
+        }
+        assert_eq!(g.max_in_degree(), l);
+        assert_eq!(g.max_out_degree(), l);
+    }
+
+    #[test]
+    fn single_source_and_sink() {
+        let g = bhk_hypercube(5);
+        assert_eq!(g.sources(), vec![0]);
+        assert_eq!(g.sinks(), vec![31]);
+    }
+
+    #[test]
+    fn figure4_three_cities() {
+        // Q_3: 8 vertices, 12 edges; 000 -> 111 paths of length 3.
+        let g = bhk_hypercube(3);
+        assert_eq!(g.n(), 8);
+        assert_eq!(g.num_edges(), 12);
+        // 011's parents are 001 and 010.
+        let mut p: Vec<u32> = g.parents(0b011).to_vec();
+        p.sort_unstable();
+        assert_eq!(p, vec![0b001, 0b010]);
+    }
+
+    #[test]
+    fn edges_set_exactly_one_bit() {
+        let g = bhk_hypercube(4);
+        for (u, v) in g.edges() {
+            let diff = u ^ v;
+            assert_eq!(diff.count_ones(), 1);
+            assert_eq!(u & diff, 0, "edge must go from 0-bit to 1-bit");
+        }
+    }
+}

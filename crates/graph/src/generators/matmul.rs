@@ -1,0 +1,174 @@
+//! Naive matrix-multiplication computation graphs (paper §6.2, item 2).
+
+use crate::dag::{CompGraph, GraphBuilder};
+use crate::ops::OpKind;
+
+/// Builds the computation graph of naive `n × n` matrix multiplication
+/// `C = A·B`, computing each `C_ij` as a single n-ary summation of the
+/// products `A_ik · B_kj`.
+///
+/// Structure (matching the paper's evaluation graph, whose stated maximum
+/// in-degree is `n`):
+/// * `2n²` input vertices (`A` row-major, then `B` row-major),
+/// * `n³` product vertices (`in-degree 2`),
+/// * `n²` n-ary [`OpKind::Sum`] output vertices (in-degree `n`).
+///
+/// Total: `n³ + 3n²` vertices and `3n³` edges.
+pub fn naive_matmul(n: usize) -> CompGraph {
+    build_matmul(n, SumShape::Nary)
+}
+
+/// Variant computing each `C_ij` with a binary reduction tree of
+/// [`OpKind::Add`] vertices instead of one n-ary sum — an ablation for how
+/// the graph encoding affects the spectral bound (max in-degree becomes 2,
+/// so smaller fast memories remain admissible).
+pub fn naive_matmul_binary_tree(n: usize) -> CompGraph {
+    build_matmul(n, SumShape::BinaryTree)
+}
+
+enum SumShape {
+    Nary,
+    BinaryTree,
+}
+
+fn build_matmul(n: usize, shape: SumShape) -> CompGraph {
+    assert!(n >= 1, "matmul needs n >= 1");
+    let n2 = n * n;
+    let n3 = n2 * n;
+    let mut b = GraphBuilder::with_capacity(n3 + 3 * n2, 3 * n3);
+    // Inputs: A then B, row-major.
+    for _ in 0..(2 * n2) {
+        b.add_vertex(OpKind::Input);
+    }
+    let a_id = |i: usize, k: usize| (i * n + k) as u32;
+    let b_id = |k: usize, j: usize| (n2 + k * n + j) as u32;
+    // One output at a time: its n products then its summation, matching the
+    // natural loop nest a tracer would record.
+    for i in 0..n {
+        for j in 0..n {
+            let terms: Vec<u32> = (0..n)
+                .map(|k| {
+                    let p = b.add_vertex(OpKind::Mul);
+                    b.add_edge(a_id(i, k), p);
+                    b.add_edge(b_id(k, j), p);
+                    p
+                })
+                .collect();
+            match shape {
+                SumShape::Nary => {
+                    if n == 1 {
+                        // C_ij is just the single product; no sum vertex
+                        // would change the value, but the paper's graph has
+                        // one op per output, so keep a unary sum for shape
+                        // consistency.
+                        let s = b.add_vertex(OpKind::Sum);
+                        b.add_edge(terms[0], s);
+                    } else {
+                        let s = b.add_vertex(OpKind::Sum);
+                        for t in terms {
+                            b.add_edge(t, s);
+                        }
+                    }
+                }
+                SumShape::BinaryTree => {
+                    let mut layer = terms;
+                    while layer.len() > 1 {
+                        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+                        for pair in layer.chunks(2) {
+                            if pair.len() == 2 {
+                                let s = b.add_vertex(OpKind::Add);
+                                b.add_edge(pair[0], s);
+                                b.add_edge(pair[1], s);
+                                next.push(s);
+                            } else {
+                                next.push(pair[0]);
+                            }
+                        }
+                        layer = next;
+                    }
+                    if layer.len() == 1 && n == 1 {
+                        let s = b.add_vertex(OpKind::Sum);
+                        b.add_edge(layer[0], s);
+                    }
+                }
+            }
+        }
+    }
+    b.build().expect("matmul graph is acyclic by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nary_counts_match_formulas() {
+        for n in [1usize, 2, 3, 4, 6] {
+            let g = naive_matmul(n);
+            assert_eq!(g.n(), n * n * n + 3 * n * n, "n={n}");
+            let expected_edges = if n == 1 { 2 + 1 } else { 3 * n * n * n };
+            assert_eq!(g.num_edges(), expected_edges, "edges n={n}");
+        }
+    }
+
+    #[test]
+    fn nary_max_in_degree_is_n() {
+        for n in [2usize, 3, 5] {
+            let g = naive_matmul(n);
+            assert_eq!(g.max_in_degree(), n);
+        }
+    }
+
+    #[test]
+    fn inputs_products_outputs_partition() {
+        let n = 3;
+        let g = naive_matmul(n);
+        assert_eq!(g.sources().len(), 2 * n * n);
+        assert_eq!(g.sinks().len(), n * n);
+        // Products have in-degree 2 and out-degree 1.
+        let mut products = 0;
+        for v in 0..g.n() {
+            if g.op(v) == OpKind::Mul {
+                assert_eq!(g.in_degree(v), 2);
+                assert_eq!(g.out_degree(v), 1);
+                products += 1;
+            }
+        }
+        assert_eq!(products, n * n * n);
+    }
+
+    #[test]
+    fn each_input_feeds_n_products() {
+        let n = 4;
+        let g = naive_matmul(n);
+        for v in 0..(2 * n * n) {
+            assert_eq!(g.out_degree(v), n, "input {v}");
+        }
+    }
+
+    #[test]
+    fn binary_tree_variant_has_in_degree_2() {
+        for n in [2usize, 3, 4, 5, 8] {
+            let g = naive_matmul_binary_tree(n);
+            assert_eq!(g.max_in_degree(), 2, "n={n}");
+            // Same number of products/inputs; n-1 adds per output.
+            assert_eq!(g.n(), 2 * n * n + n * n * n + n * n * (n - 1));
+            assert_eq!(g.sinks().len(), n * n);
+        }
+    }
+
+    #[test]
+    fn two_by_two_by_hand() {
+        // n=2: 8 inputs, 8 products, 4 sums = 20 vertices, 24 edges.
+        let g = naive_matmul(2);
+        assert_eq!(g.n(), 20);
+        assert_eq!(g.num_edges(), 24);
+        // C_00's sum vertex should consume products A00*B00 and A01*B10.
+        let sums = g.sinks();
+        assert_eq!(sums.len(), 4);
+        for &s in &sums {
+            assert_eq!(g.op(s), OpKind::Sum);
+            assert_eq!(g.in_degree(s), 2);
+        }
+    }
+}

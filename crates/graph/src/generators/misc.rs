@@ -1,0 +1,200 @@
+//! Small supporting computation-graph families: the paper's Figure 1 inner
+//! product, plus standard I/O-complexity families (diamond/stencil DAGs,
+//! reduction trees, paths, layered random DAGs) used by examples and tests.
+
+use crate::dag::{CompGraph, GraphBuilder};
+use crate::ops::OpKind;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Inner product of two `k`-element vectors (Figure 1 for `k = 2`):
+/// `2k` inputs, `k` products, and one k-ary sum — `3k + 1` vertices.
+pub fn inner_product(k: usize) -> CompGraph {
+    assert!(k >= 1);
+    let mut b = GraphBuilder::new();
+    let xs: Vec<u32> = (0..k).map(|_| b.add_vertex(OpKind::Input)).collect();
+    let ys: Vec<u32> = (0..k).map(|_| b.add_vertex(OpKind::Input)).collect();
+    let prods: Vec<u32> = (0..k)
+        .map(|i| {
+            let p = b.add_vertex(OpKind::Mul);
+            b.add_edge(xs[i], p);
+            b.add_edge(ys[i], p);
+            p
+        })
+        .collect();
+    let s = b.add_vertex(OpKind::Sum);
+    for p in prods {
+        b.add_edge(p, s);
+    }
+    b.build().expect("inner product is acyclic")
+}
+
+/// An `rows × cols` diamond/stencil DAG: vertex `(i, j)` feeds `(i+1, j)`
+/// and `(i, j+1)`. The top-left corner is the single input; the
+/// bottom-right corner the single output. This is the classic dynamic-
+/// programming dependency structure (edit distance, etc.).
+pub fn diamond_dag(rows: usize, cols: usize) -> CompGraph {
+    assert!(rows >= 1 && cols >= 1);
+    let mut b = GraphBuilder::with_capacity(rows * cols, 2 * rows * cols);
+    let id = |i: usize, j: usize| (i * cols + j) as u32;
+    for i in 0..rows {
+        for j in 0..cols {
+            b.add_vertex(if i == 0 && j == 0 {
+                OpKind::Input
+            } else {
+                OpKind::Add
+            });
+        }
+    }
+    for i in 0..rows {
+        for j in 0..cols {
+            if i + 1 < rows {
+                b.add_edge(id(i, j), id(i + 1, j));
+            }
+            if j + 1 < cols {
+                b.add_edge(id(i, j), id(i, j + 1));
+            }
+        }
+    }
+    b.build().expect("grid is acyclic")
+}
+
+/// A complete binary reduction tree over `2^depth` inputs (e.g. a max or
+/// sum reduction): `2^{depth+1} − 1` vertices.
+pub fn binary_reduction_tree(depth: usize) -> CompGraph {
+    let leaves = 1usize << depth;
+    let mut b = GraphBuilder::with_capacity(2 * leaves - 1, 2 * leaves - 2);
+    let mut layer: Vec<u32> = (0..leaves).map(|_| b.add_vertex(OpKind::Input)).collect();
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len() / 2);
+        for pair in layer.chunks(2) {
+            let v = b.add_vertex(OpKind::Add);
+            b.add_edge(pair[0], v);
+            b.add_edge(pair[1], v);
+            next.push(v);
+        }
+        layer = next;
+    }
+    b.build().expect("tree is acyclic")
+}
+
+/// A simple dependency chain of `n` vertices (`v_0 → v_1 → … → v_{n−1}`).
+pub fn path_dag(n: usize) -> CompGraph {
+    assert!(n >= 1);
+    let mut b = GraphBuilder::with_capacity(n, n - 1);
+    b.add_vertex(OpKind::Input);
+    for _ in 1..n {
+        b.add_vertex(OpKind::Add);
+    }
+    for i in 0..(n - 1) {
+        b.add_edge(i as u32, i as u32 + 1);
+    }
+    b.build().expect("path is acyclic")
+}
+
+/// A random layered DAG: `layers` layers of `width` vertices; each vertex
+/// in layer `t+1` draws each potential parent from layer `t` independently
+/// with probability `p` (and is guaranteed at least one parent so the
+/// computation is well-formed).
+pub fn layered_random_dag(layers: usize, width: usize, p: f64, seed: u64) -> CompGraph {
+    assert!(layers >= 1 && width >= 1);
+    assert!((0.0..=1.0).contains(&p));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new();
+    let mut prev: Vec<u32> = (0..width).map(|_| b.add_vertex(OpKind::Input)).collect();
+    for _ in 1..layers {
+        let cur: Vec<u32> = (0..width).map(|_| b.add_vertex(OpKind::Custom(1))).collect();
+        for &v in &cur {
+            let mut has_parent = false;
+            for &u in &prev {
+                if rng.gen::<f64>() < p {
+                    b.add_edge(u, v);
+                    has_parent = true;
+                }
+            }
+            if !has_parent {
+                let u = prev[rng.gen_range(0..prev.len())];
+                b.add_edge(u, v);
+            }
+        }
+        prev = cur;
+    }
+    b.build().expect("layered construction is acyclic")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inner_product_figure1() {
+        let g = inner_product(2);
+        assert_eq!(g.n(), 7);
+        assert_eq!(g.num_edges(), 6);
+        assert_eq!(g.sources().len(), 4);
+        assert_eq!(g.sinks(), vec![6]);
+    }
+
+    #[test]
+    fn inner_product_general_k() {
+        for k in [1usize, 3, 8] {
+            let g = inner_product(k);
+            assert_eq!(g.n(), 3 * k + 1);
+            assert_eq!(g.num_edges(), 3 * k);
+            assert_eq!(g.in_degree(3 * k), k);
+        }
+    }
+
+    #[test]
+    fn diamond_counts_and_degrees() {
+        let g = diamond_dag(3, 4);
+        assert_eq!(g.n(), 12);
+        // Edges: down (rows-1)*cols + right rows*(cols-1) = 2*4 + 3*3 = 17.
+        assert_eq!(g.num_edges(), 17);
+        assert_eq!(g.sources(), vec![0]);
+        assert_eq!(g.sinks(), vec![11]);
+        assert_eq!(g.max_in_degree(), 2);
+        assert_eq!(g.max_out_degree(), 2);
+    }
+
+    #[test]
+    fn reduction_tree_counts() {
+        for depth in 0..6 {
+            let g = binary_reduction_tree(depth);
+            assert_eq!(g.n(), (2 << depth) - 1);
+            assert_eq!(g.num_edges(), (2 << depth) - 2);
+            assert_eq!(g.sinks().len(), 1);
+        }
+    }
+
+    #[test]
+    fn path_shape() {
+        let g = path_dag(5);
+        assert_eq!(g.n(), 5);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.max_in_degree(), 1);
+        assert_eq!(g.max_out_degree(), 1);
+    }
+
+    #[test]
+    fn layered_random_every_noninput_has_a_parent() {
+        let g = layered_random_dag(6, 9, 0.15, 123);
+        assert_eq!(g.n(), 54);
+        for v in 9..g.n() {
+            assert!(g.in_degree(v) >= 1, "vertex {v} has no parent");
+        }
+        // Inputs have none.
+        for v in 0..9 {
+            assert_eq!(g.in_degree(v), 0);
+        }
+    }
+
+    #[test]
+    fn layered_random_is_deterministic() {
+        let g1 = layered_random_dag(4, 5, 0.4, 9);
+        let g2 = layered_random_dag(4, 5, 0.4, 9);
+        let e1: Vec<_> = g1.edges().collect();
+        let e2: Vec<_> = g2.edges().collect();
+        assert_eq!(e1, e2);
+    }
+}

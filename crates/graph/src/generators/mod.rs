@@ -1,0 +1,22 @@
+//! Generators for the computation graphs evaluated in the paper.
+//!
+//! §6.2 evaluates four families — the FFT butterfly, naive and Strassen
+//! matrix multiplication, and the Bellman–Held–Karp hypercube — and §5.3
+//! analyzes Erdős–Rényi random graphs. [`misc`] adds the inner product of
+//! Figure 1 and a few families that are standard in the I/O-complexity
+//! literature (diamond/stencil DAGs, reduction trees, layered random DAGs)
+//! used by examples and tests.
+
+pub mod erdos_renyi;
+pub mod fft;
+pub mod hypercube;
+pub mod matmul;
+pub mod misc;
+pub mod strassen;
+
+pub use erdos_renyi::erdos_renyi_dag;
+pub use fft::fft_butterfly;
+pub use hypercube::bhk_hypercube;
+pub use matmul::{naive_matmul, naive_matmul_binary_tree};
+pub use misc::{binary_reduction_tree, diamond_dag, inner_product, layered_random_dag, path_dag};
+pub use strassen::strassen_matmul;

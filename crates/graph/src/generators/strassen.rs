@@ -1,0 +1,221 @@
+//! Strassen matrix-multiplication computation graphs (paper §6.2, item 3).
+//!
+//! Strassen's recursion on `n = 2^m` matrices performs 7 half-size
+//! multiplications on linear combinations of quadrants. At the scalar
+//! level every matrix addition/subtraction of two `h × h` blocks is `h²`
+//! binary vertices, and each output quadrant combination (`C11 = M1 + M4 −
+//! M5 + M7`, `C22 = M1 − M2 + M3 + M6`) is a 4-ary [`OpKind::Sum`] vertex
+//! per element — which is why the paper reports a maximum in-degree of 4
+//! for this family.
+
+use crate::dag::{CompGraph, GraphBuilder};
+use crate::ops::OpKind;
+
+/// Builds the computation graph of Strassen's algorithm multiplying two
+/// `n × n` matrices, `n` a power of two.
+///
+/// Inputs are `2n²` vertices (`A` row-major, then `B` row-major).
+///
+/// # Panics
+/// Panics if `n` is not a positive power of two.
+pub fn strassen_matmul(n: usize) -> CompGraph {
+    assert!(n >= 1 && n.is_power_of_two(), "strassen needs a power of two");
+    let mut b = GraphBuilder::new();
+    let a: Vec<u32> = (0..n * n).map(|_| b.add_vertex(OpKind::Input)).collect();
+    let bm: Vec<u32> = (0..n * n).map(|_| b.add_vertex(OpKind::Input)).collect();
+    let c = strassen_rec(&mut b, &a, &bm, n);
+    debug_assert_eq!(c.len(), n * n);
+    b.build().expect("strassen graph is acyclic by construction")
+}
+
+/// A block is a row-major vector of vertex ids.
+type Block = Vec<u32>;
+
+fn quadrant(m: &Block, size: usize, qi: usize, qj: usize) -> Block {
+    let h = size / 2;
+    let mut out = Vec::with_capacity(h * h);
+    for i in 0..h {
+        for j in 0..h {
+            out.push(m[(qi * h + i) * size + (qj * h + j)]);
+        }
+    }
+    out
+}
+
+fn elementwise(b: &mut GraphBuilder, op: OpKind, x: &Block, y: &Block) -> Block {
+    debug_assert_eq!(x.len(), y.len());
+    x.iter()
+        .zip(y.iter())
+        .map(|(&xi, &yi)| {
+            let v = b.add_vertex(op);
+            b.add_edge(xi, v);
+            b.add_edge(yi, v);
+            v
+        })
+        .collect()
+}
+
+/// 4-ary elementwise combination `t1 ± t2 ± t3 ± t4` as a single Sum
+/// vertex per element (signs don't affect the graph).
+fn combine4(b: &mut GraphBuilder, t1: &Block, t2: &Block, t3: &Block, t4: &Block) -> Block {
+    (0..t1.len())
+        .map(|i| {
+            let v = b.add_vertex(OpKind::Sum);
+            b.add_edge(t1[i], v);
+            b.add_edge(t2[i], v);
+            b.add_edge(t3[i], v);
+            b.add_edge(t4[i], v);
+            v
+        })
+        .collect()
+}
+
+fn strassen_rec(b: &mut GraphBuilder, a: &Block, bm: &Block, size: usize) -> Block {
+    if size == 1 {
+        let v = b.add_vertex(OpKind::Mul);
+        b.add_edge(a[0], v);
+        b.add_edge(bm[0], v);
+        return vec![v];
+    }
+    let h = size / 2;
+    let a11 = quadrant(a, size, 0, 0);
+    let a12 = quadrant(a, size, 0, 1);
+    let a21 = quadrant(a, size, 1, 0);
+    let a22 = quadrant(a, size, 1, 1);
+    let b11 = quadrant(bm, size, 0, 0);
+    let b12 = quadrant(bm, size, 0, 1);
+    let b21 = quadrant(bm, size, 1, 0);
+    let b22 = quadrant(bm, size, 1, 1);
+
+    // Strassen's seven products.
+    let s1 = elementwise(b, OpKind::Add, &a11, &a22);
+    let t1 = elementwise(b, OpKind::Add, &b11, &b22);
+    let m1 = strassen_rec(b, &s1, &t1, h);
+
+    let s2 = elementwise(b, OpKind::Add, &a21, &a22);
+    let m2 = strassen_rec(b, &s2, &b11, h);
+
+    let t3 = elementwise(b, OpKind::Sub, &b12, &b22);
+    let m3 = strassen_rec(b, &a11, &t3, h);
+
+    let t4 = elementwise(b, OpKind::Sub, &b21, &b11);
+    let m4 = strassen_rec(b, &a22, &t4, h);
+
+    let s5 = elementwise(b, OpKind::Add, &a11, &a12);
+    let m5 = strassen_rec(b, &s5, &b22, h);
+
+    let s6 = elementwise(b, OpKind::Sub, &a21, &a11);
+    let t6 = elementwise(b, OpKind::Add, &b11, &b12);
+    let m6 = strassen_rec(b, &s6, &t6, h);
+
+    let s7 = elementwise(b, OpKind::Sub, &a12, &a22);
+    let t7 = elementwise(b, OpKind::Add, &b21, &b22);
+    let m7 = strassen_rec(b, &s7, &t7, h);
+
+    // Output quadrants.
+    let c11 = combine4(b, &m1, &m4, &m5, &m7);
+    let c12 = elementwise(b, OpKind::Add, &m3, &m5);
+    let c21 = elementwise(b, OpKind::Add, &m2, &m4);
+    let c22 = combine4(b, &m1, &m2, &m3, &m6);
+
+    // Assemble the full block row-major.
+    let mut out = vec![0u32; size * size];
+    for i in 0..h {
+        for j in 0..h {
+            out[i * size + j] = c11[i * h + j];
+            out[i * size + (j + h)] = c12[i * h + j];
+            out[(i + h) * size + j] = c21[i * h + j];
+            out[(i + h) * size + (j + h)] = c22[i * h + j];
+        }
+    }
+    out
+}
+
+/// Number of non-input vertices the Strassen recursion creates for size
+/// `n`; useful for tests and capacity planning. Satisfies
+/// `V(1) = 1`, `V(n) = 7·V(n/2) + 14·(n/2)²` — per recursion level there
+/// are 10 elementwise pre-additions (the S/T operands of the 7 products)
+/// and 4 output-quadrant combinations, each `(n/2)²` scalar vertices.
+pub fn strassen_internal_vertex_count(n: usize) -> usize {
+    if n == 1 {
+        return 1;
+    }
+    let h = n / 2;
+    7 * strassen_internal_vertex_count(h) + 14 * h * h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_case_is_single_multiply() {
+        let g = strassen_matmul(1);
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.sinks().len(), 1);
+        assert_eq!(g.op(2), OpKind::Mul);
+    }
+
+    #[test]
+    fn vertex_count_matches_recurrence() {
+        for n in [1usize, 2, 4, 8, 16] {
+            let g = strassen_matmul(n);
+            assert_eq!(
+                g.n(),
+                2 * n * n + strassen_internal_vertex_count(n),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn max_in_degree_is_four() {
+        for n in [2usize, 4, 8] {
+            let g = strassen_matmul(n);
+            assert_eq!(g.max_in_degree(), 4, "n={n}");
+        }
+    }
+
+    #[test]
+    fn output_count_is_n_squared() {
+        for n in [2usize, 4] {
+            let g = strassen_matmul(n);
+            assert_eq!(g.sinks().len(), n * n, "n={n}");
+        }
+    }
+
+    #[test]
+    fn two_by_two_structure() {
+        // n=2: 8 inputs; recursion: 7 muls, 10 elementwise pre-adds
+        // (s1,t1,s2,t3,t4,s5,s6,t6,s7,t7), 4 output combinations
+        // (c11, c12, c21, c22 — one scalar each at h=1).
+        // Internal = 10 + 7 + 4 = 21 = V(2).
+        assert_eq!(strassen_internal_vertex_count(2), 21);
+        let g = strassen_matmul(2);
+        assert_eq!(g.n(), 8 + 21);
+        // in-degree-4 vertices are exactly c11 and c22.
+        let quad_ins = (0..g.n()).filter(|&v| g.in_degree(v) == 4).count();
+        assert_eq!(quad_ins, 2);
+    }
+
+    #[test]
+    fn every_output_depends_on_inputs() {
+        let n = 4;
+        let g = strassen_matmul(n);
+        for &s in &g.sinks() {
+            let anc = g.ancestors(s);
+            let inputs = anc.iter().filter(|&&v| v < 2 * n * n).count();
+            // Each C_ij depends on at least one full row of A and column
+            // of B (in fact more for Strassen); sanity-check non-trivial
+            // dependence.
+            assert!(inputs >= 2 * n, "sink {s} depends on {inputs} inputs");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        strassen_matmul(6);
+    }
+}

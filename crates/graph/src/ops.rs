@@ -1,0 +1,98 @@
+//! Operation kinds attached to computation-graph vertices.
+//!
+//! The spectral bound itself is structure-only — it never inspects the
+//! operation — but generators, the tracing frontend, DOT export and the
+//! examples all benefit from knowing what each vertex computes.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What a computation-graph vertex computes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// A program input (always a source vertex).
+    Input,
+    /// Binary addition.
+    Add,
+    /// Binary subtraction.
+    Sub,
+    /// Binary multiplication.
+    Mul,
+    /// Binary division.
+    Div,
+    /// n-ary summation (one vertex accumulating all of its parents).
+    Sum,
+    /// One output of a radix-2 FFT butterfly stage (two operands).
+    Butterfly,
+    /// A Bellman–Held–Karp dynamic-programming table update.
+    BhkUpdate,
+    /// Anything else; the payload is an application-defined tag.
+    Custom(u32),
+}
+
+impl OpKind {
+    /// Short mnemonic used by DOT export and debug output.
+    pub fn mnemonic(&self) -> String {
+        match self {
+            OpKind::Input => "in".to_string(),
+            OpKind::Add => "+".to_string(),
+            OpKind::Sub => "-".to_string(),
+            OpKind::Mul => "*".to_string(),
+            OpKind::Div => "/".to_string(),
+            OpKind::Sum => "Σ".to_string(),
+            OpKind::Butterfly => "bfly".to_string(),
+            OpKind::BhkUpdate => "bhk".to_string(),
+            OpKind::Custom(tag) => format!("op{tag}"),
+        }
+    }
+
+    /// True for vertices that represent program inputs.
+    pub fn is_input(&self) -> bool {
+        matches!(self, OpKind::Input)
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mnemonics_are_distinct_for_basic_ops() {
+        let ops = [
+            OpKind::Input,
+            OpKind::Add,
+            OpKind::Sub,
+            OpKind::Mul,
+            OpKind::Div,
+            OpKind::Sum,
+            OpKind::Butterfly,
+            OpKind::BhkUpdate,
+            OpKind::Custom(7),
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for op in ops {
+            assert!(seen.insert(op.mnemonic()), "duplicate mnemonic for {op:?}");
+        }
+    }
+
+    #[test]
+    fn only_input_is_input() {
+        assert!(OpKind::Input.is_input());
+        assert!(!OpKind::Add.is_input());
+        assert!(!OpKind::Custom(0).is_input());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let op = OpKind::Custom(42);
+        let json = serde_json::to_string(&op).unwrap();
+        let back: OpKind = serde_json::from_str(&json).unwrap();
+        assert_eq!(op, back);
+    }
+}

@@ -1,0 +1,193 @@
+//! Topological evaluation orders.
+//!
+//! The paper's optimization is over all topological orders `X ∈ O_G`
+//! (§3.1). Lower bounds hold for *every* order, so the simulator and the
+//! test suite exercise several deterministic heuristics plus uniform-ish
+//! random orders to probe the bound from above.
+
+use crate::dag::CompGraph;
+use rand::Rng;
+use std::collections::BinaryHeap;
+use std::cmp::Reverse;
+
+/// Kahn's algorithm breaking ties by smallest vertex id — a deterministic
+/// "natural" order (generators emit vertices in a sensible creation order,
+/// so this usually matches the hand-written loop nest).
+pub fn natural_order(g: &CompGraph) -> Vec<usize> {
+    let n = g.n();
+    let mut indeg: Vec<usize> = (0..n).map(|v| g.in_degree(v)).collect();
+    let mut heap: BinaryHeap<Reverse<usize>> = (0..n)
+        .filter(|&v| indeg[v] == 0)
+        .map(Reverse)
+        .collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(Reverse(v)) = heap.pop() {
+        order.push(v);
+        for &c in g.children(v) {
+            let c = c as usize;
+            indeg[c] -= 1;
+            if indeg[c] == 0 {
+                heap.push(Reverse(c));
+            }
+        }
+    }
+    order
+}
+
+/// Depth-first order: finishes one dependency chain before starting the
+/// next. Often far more cache-friendly than breadth-first evaluation, which
+/// makes it a good upper-bound probe for the simulator.
+pub fn dfs_order(g: &CompGraph) -> Vec<usize> {
+    let n = g.n();
+    let mut unmet: Vec<usize> = (0..n).map(|v| g.in_degree(v)).collect();
+    let mut order = Vec::with_capacity(n);
+    let mut stack: Vec<usize> = (0..n).rev().filter(|&v| unmet[v] == 0).collect();
+    while let Some(v) = stack.pop() {
+        order.push(v);
+        // Push children whose dependencies are now met; last child pushed is
+        // explored first, giving the depth-first flavour.
+        for &c in g.children(v) {
+            let c = c as usize;
+            unmet[c] -= 1;
+            if unmet[c] == 0 {
+                stack.push(c);
+            }
+        }
+    }
+    order
+}
+
+/// Breadth-first (level) order: evaluates the whole frontier before
+/// descending — typically the worst reasonable order for locality, useful
+/// as the pessimistic upper-bound probe.
+pub fn bfs_order(g: &CompGraph) -> Vec<usize> {
+    let n = g.n();
+    let mut indeg: Vec<usize> = (0..n).map(|v| g.in_degree(v)).collect();
+    let mut queue: std::collections::VecDeque<usize> =
+        (0..n).filter(|&v| indeg[v] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(v) = queue.pop_front() {
+        order.push(v);
+        for &c in g.children(v) {
+            let c = c as usize;
+            indeg[c] -= 1;
+            if indeg[c] == 0 {
+                queue.push_back(c);
+            }
+        }
+    }
+    order
+}
+
+/// A random topological order: Kahn's algorithm choosing uniformly among
+/// the currently ready vertices. (Not uniform over all linear extensions,
+/// but more than random enough for property tests.)
+pub fn random_order<R: Rng>(g: &CompGraph, rng: &mut R) -> Vec<usize> {
+    let n = g.n();
+    let mut indeg: Vec<usize> = (0..n).map(|v| g.in_degree(v)).collect();
+    let mut ready: Vec<usize> = (0..n).filter(|&v| indeg[v] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while !ready.is_empty() {
+        let pick = rng.gen_range(0..ready.len());
+        let v = ready.swap_remove(pick);
+        order.push(v);
+        for &c in g.children(v) {
+            let c = c as usize;
+            indeg[c] -= 1;
+            if indeg[c] == 0 {
+                ready.push(c);
+            }
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag::GraphBuilder;
+    use crate::ops::OpKind;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn diamond() -> CompGraph {
+        // 0 -> {1, 2} -> 3
+        let mut b = GraphBuilder::new();
+        let v0 = b.add_vertex(OpKind::Input);
+        let v1 = b.add_vertex(OpKind::Add);
+        let v2 = b.add_vertex(OpKind::Add);
+        let v3 = b.add_vertex(OpKind::Add);
+        b.add_edge(v0, v1);
+        b.add_edge(v0, v2);
+        b.add_edge(v1, v3);
+        b.add_edge(v2, v3);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn all_orders_are_topological() {
+        let g = diamond();
+        assert!(g.is_topological(&natural_order(&g)));
+        assert!(g.is_topological(&dfs_order(&g)));
+        assert!(g.is_topological(&bfs_order(&g)));
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..20 {
+            assert!(g.is_topological(&random_order(&g, &mut rng)));
+        }
+    }
+
+    #[test]
+    fn natural_order_breaks_ties_by_id() {
+        let g = diamond();
+        assert_eq!(natural_order(&g), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn dfs_explores_chains_first() {
+        // Two independent chains 0->1->2 and 3->4->5; DFS should complete
+        // one chain before the other.
+        let mut b = GraphBuilder::new();
+        for _ in 0..6 {
+            b.add_vertex(OpKind::Add);
+        }
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(3, 4);
+        b.add_edge(4, 5);
+        let g = b.build().unwrap();
+        let order = dfs_order(&g);
+        assert!(g.is_topological(&order));
+        let pos: Vec<usize> = {
+            let mut p = vec![0; 6];
+            for (i, &v) in order.iter().enumerate() {
+                p[v] = i;
+            }
+            p
+        };
+        // Chain contiguity: positions within each chain are consecutive.
+        assert_eq!(pos[1], pos[0] + 1);
+        assert_eq!(pos[2], pos[0] + 2);
+        assert_eq!(pos[4], pos[3] + 1);
+        assert_eq!(pos[5], pos[3] + 2);
+    }
+
+    #[test]
+    fn random_orders_differ_across_seeds() {
+        // With two independent chains there are many linear extensions;
+        // two different seeds should (almost surely) give different orders.
+        let mut b = GraphBuilder::new();
+        for _ in 0..12 {
+            b.add_vertex(OpKind::Add);
+        }
+        for i in 0..5 {
+            b.add_edge(i, i + 1);
+            b.add_edge(i + 6, i + 7);
+        }
+        let g = b.build().unwrap();
+        let o1 = random_order(&g, &mut StdRng::seed_from_u64(1));
+        let o2 = random_order(&g, &mut StdRng::seed_from_u64(2));
+        assert!(g.is_topological(&o1));
+        assert!(g.is_topological(&o2));
+        assert_ne!(o1, o2);
+    }
+}

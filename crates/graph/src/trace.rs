@@ -1,0 +1,406 @@
+//! The §6.1 "solver": extract a computation graph by tracing an ordinary
+//! program.
+//!
+//! The paper's evaluation harness traces Python arithmetic; the Rust
+//! equivalent is a [`Tracer`] handing out [`Tv`] ("traced value") handles
+//! whose arithmetic operators record one graph vertex per operation.
+//! Custom (n-ary) operations are supported via [`Tracer::custom_op`],
+//! mirroring the paper's "supports the inclusion of custom operations".
+//!
+//! ```
+//! use graphio_graph::trace::Tracer;
+//!
+//! let tracer = Tracer::new();
+//! let x = tracer.inputs(2);
+//! let y = &x[0] * &x[1] + &x[0];
+//! let g = tracer.finish();
+//! assert_eq!(g.n(), 4);           // 2 inputs, 1 mul, 1 add
+//! assert_eq!(g.sinks(), vec![y.id() as usize]);
+//! ```
+
+use crate::dag::{CompGraph, GraphBuilder};
+use crate::ops::OpKind;
+use parking_lot::Mutex;
+use std::ops::{Add, Div, Mul, Sub};
+use std::sync::Arc;
+
+#[derive(Default)]
+struct TraceState {
+    builder: GraphBuilder,
+}
+
+/// Records a computation graph from overloaded arithmetic.
+///
+/// Cloning a `Tracer` yields another handle to the same recording; traced
+/// values keep their tracer alive. Thread-safe (the state sits behind a
+/// `parking_lot::Mutex`), so traced computations may themselves be
+/// parallel.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    state: Arc<Mutex<TraceState>>,
+}
+
+impl Tracer {
+    /// Creates an empty tracer.
+    pub fn new() -> Self {
+        Tracer::default()
+    }
+
+    /// Registers a fresh program input.
+    pub fn input(&self) -> Tv {
+        let id = self.state.lock().builder.add_vertex(OpKind::Input);
+        Tv {
+            id,
+            tracer: self.clone(),
+        }
+    }
+
+    /// Registers `count` fresh inputs.
+    pub fn inputs(&self, count: usize) -> Vec<Tv> {
+        (0..count).map(|_| self.input()).collect()
+    }
+
+    /// Records an n-ary operation consuming `operands`.
+    ///
+    /// # Panics
+    /// Panics if an operand belongs to a different tracer.
+    pub fn custom_op(&self, op: OpKind, operands: &[&Tv]) -> Tv {
+        for t in operands {
+            assert!(
+                Arc::ptr_eq(&self.state, &t.tracer.state),
+                "operand from a different tracer"
+            );
+        }
+        let mut st = self.state.lock();
+        let id = st.builder.add_vertex(op);
+        for t in operands {
+            st.builder.add_edge(t.id, id);
+        }
+        Tv {
+            id,
+            tracer: self.clone(),
+        }
+    }
+
+    /// Number of vertices recorded so far.
+    pub fn recorded_vertices(&self) -> usize {
+        self.state.lock().builder.n()
+    }
+
+    /// Freezes the recording into a [`CompGraph`].
+    ///
+    /// # Panics
+    /// Never in practice: traces are acyclic by construction (every vertex
+    /// only consumes previously created vertices).
+    pub fn finish(self) -> CompGraph {
+        let state = std::mem::take(&mut *self.state.lock());
+        state
+            .builder
+            .build()
+            .expect("a trace is acyclic by construction")
+    }
+}
+
+/// A traced scalar value: a handle to one computation-graph vertex.
+#[derive(Clone)]
+pub struct Tv {
+    id: u32,
+    tracer: Tracer,
+}
+
+impl Tv {
+    /// The vertex id of this value in the final graph.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    fn binary(&self, other: &Tv, op: OpKind) -> Tv {
+        self.tracer.custom_op(op, &[self, other])
+    }
+}
+
+macro_rules! impl_binop {
+    ($trait:ident, $method:ident, $op:expr) => {
+        impl $trait for &Tv {
+            type Output = Tv;
+            fn $method(self, rhs: &Tv) -> Tv {
+                self.binary(rhs, $op)
+            }
+        }
+        impl $trait<Tv> for Tv {
+            type Output = Tv;
+            fn $method(self, rhs: Tv) -> Tv {
+                self.binary(&rhs, $op)
+            }
+        }
+        impl $trait<&Tv> for Tv {
+            type Output = Tv;
+            fn $method(self, rhs: &Tv) -> Tv {
+                self.binary(rhs, $op)
+            }
+        }
+        impl $trait<Tv> for &Tv {
+            type Output = Tv;
+            fn $method(self, rhs: Tv) -> Tv {
+                self.binary(&rhs, $op)
+            }
+        }
+    };
+}
+
+impl_binop!(Add, add, OpKind::Add);
+impl_binop!(Sub, sub, OpKind::Sub);
+impl_binop!(Mul, mul, OpKind::Mul);
+impl_binop!(Div, div, OpKind::Div);
+
+/// Traces the inner product of two `k`-vectors with an n-ary sum —
+/// produces exactly [`crate::generators::inner_product`]'s graph.
+pub fn trace_inner_product(k: usize) -> CompGraph {
+    let tracer = Tracer::new();
+    let xs = tracer.inputs(k);
+    let ys = tracer.inputs(k);
+    let prods: Vec<Tv> = xs.iter().zip(ys.iter()).map(|(x, y)| x * y).collect();
+    let refs: Vec<&Tv> = prods.iter().collect();
+    let _sum = tracer.custom_op(OpKind::Sum, &refs);
+    tracer.finish()
+}
+
+/// Traces an iterative radix-2 FFT over `2^l` traced inputs; each stage
+/// output is one two-operand [`OpKind::Butterfly`] vertex, so the result is
+/// exactly [`crate::generators::fft_butterfly`]'s graph.
+pub fn trace_fft(l: usize) -> CompGraph {
+    let tracer = Tracer::new();
+    let rows = 1usize << l;
+    let mut layer = tracer.inputs(rows);
+    for t in 0..l {
+        let span = 1usize << t;
+        let mut next = Vec::with_capacity(rows);
+        for r in 0..rows {
+            // Output r of this stage combines rows r and r ^ span.
+            let a = &layer[r];
+            let b = &layer[r ^ span];
+            next.push(tracer.custom_op(OpKind::Butterfly, &[a, b]));
+        }
+        layer = next;
+    }
+    drop(layer);
+    tracer.finish()
+}
+
+/// Traces naive `n × n` matrix multiplication with n-ary output sums —
+/// produces exactly [`crate::generators::naive_matmul`]'s graph.
+pub fn trace_naive_matmul(n: usize) -> CompGraph {
+    let tracer = Tracer::new();
+    let a = tracer.inputs(n * n);
+    let b = tracer.inputs(n * n);
+    for i in 0..n {
+        for j in 0..n {
+            let prods: Vec<Tv> = (0..n).map(|k| &a[i * n + k] * &b[k * n + j]).collect();
+            let refs: Vec<&Tv> = prods.iter().collect();
+            let _cij = tracer.custom_op(OpKind::Sum, &refs);
+        }
+    }
+    tracer.finish()
+}
+
+/// Traces Strassen's recursive matrix multiplication written naturally
+/// over traced values — produces exactly
+/// [`crate::generators::strassen_matmul`]'s graph (same op order, same
+/// 4-ary output combinations).
+///
+/// # Panics
+/// Panics unless `n` is a positive power of two.
+pub fn trace_strassen(n: usize) -> CompGraph {
+    assert!(n >= 1 && n.is_power_of_two(), "strassen needs a power of two");
+    let tracer = Tracer::new();
+    let a = tracer.inputs(n * n);
+    let b = tracer.inputs(n * n);
+    let _c = strassen_rec_traced(&tracer, &a, &b, n);
+    tracer.finish()
+}
+
+fn quadrant_traced(m: &[Tv], size: usize, qi: usize, qj: usize) -> Vec<Tv> {
+    let h = size / 2;
+    let mut out = Vec::with_capacity(h * h);
+    for i in 0..h {
+        for j in 0..h {
+            out.push(m[(qi * h + i) * size + (qj * h + j)].clone());
+        }
+    }
+    out
+}
+
+fn elementwise_traced(op: OpKind, x: &[Tv], y: &[Tv], tracer: &Tracer) -> Vec<Tv> {
+    x.iter()
+        .zip(y.iter())
+        .map(|(a, b)| tracer.custom_op(op, &[a, b]))
+        .collect()
+}
+
+fn combine4_traced(tracer: &Tracer, t1: &[Tv], t2: &[Tv], t3: &[Tv], t4: &[Tv]) -> Vec<Tv> {
+    (0..t1.len())
+        .map(|i| tracer.custom_op(OpKind::Sum, &[&t1[i], &t2[i], &t3[i], &t4[i]]))
+        .collect()
+}
+
+fn strassen_rec_traced(tracer: &Tracer, a: &[Tv], b: &[Tv], size: usize) -> Vec<Tv> {
+    if size == 1 {
+        return vec![&a[0] * &b[0]];
+    }
+    let h = size / 2;
+    let a11 = quadrant_traced(a, size, 0, 0);
+    let a12 = quadrant_traced(a, size, 0, 1);
+    let a21 = quadrant_traced(a, size, 1, 0);
+    let a22 = quadrant_traced(a, size, 1, 1);
+    let b11 = quadrant_traced(b, size, 0, 0);
+    let b12 = quadrant_traced(b, size, 0, 1);
+    let b21 = quadrant_traced(b, size, 1, 0);
+    let b22 = quadrant_traced(b, size, 1, 1);
+
+    let s1 = elementwise_traced(OpKind::Add, &a11, &a22, tracer);
+    let t1 = elementwise_traced(OpKind::Add, &b11, &b22, tracer);
+    let m1 = strassen_rec_traced(tracer, &s1, &t1, h);
+
+    let s2 = elementwise_traced(OpKind::Add, &a21, &a22, tracer);
+    let m2 = strassen_rec_traced(tracer, &s2, &b11, h);
+
+    let t3 = elementwise_traced(OpKind::Sub, &b12, &b22, tracer);
+    let m3 = strassen_rec_traced(tracer, &a11, &t3, h);
+
+    let t4 = elementwise_traced(OpKind::Sub, &b21, &b11, tracer);
+    let m4 = strassen_rec_traced(tracer, &a22, &t4, h);
+
+    let s5 = elementwise_traced(OpKind::Add, &a11, &a12, tracer);
+    let m5 = strassen_rec_traced(tracer, &s5, &b22, h);
+
+    let s6 = elementwise_traced(OpKind::Sub, &a21, &a11, tracer);
+    let t6 = elementwise_traced(OpKind::Add, &b11, &b12, tracer);
+    let m6 = strassen_rec_traced(tracer, &s6, &t6, h);
+
+    let s7 = elementwise_traced(OpKind::Sub, &a12, &a22, tracer);
+    let t7 = elementwise_traced(OpKind::Add, &b21, &b22, tracer);
+    let m7 = strassen_rec_traced(tracer, &s7, &t7, h);
+
+    let c11 = combine4_traced(tracer, &m1, &m4, &m5, &m7);
+    let c12 = elementwise_traced(OpKind::Add, &m3, &m5, tracer);
+    let c21 = elementwise_traced(OpKind::Add, &m2, &m4, tracer);
+    let c22 = combine4_traced(tracer, &m1, &m2, &m3, &m6);
+
+    let mut out = vec![None; size * size];
+    for i in 0..h {
+        for j in 0..h {
+            out[i * size + j] = Some(c11[i * h + j].clone());
+            out[i * size + (j + h)] = Some(c12[i * h + j].clone());
+            out[(i + h) * size + j] = Some(c21[i * h + j].clone());
+            out[(i + h) * size + (j + h)] = Some(c22[i * h + j].clone());
+        }
+    }
+    out.into_iter().map(|v| v.expect("all cells filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{fft_butterfly, inner_product, naive_matmul};
+
+    /// Structural equality: same vertex count, ops, and (sorted) parent
+    /// lists — sufficient because both constructions emit vertices in the
+    /// same creation order.
+    fn assert_same_graph(a: &CompGraph, b: &CompGraph) {
+        assert_eq!(a.n(), b.n(), "vertex count");
+        assert_eq!(a.num_edges(), b.num_edges(), "edge count");
+        for v in 0..a.n() {
+            assert_eq!(a.op(v), b.op(v), "op at {v}");
+            let mut pa: Vec<u32> = a.parents(v).to_vec();
+            let mut pb: Vec<u32> = b.parents(v).to_vec();
+            pa.sort_unstable();
+            pb.sort_unstable();
+            assert_eq!(pa, pb, "parents of {v}");
+        }
+    }
+
+    #[test]
+    fn operators_record_vertices() {
+        let tracer = Tracer::new();
+        let x = tracer.inputs(2);
+        let sum = &x[0] + &x[1];
+        let prod = &x[0] * &x[1];
+        let diff = sum - prod;
+        let quot = &diff / &x[1];
+        assert_eq!(quot.id(), 5);
+        let g = tracer.finish();
+        assert_eq!(g.n(), 6);
+        assert_eq!(g.op(2), OpKind::Add);
+        assert_eq!(g.op(3), OpKind::Mul);
+        assert_eq!(g.op(4), OpKind::Sub);
+        assert_eq!(g.op(5), OpKind::Div);
+        assert_eq!(g.parents(4), &[2, 3]);
+    }
+
+    #[test]
+    fn squaring_records_parallel_edges() {
+        let tracer = Tracer::new();
+        let x = tracer.input();
+        let _sq = &x * &x;
+        let g = tracer.finish();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.in_degree(1), 2);
+    }
+
+    #[test]
+    fn traced_inner_product_matches_generator() {
+        for k in [1usize, 2, 5] {
+            assert_same_graph(&trace_inner_product(k), &inner_product(k));
+        }
+    }
+
+    #[test]
+    fn traced_fft_matches_generator() {
+        for l in 0..5 {
+            assert_same_graph(&trace_fft(l), &fft_butterfly(l));
+        }
+    }
+
+    #[test]
+    fn traced_matmul_matches_generator() {
+        for n in [1usize, 2, 3] {
+            assert_same_graph(&trace_naive_matmul(n), &naive_matmul(n));
+        }
+    }
+
+    #[test]
+    fn traced_strassen_matches_generator() {
+        use crate::generators::strassen_matmul;
+        for n in [1usize, 2, 4] {
+            assert_same_graph(&trace_strassen(n), &strassen_matmul(n));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different tracer")]
+    fn mixing_tracers_panics() {
+        let t1 = Tracer::new();
+        let t2 = Tracer::new();
+        let a = t1.input();
+        let b = t2.input();
+        let _ = &a + &b;
+    }
+
+    #[test]
+    fn tracer_is_shareable_across_threads() {
+        let tracer = Tracer::new();
+        let xs = tracer.inputs(8);
+        std::thread::scope(|s| {
+            for chunk in xs.chunks(2) {
+                let a = chunk[0].clone();
+                let b = chunk[1].clone();
+                s.spawn(move || {
+                    let _ = &a + &b;
+                });
+            }
+        });
+        let g = tracer.finish();
+        assert_eq!(g.n(), 12);
+        assert_eq!(g.sinks().len(), 4);
+    }
+}

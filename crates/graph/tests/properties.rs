@@ -1,0 +1,139 @@
+//! Property-based tests for computation-graph invariants.
+
+use graphio_graph::generators::{
+    bhk_hypercube, binary_reduction_tree, diamond_dag, erdos_renyi_dag, fft_butterfly,
+    inner_product, layered_random_dag, naive_matmul, naive_matmul_binary_tree,
+    strassen_matmul,
+};
+use graphio_graph::topo::{bfs_order, dfs_order, natural_order, random_order};
+use graphio_graph::{CompGraph, EdgeListGraph, GraphBuilder, OpKind};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A strategy generating one graph from every family at a random small
+/// size, so each property sweeps the whole generator zoo.
+fn any_generated_graph() -> impl Strategy<Value = CompGraph> {
+    (0usize..10, 0u64..1000).prop_map(|(which, seed)| match which {
+        0 => fft_butterfly(1 + (seed as usize % 5)),
+        1 => bhk_hypercube(1 + (seed as usize % 6)),
+        2 => naive_matmul(1 + (seed as usize % 4)),
+        3 => naive_matmul_binary_tree(1 + (seed as usize % 4)),
+        4 => strassen_matmul(1 << (seed as usize % 3)),
+        5 => inner_product(1 + (seed as usize % 8)),
+        6 => diamond_dag(1 + (seed as usize % 5), 1 + (seed as usize / 7 % 5)),
+        7 => binary_reduction_tree(seed as usize % 6),
+        8 => erdos_renyi_dag(2 + (seed as usize % 30), 0.3, seed),
+        _ => layered_random_dag(1 + (seed as usize % 4), 1 + (seed as usize % 6), 0.5, seed),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn all_topological_order_heuristics_are_valid(g in any_generated_graph(), seed in 0u64..100) {
+        prop_assert!(g.is_topological(&natural_order(&g)));
+        prop_assert!(g.is_topological(&dfs_order(&g)));
+        prop_assert!(g.is_topological(&bfs_order(&g)));
+        let mut rng = StdRng::seed_from_u64(seed);
+        prop_assert!(g.is_topological(&random_order(&g, &mut rng)));
+    }
+
+    #[test]
+    fn degree_sums_equal_edge_count(g in any_generated_graph()) {
+        let in_sum: usize = (0..g.n()).map(|v| g.in_degree(v)).sum();
+        let out_sum: usize = (0..g.n()).map(|v| g.out_degree(v)).sum();
+        prop_assert_eq!(in_sum, g.num_edges());
+        prop_assert_eq!(out_sum, g.num_edges());
+    }
+
+    #[test]
+    fn sources_are_inputs_with_no_parents(g in any_generated_graph()) {
+        for v in g.sources() {
+            prop_assert!(g.parents(v).is_empty());
+            prop_assert_eq!(g.in_degree(v), 0);
+        }
+        for v in g.sinks() {
+            prop_assert!(g.children(v).is_empty());
+        }
+    }
+
+    #[test]
+    fn adjacency_is_mutually_consistent(g in any_generated_graph()) {
+        // u lists v as child exactly as often as v lists u as parent.
+        for u in 0..g.n() {
+            for &v in g.children(u) {
+                let forward = g.children(u).iter().filter(|&&w| w == v).count();
+                let backward = g.parents(v as usize).iter().filter(|&&w| w as usize == u).count();
+                prop_assert_eq!(forward, backward);
+            }
+        }
+    }
+
+    #[test]
+    fn edge_list_roundtrip_preserves_structure(g in any_generated_graph()) {
+        let el = g.to_edge_list();
+        let back = CompGraph::try_from(el).unwrap();
+        prop_assert_eq!(g.n(), back.n());
+        prop_assert_eq!(g.num_edges(), back.num_edges());
+        for v in 0..g.n() {
+            let mut a: Vec<u32> = g.parents(v).to_vec();
+            let mut b: Vec<u32> = back.parents(v).to_vec();
+            a.sort_unstable();
+            b.sort_unstable();
+            prop_assert_eq!(a, b);
+            prop_assert_eq!(g.op(v), back.op(v));
+        }
+    }
+
+    #[test]
+    fn ancestors_and_descendants_are_dual(g in any_generated_graph(), pick in 0usize..64) {
+        if g.n() == 0 {
+            return Ok(());
+        }
+        let v = pick % g.n();
+        for &a in g.ancestors(v).iter() {
+            prop_assert!(g.descendants(a).contains(&v), "v={v} a={a}");
+        }
+        for &d in g.descendants(v).iter() {
+            prop_assert!(g.ancestors(d).contains(&v), "v={v} d={d}");
+        }
+    }
+
+    #[test]
+    fn serde_json_roundtrip(g in any_generated_graph()) {
+        let el = g.to_edge_list();
+        let json = serde_json::to_string(&el).unwrap();
+        let back: EdgeListGraph = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(el, back);
+    }
+
+    #[test]
+    fn builder_detects_injected_cycles(
+        n in 2usize..10,
+        edges in proptest::collection::vec((0usize..10, 0usize..10), 1..20),
+    ) {
+        // Take a DAG orientation (low -> high), then close a cycle.
+        let mut b = GraphBuilder::new();
+        for _ in 0..n {
+            b.add_vertex(OpKind::Add);
+        }
+        let mut has_forward = false;
+        for (u, v) in edges {
+            let (u, v) = (u % n, v % n);
+            if u < v {
+                b.add_edge(u as u32, v as u32);
+                has_forward = true;
+            }
+        }
+        if !has_forward {
+            b.add_edge(0, (n - 1) as u32);
+        }
+        // Find some edge (u, v) and add the reverse path v -> u making a
+        // 2-cycle at the graph level.
+        b.add_edge((n - 1) as u32, 0);
+        b.add_edge(0, (n - 1) as u32);
+        prop_assert!(b.build().is_err());
+    }
+}

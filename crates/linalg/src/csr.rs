@@ -1,0 +1,364 @@
+//! Compressed sparse row (CSR) storage for symmetric matrices.
+//!
+//! Graph Laplacians are sparse (`nnz = n + 2|E|`), so the Lanczos path
+//! operates on CSR. Mat-vec is provided both serially and in parallel via
+//! `crossbeam` scoped threads over row chunks (the offline dependency set
+//! has no `rayon`; chunked scoped threads are the idiomatic substitute).
+
+use crate::dense::DenseMatrix;
+use crate::error::LinalgError;
+use crate::Result;
+
+/// Below this work estimate (rows × average nnz) the parallel mat-vec falls
+/// back to the serial kernel — thread spawn costs dominate otherwise.
+const PARALLEL_WORK_THRESHOLD: usize = 1 << 16;
+
+/// A square sparse matrix in CSR format.
+///
+/// The structure does not enforce symmetry, but all producers in `graphio`
+/// build symmetric matrices and [`CsrMatrix::is_symmetric`] lets tests
+/// verify it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    n: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds an `n × n` matrix from `(row, col, value)` triplets.
+    /// Duplicate coordinates are summed; explicit zeros are dropped.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::InvalidInput`] if an index is out of range.
+    pub fn from_triplets(n: usize, triplets: &[(usize, usize, f64)]) -> Result<Self> {
+        for &(r, c, _) in triplets {
+            if r >= n || c >= n {
+                return Err(LinalgError::InvalidInput(format!(
+                    "triplet ({r},{c}) out of range for n={n}"
+                )));
+            }
+        }
+        // Counting sort by row, then sort each row's slice by column and
+        // accumulate duplicates.
+        let mut counts = vec![0usize; n + 1];
+        for &(r, _, _) in triplets {
+            counts[r + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let mut cols = vec![0u32; triplets.len()];
+        let mut vals = vec![0.0f64; triplets.len()];
+        let mut cursor = counts.clone();
+        for &(r, c, v) in triplets {
+            let slot = cursor[r];
+            cols[slot] = c as u32;
+            vals[slot] = v;
+            cursor[r] += 1;
+        }
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        let mut out_cols: Vec<u32> = Vec::with_capacity(triplets.len());
+        let mut out_vals: Vec<f64> = Vec::with_capacity(triplets.len());
+        row_ptr.push(0);
+        let mut scratch: Vec<(u32, f64)> = Vec::new();
+        for r in 0..n {
+            scratch.clear();
+            scratch.extend(
+                cols[counts[r]..counts[r + 1]]
+                    .iter()
+                    .copied()
+                    .zip(vals[counts[r]..counts[r + 1]].iter().copied()),
+            );
+            scratch.sort_unstable_by_key(|&(c, _)| c);
+            let mut i = 0;
+            while i < scratch.len() {
+                let c = scratch[i].0;
+                let mut acc = 0.0;
+                while i < scratch.len() && scratch[i].0 == c {
+                    acc += scratch[i].1;
+                    i += 1;
+                }
+                if acc != 0.0 {
+                    out_cols.push(c);
+                    out_vals.push(acc);
+                }
+            }
+            row_ptr.push(out_cols.len());
+        }
+        Ok(CsrMatrix {
+            n,
+            row_ptr,
+            col_idx: out_cols,
+            values: out_vals,
+        })
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored (structurally non-zero) entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `(columns, values)` of row `i`.
+    pub fn row(&self, i: usize) -> (&[u32], &[f64]) {
+        let range = self.row_ptr[i]..self.row_ptr[i + 1];
+        (&self.col_idx[range.clone()], &self.values[range])
+    }
+
+    /// Entry `(i, j)`, or `0.0` if not stored.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        let (cols, vals) = self.row(i);
+        match cols.binary_search(&(j as u32)) {
+            Ok(pos) => vals[pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Serial mat-vec `y = A x`.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn matvec(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n, "matvec: x length mismatch");
+        assert_eq!(y.len(), self.n, "matvec: y length mismatch");
+        for (i, yi) in y.iter_mut().enumerate() {
+            let (cols, vals) = self.row(i);
+            let mut acc = 0.0;
+            for (c, v) in cols.iter().zip(vals.iter()) {
+                acc += v * x[*c as usize];
+            }
+            *yi = acc;
+        }
+    }
+
+    /// Parallel mat-vec `y = A x` over row chunks using crossbeam scoped
+    /// threads. Falls back to the serial kernel for small matrices.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn matvec_parallel(&self, x: &[f64], y: &mut [f64], threads: usize) {
+        assert_eq!(x.len(), self.n, "matvec_parallel: x length mismatch");
+        assert_eq!(y.len(), self.n, "matvec_parallel: y length mismatch");
+        let threads = threads.max(1);
+        if threads == 1 || self.nnz() < PARALLEL_WORK_THRESHOLD || self.n < threads {
+            self.matvec(x, y);
+            return;
+        }
+        let chunk = self.n.div_ceil(threads);
+        crossbeam::thread::scope(|s| {
+            for (t, y_chunk) in y.chunks_mut(chunk).enumerate() {
+                let start = t * chunk;
+                s.spawn(move |_| {
+                    for (offset, yi) in y_chunk.iter_mut().enumerate() {
+                        let i = start + offset;
+                        let (cols, vals) = self.row(i);
+                        let mut acc = 0.0;
+                        for (c, v) in cols.iter().zip(vals.iter()) {
+                            acc += v * x[*c as usize];
+                        }
+                        *yi = acc;
+                    }
+                });
+            }
+        })
+        .expect("matvec_parallel: worker thread panicked");
+    }
+
+    /// Upper bound on the largest eigenvalue by the Gershgorin circle
+    /// theorem: `max_i Σ_j |a_ij| + a_ii - |a_ii|` simplifies to
+    /// `max_i (a_ii + Σ_{j≠i} |a_ij|)` for real symmetric matrices.
+    pub fn gershgorin_upper_bound(&self) -> f64 {
+        let mut bound = 0.0f64;
+        for i in 0..self.n {
+            let (cols, vals) = self.row(i);
+            let mut center = 0.0;
+            let mut radius = 0.0;
+            for (c, v) in cols.iter().zip(vals.iter()) {
+                if *c as usize == i {
+                    center = *v;
+                } else {
+                    radius += v.abs();
+                }
+            }
+            bound = bound.max(center + radius);
+        }
+        bound
+    }
+
+    /// Sum of diagonal entries.
+    pub fn trace(&self) -> f64 {
+        (0..self.n).map(|i| self.get(i, i)).sum()
+    }
+
+    /// Exact symmetry check (structural and numerical, up to `tol`).
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        for i in 0..self.n {
+            let (cols, vals) = self.row(i);
+            for (c, v) in cols.iter().zip(vals.iter()) {
+                if (self.get(*c as usize, i) - v).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Dense copy (test/diagnostic use; O(n²) memory).
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut m = DenseMatrix::zeros(self.n, self.n);
+        for i in 0..self.n {
+            let (cols, vals) = self.row(i);
+            for (c, v) in cols.iter().zip(vals.iter()) {
+                m[(i, *c as usize)] += v;
+            }
+        }
+        m
+    }
+
+    /// Quadratic form `xᵀ A x`.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != n`.
+    pub fn quadratic_form(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.n, "quadratic_form: x length mismatch");
+        let mut acc = 0.0;
+        for i in 0..self.n {
+            let (cols, vals) = self.row(i);
+            let mut row_dot = 0.0;
+            for (c, v) in cols.iter().zip(vals.iter()) {
+                row_dot += v * x[*c as usize];
+            }
+            acc += x[i] * row_dot;
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CsrMatrix {
+        // [[2, -1, 0], [-1, 2, -1], [0, -1, 2]]
+        CsrMatrix::from_triplets(
+            3,
+            &[
+                (0, 0, 2.0),
+                (0, 1, -1.0),
+                (1, 0, -1.0),
+                (1, 1, 2.0),
+                (1, 2, -1.0),
+                (2, 1, -1.0),
+                (2, 2, 2.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn from_triplets_sorts_and_accumulates() {
+        let m = CsrMatrix::from_triplets(2, &[(0, 1, 1.0), (0, 0, 5.0), (0, 1, 2.0)]).unwrap();
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.get(0, 0), 5.0);
+        assert_eq!(m.get(0, 1), 3.0);
+        assert_eq!(m.get(1, 1), 0.0);
+    }
+
+    #[test]
+    fn explicit_zeros_dropped() {
+        let m = CsrMatrix::from_triplets(2, &[(0, 1, 1.0), (0, 1, -1.0)]).unwrap();
+        assert_eq!(m.nnz(), 0);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        assert!(matches!(
+            CsrMatrix::from_triplets(2, &[(2, 0, 1.0)]),
+            Err(LinalgError::InvalidInput(_))
+        ));
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let m = small();
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [0.0; 3];
+        m.matvec(&x, &mut y);
+        assert_eq!(y, [0.0, 0.0, 4.0]);
+        let mut y2 = [0.0; 3];
+        m.to_dense().matvec(&x, &mut y2);
+        assert_eq!(y, y2);
+    }
+
+    #[test]
+    fn parallel_matvec_matches_serial() {
+        // Build a matrix large enough to engage the parallel path.
+        let n = 2000;
+        let mut trips = Vec::new();
+        for i in 0..n {
+            trips.push((i, i, 2.0));
+            if i + 1 < n {
+                trips.push((i, i + 1, -1.0));
+                trips.push((i + 1, i, -1.0));
+            }
+            // widen the band so nnz crosses the threshold
+            for w in 2..40 {
+                if i + w < n {
+                    trips.push((i, i + w, 0.001 * w as f64));
+                    trips.push((i + w, i, 0.001 * w as f64));
+                }
+            }
+        }
+        let m = CsrMatrix::from_triplets(n, &trips).unwrap();
+        assert!(m.nnz() >= PARALLEL_WORK_THRESHOLD);
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let mut y1 = vec![0.0; n];
+        let mut y2 = vec![0.0; n];
+        m.matvec(&x, &mut y1);
+        m.matvec_parallel(&x, &mut y2, 4);
+        assert!(crate::vecops::max_abs_diff(&y1, &y2) < 1e-12);
+    }
+
+    #[test]
+    fn gershgorin_bounds_largest_eigenvalue() {
+        let m = small();
+        // Path Laplacian-like matrix: largest eigenvalue 2 + sqrt(2) < 4.
+        assert_eq!(m.gershgorin_upper_bound(), 4.0);
+        let vals = crate::symeig::eigenvalues_symmetric(&m.to_dense()).unwrap();
+        assert!(vals[2] <= m.gershgorin_upper_bound() + 1e-12);
+    }
+
+    #[test]
+    fn symmetry_detection() {
+        assert!(small().is_symmetric(0.0));
+        let asym = CsrMatrix::from_triplets(2, &[(0, 1, 1.0)]).unwrap();
+        assert!(!asym.is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn quadratic_form_matches_dense() {
+        let m = small();
+        let x = [1.0, -1.0, 0.5];
+        assert!((m.quadratic_form(&x) - m.to_dense().quadratic_form(&x)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trace_of_small() {
+        assert_eq!(small().trace(), 6.0);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = CsrMatrix::from_triplets(0, &[]).unwrap();
+        assert_eq!(m.dim(), 0);
+        assert_eq!(m.nnz(), 0);
+        let mut y: [f64; 0] = [];
+        m.matvec(&[], &mut y);
+    }
+}

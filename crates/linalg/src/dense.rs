@@ -1,0 +1,361 @@
+//! Row-major dense matrices.
+//!
+//! Dense storage is used for the exact O(n³) eigensolver path (graphs up to
+//! a few thousand vertices) and for the small matrices appearing in tests of
+//! the quadratic-assignment trace inequality behind Theorem 4.
+
+use crate::error::LinalgError;
+use crate::Result;
+use std::ops::{Index, IndexMut};
+
+/// A row-major dense `rows × cols` matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Creates a zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        DenseMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from a row-major data vector.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::DimensionMismatch`] if `data.len() != rows*cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(LinalgError::DimensionMismatch {
+                expected: rows * cols,
+                actual: data.len(),
+            });
+        }
+        Ok(DenseMatrix { rows, cols, data })
+    }
+
+    /// Builds a matrix from nested row slices (convenient in tests).
+    ///
+    /// # Panics
+    /// Panics if rows have inconsistent lengths.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "from_rows: ragged rows");
+            data.extend_from_slice(row);
+        }
+        DenseMatrix { rows: r, cols: c, data }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns `true` if the matrix is square.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Immutable view of the underlying row-major data.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying row-major data.
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Immutable view of row `i`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable view of row `i`.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Matrix–vector product `y = A x`.
+    ///
+    /// # Panics
+    /// Panics if dimensions are incompatible.
+    pub fn matvec(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "matvec: x length mismatch");
+        assert_eq!(y.len(), self.rows, "matvec: y length mismatch");
+        for (i, yi) in y.iter_mut().enumerate() {
+            *yi = crate::vecops::dot(self.row(i), x);
+        }
+    }
+
+    /// Matrix product `A · B`.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::DimensionMismatch`] on incompatible shapes.
+    pub fn matmul(&self, other: &DenseMatrix) -> Result<DenseMatrix> {
+        if self.cols != other.rows {
+            return Err(LinalgError::DimensionMismatch {
+                expected: self.cols,
+                actual: other.rows,
+            });
+        }
+        let mut out = DenseMatrix::zeros(self.rows, other.cols);
+        // i-k-j loop order keeps the inner loop contiguous in both B and C.
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self[(i, k)];
+                if aik == 0.0 {
+                    continue;
+                }
+                let brow = other.row(k);
+                let crow = out.row_mut(i);
+                for (cij, bkj) in crow.iter_mut().zip(brow.iter()) {
+                    *cij += aik * bkj;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Sum of diagonal entries.
+    ///
+    /// # Panics
+    /// Panics if the matrix is not square.
+    pub fn trace(&self) -> f64 {
+        assert!(self.is_square(), "trace of a non-square matrix");
+        (0..self.rows).map(|i| self[(i, i)]).sum()
+    }
+
+    /// Checks symmetry up to absolute tolerance `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        self.symmetry_violation().is_none_or_below(tol)
+    }
+
+    /// Returns the first `(i, j, |a_ij − a_ji|)` violating symmetry most, if any.
+    fn symmetry_violation(&self) -> SymmetryCheck {
+        if !self.is_square() {
+            return SymmetryCheck::NotSquare;
+        }
+        let mut worst = 0.0;
+        let mut at = (0, 0);
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                let d = (self[(i, j)] - self[(j, i)]).abs();
+                if d > worst {
+                    worst = d;
+                    at = (i, j);
+                }
+            }
+        }
+        SymmetryCheck::Worst { at, violation: worst }
+    }
+
+    /// Validates that the matrix is square and symmetric.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::NotSquare`] or [`LinalgError::NotSymmetric`].
+    pub fn require_symmetric(&self, tol: f64) -> Result<()> {
+        match self.symmetry_violation() {
+            SymmetryCheck::NotSquare => Err(LinalgError::NotSquare {
+                rows: self.rows,
+                cols: self.cols,
+            }),
+            SymmetryCheck::Worst { at, violation } if violation > tol => {
+                Err(LinalgError::NotSymmetric { row: at.0, col: at.1 })
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Elementwise maximum absolute difference to another matrix.
+    ///
+    /// # Panics
+    /// Panics if shapes differ.
+    pub fn max_abs_diff(&self, other: &DenseMatrix) -> f64 {
+        assert_eq!(self.rows, other.rows, "max_abs_diff: row mismatch");
+        assert_eq!(self.cols, other.cols, "max_abs_diff: col mismatch");
+        crate::vecops::max_abs_diff(&self.data, &other.data)
+    }
+
+    /// Quadratic form `xᵀ A x`.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != n` for a square `n × n` matrix.
+    pub fn quadratic_form(&self, x: &[f64]) -> f64 {
+        assert!(self.is_square(), "quadratic_form of a non-square matrix");
+        assert_eq!(x.len(), self.rows, "quadratic_form: x length mismatch");
+        let mut acc = 0.0;
+        for i in 0..self.rows {
+            acc += x[i] * crate::vecops::dot(self.row(i), x);
+        }
+        acc
+    }
+}
+
+enum SymmetryCheck {
+    NotSquare,
+    Worst { at: (usize, usize), violation: f64 },
+}
+
+impl SymmetryCheck {
+    fn is_none_or_below(&self, tol: f64) -> bool {
+        match self {
+            SymmetryCheck::NotSquare => false,
+            SymmetryCheck::Worst { violation, .. } => *violation <= tol,
+        }
+    }
+}
+
+impl Index<(usize, usize)> for DenseMatrix {
+    type Output = f64;
+
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for DenseMatrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_identity() {
+        let z = DenseMatrix::zeros(2, 3);
+        assert_eq!(z.nrows(), 2);
+        assert_eq!(z.ncols(), 3);
+        assert!(z.data().iter().all(|&v| v == 0.0));
+        let i = DenseMatrix::identity(3);
+        assert_eq!(i.trace(), 3.0);
+        assert_eq!(i[(0, 1)], 0.0);
+        assert_eq!(i[(2, 2)], 1.0);
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(DenseMatrix::from_vec(2, 2, vec![1.0; 4]).is_ok());
+        assert_eq!(
+            DenseMatrix::from_vec(2, 2, vec![1.0; 3]).unwrap_err(),
+            LinalgError::DimensionMismatch {
+                expected: 4,
+                actual: 3
+            }
+        );
+    }
+
+    #[test]
+    fn matvec_matches_by_hand() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let mut y = vec![0.0; 2];
+        a.matvec(&[1.0, 1.0], &mut y);
+        assert_eq!(y, vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn matmul_matches_by_hand() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = DenseMatrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c, DenseMatrix::from_rows(&[&[2.0, 1.0], &[4.0, 3.0]]));
+    }
+
+    #[test]
+    fn matmul_dimension_error() {
+        let a = DenseMatrix::zeros(2, 3);
+        let b = DenseMatrix::zeros(2, 3);
+        assert!(matches!(
+            a.matmul(&b),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let t = a.transpose();
+        assert_eq!(t.nrows(), 3);
+        assert_eq!(t[(2, 1)], 6.0);
+        assert_eq!(t.transpose(), a);
+    }
+
+    #[test]
+    fn symmetry_checks() {
+        let s = DenseMatrix::from_rows(&[&[2.0, -1.0], &[-1.0, 2.0]]);
+        assert!(s.is_symmetric(0.0));
+        s.require_symmetric(0.0).unwrap();
+        let a = DenseMatrix::from_rows(&[&[0.0, 1.0], &[0.0, 0.0]]);
+        assert!(!a.is_symmetric(1e-12));
+        assert_eq!(
+            a.require_symmetric(1e-12).unwrap_err(),
+            LinalgError::NotSymmetric { row: 0, col: 1 }
+        );
+        let r = DenseMatrix::zeros(2, 3);
+        assert!(matches!(
+            r.require_symmetric(0.0),
+            Err(LinalgError::NotSquare { rows: 2, cols: 3 })
+        ));
+    }
+
+    #[test]
+    fn quadratic_form_matches_laplacian_cut() {
+        // Path graph 0-1-2 Laplacian; x = indicator of {0}: xᵀLx = cut = 1.
+        let l = DenseMatrix::from_rows(&[
+            &[1.0, -1.0, 0.0],
+            &[-1.0, 2.0, -1.0],
+            &[0.0, -1.0, 1.0],
+        ]);
+        assert_eq!(l.quadratic_form(&[1.0, 0.0, 0.0]), 1.0);
+        assert_eq!(l.quadratic_form(&[1.0, 1.0, 0.0]), 1.0);
+        assert_eq!(l.quadratic_form(&[1.0, 1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn frobenius_norm_value() {
+        let a = DenseMatrix::from_rows(&[&[3.0, 0.0], &[0.0, 4.0]]);
+        assert_eq!(a.frobenius_norm(), 5.0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Error type shared by all linear-algebra routines.
+
+use std::fmt;
+
+/// Errors produced by `graphio-linalg` routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// Operation requires a square matrix.
+    NotSquare {
+        /// Number of rows of the offending matrix.
+        rows: usize,
+        /// Number of columns of the offending matrix.
+        cols: usize,
+    },
+    /// Operation requires a symmetric matrix (checked up to a tolerance).
+    NotSymmetric {
+        /// Row index of the first asymmetric entry found.
+        row: usize,
+        /// Column index of the first asymmetric entry found.
+        col: usize,
+    },
+    /// Two operands have incompatible dimensions.
+    DimensionMismatch {
+        /// Expected dimension.
+        expected: usize,
+        /// Dimension actually supplied.
+        actual: usize,
+    },
+    /// An iterative method exhausted its iteration budget.
+    NoConvergence {
+        /// Name of the algorithm that failed.
+        algorithm: &'static str,
+        /// Number of iterations performed.
+        iterations: usize,
+    },
+    /// The caller asked for more eigenvalues than the matrix has.
+    TooManyEigenvaluesRequested {
+        /// Number requested.
+        requested: usize,
+        /// Matrix dimension.
+        dimension: usize,
+    },
+    /// Input data is malformed (e.g. out-of-range index in a triplet list).
+    InvalidInput(String),
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::NotSquare { rows, cols } => {
+                write!(f, "matrix must be square, got {rows}x{cols}")
+            }
+            LinalgError::NotSymmetric { row, col } => {
+                write!(f, "matrix is not symmetric at ({row},{col})")
+            }
+            LinalgError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+            LinalgError::NoConvergence {
+                algorithm,
+                iterations,
+            } => write!(f, "{algorithm} failed to converge after {iterations} iterations"),
+            LinalgError::TooManyEigenvaluesRequested {
+                requested,
+                dimension,
+            } => write!(
+                f,
+                "requested {requested} eigenvalues from a {dimension}-dimensional matrix"
+            ),
+            LinalgError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = LinalgError::NotSquare { rows: 2, cols: 3 };
+        assert!(e.to_string().contains("2x3"));
+        let e = LinalgError::NoConvergence {
+            algorithm: "ql",
+            iterations: 30,
+        };
+        assert!(e.to_string().contains("ql"));
+        assert!(e.to_string().contains("30"));
+        let e = LinalgError::TooManyEigenvaluesRequested {
+            requested: 5,
+            dimension: 3,
+        };
+        assert!(e.to_string().contains('5') && e.to_string().contains('3'));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            LinalgError::DimensionMismatch {
+                expected: 1,
+                actual: 2
+            },
+            LinalgError::DimensionMismatch {
+                expected: 1,
+                actual: 2
+            }
+        );
+        assert_ne!(
+            LinalgError::NotSymmetric { row: 0, col: 1 },
+            LinalgError::NotSymmetric { row: 1, col: 0 }
+        );
+    }
+}

@@ -1,0 +1,496 @@
+//! Lanczos iteration with full re-orthogonalization and eigenvector
+//! deflation ("locking") for the `h` smallest eigenvalues of a symmetric
+//! operator — *with multiplicity*.
+//!
+//! Why deflation: graph Laplacians of the structured graphs in the paper
+//! (hypercubes, butterflies) have eigenvalues of enormous multiplicity, and
+//! a single Krylov subspace can represent at most one Ritz pair per distinct
+//! eigenvalue. The spectral bound of Theorem 4 sums the `k` smallest
+//! eigenvalues *counting multiplicity*, so we must recover copies. Each
+//! sweep locks every converged Ritz pair at the bottom of the remaining
+//! spectrum, then restarts against the orthogonal complement of everything
+//! locked; repeated eigenvalues re-appear in later sweeps until their
+//! eigenspaces are exhausted.
+//!
+//! The smallest eigenvalues of `A` are obtained as the *largest* of
+//! `σI − A` (σ = Gershgorin or power-iteration bound), where Lanczos
+//! converges fastest. Cost is `O(matvecs · nnz + m²n)` per sweep, matching
+//! the `O(hn²)` scalability claim of the paper's §6.5.
+
+use crate::dense::DenseMatrix;
+use crate::error::LinalgError;
+use crate::linop::{LinOp, ShiftedNegated};
+use crate::power::power_iteration;
+use crate::tridiag::tql_in_place;
+use crate::vecops::{axpy, dot, norm2, normalize, orthogonalize_against, scal};
+use crate::Result;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Tuning knobs for [`smallest_eigenvalues`].
+#[derive(Debug, Clone)]
+pub struct LanczosOptions {
+    /// Lanczos steps per sweep (the Krylov subspace dimension). Doubled
+    /// automatically (up to the operator dimension) when a sweep locks
+    /// nothing.
+    pub subspace: usize,
+    /// Relative residual tolerance for accepting a Ritz pair
+    /// (`‖Av − θv‖ ≤ tol · scale`).
+    pub tol: f64,
+    /// Maximum number of restart sweeps before giving up.
+    pub max_sweeps: usize,
+    /// RNG seed for start vectors (results are deterministic given a seed).
+    pub seed: u64,
+}
+
+impl Default for LanczosOptions {
+    fn default() -> Self {
+        LanczosOptions {
+            subspace: 96,
+            tol: 1e-9,
+            max_sweeps: 512,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// Outcome of [`smallest_eigenvalues`].
+#[derive(Debug, Clone)]
+pub struct LanczosResult {
+    /// The locked eigenvalues of the original operator, sorted ascending.
+    /// Contains exactly `h` values when `converged` is true.
+    pub values: Vec<f64>,
+    /// Restart sweeps performed.
+    pub sweeps: usize,
+    /// Operator applications performed.
+    pub matvecs: usize,
+    /// Whether all `h` requested eigenvalues were locked.
+    pub converged: bool,
+}
+
+/// Computes the `h` smallest eigenvalues (ascending, with multiplicity) of
+/// the symmetric operator `op`.
+///
+/// # Errors
+/// * [`LinalgError::TooManyEigenvaluesRequested`] if `h > op.dim()`.
+/// * [`LinalgError::NoConvergence`] if the sweep budget is exhausted before
+///   `h` eigenpairs are locked.
+pub fn smallest_eigenvalues<A: LinOp + ?Sized>(
+    op: &A,
+    h: usize,
+    opts: &LanczosOptions,
+) -> Result<LanczosResult> {
+    let n = op.dim();
+    if h > n {
+        return Err(LinalgError::TooManyEigenvaluesRequested {
+            requested: h,
+            dimension: n,
+        });
+    }
+    if h == 0 || n == 0 {
+        return Ok(LanczosResult {
+            values: Vec::new(),
+            sweeps: 0,
+            matvecs: 0,
+            converged: true,
+        });
+    }
+
+    let mut matvecs = 0usize;
+    // Spectral shift so the target eigenvalues become dominant.
+    let sigma = match op.eigen_upper_bound() {
+        Some(s) => s,
+        None => {
+            let p = power_iteration(op, 2000, 1e-10, 0xacc0)?;
+            matvecs += p.iterations;
+            // Dominant-in-magnitude estimate, inflated for safety.
+            p.value.abs() * 1.05 + 1e-9
+        }
+    };
+    let scale = sigma.abs().max(1.0);
+    let tol = opts.tol * scale;
+    let shifted = ShiftedNegated::new(op, sigma);
+
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut locked_vecs: Vec<Vec<f64>> = Vec::with_capacity(h);
+    let mut locked_vals: Vec<f64> = Vec::with_capacity(h);
+    let mut sweeps = 0usize;
+    let mut subspace = opts.subspace.clamp(2, n);
+    // `locked.len() >= h` alone is NOT a sound stop: each sweep locks at
+    // most one copy of each distinct eigenvalue, so with high-multiplicity
+    // spectra the locked set can contain deep eigenvalues while copies of
+    // shallow ones are still un-locked. We therefore also require
+    // verification: a sweep whose *top* Ritz pair is converged and lies at
+    // or above the h-th smallest locked value proves nothing smaller
+    // remains in the deflated operator.
+    let mut verified = false;
+    let slack = 8.0 * tol + 1e-12;
+
+    while sweeps < opts.max_sweeps {
+        if locked_vecs.len() == n {
+            verified = true;
+        }
+        if locked_vecs.len() >= h && verified {
+            break;
+        }
+        sweeps += 1;
+        let budget = subspace.min(n - locked_vecs.len());
+        let Some(v0) = random_orthogonal_start(n, &locked_vecs, &mut rng) else {
+            // The complement of the locked space is numerically exhausted.
+            verified = true;
+            break;
+        };
+        let sweep = lanczos_sweep(&shifted, v0, budget, &locked_vecs, &mut matvecs);
+        let analysis = RitzAnalysis::of(&sweep)?;
+        if locked_vecs.len() >= h {
+            if let Some(remaining_min) = analysis.top_converged_value(tol, &shifted) {
+                let kth = kth_smallest(&locked_vals, h);
+                if remaining_min >= kth - slack {
+                    verified = true;
+                    break;
+                }
+            }
+        }
+        let newly = lock_converged(
+            &sweep,
+            &analysis,
+            tol,
+            &shifted,
+            &mut locked_vecs,
+            &mut locked_vals,
+        );
+        if newly == 0 {
+            // Stagnation: widen the Krylov subspace (up to n) and try again.
+            subspace = (subspace * 2).min(n);
+        }
+    }
+
+    let converged = locked_vecs.len() >= h && verified;
+    if !converged {
+        return Err(LinalgError::NoConvergence {
+            algorithm: "deflated Lanczos",
+            iterations: sweeps,
+        });
+    }
+    locked_vals.sort_by(f64::total_cmp);
+    locked_vals.truncate(h);
+    Ok(LanczosResult {
+        values: locked_vals,
+        sweeps,
+        matvecs,
+        converged,
+    })
+}
+
+/// The h-th smallest element (1-indexed: `h >= 1`) of `vals`.
+fn kth_smallest(vals: &[f64], h: usize) -> f64 {
+    let mut sorted = vals.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    sorted[h - 1]
+}
+
+/// Raw output of one Lanczos sweep.
+struct Sweep {
+    /// Orthonormal Krylov basis vectors `v_0..v_{m-1}`.
+    basis: Vec<Vec<f64>>,
+    /// Diagonal of the Lanczos tridiagonal matrix.
+    alphas: Vec<f64>,
+    /// Off-diagonal (`betas[j]` couples steps `j` and `j+1`); the final
+    /// entry is the residual norm used in convergence estimates.
+    betas: Vec<f64>,
+    /// Whether the sweep terminated with an (numerically) invariant
+    /// subspace, making every Ritz pair exact.
+    invariant: bool,
+}
+
+fn lanczos_sweep<A: LinOp + ?Sized>(
+    op: &A,
+    v0: Vec<f64>,
+    budget: usize,
+    locked: &[Vec<f64>],
+    matvecs: &mut usize,
+) -> Sweep {
+    let n = v0.len();
+    let mut basis: Vec<Vec<f64>> = Vec::with_capacity(budget);
+    let mut alphas: Vec<f64> = Vec::with_capacity(budget);
+    let mut betas: Vec<f64> = Vec::with_capacity(budget);
+    let mut v = v0;
+    let mut w = vec![0.0; n];
+    let mut invariant = false;
+
+    for j in 0..budget {
+        basis.push(v.clone());
+        op.apply(&v, &mut w);
+        *matvecs += 1;
+        let alpha = dot(&w, &v);
+        alphas.push(alpha);
+        axpy(-alpha, &v, &mut w);
+        if j > 0 {
+            let beta_prev = betas[j - 1];
+            axpy(-beta_prev, &basis[j - 1], &mut w);
+        }
+        // Full re-orthogonalization, two passes ("twice is enough").
+        for _ in 0..2 {
+            orthogonalize_against(&mut w, locked);
+            orthogonalize_against(&mut w, &basis);
+        }
+        let beta = norm2(&w);
+        betas.push(beta);
+        if beta <= f64::EPSILON * 64.0 * (1.0 + alpha.abs()) {
+            invariant = true;
+            break;
+        }
+        scal(1.0 / beta, &mut w);
+        std::mem::swap(&mut v, &mut w);
+    }
+    Sweep {
+        basis,
+        alphas,
+        betas,
+        invariant,
+    }
+}
+
+/// Ritz data extracted from a sweep's tridiagonal matrix.
+struct RitzAnalysis {
+    /// Ritz values of the shifted operator, ascending (index `m-1` is the
+    /// top of the shifted spectrum = bottom of the original spectrum).
+    theta: Vec<f64>,
+    /// Eigenvectors of the tridiagonal matrix (columns match `theta`).
+    z: DenseMatrix,
+    /// Final off-diagonal entry (0 when the subspace is invariant).
+    beta_last: f64,
+    /// Whether the sweep hit an invariant subspace (all pairs exact).
+    invariant: bool,
+}
+
+impl RitzAnalysis {
+    fn of(sweep: &Sweep) -> Result<Self> {
+        let m = sweep.alphas.len();
+        let mut d = sweep.alphas.clone();
+        let mut e = vec![0.0; m];
+        if m > 1 {
+            e[1..m].copy_from_slice(&sweep.betas[..m - 1]);
+        }
+        let mut z = DenseMatrix::identity(m);
+        tql_in_place(&mut d, &mut e, Some(&mut z))?;
+        let beta_last = if sweep.invariant || m == 0 {
+            0.0
+        } else {
+            sweep.betas[m - 1]
+        };
+        Ok(RitzAnalysis {
+            theta: d,
+            z,
+            beta_last,
+            invariant: sweep.invariant,
+        })
+    }
+
+    fn residual(&self, idx: usize) -> f64 {
+        let m = self.theta.len();
+        (self.beta_last * self.z[(m - 1, idx)]).abs()
+    }
+
+    /// If the top Ritz pair is converged, the smallest eigenvalue of the
+    /// deflated *original* operator (within tolerance); `None` otherwise.
+    fn top_converged_value<A: LinOp + ?Sized>(
+        &self,
+        tol: f64,
+        shifted: &ShiftedNegated<'_, A>,
+    ) -> Option<f64> {
+        let m = self.theta.len();
+        if m == 0 {
+            return None;
+        }
+        if self.invariant || self.residual(m - 1) <= tol {
+            Some(shifted.unshift(self.theta[m - 1]))
+        } else {
+            None
+        }
+    }
+}
+
+/// Locks converged Ritz pairs from the *top* of the shifted spectrum (the
+/// bottom of the original), stopping at the first unconverged pair so the
+/// locked set never skips an eigenvalue. Returns the number locked.
+fn lock_converged<A: LinOp + ?Sized>(
+    sweep: &Sweep,
+    analysis: &RitzAnalysis,
+    tol: f64,
+    shifted: &ShiftedNegated<'_, A>,
+    locked_vecs: &mut Vec<Vec<f64>>,
+    locked_vals: &mut Vec<f64>,
+) -> usize {
+    let m = analysis.theta.len();
+    if m == 0 {
+        return 0;
+    }
+    let z = &analysis.z;
+    let n = sweep.basis[0].len();
+    let mut newly = 0usize;
+    for idx in (0..m).rev() {
+        if analysis.residual(idx) > tol && !analysis.invariant {
+            break;
+        }
+        // Assemble the Ritz vector y = V z_idx.
+        let mut y = vec![0.0; n];
+        for (jj, basis_v) in sweep.basis.iter().enumerate() {
+            axpy(z[(jj, idx)], basis_v, &mut y);
+        }
+        orthogonalize_against(&mut y, locked_vecs);
+        if normalize(&mut y) < 1e-6 {
+            // Numerically dependent on already-locked vectors; skip it.
+            continue;
+        }
+        locked_vecs.push(y);
+        locked_vals.push(shifted.unshift(analysis.theta[idx]));
+        newly += 1;
+    }
+    newly
+}
+
+/// Draws a random unit vector orthogonal to `locked`. Returns `None` when
+/// the complement appears numerically empty.
+fn random_orthogonal_start(
+    n: usize,
+    locked: &[Vec<f64>],
+    rng: &mut StdRng,
+) -> Option<Vec<f64>> {
+    for _ in 0..64 {
+        let mut v: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() * 2.0 - 1.0).collect();
+        normalize(&mut v);
+        for _ in 0..2 {
+            orthogonalize_against(&mut v, locked);
+        }
+        if normalize(&mut v) > 1e-6 {
+            return Some(v);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)] // index-parallel array comparisons read clearest
+mod tests {
+    use super::*;
+    use crate::csr::CsrMatrix;
+    use crate::symeig::eigenvalues_symmetric;
+
+    /// Laplacian of the boolean hypercube Q_d (eigenvalue 2i with
+    /// multiplicity C(d, i)) — the multiplicity stress test.
+    fn hypercube_laplacian(d: usize) -> CsrMatrix {
+        let n = 1usize << d;
+        let mut trips = Vec::new();
+        for u in 0..n {
+            trips.push((u, u, d as f64));
+            for b in 0..d {
+                let v = u ^ (1 << b);
+                trips.push((u, v, -1.0));
+            }
+        }
+        CsrMatrix::from_triplets(n, &trips).unwrap()
+    }
+
+    #[test]
+    fn matches_dense_on_random_sparse() {
+        let n = 60;
+        let mut trips = Vec::new();
+        let mut rng = StdRng::seed_from_u64(11);
+        for i in 0..n {
+            trips.push((i, i, 4.0 + rng.gen::<f64>()));
+            for _ in 0..3 {
+                let j = rng.gen_range(0..n);
+                if j != i {
+                    let v = rng.gen::<f64>() - 0.5;
+                    trips.push((i, j, v));
+                    trips.push((j, i, v));
+                }
+            }
+        }
+        let a = CsrMatrix::from_triplets(n, &trips).unwrap();
+        let dense_vals = eigenvalues_symmetric(&a.to_dense()).unwrap();
+        let h = 12;
+        let r = smallest_eigenvalues(&a, h, &LanczosOptions::default()).unwrap();
+        assert!(r.converged);
+        for i in 0..h {
+            assert!(
+                (r.values[i] - dense_vals[i]).abs() < 1e-6,
+                "i={i}: {} vs {}",
+                r.values[i],
+                dense_vals[i]
+            );
+        }
+    }
+
+    #[test]
+    fn recovers_hypercube_multiplicities() {
+        // Q_5: eigenvalues 0 (x1), 2 (x5), 4 (x10), 6 (x10), 8 (x5), 10 (x1).
+        let a = hypercube_laplacian(5);
+        let h = 16; // 1 + 5 + 10 = 16 -> last value should be 4.
+        let r = smallest_eigenvalues(&a, h, &LanczosOptions::default()).unwrap();
+        assert!(r.converged);
+        assert!(r.values[0].abs() < 1e-7);
+        for i in 1..6 {
+            assert!((r.values[i] - 2.0).abs() < 1e-7, "{}", r.values[i]);
+        }
+        for i in 6..16 {
+            assert!((r.values[i] - 4.0).abs() < 1e-7, "{}", r.values[i]);
+        }
+    }
+
+    #[test]
+    fn full_spectrum_of_tiny_operator() {
+        let a = hypercube_laplacian(3);
+        let r = smallest_eigenvalues(&a, 8, &LanczosOptions::default()).unwrap();
+        let expect = [0.0, 2.0, 2.0, 2.0, 4.0, 4.0, 4.0, 6.0];
+        for (v, x) in r.values.iter().zip(expect.iter()) {
+            assert!((v - x).abs() < 1e-7, "{v} vs {x}");
+        }
+    }
+
+    #[test]
+    fn h_zero_is_trivial() {
+        let a = hypercube_laplacian(2);
+        let r = smallest_eigenvalues(&a, 0, &LanczosOptions::default()).unwrap();
+        assert!(r.converged);
+        assert!(r.values.is_empty());
+    }
+
+    #[test]
+    fn too_many_requested_is_an_error() {
+        let a = hypercube_laplacian(2);
+        assert!(matches!(
+            smallest_eigenvalues(&a, 5, &LanczosOptions::default()),
+            Err(LinalgError::TooManyEigenvaluesRequested { .. })
+        ));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = hypercube_laplacian(4);
+        let opts = LanczosOptions {
+            seed: 99,
+            ..Default::default()
+        };
+        let r1 = smallest_eigenvalues(&a, 6, &opts).unwrap();
+        let r2 = smallest_eigenvalues(&a, 6, &opts).unwrap();
+        assert_eq!(r1.values, r2.values);
+        assert_eq!(r1.matvecs, r2.matvecs);
+    }
+
+    #[test]
+    fn small_subspace_still_converges_via_doubling() {
+        let a = hypercube_laplacian(4);
+        let opts = LanczosOptions {
+            subspace: 2,
+            ..Default::default()
+        };
+        let r = smallest_eigenvalues(&a, 8, &opts).unwrap();
+        assert!(r.converged);
+        let dense_vals = eigenvalues_symmetric(&a.to_dense()).unwrap();
+        for i in 0..8 {
+            assert!((r.values[i] - dense_vals[i]).abs() < 1e-6);
+        }
+    }
+}

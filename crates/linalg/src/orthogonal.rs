@@ -1,0 +1,113 @@
+//! Random orthogonal matrices.
+//!
+//! Theorem 4's proof relaxes the topological-order constraint to orthogonal
+//! matrices and invokes the Finke–Burkard–Rendl trace inequality; the test
+//! suite verifies that inequality empirically on random orthogonal matrices
+//! generated here (Gram–Schmidt on a random Gaussian-ish matrix).
+
+use crate::dense::DenseMatrix;
+use crate::vecops::{dot, normalize};
+use rand::Rng;
+
+/// Generates a random `n × n` orthogonal matrix by modified Gram–Schmidt
+/// with re-orthogonalization on random columns.
+///
+/// The distribution is not exactly Haar (the entries are uniform rather
+/// than Gaussian) but is more than adequate for inequality testing.
+pub fn random_orthogonal<R: Rng>(n: usize, rng: &mut R) -> DenseMatrix {
+    let mut cols: Vec<Vec<f64>> = Vec::with_capacity(n);
+    while cols.len() < n {
+        let mut v: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() * 2.0 - 1.0).collect();
+        // Two Gram–Schmidt passes keep orthogonality near machine precision.
+        for _ in 0..2 {
+            for q in &cols {
+                let c = dot(&v, q);
+                for (vi, qi) in v.iter_mut().zip(q.iter()) {
+                    *vi -= c * qi;
+                }
+            }
+        }
+        if normalize(&mut v) > 1e-8 {
+            cols.push(v);
+        }
+        // Degenerate draws are simply retried.
+    }
+    let mut m = DenseMatrix::zeros(n, n);
+    for (j, col) in cols.iter().enumerate() {
+        for (i, &value) in col.iter().enumerate() {
+            m[(i, j)] = value;
+        }
+    }
+    m
+}
+
+/// Builds the permutation matrix `P` with `P[perm[i], i] = 1`, i.e. the
+/// orthogonal matrix mapping basis vector `e_i` to `e_{perm[i]}`.
+///
+/// Under the paper's convention (`X_{ij} = 1` iff vertex `j` is evaluated at
+/// time-step `i`), an evaluation order `order` (vertex evaluated at each
+/// step) corresponds to `permutation_matrix(order)`.
+///
+/// # Panics
+/// Panics if `perm` is not a permutation of `0..n`.
+pub fn permutation_matrix(perm: &[usize]) -> DenseMatrix {
+    let n = perm.len();
+    let mut seen = vec![false; n];
+    for &p in perm {
+        assert!(p < n && !seen[p], "permutation_matrix: not a permutation");
+        seen[p] = true;
+    }
+    let mut m = DenseMatrix::zeros(n, n);
+    for (i, &p) in perm.iter().enumerate() {
+        m[(p, i)] = 1.0;
+    }
+    m
+}
+
+/// Checks `QᵀQ = I` up to `tol`.
+pub fn is_orthogonal(q: &DenseMatrix, tol: f64) -> bool {
+    if !q.is_square() {
+        return false;
+    }
+    let qtq = q
+        .transpose()
+        .matmul(q)
+        .expect("square matrix product cannot fail");
+    qtq.max_abs_diff(&DenseMatrix::identity(q.nrows())) <= tol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_orthogonal_is_orthogonal() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for n in [1usize, 2, 5, 16] {
+            let q = random_orthogonal(n, &mut rng);
+            assert!(is_orthogonal(&q, 1e-10), "n={n}");
+        }
+    }
+
+    #[test]
+    fn permutation_matrix_is_orthogonal_and_permutes() {
+        let p = permutation_matrix(&[2, 0, 1]);
+        assert!(is_orthogonal(&p, 0.0));
+        // Column 0 should be e_2.
+        assert_eq!(p[(2, 0)], 1.0);
+        assert_eq!(p[(0, 0)], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn permutation_matrix_rejects_duplicates() {
+        permutation_matrix(&[0, 0, 1]);
+    }
+
+    #[test]
+    fn non_square_is_not_orthogonal() {
+        assert!(!is_orthogonal(&DenseMatrix::zeros(2, 3), 1e-12));
+    }
+}

@@ -1,0 +1,161 @@
+//! Dense vector kernels used by the iterative eigensolvers.
+//!
+//! These are deliberately simple, allocation-free loops over slices; LLVM
+//! auto-vectorizes them well in release builds, which is all the Lanczos
+//! inner loop needs.
+
+/// Dot product `xᵀy`.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    let mut acc = 0.0;
+    for (a, b) in x.iter().zip(y.iter()) {
+        acc += a * b;
+    }
+    acc
+}
+
+/// Euclidean norm `‖x‖₂`.
+pub fn norm2(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// `y ← y + alpha * x`.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `x ← alpha * x`.
+pub fn scal(alpha: f64, x: &mut [f64]) {
+    for xi in x.iter_mut() {
+        *xi *= alpha;
+    }
+}
+
+/// Normalizes `x` in place and returns its original norm.
+///
+/// If the norm is zero the vector is left untouched and `0.0` is returned.
+pub fn normalize(x: &mut [f64]) -> f64 {
+    let n = norm2(x);
+    if n > 0.0 {
+        scal(1.0 / n, x);
+    }
+    n
+}
+
+/// Maximum absolute difference between two vectors (`‖x − y‖∞`).
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn max_abs_diff(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "max_abs_diff: length mismatch");
+    x.iter()
+        .zip(y.iter())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Removes from `v` its components along each (assumed orthonormal) vector
+/// in `basis`, i.e. classical Gram–Schmidt re-orthogonalization.
+pub fn orthogonalize_against(v: &mut [f64], basis: &[Vec<f64>]) {
+    for q in basis {
+        let c = dot(v, q);
+        axpy(-c, q, v);
+    }
+}
+
+/// Numerically robust `hypot` specialized to the QL iteration's needs:
+/// `sqrt(a² + b²)` without overflow for the magnitudes seen here.
+pub fn pythag(a: f64, b: f64) -> f64 {
+    let (a, b) = (a.abs(), b.abs());
+    if a > b {
+        let r = b / a;
+        a * (1.0 + r * r).sqrt()
+    } else if b > 0.0 {
+        let r = a / b;
+        b * (1.0 + r * r).sqrt()
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm_basics() {
+        let x = [3.0, 4.0];
+        assert_eq!(dot(&x, &x), 25.0);
+        assert_eq!(norm2(&x), 5.0);
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [10.0, 20.0, 30.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 24.0, 36.0]);
+    }
+
+    #[test]
+    fn scal_scales() {
+        let mut x = [1.0, -2.0];
+        scal(-3.0, &mut x);
+        assert_eq!(x, [-3.0, 6.0]);
+    }
+
+    #[test]
+    fn normalize_unit_norm() {
+        let mut x = [3.0, 4.0];
+        let n = normalize(&mut x);
+        assert_eq!(n, 5.0);
+        assert!((norm2(&x) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn normalize_zero_vector_is_noop() {
+        let mut x = [0.0, 0.0];
+        assert_eq!(normalize(&mut x), 0.0);
+        assert_eq!(x, [0.0, 0.0]);
+    }
+
+    #[test]
+    fn orthogonalize_removes_components() {
+        let q1 = vec![1.0, 0.0, 0.0];
+        let q2 = vec![0.0, 1.0, 0.0];
+        let mut v = vec![3.0, -2.0, 7.0];
+        orthogonalize_against(&mut v, &[q1.clone(), q2.clone()]);
+        assert!(dot(&v, &q1).abs() < 1e-15);
+        assert!(dot(&v, &q2).abs() < 1e-15);
+        assert!((v[2] - 7.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn pythag_matches_hypot() {
+        for &(a, b) in &[(3.0, 4.0), (0.0, 0.0), (-5.0, 12.0), (1e-8, 1e-8)] {
+            assert!((pythag(a, b) - f64::hypot(a, b)).abs() < 1e-12 * (1.0 + f64::hypot(a, b)));
+        }
+    }
+
+    #[test]
+    fn max_abs_diff_finds_max() {
+        assert_eq!(max_abs_diff(&[1.0, 2.0], &[1.5, 0.0]), 2.0);
+        assert_eq!(max_abs_diff(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_panics_on_mismatch() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+}

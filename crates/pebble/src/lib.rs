@@ -1,0 +1,25 @@
+//! Two-level-memory execution simulator for computation graphs.
+//!
+//! Implements the memory model of the paper's §3 exactly — fast memory of
+//! `M` elements, infinite slow memory, no recomputation — and counts
+//! *non-trivial* I/O:
+//!
+//! * evaluating a vertex requires all of its (distinct) parents plus one
+//!   free slot in fast memory;
+//! * inputs are read from the user directly into fast memory **for free**,
+//!   and outputs are reported for free as they are produced;
+//! * evicting a value that is still needed costs one write the first time
+//!   (slow memory then retains the copy), and each later access costs one
+//!   read;
+//! * values with no remaining consumers vacate their slot for free.
+//!
+//! Simulated executions are *upper* bounds on the optimal `J*_G`, which
+//! sandwiches the spectral/min-cut lower bounds in the cross-crate test
+//! suites: `lower bound ≤ J* ≤ simulate(...)` for every order and policy.
+
+pub mod policy;
+pub mod schedule;
+pub mod sim;
+
+pub use policy::Policy;
+pub use sim::{simulate, SimError, SimResult};

@@ -1,0 +1,58 @@
+//! Eviction policies for the fast-memory simulator.
+//!
+//! The paper's lower bounds hold for *any* eviction policy, so the
+//! simulator offers several: the practical LRU/FIFO, Belady's
+//! farthest-next-use rule (optimal for read-only caching, near-optimal
+//! here), and a seeded random policy for adversarial probing.
+
+use std::fmt;
+
+/// Which resident value to evict when fast memory is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Policy {
+    /// Evict the least-recently-used value.
+    Lru,
+    /// Evict the value loaded/computed the longest ago.
+    Fifo,
+    /// Evict the value whose next use lies farthest in the future
+    /// (requires the full order up front, which the simulator has).
+    /// Ties prefer values already backed in slow memory (free eviction).
+    Belady,
+    /// Evict a uniformly random candidate (deterministic per seed).
+    Random,
+}
+
+impl Policy {
+    /// All policies, for exhaustive sweeps in tests and benches.
+    pub const ALL: [Policy; 4] = [Policy::Lru, Policy::Fifo, Policy::Belady, Policy::Random];
+
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Policy::Lru => "lru",
+            Policy::Fifo => "fifo",
+            Policy::Belady => "belady",
+            Policy::Random => "random",
+        }
+    }
+}
+
+impl fmt::Display for Policy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for p in Policy::ALL {
+            assert!(seen.insert(p.name()));
+            assert_eq!(p.to_string(), p.name());
+        }
+    }
+}

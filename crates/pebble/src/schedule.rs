@@ -1,0 +1,104 @@
+//! Upper-bound probing: search over evaluation orders and policies.
+//!
+//! The gap between the best simulated execution found here and a lower
+//! bound brackets the true `J*_G`. This is not an optimizer — just a
+//! portfolio of deterministic heuristics plus random restarts.
+
+use crate::policy::Policy;
+use crate::sim::{simulate, SimError, SimResult};
+use graphio_graph::topo::{bfs_order, dfs_order, natural_order, random_order};
+use graphio_graph::CompGraph;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The best execution found by a portfolio search.
+#[derive(Debug, Clone)]
+pub struct BestExecution {
+    /// The winning simulation result.
+    pub result: SimResult,
+    /// Name of the order heuristic that produced it.
+    pub order_name: &'static str,
+    /// The eviction policy that produced it.
+    pub policy: Policy,
+}
+
+/// Tries the deterministic order heuristics (natural, DFS, BFS) plus
+/// `random_tries` random topological orders, each under LRU and Belady,
+/// and returns the execution with the least I/O.
+///
+/// # Errors
+/// Returns the first simulator error (infeasible memory or a broken
+/// order); random orders are only attempted after deterministic ones
+/// succeed, so feasibility errors surface deterministically.
+pub fn best_simulated_io(
+    g: &CompGraph,
+    memory: usize,
+    random_tries: usize,
+    seed: u64,
+) -> Result<BestExecution, SimError> {
+    let mut best: Option<BestExecution> = None;
+    let mut consider = |result: SimResult, order_name: &'static str, policy: Policy| {
+        let better = best
+            .as_ref()
+            .is_none_or(|b| result.io() < b.result.io());
+        if better {
+            best = Some(BestExecution {
+                result,
+                order_name,
+                policy,
+            });
+        }
+    };
+
+    let deterministic: [(&'static str, Vec<usize>); 3] = [
+        ("natural", natural_order(g)),
+        ("dfs", dfs_order(g)),
+        ("bfs", bfs_order(g)),
+    ];
+    for (name, order) in &deterministic {
+        for policy in [Policy::Lru, Policy::Belady] {
+            let r = simulate(g, order, memory, policy, seed)?;
+            consider(r, name, policy);
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..random_tries {
+        let order = random_order(g, &mut rng);
+        for policy in [Policy::Lru, Policy::Belady] {
+            let r = simulate(g, &order, memory, policy, seed)?;
+            consider(r, "random", policy);
+        }
+    }
+    Ok(best.expect("at least the deterministic orders were tried"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphio_graph::generators::{binary_reduction_tree, fft_butterfly};
+
+    #[test]
+    fn portfolio_finds_zero_io_for_tree_with_enough_memory() {
+        let g = binary_reduction_tree(4);
+        let best = best_simulated_io(&g, 6, 2, 1).unwrap();
+        assert_eq!(best.result.io(), 0);
+    }
+
+    #[test]
+    fn portfolio_beats_or_matches_bfs_lru() {
+        let g = fft_butterfly(5);
+        let m = 4;
+        let bfs = simulate(&g, &bfs_order(&g), m, Policy::Lru, 0).unwrap();
+        let best = best_simulated_io(&g, m, 3, 9).unwrap();
+        assert!(best.result.io() <= bfs.io());
+    }
+
+    #[test]
+    fn infeasible_memory_errors_out() {
+        let g = fft_butterfly(3);
+        assert!(matches!(
+            best_simulated_io(&g, 2, 0, 0),
+            Err(SimError::MemoryTooSmall { .. })
+        ));
+    }
+}

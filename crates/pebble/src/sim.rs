@@ -1,0 +1,489 @@
+//! The fast/slow-memory execution simulator (paper §3 model).
+
+use crate::policy::Policy;
+use graphio_graph::CompGraph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// Errors the simulator can report before running.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The supplied order is not a topological order of the graph.
+    OrderNotTopological,
+    /// Some vertex needs more distinct operands (+1 result slot) than fast
+    /// memory can hold; the §3 model cannot evaluate it at all.
+    MemoryTooSmall {
+        /// The offending vertex.
+        vertex: usize,
+        /// Slots required: distinct parents + 1.
+        required: usize,
+        /// Fast memory size supplied.
+        memory: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::OrderNotTopological => write!(f, "order is not topological"),
+            SimError::MemoryTooSmall {
+                vertex,
+                required,
+                memory,
+            } => write!(
+                f,
+                "vertex {vertex} needs {required} fast-memory slots but M = {memory}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Outcome of a simulated execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimResult {
+    /// Reads from slow into fast memory (non-trivial only).
+    pub reads: u64,
+    /// Writes from fast into slow memory (non-trivial only).
+    pub writes: u64,
+    /// Evictions performed (free evictions of dead/backed values included).
+    pub evictions: u64,
+    /// Maximum number of simultaneously resident values observed.
+    pub peak_resident: usize,
+}
+
+impl SimResult {
+    /// Total non-trivial I/O `J_G(X)` incurred by this execution.
+    pub fn io(&self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+/// Simulates evaluating `g` in `order` with fast memory `memory` under the
+/// given eviction `policy` (`seed` is used by [`Policy::Random`] only).
+///
+/// Returns the non-trivial I/O counts per the paper's §3 accounting; the
+/// result is an upper bound on the optimal `J*_G`.
+///
+/// # Errors
+/// [`SimError::OrderNotTopological`] or [`SimError::MemoryTooSmall`].
+pub fn simulate(
+    g: &CompGraph,
+    order: &[usize],
+    memory: usize,
+    policy: Policy,
+    seed: u64,
+) -> Result<SimResult, SimError> {
+    if !g.is_topological(order) {
+        return Err(SimError::OrderNotTopological);
+    }
+    let n = g.n();
+    // Pre-check feasibility: distinct parents + 1 slot.
+    for v in 0..n {
+        let required = distinct_count(g.parents(v)) + 1;
+        if required > memory {
+            return Err(SimError::MemoryTooSmall {
+                vertex: v,
+                required,
+                memory,
+            });
+        }
+    }
+
+    let mut state = MemoryState::new(g, order, memory, policy, seed);
+    for (step, &v) in order.iter().enumerate() {
+        state.evaluate(v, step);
+    }
+    Ok(state.finish())
+}
+
+fn distinct_count(parents: &[u32]) -> usize {
+    // Parent lists are tiny; an O(p²) distinct count avoids allocation.
+    let mut count = 0;
+    for (i, p) in parents.iter().enumerate() {
+        if !parents[..i].contains(p) {
+            count += 1;
+        }
+    }
+    count
+}
+
+/// Internal simulator state.
+struct MemoryState<'g> {
+    g: &'g CompGraph,
+    memory: usize,
+    policy: Policy,
+    rng: StdRng,
+    /// Remaining uses (consuming edges) per vertex.
+    remaining_uses: Vec<u32>,
+    /// Whether each vertex currently sits in fast memory.
+    is_resident: Vec<bool>,
+    /// Resident vertex ids (unordered, ≤ memory entries).
+    resident: Vec<u32>,
+    /// Whether slow memory holds a copy.
+    backed: Vec<bool>,
+    /// Last-touch timestamp (LRU) per vertex.
+    last_touch: Vec<u64>,
+    /// Load timestamp (FIFO) per vertex.
+    loaded_at: Vec<u64>,
+    /// Per-vertex consumer positions in the order, ascending (Belady).
+    consumer_positions: Vec<Vec<u32>>,
+    /// Per-vertex cursor into `consumer_positions`.
+    next_use_cursor: Vec<u32>,
+    clock: u64,
+    reads: u64,
+    writes: u64,
+    evictions: u64,
+    peak_resident: usize,
+}
+
+impl<'g> MemoryState<'g> {
+    fn new(g: &'g CompGraph, order: &[usize], memory: usize, policy: Policy, seed: u64) -> Self {
+        let n = g.n();
+        let mut position = vec![0u32; n];
+        for (pos, &v) in order.iter().enumerate() {
+            position[v] = pos as u32;
+        }
+        let mut consumer_positions = vec![Vec::new(); n];
+        if policy == Policy::Belady {
+            for (v, slot) in consumer_positions.iter_mut().enumerate() {
+                let mut uses: Vec<u32> =
+                    g.children(v).iter().map(|&c| position[c as usize]).collect();
+                uses.sort_unstable();
+                *slot = uses;
+            }
+        }
+        MemoryState {
+            g,
+            memory,
+            policy,
+            rng: StdRng::seed_from_u64(seed),
+            remaining_uses: (0..n).map(|v| g.out_degree(v) as u32).collect(),
+            is_resident: vec![false; n],
+            resident: Vec::with_capacity(memory),
+            backed: vec![false; n],
+            last_touch: vec![0; n],
+            loaded_at: vec![0; n],
+            consumer_positions,
+            next_use_cursor: vec![0; n],
+            clock: 0,
+            reads: 0,
+            writes: 0,
+            evictions: 0,
+            peak_resident: 0,
+        }
+    }
+
+    fn touch(&mut self, v: usize) {
+        self.clock += 1;
+        self.last_touch[v] = self.clock;
+    }
+
+    fn insert_resident(&mut self, v: usize) {
+        debug_assert!(!self.is_resident[v]);
+        self.is_resident[v] = true;
+        self.resident.push(v as u32);
+        self.clock += 1;
+        self.last_touch[v] = self.clock;
+        self.loaded_at[v] = self.clock;
+        self.peak_resident = self.peak_resident.max(self.resident.len());
+    }
+
+    fn remove_resident(&mut self, v: usize) {
+        debug_assert!(self.is_resident[v]);
+        self.is_resident[v] = false;
+        let idx = self
+            .resident
+            .iter()
+            .position(|&r| r as usize == v)
+            .expect("resident bookkeeping out of sync");
+        self.resident.swap_remove(idx);
+    }
+
+    /// Next position (in the evaluation order) at which `v` is consumed,
+    /// strictly after `now`; `u32::MAX` if never.
+    fn next_use_after(&mut self, v: usize, now: u32) -> u32 {
+        let uses = &self.consumer_positions[v];
+        let mut cur = self.next_use_cursor[v] as usize;
+        while cur < uses.len() && uses[cur] <= now {
+            cur += 1;
+        }
+        self.next_use_cursor[v] = cur as u32;
+        uses.get(cur).copied().unwrap_or(u32::MAX)
+    }
+
+    /// Frees one slot by evicting a non-pinned resident value. Dead values
+    /// never reach here (they are dropped eagerly), so the victim is live:
+    /// its first eviction costs a write.
+    fn evict_one(&mut self, pinned: &[u32], now: u32) {
+        let candidates: Vec<u32> = self
+            .resident
+            .iter()
+            .copied()
+            .filter(|r| !pinned.contains(r))
+            .collect();
+        assert!(
+            !candidates.is_empty(),
+            "eviction with all residents pinned — feasibility pre-check should prevent this"
+        );
+        let victim = match self.policy {
+            Policy::Lru => candidates
+                .iter()
+                .copied()
+                .min_by_key(|&r| self.last_touch[r as usize])
+                .expect("nonempty"),
+            Policy::Fifo => candidates
+                .iter()
+                .copied()
+                .min_by_key(|&r| self.loaded_at[r as usize])
+                .expect("nonempty"),
+            Policy::Belady => {
+                // Farthest next use; prefer backed values on ties so the
+                // eviction is free.
+                let mut best = candidates[0];
+                let mut best_key = (
+                    self.next_use_after(best as usize, now),
+                    self.backed[best as usize],
+                );
+                for &r in &candidates[1..] {
+                    let key = (self.next_use_after(r as usize, now), self.backed[r as usize]);
+                    if key > best_key {
+                        best_key = key;
+                        best = r;
+                    }
+                }
+                best
+            }
+            Policy::Random => candidates[self.rng.gen_range(0..candidates.len())],
+        };
+        let v = victim as usize;
+        self.evictions += 1;
+        if !self.backed[v] {
+            self.writes += 1;
+            self.backed[v] = true;
+        }
+        self.remove_resident(v);
+    }
+
+    /// Drops a value whose uses are exhausted (free).
+    fn drop_dead(&mut self, v: usize) {
+        if self.is_resident[v] {
+            self.remove_resident(v);
+        }
+    }
+
+    fn evaluate(&mut self, v: usize, step: usize) {
+        let now = step as u32;
+        let parents = self.g.parents(v).to_vec();
+        // Pin the distinct parents plus the result slot.
+        let mut pinned: Vec<u32> = parents.clone();
+        pinned.sort_unstable();
+        pinned.dedup();
+        // Load missing parents.
+        for &p in &pinned.clone() {
+            let p = p as usize;
+            if !self.is_resident[p] {
+                debug_assert!(
+                    self.backed[p],
+                    "live non-resident value must be backed in slow memory"
+                );
+                while self.resident.len() >= self.memory {
+                    self.evict_one(&pinned, now);
+                }
+                self.reads += 1;
+                self.insert_resident(p);
+            } else {
+                self.touch(p);
+            }
+        }
+        // Slot for the result.
+        let mut pinned_with_v = pinned.clone();
+        pinned_with_v.push(v as u32);
+        while self.resident.len() >= self.memory {
+            self.evict_one(&pinned_with_v, now);
+        }
+        self.insert_resident(v);
+        // Consume operands (each edge is one use; parallel edges count
+        // multiply).
+        for &p in &parents {
+            let p = p as usize;
+            self.remaining_uses[p] -= 1;
+            if self.remaining_uses[p] == 0 {
+                self.drop_dead(p);
+            }
+        }
+        // Outputs are reported immediately; a value with no consumers
+        // vacates its slot for free.
+        if self.remaining_uses[v] == 0 {
+            self.drop_dead(v);
+        }
+    }
+
+    fn finish(self) -> SimResult {
+        SimResult {
+            reads: self.reads,
+            writes: self.writes,
+            evictions: self.evictions,
+            peak_resident: self.peak_resident,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphio_graph::generators::{
+        binary_reduction_tree, diamond_dag, fft_butterfly, inner_product, path_dag,
+    };
+    use graphio_graph::topo::{bfs_order, dfs_order, natural_order, random_order};
+
+    #[test]
+    fn path_graph_never_does_io() {
+        let g = path_dag(64);
+        let order = natural_order(&g);
+        for m in [2usize, 3, 10] {
+            let r = simulate(&g, &order, m, Policy::Lru, 0).unwrap();
+            assert_eq!(r.io(), 0, "M={m}");
+            assert_eq!(r.peak_resident, 2);
+        }
+    }
+
+    #[test]
+    fn everything_fits_means_zero_io() {
+        let g = fft_butterfly(3);
+        let order = natural_order(&g);
+        for policy in Policy::ALL {
+            let r = simulate(&g, &order, g.n(), policy, 7).unwrap();
+            assert_eq!(r.io(), 0, "{policy}");
+        }
+    }
+
+    #[test]
+    fn reduction_tree_dfs_fits_in_logarithmic_memory() {
+        let depth = 5;
+        let g = binary_reduction_tree(depth);
+        let order = dfs_order(&g);
+        // DFS needs one held partial per level plus the current pair.
+        let r = simulate(&g, &order, depth + 2, Policy::Lru, 0).unwrap();
+        assert_eq!(r.io(), 0);
+    }
+
+    #[test]
+    fn reduction_tree_bfs_thrashes() {
+        // BFS computes all leaves first: with small memory it must spill.
+        let g = binary_reduction_tree(5);
+        let order = bfs_order(&g);
+        let r = simulate(&g, &order, 4, Policy::Lru, 0).unwrap();
+        assert!(r.io() > 0);
+        // Reads and writes balance for spilled-then-reloaded values.
+        assert_eq!(r.reads, r.writes);
+    }
+
+    #[test]
+    fn inner_product_lru_trace_by_hand() {
+        // M = 3, natural order (see module docs trace): 4 writes, 4 reads.
+        let g = inner_product(2);
+        let order = natural_order(&g);
+        let r = simulate(&g, &order, 3, Policy::Lru, 0).unwrap();
+        assert_eq!(r.writes, 4);
+        assert_eq!(r.reads, 4);
+        assert_eq!(r.io(), 8);
+    }
+
+    #[test]
+    fn belady_never_worse_than_lru_on_these_graphs() {
+        // Not a theorem under write-back costs, but holds on these
+        // structured cases and guards the Belady implementation.
+        let cases: Vec<(graphio_graph::CompGraph, usize)> = vec![
+            (fft_butterfly(4), 4),
+            (diamond_dag(6, 6), 4),
+            (binary_reduction_tree(5), 4),
+        ];
+        for (g, m) in cases {
+            let order = natural_order(&g);
+            let lru = simulate(&g, &order, m, Policy::Lru, 0).unwrap();
+            let belady = simulate(&g, &order, m, Policy::Belady, 0).unwrap();
+            assert!(
+                belady.io() <= lru.io(),
+                "belady {} > lru {}",
+                belady.io(),
+                lru.io()
+            );
+        }
+    }
+
+    #[test]
+    fn memory_too_small_is_reported() {
+        let g = inner_product(2);
+        let order = natural_order(&g);
+        let err = simulate(&g, &order, 2, Policy::Lru, 0).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::MemoryTooSmall {
+                vertex: 4,
+                required: 3,
+                memory: 2
+            }
+        );
+    }
+
+    #[test]
+    fn non_topological_order_is_reported() {
+        let g = path_dag(3);
+        assert_eq!(
+            simulate(&g, &[2, 1, 0], 2, Policy::Lru, 0).unwrap_err(),
+            SimError::OrderNotTopological
+        );
+    }
+
+    #[test]
+    fn random_policy_is_deterministic_per_seed() {
+        let g = fft_butterfly(4);
+        let order = bfs_order(&g);
+        let a = simulate(&g, &order, 4, Policy::Random, 42).unwrap();
+        let b = simulate(&g, &order, 4, Policy::Random, 42).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn squaring_consumes_two_uses_at_once() {
+        // x*x: the square uses x twice via parallel edges; x dies after.
+        use graphio_graph::{GraphBuilder, OpKind};
+        let mut b = GraphBuilder::new();
+        let x = b.add_vertex(OpKind::Input);
+        let sq = b.add_vertex(OpKind::Mul);
+        b.add_edge(x, sq);
+        b.add_edge(x, sq);
+        let g = b.build().unwrap();
+        let r = simulate(&g, &[0, 1], 2, Policy::Lru, 0).unwrap();
+        assert_eq!(r.io(), 0);
+    }
+
+    #[test]
+    fn io_decreases_weakly_with_memory() {
+        let g = fft_butterfly(5);
+        let order = natural_order(&g);
+        let mut prev = u64::MAX;
+        for m in [3usize, 4, 6, 8, 16, 32, 64] {
+            let r = simulate(&g, &order, m, Policy::Belady, 0).unwrap();
+            assert!(r.io() <= prev, "M={m}: {} > {prev}", r.io());
+            prev = r.io();
+        }
+    }
+
+    #[test]
+    fn random_orders_are_simulable() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let g = diamond_dag(5, 5);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10 {
+            let order = random_order(&g, &mut rng);
+            let r = simulate(&g, &order, 4, Policy::Lru, 0).unwrap();
+            // Diamond interior vertices have 2 parents; feasible with M=4.
+            let _ = r.io();
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Property-based tests for the memory-model simulator.
+
+use graphio_graph::generators::{erdos_renyi_dag, layered_random_dag};
+use graphio_graph::topo::{natural_order, random_order};
+use graphio_graph::CompGraph;
+use graphio_pebble::{simulate, Policy, SimError};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn small_random_dag() -> impl Strategy<Value = CompGraph> {
+    (0u64..500, 0usize..2).prop_map(|(seed, kind)| match kind {
+        0 => layered_random_dag(2 + (seed as usize % 4), 2 + (seed as usize % 4), 0.5, seed),
+        _ => erdos_renyi_dag(4 + (seed as usize % 12), 0.3, seed),
+    })
+}
+
+fn feasible_memory(g: &CompGraph) -> usize {
+    g.max_in_degree() + 1
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn writes_never_exceed_reads(g in small_random_dag(), seed in 0u64..50) {
+        // Every non-trivial write is of a value still needed, which must
+        // later be read back (no recomputation allowed).
+        let m = feasible_memory(&g);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let order = random_order(&g, &mut rng);
+        for policy in Policy::ALL {
+            let r = simulate(&g, &order, m, policy, seed).unwrap();
+            prop_assert!(r.writes <= r.reads, "{policy}: w={} r={}", r.writes, r.reads);
+        }
+    }
+
+    #[test]
+    fn ample_memory_means_zero_io(g in small_random_dag(), seed in 0u64..50) {
+        let order = natural_order(&g);
+        for policy in Policy::ALL {
+            let r = simulate(&g, &order, g.n().max(1), policy, seed).unwrap();
+            prop_assert_eq!(r.io(), 0);
+            prop_assert!(r.peak_resident <= g.n().max(1));
+        }
+    }
+
+    #[test]
+    fn peak_residency_respects_memory(g in small_random_dag(), seed in 0u64..50) {
+        let m = feasible_memory(&g) + 1;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let order = random_order(&g, &mut rng);
+        let r = simulate(&g, &order, m, Policy::Lru, 0).unwrap();
+        prop_assert!(r.peak_resident <= m);
+    }
+
+    #[test]
+    fn simulation_is_deterministic(g in small_random_dag(), seed in 0u64..50) {
+        let m = feasible_memory(&g);
+        let order = natural_order(&g);
+        for policy in Policy::ALL {
+            let a = simulate(&g, &order, m, policy, seed).unwrap();
+            let b = simulate(&g, &order, m, policy, seed).unwrap();
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn infeasible_memory_is_always_detected(g in small_random_dag()) {
+        let m = feasible_memory(&g);
+        if m <= 1 {
+            return Ok(());
+        }
+        let order = natural_order(&g);
+        let r = simulate(&g, &order, m - 1, Policy::Lru, 0);
+        let detected = matches!(r, Err(SimError::MemoryTooSmall { .. }));
+        prop_assert!(detected);
+    }
+
+    #[test]
+    fn belady_at_least_matches_random_policy(g in small_random_dag(), seed in 0u64..20) {
+        // Belady is not provably optimal under write-back costs, but it
+        // should never lose to a uniformly random evictor on these sizes.
+        let m = feasible_memory(&g) + 1;
+        let order = natural_order(&g);
+        let belady = simulate(&g, &order, m, Policy::Belady, seed).unwrap();
+        let random = simulate(&g, &order, m, Policy::Random, seed).unwrap();
+        prop_assert!(
+            belady.io() <= random.io(),
+            "belady {} > random {}", belady.io(), random.io()
+        );
+    }
+}

@@ -1,0 +1,242 @@
+//! Closed-form butterfly (FFT) spectrum and bounds (paper §5.2, Theorem 7,
+//! Appendix A).
+//!
+//! The paper's side contribution: the Laplacian spectrum *with
+//! multiplicities* of the unwrapped butterfly graph `B_l`, obtained by
+//! recursively folding the graph into the weighted paths of
+//! [`crate::closed_form::paths`]:
+//!
+//! * one copy of `P_{l+1}`:   `4 − 4cos(πj/(l+1))`, `j = 0..=l`;
+//! * `2^{l−i+1}` copies of `P'_i` (`i = 1..=l`):
+//!   `4 − 4cos(π(2j+1)/(2i+1))`, `j = 0..i−1`;
+//! * `(l−i)·2^{l−i−1}` copies of `P''_i` (`i = 1..l`):
+//!   `4 − 4cos(πj/(i+1))`, `j = 1..=i`.
+//!
+//! (The Theorem 7 statement in the appendix writes `πj/k` for the first
+//! family; §5.2's `πj/(l+1)` — i.e. the `P_{k+1}` spectrum of Lemma 10 — is
+//! the consistent form, which our numerical cross-check in the test suite
+//! confirms.)
+
+use super::paths::{path_p, path_p_double_prime, path_p_prime};
+use crate::bound::{bound_from_eigenvalues, SpectralBound};
+use std::f64::consts::PI;
+
+/// The full Laplacian spectrum of the butterfly graph `B_l` as
+/// `(eigenvalue, multiplicity)` pairs (unsorted, possibly with repeated
+/// values across families). Total multiplicity is `(l+1)·2^l`.
+pub fn butterfly_spectrum(l: usize) -> Vec<(f64, usize)> {
+    let mut spec = Vec::new();
+    // Single P_{l+1}.
+    for v in path_p(l + 1) {
+        spec.push((v, 1));
+    }
+    // P'_i families.
+    for i in 1..=l {
+        let mult = 1usize << (l - i + 1);
+        for v in path_p_prime(i) {
+            spec.push((v, mult));
+        }
+    }
+    // P''_i families.
+    for i in 1..l {
+        let mult = (l - i) * (1usize << (l - i - 1));
+        for v in path_p_double_prime(i) {
+            spec.push((v, mult));
+        }
+    }
+    spec
+}
+
+/// The `count` smallest butterfly Laplacian eigenvalues (ascending, with
+/// multiplicity), straight from the closed form.
+pub fn butterfly_smallest_eigenvalues(l: usize, count: usize) -> Vec<f64> {
+    let mut all = super::expand_spectrum(&butterfly_spectrum(l));
+    all.truncate(count);
+    all
+}
+
+/// §5.2's closed-form bound for the `2^l`-point FFT with parameter
+/// `α < l`, **as printed in the paper**: choose `k = 2^{α+1}` segments,
+/// credit `2^α` of the `k` smallest eigenvalues with the `P'_{l−α}` ground
+/// value `4 − 4cos(π/(2(l−α)+1))` and zero the rest. With the Theorem 5
+/// scaling `1/max d_out = 1/2`:
+///
+/// `J* ≥ ⌊n/2^{α+1}⌋ · 2^{α+1} · (1 − cos(π/(2(l−α)+1))) − 2^{α+2}·M`.
+///
+/// Caveat (asymptotics only): the `2^α` values in question actually sit in
+/// the `P'_{l−α+1}` shell, whose ground value has denominator
+/// `2(l−α)+3`, so this display overstates the rigorous bound by a factor
+/// `(1−cos(π/(2(l−α)+1)))/(1−cos(π/(2(l−α)+3))) ≈ ((2(l−α)+3)/(2(l−α)+1))²`
+/// — irrelevant for the Ω(·) claim, but
+/// [`fft_closed_form_bound_rigorous`] is the sound pointwise version.
+pub fn fft_closed_form_bound(l: usize, memory: usize, alpha: usize) -> f64 {
+    assert!(alpha < l, "need alpha < l");
+    let n = ((l + 1) as u64 * (1u64 << l)) as f64;
+    let k = (1u64 << (alpha + 1)) as f64;
+    let lam = 4.0 - 4.0 * (PI / (2.0 * (l - alpha) as f64 + 1.0)).cos();
+    let seg = (n / k).floor();
+    // (1/2) · ⌊n/k⌋ · 2^α · λ − 2kM
+    0.5 * seg * (1u64 << alpha) as f64 * lam - 2.0 * k * memory as f64
+}
+
+/// The rigorous pointwise version of [`fft_closed_form_bound`]: among the
+/// `k = 2^{α+1}` smallest butterfly eigenvalues, fewer than `2^α` are
+/// strictly below the `P'_{l−α+1}` ground value
+/// `λ* = 4 − 4cos(π/(2(l−α)+3))` (one zero plus the shells `i > l−α+1`,
+/// totalling `2^α − 1`, with no first/third-family intruders while
+/// `2α ≤ l`), so at least `2^α` of them are `≥ λ*`:
+///
+/// `J* ≥ (1/2)·⌊n/2^{α+1}⌋ · 2^α · λ* − 2^{α+2}·M`.
+///
+/// # Panics
+/// Panics unless `2α ≤ l` (the validity domain of the shell ordering).
+pub fn fft_closed_form_bound_rigorous(l: usize, memory: usize, alpha: usize) -> f64 {
+    assert!(2 * alpha <= l, "rigorous shell ordering needs 2*alpha <= l");
+    let n = ((l + 1) as u64 * (1u64 << l)) as f64;
+    let k = (1u64 << (alpha + 1)) as f64;
+    let lam = 4.0 - 4.0 * (PI / (2.0 * (l - alpha) as f64 + 3.0)).cos();
+    let seg = (n / k).floor();
+    0.5 * seg * (1u64 << alpha) as f64 * lam - 2.0 * k * memory as f64
+}
+
+/// The paper's headline instantiation `α = l − log2 M` (requires
+/// `1 ≤ log2 M < l`), behaving as `Ω(l·2^l / log²M)`.
+pub fn fft_closed_form_bound_log2m(l: usize, memory: usize) -> Option<f64> {
+    let lm = (memory as f64).log2().round() as usize;
+    if lm == 0 || lm >= l {
+        return None;
+    }
+    Some(fft_closed_form_bound(l, memory, l - lm))
+}
+
+/// Small-angle form of the §5.2 bound:
+/// `(l+1)·2^l · (π²/(8·log₂²M) − 4/(l+1))`.
+pub fn fft_small_angle_bound(l: usize, memory: usize) -> f64 {
+    let n = ((l + 1) as u64 * (1u64 << l)) as f64;
+    let log2m = (memory as f64).log2();
+    n * (PI * PI / (8.0 * log2m * log2m) - 4.0 / (l as f64 + 1.0))
+}
+
+/// Best *rigorous* closed-form bound over all admissible `α ≤ l/2` (still
+/// conservative per α, but sound pointwise and without committing to
+/// `α = l − log2 M`). Clamped at 0.
+pub fn fft_closed_form_bound_best_alpha(l: usize, memory: usize) -> f64 {
+    (0..=(l / 2))
+        .map(|a| fft_closed_form_bound_rigorous(l, memory, a))
+        .fold(f64::NEG_INFINITY, f64::max)
+        .max(0.0)
+}
+
+/// Theorem 5 evaluated with the *full* closed-form spectrum (all
+/// eigenvalues, not just the `P'_{l−α}` family) and optimized over `k` —
+/// the tightest closed-form variant, used to quantify how much the §5.2
+/// simplification gives away.
+pub fn fft_exact_spectrum_bound(l: usize, memory: usize, h: usize) -> SpectralBound {
+    let n = (l + 1) << l;
+    let eigs = butterfly_smallest_eigenvalues(l, h.min(n));
+    // Max out-degree of the butterfly is 2.
+    bound_from_eigenvalues(&eigs, n, memory, 1, 0.5, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::closed_form::{expand_spectrum, spectrum_size};
+    use crate::laplacian::unnormalized_laplacian;
+    use graphio_graph::generators::fft_butterfly;
+    use graphio_linalg::eigenvalues_symmetric;
+
+    #[test]
+    fn multiplicities_sum_to_vertex_count() {
+        for l in 0..=10 {
+            assert_eq!(
+                spectrum_size(&butterfly_spectrum(l)),
+                (l + 1) << l,
+                "l={l}"
+            );
+        }
+    }
+
+    #[test]
+    fn closed_form_matches_numeric_spectrum() {
+        // The headline check of Theorem 7: exact multiset equality with the
+        // numerically computed spectrum of the generated butterfly graph.
+        for l in 1..=5 {
+            let g = fft_butterfly(l);
+            let lap = unnormalized_laplacian(&g);
+            let numeric = eigenvalues_symmetric(&lap.to_dense()).unwrap();
+            let closed = expand_spectrum(&butterfly_spectrum(l));
+            assert_eq!(numeric.len(), closed.len());
+            for (c, n) in closed.iter().zip(numeric.iter()) {
+                assert!((c - n).abs() < 1e-8, "l={l}: closed {c} vs numeric {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn smallest_eigenvalue_is_zero_next_follows_p_prime() {
+        let l = 6;
+        let small = butterfly_smallest_eigenvalues(l, 3);
+        assert!(small[0].abs() < 1e-12);
+        // With i = l: 4 − 4cos(π/(2l+1)) is the P'_l ground value, which
+        // §5.2 identifies as governing the spectral gap.
+        let expect = 4.0 - 4.0 * (PI / (2.0 * l as f64 + 1.0)).cos();
+        assert!((small[1] - expect).abs() < 1e-12, "{} vs {expect}", small[1]);
+    }
+
+    #[test]
+    fn rigorous_bound_is_dominated_by_exact_spectrum_bound() {
+        for l in [4usize, 6, 8, 10] {
+            for m in [1usize, 2, 4, 8] {
+                let conservative = fft_closed_form_bound_best_alpha(l, m);
+                let exact = fft_exact_spectrum_bound(l, m, (l + 1) << l);
+                assert!(
+                    conservative <= exact.bound + 1e-6,
+                    "l={l} M={m}: {} > {}",
+                    conservative,
+                    exact.bound
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paper_display_exceeds_rigorous_by_the_shell_ratio() {
+        // The §5.2 display uses denominator 2(l−α)+1 where the rigorous
+        // shell value has 2(l−α)+3; the gap is exactly the cosine ratio.
+        for l in [8usize, 12] {
+            for alpha in 1..=(l / 2) {
+                let paper = fft_closed_form_bound(l, 0, alpha);
+                let rigorous = fft_closed_form_bound_rigorous(l, 0, alpha);
+                assert!(paper >= rigorous - 1e-9);
+                let d = 2.0 * (l - alpha) as f64;
+                let ratio = (1.0 - (PI / (d + 1.0)).cos()) / (1.0 - (PI / (d + 3.0)).cos());
+                assert!(
+                    (paper / rigorous - ratio).abs() < 1e-9,
+                    "l={l} α={alpha}: {} vs {}",
+                    paper / rigorous,
+                    ratio
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn log2m_instantiation_guards_domain() {
+        assert!(fft_closed_form_bound_log2m(4, 1).is_none());
+        assert!(fft_closed_form_bound_log2m(4, 16).is_none());
+        assert!(fft_closed_form_bound_log2m(10, 4).is_some());
+    }
+
+    #[test]
+    fn bound_grows_with_l_at_fixed_memory() {
+        let m = 4;
+        let mut prev = 0.0;
+        for l in 6..=12 {
+            let b = fft_closed_form_bound_best_alpha(l, m);
+            assert!(b >= prev, "l={l}: {b} < {prev}");
+            prev = b;
+        }
+        assert!(prev > 0.0);
+    }
+}

@@ -1,0 +1,178 @@
+//! Closed-form hypercube (Bellman–Held–Karp) bounds (paper §5.1).
+//!
+//! The boolean `l`-cube's Laplacian eigenvalues are `2i` with multiplicity
+//! `C(l, i)`. Choosing the partition count `k = Σ_{i≤α} C(l,i)` to cover
+//! the eigenvalue shells up to `α` gives the Theorem 5 bound
+//! `J* ≥ (1/l)·⌊2^l/k⌋·Σ_{i≤α} 2i·C(l,i) − 2kM`, whose `α = 1`
+//! simplification is the paper's display `2^{l+1}/(l+1) − 2M(l+1)`.
+
+use crate::bound::{bound_from_eigenvalues, SpectralBound};
+
+/// Binomial coefficient as f64-safe u128 (panics on overflow for l > 120,
+/// far beyond any graph we can build).
+pub fn binomial(n: usize, k: usize) -> u128 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut acc: u128 = 1;
+    for i in 0..k {
+        acc = acc * (n - i) as u128 / (i + 1) as u128;
+    }
+    acc
+}
+
+/// The hypercube Laplacian spectrum: `(2i, C(l,i))` for `i = 0..=l`.
+pub fn hypercube_spectrum(l: usize) -> Vec<(f64, usize)> {
+    (0..=l)
+        .map(|i| ((2 * i) as f64, binomial(l, i) as usize))
+        .collect()
+}
+
+/// The `count` smallest hypercube Laplacian eigenvalues (ascending, with
+/// multiplicity).
+pub fn hypercube_smallest_eigenvalues(l: usize, count: usize) -> Vec<f64> {
+    let mut out = Vec::with_capacity(count);
+    'outer: for i in 0..=l {
+        for _ in 0..binomial(l, i) {
+            if out.len() == count {
+                break 'outer;
+            }
+            out.push((2 * i) as f64);
+        }
+    }
+    out
+}
+
+/// §5.1's exact Theorem 5 bound for shell parameter `α ≤ l`:
+/// `(1/l)·⌊2^l/k⌋·Σ_{i≤α} 2i·C(l,i) − 2kM` with `k = Σ_{i≤α} C(l,i)`.
+pub fn hypercube_closed_form_bound(l: usize, memory: usize, alpha: usize) -> f64 {
+    assert!(alpha <= l, "need alpha <= l");
+    let n = 1u128 << l;
+    let k: u128 = (0..=alpha).map(|i| binomial(l, i)).sum();
+    let weighted: u128 = (0..=alpha).map(|i| 2 * i as u128 * binomial(l, i)).sum();
+    let seg = (n / k) as f64;
+    seg * weighted as f64 / l as f64 - 2.0 * k as f64 * memory as f64
+}
+
+/// The paper's `α = 1` display: `2^{l+1}/(l+1) − 2M(l+1)` (uses exact
+/// division instead of the floor, so it can exceed
+/// [`hypercube_closed_form_bound`]`(l, M, 1)` by at most `2`).
+pub fn hypercube_bound_alpha1(l: usize, memory: usize) -> f64 {
+    let n2 = (1u128 << (l + 1)) as f64;
+    n2 / (l as f64 + 1.0) - 2.0 * memory as f64 * (l as f64 + 1.0)
+}
+
+/// Best closed-form bound over all shells `α ∈ 0..=l` (clamped at 0).
+pub fn hypercube_bound_best_alpha(l: usize, memory: usize) -> f64 {
+    (0..=l)
+        .map(|a| hypercube_closed_form_bound(l, memory, a))
+        .fold(f64::NEG_INFINITY, f64::max)
+        .max(0.0)
+}
+
+/// Theorem 5 with the full closed-form spectrum, optimized over every
+/// `k ≤ h` (not only shell boundaries) — the tightest closed-form variant.
+pub fn hypercube_exact_spectrum_bound(l: usize, memory: usize, h: usize) -> SpectralBound {
+    let n = 1usize << l;
+    let eigs = hypercube_smallest_eigenvalues(l, h.min(n));
+    bound_from_eigenvalues(&eigs, n, memory, 1, 1.0 / l as f64, None)
+}
+
+/// The memory threshold below which the `α = 1` bound stays non-trivial:
+/// `M ≤ 2^l/(l+1)²` (§5.1).
+pub fn hypercube_nontrivial_memory_threshold(l: usize) -> f64 {
+    (1u128 << l) as f64 / ((l as f64 + 1.0) * (l as f64 + 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::closed_form::{expand_spectrum, spectrum_size};
+    use crate::laplacian::unnormalized_laplacian;
+    use graphio_graph::generators::bhk_hypercube;
+    use graphio_linalg::eigenvalues_symmetric;
+
+    #[test]
+    fn binomials() {
+        assert_eq!(binomial(5, 0), 1);
+        assert_eq!(binomial(5, 2), 10);
+        assert_eq!(binomial(5, 5), 1);
+        assert_eq!(binomial(5, 6), 0);
+        assert_eq!(binomial(60, 30), 118264581564861424);
+    }
+
+    #[test]
+    fn spectrum_matches_numeric() {
+        for l in 1..=7 {
+            let g = bhk_hypercube(l);
+            let lap = unnormalized_laplacian(&g);
+            let numeric = eigenvalues_symmetric(&lap.to_dense()).unwrap();
+            let closed = expand_spectrum(&hypercube_spectrum(l));
+            assert_eq!(numeric.len(), closed.len());
+            for (c, n) in closed.iter().zip(numeric.iter()) {
+                assert!((c - n).abs() < 1e-8, "l={l}: {c} vs {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn spectrum_size_is_2_to_l() {
+        for l in 0..=16 {
+            assert_eq!(spectrum_size(&hypercube_spectrum(l)), 1 << l);
+        }
+    }
+
+    #[test]
+    fn alpha1_display_approximates_exact() {
+        for l in [6usize, 8, 10, 12] {
+            for m in [4usize, 16] {
+                let exact = hypercube_closed_form_bound(l, m, 1);
+                let display = hypercube_bound_alpha1(l, m);
+                // display uses exact division: within 2 of the floored form.
+                assert!(
+                    (display - exact).abs() <= 2.0 + 1e-9,
+                    "l={l} M={m}: display={display} exact={exact}"
+                );
+                assert!(display >= exact - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn best_alpha_dominates_alpha1() {
+        for l in [6usize, 9, 12] {
+            for m in [2usize, 8, 32] {
+                let best = hypercube_bound_best_alpha(l, m);
+                let a1 = hypercube_closed_form_bound(l, m, 1);
+                assert!(best >= a1 - 1e-9, "l={l} M={m}");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_spectrum_bound_dominates_shell_bounds() {
+        for l in [5usize, 8, 10] {
+            for m in [2usize, 8] {
+                let shell = hypercube_bound_best_alpha(l, m);
+                let exact = hypercube_exact_spectrum_bound(l, m, 1 << l);
+                assert!(
+                    exact.bound >= shell - 1e-9,
+                    "l={l} M={m}: exact={} shell={shell}",
+                    exact.bound
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nontrivial_threshold_matches_alpha1_sign() {
+        for l in [8usize, 10, 12] {
+            let thresh = hypercube_nontrivial_memory_threshold(l);
+            let below = (thresh * 0.5) as usize;
+            let above = (thresh * 2.0) as usize + 2;
+            assert!(hypercube_bound_alpha1(l, below.max(1)) > 0.0, "l={l}");
+            assert!(hypercube_bound_alpha1(l, above) < 0.0, "l={l}");
+        }
+    }
+}

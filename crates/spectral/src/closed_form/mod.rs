@@ -1,0 +1,43 @@
+//! Closed-form analytical bounds for specific graph families (paper §5).
+//!
+//! For graphs with known Laplacian spectra, Theorem 5 can be evaluated
+//! analytically. §5.1 treats the Bellman–Held–Karp hypercube, §5.2 the FFT
+//! butterfly — whose spectrum-with-multiplicities (Theorem 7 / Appendix A)
+//! is the paper's side contribution, derived by recursively splitting the
+//! butterfly into weighted path graphs — and §5.3 gives probabilistic
+//! bounds for Erdős–Rényi graphs.
+
+pub mod butterfly;
+pub mod erdos_renyi;
+pub mod hypercube;
+pub mod paths;
+
+pub use butterfly::{butterfly_spectrum, fft_closed_form_bound};
+pub use hypercube::{hypercube_closed_form_bound, hypercube_spectrum};
+
+/// Expands a `(value, multiplicity)` spectrum into a sorted flat list.
+pub fn expand_spectrum(spec: &[(f64, usize)]) -> Vec<f64> {
+    let mut out: Vec<f64> = spec
+        .iter()
+        .flat_map(|&(v, m)| std::iter::repeat_n(v, m))
+        .collect();
+    out.sort_by(f64::total_cmp);
+    out
+}
+
+/// Total multiplicity of a spectrum.
+pub fn spectrum_size(spec: &[(f64, usize)]) -> usize {
+    spec.iter().map(|&(_, m)| m).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expand_sorts_and_repeats() {
+        let spec = [(2.0, 2), (0.0, 1), (1.0, 3)];
+        assert_eq!(expand_spectrum(&spec), vec![0.0, 1.0, 1.0, 1.0, 2.0, 2.0]);
+        assert_eq!(spectrum_size(&spec), 6);
+    }
+}

@@ -1,0 +1,129 @@
+//! Weighted path graphs and their closed-form spectra (Appendix A,
+//! Lemma 11).
+//!
+//! The butterfly Laplacian decomposes into three kinds of weight-2 path
+//! graphs (vertex weights model the halved neighbours):
+//!
+//! * `P_i` — `i` vertices, edge weights 2:
+//!   `λ_j = 4 − 4cos(πj/i)`, `j = 0..i−1`;
+//! * `P'_i` — additionally one endpoint carries vertex weight 2:
+//!   `λ_j = 4 − 4cos(π(2j+1)/(2i+1))`, `j = 0..i−1`;
+//! * `P''_i` — both endpoints carry vertex weight 2 (a pure Toeplitz
+//!   tridiagonal): `λ_j = 4 − 4cos(πj/(i+1))`, `j = 1..i`.
+
+use std::f64::consts::PI;
+
+/// Closed-form spectrum of `P_i` (ascending).
+pub fn path_p(i: usize) -> Vec<f64> {
+    (0..i).map(|j| 4.0 - 4.0 * (PI * j as f64 / i as f64).cos()).collect()
+}
+
+/// Closed-form spectrum of `P'_i` (ascending).
+pub fn path_p_prime(i: usize) -> Vec<f64> {
+    (0..i)
+        .map(|j| 4.0 - 4.0 * (PI * (2 * j + 1) as f64 / (2 * i + 1) as f64).cos())
+        .collect()
+}
+
+/// Closed-form spectrum of `P''_i` (ascending).
+pub fn path_p_double_prime(i: usize) -> Vec<f64> {
+    (1..=i)
+        .map(|j| 4.0 - 4.0 * (PI * j as f64 / (i + 1) as f64).cos())
+        .collect()
+}
+
+/// `(d, e)` tridiagonal Laplacian of the weighted path: edge weights 2,
+/// with optional +2 vertex weights at the left/right endpoints. Used by
+/// tests to verify the closed forms numerically.
+pub fn path_laplacian_tridiagonal(
+    i: usize,
+    left_weighted: bool,
+    right_weighted: bool,
+) -> (Vec<f64>, Vec<f64>) {
+    assert!(i >= 1);
+    let mut d = vec![4.0; i];
+    if i == 1 {
+        // A single vertex has no incident edges: only vertex weights.
+        d[0] = 0.0;
+    } else {
+        d[0] = 2.0;
+        d[i - 1] = 2.0;
+        if i == 2 {
+            // both entries already set to 2
+        }
+    }
+    if left_weighted {
+        d[0] += 2.0;
+    }
+    if right_weighted {
+        d[i - 1] += 2.0;
+    }
+    let e = vec![-2.0; i.saturating_sub(1)];
+    (d, e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphio_linalg::tridiagonal_eigenvalues;
+
+    fn assert_spectra_match(closed: &[f64], d: &[f64], e: &[f64]) {
+        let mut numeric = tridiagonal_eigenvalues(d, e).unwrap();
+        numeric.sort_by(f64::total_cmp);
+        let mut closed = closed.to_vec();
+        closed.sort_by(f64::total_cmp);
+        assert_eq!(closed.len(), numeric.len());
+        for (c, n) in closed.iter().zip(numeric.iter()) {
+            assert!((c - n).abs() < 1e-9, "closed {c} vs numeric {n}");
+        }
+    }
+
+    #[test]
+    fn p_spectrum_matches_numeric() {
+        for i in 2..=10 {
+            let (d, e) = path_laplacian_tridiagonal(i, false, false);
+            assert_spectra_match(&path_p(i), &d, &e);
+        }
+    }
+
+    #[test]
+    fn p_prime_spectrum_matches_numeric() {
+        for i in 1..=10 {
+            let (d, e) = path_laplacian_tridiagonal(i, false, true);
+            assert_spectra_match(&path_p_prime(i), &d, &e);
+        }
+    }
+
+    #[test]
+    fn p_double_prime_spectrum_matches_numeric() {
+        for i in 1..=10 {
+            let (d, e) = path_laplacian_tridiagonal(i, true, true);
+            assert_spectra_match(&path_p_double_prime(i), &d, &e);
+        }
+    }
+
+    #[test]
+    fn p_prime_values_are_odd_eigenvalues_of_p_2i_plus_1() {
+        // Lemma 11's proof: λ(P'_i) are the odd-indexed eigenvalues of
+        // P_{2i+1}.
+        let i = 6;
+        let big = path_p(2 * i + 1);
+        let prime = path_p_prime(i);
+        for (j, v) in prime.iter().enumerate() {
+            let odd = big[2 * j + 1];
+            assert!((v - odd).abs() < 1e-12, "j={j}: {v} vs {odd}");
+        }
+    }
+
+    #[test]
+    fn left_or_right_weighting_is_symmetric() {
+        let i = 5;
+        let (dl, el) = path_laplacian_tridiagonal(i, true, false);
+        let (dr, er) = path_laplacian_tridiagonal(i, false, true);
+        let l = tridiagonal_eigenvalues(&dl, &el).unwrap();
+        let r = tridiagonal_eigenvalues(&dr, &er).unwrap();
+        for (a, b) in l.iter().zip(r.iter()) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+}

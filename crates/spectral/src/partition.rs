@@ -1,0 +1,243 @@
+//! Partition machinery behind the bound (paper §4.1–4.2).
+//!
+//! Lemma 1 (from Ballard et al.): for any evaluation order `X` and any
+//! partition `P` of the order into contiguous segments,
+//! `J_G(X) ≥ Σ_{S∈P} (|R_S| + |W_S|) − 2M|P|`, where `R_S` are the
+//! outside vertices read into a segment and `W_S` the inside vertices that
+//! must survive it. Theorem 2 relaxes vertex counts to out-degree-weighted
+//! edge counts, and the `W^{(k)}` matrices of §4.2 turn the balanced
+//! `k`-partition's cost into the trace form `tr(XᵀL̃XW^{(k)})`.
+//!
+//! These evaluators make the chain testable end-to-end: for any concrete
+//! order we can check `rs_ws_cost ≥ edge_cost == trace form ≥ spectral
+//! relaxation`.
+
+use graphio_graph::CompGraph;
+use graphio_linalg::DenseMatrix;
+
+/// Segment sizes of the balanced contiguous `k`-partition of `n` items:
+/// the first `n mod k` segments get `⌊n/k⌋ + 1`, the rest `⌊n/k⌋`.
+///
+/// # Panics
+/// Panics if `k == 0` or `k > n`.
+pub fn contiguous_partition_sizes(n: usize, k: usize) -> Vec<usize> {
+    assert!(k >= 1 && k <= n, "need 1 <= k <= n");
+    let base = n / k;
+    let extra = n % k;
+    (0..k)
+        .map(|i| if i < extra { base + 1 } else { base })
+        .collect()
+}
+
+/// Maps each order position `0..n` to its segment id under the balanced
+/// `k`-partition.
+pub fn segment_of_position(n: usize, k: usize) -> Vec<usize> {
+    let sizes = contiguous_partition_sizes(n, k);
+    let mut seg = Vec::with_capacity(n);
+    for (s, &len) in sizes.iter().enumerate() {
+        seg.extend(std::iter::repeat_n(s, len));
+    }
+    seg
+}
+
+/// The edge-priced partition cost of Theorem 2 for a concrete evaluation
+/// order: `Σ_S Σ_{(u,v) ∈ ∂S} 1/d_out(u) − 2kM`.
+///
+/// A crossing edge `(u, v)` lies on the boundary of *two* segments — it is
+/// a write leaving `u`'s segment and a read entering `v`'s — so it is
+/// priced `2/d_out(u)` in total, which is exactly what the trace form
+/// `tr(XᵀL̃XW^{(k)}) − 2kM` computes (each segment's quadratic form prices
+/// its full boundary; verified against the dense trace in tests).
+///
+/// # Panics
+/// Panics if `order` is not a valid topological order of `g`.
+pub fn edge_partition_cost(g: &CompGraph, order: &[usize], k: usize, memory: usize) -> f64 {
+    assert!(g.is_topological(order), "order must be topological");
+    let n = g.n();
+    let seg_by_pos = segment_of_position(n, k);
+    // position of each vertex in the order
+    let mut seg_of_vertex = vec![0usize; n];
+    for (pos, &v) in order.iter().enumerate() {
+        seg_of_vertex[v] = seg_by_pos[pos];
+    }
+    let mut cost = 0.0;
+    for (u, v) in g.edges() {
+        if seg_of_vertex[u] != seg_of_vertex[v] {
+            cost += 2.0 / g.out_degree(u) as f64;
+        }
+    }
+    cost - 2.0 * k as f64 * memory as f64
+}
+
+/// The exact Lemma 1 cost for a concrete order:
+/// `Σ_S (|R_S| + |W_S|) − 2kM`, counting *vertices* (an outside vertex
+/// feeding a segment counts once however many edges it sends in).
+///
+/// # Panics
+/// Panics if `order` is not a valid topological order of `g`.
+pub fn rs_ws_partition_cost(g: &CompGraph, order: &[usize], k: usize, memory: usize) -> f64 {
+    assert!(g.is_topological(order), "order must be topological");
+    let n = g.n();
+    let seg_by_pos = segment_of_position(n, k);
+    let mut seg_of_vertex = vec![0usize; n];
+    for (pos, &v) in order.iter().enumerate() {
+        seg_of_vertex[v] = seg_by_pos[pos];
+    }
+    let mut total = 0usize;
+    // |W_S|: vertices with at least one child in another segment.
+    for u in 0..n {
+        if g.children(u)
+            .iter()
+            .any(|&c| seg_of_vertex[c as usize] != seg_of_vertex[u])
+        {
+            total += 1;
+        }
+    }
+    // |R_S|: for each segment S, outside vertices feeding S (distinct per
+    // segment: the same vertex can be read by several segments).
+    // Equivalently: per vertex u, the number of distinct foreign segments
+    // among its children's segments.
+    let mut seen: Vec<usize> = vec![usize::MAX; k];
+    for u in 0..n {
+        for &c in g.children(u) {
+            let s = seg_of_vertex[c as usize];
+            if s != seg_of_vertex[u] && seen[s] != u {
+                seen[s] = u;
+                total += 1;
+            }
+        }
+    }
+    total as f64 - 2.0 * k as f64 * memory as f64
+}
+
+/// The block-diagonal `W^{(k)} = Ŵ^{(k)}(Ŵ^{(k)})ᵀ` matrix of §4.2 for the
+/// identity evaluation order: `W_{ij} = 1` iff positions `i` and `j` fall
+/// in the same segment of the balanced `k`-partition.
+pub fn w_matrix(n: usize, k: usize) -> DenseMatrix {
+    let seg = segment_of_position(n, k);
+    let mut w = DenseMatrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            if seg[i] == seg[j] {
+                w[(i, j)] = 1.0;
+            }
+        }
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laplacian::normalized_laplacian;
+    use graphio_graph::generators::{fft_butterfly, inner_product};
+    use graphio_graph::topo::{natural_order, random_order};
+    use graphio_linalg::orthogonal::permutation_matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn partition_sizes_are_balanced() {
+        assert_eq!(contiguous_partition_sizes(10, 3), vec![4, 3, 3]);
+        assert_eq!(contiguous_partition_sizes(9, 3), vec![3, 3, 3]);
+        assert_eq!(contiguous_partition_sizes(5, 5), vec![1, 1, 1, 1, 1]);
+        assert_eq!(contiguous_partition_sizes(7, 1), vec![7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "need 1 <= k <= n")]
+    fn zero_segments_rejected() {
+        contiguous_partition_sizes(5, 0);
+    }
+
+    #[test]
+    fn segment_map_matches_sizes() {
+        let seg = segment_of_position(10, 3);
+        assert_eq!(seg, vec![0, 0, 0, 0, 1, 1, 1, 2, 2, 2]);
+    }
+
+    #[test]
+    fn edge_cost_equals_trace_form() {
+        // tr(Xᵀ L̃ X W^{(k)}) − 2kM must equal edge_partition_cost for the
+        // same order — the identity anchoring §4.2's matrix formulation.
+        let g = fft_butterfly(3);
+        let n = g.n();
+        let lt = normalized_laplacian(&g).to_dense();
+        let mut rng = StdRng::seed_from_u64(5);
+        for k in [2usize, 3, 5] {
+            for _ in 0..3 {
+                let order = random_order(&g, &mut rng);
+                let m = 4usize;
+                let direct = edge_partition_cost(&g, &order, k, m);
+                // Paper convention: X_{ij} = 1 iff v_j is computed at
+                // time-step i (rows = time, columns = vertex). Then
+                // (X L̃ Xᵀ)_{pq} = L̃_{order[p], order[q]} re-indexes the
+                // Laplacian by position, and W^{(k)} (position-indexed
+                // block-diagonal) selects within-segment pairs:
+                // cost = tr(X L̃ Xᵀ W^{(k)}) − 2kM.
+                let mut pos = vec![0usize; n];
+                for (p, &v) in order.iter().enumerate() {
+                    pos[v] = p;
+                }
+                let x = permutation_matrix(&pos);
+                let w = w_matrix(n, k);
+                let x_l_xt = x.matmul(&lt).unwrap().matmul(&x.transpose()).unwrap();
+                let trace = x_l_xt.matmul(&w).unwrap().trace();
+                let matrix_form = trace - 2.0 * k as f64 * m as f64;
+                assert!(
+                    (direct - matrix_form).abs() < 1e-9,
+                    "k={k}: direct={direct} matrix={matrix_form}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rs_ws_cost_dominates_edge_cost() {
+        // Theorem 2's relaxation: |R_S| + |W_S| ≥ Σ_{∂S} 1/d_out(u).
+        let g = fft_butterfly(3);
+        let mut rng = StdRng::seed_from_u64(11);
+        for k in [2usize, 4, 7] {
+            for _ in 0..5 {
+                let order = random_order(&g, &mut rng);
+                let rw = rs_ws_partition_cost(&g, &order, k, 2);
+                let ec = edge_partition_cost(&g, &order, k, 2);
+                assert!(rw >= ec - 1e-9, "k={k}: rw={rw} < edge={ec}");
+            }
+        }
+    }
+
+    #[test]
+    fn inner_product_costs_by_hand() {
+        // Natural order 0..6 on Figure 1, k=2: segments {0,1,2,3}, {4,5,6}.
+        // Vertices 0..3 are inputs, 4,5 products, 6 the sum. Edges
+        // 0->4, 1->4, 2->5, 3->5 cross (products are in segment 2);
+        // 4->6, 5->6 stay inside. Every source has out-degree 1, so each
+        // crossing edge is priced 2 (one write + one read): cost
+        // 8 − 2kM = 8 − 4 = 4.
+        let g = inner_product(2);
+        let order = natural_order(&g);
+        let cost = edge_partition_cost(&g, &order, 2, 1);
+        assert!((cost - 4.0).abs() < 1e-12);
+        // Lemma 1 counts vertices: |W_{S1}| = 4 (inputs live on), and
+        // |R_{S2}| = 4 (the same inputs read in): 8 − 4 = 4.
+        let rw = rs_ws_partition_cost(&g, &order, 2, 1);
+        assert!((rw - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn w_matrix_is_block_diagonal_projection_scaled() {
+        let w = w_matrix(6, 2);
+        for i in 0..6 {
+            for j in 0..6 {
+                let same = (i < 3) == (j < 3);
+                assert_eq!(w[(i, j)], if same { 1.0 } else { 0.0 });
+            }
+        }
+        // Eigenvalues: k blocks of all-ones => nonzeros are the block sizes.
+        let vals = graphio_linalg::eigenvalues_symmetric(&w).unwrap();
+        assert!((vals[5] - 3.0).abs() < 1e-9);
+        assert!((vals[4] - 3.0).abs() < 1e-9);
+        assert!(vals[3].abs() < 1e-9);
+    }
+}

@@ -1,0 +1,89 @@
+//! Previously published asymptotic I/O lower bounds (paper §6.2).
+//!
+//! These are the comparison curves the paper plots its computed bounds
+//! against. They are Ω(·) statements, so only the *parameter term* matters
+//! (the paper plots "computed I/O vs the analytical bound's growth term"
+//! and checks linearity); constants here are taken as 1.
+
+/// Hong & Kung's tight FFT bound: `Ω(l·2^l / log M)` for a `2^l`-point FFT
+/// (`log` base 2, memory `M ≥ 2`).
+pub fn fft_hong_kung(l: usize, memory: usize) -> f64 {
+    let m = (memory.max(2)) as f64;
+    (l as f64) * (1u64 << l) as f64 / m.log2()
+}
+
+/// Irony–Toledo–Tiskin naive matmul bound: `Ω(n³ / √M)`.
+pub fn matmul_irony_toledo_tiskin(n: usize, memory: usize) -> f64 {
+    (n as f64).powi(3) / (memory as f64).sqrt()
+}
+
+/// Ballard–Demmel–Holtz–Schwartz Strassen bound:
+/// `Ω((n/√M)^{log2 7} · M)`.
+pub fn strassen_bdhs(n: usize, memory: usize) -> f64 {
+    let m = memory as f64;
+    (n as f64 / m.sqrt()).powf(7f64.log2()) * m
+}
+
+/// The paper's own §5.1 closed-form Bellman–Held–Karp growth term:
+/// `Ω(2^l/l − 2Ml)` (§6.2 item 4 plots against `2^l/l`).
+pub fn bhk_growth_term(l: usize) -> f64 {
+    (1u64 << l) as f64 / l as f64
+}
+
+/// Growth abscissas used on the x-axes of Figures 7–10.
+pub mod growth {
+    /// Figure 7 bottom panel: `l · 2^l`.
+    pub fn fft(l: usize) -> f64 {
+        (l as f64) * (1u64 << l) as f64
+    }
+
+    /// Figure 8 bottom panel: `n³`.
+    pub fn matmul(n: usize) -> f64 {
+        (n as f64).powi(3)
+    }
+
+    /// Figure 9 bottom panel: `n^{log2 7}`.
+    pub fn strassen(n: usize) -> f64 {
+        (n as f64).powf(7f64.log2())
+    }
+
+    /// Figure 10 bottom panel: `2^l / l`.
+    pub fn bhk(l: usize) -> f64 {
+        (1u64 << l) as f64 / l as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fft_bound_decreases_with_memory() {
+        assert!(fft_hong_kung(10, 4) > fft_hong_kung(10, 16));
+        // l·2^l / log2(4) = 10*1024/2.
+        assert!((fft_hong_kung(10, 4) - 5120.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn matmul_bound_scales_cubically() {
+        let b1 = matmul_irony_toledo_tiskin(8, 16);
+        let b2 = matmul_irony_toledo_tiskin(16, 16);
+        assert!((b2 / b1 - 8.0).abs() < 1e-12);
+        assert!((matmul_irony_toledo_tiskin(4, 16) - 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn strassen_bound_value() {
+        // n=8, M=4: (8/2)^log2(7) * 4 = 4^2.807.. * 4 ≈ 49*4 = 196.
+        let b = strassen_bdhs(8, 4);
+        assert!((b - 4f64.powf(7f64.log2()) * 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn growth_terms() {
+        assert_eq!(growth::fft(3), 24.0);
+        assert_eq!(growth::matmul(4), 64.0);
+        assert_eq!(growth::bhk(4), 4.0);
+        assert!((growth::strassen(2) - 7.0).abs() < 1e-12);
+    }
+}

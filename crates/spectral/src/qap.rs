@@ -1,0 +1,133 @@
+//! The trace inequality behind Theorem 4's relaxation.
+//!
+//! Finke, Burkard & Rendl (1987), Theorem 3: for symmetric `A`, `B` and any
+//! orthogonal `X`,
+//! `tr(XᵀAXB) ≥ Σᵢ λᵢ(A) · μ_{n−i+1}(B)` — the minimal dot product of the
+//! two spectra (one sorted ascending against the other descending).
+//!
+//! In the paper `A = L̃` and `B = W^{(k)}`, whose spectrum is `k` values
+//! `≥ ⌊n/k⌋` and `n − k` zeros; the minimal dot product therefore pairs the
+//! large `μ`'s with the smallest Laplacian eigenvalues, yielding
+//! `tr(XᵀL̃XW^{(k)}) ≥ ⌊n/k⌋ Σᵢ₌₁ᵏ λᵢ(L̃)`.
+
+use graphio_linalg::DenseMatrix;
+
+/// The minimal dot product `Σᵢ λᵢ μ_{n−1−i}` of two spectra: `lams` sorted
+/// ascending paired against `mus` sorted descending.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn min_spectral_dot(lams: &[f64], mus: &[f64]) -> f64 {
+    assert_eq!(lams.len(), mus.len(), "spectra must have equal length");
+    let mut l = lams.to_vec();
+    let mut m = mus.to_vec();
+    l.sort_by(f64::total_cmp);
+    m.sort_by(f64::total_cmp);
+    l.iter().zip(m.iter().rev()).map(|(a, b)| a * b).sum()
+}
+
+/// Evaluates `tr(XᵀAXB)` densely (test-sized matrices).
+///
+/// # Panics
+/// Panics if shapes are incompatible.
+pub fn trace_objective(a: &DenseMatrix, x: &DenseMatrix, b: &DenseMatrix) -> f64 {
+    x.transpose()
+        .matmul(a)
+        .expect("shape checked by caller")
+        .matmul(x)
+        .expect("shape checked by caller")
+        .matmul(b)
+        .expect("shape checked by caller")
+        .trace()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::w_matrix;
+    use graphio_linalg::orthogonal::random_orthogonal;
+    use graphio_linalg::{eigenvalues_symmetric, eigh};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn random_symmetric(n: usize, rng: &mut StdRng) -> DenseMatrix {
+        use rand::Rng;
+        let mut a = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let v = rng.gen::<f64>() * 2.0 - 1.0;
+                a[(i, j)] = v;
+                a[(j, i)] = v;
+            }
+        }
+        a
+    }
+
+    #[test]
+    fn min_dot_pairs_opposite_ends() {
+        // {1,2,3} vs {10,20,30}: minimal pairing 1*30 + 2*20 + 3*10 = 100.
+        assert_eq!(min_spectral_dot(&[1.0, 2.0, 3.0], &[10.0, 20.0, 30.0]), 100.0);
+        // Input order must not matter.
+        assert_eq!(min_spectral_dot(&[3.0, 1.0, 2.0], &[20.0, 30.0, 10.0]), 100.0);
+    }
+
+    #[test]
+    fn finke_inequality_holds_for_random_orthogonal() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for n in [2usize, 4, 7] {
+            let a = random_symmetric(n, &mut rng);
+            let b = random_symmetric(n, &mut rng);
+            let la = eigenvalues_symmetric(&a).unwrap();
+            let lb = eigenvalues_symmetric(&b).unwrap();
+            let floor = min_spectral_dot(&la, &lb);
+            for _ in 0..25 {
+                let x = random_orthogonal(n, &mut rng);
+                let tr = trace_objective(&a, &x, &b);
+                assert!(
+                    tr >= floor - 1e-8 * (1.0 + floor.abs()),
+                    "n={n}: tr={tr} < floor={floor}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn inequality_is_tight_at_the_aligning_rotation() {
+        // X built from the eigenvectors of A (ascending) against those of B
+        // (descending) achieves the minimum exactly.
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 5;
+        let a = random_symmetric(n, &mut rng);
+        let b = random_symmetric(n, &mut rng);
+        let (la, va) = eigh(&a).unwrap();
+        let (lb, vb) = eigh(&b).unwrap();
+        // Columns of va ascend; reverse the columns of vb to descend.
+        let mut vb_rev = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                vb_rev[(i, j)] = vb[(i, n - 1 - j)];
+            }
+        }
+        // X = Va Vb_revᵀ rotates B's descending eigenbasis onto A's
+        // ascending one.
+        let x = va.matmul(&vb_rev.transpose()).unwrap();
+        let tr = trace_objective(&a, &x, &b);
+        let floor = min_spectral_dot(&la, &lb);
+        assert!((tr - floor).abs() < 1e-8, "tr={tr} floor={floor}");
+    }
+
+    #[test]
+    fn w_matrix_spectrum_matches_theorem4_reasoning() {
+        // W^{(k)}'s nonzero eigenvalues are the segment sizes, all
+        // ≥ ⌊n/k⌋; the paper's bound uses exactly that floor.
+        let n = 11;
+        let k = 4;
+        let w = w_matrix(n, k);
+        let vals = eigenvalues_symmetric(&w).unwrap();
+        let nonzero: Vec<f64> = vals.iter().copied().filter(|v| v.abs() > 1e-9).collect();
+        assert_eq!(nonzero.len(), k);
+        for v in nonzero {
+            assert!(v >= (n / k) as f64 - 1e-9);
+        }
+    }
+}

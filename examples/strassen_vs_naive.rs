@@ -1,0 +1,69 @@
+//! Naive vs Strassen matrix multiplication through the I/O lens (§6.2):
+//! the spectral bound applied to both computation graphs, against their
+//! published asymptotic bounds — and the convex min-cut baseline's
+//! failure on the naive graph.
+//!
+//! ```text
+//! cargo run --release --example strassen_vs_naive
+//! ```
+
+use graphio::baselines::convex_mincut::VertexSweep;
+use graphio::prelude::*;
+use graphio::spectral::published::{matmul_irony_toledo_tiskin, strassen_bdhs};
+
+fn main() {
+    let m = 16;
+    println!("n x n matrix multiplication, fast memory M = {m}\n");
+    println!(
+        "{:>4} {:>10} {:>14} {:>14} {:>14} {:>14}",
+        "n", "graph", "vertices", "spectral", "min-cut", "published Ω"
+    );
+    for n in [4usize, 8, 16] {
+        let naive = naive_matmul(n);
+        let strassen = strassen_matmul(n);
+        for (name, g, published) in [
+            ("naive", &naive, matmul_irony_toledo_tiskin(n, m)),
+            ("strassen", &strassen, strassen_bdhs(n, m)),
+        ] {
+            // Skip points whose max in-degree exceeds fast memory (the
+            // paper suppresses these too).
+            if g.max_in_degree() > m {
+                println!("{n:>4} {name:>10} {:>14} {:>14} {:>14} {published:>14.0}", g.n(), "(skip)", "(skip)");
+                continue;
+            }
+            // Shrink h on big graphs: the optimal k stays small (§6.5),
+            // and fewer eigenvalues means far fewer Lanczos sweeps.
+            let opts = BoundOptions {
+                h: if g.n() > 5000 { 32 } else { 100 },
+                ..Default::default()
+            };
+            let sb = spectral_bound(g, m, &opts).unwrap();
+            // The per-vertex min-cut sweep is the baseline's bottleneck;
+            // sample on big graphs (still a sound lower bound).
+            let sweep = if g.n() > 4000 {
+                VertexSweep::Sample { count: 512, seed: 1 }
+            } else {
+                VertexSweep::All
+            };
+            let mc = convex_min_cut_bound(
+                g,
+                m,
+                &ConvexMinCutOptions {
+                    sweep,
+                    ..Default::default()
+                },
+            );
+            println!(
+                "{n:>4} {name:>10} {:>14} {:>14.1} {:>14} {published:>14.0}",
+                g.n(),
+                sb.bound,
+                mc.bound
+            );
+        }
+    }
+    println!(
+        "\nNote the min-cut column: identically zero on the naive graph\n\
+         (its wavefronts are O(1)-sized), while the spectral bound keeps\n\
+         growing — the paper's §6.4 observation."
+    );
+}

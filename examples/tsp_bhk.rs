@@ -1,0 +1,51 @@
+//! Bellman–Held–Karp TSP (§5.1): closed-form vs numeric spectral bounds on
+//! the boolean-hypercube computation graph, across memory sizes.
+//!
+//! ```text
+//! cargo run --release --example tsp_bhk
+//! ```
+
+use graphio::prelude::*;
+use graphio::spectral::closed_form::hypercube::{
+    hypercube_bound_alpha1, hypercube_bound_best_alpha, hypercube_nontrivial_memory_threshold,
+};
+
+fn main() {
+    let l = 12; // cities
+    let g = bhk_hypercube(l);
+    println!(
+        "Bellman-Held-Karp, {l} cities: hypercube Q_{l} with {} vertices, {} edges",
+        g.n(),
+        g.num_edges()
+    );
+    println!(
+        "alpha=1 closed form stays nontrivial while M <= 2^l/(l+1)^2 = {:.1}\n",
+        hypercube_nontrivial_memory_threshold(l)
+    );
+
+    println!(
+        "{:>6} {:>16} {:>16} {:>16} {:>16}",
+        "M", "closed α=1", "closed best α", "numeric Thm5", "numeric Thm4"
+    );
+    for m in [4usize, 8, 16, 32, 64] {
+        let closed_a1 = hypercube_bound_alpha1(l, m).max(0.0);
+        let closed_best = hypercube_bound_best_alpha(l, m);
+        let thm5 = spectral_bound_original(&g, m, &BoundOptions::default()).unwrap();
+        let thm4 = spectral_bound(&g, m, &BoundOptions::default()).unwrap();
+        println!(
+            "{m:>6} {closed_a1:>16.1} {closed_best:>16.1} {:>16.1} {:>16.1}",
+            thm5.bound, thm4.bound
+        );
+    }
+
+    // Sandwich against an actual execution at one memory size.
+    let m = 16;
+    let order = graphio::graph::topo::natural_order(&g);
+    let sim = simulate(&g, &order, m, Policy::Belady, 0).unwrap();
+    let lower = spectral_bound(&g, m, &BoundOptions::default()).unwrap();
+    println!(
+        "\nM = {m}: spectral {:.0} <= J* <= {} (popcount-order Belady execution)",
+        lower.bound,
+        sim.io()
+    );
+}

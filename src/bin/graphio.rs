@@ -1,0 +1,167 @@
+//! `graphio` command-line tool: generate computation graphs, compute I/O
+//! lower bounds, and simulate executions from the shell.
+//!
+//! ```text
+//! graphio generate fft 6                     # emit edge-list JSON on stdout
+//! graphio bound --memory 4 < graph.json      # spectral + min-cut bounds
+//! graphio simulate --memory 4 --policy lru < graph.json
+//! graphio dot < graph.json                   # Graphviz rendering
+//! ```
+
+use graphio::baselines::convex_mincut::{convex_min_cut_bound, ConvexMinCutOptions, VertexSweep};
+use graphio::graph::dot::{to_dot, DotOptions};
+use graphio::graph::generators::{
+    bhk_hypercube, diamond_dag, erdos_renyi_dag, fft_butterfly, inner_product, naive_matmul,
+    strassen_matmul,
+};
+use graphio::graph::topo::{bfs_order, dfs_order, natural_order};
+use graphio::graph::{CompGraph, EdgeListGraph};
+use graphio::pebble::{simulate, Policy};
+use graphio::spectral::{spectral_bound, BoundOptions};
+use std::io::Read;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  graphio generate <family> <size> [--p <prob>] [--seed <s>]\n  \
+         graphio bound --memory <M> [--processors <p>] < graph.json\n  \
+         graphio simulate --memory <M> [--policy lru|fifo|belady|random] [--order natural|dfs|bfs] < graph.json\n  \
+         graphio dot < graph.json\n\n\
+         families: fft, bhk, matmul, strassen, inner, diamond, er"
+    );
+    std::process::exit(2)
+}
+
+fn read_graph_from_stdin() -> CompGraph {
+    let mut buf = String::new();
+    std::io::stdin()
+        .read_to_string(&mut buf)
+        .unwrap_or_else(|e| {
+            eprintln!("error reading stdin: {e}");
+            std::process::exit(1);
+        });
+    let el: EdgeListGraph = serde_json::from_str(&buf).unwrap_or_else(|e| {
+        eprintln!("error parsing graph JSON: {e}");
+        std::process::exit(1);
+    });
+    CompGraph::try_from(el).unwrap_or_else(|e| {
+        eprintln!("invalid graph: {e}");
+        std::process::exit(1);
+    })
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { usage() };
+    match cmd.as_str() {
+        "generate" => {
+            let family = args.get(1).unwrap_or_else(|| usage());
+            let size: usize = args
+                .get(2)
+                .and_then(|s| s.parse().ok())
+                .unwrap_or_else(|| usage());
+            let seed: u64 = flag_value(&args, "--seed")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0);
+            let p: f64 = flag_value(&args, "--p")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0.1);
+            let g = match family.as_str() {
+                "fft" => fft_butterfly(size),
+                "bhk" => bhk_hypercube(size),
+                "matmul" => naive_matmul(size),
+                "strassen" => strassen_matmul(size),
+                "inner" => inner_product(size),
+                "diamond" => diamond_dag(size, size),
+                "er" => erdos_renyi_dag(size, p, seed),
+                _ => usage(),
+            };
+            println!(
+                "{}",
+                serde_json::to_string(&g.to_edge_list()).expect("serializable")
+            );
+        }
+        "bound" => {
+            let m: usize = flag_value(&args, "--memory")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or_else(|| usage());
+            let p: usize = flag_value(&args, "--processors")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(1);
+            let g = read_graph_from_stdin();
+            let spectral = if p == 1 {
+                spectral_bound(&g, m, &BoundOptions::default())
+            } else {
+                graphio::spectral::parallel_spectral_bound(&g, m, p, &BoundOptions::default())
+            };
+            match spectral {
+                Ok(b) => println!(
+                    "spectral lower bound: {:.2}  (best k = {}, n = {})",
+                    b.bound,
+                    b.best_k,
+                    g.n()
+                ),
+                Err(e) => eprintln!("spectral bound failed: {e}"),
+            }
+            let sweep = if g.n() > 3000 {
+                VertexSweep::Sample { count: 512, seed: 7 }
+            } else {
+                VertexSweep::All
+            };
+            let mc = convex_min_cut_bound(
+                &g,
+                m,
+                &ConvexMinCutOptions {
+                    sweep,
+                    ..Default::default()
+                },
+            );
+            println!(
+                "convex min-cut bound: {}  (max wavefront = {})",
+                mc.bound, mc.max_cut
+            );
+        }
+        "simulate" => {
+            let m: usize = flag_value(&args, "--memory")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or_else(|| usage());
+            let policy = match flag_value(&args, "--policy").as_deref() {
+                None | Some("lru") => Policy::Lru,
+                Some("fifo") => Policy::Fifo,
+                Some("belady") => Policy::Belady,
+                Some("random") => Policy::Random,
+                Some(_) => usage(),
+            };
+            let g = read_graph_from_stdin();
+            let order = match flag_value(&args, "--order").as_deref() {
+                None | Some("natural") => natural_order(&g),
+                Some("dfs") => dfs_order(&g),
+                Some("bfs") => bfs_order(&g),
+                Some(_) => usage(),
+            };
+            match simulate(&g, &order, m, policy, 0) {
+                Ok(r) => println!(
+                    "simulated I/O: {} ({} reads, {} writes, peak residency {})",
+                    r.io(),
+                    r.reads,
+                    r.writes,
+                    r.peak_resident
+                ),
+                Err(e) => {
+                    eprintln!("simulation failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        "dot" => {
+            let g = read_graph_from_stdin();
+            print!("{}", to_dot(&g, &DotOptions::default()));
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,100 @@
+//! End-to-end tests of the `graphio` CLI binary (generate → bound /
+//! simulate / dot pipelines through real process boundaries).
+
+use std::io::Write as _;
+use std::process::{Command, Stdio};
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_graphio"))
+}
+
+fn generate(family: &str, size: usize) -> String {
+    let out = cli()
+        .args(["generate", family, &size.to_string()])
+        .output()
+        .expect("spawn graphio generate");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    String::from_utf8(out.stdout).expect("utf8 json")
+}
+
+fn run_with_stdin(args: &[&str], stdin_data: &str) -> (String, String, bool) {
+    let mut child = cli()
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn graphio");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin piped")
+        .write_all(stdin_data.as_bytes())
+        .expect("write stdin");
+    let out = child.wait_with_output().expect("wait");
+    (
+        String::from_utf8_lossy(&out.stdout).to_string(),
+        String::from_utf8_lossy(&out.stderr).to_string(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn generate_emits_parseable_edge_list() {
+    let json = generate("fft", 3);
+    let el: graphio::graph::EdgeListGraph = serde_json::from_str(&json).unwrap();
+    assert_eq!(el.ops.len(), 4 * 8);
+    assert_eq!(el.edges.len(), 2 * 3 * 8);
+}
+
+#[test]
+fn bound_pipeline_reports_both_bounds() {
+    let json = generate("fft", 5);
+    let (stdout, stderr, ok) = run_with_stdin(&["bound", "--memory", "4"], &json);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("spectral lower bound:"), "{stdout}");
+    assert!(stdout.contains("convex min-cut bound:"), "{stdout}");
+}
+
+#[test]
+fn simulate_pipeline_reports_io() {
+    let json = generate("diamond", 4);
+    let (stdout, _, ok) = run_with_stdin(
+        &["simulate", "--memory", "4", "--policy", "belady", "--order", "dfs"],
+        &json,
+    );
+    assert!(ok);
+    assert!(stdout.contains("simulated I/O:"), "{stdout}");
+}
+
+#[test]
+fn simulate_rejects_infeasible_memory() {
+    let json = generate("matmul", 3);
+    // matmul n=3 has 3-ary sums: needs M >= 4.
+    let (_, stderr, ok) = run_with_stdin(&["simulate", "--memory", "3"], &json);
+    assert!(!ok);
+    assert!(stderr.contains("simulation failed"), "{stderr}");
+}
+
+#[test]
+fn dot_pipeline_renders_graphviz() {
+    let json = generate("inner", 2);
+    let (stdout, _, ok) = run_with_stdin(&["dot"], &json);
+    assert!(ok);
+    assert!(stdout.starts_with("digraph"));
+    assert!(stdout.contains("->"));
+}
+
+#[test]
+fn malformed_json_fails_cleanly() {
+    let (_, stderr, ok) = run_with_stdin(&["bound", "--memory", "4"], "{not json");
+    assert!(!ok);
+    assert!(stderr.contains("error parsing graph JSON"));
+}
+
+#[test]
+fn unknown_family_prints_usage() {
+    let out = cli().args(["generate", "mystery", "3"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}

@@ -1,0 +1,113 @@
+#![allow(clippy::needless_range_loop)] // index-parallel array comparisons read clearest
+
+//! Closed-form spectra (§5 / Appendix A) against the numeric eigensolvers
+//! at sizes beyond the in-crate unit tests, exercising the full
+//! CSR + deflated-Lanczos pipeline.
+
+use graphio::prelude::*;
+use graphio::spectral::closed_form::butterfly::butterfly_smallest_eigenvalues;
+use graphio::spectral::closed_form::hypercube::hypercube_smallest_eigenvalues;
+use graphio::spectral::laplacian::{normalized_laplacian, unnormalized_laplacian};
+use graphio_linalg::{lanczos, LanczosOptions};
+
+#[test]
+fn butterfly_spectrum_matches_lanczos_at_l7() {
+    // B_7: 1024 vertices — dense would be slow in debug; Lanczos handles it.
+    let l = 7;
+    let g = fft_butterfly(l);
+    let lap = unnormalized_laplacian(&g);
+    let h = 25;
+    let numeric = lanczos::smallest_eigenvalues(&lap, h, &LanczosOptions::default()).unwrap();
+    let closed = butterfly_smallest_eigenvalues(l, h);
+    for i in 0..h {
+        assert!(
+            (closed[i] - numeric.values[i]).abs() < 1e-6,
+            "i={i}: closed {} vs lanczos {}",
+            closed[i],
+            numeric.values[i]
+        );
+    }
+}
+
+#[test]
+fn hypercube_spectrum_matches_lanczos_at_l10() {
+    let l = 10;
+    let g = bhk_hypercube(l);
+    let lap = unnormalized_laplacian(&g);
+    let h = 15;
+    let numeric = lanczos::smallest_eigenvalues(&lap, h, &LanczosOptions::default()).unwrap();
+    let closed = hypercube_smallest_eigenvalues(l, h);
+    for i in 0..h {
+        assert!(
+            (closed[i] - numeric.values[i]).abs() < 1e-6,
+            "i={i}: closed {} vs lanczos {}",
+            closed[i],
+            numeric.values[i]
+        );
+    }
+}
+
+#[test]
+fn butterfly_normalized_laplacian_is_half_the_plain_one() {
+    // Every butterfly non-sink has out-degree exactly 2, so L̃ = L/2 —
+    // a structural identity that ties the two Laplacian builders together.
+    let g = fft_butterfly(4);
+    let lt = normalized_laplacian(&g);
+    let l = unnormalized_laplacian(&g);
+    for i in 0..g.n() {
+        for &j in g.children(i) {
+            let j = j as usize;
+            assert!((lt.get(i, j) - l.get(i, j) / 2.0).abs() < 1e-12);
+        }
+        assert!((lt.get(i, i) - l.get(i, i) / 2.0).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn closed_form_bounds_dominate_chain_holds_numerically() {
+    // closed-form (specific α) ≤ closed-form (best α) ≤ Theorem 5 numeric
+    // ≤ Theorem 4 numeric — the full dominance chain of the paper's
+    // machinery, evaluated end to end on the hypercube.
+    use graphio::spectral::closed_form::hypercube::{
+        hypercube_bound_best_alpha, hypercube_closed_form_bound,
+    };
+    let l = 8;
+    let g = bhk_hypercube(l);
+    for m in [2usize, 4, 8] {
+        let alpha1 = hypercube_closed_form_bound(l, m, 1).max(0.0);
+        let best = hypercube_bound_best_alpha(l, m);
+        let thm5 = spectral_bound_original(&g, m, &BoundOptions::default()).unwrap();
+        let thm4 = spectral_bound(&g, m, &BoundOptions::default()).unwrap();
+        assert!(alpha1 <= best + 1e-9, "M={m}");
+        assert!(best <= thm5.bound + 1e-6, "M={m}: {best} > {}", thm5.bound);
+        assert!(
+            thm5.bound <= thm4.bound + 1e-6,
+            "M={m}: {} > {}",
+            thm5.bound,
+            thm4.bound
+        );
+    }
+}
+
+#[test]
+fn erdos_renyi_lambda2_concentrates_near_prediction() {
+    use graphio::spectral::closed_form::erdos_renyi::{
+        lambda2_sparse_estimate, sparse_p,
+    };
+    let n = 300;
+    let p0 = 12.0;
+    let p = sparse_p(n, p0);
+    let mut ratios = Vec::new();
+    for seed in 0..5 {
+        let g = erdos_renyi_dag(n, p, seed);
+        let lap = unnormalized_laplacian(&g);
+        let eigs = lanczos::smallest_eigenvalues(&lap, 2, &LanczosOptions::default()).unwrap();
+        ratios.push(eigs.values[1] / lambda2_sparse_estimate(n, p0));
+    }
+    let mean: f64 = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    // Leading-order estimate: expect agreement within ~25% at n = 300.
+    assert!(
+        (mean - 1.0).abs() < 0.25,
+        "λ2 concentration ratio {mean} (ratios {ratios:?})"
+    );
+}

@@ -1,0 +1,125 @@
+//! End-to-end pipeline tests: tracing, serialization, and bound equality
+//! across representations.
+
+use graphio::graph::trace::{trace_fft, trace_inner_product, trace_naive_matmul};
+use graphio::graph::EdgeListGraph;
+use graphio::prelude::*;
+
+#[test]
+fn traced_programs_get_identical_bounds_to_generators() {
+    let m = 4;
+    let pairs: Vec<(CompGraph, CompGraph)> = vec![
+        (trace_fft(4), fft_butterfly(4)),
+        (trace_inner_product(4), inner_product(4)),
+        (trace_naive_matmul(2), naive_matmul(2)),
+    ];
+    for (traced, generated) in pairs {
+        let bt = spectral_bound(&traced, m, &BoundOptions::default()).unwrap();
+        let bg = spectral_bound(&generated, m, &BoundOptions::default()).unwrap();
+        assert!(
+            (bt.bound - bg.bound).abs() < 1e-9,
+            "traced {} vs generated {}",
+            bt.bound,
+            bg.bound
+        );
+        assert_eq!(bt.best_k, bg.best_k);
+    }
+}
+
+#[test]
+fn serde_roundtrip_preserves_graph_and_bound() {
+    let g = strassen_matmul(2);
+    let json = serde_json::to_string(&g.to_edge_list()).unwrap();
+    let el: EdgeListGraph = serde_json::from_str(&json).unwrap();
+    let g2 = CompGraph::try_from(el).unwrap();
+    assert_eq!(g.n(), g2.n());
+    assert_eq!(g.num_edges(), g2.num_edges());
+    let m = 4;
+    let b1 = spectral_bound(&g, m, &BoundOptions::default()).unwrap();
+    let b2 = spectral_bound(&g2, m, &BoundOptions::default()).unwrap();
+    assert!((b1.bound - b2.bound).abs() < 1e-9);
+}
+
+#[test]
+fn custom_graph_via_builder_end_to_end() {
+    // Build a small pipeline by hand, bound it, simulate it.
+    let mut b = GraphBuilder::new();
+    let xs: Vec<u32> = (0..6).map(|_| b.add_vertex(OpKind::Input)).collect();
+    let mut layer = xs;
+    while layer.len() > 1 {
+        let mut next = Vec::new();
+        for pair in layer.chunks(2) {
+            if pair.len() == 2 {
+                let v = b.add_vertex(OpKind::Add);
+                b.add_edge(pair[0], v);
+                b.add_edge(pair[1], v);
+                next.push(v);
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        layer = next;
+    }
+    let g = b.build().unwrap();
+    let m = 3;
+    let lower = spectral_bound(&g, m, &BoundOptions::default()).unwrap();
+    let order = graphio::graph::topo::dfs_order(&g);
+    let upper = simulate(&g, &order, m, Policy::Belady, 0).unwrap();
+    assert!(lower.bound <= upper.io() as f64);
+}
+
+#[test]
+fn dense_and_lanczos_paths_agree_through_public_api() {
+    let g = bhk_hypercube(6); // n = 64
+    let m = 4;
+    let dense = spectral_bound(
+        &g,
+        m,
+        &BoundOptions {
+            method: EigenMethod::Dense,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let lanczos = spectral_bound(
+        &g,
+        m,
+        &BoundOptions {
+            method: EigenMethod::Lanczos(Default::default()),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert!(
+        (dense.bound - lanczos.bound).abs() < 1e-5 * (1.0 + dense.bound),
+        "dense {} vs lanczos {}",
+        dense.bound,
+        lanczos.bound
+    );
+}
+
+#[test]
+fn tracer_handles_nontrivial_control_flow() {
+    // A traced loop with data-dependent-looking (but static) structure:
+    // cumulative sums followed by a pairwise product reduction.
+    let tracer = Tracer::new();
+    let xs = tracer.inputs(8);
+    let mut prefix = xs[0].clone();
+    let mut sums = vec![prefix.clone()];
+    for x in &xs[1..] {
+        prefix = &prefix + x;
+        sums.push(prefix.clone());
+    }
+    let mut acc = &sums[0] * &sums[1];
+    for pair in sums[2..].chunks(2) {
+        if pair.len() == 2 {
+            acc = acc + &pair[0] * &pair[1];
+        }
+    }
+    let g = tracer.finish();
+    assert!(g.is_topological(&graphio::graph::topo::natural_order(&g)));
+    let b = spectral_bound(&g, 3, &BoundOptions::default()).unwrap();
+    let order = graphio::graph::topo::natural_order(&g);
+    let sim = simulate(&g, &order, 3, Policy::Lru, 0).unwrap();
+    assert!(b.bound <= sim.io() as f64);
+}

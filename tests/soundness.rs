@@ -1,0 +1,141 @@
+//! Cross-crate soundness: every lower bound must sit below the true
+//! optimum, which in turn sits below every simulated execution.
+//!
+//! `spectral (Thm 4/5/6), convex min-cut  ≤  J* (exact oracle)  ≤  simulate(any order, any policy)`
+
+use graphio::graph::topo::{natural_order, random_order};
+use graphio::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Tiny graphs where the exact oracle is tractable, with a feasible M.
+fn tiny_cases() -> Vec<(&'static str, CompGraph, usize)> {
+    vec![
+        ("inner_product(2)", inner_product(2), 3),
+        ("inner_product(2) M=4", inner_product(2), 4),
+        ("diamond 3x3", diamond_dag(3, 3), 3),
+        ("diamond 4x3", diamond_dag(4, 3), 4),
+        ("fft l=2", fft_butterfly(2), 3),
+        ("bhk l=3", bhk_hypercube(3), 4),
+        ("matmul n=2 M=4", naive_matmul(2), 4),
+    ]
+}
+
+#[test]
+fn lower_bounds_do_not_exceed_exact_optimum() {
+    for (name, g, m) in tiny_cases() {
+        let exact = exact_optimal_io(&g, m, 10_000_000).unwrap().io as f64;
+        let thm4 = spectral_bound(&g, m, &BoundOptions::default()).unwrap();
+        let thm5 = spectral_bound_original(&g, m, &BoundOptions::default()).unwrap();
+        let mc = convex_min_cut_bound(&g, m, &ConvexMinCutOptions::default());
+        assert!(
+            thm4.bound <= exact + 1e-9,
+            "{name}: Thm4 {} > exact {exact}",
+            thm4.bound
+        );
+        assert!(
+            thm5.bound <= exact + 1e-9,
+            "{name}: Thm5 {} > exact {exact}",
+            thm5.bound
+        );
+        assert!(
+            (mc.bound as f64) <= exact + 1e-9,
+            "{name}: min-cut {} > exact {exact}",
+            mc.bound
+        );
+    }
+}
+
+#[test]
+fn exact_optimum_does_not_exceed_any_simulation() {
+    let mut rng = StdRng::seed_from_u64(2024);
+    for (name, g, m) in tiny_cases() {
+        let exact = exact_optimal_io(&g, m, 10_000_000).unwrap().io;
+        let mut orders = vec![natural_order(&g)];
+        for _ in 0..5 {
+            orders.push(random_order(&g, &mut rng));
+        }
+        for order in &orders {
+            for policy in Policy::ALL {
+                let sim = simulate(&g, order, m, policy, 7).unwrap();
+                assert!(
+                    exact <= sim.io(),
+                    "{name}: exact {exact} > sim {} ({policy})",
+                    sim.io()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn lower_bounds_stay_below_simulations_on_medium_graphs() {
+    // Exact is intractable here; simulations still upper-bound J*.
+    let cases: Vec<(&str, CompGraph, usize)> = vec![
+        ("fft l=5", fft_butterfly(5), 4),
+        ("bhk l=6", bhk_hypercube(6), 8),
+        ("matmul n=3", naive_matmul(3), 6),
+        ("strassen n=4", strassen_matmul(4), 8),
+    ];
+    let mut rng = StdRng::seed_from_u64(99);
+    for (name, g, m) in cases {
+        let thm4 = spectral_bound(&g, m, &BoundOptions::default()).unwrap();
+        let mc = convex_min_cut_bound(&g, m, &ConvexMinCutOptions::default());
+        let lower = thm4.bound.max(mc.bound as f64);
+        for _ in 0..3 {
+            let order = random_order(&g, &mut rng);
+            for policy in [Policy::Lru, Policy::Belady] {
+                let sim = simulate(&g, &order, m, policy, 1).unwrap();
+                assert!(
+                    lower <= sim.io() as f64 + 1e-9,
+                    "{name}: lower {lower} > sim {}",
+                    sim.io()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_bound_is_sound_against_serial_executions() {
+    // A single processor is a special case of p processors, so the
+    // parallel per-processor bound with any p must stay below a serial
+    // execution's I/O.
+    let g = fft_butterfly(5);
+    let m = 4;
+    let order = natural_order(&g);
+    let sim = simulate(&g, &order, m, Policy::Belady, 0).unwrap();
+    for p in [1usize, 2, 4] {
+        let b = parallel_spectral_bound(&g, m, p, &BoundOptions::default()).unwrap();
+        assert!(
+            b.bound <= sim.io() as f64,
+            "p={p}: {} > {}",
+            b.bound,
+            sim.io()
+        );
+    }
+}
+
+#[test]
+fn theorem2_partition_costs_are_certified_lower_bounds() {
+    // For any concrete order X and any k, the Lemma 1 / Theorem 2 costs
+    // lower-bound that order's simulated I/O.
+    use graphio::spectral::partition::{edge_partition_cost, rs_ws_partition_cost};
+    let g = fft_butterfly(4);
+    let m = 4;
+    let mut rng = StdRng::seed_from_u64(5);
+    for _ in 0..5 {
+        let order = random_order(&g, &mut rng);
+        let sim = simulate(&g, &order, m, Policy::Belady, 0).unwrap();
+        for k in [2usize, 4, 8, 16] {
+            let ec = edge_partition_cost(&g, &order, k, m);
+            let rw = rs_ws_partition_cost(&g, &order, k, m);
+            assert!(ec <= rw + 1e-9, "edge cost must relax Lemma 1");
+            assert!(
+                rw <= sim.io() as f64 + 1e-9,
+                "k={k}: Lemma-1 cost {rw} > simulated {}",
+                sim.io()
+            );
+        }
+    }
+}
