@@ -50,7 +50,10 @@ impl fmt::Display for ExactError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ExactError::TooLarge { n } => {
-                write!(f, "graph has {n} vertices; exact solver supports <= {MAX_VERTICES}")
+                write!(
+                    f,
+                    "graph has {n} vertices; exact solver supports <= {MAX_VERTICES}"
+                )
             }
             ExactError::MemoryTooSmall {
                 vertex,
@@ -185,11 +188,11 @@ impl Searcher {
             debug_assert!(victims_pool.count_ones() as usize >= must_evict);
 
             // Enumerate victim subsets of exactly `must_evict` vertices.
-            let pool: Vec<usize> = (0..self.n).filter(|&u| victims_pool & (1 << u) != 0).collect();
+            let pool: Vec<usize> = (0..self.n)
+                .filter(|&u| victims_pool & (1 << u) != 0)
+                .collect();
             let mut chosen = vec![0usize; must_evict];
-            best = best.min(self.try_victim_combos(
-                state, v, reads, &pool, &mut chosen, 0, 0,
-            )?);
+            best = best.min(self.try_victim_combos(state, v, reads, &pool, &mut chosen, 0, 0)?);
         }
         self.memo.insert(state, best);
         Ok(best)
@@ -265,11 +268,9 @@ impl Searcher {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use graphio_graph::generators::{
-        binary_reduction_tree, diamond_dag, inner_product, path_dag,
-    };
-    use graphio_pebble::{simulate, Policy};
+    use graphio_graph::generators::{binary_reduction_tree, diamond_dag, inner_product, path_dag};
     use graphio_graph::topo::natural_order;
+    use graphio_pebble::{simulate, Policy};
 
     const BUDGET: usize = 2_000_000;
 

@@ -48,7 +48,10 @@ impl FlowNetwork {
     /// # Panics
     /// Panics if an endpoint is out of range.
     pub fn add_edge(&mut self, from: usize, to: usize, cap: u64) {
-        assert!(from < self.nodes() && to < self.nodes(), "edge out of range");
+        assert!(
+            from < self.nodes() && to < self.nodes(),
+            "edge out of range"
+        );
         let id = self.edges.len() as u32;
         self.edges.push(Edge { to: to as u32, cap });
         self.edges.push(Edge {

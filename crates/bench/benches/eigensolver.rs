@@ -1,13 +1,15 @@
 //! Eigensolver ablations: dense vs Lanczos crossover, QL vs bisection on
-//! tridiagonals, serial vs crossbeam-parallel sparse mat-vec.
+//! tridiagonals, serial vs parallel sparse mat-vec, and the end-to-end
+//! Lanczos thread scaling on the §6-sized FFT graph.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use graphio_graph::generators::bhk_hypercube;
+use graphio_graph::generators::{bhk_hypercube, fft_butterfly};
 use graphio_linalg::{
-    eigenvalues_symmetric, lanczos, tridiagonal_eigenvalues, tridiagonal_eigenvalues_bisect,
-    LanczosOptions,
+    eigenvalues_symmetric, lanczos, set_threads, tridiagonal_eigenvalues,
+    tridiagonal_eigenvalues_bisect, LanczosOptions,
 };
 use graphio_spectral::laplacian::normalized_laplacian;
+use graphio_spectral::{BoundOptions, EigenMethod};
 
 fn bench_dense_vs_lanczos(c: &mut Criterion) {
     let mut group = c.benchmark_group("eig_dense_vs_lanczos");
@@ -42,7 +44,9 @@ fn bench_tridiagonal(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_secs(1));
     let n = 512;
     let d: Vec<f64> = (0..n).map(|i| 2.0 + (i as f64 * 0.1).sin()).collect();
-    let e: Vec<f64> = (0..n - 1).map(|i| -1.0 + (i as f64 * 0.05).cos() * 0.1).collect();
+    let e: Vec<f64> = (0..n - 1)
+        .map(|i| -1.0 + (i as f64 * 0.05).cos() * 0.1)
+        .collect();
     group.bench_function("ql_all", |b| {
         b.iter(|| tridiagonal_eigenvalues(&d, &e).unwrap().len())
     });
@@ -81,5 +85,47 @@ fn bench_matvec(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_dense_vs_lanczos, bench_tridiagonal, bench_matvec);
+/// The ISSUE's acceptance benchmark: a full Lanczos solve on the
+/// `fft_butterfly(14)` Laplacian (n ≈ 246k, nnz ≈ 1.2M) with the global
+/// thread knob at 1 vs ≥ 4 workers. Both the parallel CSR mat-vec and the
+/// parallel CGS2 re-orthogonalization engage here.
+fn bench_lanczos_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lanczos_threads");
+    group.measurement_time(std::time::Duration::from_secs(20));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.sample_size(2);
+    let g = fft_butterfly(14);
+    let lap = normalized_laplacian(&g);
+    // The production schedule for this size: h = 16, subspace 96.
+    let opts = BoundOptions::for_graph_size(g.n());
+    let (h, lopts) = match opts.method {
+        EigenMethod::Lanczos(l) => (opts.h, l),
+        _ => unreachable!("fft_butterfly(14) is far beyond the dense cutoff"),
+    };
+    for threads in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("fft_l14_h16", threads),
+            &threads,
+            |b, &threads| {
+                set_threads(threads);
+                b.iter(|| {
+                    lanczos::smallest_eigenvalues(&lap, h, &lopts)
+                        .unwrap()
+                        .values
+                        .len()
+                })
+            },
+        );
+    }
+    set_threads(0); // restore Auto
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dense_vs_lanczos,
+    bench_tridiagonal,
+    bench_matvec,
+    bench_lanczos_threads
+);
 criterion_main!(benches);

@@ -77,10 +77,7 @@ fn main() {
             std::process::exit(2);
         }
     };
-    println!(
-        "# graphio reproduction run ({:?} preset)\n",
-        args.preset
-    );
+    println!("# graphio reproduction run ({:?} preset)\n", args.preset);
     for id in &args.experiments {
         let start = Instant::now();
         let table = run(id, args.preset);
@@ -88,7 +85,10 @@ fn main() {
         println!("{}", table.to_markdown());
         println!("_generated in {:.2}s_\n", elapsed.as_secs_f64());
         if let Err(e) = table.write_csv(&args.out) {
-            eprintln!("warning: could not write {}/{id}.csv: {e}", args.out.display());
+            eprintln!(
+                "warning: could not write {}/{id}.csv: {e}",
+                args.out.display()
+            );
         }
     }
 }

@@ -1,0 +1,52 @@
+//! Figure 10: Bellman–Held–Karp bound vs `l` (and `2^l/l`),
+//! `M ∈ {16, 32, 64}`.
+
+use super::FigureContext;
+use crate::table::{Cell, Table};
+use crate::Preset;
+use graphio_graph::generators::bhk_hypercube;
+use graphio_spectral::published;
+
+/// Builds the Figure 10 table.
+pub fn fig10(preset: Preset) -> Table {
+    let ls: Vec<usize> = match preset {
+        Preset::Quick => (6..=11).collect(),
+        Preset::Full => (6..=15).collect(),
+    };
+    let ms = [16usize, 32, 64];
+    let mut t = Table::new(
+        "fig10",
+        "Bellman-Held-Karp TSP: I/O bound vs l and 2^l/l for M in {16,32,64}",
+        &[
+            "l",
+            "n",
+            "2^l/l",
+            "spectral_M16",
+            "mincut_M16",
+            "spectral_M32",
+            "mincut_M32",
+            "spectral_M64",
+            "mincut_M64",
+        ],
+    );
+    for &l in &ls {
+        let g = bhk_hypercube(l);
+        let ctx = FigureContext::new(&g);
+        let mut row = vec![
+            Cell::Int(l as i64),
+            Cell::Int(g.n() as i64),
+            Cell::Float(published::growth::bhk(l)),
+        ];
+        for &m in &ms {
+            if g.max_in_degree() > m {
+                row.push(Cell::Empty);
+                row.push(Cell::Empty);
+            } else {
+                row.push(ctx.spectral_cell(m));
+                row.push(ctx.mincut_cell(m));
+            }
+        }
+        t.push(row);
+    }
+    t
+}

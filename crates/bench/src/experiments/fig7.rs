@@ -1,0 +1,48 @@
+//! Figure 7: FFT I/O bound vs `l` (and vs `l·2^l`), `M ∈ {4, 8, 16}`,
+//! spectral (Theorem 4) vs convex min-cut.
+
+use super::FigureContext;
+use crate::table::{Cell, Table};
+use crate::Preset;
+use graphio_graph::generators::fft_butterfly;
+use graphio_spectral::published;
+
+/// Builds the Figure 7 table: one eigensolve and one min-cut sweep per
+/// `l`, all three memory columns served from the engine's caches.
+pub fn fig7(preset: Preset) -> Table {
+    let ls: Vec<usize> = match preset {
+        Preset::Quick => (3..=9).collect(),
+        Preset::Full => (3..=12).collect(),
+    };
+    let ms = [4usize, 8, 16];
+    let mut t = Table::new(
+        "fig7",
+        "FFT: I/O bound vs l and l*2^l for M in {4,8,16}",
+        &[
+            "l",
+            "n",
+            "l*2^l",
+            "spectral_M4",
+            "mincut_M4",
+            "spectral_M8",
+            "mincut_M8",
+            "spectral_M16",
+            "mincut_M16",
+        ],
+    );
+    for &l in &ls {
+        let g = fft_butterfly(l);
+        let ctx = FigureContext::new(&g);
+        let mut row = vec![
+            Cell::Int(l as i64),
+            Cell::Int(g.n() as i64),
+            Cell::Float(published::growth::fft(l)),
+        ];
+        for &m in &ms {
+            row.push(ctx.spectral_cell(m));
+            row.push(ctx.mincut_cell(m));
+        }
+        t.push(row);
+    }
+    t
+}

@@ -1,0 +1,55 @@
+//! Figure 8: naive matmul bound vs `n` (and `n³`), `M ∈ {32, 64, 128}`;
+//! points whose n-ary sums exceed `M` operands are suppressed, as in the
+//! paper.
+
+use super::FigureContext;
+use crate::table::{Cell, Table};
+use crate::Preset;
+use graphio_graph::generators::naive_matmul;
+use graphio_spectral::published;
+
+/// Builds the Figure 8 table.
+pub fn fig8(preset: Preset) -> Table {
+    let ns: Vec<usize> = match preset {
+        // 36 > 32 demonstrates the paper's in-degree-vs-M suppression rule
+        // without paying for the n = 64 eigensolve.
+        Preset::Quick => vec![4, 8, 12, 16, 20, 24, 36],
+        Preset::Full => (1..=16).map(|i| 4 * i).collect(),
+    };
+    let ms = [32usize, 64, 128];
+    let mut t = Table::new(
+        "fig8",
+        "Naive matmul: I/O bound vs n and n^3 for M in {32,64,128}",
+        &[
+            "n",
+            "vertices",
+            "n^3",
+            "spectral_M32",
+            "mincut_M32",
+            "spectral_M64",
+            "mincut_M64",
+            "spectral_M128",
+            "mincut_M128",
+        ],
+    );
+    for &n in &ns {
+        let g = naive_matmul(n);
+        let ctx = FigureContext::new(&g);
+        let mut row = vec![
+            Cell::Int(n as i64),
+            Cell::Int(g.n() as i64),
+            Cell::Float(published::growth::matmul(n)),
+        ];
+        for &m in &ms {
+            if g.max_in_degree() > m {
+                row.push(Cell::Empty);
+                row.push(Cell::Empty);
+            } else {
+                row.push(ctx.spectral_cell(m));
+                row.push(ctx.mincut_cell(m));
+            }
+        }
+        t.push(row);
+    }
+    t
+}

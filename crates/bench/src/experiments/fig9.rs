@@ -1,0 +1,44 @@
+//! Figure 9: Strassen bound vs `n` (and `n^log2 7`), `M ∈ {8, 16}`.
+
+use super::FigureContext;
+use crate::table::{Cell, Table};
+use crate::Preset;
+use graphio_graph::generators::strassen_matmul;
+use graphio_spectral::published;
+
+/// Builds the Figure 9 table.
+pub fn fig9(preset: Preset) -> Table {
+    let ns: Vec<usize> = match preset {
+        Preset::Quick => vec![4, 8],
+        Preset::Full => vec![4, 8, 16],
+    };
+    let ms = [8usize, 16];
+    let mut t = Table::new(
+        "fig9",
+        "Strassen: I/O bound vs n and n^log2(7) for M in {8,16}",
+        &[
+            "n",
+            "vertices",
+            "n^lg7",
+            "spectral_M8",
+            "mincut_M8",
+            "spectral_M16",
+            "mincut_M16",
+        ],
+    );
+    for &n in &ns {
+        let g = strassen_matmul(n);
+        let ctx = FigureContext::new(&g);
+        let mut row = vec![
+            Cell::Int(n as i64),
+            Cell::Int(g.n() as i64),
+            Cell::Float(published::growth::strassen(n)),
+        ];
+        for &m in &ms {
+            row.push(ctx.spectral_cell(m));
+            row.push(ctx.mincut_cell(m));
+        }
+        t.push(row);
+    }
+    t
+}

@@ -1,7 +1,6 @@
 //! The immutable computation-graph data structure and its builder.
 
 use crate::ops::OpKind;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Errors produced while constructing or deserializing a computation graph.
@@ -34,7 +33,10 @@ impl fmt::Display for GraphError {
                 write!(f, "edge references vertex {id} but graph has {n} vertices")
             }
             GraphError::Cycle { remaining } => {
-                write!(f, "graph contains a cycle ({remaining} vertices unorderable)")
+                write!(
+                    f,
+                    "graph contains a cycle ({remaining} vertices unorderable)"
+                )
             }
             GraphError::SelfLoop { id } => write!(f, "self-loop on vertex {id}"),
         }
@@ -128,9 +130,7 @@ impl CompGraph {
 
     /// Iterates over all directed edges `(u, v)`.
     pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
-        (0..self.n()).flat_map(move |u| {
-            self.children(u).iter().map(move |&v| (u, v as usize))
-        })
+        (0..self.n()).flat_map(move |u| self.children(u).iter().map(move |&v| (u, v as usize)))
     }
 
     /// Checks that `order` is a permutation of `0..n` evaluating every
@@ -182,20 +182,18 @@ impl CompGraph {
         out
     }
 
-    /// Serde-friendly edge-list representation.
+    /// Portable edge-list representation (see [`crate::json`] for the JSON
+    /// form).
     pub fn to_edge_list(&self) -> EdgeListGraph {
         EdgeListGraph {
             ops: self.ops.clone(),
-            edges: self
-                .edges()
-                .map(|(u, v)| (u as u32, v as u32))
-                .collect(),
+            edges: self.edges().map(|(u, v)| (u as u32, v as u32)).collect(),
         }
     }
 }
 
 /// A portable, serializable edge-list form of a [`CompGraph`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EdgeListGraph {
     /// Operation per vertex; the length defines the vertex count.
     pub ops: Vec<OpKind>,
@@ -447,9 +445,9 @@ mod tests {
             assert_eq!(g.parents(v), back.parents(v));
             assert_eq!(g.op(v), back.op(v));
         }
-        // And through serde_json.
-        let json = serde_json::to_string(&el).unwrap();
-        let el2: EdgeListGraph = serde_json::from_str(&json).unwrap();
+        // And through the JSON interchange form.
+        let json = el.to_json();
+        let el2 = EdgeListGraph::from_json(&json).unwrap();
         assert_eq!(el, el2);
     }
 

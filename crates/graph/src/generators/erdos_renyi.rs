@@ -29,7 +29,8 @@ pub fn erdos_renyi_dag(n: usize, p: f64, seed: u64) -> CompGraph {
             }
         }
     }
-    b.build().expect("low-to-high orientation cannot create cycles")
+    b.build()
+        .expect("low-to-high orientation cannot create cycles")
 }
 
 /// The paper's §5.3 sparse regime sets `p = p₀·ln(n)/(n−1)` for `p₀ > 6`.

@@ -38,7 +38,8 @@ pub fn fft_butterfly(l: usize) -> CompGraph {
             b.add_edge(id(t, r), id(t + 1, r ^ span));
         }
     }
-    b.build().expect("butterfly construction is acyclic by levels")
+    b.build()
+        .expect("butterfly construction is acyclic by levels")
 }
 
 /// Vertex id of level `t`, row `r` in [`fft_butterfly`]`(l)`.
@@ -62,7 +63,7 @@ pub fn fft_vertex_id(l: usize, t: usize, r: usize) -> usize {
 /// # Panics
 /// Panics if `l < 2` (the wrap would create self-loops) or `l >= 26`.
 pub fn wrapped_butterfly_edges(l: usize) -> (usize, Vec<(u32, u32)>) {
-    assert!(l >= 2 && l < 26, "wrapped butterfly needs 2 <= l < 26");
+    assert!((2..26).contains(&l), "wrapped butterfly needs 2 <= l < 26");
     let rows = 1usize << l;
     let n = l * rows;
     let id = |t: usize, r: usize| (t * rows + r) as u32;

@@ -103,7 +103,9 @@ pub fn layered_random_dag(layers: usize, width: usize, p: f64, seed: u64) -> Com
     let mut b = GraphBuilder::new();
     let mut prev: Vec<u32> = (0..width).map(|_| b.add_vertex(OpKind::Input)).collect();
     for _ in 1..layers {
-        let cur: Vec<u32> = (0..width).map(|_| b.add_vertex(OpKind::Custom(1))).collect();
+        let cur: Vec<u32> = (0..width)
+            .map(|_| b.add_vertex(OpKind::Custom(1)))
+            .collect();
         for &v in &cur {
             let mut has_parent = false;
             for &u in &prev {

@@ -19,13 +19,17 @@ use crate::ops::OpKind;
 /// # Panics
 /// Panics if `n` is not a positive power of two.
 pub fn strassen_matmul(n: usize) -> CompGraph {
-    assert!(n >= 1 && n.is_power_of_two(), "strassen needs a power of two");
+    assert!(
+        n >= 1 && n.is_power_of_two(),
+        "strassen needs a power of two"
+    );
     let mut b = GraphBuilder::new();
     let a: Vec<u32> = (0..n * n).map(|_| b.add_vertex(OpKind::Input)).collect();
     let bm: Vec<u32> = (0..n * n).map(|_| b.add_vertex(OpKind::Input)).collect();
     let c = strassen_rec(&mut b, &a, &bm, n);
     debug_assert_eq!(c.len(), n * n);
-    b.build().expect("strassen graph is acyclic by construction")
+    b.build()
+        .expect("strassen graph is acyclic by construction")
 }
 
 /// A block is a row-major vector of vertex ids.

@@ -1,0 +1,529 @@
+//! Minimal JSON support for the edge-list interchange format.
+//!
+//! The CLI pipes graphs between processes as JSON. With the workspace
+//! building fully offline (no serde), this module provides the two things
+//! actually needed: a small recursive-descent parser into [`JsonValue`],
+//! and emit/parse for [`EdgeListGraph`] in the exact format the previous
+//! serde derive produced:
+//!
+//! ```json
+//! {"ops":["Input","Add",{"Custom":42}],"edges":[[0,2],[1,2]]}
+//! ```
+
+use crate::dag::EdgeListGraph;
+use crate::ops::OpKind;
+use std::fmt;
+
+/// A parsed JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (stored as `f64`).
+    Number(f64),
+    /// A string (escapes resolved).
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object, in source order.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Looks up a key in an object.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(entries) => entries.iter().find_map(|(k, v)| (k == key).then_some(v)),
+            _ => None,
+        }
+    }
+
+    /// The elements if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The value if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// This number as a `u32`, if it is one exactly.
+    pub fn as_u32(&self) -> Option<u32> {
+        let x = self.as_f64()?;
+        (x >= 0.0 && x <= u32::MAX as f64 && x.fract() == 0.0).then_some(x as u32)
+    }
+}
+
+impl fmt::Display for JsonValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JsonValue::Null => f.write_str("null"),
+            JsonValue::Bool(b) => write!(f, "{b}"),
+            JsonValue::Number(x) => {
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    write!(f, "{}", *x as i64)
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            JsonValue::String(s) => write_escaped(f, s),
+            JsonValue::Array(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            JsonValue::Object(entries) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_escaped(f, k)?;
+                    write!(f, ":{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+/// A parse or schema error, with a byte offset for parse errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset in the input where parsing failed (0 for schema errors).
+    pub offset: usize,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (at byte {})", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parses a complete JSON document (trailing whitespace allowed).
+///
+/// # Errors
+/// Returns [`JsonError`] on malformed input or trailing garbage.
+pub fn parse(input: &str) -> Result<JsonValue, JsonError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after JSON value"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: &str) -> JsonError {
+        JsonError {
+            message: message.to_string(),
+            offset: self.pos,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("invalid literal (expected '{word}')")))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, JsonError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::String(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, JsonError> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            entries.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(entries));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("invalid \\u escape"))?;
+                            // Surrogate pairs are not needed for this format.
+                            out.push(
+                                char::from_u32(hex)
+                                    .ok_or_else(|| self.err("invalid \\u code point"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (input is a valid &str).
+                    let rest = &self.bytes[self.pos..];
+                    let len = match rest[0] {
+                        b if b < 0x80 => 1,
+                        b if b >= 0xF0 => 4,
+                        b if b >= 0xE0 => 3,
+                        _ => 2,
+                    };
+                    out.push_str(
+                        std::str::from_utf8(&rest[..len])
+                            .map_err(|_| self.err("invalid UTF-8 in string"))?,
+                    );
+                    self.pos += len;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(JsonValue::Number)
+            .ok_or_else(|| self.err("invalid number"))
+    }
+}
+
+fn schema_err(message: impl Into<String>) -> JsonError {
+    JsonError {
+        message: message.into(),
+        offset: 0,
+    }
+}
+
+impl OpKind {
+    /// This operation as a [`JsonValue`] (unit variants as strings,
+    /// `Custom(tag)` as `{"Custom":tag}`).
+    pub fn to_json(&self) -> JsonValue {
+        match self {
+            OpKind::Custom(tag) => {
+                JsonValue::Object(vec![("Custom".to_string(), JsonValue::Number(*tag as f64))])
+            }
+            other => JsonValue::String(format!("{other:?}")),
+        }
+    }
+
+    /// Parses the representation produced by [`OpKind::to_json`].
+    ///
+    /// # Errors
+    /// Returns [`JsonError`] on an unknown variant or malformed payload.
+    pub fn from_json(value: &JsonValue) -> Result<OpKind, JsonError> {
+        if let Some(name) = value.as_str() {
+            return match name {
+                "Input" => Ok(OpKind::Input),
+                "Add" => Ok(OpKind::Add),
+                "Sub" => Ok(OpKind::Sub),
+                "Mul" => Ok(OpKind::Mul),
+                "Div" => Ok(OpKind::Div),
+                "Sum" => Ok(OpKind::Sum),
+                "Butterfly" => Ok(OpKind::Butterfly),
+                "BhkUpdate" => Ok(OpKind::BhkUpdate),
+                other => Err(schema_err(format!("unknown op kind: {other}"))),
+            };
+        }
+        value
+            .get("Custom")
+            .and_then(JsonValue::as_u32)
+            .map(OpKind::Custom)
+            .ok_or_else(|| schema_err("op must be a variant name or {\"Custom\":tag}"))
+    }
+}
+
+impl EdgeListGraph {
+    /// Serializes to the canonical one-line JSON interchange form.
+    pub fn to_json(&self) -> String {
+        JsonValue::Object(vec![
+            (
+                "ops".to_string(),
+                JsonValue::Array(self.ops.iter().map(|op| op.to_json()).collect()),
+            ),
+            (
+                "edges".to_string(),
+                JsonValue::Array(
+                    self.edges
+                        .iter()
+                        .map(|&(u, v)| {
+                            JsonValue::Array(vec![
+                                JsonValue::Number(u as f64),
+                                JsonValue::Number(v as f64),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+        .to_string()
+    }
+
+    /// Parses the form produced by [`EdgeListGraph::to_json`].
+    ///
+    /// # Errors
+    /// Returns [`JsonError`] on malformed JSON or a schema mismatch.
+    pub fn from_json(input: &str) -> Result<EdgeListGraph, JsonError> {
+        let doc = parse(input)?;
+        let ops = doc
+            .get("ops")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| schema_err("missing \"ops\" array"))?
+            .iter()
+            .map(OpKind::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        let edges = doc
+            .get("edges")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| schema_err("missing \"edges\" array"))?
+            .iter()
+            .map(|pair| {
+                let pair = pair
+                    .as_array()
+                    .filter(|p| p.len() == 2)
+                    .ok_or_else(|| schema_err("edge must be a [from, to] pair"))?;
+                let u = pair[0]
+                    .as_u32()
+                    .ok_or_else(|| schema_err("edge endpoint must be a u32"))?;
+                let v = pair[1]
+                    .as_u32()
+                    .ok_or_else(|| schema_err("edge endpoint must be a u32"))?;
+                Ok((u, v))
+            })
+            .collect::<Result<Vec<_>, JsonError>>()?;
+        Ok(EdgeListGraph { ops, edges })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_nesting() {
+        assert_eq!(parse("null").unwrap(), JsonValue::Null);
+        assert_eq!(parse(" true ").unwrap(), JsonValue::Bool(true));
+        assert_eq!(parse("-2.5e2").unwrap(), JsonValue::Number(-250.0));
+        assert_eq!(
+            parse(r#""a\nbA""#).unwrap(),
+            JsonValue::String("a\nbA".to_string())
+        );
+        let doc = parse(r#"{"a":[1,2,{"b":[]}],"c":{}}"#).unwrap();
+        assert_eq!(doc.get("a").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(doc.get("c").unwrap(), &JsonValue::Object(vec![]));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "{not json",
+            "[1,2",
+            "{\"a\":}",
+            "12 34",
+            "",
+            "\"unterminated",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn display_roundtrips_through_parse() {
+        let doc = parse(r#"{"ops":["Input",{"Custom":7}],"edges":[[0,1]],"x":"q\"uote"}"#).unwrap();
+        let reparsed = parse(&doc.to_string()).unwrap();
+        assert_eq!(doc, reparsed);
+    }
+
+    #[test]
+    fn op_kind_roundtrips() {
+        for op in [
+            OpKind::Input,
+            OpKind::Add,
+            OpKind::Sub,
+            OpKind::Mul,
+            OpKind::Div,
+            OpKind::Sum,
+            OpKind::Butterfly,
+            OpKind::BhkUpdate,
+            OpKind::Custom(42),
+        ] {
+            let back = OpKind::from_json(&op.to_json()).unwrap();
+            assert_eq!(op, back);
+        }
+        assert!(OpKind::from_json(&JsonValue::String("Nope".into())).is_err());
+    }
+
+    #[test]
+    fn edge_list_roundtrips() {
+        let el = EdgeListGraph {
+            ops: vec![OpKind::Input, OpKind::Input, OpKind::Custom(3)],
+            edges: vec![(0, 2), (1, 2)],
+        };
+        let json = el.to_json();
+        assert_eq!(
+            json,
+            r#"{"ops":["Input","Input",{"Custom":3}],"edges":[[0,2],[1,2]]}"#
+        );
+        assert_eq!(EdgeListGraph::from_json(&json).unwrap(), el);
+    }
+
+    #[test]
+    fn edge_list_schema_errors_are_clear() {
+        assert!(EdgeListGraph::from_json(r#"{"edges":[]}"#).is_err());
+        assert!(EdgeListGraph::from_json(r#"{"ops":[],"edges":[[0]]}"#).is_err());
+        assert!(EdgeListGraph::from_json(r#"{"ops":[],"edges":[[0,-1]]}"#).is_err());
+    }
+}

@@ -13,11 +13,13 @@
 //! * [`trace`] — the §6.1 "solver" frontend: operator-overloaded values
 //!   that record an ordinary Rust computation into a `CompGraph`.
 //! * [`topo`] — topological evaluation orders (deterministic and random).
-//! * [`dot`] — Graphviz export, and a serde-friendly edge-list format.
+//! * [`dot`] — Graphviz export.
+//! * [`json`] — the JSON edge-list interchange format used by the CLI.
 
 pub mod dag;
 pub mod dot;
 pub mod generators;
+pub mod json;
 pub mod ops;
 pub mod topo;
 pub mod trace;

@@ -4,11 +4,13 @@
 //! operation — but generators, the tracing frontend, DOT export and the
 //! examples all benefit from knowing what each vertex computes.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// What a computation-graph vertex computes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+///
+/// JSON interchange lives in [`crate::json`] (`OpKind::to_json` /
+/// `OpKind::from_json`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OpKind {
     /// A program input (always a source vertex).
     Input,
@@ -89,10 +91,9 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
         let op = OpKind::Custom(42);
-        let json = serde_json::to_string(&op).unwrap();
-        let back: OpKind = serde_json::from_str(&json).unwrap();
+        let back = OpKind::from_json(&op.to_json()).unwrap();
         assert_eq!(op, back);
     }
 }

@@ -7,8 +7,8 @@
 
 use crate::dag::CompGraph;
 use rand::Rng;
-use std::collections::BinaryHeap;
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// Kahn's algorithm breaking ties by smallest vertex id — a deterministic
 /// "natural" order (generators emit vertices in a sensible creation order,
@@ -16,10 +16,8 @@ use std::cmp::Reverse;
 pub fn natural_order(g: &CompGraph) -> Vec<usize> {
     let n = g.n();
     let mut indeg: Vec<usize> = (0..n).map(|v| g.in_degree(v)).collect();
-    let mut heap: BinaryHeap<Reverse<usize>> = (0..n)
-        .filter(|&v| indeg[v] == 0)
-        .map(Reverse)
-        .collect();
+    let mut heap: BinaryHeap<Reverse<usize>> =
+        (0..n).filter(|&v| indeg[v] == 0).map(Reverse).collect();
     let mut order = Vec::with_capacity(n);
     while let Some(Reverse(v)) = heap.pop() {
         order.push(v);
@@ -63,8 +61,7 @@ pub fn dfs_order(g: &CompGraph) -> Vec<usize> {
 pub fn bfs_order(g: &CompGraph) -> Vec<usize> {
     let n = g.n();
     let mut indeg: Vec<usize> = (0..n).map(|v| g.in_degree(v)).collect();
-    let mut queue: std::collections::VecDeque<usize> =
-        (0..n).filter(|&v| indeg[v] == 0).collect();
+    let mut queue: std::collections::VecDeque<usize> = (0..n).filter(|&v| indeg[v] == 0).collect();
     let mut order = Vec::with_capacity(n);
     while let Some(v) = queue.pop_front() {
         order.push(v);

@@ -20,9 +20,8 @@
 
 use crate::dag::{CompGraph, GraphBuilder};
 use crate::ops::OpKind;
-use parking_lot::Mutex;
 use std::ops::{Add, Div, Mul, Sub};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 #[derive(Default)]
 struct TraceState {
@@ -33,7 +32,7 @@ struct TraceState {
 ///
 /// Cloning a `Tracer` yields another handle to the same recording; traced
 /// values keep their tracer alive. Thread-safe (the state sits behind a
-/// `parking_lot::Mutex`), so traced computations may themselves be
+/// `std::sync::Mutex`), so traced computations may themselves be
 /// parallel.
 #[derive(Clone, Default)]
 pub struct Tracer {
@@ -48,7 +47,12 @@ impl Tracer {
 
     /// Registers a fresh program input.
     pub fn input(&self) -> Tv {
-        let id = self.state.lock().builder.add_vertex(OpKind::Input);
+        let id = self
+            .state
+            .lock()
+            .expect("tracer mutex poisoned")
+            .builder
+            .add_vertex(OpKind::Input);
         Tv {
             id,
             tracer: self.clone(),
@@ -71,7 +75,7 @@ impl Tracer {
                 "operand from a different tracer"
             );
         }
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().expect("tracer mutex poisoned");
         let id = st.builder.add_vertex(op);
         for t in operands {
             st.builder.add_edge(t.id, id);
@@ -84,7 +88,11 @@ impl Tracer {
 
     /// Number of vertices recorded so far.
     pub fn recorded_vertices(&self) -> usize {
-        self.state.lock().builder.n()
+        self.state
+            .lock()
+            .expect("tracer mutex poisoned")
+            .builder
+            .n()
     }
 
     /// Freezes the recording into a [`CompGraph`].
@@ -93,7 +101,7 @@ impl Tracer {
     /// Never in practice: traces are acyclic by construction (every vertex
     /// only consumes previously created vertices).
     pub fn finish(self) -> CompGraph {
-        let state = std::mem::take(&mut *self.state.lock());
+        let state = std::mem::take(&mut *self.state.lock().expect("tracer mutex poisoned"));
         state
             .builder
             .build()
@@ -211,7 +219,10 @@ pub fn trace_naive_matmul(n: usize) -> CompGraph {
 /// # Panics
 /// Panics unless `n` is a positive power of two.
 pub fn trace_strassen(n: usize) -> CompGraph {
-    assert!(n >= 1 && n.is_power_of_two(), "strassen needs a power of two");
+    assert!(
+        n >= 1 && n.is_power_of_two(),
+        "strassen needs a power of two"
+    );
     let tracer = Tracer::new();
     let a = tracer.inputs(n * n);
     let b = tracer.inputs(n * n);
@@ -295,7 +306,9 @@ fn strassen_rec_traced(tracer: &Tracer, a: &[Tv], b: &[Tv], size: usize) -> Vec<
             out[(i + h) * size + (j + h)] = Some(c22[i * h + j].clone());
         }
     }
-    out.into_iter().map(|v| v.expect("all cells filled")).collect()
+    out.into_iter()
+        .map(|v| v.expect("all cells filled"))
+        .collect()
 }
 
 #[cfg(test)]

@@ -2,8 +2,7 @@
 
 use graphio_graph::generators::{
     bhk_hypercube, binary_reduction_tree, diamond_dag, erdos_renyi_dag, fft_butterfly,
-    inner_product, layered_random_dag, naive_matmul, naive_matmul_binary_tree,
-    strassen_matmul,
+    inner_product, layered_random_dag, naive_matmul, naive_matmul_binary_tree, strassen_matmul,
 };
 use graphio_graph::topo::{bfs_order, dfs_order, natural_order, random_order};
 use graphio_graph::{CompGraph, EdgeListGraph, GraphBuilder, OpKind};
@@ -102,10 +101,10 @@ proptest! {
     }
 
     #[test]
-    fn serde_json_roundtrip(g in any_generated_graph()) {
+    fn json_roundtrip(g in any_generated_graph()) {
         let el = g.to_edge_list();
-        let json = serde_json::to_string(&el).unwrap();
-        let back: EdgeListGraph = serde_json::from_str(&json).unwrap();
+        let json = el.to_json();
+        let back = EdgeListGraph::from_json(&json).unwrap();
         prop_assert_eq!(el, back);
     }
 

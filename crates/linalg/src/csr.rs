@@ -2,8 +2,10 @@
 //!
 //! Graph Laplacians are sparse (`nnz = n + 2|E|`), so the Lanczos path
 //! operates on CSR. Mat-vec is provided both serially and in parallel via
-//! `crossbeam` scoped threads over row chunks (the offline dependency set
-//! has no `rayon`; chunked scoped threads are the idiomatic substitute).
+//! `std::thread::scope` over row chunks (the offline dependency set has no
+//! `rayon`; chunked scoped threads are the idiomatic substitute). Each row
+//! is always reduced by the same serial loop, so the parallel kernel is
+//! bit-identical to the serial one for every thread count.
 
 use crate::dense::DenseMatrix;
 use crate::error::LinalgError;
@@ -120,15 +122,11 @@ impl CsrMatrix {
         }
     }
 
-    /// Serial mat-vec `y = A x`.
-    ///
-    /// # Panics
-    /// Panics on dimension mismatch.
-    pub fn matvec(&self, x: &[f64], y: &mut [f64]) {
-        assert_eq!(x.len(), self.n, "matvec: x length mismatch");
-        assert_eq!(y.len(), self.n, "matvec: y length mismatch");
-        for (i, yi) in y.iter_mut().enumerate() {
-            let (cols, vals) = self.row(i);
+    /// Row-range kernel shared by the serial and parallel entry points:
+    /// fills `y_chunk` with rows `start..start + y_chunk.len()` of `A x`.
+    fn matvec_rows(&self, x: &[f64], y_chunk: &mut [f64], start: usize) {
+        for (offset, yi) in y_chunk.iter_mut().enumerate() {
+            let (cols, vals) = self.row(start + offset);
             let mut acc = 0.0;
             for (c, v) in cols.iter().zip(vals.iter()) {
                 acc += v * x[*c as usize];
@@ -137,8 +135,20 @@ impl CsrMatrix {
         }
     }
 
-    /// Parallel mat-vec `y = A x` over row chunks using crossbeam scoped
-    /// threads. Falls back to the serial kernel for small matrices.
+    /// Serial mat-vec `y = A x`.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn matvec(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n, "matvec: x length mismatch");
+        assert_eq!(y.len(), self.n, "matvec: y length mismatch");
+        crate::stats::record_sparse_matvec();
+        self.matvec_rows(x, y, 0);
+    }
+
+    /// Parallel mat-vec `y = A x` over row chunks using scoped threads.
+    /// Falls back to the serial kernel for small matrices. Bit-identical to
+    /// [`CsrMatrix::matvec`] for every thread count.
     ///
     /// # Panics
     /// Panics on dimension mismatch.
@@ -147,27 +157,18 @@ impl CsrMatrix {
         assert_eq!(y.len(), self.n, "matvec_parallel: y length mismatch");
         let threads = threads.max(1);
         if threads == 1 || self.nnz() < PARALLEL_WORK_THRESHOLD || self.n < threads {
-            self.matvec(x, y);
+            crate::stats::record_sparse_matvec();
+            self.matvec_rows(x, y, 0);
             return;
         }
+        crate::stats::record_sparse_matvec();
         let chunk = self.n.div_ceil(threads);
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             for (t, y_chunk) in y.chunks_mut(chunk).enumerate() {
                 let start = t * chunk;
-                s.spawn(move |_| {
-                    for (offset, yi) in y_chunk.iter_mut().enumerate() {
-                        let i = start + offset;
-                        let (cols, vals) = self.row(i);
-                        let mut acc = 0.0;
-                        for (c, v) in cols.iter().zip(vals.iter()) {
-                            acc += v * x[*c as usize];
-                        }
-                        *yi = acc;
-                    }
-                });
+                s.spawn(move || self.matvec_rows(x, y_chunk, start));
             }
-        })
-        .expect("matvec_parallel: worker thread panicked");
+        });
     }
 
     /// Upper bound on the largest eigenvalue by the Gershgorin circle
@@ -319,10 +320,24 @@ mod tests {
         assert!(m.nnz() >= PARALLEL_WORK_THRESHOLD);
         let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
         let mut y1 = vec![0.0; n];
-        let mut y2 = vec![0.0; n];
         m.matvec(&x, &mut y1);
-        m.matvec_parallel(&x, &mut y2, 4);
-        assert!(crate::vecops::max_abs_diff(&y1, &y2) < 1e-12);
+        // The row kernel is shared, so every thread count is bit-identical
+        // to serial (and trivially within the 1e-12 contract).
+        for threads in [1usize, 2, 4, 8] {
+            let mut y2 = vec![0.0; n];
+            m.matvec_parallel(&x, &mut y2, threads);
+            assert_eq!(y1, y2, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn matvec_ticks_the_stats_counter() {
+        let m = small();
+        let before = crate::stats::sparse_matvec_count();
+        let mut y = [0.0; 3];
+        m.matvec(&[1.0, 0.0, 0.0], &mut y);
+        m.matvec_parallel(&[1.0, 0.0, 0.0], &mut y, 2);
+        assert!(crate::stats::sparse_matvec_count() >= before + 2);
     }
 
     #[test]

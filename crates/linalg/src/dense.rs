@@ -61,7 +61,11 @@ impl DenseMatrix {
             assert_eq!(row.len(), c, "from_rows: ragged rows");
             data.extend_from_slice(row);
         }
-        DenseMatrix { rows: r, cols: c, data }
+        DenseMatrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Number of rows.
@@ -181,7 +185,10 @@ impl DenseMatrix {
                 }
             }
         }
-        SymmetryCheck::Worst { at, violation: worst }
+        SymmetryCheck::Worst {
+            at,
+            violation: worst,
+        }
     }
 
     /// Validates that the matrix is square and symmetric.
@@ -195,7 +202,10 @@ impl DenseMatrix {
                 cols: self.cols,
             }),
             SymmetryCheck::Worst { at, violation } if violation > tol => {
-                Err(LinalgError::NotSymmetric { row: at.0, col: at.1 })
+                Err(LinalgError::NotSymmetric {
+                    row: at.0,
+                    col: at.1,
+                })
             }
             _ => Ok(()),
         }
@@ -343,11 +353,7 @@ mod tests {
     #[test]
     fn quadratic_form_matches_laplacian_cut() {
         // Path graph 0-1-2 Laplacian; x = indicator of {0}: xᵀLx = cut = 1.
-        let l = DenseMatrix::from_rows(&[
-            &[1.0, -1.0, 0.0],
-            &[-1.0, 2.0, -1.0],
-            &[0.0, -1.0, 1.0],
-        ]);
+        let l = DenseMatrix::from_rows(&[&[1.0, -1.0, 0.0], &[-1.0, 2.0, -1.0], &[0.0, -1.0, 1.0]]);
         assert_eq!(l.quadratic_form(&[1.0, 0.0, 0.0]), 1.0);
         assert_eq!(l.quadratic_form(&[1.0, 1.0, 0.0]), 1.0);
         assert_eq!(l.quadratic_form(&[1.0, 1.0, 1.0]), 0.0);

@@ -59,7 +59,10 @@ impl fmt::Display for LinalgError {
             LinalgError::NoConvergence {
                 algorithm,
                 iterations,
-            } => write!(f, "{algorithm} failed to converge after {iterations} iterations"),
+            } => write!(
+                f,
+                "{algorithm} failed to converge after {iterations} iterations"
+            ),
             LinalgError::TooManyEigenvaluesRequested {
                 requested,
                 dimension,

@@ -4,8 +4,20 @@
 //! (as presented in *Numerical Recipes*). Combined with the implicit-shift
 //! QL iteration in [`crate::tridiag`] it yields the dense O(n³) symmetric
 //! eigensolver used as the exact reference path for spectral bounds.
+//!
+//! The two O(l²) panel phases of each reflector — the symmetric
+//! matrix–vector product `p = A·u/h` and the rank-2 update
+//! `A ← A − u·qᵀ − q·uᵀ` — run on scoped worker threads for large panels.
+//! Both kernels compute every output element with the same in-order
+//! reduction regardless of chunking, so results are bit-identical across
+//! thread counts (and to the classical serial formulation).
 
 use crate::dense::DenseMatrix;
+use crate::threads::{even_ranges, triangle_ranges};
+
+/// Panels with fewer rows than this run serially — two thread scopes per
+/// reflector only pay off once the O(l²) phases dominate spawn cost.
+const PARALLEL_PANEL_THRESHOLD: usize = 256;
 
 /// Output of [`tridiagonalize_in_place`].
 #[derive(Debug, Clone)]
@@ -26,13 +38,28 @@ pub struct Tridiagonal {
 ///
 /// The caller is responsible for `a` being square and symmetric; this is
 /// checked by the public drivers in [`crate::symeig`].
+///
+/// Uses the process-global [`crate::threads`] knob for the panel kernels;
+/// [`tridiagonalize_in_place_with_threads`] takes an explicit count.
 pub fn tridiagonalize_in_place(a: &mut DenseMatrix, accumulate_q: bool) -> Tridiagonal {
+    tridiagonalize_in_place_with_threads(a, accumulate_q, crate::threads::effective_threads())
+}
+
+/// [`tridiagonalize_in_place`] with an explicit worker-thread count.
+pub fn tridiagonalize_in_place_with_threads(
+    a: &mut DenseMatrix,
+    accumulate_q: bool,
+    threads: usize,
+) -> Tridiagonal {
     let n = a.nrows();
     let mut d = vec![0.0; n];
     let mut e = vec![0.0; n];
     if n == 0 {
         return Tridiagonal { d, e };
     }
+    // Scratch copy of the current reflector (row i of `a`), so the panel
+    // kernels can borrow the matrix without aliasing it.
+    let mut u = vec![0.0; n];
 
     for i in (1..n).rev() {
         let l = i - 1;
@@ -55,31 +82,24 @@ pub fn tridiagonalize_in_place(a: &mut DenseMatrix, accumulate_q: bool) -> Tridi
                 e[i] = scale * g;
                 h -= f * g;
                 a[(i, l)] = f - g;
-                f = 0.0;
-                for j in 0..=l {
-                    if accumulate_q {
+                u[..=l].copy_from_slice(&a.row(i)[..=l]);
+                // Panel phase 1: e[j] = (A u)[j] / h over the lower triangle.
+                lower_sym_matvec(a, l, &u[..=l], &mut e[..=l], h, threads);
+                if accumulate_q {
+                    for j in 0..=l {
                         a[(j, i)] = a[(i, j)] / h;
                     }
-                    let mut g = 0.0;
-                    for k in 0..=j {
-                        g += a[(j, k)] * a[(i, k)];
-                    }
-                    for k in (j + 1)..=l {
-                        g += a[(k, j)] * a[(i, k)];
-                    }
-                    e[j] = g / h;
-                    f += e[j] * a[(i, j)];
+                }
+                f = 0.0;
+                for j in 0..=l {
+                    f += e[j] * u[j];
                 }
                 let hh = f / (h + h);
                 for j in 0..=l {
-                    let f = a[(i, j)];
-                    let g = e[j] - hh * f;
-                    e[j] = g;
-                    for k in 0..=j {
-                        let delta = f * e[k] + g * a[(i, k)];
-                        a[(j, k)] -= delta;
-                    }
+                    e[j] -= hh * u[j];
                 }
+                // Panel phase 2: A[0..=l, 0..=l] -= u eᵀ + e uᵀ (lower part).
+                rank2_update_lower(a, l, &u[..=l], &e[..=l], threads);
             }
         } else {
             e[i] = a[(i, l)];
@@ -122,6 +142,72 @@ pub fn tridiagonalize_in_place(a: &mut DenseMatrix, accumulate_q: bool) -> Tridi
     Tridiagonal { d, e }
 }
 
+/// Fills `out[j] = (Σ_{k≤j} a[j][k]·u[k] + Σ_{j<k≤l} a[k][j]·u[k]) / h`
+/// for `j ∈ 0..=l` — the symmetric mat-vec over the packed lower triangle.
+/// Each `j` costs exactly `l + 1` multiply-adds, so even row chunks
+/// balance; every `out[j]` uses the same in-order reduction regardless of
+/// chunking.
+fn lower_sym_matvec(a: &DenseMatrix, l: usize, u: &[f64], out: &mut [f64], h: f64, threads: usize) {
+    let kernel = |start: usize, out_chunk: &mut [f64]| {
+        for (slot, g_out) in out_chunk.iter_mut().enumerate() {
+            let j = start + slot;
+            let mut g = 0.0;
+            let row_j = &a.row(j)[..=j];
+            for (ajk, uk) in row_j.iter().zip(u.iter()) {
+                g += ajk * uk;
+            }
+            for k in (j + 1)..=l {
+                g += a[(k, j)] * u[k];
+            }
+            *g_out = g / h;
+        }
+    };
+    if threads <= 1 || l < PARALLEL_PANEL_THRESHOLD {
+        kernel(0, out);
+        return;
+    }
+    std::thread::scope(|s| {
+        let kernel = &kernel;
+        let mut rest = out;
+        for range in even_ranges(l + 1, threads) {
+            let (chunk, tail) = rest.split_at_mut(range.len());
+            rest = tail;
+            s.spawn(move || kernel(range.start, chunk));
+        }
+    });
+}
+
+/// Applies the symmetric rank-2 update `a[j][k] -= u[j]·e[k] + e[j]·u[k]`
+/// for `k ≤ j ≤ l` (lower triangle only, as the classical algorithm does).
+/// Rows are distributed by triangle area so chunks carry equal work.
+fn rank2_update_lower(a: &mut DenseMatrix, l: usize, u: &[f64], e: &[f64], threads: usize) {
+    let cols = a.ncols();
+    let rows = l + 1;
+    let kernel = |start_row: usize, block: &mut [f64]| {
+        for (r, row) in block.chunks_mut(cols).enumerate() {
+            let j = start_row + r;
+            let (uj, ej) = (u[j], e[j]);
+            for k in 0..=j {
+                row[k] -= uj * e[k] + ej * u[k];
+            }
+        }
+    };
+    let data = &mut a.data_mut()[..rows * cols];
+    if threads <= 1 || l < PARALLEL_PANEL_THRESHOLD {
+        kernel(0, data);
+        return;
+    }
+    std::thread::scope(|s| {
+        let kernel = &kernel;
+        let mut rest = data;
+        for range in triangle_ranges(rows, threads) {
+            let (block, tail) = rest.split_at_mut(range.len() * cols);
+            rest = tail;
+            s.spawn(move || kernel(range.start, block));
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -143,11 +229,7 @@ mod tests {
     #[test]
     fn already_tridiagonal_is_preserved() {
         // Path-graph Laplacian is already tridiagonal.
-        let a = DenseMatrix::from_rows(&[
-            &[1.0, -1.0, 0.0],
-            &[-1.0, 2.0, -1.0],
-            &[0.0, -1.0, 1.0],
-        ]);
+        let a = DenseMatrix::from_rows(&[&[1.0, -1.0, 0.0], &[-1.0, 2.0, -1.0], &[0.0, -1.0, 1.0]]);
         let mut work = a.clone();
         let t = tridiagonalize_in_place(&mut work, false);
         assert_eq!(t.d, vec![1.0, 2.0, 1.0]);
@@ -174,11 +256,7 @@ mod tests {
 
     #[test]
     fn trace_is_preserved() {
-        let a = DenseMatrix::from_rows(&[
-            &[2.0, -1.0, 0.5],
-            &[-1.0, 3.0, -1.0],
-            &[0.5, -1.0, 4.0],
-        ]);
+        let a = DenseMatrix::from_rows(&[&[2.0, -1.0, 0.5], &[-1.0, 3.0, -1.0], &[0.5, -1.0, 4.0]]);
         let mut work = a.clone();
         let t = tridiagonalize_in_place(&mut work, false);
         let sum: f64 = t.d.iter().sum();

@@ -22,7 +22,9 @@ use crate::error::LinalgError;
 use crate::linop::{LinOp, ShiftedNegated};
 use crate::power::power_iteration;
 use crate::tridiag::tql_in_place;
-use crate::vecops::{axpy, dot, norm2, normalize, orthogonalize_against, scal};
+use crate::vecops::{
+    axpy, dot, norm2, normalize, orthogonalize_against, orthogonalize_against_parallel, scal,
+};
 use crate::Result;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -229,10 +231,14 @@ fn lanczos_sweep<A: LinOp + ?Sized>(
             let beta_prev = betas[j - 1];
             axpy(-beta_prev, &basis[j - 1], &mut w);
         }
-        // Full re-orthogonalization, two passes ("twice is enough").
+        // Full re-orthogonalization, two passes ("twice is enough"). The
+        // parallel variant is one classical GS pass; two of them (CGS2)
+        // restore orthogonality to machine precision, and this O(m·n) sweep
+        // is the Lanczos bottleneck on large graphs.
+        let threads = crate::threads::effective_threads();
         for _ in 0..2 {
-            orthogonalize_against(&mut w, locked);
-            orthogonalize_against(&mut w, &basis);
+            orthogonalize_against_parallel(&mut w, locked, threads);
+            orthogonalize_against_parallel(&mut w, &basis, threads);
         }
         let beta = norm2(&w);
         betas.push(beta);
@@ -352,11 +358,7 @@ fn lock_converged<A: LinOp + ?Sized>(
 
 /// Draws a random unit vector orthogonal to `locked`. Returns `None` when
 /// the complement appears numerically empty.
-fn random_orthogonal_start(
-    n: usize,
-    locked: &[Vec<f64>],
-    rng: &mut StdRng,
-) -> Option<Vec<f64>> {
+fn random_orthogonal_start(n: usize, locked: &[Vec<f64>], rng: &mut StdRng) -> Option<Vec<f64>> {
     for _ in 0..64 {
         let mut v: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() * 2.0 - 1.0).collect();
         normalize(&mut v);

@@ -16,6 +16,10 @@
 //! * Tridiagonal eigensolvers (implicit QL and Sturm-sequence bisection),
 //!   power iteration, and random orthogonal matrices for the quadratic
 //!   assignment (trace inequality) tests behind Theorem 4.
+//! * A parallel execution layer: every O(n²)-or-worse kernel (sparse
+//!   mat-vec, Householder panel updates, Lanczos re-orthogonalization) runs
+//!   on scoped worker threads controlled by the [`threads`] knob, and the
+//!   [`stats`] counters let callers prove work was (or wasn't) performed.
 //!
 //! Everything is implemented from first principles on `f64`; no BLAS/LAPACK.
 
@@ -27,7 +31,9 @@ pub mod lanczos;
 pub mod linop;
 pub mod orthogonal;
 pub mod power;
+pub mod stats;
 pub mod symeig;
+pub mod threads;
 pub mod tridiag;
 pub mod vecops;
 
@@ -38,7 +44,8 @@ pub use lanczos::{smallest_eigenvalues, LanczosOptions, LanczosResult};
 pub use linop::{LinOp, ShiftedNegated};
 pub use orthogonal::random_orthogonal;
 pub use power::{power_iteration, PowerResult};
-pub use symeig::{eigh, eigenvalues_symmetric};
+pub use symeig::{eigenvalues_symmetric, eigh};
+pub use threads::{set_threads, Threads};
 pub use tridiag::{tridiagonal_eigenvalues, tridiagonal_eigenvalues_bisect};
 
 /// Result alias used throughout the crate.

@@ -28,14 +28,7 @@ impl LinOp for CsrMatrix {
     }
 
     fn apply(&self, x: &[f64], y: &mut [f64]) {
-        // Thread count is decided once per process; available_parallelism is
-        // cheap but not free, so cache it.
-        use std::sync::OnceLock;
-        static THREADS: OnceLock<usize> = OnceLock::new();
-        let threads = *THREADS.get_or_init(|| {
-            std::thread::available_parallelism().map_or(1, |p| p.get())
-        });
-        self.matvec_parallel(x, y, threads);
+        self.matvec_parallel(x, y, crate::threads::effective_threads());
     }
 
     fn eigen_upper_bound(&self) -> Option<f64> {

@@ -94,11 +94,7 @@ mod tests {
 
     #[test]
     fn finds_dominant_eigenvalue_of_diagonal() {
-        let a = DenseMatrix::from_rows(&[
-            &[1.0, 0.0, 0.0],
-            &[0.0, 7.0, 0.0],
-            &[0.0, 0.0, 3.0],
-        ]);
+        let a = DenseMatrix::from_rows(&[&[1.0, 0.0, 0.0], &[0.0, 7.0, 0.0], &[0.0, 0.0, 3.0]]);
         let r = power_iteration(&a, 500, 1e-12, 42).unwrap();
         assert!(r.converged);
         assert!((r.value - 7.0).abs() < 1e-8);
@@ -108,11 +104,7 @@ mod tests {
 
     #[test]
     fn agrees_with_dense_solver() {
-        let a = DenseMatrix::from_rows(&[
-            &[4.0, 1.0, -2.0],
-            &[1.0, 2.0, 0.0],
-            &[-2.0, 0.0, 3.0],
-        ]);
+        let a = DenseMatrix::from_rows(&[&[4.0, 1.0, -2.0], &[1.0, 2.0, 0.0], &[-2.0, 0.0, 3.0]]);
         let vals = crate::symeig::eigenvalues_symmetric(&a).unwrap();
         let dominant = vals
             .iter()
@@ -120,7 +112,11 @@ mod tests {
             .max_by(|x, y| x.abs().total_cmp(&y.abs()))
             .unwrap();
         let r = power_iteration(&a, 2000, 1e-13, 7).unwrap();
-        assert!((r.value - dominant).abs() < 1e-6, "{} vs {dominant}", r.value);
+        assert!(
+            (r.value - dominant).abs() < 1e-6,
+            "{} vs {dominant}",
+            r.value
+        );
     }
 
     #[test]

@@ -1,0 +1,48 @@
+//! Global instrumentation counters.
+//!
+//! The spectral engine's cache tests need to prove a negative — "this call
+//! did **not** re-run the eigensolver" — so the two eigensolver entry
+//! points tick monotone process-global counters: every sparse mat-vec
+//! (the unit of Lanczos work) and every dense eigensolve. Counters are
+//! never reset; callers measure deltas. Reads and writes are `Relaxed`:
+//! the counters order nothing, and a mat-vec costs orders of magnitude
+//! more than the increment.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static SPARSE_MATVECS: AtomicU64 = AtomicU64::new(0);
+static DENSE_EIGENSOLVES: AtomicU64 = AtomicU64::new(0);
+
+pub(crate) fn record_sparse_matvec() {
+    SPARSE_MATVECS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn record_dense_eigensolve() {
+    DENSE_EIGENSOLVES.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Total [`crate::CsrMatrix`] mat-vec applications so far in this process.
+pub fn sparse_matvec_count() -> u64 {
+    SPARSE_MATVECS.load(Ordering::Relaxed)
+}
+
+/// Total dense symmetric eigensolves so far in this process.
+pub fn dense_eigensolve_count() -> u64 {
+    DENSE_EIGENSOLVES.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_monotone() {
+        let before = sparse_matvec_count();
+        record_sparse_matvec();
+        record_sparse_matvec();
+        assert!(sparse_matvec_count() >= before + 2);
+        let before = dense_eigensolve_count();
+        record_dense_eigensolve();
+        assert!(dense_eigensolve_count() > before);
+    }
+}

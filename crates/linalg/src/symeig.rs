@@ -21,6 +21,7 @@ fn symmetry_scale(a: &DenseMatrix) -> f64 {
 /// fails to converge.
 pub fn eigenvalues_symmetric(a: &DenseMatrix) -> Result<Vec<f64>> {
     a.require_symmetric(SYMMETRY_TOL * symmetry_scale(a))?;
+    crate::stats::record_dense_eigensolve();
     let mut work = a.clone();
     let mut t = tridiagonalize_in_place(&mut work, false);
     tql_in_place(&mut t.d, &mut t.e, None)?;
@@ -36,6 +37,7 @@ pub fn eigenvalues_symmetric(a: &DenseMatrix) -> Result<Vec<f64>> {
 /// Same failure modes as [`eigenvalues_symmetric`].
 pub fn eigh(a: &DenseMatrix) -> Result<(Vec<f64>, DenseMatrix)> {
     a.require_symmetric(SYMMETRY_TOL * symmetry_scale(a))?;
+    crate::stats::record_dense_eigensolve();
     let mut q = a.clone();
     let mut t = tridiagonalize_in_place(&mut q, true);
     tql_in_place(&mut t.d, &mut t.e, Some(&mut q))?;
@@ -120,11 +122,7 @@ mod tests {
 
     #[test]
     fn eigenvalue_sum_equals_trace() {
-        let a = DenseMatrix::from_rows(&[
-            &[1.0, 0.5, 0.0],
-            &[0.5, -2.0, 0.25],
-            &[0.0, 0.25, 3.0],
-        ]);
+        let a = DenseMatrix::from_rows(&[&[1.0, 0.5, 0.0], &[0.5, -2.0, 0.25], &[0.0, 0.25, 3.0]]);
         let vals = eigenvalues_symmetric(&a).unwrap();
         let sum: f64 = vals.iter().sum();
         assert!((sum - a.trace()).abs() < 1e-10);

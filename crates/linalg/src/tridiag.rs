@@ -62,7 +62,11 @@ pub fn tql_in_place(d: &mut [f64], e: &mut [f64], z: Option<&mut DenseMatrix>) -
     if n == 0 {
         return Ok(());
     }
-    assert_eq!(e.len(), n, "tql_in_place: e must have length n (e[0] unused)");
+    assert_eq!(
+        e.len(),
+        n,
+        "tql_in_place: e must have length n (e[0] unused)"
+    );
     // Shift to the internal convention: e[i] couples i and i+1.
     for i in 1..n {
         e[i - 1] = e[i];

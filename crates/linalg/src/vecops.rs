@@ -64,12 +64,88 @@ pub fn max_abs_diff(x: &[f64], y: &[f64]) -> f64 {
 }
 
 /// Removes from `v` its components along each (assumed orthonormal) vector
-/// in `basis`, i.e. classical Gram–Schmidt re-orthogonalization.
+/// in `basis` — one *modified* Gram–Schmidt pass (each coefficient is taken
+/// after the previous subtraction).
 pub fn orthogonalize_against(v: &mut [f64], basis: &[Vec<f64>]) {
     for q in basis {
         let c = dot(v, q);
         axpy(-c, q, v);
     }
+}
+
+/// Below this work estimate (`v.len() · basis.len()`) the parallel
+/// re-orthogonalization runs its kernels inline instead of spawning.
+const PARALLEL_ORTHO_THRESHOLD: usize = 1 << 16;
+
+/// Parallelizable re-orthogonalization: one *classical* Gram–Schmidt pass
+/// with all coefficients taken against the incoming `v`, then a blocked
+/// subtraction. Callers that need full orthogonality run two passes
+/// ("twice is enough", CGS2) — exactly what the Lanczos sweep already does.
+///
+/// Determinism: the CGS algorithm runs at **every** thread count
+/// (`threads == 1` and small inputs execute the same two phases inline,
+/// without spawning), and each phase reduces in the same element order
+/// regardless of chunking, so the result is bit-identical for every
+/// `threads ≥ 1`. This is deliberately a different algorithm from the
+/// serial MGS pass in [`orthogonalize_against`].
+pub fn orthogonalize_against_parallel(v: &mut [f64], basis: &[Vec<f64>], threads: usize) {
+    if basis.is_empty() {
+        return;
+    }
+    let n = v.len();
+    let threads = if n * basis.len() < PARALLEL_ORTHO_THRESHOLD {
+        1
+    } else {
+        threads.max(1)
+    };
+    // Phase 1: coefficients c_j = <v, q_j>, parallel over basis vectors.
+    let mut coeffs = vec![0.0f64; basis.len()];
+    if threads == 1 {
+        for (c, q) in coeffs.iter_mut().zip(basis.iter()) {
+            *c = dot(v, q);
+        }
+    } else {
+        let v_read: &[f64] = v;
+        std::thread::scope(|s| {
+            let mut rest = coeffs.as_mut_slice();
+            let mut offset = 0;
+            for range in crate::threads::even_ranges(basis.len(), threads) {
+                let (chunk, tail) = rest.split_at_mut(range.len());
+                rest = tail;
+                let start = offset;
+                offset += range.len();
+                s.spawn(move || {
+                    for (k, c) in chunk.iter_mut().enumerate() {
+                        *c = dot(v_read, &basis[start + k]);
+                    }
+                });
+            }
+        });
+    }
+    // Phase 2: v -= Σ_j c_j q_j, parallel over segments of v; every element
+    // accumulates its terms in ascending j order regardless of chunking.
+    if threads == 1 {
+        for (c, q) in coeffs.iter().zip(basis.iter()) {
+            axpy(-c, q, v);
+        }
+        return;
+    }
+    std::thread::scope(|s| {
+        let mut rest = &mut *v;
+        let mut lo = 0;
+        for range in crate::threads::even_ranges(n, threads) {
+            let (seg, tail) = rest.split_at_mut(range.len());
+            rest = tail;
+            let seg_lo = lo;
+            lo += range.len();
+            let coeffs = &coeffs;
+            s.spawn(move || {
+                for (c, q) in coeffs.iter().zip(basis.iter()) {
+                    axpy(-c, &q[seg_lo..seg_lo + seg.len()], seg);
+                }
+            });
+        }
+    });
 }
 
 /// Numerically robust `hypot` specialized to the QL iteration's needs:
@@ -138,6 +214,40 @@ mod tests {
         assert!(dot(&v, &q1).abs() < 1e-15);
         assert!(dot(&v, &q2).abs() < 1e-15);
         assert!((v[2] - 7.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn parallel_orthogonalization_is_orthogonal_and_thread_count_invariant() {
+        // Large enough to clear PARALLEL_ORTHO_THRESHOLD with 8 basis vectors.
+        let n = 10_000;
+        let mut basis: Vec<Vec<f64>> = Vec::new();
+        for j in 0..8usize {
+            let mut q: Vec<f64> = (0..n)
+                .map(|i| ((i * (j + 3)) as f64 * 0.013).sin())
+                .collect();
+            // Two serial MGS passes build an orthonormal basis.
+            for _ in 0..2 {
+                orthogonalize_against(&mut q, &basis);
+            }
+            normalize(&mut q);
+            basis.push(q);
+        }
+        let v0: Vec<f64> = (0..n).map(|i| (i as f64 * 0.031).cos()).collect();
+        let mut reference = v0.clone();
+        // CGS2: two parallel passes.
+        orthogonalize_against_parallel(&mut reference, &basis, 2);
+        orthogonalize_against_parallel(&mut reference, &basis, 2);
+        for q in &basis {
+            assert!(dot(&reference, q).abs() < 1e-10);
+        }
+        // Every thread count — including the inline threads = 1 path —
+        // runs the same CGS kernels and must be bit-identical.
+        for threads in [1usize, 4, 8] {
+            let mut v = v0.clone();
+            orthogonalize_against_parallel(&mut v, &basis, threads);
+            orthogonalize_against_parallel(&mut v, &basis, threads);
+            assert_eq!(v, reference, "threads={threads}");
+        }
     }
 
     #[test]

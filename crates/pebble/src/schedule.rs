@@ -38,9 +38,7 @@ pub fn best_simulated_io(
 ) -> Result<BestExecution, SimError> {
     let mut best: Option<BestExecution> = None;
     let mut consider = |result: SimResult, order_name: &'static str, policy: Policy| {
-        let better = best
-            .as_ref()
-            .is_none_or(|b| result.io() < b.result.io());
+        let better = best.as_ref().is_none_or(|b| result.io() < b.result.io());
         if better {
             best = Some(BestExecution {
                 result,

@@ -149,8 +149,11 @@ impl<'g> MemoryState<'g> {
         let mut consumer_positions = vec![Vec::new(); n];
         if policy == Policy::Belady {
             for (v, slot) in consumer_positions.iter_mut().enumerate() {
-                let mut uses: Vec<u32> =
-                    g.children(v).iter().map(|&c| position[c as usize]).collect();
+                let mut uses: Vec<u32> = g
+                    .children(v)
+                    .iter()
+                    .map(|&c| position[c as usize])
+                    .collect();
                 uses.sort_unstable();
                 *slot = uses;
             }
@@ -248,7 +251,10 @@ impl<'g> MemoryState<'g> {
                     self.backed[best as usize],
                 );
                 for &r in &candidates[1..] {
-                    let key = (self.next_use_after(r as usize, now), self.backed[r as usize]);
+                    let key = (
+                        self.next_use_after(r as usize, now),
+                        self.backed[r as usize],
+                    );
                     if key > best_key {
                         best_key = key;
                         best = r;

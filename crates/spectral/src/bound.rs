@@ -10,9 +10,7 @@
 
 use crate::laplacian::{normalized_laplacian, unnormalized_laplacian};
 use graphio_graph::CompGraph;
-use graphio_linalg::{
-    eigenvalues_symmetric, lanczos, CsrMatrix, LanczosOptions, LinalgError,
-};
+use graphio_linalg::{eigenvalues_symmetric, lanczos, CsrMatrix, LanczosOptions, LinalgError};
 
 /// How eigenvalues are computed.
 #[derive(Debug, Clone, Default)]
@@ -52,6 +50,39 @@ impl Default for BoundOptions {
     }
 }
 
+impl BoundOptions {
+    /// Eigensolver settings scaled to graph size — the single tuning
+    /// schedule shared by the CLI, the bench harness and the engine.
+    ///
+    /// The paper fixes `h = 100`; for very large graphs we shrink `h` (the
+    /// optimal `k` stays far below it, §6.5) to keep the deflated-Lanczos
+    /// sweep count down, and switch from the dense O(n³) solver to Lanczos
+    /// beyond the default dense cutoff.
+    pub fn for_graph_size(n: usize) -> Self {
+        let h = if n > 100_000 {
+            16
+        } else if n > 16_000 {
+            32
+        } else {
+            100
+        };
+        let method = if n > 640 {
+            EigenMethod::Lanczos(LanczosOptions {
+                subspace: 96,
+                tol: 1e-8,
+                ..Default::default()
+            })
+        } else {
+            EigenMethod::Dense
+        };
+        BoundOptions {
+            h,
+            method,
+            ..Default::default()
+        }
+    }
+}
+
 /// A computed spectral lower bound.
 #[derive(Debug, Clone)]
 pub struct SpectralBound {
@@ -79,7 +110,14 @@ pub fn spectral_bound(
 ) -> Result<SpectralBound, LinalgError> {
     let lap = normalized_laplacian(g);
     let eigs = smallest_eigenvalues(&lap, opts)?;
-    Ok(bound_from_eigenvalues(&eigs, g.n(), memory, 1, 1.0, opts.fixed_k))
+    Ok(bound_from_eigenvalues(
+        &eigs,
+        g.n(),
+        memory,
+        1,
+        1.0,
+        opts.fixed_k,
+    ))
 }
 
 /// Theorem 5: the looser bound using the unnormalized Laplacian `L`,
@@ -134,10 +172,7 @@ pub fn parallel_spectral_bound(
 ///
 /// # Errors
 /// Propagates eigensolver failures.
-pub fn smallest_eigenvalues(
-    lap: &CsrMatrix,
-    opts: &BoundOptions,
-) -> Result<Vec<f64>, LinalgError> {
+pub fn smallest_eigenvalues(lap: &CsrMatrix, opts: &BoundOptions) -> Result<Vec<f64>, LinalgError> {
     let n = lap.dim();
     let h = opts.h.min(n);
     if h == 0 {
@@ -215,9 +250,7 @@ pub fn bound_from_eigenvalues(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use graphio_graph::generators::{
-        bhk_hypercube, fft_butterfly, inner_product, naive_matmul,
-    };
+    use graphio_graph::generators::{bhk_hypercube, fft_butterfly, inner_product, naive_matmul};
 
     fn default_opts() -> BoundOptions {
         BoundOptions::default()

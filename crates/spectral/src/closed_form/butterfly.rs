@@ -149,11 +149,7 @@ mod tests {
     #[test]
     fn multiplicities_sum_to_vertex_count() {
         for l in 0..=10 {
-            assert_eq!(
-                spectrum_size(&butterfly_spectrum(l)),
-                (l + 1) << l,
-                "l={l}"
-            );
+            assert_eq!(spectrum_size(&butterfly_spectrum(l)), (l + 1) << l, "l={l}");
         }
     }
 
@@ -181,7 +177,11 @@ mod tests {
         // With i = l: 4 − 4cos(π/(2l+1)) is the P'_l ground value, which
         // §5.2 identifies as governing the spectral gap.
         let expect = 4.0 - 4.0 * (PI / (2.0 * l as f64 + 1.0)).cos();
-        assert!((small[1] - expect).abs() < 1e-12, "{} vs {expect}", small[1]);
+        assert!(
+            (small[1] - expect).abs() < 1e-12,
+            "{} vs {expect}",
+            small[1]
+        );
     }
 
     #[test]

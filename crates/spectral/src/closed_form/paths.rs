@@ -15,7 +15,9 @@ use std::f64::consts::PI;
 
 /// Closed-form spectrum of `P_i` (ascending).
 pub fn path_p(i: usize) -> Vec<f64> {
-    (0..i).map(|j| 4.0 - 4.0 * (PI * j as f64 / i as f64).cos()).collect()
+    (0..i)
+        .map(|j| 4.0 - 4.0 * (PI * j as f64 / i as f64).cos())
+        .collect()
 }
 
 /// Closed-form spectrum of `P'_i` (ascending).

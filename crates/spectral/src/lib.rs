@@ -26,9 +26,13 @@
 //!    random graphs.
 //! 5. [`published`] provides the previously published asymptotic bounds the
 //!    paper compares against in §6.2.
+//! 6. [`engine`] owns a per-graph analysis session: Laplacians built once,
+//!    spectra and min-cut sweeps cached, all Theorem 4/5/6 consumers served
+//!    without recomputation — the seam every scaling layer plugs into.
 
 pub mod bound;
 pub mod closed_form;
+pub mod engine;
 pub mod laplacian;
 pub mod partition;
 pub mod published;
@@ -38,4 +42,5 @@ pub use bound::{
     parallel_spectral_bound, spectral_bound, spectral_bound_original, BoundOptions, EigenMethod,
     SpectralBound,
 };
+pub use engine::{Analyzer, EngineStats, LaplacianKind};
 pub use laplacian::{normalized_laplacian, unnormalized_laplacian};

@@ -66,9 +66,15 @@ mod tests {
     #[test]
     fn min_dot_pairs_opposite_ends() {
         // {1,2,3} vs {10,20,30}: minimal pairing 1*30 + 2*20 + 3*10 = 100.
-        assert_eq!(min_spectral_dot(&[1.0, 2.0, 3.0], &[10.0, 20.0, 30.0]), 100.0);
+        assert_eq!(
+            min_spectral_dot(&[1.0, 2.0, 3.0], &[10.0, 20.0, 30.0]),
+            100.0
+        );
         // Input order must not matter.
-        assert_eq!(min_spectral_dot(&[3.0, 1.0, 2.0], &[20.0, 30.0, 10.0]), 100.0);
+        assert_eq!(
+            min_spectral_dot(&[3.0, 1.0, 2.0], &[20.0, 30.0, 10.0]),
+            100.0
+        );
     }
 
     #[test]

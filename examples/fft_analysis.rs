@@ -29,7 +29,10 @@ fn main() {
     let mut worst: f64 = 0.0;
     for i in 0..h {
         worst = worst.max((closed[i] - numeric.values[i]).abs());
-        println!("  λ_{i:<2} closed {:>12.8}  numeric {:>12.8}", closed[i], numeric.values[i]);
+        println!(
+            "  λ_{i:<2} closed {:>12.8}  numeric {:>12.8}",
+            closed[i], numeric.values[i]
+        );
     }
     println!("  max |Δ| = {worst:.2e}\n");
 

@@ -1,0 +1,55 @@
+//! Thread-scaling probe for the Lanczos eigensolve on an FFT butterfly.
+//!
+//! ```text
+//! cargo run --release --example lanczos_timing -- 12 1,4,8
+//! ```
+//!
+//! Runs the production eigensolver schedule (`BoundOptions::for_graph_size`)
+//! on `fft_butterfly(l)` once per requested thread count and prints the
+//! wall-clock time. Sweep and mat-vec counts are identical across thread
+//! counts (the parallel kernels are chunk-deterministic); only the clock
+//! should move.
+
+use graphio::linalg::{lanczos, set_threads};
+use graphio::prelude::*;
+use graphio::spectral::normalized_laplacian;
+use std::time::Instant;
+
+fn main() {
+    let l: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(11);
+    let threads_list: Vec<usize> = std::env::args()
+        .nth(2)
+        .map(|s| s.split(',').filter_map(|t| t.parse().ok()).collect())
+        .unwrap_or_else(|| vec![1, 4]);
+    let g = fft_butterfly(l);
+    let lap = normalized_laplacian(&g);
+    let opts = BoundOptions::for_graph_size(g.n());
+    let (h, lopts) = match opts.method {
+        EigenMethod::Lanczos(lo) => (opts.h, lo),
+        EigenMethod::Dense | EigenMethod::Auto => {
+            eprintln!("graph too small for the Lanczos schedule; try l >= 10");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "fft_butterfly({l}): n = {}, nnz = {}, h = {h}",
+        g.n(),
+        lap.nnz()
+    );
+    for threads in threads_list {
+        set_threads(threads);
+        let t0 = Instant::now();
+        let r = lanczos::smallest_eigenvalues(&lap, h, &lopts).expect("lanczos converges");
+        println!(
+            "threads = {threads}: {:8.2}s  ({} sweeps, {} matvecs, lambda_2 = {:.6})",
+            t0.elapsed().as_secs_f64(),
+            r.sweeps,
+            r.matvecs,
+            r.values[1]
+        );
+    }
+    set_threads(0);
+}

@@ -31,8 +31,7 @@ fn main() {
         for seed in 0..trials {
             let g = erdos_renyi_dag(n, p, seed as u64);
             let lap = unnormalized_laplacian(&g);
-            let eigs =
-                lanczos::smallest_eigenvalues(&lap, 2, &LanczosOptions::default()).unwrap();
+            let eigs = lanczos::smallest_eigenvalues(&lap, 2, &LanczosOptions::default()).unwrap();
             let lam2 = eigs.values[1];
             // §5.3 divides by the max (total) degree.
             let dmax = (0..g.n()).map(|v| g.degree(v)).max().unwrap() as f64;

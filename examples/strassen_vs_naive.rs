@@ -28,7 +28,12 @@ fn main() {
             // Skip points whose max in-degree exceeds fast memory (the
             // paper suppresses these too).
             if g.max_in_degree() > m {
-                println!("{n:>4} {name:>10} {:>14} {:>14} {:>14} {published:>14.0}", g.n(), "(skip)", "(skip)");
+                println!(
+                    "{n:>4} {name:>10} {:>14} {:>14} {:>14} {published:>14.0}",
+                    g.n(),
+                    "(skip)",
+                    "(skip)"
+                );
                 continue;
             }
             // Shrink h on big graphs: the optimal k stays small (§6.5),
@@ -41,7 +46,10 @@ fn main() {
             // The per-vertex min-cut sweep is the baseline's bottleneck;
             // sample on big graphs (still a sound lower bound).
             let sweep = if g.n() > 4000 {
-                VertexSweep::Sample { count: 512, seed: 1 }
+                VertexSweep::Sample {
+                    count: 512,
+                    seed: 1,
+                }
             } else {
                 VertexSweep::All
             };

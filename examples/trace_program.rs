@@ -63,5 +63,8 @@ fn main() {
 
     // Tiny graphs render nicely as DOT for inspection.
     let small = trace_horner(3);
-    println!("\nHorner degree-3 graph in DOT:\n{}", to_dot(&small, &DotOptions::default()));
+    println!(
+        "\nHorner degree-3 graph in DOT:\n{}",
+        to_dot(&small, &DotOptions::default())
+    );
 }

@@ -1,0 +1,279 @@
+//! Offline, std-only subset of the `criterion` API used by `graphio`'s
+//! benches (all declared with `harness = false`).
+//!
+//! Measurement model: per benchmark, run the closure for the configured
+//! warm-up time to estimate per-iteration cost, size batches so each
+//! sample takes `measurement_time / sample_size`, then report min / mean /
+//! max over the samples on stdout:
+//!
+//! ```text
+//! matvec/parallel/4        time: [118.21 µs 120.05 µs 124.77 µs]  (10 samples)
+//! ```
+//!
+//! Positional command-line arguments act as substring filters on the full
+//! `group/name` path, mirroring `cargo bench -- <filter>`.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmark's result.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark driver handed to `criterion_group!` targets.
+pub struct Criterion {
+    filters: Vec<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Skip flags cargo forwards (e.g. `--bench`); positional args filter.
+        let filters = std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect();
+        Criterion { filters }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+            warm_up_time: Duration::from_secs(1),
+        }
+    }
+
+    /// Benchmarks a closure outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let mut group = self.benchmark_group("");
+        group.bench_function(id, f);
+        group.finish();
+        self
+    }
+
+    fn selected(&self, path: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| path.contains(f.as_str()))
+    }
+}
+
+/// Identifier `name/parameter` for parameterized benchmarks.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Builds `"{name}/{parameter}"`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            full: format!("{name}/{parameter}"),
+        }
+    }
+}
+
+/// A group of benchmarks sharing timing configuration.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the total measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up budget per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs a named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let path = self.full_path(id);
+        self.run(&path, f);
+        self
+    }
+
+    /// Runs a parameterized benchmark; the closure receives `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let path = self.full_path(&id.full);
+        self.run(&path, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+
+    fn full_path(&self, id: &str) -> String {
+        if self.name.is_empty() {
+            id.to_string()
+        } else {
+            format!("{}/{id}", self.name)
+        }
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, path: &str, mut f: F) {
+        if !self.criterion.selected(path) {
+            return;
+        }
+        let mut bencher = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            samples_ns: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(path);
+    }
+}
+
+/// Collects timing samples for one benchmark.
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measures `f`, called repeatedly in timed batches.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm up and estimate the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up_time {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+
+        let per_sample = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let batch = ((per_sample / per_iter) as u64).max(1);
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.samples_ns
+                .push(start.elapsed().as_secs_f64() * 1e9 / batch as f64);
+        }
+    }
+
+    fn report(&self, path: &str) {
+        if self.samples_ns.is_empty() {
+            println!("{path:<40} (no samples — did the closure call iter()?)");
+            return;
+        }
+        let min = self
+            .samples_ns
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        let max = self.samples_ns.iter().copied().fold(0.0f64, f64::max);
+        let mean = self.samples_ns.iter().sum::<f64>() / self.samples_ns.len() as f64;
+        println!(
+            "{path:<40} time: [{} {} {}]  ({} samples)",
+            fmt_ns(min),
+            fmt_ns(mean),
+            fmt_ns(max),
+            self.samples_ns.len()
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Declares a function running each benchmark target in sequence.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, invoking each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_records_samples() {
+        let mut c = Criterion { filters: vec![] };
+        let mut group = c.benchmark_group("g");
+        group
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20))
+            .sample_size(4);
+        let mut ran = false;
+        group.bench_function("f", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn filters_skip_unmatched_benchmarks() {
+        let mut c = Criterion {
+            filters: vec!["only_this".into()],
+        };
+        let mut group = c.benchmark_group("g");
+        let mut ran = false;
+        group.bench_function("other", |_| ran = true);
+        group.finish();
+        assert!(!ran);
+    }
+
+    #[test]
+    fn benchmark_id_formats_path() {
+        let id = BenchmarkId::new("lanczos", 14);
+        assert_eq!(id.full, "lanczos/14");
+    }
+}

@@ -1,0 +1,18 @@
+//! Boolean strategies.
+
+use crate::{Strategy, TestRng};
+
+/// Strategy generating fair booleans (`proptest::bool::ANY`).
+#[derive(Debug, Clone, Copy)]
+pub struct Any;
+
+/// A fair coin flip.
+pub const ANY: Any = Any;
+
+impl Strategy for Any {
+    type Value = bool;
+
+    fn new_value(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() >> 63 == 1
+    }
+}

@@ -1,0 +1,361 @@
+//! Offline, std-only subset of the `proptest` API used by `graphio`.
+//!
+//! Semantics: each `proptest!`-generated test runs `ProptestConfig::cases`
+//! random cases from a generator seeded deterministically by the test's
+//! module path and name, so failures reproduce exactly on re-run. There is
+//! no shrinking — the failure message reports the case index instead.
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+pub mod bool;
+pub mod collection;
+
+/// One-stop imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+        TestCaseError, TestRng,
+    };
+}
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed assertion inside a property body.
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Deterministic per-test generator (SplitMix64 over an FNV-1a name hash).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the generator from a test's fully qualified name.
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform integer in `[0, span)`; `span` must be positive.
+    pub fn below(&mut self, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        ((self.next_u64() as u128 * span as u128) >> 64) as u64
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A generator of random values for one property argument.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { source: self, f }
+    }
+
+    /// Builds a dependent strategy from each generated value.
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { source: self, f }
+    }
+}
+
+/// Always generates a clone of the same value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn new_value(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.source.new_value(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn new_value(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.source.new_value(rng)).new_value(rng)
+    }
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + rng.below(span + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(usize, u64, u32, i64, i32);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn new_value(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// Defines property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn holds(x in 0usize..10, y in -1.0f64..1.0) { prop_assert!(x < 10); }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr); $($(#[$meta:meta])+ fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng =
+                    $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::new_value(&($strat), &mut rng);)+
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!("{} failed at case {}/{}: {}",
+                               stringify!($name), case + 1, config.cases, e);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fails the current property case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current property case unless both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)+);
+    }};
+}
+
+/// Fails the current property case if both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::Strategy;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = TestRng::from_name("x::y");
+        let mut b = TestRng::from_name("x::y");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::from_name("x::z");
+        let _ = c.next_u64();
+    }
+
+    #[test]
+    fn map_and_flat_map_compose() {
+        let mut rng = TestRng::from_name("compose");
+        let s = (1usize..5)
+            .prop_flat_map(|n| crate::collection::vec(0usize..10, n).prop_map(move |v| (n, v)));
+        for _ in 0..100 {
+            let (n, v) = s.new_value(&mut rng);
+            assert_eq!(v.len(), n);
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3usize..7, y in -2.0f64..2.0, (a, b) in (0u64..4, 1usize..=2)) {
+            prop_assert!((3..7).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+            prop_assert!(a < 4);
+            prop_assert_eq!(b.clamp(1, 2), b);
+        }
+
+        #[test]
+        fn early_ok_return_is_supported(n in 0usize..10) {
+            if n > 100 {
+                return Ok(());
+            }
+            prop_assert!(n < 10);
+        }
+    }
+
+    // Extra meta attributes pass straight through the macro, so failure
+    // behaviour is testable with a plain `should_panic`.
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        #[test]
+        #[should_panic(expected = "failed at case")]
+        fn failures_report_the_case_index(x in 0usize..2) {
+            prop_assert!(x > 10, "x was {}", x);
+        }
+    }
+}

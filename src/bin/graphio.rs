@@ -1,29 +1,38 @@
 //! `graphio` command-line tool: generate computation graphs, compute I/O
-//! lower bounds, and simulate executions from the shell.
+//! lower bounds, run whole analysis sessions, and simulate executions from
+//! the shell.
 //!
 //! ```text
 //! graphio generate fft 6                     # emit edge-list JSON on stdout
 //! graphio bound --memory 4 < graph.json      # spectral + min-cut bounds
+//! graphio analyze --memory-sweep 2,4,8,16 --threads 8 --json < graph.json
 //! graphio simulate --memory 4 --policy lru < graph.json
 //! graphio dot < graph.json                   # Graphviz rendering
 //! ```
+//!
+//! `analyze` is the cached path: one `Analyzer` session computes each
+//! Laplacian spectrum and the min-cut sweep once and serves every memory
+//! size, theorem variant and processor count from the cache.
 
-use graphio::baselines::convex_mincut::{convex_min_cut_bound, ConvexMinCutOptions, VertexSweep};
+use graphio::baselines::convex_mincut::{convex_min_cut_bound, ConvexMinCutOptions};
 use graphio::graph::dot::{to_dot, DotOptions};
 use graphio::graph::generators::{
     bhk_hypercube, diamond_dag, erdos_renyi_dag, fft_butterfly, inner_product, naive_matmul,
     strassen_matmul,
 };
+use graphio::graph::json::JsonValue;
 use graphio::graph::topo::{bfs_order, dfs_order, natural_order};
 use graphio::graph::{CompGraph, EdgeListGraph};
+use graphio::linalg::stats::sparse_matvec_count;
 use graphio::pebble::{simulate, Policy};
-use graphio::spectral::{spectral_bound, BoundOptions};
+use graphio::spectral::{Analyzer, BoundOptions};
 use std::io::Read;
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  graphio generate <family> <size> [--p <prob>] [--seed <s>]\n  \
          graphio bound --memory <M> [--processors <p>] < graph.json\n  \
+         graphio analyze --memory-sweep <M1,M2,...> [--processors <p>] [--threads <N>] [--no-sim] [--json] < graph.json\n  \
          graphio simulate --memory <M> [--policy lru|fifo|belady|random] [--order natural|dfs|bfs] < graph.json\n  \
          graphio dot < graph.json\n\n\
          families: fft, bhk, matmul, strassen, inner, diamond, er"
@@ -39,7 +48,7 @@ fn read_graph_from_stdin() -> CompGraph {
             eprintln!("error reading stdin: {e}");
             std::process::exit(1);
         });
-    let el: EdgeListGraph = serde_json::from_str(&buf).unwrap_or_else(|e| {
+    let el = EdgeListGraph::from_json(&buf).unwrap_or_else(|e| {
         eprintln!("error parsing graph JSON: {e}");
         std::process::exit(1);
     });
@@ -53,6 +62,174 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
     args.iter()
         .position(|a| a == flag)
         .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Writes bulk output to stdout. A broken pipe (`generate ... | head`, or
+/// a downstream command that rejected its flags) is a normal way for the
+/// reader to hang up, so it exits 0 quietly instead of panicking; any
+/// other write failure (e.g. a full disk) is a real error and exits 1.
+fn write_stdout(s: &str) {
+    use std::io::Write as _;
+    let mut out = std::io::stdout().lock();
+    if let Err(e) = out.write_all(s.as_bytes()).and_then(|()| out.flush()) {
+        if e.kind() == std::io::ErrorKind::BrokenPipe {
+            std::process::exit(0);
+        }
+        eprintln!("error writing to stdout: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn mincut_options(n: usize) -> ConvexMinCutOptions {
+    // Shared size-scaled schedule (same source of truth as the bench
+    // harness).
+    ConvexMinCutOptions::for_graph_size(n)
+}
+
+/// One memory point of an `analyze` session.
+struct AnalyzeRow {
+    memory: usize,
+    thm4: Option<(f64, usize)>,
+    thm5: Option<f64>,
+    thm6: Option<f64>,
+    mincut: u64,
+    sim_upper: Option<u64>,
+}
+
+fn cmd_analyze(args: &[String]) {
+    let memories: Vec<usize> = flag_value(args, "--memory-sweep")
+        .unwrap_or_else(|| usage())
+        .split(',')
+        .map(|s| s.trim().parse().unwrap_or_else(|_| usage()))
+        .collect();
+    if memories.is_empty() {
+        usage();
+    }
+    let processors: usize = flag_value(args, "--processors")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    if let Some(threads) = flag_value(args, "--threads") {
+        let threads: usize = threads.parse().unwrap_or_else(|_| usage());
+        graphio::linalg::set_threads(threads);
+    }
+    let want_json = args.iter().any(|a| a == "--json");
+    let no_sim = args.iter().any(|a| a == "--no-sim");
+
+    let g = read_graph_from_stdin();
+    let analyzer = Analyzer::new(&g);
+    let opts = BoundOptions::for_graph_size(g.n());
+    let mc_opts = mincut_options(g.n());
+    let order = if no_sim {
+        Vec::new()
+    } else {
+        natural_order(&g)
+    };
+    let matvecs_before = sparse_matvec_count();
+
+    let rows: Vec<AnalyzeRow> = memories
+        .iter()
+        .map(|&m| {
+            let thm4 = analyzer.bound(m, &opts).ok().map(|b| (b.bound, b.best_k));
+            let thm5 = analyzer.bound_original(m, &opts).ok().map(|b| b.bound);
+            let thm6 = (processors > 1)
+                .then(|| analyzer.parallel_bound(m, processors, &opts).ok())
+                .flatten()
+                .map(|b| b.bound);
+            let mincut = analyzer.min_cut_bound(m, &mc_opts);
+            let sim_upper = (!no_sim)
+                .then(|| {
+                    [Policy::Lru, Policy::Belady]
+                        .iter()
+                        .filter_map(|&p| simulate(&g, &order, m, p, 0).ok().map(|r| r.io()))
+                        .min()
+                })
+                .flatten();
+            AnalyzeRow {
+                memory: m,
+                thm4,
+                thm5,
+                thm6,
+                mincut,
+                sim_upper,
+            }
+        })
+        .collect();
+
+    let stats = analyzer.stats();
+    let matvecs = sparse_matvec_count() - matvecs_before;
+
+    if want_json {
+        let mut doc = vec![
+            ("n".to_string(), JsonValue::Number(g.n() as f64)),
+            ("edges".to_string(), JsonValue::Number(g.num_edges() as f64)),
+            (
+                "processors".to_string(),
+                JsonValue::Number(processors as f64),
+            ),
+            (
+                "eigensolves".to_string(),
+                JsonValue::Number(stats.spectrum_misses as f64),
+            ),
+            (
+                "sparse_matvecs".to_string(),
+                JsonValue::Number(matvecs as f64),
+            ),
+        ];
+        let opt_num = |v: Option<f64>| v.map_or(JsonValue::Null, JsonValue::Number);
+        doc.push((
+            "sweep".to_string(),
+            JsonValue::Array(
+                rows.iter()
+                    .map(|r| {
+                        JsonValue::Object(vec![
+                            ("memory".into(), JsonValue::Number(r.memory as f64)),
+                            ("thm4".into(), opt_num(r.thm4.map(|(b, _)| b))),
+                            (
+                                "best_k".into(),
+                                r.thm4
+                                    .map_or(JsonValue::Null, |(_, k)| JsonValue::Number(k as f64)),
+                            ),
+                            ("thm5".into(), opt_num(r.thm5)),
+                            ("thm6".into(), opt_num(r.thm6)),
+                            ("mincut".into(), JsonValue::Number(r.mincut as f64)),
+                            ("sim_upper".into(), opt_num(r.sim_upper.map(|s| s as f64))),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
+        println!("{}", JsonValue::Object(doc));
+        return;
+    }
+
+    println!(
+        "analysis of graph: n = {}, edges = {}, h = {}, threads = {}",
+        g.n(),
+        g.num_edges(),
+        opts.h,
+        graphio::linalg::threads::effective_threads(),
+    );
+    let fmt_opt = |v: Option<f64>| v.map_or("-".to_string(), |b| format!("{b:.1}"));
+    println!(
+        "{:>8} {:>14} {:>8} {:>14} {:>14} {:>10} {:>11}",
+        "M", "thm4", "best_k", "thm5", "thm6", "mincut", "sim_upper"
+    );
+    for r in &rows {
+        println!(
+            "{:>8} {:>14} {:>8} {:>14} {:>14} {:>10} {:>11}",
+            r.memory,
+            fmt_opt(r.thm4.map(|(b, _)| b)),
+            r.thm4.map_or("-".to_string(), |(_, k)| k.to_string()),
+            fmt_opt(r.thm5),
+            fmt_opt(r.thm6),
+            r.mincut,
+            r.sim_upper.map_or("-".to_string(), |s| s.to_string()),
+        );
+    }
+    println!(
+        "eigensolves: {} ({} cache hits), sparse mat-vecs: {}, min-cut sweeps: {}",
+        stats.spectrum_misses, stats.spectrum_hits, matvecs, stats.mincut_misses,
+    );
 }
 
 fn main() {
@@ -81,10 +258,8 @@ fn main() {
                 "er" => erdos_renyi_dag(size, p, seed),
                 _ => usage(),
             };
-            println!(
-                "{}",
-                serde_json::to_string(&g.to_edge_list()).expect("serializable")
-            );
+            write_stdout(&g.to_edge_list().to_json());
+            write_stdout("\n");
         }
         "bound" => {
             let m: usize = flag_value(&args, "--memory")
@@ -94,10 +269,14 @@ fn main() {
                 .and_then(|s| s.parse().ok())
                 .unwrap_or(1);
             let g = read_graph_from_stdin();
+            // The CLI shares the bench harness's size-scaled tuning
+            // schedule (BoundOptions::for_graph_size).
+            let opts = BoundOptions::for_graph_size(g.n());
+            let analyzer = Analyzer::new(&g);
             let spectral = if p == 1 {
-                spectral_bound(&g, m, &BoundOptions::default())
+                analyzer.bound(m, &opts)
             } else {
-                graphio::spectral::parallel_spectral_bound(&g, m, p, &BoundOptions::default())
+                analyzer.parallel_bound(m, p, &opts)
             };
             match spectral {
                 Ok(b) => println!(
@@ -108,24 +287,13 @@ fn main() {
                 ),
                 Err(e) => eprintln!("spectral bound failed: {e}"),
             }
-            let sweep = if g.n() > 3000 {
-                VertexSweep::Sample { count: 512, seed: 7 }
-            } else {
-                VertexSweep::All
-            };
-            let mc = convex_min_cut_bound(
-                &g,
-                m,
-                &ConvexMinCutOptions {
-                    sweep,
-                    ..Default::default()
-                },
-            );
+            let mc = convex_min_cut_bound(&g, m, &mincut_options(g.n()));
             println!(
                 "convex min-cut bound: {}  (max wavefront = {})",
                 mc.bound, mc.max_cut
             );
         }
+        "analyze" => cmd_analyze(&args),
         "simulate" => {
             let m: usize = flag_value(&args, "--memory")
                 .and_then(|s| s.parse().ok())
@@ -160,7 +328,7 @@ fn main() {
         }
         "dot" => {
             let g = read_graph_from_stdin();
-            print!("{}", to_dot(&g, &DotOptions::default()));
+            write_stdout(&to_dot(&g, &DotOptions::default()));
         }
         _ => usage(),
     }

@@ -39,17 +39,16 @@ pub use graphio_spectral as spectral;
 /// One-stop imports for the common workflow: generate or trace a graph,
 /// compute lower bounds, simulate executions.
 pub mod prelude {
-    pub use graphio_baselines::{
-        convex_min_cut_bound, exact_optimal_io, ConvexMinCutOptions,
-    };
+    pub use graphio_baselines::{convex_min_cut_bound, exact_optimal_io, ConvexMinCutOptions};
     pub use graphio_graph::generators::{
-        bhk_hypercube, diamond_dag, erdos_renyi_dag, fft_butterfly, inner_product,
-        naive_matmul, strassen_matmul,
+        bhk_hypercube, diamond_dag, erdos_renyi_dag, fft_butterfly, inner_product, naive_matmul,
+        strassen_matmul,
     };
     pub use graphio_graph::{CompGraph, GraphBuilder, OpKind, Tracer};
+    pub use graphio_linalg::{set_threads, Threads};
     pub use graphio_pebble::{simulate, Policy};
     pub use graphio_spectral::{
-        parallel_spectral_bound, spectral_bound, spectral_bound_original, BoundOptions,
-        EigenMethod, SpectralBound,
+        parallel_spectral_bound, spectral_bound, spectral_bound_original, Analyzer, BoundOptions,
+        EigenMethod, LaplacianKind, SpectralBound,
     };
 }

@@ -13,7 +13,11 @@ fn generate(family: &str, size: usize) -> String {
         .args(["generate", family, &size.to_string()])
         .output()
         .expect("spawn graphio generate");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     String::from_utf8(out.stdout).expect("utf8 json")
 }
 
@@ -42,7 +46,7 @@ fn run_with_stdin(args: &[&str], stdin_data: &str) -> (String, String, bool) {
 #[test]
 fn generate_emits_parseable_edge_list() {
     let json = generate("fft", 3);
-    let el: graphio::graph::EdgeListGraph = serde_json::from_str(&json).unwrap();
+    let el = graphio::graph::EdgeListGraph::from_json(&json).unwrap();
     assert_eq!(el.ops.len(), 4 * 8);
     assert_eq!(el.edges.len(), 2 * 3 * 8);
 }
@@ -60,7 +64,9 @@ fn bound_pipeline_reports_both_bounds() {
 fn simulate_pipeline_reports_io() {
     let json = generate("diamond", 4);
     let (stdout, _, ok) = run_with_stdin(
-        &["simulate", "--memory", "4", "--policy", "belady", "--order", "dfs"],
+        &[
+            "simulate", "--memory", "4", "--policy", "belady", "--order", "dfs",
+        ],
         &json,
     );
     assert!(ok);
@@ -74,6 +80,57 @@ fn simulate_rejects_infeasible_memory() {
     let (_, stderr, ok) = run_with_stdin(&["simulate", "--memory", "3"], &json);
     assert!(!ok);
     assert!(stderr.contains("simulation failed"), "{stderr}");
+}
+
+#[test]
+fn analyze_sweep_reports_every_memory_and_one_eigensolve() {
+    let json = generate("fft", 5);
+    let (stdout, stderr, ok) = run_with_stdin(
+        &["analyze", "--memory-sweep", "2,4,8,16", "--threads", "2"],
+        &json,
+    );
+    assert!(ok, "stderr: {stderr}");
+    for m in ["2", "4", "8", "16"] {
+        assert!(
+            stdout.lines().any(|l| l.trim_start().starts_with(m)),
+            "missing row for M={m} in:\n{stdout}"
+        );
+    }
+    // One Analyzer session, two Laplacian kinds (Thm4 + Thm5) -> exactly
+    // two eigensolves however many memory sizes were swept.
+    assert!(
+        stdout.contains("eigensolves: 2"),
+        "expected one eigensolve per Laplacian kind:\n{stdout}"
+    );
+}
+
+#[test]
+fn analyze_json_output_is_parseable_and_complete() {
+    let json = generate("bhk", 5);
+    let (stdout, stderr, ok) = run_with_stdin(
+        &[
+            "analyze",
+            "--memory-sweep",
+            "2,4,8",
+            "--processors",
+            "4",
+            "--json",
+        ],
+        &json,
+    );
+    assert!(ok, "stderr: {stderr}");
+    let doc = graphio::graph::json::parse(&stdout).expect("analyze --json must emit valid JSON");
+    let sweep = doc.get("sweep").and_then(|s| s.as_array()).unwrap();
+    assert_eq!(sweep.len(), 3);
+    for row in sweep {
+        assert!(row.get("memory").is_some());
+        assert!(row.get("thm4").is_some());
+        assert!(row.get("thm5").is_some());
+        assert!(row.get("thm6").is_some());
+        assert!(row.get("mincut").is_some());
+        assert!(row.get("sim_upper").is_some());
+    }
+    assert_eq!(doc.get("eigensolves").and_then(|v| v.as_f64()), Some(2.0));
 }
 
 #[test]

@@ -91,9 +91,7 @@ fn closed_form_bounds_dominate_chain_holds_numerically() {
 
 #[test]
 fn erdos_renyi_lambda2_concentrates_near_prediction() {
-    use graphio::spectral::closed_form::erdos_renyi::{
-        lambda2_sparse_estimate, sparse_p,
-    };
+    use graphio::spectral::closed_form::erdos_renyi::{lambda2_sparse_estimate, sparse_p};
     let n = 300;
     let p0 = 12.0;
     let p = sparse_p(n, p0);

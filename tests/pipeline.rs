@@ -27,10 +27,10 @@ fn traced_programs_get_identical_bounds_to_generators() {
 }
 
 #[test]
-fn serde_roundtrip_preserves_graph_and_bound() {
+fn json_roundtrip_preserves_graph_and_bound() {
     let g = strassen_matmul(2);
-    let json = serde_json::to_string(&g.to_edge_list()).unwrap();
-    let el: EdgeListGraph = serde_json::from_str(&json).unwrap();
+    let json = g.to_edge_list().to_json();
+    let el = EdgeListGraph::from_json(&json).unwrap();
     let g2 = CompGraph::try_from(el).unwrap();
     assert_eq!(g.n(), g2.n());
     assert_eq!(g.num_edges(), g2.num_edges());
