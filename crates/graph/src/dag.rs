@@ -182,6 +182,15 @@ impl CompGraph {
         out
     }
 
+    /// Approximate heap footprint of this graph in bytes — both CSR
+    /// directions plus the op table. Used by the service's session cache
+    /// for byte-budget eviction; exact allocator overhead is ignored.
+    pub fn approx_bytes(&self) -> usize {
+        self.ops.len() * std::mem::size_of::<OpKind>()
+            + (self.fwd_ptr.len() + self.rev_ptr.len()) * std::mem::size_of::<usize>()
+            + (self.fwd_idx.len() + self.rev_idx.len()) * std::mem::size_of::<u32>()
+    }
+
     /// Portable edge-list representation (see [`crate::json`] for the JSON
     /// form).
     pub fn to_edge_list(&self) -> EdgeListGraph {

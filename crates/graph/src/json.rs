@@ -69,6 +69,14 @@ impl JsonValue {
         let x = self.as_f64()?;
         (x >= 0.0 && x <= u32::MAX as f64 && x.fract() == 0.0).then_some(x as u32)
     }
+
+    /// This number as a `u64`, if it is a non-negative integer exactly
+    /// representable in an `f64` (≤ 2⁵³ — the largest integers JSON can
+    /// carry without loss).
+    pub fn as_u64(&self) -> Option<u64> {
+        let x = self.as_f64()?;
+        (x >= 0.0 && x <= (1u64 << 53) as f64 && x.fract() == 0.0).then_some(x as u64)
+    }
 }
 
 impl fmt::Display for JsonValue {
@@ -418,6 +426,16 @@ impl EdgeListGraph {
     /// Returns [`JsonError`] on malformed JSON or a schema mismatch.
     pub fn from_json(input: &str) -> Result<EdgeListGraph, JsonError> {
         let doc = parse(input)?;
+        EdgeListGraph::from_json_value(&doc)
+    }
+
+    /// Parses an already-parsed [`JsonValue`] in the same schema — used by
+    /// the analysis service, whose request bodies embed graphs as
+    /// sub-documents.
+    ///
+    /// # Errors
+    /// Returns [`JsonError`] on a schema mismatch.
+    pub fn from_json_value(doc: &JsonValue) -> Result<EdgeListGraph, JsonError> {
         let ops = doc
             .get("ops")
             .and_then(JsonValue::as_array)

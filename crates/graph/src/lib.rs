@@ -15,9 +15,12 @@
 //! * [`topo`] — topological evaluation orders (deterministic and random).
 //! * [`dot`] — Graphviz export.
 //! * [`json`] — the JSON edge-list interchange format used by the CLI.
+//! * [`fingerprint`] — relabeling-invariant structural hashes, the cache
+//!   key of the analysis service.
 
 pub mod dag;
 pub mod dot;
+pub mod fingerprint;
 pub mod generators;
 pub mod json;
 pub mod ops;
@@ -25,5 +28,6 @@ pub mod topo;
 pub mod trace;
 
 pub use dag::{CompGraph, EdgeListGraph, GraphBuilder, GraphError};
+pub use fingerprint::{fingerprint, Fingerprint};
 pub use ops::OpKind;
 pub use trace::{Tracer, Tv};

@@ -1,0 +1,131 @@
+//! Error-path coverage for the JSON edge-list interchange format: the
+//! analysis service feeds untrusted request bodies through these parsers,
+//! so every malformed shape must fail with a clean `JsonError` (or
+//! `GraphError` at graph-build time), never a panic.
+
+use graphio_graph::json::parse;
+use graphio_graph::{CompGraph, EdgeListGraph, GraphError, OpKind};
+
+fn valid() -> &'static str {
+    r#"{"ops":["Input","Input","Add"],"edges":[[0,2],[1,2]]}"#
+}
+
+#[test]
+fn valid_document_parses() {
+    let el = EdgeListGraph::from_json(valid()).unwrap();
+    assert_eq!(el.ops.len(), 3);
+    assert_eq!(el.edges, vec![(0, 2), (1, 2)]);
+}
+
+#[test]
+fn truncated_inputs_fail_with_offsets() {
+    let full = valid();
+    // Every proper prefix must fail cleanly — nothing panics, nothing
+    // half-parses.
+    for end in 0..full.len() {
+        let err = EdgeListGraph::from_json(&full[..end])
+            .expect_err(&format!("prefix of {end} bytes must fail"));
+        assert!(!err.message.is_empty());
+    }
+}
+
+#[test]
+fn trailing_garbage_is_rejected() {
+    let doc = format!("{} trailing", valid());
+    let err = EdgeListGraph::from_json(&doc).unwrap_err();
+    assert!(err.message.contains("trailing"), "{err}");
+    assert!(err.offset > 0);
+}
+
+#[test]
+fn non_numeric_ids_are_rejected() {
+    for bad in [
+        r#"{"ops":["Input","Add"],"edges":[["0",1]]}"#,
+        r#"{"ops":["Input","Add"],"edges":[[0,null]]}"#,
+        r#"{"ops":["Input","Add"],"edges":[[0.5,1]]}"#,
+        r#"{"ops":["Input","Add"],"edges":[[-1,1]]}"#,
+        r#"{"ops":["Input","Add"],"edges":[[0,4294967296]]}"#,
+    ] {
+        let err = EdgeListGraph::from_json(bad).unwrap_err();
+        assert!(err.message.contains("u32"), "{bad}: {err}");
+    }
+}
+
+#[test]
+fn malformed_ops_are_rejected() {
+    for bad in [
+        r#"{"ops":["NotAnOp"],"edges":[]}"#,
+        r#"{"ops":[42],"edges":[]}"#,
+        r#"{"ops":[{"Custom":"x"}],"edges":[]}"#,
+        r#"{"ops":[{"Custom":-3}],"edges":[]}"#,
+    ] {
+        assert!(EdgeListGraph::from_json(bad).is_err(), "{bad}");
+    }
+}
+
+#[test]
+fn missing_sections_are_rejected() {
+    assert!(EdgeListGraph::from_json(r#"{"edges":[]}"#).is_err());
+    assert!(EdgeListGraph::from_json(r#"{"ops":[]}"#).is_err());
+    assert!(EdgeListGraph::from_json(r#"[]"#).is_err());
+}
+
+#[test]
+fn self_loops_fail_at_graph_build() {
+    // The edge list parses (the format is just pairs) but the DAG
+    // invariant rejects it.
+    let el = EdgeListGraph::from_json(r#"{"ops":["Add"],"edges":[[0,0]]}"#).unwrap();
+    assert_eq!(
+        CompGraph::try_from(el).unwrap_err(),
+        GraphError::SelfLoop { id: 0 }
+    );
+}
+
+#[test]
+fn out_of_range_edges_fail_at_graph_build() {
+    let el = EdgeListGraph::from_json(r#"{"ops":["Input","Add"],"edges":[[0,7]]}"#).unwrap();
+    assert_eq!(
+        CompGraph::try_from(el).unwrap_err(),
+        GraphError::InvalidVertex { id: 7, n: 2 }
+    );
+}
+
+#[test]
+fn duplicate_edges_are_parallel_edges_not_errors() {
+    // `x * x` consumes the same operand twice: the format must preserve
+    // duplicate pairs, and the graph must keep both.
+    let el = EdgeListGraph::from_json(r#"{"ops":["Input","Mul"],"edges":[[0,1],[0,1]]}"#).unwrap();
+    assert_eq!(el.edges, vec![(0, 1), (0, 1)]);
+    let g = CompGraph::try_from(el).unwrap();
+    assert_eq!(g.num_edges(), 2);
+    assert_eq!(g.in_degree(1), 2);
+}
+
+#[test]
+fn from_json_value_matches_from_json() {
+    let doc = parse(valid()).unwrap();
+    assert_eq!(
+        EdgeListGraph::from_json_value(&doc).unwrap(),
+        EdgeListGraph::from_json(valid()).unwrap()
+    );
+    // A schema mismatch through the value path too.
+    let bad = parse(r#"{"ops":"nope","edges":[]}"#).unwrap();
+    assert!(EdgeListGraph::from_json_value(&bad).is_err());
+}
+
+#[test]
+fn deep_nesting_and_odd_scalars_do_not_panic() {
+    let deep = format!("{}1{}", "[".repeat(2000), "]".repeat(2000));
+    let _ = parse(&deep); // must terminate without stack abuse either way
+    for odd in ["1e309", "-0", "\"\\u0041\"", "\"\\uZZZZ\"", "nul", "tru"] {
+        let _ = parse(odd); // ok or clean error, never a panic
+    }
+    assert_eq!(
+        EdgeListGraph::from_json(r#"{"ops":[],"edges":[]}"#).unwrap(),
+        EdgeListGraph {
+            ops: vec![],
+            edges: vec![]
+        }
+    );
+    let _ = OpKind::from_json(&parse(r#"{"Custom":1.5}"#).unwrap());
+}

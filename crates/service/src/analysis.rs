@@ -1,0 +1,272 @@
+//! The shared analysis pipeline: one deterministic JSON document serving
+//! both the offline CLI (`graphio analyze --json`) and `POST /analyze`.
+//!
+//! Bit-identical responses are a hard requirement (and are
+//! property-tested): the server must be a *transparent* accelerator of the
+//! offline path, never a differently-rounded one. Both paths therefore
+//! call [`analysis_doc`] with the same size-scaled option schedules
+//! ([`BoundOptions::for_graph_size`] /
+//! [`ConvexMinCutOptions::for_graph_size`]); the engine guarantees cached
+//! and cold bounds agree to the bit, and the linalg kernels are
+//! chunk-deterministic across thread counts, so cache state, worker count
+//! and thread knob all cancel out of the output.
+//!
+//! The document deliberately contains only request-determined fields. The
+//! one instrumentation-flavored field, `"eigensolves"`, is defined as the
+//! number of distinct `(Laplacian kind, solver options)` spectra the
+//! analysis *requires* — i.e. the eigensolves a cold session performs —
+//! rather than a live counter, precisely so a warm server cache cannot
+//! change the bytes.
+
+use graphio_baselines::convex_mincut::ConvexMinCutOptions;
+use graphio_graph::json::JsonValue;
+use graphio_graph::topo::natural_order;
+use graphio_pebble::{simulate, Policy};
+use graphio_spectral::{BoundOptions, LaplacianKind, OwnedAnalyzer};
+
+/// A validated analysis request: which memory sizes, how many processors,
+/// whether to run the simulation upper bound.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalyzeSpec {
+    /// Memory sizes to sweep (validated: non-empty, no zeros, no
+    /// duplicates — see [`validate_memories`]).
+    pub memories: Vec<usize>,
+    /// Processor count for the Theorem 6 parallel bound (1 disables it).
+    pub processors: usize,
+    /// Skip the pebble-game simulation upper bound.
+    pub no_sim: bool,
+}
+
+impl AnalyzeSpec {
+    /// A single-processor sweep with simulation enabled.
+    pub fn sweep(memories: Vec<usize>) -> AnalyzeSpec {
+        AnalyzeSpec {
+            memories,
+            processors: 1,
+            no_sim: false,
+        }
+    }
+}
+
+/// Validates a raw memory sweep: rejects empty sweeps and `0` entries
+/// (an `M = 0` point is degenerate — the bound formulas assume at least
+/// one word of fast memory), and drops duplicate values, reporting each
+/// drop as a warning so callers can surface it.
+///
+/// # Errors
+/// A human-readable message naming the offending input.
+pub fn validate_memories(raw: &[usize]) -> Result<(Vec<usize>, Vec<String>), String> {
+    if raw.is_empty() {
+        return Err("memory sweep is empty".to_string());
+    }
+    let mut seen = std::collections::HashSet::new();
+    let mut memories = Vec::with_capacity(raw.len());
+    let mut warnings = Vec::new();
+    for &m in raw {
+        if m == 0 {
+            return Err("memory size 0 is not a valid sweep point".to_string());
+        }
+        if seen.insert(m) {
+            memories.push(m);
+        } else {
+            warnings.push(format!("duplicate memory size {m} dropped from sweep"));
+        }
+    }
+    Ok((memories, warnings))
+}
+
+/// One memory point of an analysis session.
+#[derive(Debug, Clone)]
+pub struct AnalyzeRow {
+    /// The fast-memory size `M` of this sweep point.
+    pub memory: usize,
+    /// Theorem 4 bound and its maximizing `k`, if the eigensolve succeeded.
+    pub thm4: Option<(f64, usize)>,
+    /// Theorem 5 bound, if the eigensolve succeeded.
+    pub thm5: Option<f64>,
+    /// Theorem 6 parallel bound (only when `processors > 1`).
+    pub thm6: Option<f64>,
+    /// Convex min-cut baseline bound.
+    pub mincut: u64,
+    /// Best simulated upper bound (LRU vs Bélády), unless `no_sim`.
+    pub sim_upper: Option<u64>,
+}
+
+/// Runs the sweep against `analyzer` (cold or cached — same bits either
+/// way) and returns the per-memory rows.
+pub fn analyze_rows(analyzer: &OwnedAnalyzer, spec: &AnalyzeSpec) -> Vec<AnalyzeRow> {
+    let g = analyzer.graph();
+    let opts = BoundOptions::for_graph_size(g.n());
+    let mc_opts = ConvexMinCutOptions::for_graph_size(g.n());
+    let order = if spec.no_sim {
+        Vec::new()
+    } else {
+        natural_order(g)
+    };
+    spec.memories
+        .iter()
+        .map(|&m| {
+            let thm4 = analyzer.bound(m, &opts).ok().map(|b| (b.bound, b.best_k));
+            let thm5 = analyzer.bound_original(m, &opts).ok().map(|b| b.bound);
+            let thm6 = (spec.processors > 1)
+                .then(|| analyzer.parallel_bound(m, spec.processors, &opts).ok())
+                .flatten()
+                .map(|b| b.bound);
+            let mincut = analyzer.min_cut_bound(m, &mc_opts);
+            let sim_upper = (!spec.no_sim)
+                .then(|| {
+                    [Policy::Lru, Policy::Belady]
+                        .iter()
+                        .filter_map(|&p| simulate(g, &order, m, p, 0).ok().map(|r| r.io()))
+                        .min()
+                })
+                .flatten();
+            AnalyzeRow {
+                memory: m,
+                thm4,
+                thm5,
+                thm6,
+                mincut,
+                sim_upper,
+            }
+        })
+        .collect()
+}
+
+/// Number of distinct Laplacian spectra the analysis requires — the
+/// eigensolves a cold session performs (Theorem 4 and 6 share the
+/// normalized spectrum; Theorem 5 uses the unnormalized one).
+pub fn required_eigensolves(_spec: &AnalyzeSpec) -> usize {
+    // Every request runs Theorem 4 (normalized spectrum) and Theorem 5
+    // (unnormalized); Theorem 6 (`processors > 1`) reuses the normalized
+    // one — so the count is currently spec-independent. Revisit if
+    // variants ever become optional.
+    LaplacianKind::ALL.len()
+}
+
+/// The canonical analysis document (see the module docs). Serializing
+/// this value and appending `\n` is the exact byte stream both
+/// `graphio analyze --json` and `POST /analyze` emit.
+pub fn analysis_doc(analyzer: &OwnedAnalyzer, spec: &AnalyzeSpec) -> JsonValue {
+    let g = analyzer.graph();
+    let rows = analyze_rows(analyzer, spec);
+    let opt_num = |v: Option<f64>| v.map_or(JsonValue::Null, JsonValue::Number);
+    JsonValue::Object(vec![
+        ("n".to_string(), JsonValue::Number(g.n() as f64)),
+        ("edges".to_string(), JsonValue::Number(g.num_edges() as f64)),
+        (
+            "processors".to_string(),
+            JsonValue::Number(spec.processors as f64),
+        ),
+        (
+            "eigensolves".to_string(),
+            JsonValue::Number(required_eigensolves(spec) as f64),
+        ),
+        (
+            "sweep".to_string(),
+            JsonValue::Array(
+                rows.iter()
+                    .map(|r| {
+                        JsonValue::Object(vec![
+                            ("memory".into(), JsonValue::Number(r.memory as f64)),
+                            ("thm4".into(), opt_num(r.thm4.map(|(b, _)| b))),
+                            (
+                                "best_k".into(),
+                                r.thm4
+                                    .map_or(JsonValue::Null, |(_, k)| JsonValue::Number(k as f64)),
+                            ),
+                            ("thm5".into(), opt_num(r.thm5)),
+                            ("thm6".into(), opt_num(r.thm6)),
+                            ("mincut".into(), JsonValue::Number(r.mincut as f64)),
+                            ("sim_upper".into(), opt_num(r.sim_upper.map(|s| s as f64))),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// [`analysis_doc`] as the exact wire/stdout byte string (trailing
+/// newline included).
+pub fn analysis_body(analyzer: &OwnedAnalyzer, spec: &AnalyzeSpec) -> String {
+    let mut s = analysis_doc(analyzer, spec).to_string();
+    s.push('\n');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphio_graph::generators::fft_butterfly;
+
+    #[test]
+    fn validate_rejects_zero_and_empty() {
+        assert!(validate_memories(&[]).is_err());
+        assert!(validate_memories(&[4, 0, 8]).is_err());
+    }
+
+    #[test]
+    fn validate_dedups_with_warnings_preserving_order() {
+        let (mems, warnings) = validate_memories(&[8, 4, 8, 2, 4]).unwrap();
+        assert_eq!(mems, vec![8, 4, 2]);
+        assert_eq!(warnings.len(), 2);
+        assert!(warnings[0].contains("duplicate memory size 8"));
+    }
+
+    #[test]
+    fn required_eigensolves_is_two_for_all_processor_counts() {
+        for p in [1usize, 2, 16] {
+            let spec = AnalyzeSpec {
+                memories: vec![4],
+                processors: p,
+                no_sim: true,
+            };
+            assert_eq!(required_eigensolves(&spec), 2);
+        }
+    }
+
+    #[test]
+    fn doc_is_identical_for_cold_and_warm_sessions() {
+        let g = fft_butterfly(4);
+        let spec = AnalyzeSpec::sweep(vec![2, 4, 8]);
+        let warm = OwnedAnalyzer::from_graph(g.clone());
+        let first = analysis_body(&warm, &spec);
+        let again = analysis_body(&warm, &spec); // every spectrum now cached
+        let cold = analysis_body(&OwnedAnalyzer::from_graph(g), &spec);
+        assert_eq!(first, again);
+        assert_eq!(first, cold);
+        assert!(first.ends_with('\n'));
+    }
+
+    #[test]
+    fn doc_has_the_expected_shape() {
+        let an = OwnedAnalyzer::from_graph(fft_butterfly(3));
+        let spec = AnalyzeSpec {
+            memories: vec![2, 4],
+            processors: 4,
+            no_sim: false,
+        };
+        let doc = analysis_doc(&an, &spec);
+        assert_eq!(
+            doc.get("eigensolves").and_then(JsonValue::as_f64),
+            Some(2.0)
+        );
+        assert_eq!(doc.get("processors").and_then(JsonValue::as_f64), Some(4.0));
+        let sweep = doc.get("sweep").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(sweep.len(), 2);
+        for row in sweep {
+            for key in [
+                "memory",
+                "thm4",
+                "best_k",
+                "thm5",
+                "thm6",
+                "mincut",
+                "sim_upper",
+            ] {
+                assert!(row.get(key).is_some(), "missing {key}");
+            }
+        }
+    }
+}

@@ -1,0 +1,304 @@
+//! The sharded LRU session cache.
+//!
+//! One [`OwnedAnalyzer`] session per graph fingerprint, shared across
+//! requests: the first request for a graph pays the eigensolve, every
+//! later request for the same structure (under *any* vertex numbering —
+//! the fingerprint is relabeling-invariant) reuses the cached spectra.
+//! This is the server-side shape of the paper's key structural fact: the
+//! spectrum is a per-graph artifact independent of memory size, theorem
+//! variant and processor count, so it amortizes across unbounded queries.
+//!
+//! The map is split into `N` shards, each behind its own mutex and picked
+//! by fingerprint bits, so concurrent requests for *different* graphs
+//! never contend on one lock (same-graph requests share a session and
+//! contend only inside the engine's per-key single-flight slots, which is
+//! exactly the contention that deduplicates work). Eviction is LRU per
+//! shard under both a session-count cap and a byte budget; session sizes
+//! are re-read on every touch because a session's caches grow after
+//! insertion. Evicting a session that requests still hold is safe — the
+//! `Arc` keeps it alive until the last request drops it.
+
+use graphio_graph::Fingerprint;
+use graphio_spectral::{EngineStats, OwnedAnalyzer};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Sizing knobs for [`SessionCache`].
+#[derive(Debug, Clone)]
+pub struct CacheConfig {
+    /// Number of independently locked shards (clamped to ≥ 1).
+    pub shards: usize,
+    /// Maximum cached sessions across all shards.
+    pub max_sessions: usize,
+    /// Byte budget across all shards (graph + cached Laplacians/spectra).
+    pub max_bytes: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            shards: 8,
+            max_sessions: 64,
+            max_bytes: 256 * 1024 * 1024,
+        }
+    }
+}
+
+struct Entry {
+    analyzer: Arc<OwnedAnalyzer>,
+    last_used: u64,
+}
+
+type Shard = HashMap<u128, Entry>;
+
+/// Point-in-time cache counters (see [`SessionCache::stats`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CacheStats {
+    /// Sessions currently cached.
+    pub sessions: usize,
+    /// Approximate bytes held by cached sessions.
+    pub bytes: usize,
+    /// Lookups that found a session.
+    pub hits: u64,
+    /// Lookups that had to create (or could not find) a session.
+    pub misses: u64,
+    /// Sessions evicted by the count cap or byte budget.
+    pub evictions: u64,
+    /// Engine counters summed over the *currently cached* sessions —
+    /// `engine.spectrum_misses ≤ kinds × sessions` is the server-side
+    /// proof that repeated requests do not repeat eigensolves.
+    pub engine: EngineStats,
+}
+
+/// See the module docs.
+pub struct SessionCache {
+    shards: Vec<Mutex<Shard>>,
+    /// Per-shard caps: totals divided across shards, at least 1 session.
+    sessions_per_shard: usize,
+    bytes_per_shard: usize,
+    tick: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl SessionCache {
+    /// Creates an empty cache sized by `config`.
+    pub fn new(config: &CacheConfig) -> SessionCache {
+        let shards = config.shards.max(1);
+        SessionCache {
+            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            sessions_per_shard: (config.max_sessions / shards).max(1),
+            bytes_per_shard: (config.max_bytes / shards).max(1),
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, fp: Fingerprint) -> &Mutex<Shard> {
+        // High bits: WL mixing makes every bit uniform, and not reusing
+        // the low bits keeps shard choice independent of any downstream
+        // HashMap bucketing of the same value.
+        &self.shards[(fp.0 >> 64) as u64 as usize % self.shards.len()]
+    }
+
+    fn touch(&self, entry: &mut Entry) -> Arc<OwnedAnalyzer> {
+        entry.last_used = self.tick.fetch_add(1, Ordering::Relaxed);
+        Arc::clone(&entry.analyzer)
+    }
+
+    /// The session for `fp` if cached (refreshes recency).
+    pub fn get(&self, fp: Fingerprint) -> Option<Arc<OwnedAnalyzer>> {
+        let mut shard = self.shard(fp).lock().expect("cache shard lock");
+        match shard.get_mut(&fp.0) {
+            Some(entry) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(self.touch(entry))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// The session for `fp`, creating it with `make` under the shard lock
+    /// on a miss (session construction is cheap — no analysis runs until
+    /// the first bound request). Returns `(session, was_cached)`.
+    pub fn get_or_insert_with(
+        &self,
+        fp: Fingerprint,
+        make: impl FnOnce() -> OwnedAnalyzer,
+    ) -> (Arc<OwnedAnalyzer>, bool) {
+        let mut shard = self.shard(fp).lock().expect("cache shard lock");
+        if let Some(entry) = shard.get_mut(&fp.0) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return (self.touch(entry), true);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let analyzer = Arc::new(make());
+        let last_used = self.tick.fetch_add(1, Ordering::Relaxed);
+        shard.insert(
+            fp.0,
+            Entry {
+                analyzer: Arc::clone(&analyzer),
+                last_used,
+            },
+        );
+        self.evict(&mut shard);
+        (analyzer, false)
+    }
+
+    /// Evicts least-recently-used entries until the shard fits both its
+    /// session cap and its byte budget. Always keeps at least one entry so
+    /// a single over-budget session cannot thrash forever.
+    fn evict(&self, shard: &mut Shard) {
+        loop {
+            let over_count = shard.len() > self.sessions_per_shard;
+            let over_bytes = shard.len() > 1
+                && shard
+                    .values()
+                    .map(|e| e.analyzer.approx_bytes())
+                    .sum::<usize>()
+                    > self.bytes_per_shard;
+            if !over_count && !over_bytes {
+                return;
+            }
+            let Some(&oldest) = shard
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k)
+            else {
+                return;
+            };
+            shard.remove(&oldest);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of cached sessions.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard lock").len())
+            .sum()
+    }
+
+    /// True when no session is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Point-in-time counters, including engine stats summed over cached
+    /// sessions.
+    pub fn stats(&self) -> CacheStats {
+        let mut sessions = 0usize;
+        let mut bytes = 0usize;
+        let mut engine = EngineStats::default();
+        for shard in &self.shards {
+            let shard = shard.lock().expect("cache shard lock");
+            sessions += shard.len();
+            for entry in shard.values() {
+                bytes += entry.analyzer.approx_bytes();
+                let s = entry.analyzer.stats();
+                engine.spectrum_misses += s.spectrum_misses;
+                engine.spectrum_hits += s.spectrum_hits;
+                engine.mincut_misses += s.mincut_misses;
+                engine.mincut_hits += s.mincut_hits;
+            }
+        }
+        CacheStats {
+            sessions,
+            bytes,
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            engine,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphio_graph::fingerprint;
+    use graphio_graph::generators::{diamond_dag, fft_butterfly};
+
+    fn session(k: usize) -> OwnedAnalyzer {
+        OwnedAnalyzer::from_graph(diamond_dag(k, k))
+    }
+
+    #[test]
+    fn caches_and_reuses_sessions() {
+        let cache = SessionCache::new(&CacheConfig::default());
+        let g = fft_butterfly(3);
+        let fp = fingerprint(&g);
+        let (a, hit) = cache.get_or_insert_with(fp, || OwnedAnalyzer::from_graph(g.clone()));
+        assert!(!hit);
+        let (b, hit) = cache.get_or_insert_with(fp, || panic!("must reuse the session"));
+        assert!(hit);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(Arc::ptr_eq(&cache.get(fp).unwrap(), &a));
+        let stats = cache.stats();
+        assert_eq!((stats.sessions, stats.hits, stats.misses), (1, 2, 1));
+    }
+
+    #[test]
+    fn count_cap_evicts_least_recently_used() {
+        let cache = SessionCache::new(&CacheConfig {
+            shards: 1,
+            max_sessions: 2,
+            max_bytes: usize::MAX,
+        });
+        let fps: Vec<Fingerprint> = (2..5)
+            .map(|k| {
+                let g = diamond_dag(k, k);
+                let fp = fingerprint(&g);
+                cache.get_or_insert_with(fp, || session(k));
+                fp
+            })
+            .collect();
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(fps[0]).is_none(), "oldest session must go");
+        assert!(cache.get(fps[2]).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn byte_budget_evicts_but_keeps_one() {
+        let cache = SessionCache::new(&CacheConfig {
+            shards: 1,
+            max_sessions: 100,
+            max_bytes: 1, // everything is over budget
+        });
+        for k in 2..6 {
+            cache.get_or_insert_with(fingerprint(&diamond_dag(k, k)), || session(k));
+        }
+        assert_eq!(cache.len(), 1, "budget evicts down to a single session");
+        assert!(cache.stats().bytes > 1);
+    }
+
+    #[test]
+    fn shards_hold_disjoint_fingerprints() {
+        let cache = SessionCache::new(&CacheConfig {
+            shards: 4,
+            max_sessions: 64,
+            max_bytes: usize::MAX,
+        });
+        let fps: Vec<Fingerprint> = (2..10)
+            .map(|k| {
+                let g = diamond_dag(k, 2);
+                let fp = fingerprint(&g);
+                cache.get_or_insert_with(fp, || OwnedAnalyzer::from_graph(g));
+                fp
+            })
+            .collect();
+        assert_eq!(cache.len(), fps.len());
+        for fp in fps {
+            assert!(cache.get(fp).is_some());
+        }
+    }
+}

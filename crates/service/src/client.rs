@@ -1,0 +1,186 @@
+//! A minimal blocking HTTP client for the analysis service.
+//!
+//! Speaks exactly the dialect [`crate::http`] serves (one request per
+//! connection, `Content-Length` bodies) and doubles as the integration
+//! test and CI driver behind `graphio client`.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A received HTTP response.
+#[derive(Debug)]
+pub struct Response {
+    /// Status code, e.g. `200`.
+    pub status: u16,
+    /// Headers in arrival order, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The response body as text.
+    pub body: String,
+}
+
+impl Response {
+    /// First value of the (lowercased) header `name`, if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find_map(|(k, v)| (k == name).then_some(v.as_str()))
+    }
+}
+
+/// A client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The URL is not `http://host:port[...]`.
+    BadUrl(String),
+    /// Connection or transfer failure.
+    Io(std::io::Error),
+    /// The peer sent something that is not an HTTP response.
+    BadResponse(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::BadUrl(u) => write!(f, "unsupported url: {u}"),
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::BadResponse(m) => write!(f, "bad response: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// Extracts `host:port` from `http://host:port[/ignored]`.
+fn host_port(url: &str) -> Result<String, ClientError> {
+    let rest = url
+        .strip_prefix("http://")
+        .ok_or_else(|| ClientError::BadUrl(url.to_string()))?;
+    let authority = rest.split('/').next().unwrap_or("");
+    if authority.is_empty() {
+        return Err(ClientError::BadUrl(url.to_string()));
+    }
+    Ok(authority.to_string())
+}
+
+/// Issues one request and reads the full response.
+///
+/// # Errors
+/// [`ClientError`] on bad URLs, socket failures, or malformed responses.
+pub fn request(
+    method: &str,
+    url: &str,
+    path: &str,
+    body: Option<&str>,
+) -> Result<Response, ClientError> {
+    let authority = host_port(url)?;
+    let mut stream = TcpStream::connect(&authority)?;
+    stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(60)))?;
+
+    let body = body.unwrap_or("");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {authority}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    parse_response(&raw)
+}
+
+fn parse_response(raw: &[u8]) -> Result<Response, ClientError> {
+    let text = std::str::from_utf8(raw)
+        .map_err(|_| ClientError::BadResponse("response is not UTF-8".to_string()))?;
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| ClientError::BadResponse("missing header terminator".to_string()))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines
+        .next()
+        .ok_or_else(|| ClientError::BadResponse("empty response".to_string()))?;
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| ClientError::BadResponse(format!("bad status line: {status_line}")))?;
+    let headers = lines
+        .filter_map(|line| {
+            line.split_once(':')
+                .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
+        })
+        .collect();
+    Ok(Response {
+        status,
+        headers,
+        body: body.to_string(),
+    })
+}
+
+/// `POST /analyze` for `graph_json` (an edge-list document) over the given
+/// memory sweep; returns the raw response.
+///
+/// # Errors
+/// Propagates [`ClientError`].
+pub fn analyze(
+    url: &str,
+    graph_json: &str,
+    memories: &[usize],
+    processors: usize,
+    no_sim: bool,
+) -> Result<Response, ClientError> {
+    let memories = memories
+        .iter()
+        .map(|m| m.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    // The graph document is already JSON; splice it in directly.
+    let mut body = format!(
+        "{{\"graph\":{},\"memories\":[{memories}]",
+        graph_json.trim_end()
+    );
+    if processors > 1 {
+        body.push_str(&format!(",\"processors\":{processors}"));
+    }
+    if no_sim {
+        body.push_str(",\"no_sim\":true");
+    }
+    body.push('}');
+    request("POST", url, "/analyze", Some(&body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn url_parsing() {
+        assert_eq!(
+            host_port("http://127.0.0.1:8080").unwrap(),
+            "127.0.0.1:8080"
+        );
+        assert_eq!(host_port("http://[::1]:9/x").unwrap(), "[::1]:9");
+        assert!(host_port("https://example.com").is_err());
+        assert!(host_port("127.0.0.1:8080").is_err());
+    }
+
+    #[test]
+    fn response_parsing() {
+        let raw =
+            b"HTTP/1.1 503 Service Unavailable\r\nRetry-After: 1\r\nContent-Length: 3\r\n\r\nabc";
+        let r = parse_response(raw).unwrap();
+        assert_eq!(r.status, 503);
+        assert_eq!(r.header("retry-after"), Some("1"));
+        assert_eq!(r.body, "abc");
+        assert!(parse_response(b"garbage").is_err());
+    }
+}

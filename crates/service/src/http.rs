@@ -1,0 +1,225 @@
+//! A deliberately small HTTP/1.1 implementation over `std::net`.
+//!
+//! The workspace builds fully offline with zero crates.io dependencies, so
+//! the service speaks the minimal dialect its clients need instead of
+//! pulling in a web stack: one request per connection (`Connection: close`
+//! on every response), `Content-Length` bodies only (no chunked transfer),
+//! and hard caps on header and body sizes so a misbehaving peer cannot
+//! balloon memory. That subset is valid HTTP/1.1 and is what `curl`, the
+//! bundled [`crate::client`], and the CI driver exercise.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Maximum accepted size of the request line + headers, in bytes.
+pub const MAX_HEADER_BYTES: usize = 64 * 1024;
+/// Maximum accepted request body, in bytes (graphs are edge lists; 64 MiB
+/// is ~4M edges of JSON).
+pub const MAX_BODY_BYTES: usize = 64 * 1024 * 1024;
+/// Per-connection write timeout.
+pub const IO_TIMEOUT: Duration = Duration::from_secs(10);
+/// Per-read deadline while receiving a request. Deliberately short:
+/// request parsing runs on a pooled worker, so an idle connection that
+/// sends nothing can hold a worker for at most this long per read — the
+/// cheap std-only mitigation of slow-client worker starvation.
+pub const READ_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// A parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request path including any query string, e.g. `/analyze`.
+    pub path: String,
+    /// Headers in arrival order, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty unless `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of the (lowercased) header `name`, if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find_map(|(k, v)| (k == name).then_some(v.as_str()))
+    }
+}
+
+/// Why a request could not be parsed; maps to an HTTP status.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Malformed request line, header, or length field → 400.
+    Malformed(String),
+    /// Headers or body exceed the hard caps → 413.
+    TooLarge(String),
+    /// Socket failure or timeout mid-request.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Malformed(m) => write!(f, "malformed request: {m}"),
+            HttpError::TooLarge(m) => write!(f, "request too large: {m}"),
+            HttpError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// Reads one HTTP/1.1 request from `stream` (which should already carry
+/// read/write timeouts).
+///
+/// # Errors
+/// [`HttpError::Malformed`] on protocol violations, [`HttpError::TooLarge`]
+/// past the size caps, [`HttpError::Io`] on socket failures.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    let mut header_bytes = 0usize;
+
+    read_crlf_line(&mut reader, &mut line, &mut header_bytes)?;
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("empty request line".into()))?
+        .to_ascii_uppercase();
+    let path = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("request line missing path".into()))?
+        .to_string();
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("request line missing version".into()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!(
+            "unsupported version {version}"
+        )));
+    }
+
+    let mut headers = Vec::new();
+    loop {
+        read_crlf_line(&mut reader, &mut line, &mut header_bytes)?;
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::Malformed(format!("header without ':': {line}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length = headers
+        .iter()
+        .find_map(|(k, v)| (k == "content-length").then_some(v.as_str()))
+        .map(|v| {
+            v.parse::<usize>()
+                .map_err(|_| HttpError::Malformed(format!("bad content-length: {v}")))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError::TooLarge(format!(
+            "body of {content_length} bytes exceeds the {MAX_BODY_BYTES}-byte cap"
+        )));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+
+    Ok(Request {
+        method,
+        path,
+        headers,
+        body,
+    })
+}
+
+/// Reads one `\r\n`-terminated line into `line` (terminator stripped),
+/// charging its bytes against the header cap. The read itself is capped
+/// via `Take`, so a peer streaming bytes with no newline hits the cap
+/// instead of growing the buffer without bound.
+fn read_crlf_line(
+    reader: &mut BufReader<&mut TcpStream>,
+    line: &mut String,
+    header_bytes: &mut usize,
+) -> Result<(), HttpError> {
+    let budget = (MAX_HEADER_BYTES - *header_bytes) as u64;
+    if budget == 0 {
+        return Err(HttpError::TooLarge(format!(
+            "headers exceed the {MAX_HEADER_BYTES}-byte cap"
+        )));
+    }
+    let mut raw = Vec::new();
+    let n = reader.by_ref().take(budget).read_until(b'\n', &mut raw)?;
+    if n == 0 {
+        return Err(HttpError::Malformed("connection closed mid-request".into()));
+    }
+    *header_bytes += n;
+    if raw.last() != Some(&b'\n') {
+        // Either the budget ran out mid-line or the peer closed without
+        // terminating the line; with bytes still owed, it's the cap.
+        return Err(if n as u64 == budget {
+            HttpError::TooLarge(format!("headers exceed the {MAX_HEADER_BYTES}-byte cap"))
+        } else {
+            HttpError::Malformed("connection closed mid-request".into())
+        });
+    }
+    line.clear();
+    line.push_str(
+        std::str::from_utf8(&raw)
+            .map_err(|_| HttpError::Malformed("header line is not UTF-8".into()))?,
+    );
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(())
+}
+
+/// Writes a complete response (status line, standard headers, any `extra`
+/// headers, body) and flushes. Every response closes the connection.
+///
+/// # Errors
+/// Propagates socket write failures.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    extra: &[(&str, String)],
+    body: &[u8],
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+        body.len()
+    );
+    for (name, value) in extra {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// The standard reason phrase for the statuses this service emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}

@@ -1,0 +1,46 @@
+//! `graphio_service` — a zero-dependency analysis server over the
+//! spectral engine.
+//!
+//! Jain & Zaharia's central structural fact — the Laplacian spectrum is a
+//! per-graph artifact independent of memory size, theorem variant and
+//! processor count — is exactly the shape of a server-side cache: one
+//! expensive eigensolve, amortized across unbounded cheap bound queries.
+//! This crate turns the in-process [`OwnedAnalyzer`] session into a
+//! network service with that amortization as its core invariant:
+//!
+//! * [`http`] — a hand-rolled HTTP/1.1 subset over `std::net`
+//!   (the workspace builds fully offline; no web framework),
+//! * [`pool`] — a bounded worker pool with `503 + Retry-After`
+//!   backpressure and graceful shutdown,
+//! * [`cache`] — a sharded LRU of analysis sessions keyed by the
+//!   relabeling-invariant graph [`fingerprint`],
+//! * [`analysis`] — the deterministic analysis document shared with the
+//!   offline CLI (`POST /analyze` responses are bit-identical to
+//!   `graphio analyze --json`),
+//! * [`server`] — the listener/router tying it together,
+//! * [`client`] — a minimal blocking client (`graphio client ...`, CI
+//!   driver, integration tests).
+//!
+//! ```no_run
+//! use graphio_service::{serve, ServiceConfig};
+//!
+//! let server = serve(&ServiceConfig::default()).unwrap();
+//! println!("listening on {}", server.addr());
+//! # server.shutdown();
+//! ```
+//!
+//! [`OwnedAnalyzer`]: graphio_spectral::OwnedAnalyzer
+//! [`fingerprint`]: graphio_graph::fingerprint
+
+pub mod analysis;
+pub mod cache;
+pub mod client;
+pub mod http;
+pub mod pool;
+pub mod server;
+
+pub use analysis::{analysis_body, analysis_doc, validate_memories, AnalyzeSpec};
+pub use cache::{CacheConfig, CacheStats, SessionCache};
+pub use client::{ClientError, Response};
+pub use pool::{PoolSnapshot, SubmitError, WorkerPool};
+pub use server::{serve, Server, ServiceConfig};

@@ -1,0 +1,556 @@
+//! The analysis server: listener → bounded queue → workers → sharded
+//! session cache.
+//!
+//! ```text
+//!                 ┌────────────┐  submit   ┌──────────────┐
+//!  TCP accept ───▶│ bounded    │──────────▶│ worker pool  │
+//!  (one thread)   │ queue      │  Full →   │ (W threads)  │
+//!                 └────────────┘  503 +    └──────┬───────┘
+//!                                 Retry-After     │ fingerprint
+//!                                                 ▼
+//!                                  ┌──────────────────────────┐
+//!                                  │ sharded LRU session cache │
+//!                                  │ fp → Arc<OwnedAnalyzer>   │
+//!                                  └──────────────────────────┘
+//! ```
+//!
+//! ## API
+//!
+//! | Route | Body | Response |
+//! |---|---|---|
+//! | `POST /analyze` | `{"graph": {...} \| "fingerprint": "hex", "memories": [..], "processors"?, "no_sim"?}` | the canonical analysis document ([`crate::analysis`]) |
+//! | `POST /graphs` | `{"graph": {...}}` or a bare edge-list document | `{"fingerprint", "n", "edges", "cached"}` |
+//! | `GET /healthz` | — | `{"status":"ok", ...}` |
+//! | `GET /stats` | — | cache/pool/engine/eigensolver counters |
+//!
+//! `POST /analyze` responses carry `X-Graphio-Fingerprint` and
+//! `X-Graphio-Session: hit|miss` headers (and `X-Graphio-Warnings` for
+//! deduplicated sweep points) so metadata never perturbs the
+//! bit-identical body.
+//!
+//! ## Relabeling semantics
+//!
+//! The cache key is relabeling-invariant, so a graph submitted under a
+//! *different vertex numbering* than a cached structure hits the same
+//! session and is answered on the session's stored representative (the
+//! first-seen numbering). Spectra, bounds and min-cut values agree across
+//! relabelings mathematically; what can differ from an offline run of
+//! the relabeled input is numbering-dependent detail — the simulation
+//! upper bound follows the representative's evaluation order, and
+//! eigensolves on a permuted Laplacian may differ in final float bits.
+//! The bit-identical contract is therefore stated (and tested) for
+//! byte-identical graph inputs; cross-relabeling reuse trades exact
+//! numbering fidelity for amortization, deliberately.
+
+use crate::analysis::{analysis_body, validate_memories, AnalyzeSpec};
+use crate::cache::{CacheConfig, SessionCache};
+use crate::http::{read_request, write_response, HttpError, Request, IO_TIMEOUT, READ_TIMEOUT};
+use crate::pool::{SubmitError, WorkerPool};
+use graphio_graph::json::JsonValue;
+use graphio_graph::{fingerprint, CompGraph, EdgeListGraph, Fingerprint};
+use graphio_linalg::stats::{dense_eigensolve_count, sparse_matvec_count};
+use graphio_spectral::OwnedAnalyzer;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Server sizing and binding knobs.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Bind host (default loopback).
+    pub host: String,
+    /// Bind port; `0` asks the OS for an ephemeral port (read it back
+    /// from [`Server::addr`]).
+    pub port: u16,
+    /// Worker threads handling requests.
+    pub workers: usize,
+    /// Bounded queue depth between the acceptor and the workers.
+    pub queue_capacity: usize,
+    /// Session-cache sizing.
+    pub cache: CacheConfig,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            host: "127.0.0.1".to_string(),
+            port: 0,
+            workers: 4,
+            queue_capacity: 256,
+            cache: CacheConfig::default(),
+        }
+    }
+}
+
+/// Shared server state: the session cache plus request counters.
+pub(crate) struct ServiceState {
+    pub(crate) cache: SessionCache,
+    pub(crate) requests: AtomicU64,
+    pub(crate) rejected: AtomicU64,
+    pub(crate) analyze_ok: AtomicU64,
+    pub(crate) errors: AtomicU64,
+    pub(crate) workers: usize,
+    pub(crate) queue_capacity: usize,
+}
+
+/// A running analysis server. Dropping the handle shuts it down.
+pub struct Server {
+    addr: SocketAddr,
+    state: Arc<ServiceState>,
+    pool: Arc<WorkerPool>,
+    stop: Arc<AtomicBool>,
+    /// Behind a mutex so `shutdown(&self)` can be called from any thread
+    /// — including while another thread blocks in [`Server::join`].
+    acceptor: std::sync::Mutex<Option<JoinHandle<()>>>,
+}
+
+/// Binds and starts serving in background threads, returning immediately.
+///
+/// # Errors
+/// Propagates bind failures.
+pub fn serve(config: &ServiceConfig) -> io::Result<Server> {
+    let listener = TcpListener::bind((config.host.as_str(), config.port))?;
+    let addr = listener.local_addr()?;
+    let state = Arc::new(ServiceState {
+        cache: SessionCache::new(&config.cache),
+        requests: AtomicU64::new(0),
+        rejected: AtomicU64::new(0),
+        analyze_ok: AtomicU64::new(0),
+        errors: AtomicU64::new(0),
+        workers: config.workers.max(1),
+        queue_capacity: config.queue_capacity.max(1),
+    });
+    let pool = Arc::new(WorkerPool::new(config.workers, config.queue_capacity));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let acceptor = {
+        let state = Arc::clone(&state);
+        let pool = Arc::clone(&pool);
+        let stop = Arc::clone(&stop);
+        std::thread::Builder::new()
+            .name("graphio-acceptor".to_string())
+            .spawn(move || accept_loop(&listener, &state, &pool, &stop))
+            .expect("spawn acceptor thread")
+    };
+
+    Ok(Server {
+        addr,
+        state,
+        pool,
+        stop,
+        acceptor: std::sync::Mutex::new(Some(acceptor)),
+    })
+}
+
+impl Server {
+    /// The bound address (resolves `port: 0` to the real port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// `http://host:port`, ready to hand to a client.
+    pub fn url(&self) -> String {
+        format!("http://{}", self.addr)
+    }
+
+    /// Point-in-time session-cache counters (also served as `GET /stats`).
+    pub fn cache_stats(&self) -> crate::cache::CacheStats {
+        self.state.cache.stats()
+    }
+
+    /// Stops accepting connections, drains in-flight work, joins all
+    /// threads. Takes `&self` so another thread can trigger it while one
+    /// blocks in [`Server::join`]. Idempotent.
+    pub fn shutdown(&self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the blocking accept() with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        let handle = self.acceptor.lock().expect("acceptor lock").take();
+        if let Some(handle) = handle {
+            let _ = handle.join();
+        }
+        self.pool.shutdown();
+    }
+
+    /// Blocks until the acceptor exits — i.e. until [`Server::shutdown`]
+    /// is called from another thread, or forever for a foreground server
+    /// that only dies with the process (the CLI's `graphio serve`).
+    pub fn join(&self) {
+        let handle = self.acceptor.lock().expect("acceptor lock").take();
+        if let Some(handle) = handle {
+            let _ = handle.join();
+        }
+        self.pool.shutdown();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    state: &Arc<ServiceState>,
+    pool: &Arc<WorkerPool>,
+    stop: &AtomicBool,
+) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let stream = match stream {
+            Ok(stream) => stream,
+            Err(_) => {
+                // Persistent accept errors (fd exhaustion under overload)
+                // must not busy-spin the acceptor while workers hold the
+                // very fds that need releasing.
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                continue;
+            }
+        };
+        state.requests.fetch_add(1, Ordering::Relaxed);
+        let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+        let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+        // The stream lives in a shared cell so the acceptor can take it
+        // back and answer 503 itself when the queue rejects the job (the
+        // closure — including anything it captured — is consumed by a
+        // failed submit).
+        let cell = Arc::new(std::sync::Mutex::new(Some(stream)));
+        let job_cell = Arc::clone(&cell);
+        let job_state = Arc::clone(state);
+        let submitted = pool.submit(move || {
+            if let Some(stream) = job_cell.lock().expect("stream cell").take() {
+                handle_connection(stream, &job_state);
+            }
+        });
+        match submitted {
+            Ok(()) => {}
+            Err(SubmitError::Full) => {
+                state.rejected.fetch_add(1, Ordering::Relaxed);
+                if let Some(mut stream) = cell.lock().expect("stream cell").take() {
+                    let body = b"{\"error\":\"server busy, retry later\"}\n";
+                    let _ = write_response(
+                        &mut stream,
+                        503,
+                        crate::http::reason(503),
+                        &[("Retry-After", "1".to_string())],
+                        body,
+                    );
+                }
+            }
+            Err(SubmitError::ShuttingDown) => return,
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, state: &Arc<ServiceState>) {
+    let request = match read_request(&mut stream) {
+        Ok(r) => r,
+        Err(err) => {
+            state.errors.fetch_add(1, Ordering::Relaxed);
+            let (status, msg) = match &err {
+                HttpError::Malformed(m) => (400, m.clone()),
+                HttpError::TooLarge(m) => (413, m.clone()),
+                HttpError::Io(_) => return, // peer went away; nothing to say
+            };
+            respond_error(&mut stream, status, &msg);
+            return;
+        }
+    };
+    route(&mut stream, &request, state);
+}
+
+fn respond_error(stream: &mut TcpStream, status: u16, message: &str) {
+    let body = JsonValue::Object(vec![(
+        "error".to_string(),
+        JsonValue::String(message.to_string()),
+    )])
+    .to_string()
+        + "\n";
+    let _ = write_response(
+        stream,
+        status,
+        crate::http::reason(status),
+        &[],
+        body.as_bytes(),
+    );
+}
+
+fn respond_json(stream: &mut TcpStream, status: u16, extra: &[(&str, String)], doc: &JsonValue) {
+    let body = doc.to_string() + "\n";
+    let _ = write_response(
+        stream,
+        status,
+        crate::http::reason(status),
+        extra,
+        body.as_bytes(),
+    );
+}
+
+fn route(stream: &mut TcpStream, request: &Request, state: &Arc<ServiceState>) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => handle_healthz(stream, state),
+        ("GET", "/stats") => handle_stats(stream, state),
+        ("POST", "/graphs") => handle_graphs(stream, request, state),
+        ("POST", "/analyze") => handle_analyze(stream, request, state),
+        ("GET" | "POST", _) => {
+            state.errors.fetch_add(1, Ordering::Relaxed);
+            respond_error(stream, 404, &format!("no route for {}", request.path));
+        }
+        _ => {
+            state.errors.fetch_add(1, Ordering::Relaxed);
+            respond_error(
+                stream,
+                405,
+                &format!("method {} not supported", request.method),
+            );
+        }
+    }
+}
+
+fn handle_healthz(stream: &mut TcpStream, state: &Arc<ServiceState>) {
+    let doc = JsonValue::Object(vec![
+        ("status".to_string(), JsonValue::String("ok".to_string())),
+        (
+            "workers".to_string(),
+            JsonValue::Number(state.workers as f64),
+        ),
+        (
+            "queue_capacity".to_string(),
+            JsonValue::Number(state.queue_capacity as f64),
+        ),
+        (
+            "sessions".to_string(),
+            JsonValue::Number(state.cache.len() as f64),
+        ),
+    ]);
+    respond_json(stream, 200, &[], &doc);
+}
+
+fn handle_stats(stream: &mut TcpStream, state: &Arc<ServiceState>) {
+    let cache = state.cache.stats();
+    let num = |v: u64| JsonValue::Number(v as f64);
+    let doc = JsonValue::Object(vec![
+        (
+            "requests".to_string(),
+            num(state.requests.load(Ordering::Relaxed)),
+        ),
+        (
+            "rejected".to_string(),
+            num(state.rejected.load(Ordering::Relaxed)),
+        ),
+        (
+            "analyze_ok".to_string(),
+            num(state.analyze_ok.load(Ordering::Relaxed)),
+        ),
+        (
+            "errors".to_string(),
+            num(state.errors.load(Ordering::Relaxed)),
+        ),
+        (
+            "cache".to_string(),
+            JsonValue::Object(vec![
+                (
+                    "sessions".to_string(),
+                    JsonValue::Number(cache.sessions as f64),
+                ),
+                ("bytes".to_string(), JsonValue::Number(cache.bytes as f64)),
+                ("hits".to_string(), num(cache.hits)),
+                ("misses".to_string(), num(cache.misses)),
+                ("evictions".to_string(), num(cache.evictions)),
+            ]),
+        ),
+        (
+            "engine".to_string(),
+            JsonValue::Object(vec![
+                (
+                    "spectrum_misses".to_string(),
+                    num(cache.engine.spectrum_misses),
+                ),
+                ("spectrum_hits".to_string(), num(cache.engine.spectrum_hits)),
+                ("mincut_misses".to_string(), num(cache.engine.mincut_misses)),
+                ("mincut_hits".to_string(), num(cache.engine.mincut_hits)),
+            ]),
+        ),
+        (
+            "linalg".to_string(),
+            JsonValue::Object(vec![
+                (
+                    "dense_eigensolves".to_string(),
+                    num(dense_eigensolve_count()),
+                ),
+                ("sparse_matvecs".to_string(), num(sparse_matvec_count())),
+            ]),
+        ),
+    ]);
+    respond_json(stream, 200, &[], &doc);
+}
+
+/// Extracts the graph sub-document: `{"graph": {...}}` wrapping or a bare
+/// edge-list document.
+fn graph_value(doc: &JsonValue) -> &JsonValue {
+    doc.get("graph").unwrap_or(doc)
+}
+
+fn parse_graph(doc: &JsonValue) -> Result<CompGraph, String> {
+    let el = EdgeListGraph::from_json_value(graph_value(doc))
+        .map_err(|e| format!("invalid graph: {e}"))?;
+    CompGraph::try_from(el).map_err(|e| format!("invalid graph: {e}"))
+}
+
+fn parse_body(request: &Request) -> Result<JsonValue, String> {
+    let text = std::str::from_utf8(&request.body).map_err(|_| "body is not UTF-8".to_string())?;
+    graphio_graph::json::parse(text).map_err(|e| format!("invalid JSON body: {e}"))
+}
+
+fn handle_graphs(stream: &mut TcpStream, request: &Request, state: &Arc<ServiceState>) {
+    let result = parse_body(request).and_then(|doc| parse_graph(&doc));
+    let graph = match result {
+        Ok(g) => g,
+        Err(msg) => {
+            state.errors.fetch_add(1, Ordering::Relaxed);
+            respond_error(stream, 400, &msg);
+            return;
+        }
+    };
+    let fp = fingerprint(&graph);
+    let (n, edges) = (graph.n(), graph.num_edges());
+    let (_, cached) = state
+        .cache
+        .get_or_insert_with(fp, || OwnedAnalyzer::from_graph(graph));
+    let doc = JsonValue::Object(vec![
+        ("fingerprint".to_string(), JsonValue::String(fp.to_hex())),
+        ("n".to_string(), JsonValue::Number(n as f64)),
+        ("edges".to_string(), JsonValue::Number(edges as f64)),
+        ("cached".to_string(), JsonValue::Bool(cached)),
+    ]);
+    respond_json(stream, 200, &[], &doc);
+}
+
+/// A parsed `/analyze` request: the (possibly cached) session, its
+/// fingerprint, whether the session was already cached, the validated
+/// spec, and any validation warnings.
+struct AnalyzeParts {
+    analyzer: Arc<OwnedAnalyzer>,
+    fp: Fingerprint,
+    cached: bool,
+    spec: AnalyzeSpec,
+    warnings: Vec<String>,
+}
+
+/// Parses the `/analyze` request body into a session handle + spec.
+fn parse_analyze(
+    doc: &JsonValue,
+    state: &Arc<ServiceState>,
+) -> Result<AnalyzeParts, (u16, String)> {
+    let raw_memories: Vec<usize> = doc
+        .get("memories")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| (400, "missing \"memories\" array".to_string()))?
+        .iter()
+        .map(|v| {
+            // as_u64 so any M the offline CLI accepts (and JSON can carry
+            // exactly) round-trips; the offline/server parity contract
+            // covers large memories too.
+            v.as_u64().map(|m| m as usize).ok_or_else(|| {
+                (
+                    400,
+                    "memory sizes must be non-negative integers".to_string(),
+                )
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    let (memories, warnings) = validate_memories(&raw_memories).map_err(|m| (400, m))?;
+    let processors = match doc.get("processors") {
+        None => 1,
+        Some(v) => v
+            .as_u32()
+            .filter(|&p| p >= 1)
+            .ok_or_else(|| (400, "\"processors\" must be a positive integer".to_string()))?
+            as usize,
+    };
+    let no_sim = match doc.get("no_sim") {
+        None => false,
+        Some(JsonValue::Bool(b)) => *b,
+        Some(_) => return Err((400, "\"no_sim\" must be a boolean".to_string())),
+    };
+    let spec = AnalyzeSpec {
+        memories,
+        processors,
+        no_sim,
+    };
+
+    let (analyzer, fp, cached) = if doc.get("graph").is_some() {
+        let graph = parse_graph(doc).map_err(|m| (400, m))?;
+        let fp = fingerprint(&graph);
+        let (analyzer, cached) = state
+            .cache
+            .get_or_insert_with(fp, || OwnedAnalyzer::from_graph(graph));
+        (analyzer, fp, cached)
+    } else {
+        let hex = doc
+            .get("fingerprint")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| (400, "need \"graph\" or \"fingerprint\"".to_string()))?;
+        let fp = Fingerprint::from_hex(hex)
+            .ok_or_else(|| (400, format!("malformed fingerprint {hex:?}")))?;
+        let analyzer = state.cache.get(fp).ok_or_else(|| {
+            (
+                404,
+                format!("no session for fingerprint {hex} (register via POST /graphs)"),
+            )
+        })?;
+        (analyzer, fp, true)
+    };
+    Ok(AnalyzeParts {
+        analyzer,
+        fp,
+        cached,
+        spec,
+        warnings,
+    })
+}
+
+fn handle_analyze(stream: &mut TcpStream, request: &Request, state: &Arc<ServiceState>) {
+    let doc = match parse_body(request) {
+        Ok(doc) => doc,
+        Err(msg) => {
+            state.errors.fetch_add(1, Ordering::Relaxed);
+            respond_error(stream, 400, &msg);
+            return;
+        }
+    };
+    let AnalyzeParts {
+        analyzer,
+        fp,
+        cached,
+        spec,
+        warnings,
+    } = match parse_analyze(&doc, state) {
+        Ok(parts) => parts,
+        Err((status, msg)) => {
+            state.errors.fetch_add(1, Ordering::Relaxed);
+            respond_error(stream, status, &msg);
+            return;
+        }
+    };
+    let body = analysis_body(&analyzer, &spec);
+    state.analyze_ok.fetch_add(1, Ordering::Relaxed);
+    let mut extra = vec![
+        ("X-Graphio-Fingerprint", fp.to_hex()),
+        (
+            "X-Graphio-Session",
+            if cached { "hit" } else { "miss" }.to_string(),
+        ),
+    ];
+    if !warnings.is_empty() {
+        extra.push(("X-Graphio-Warnings", warnings.join("; ")));
+    }
+    let _ = write_response(stream, 200, "OK", &extra, body.as_bytes());
+}

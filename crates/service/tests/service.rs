@@ -1,0 +1,286 @@
+//! Integration tests of the analysis server over real sockets: routing,
+//! validation, cache amortization, backpressure, and the bit-identical
+//! equivalence between `POST /analyze` and the offline analysis path.
+
+use graphio_graph::generators::{bhk_hypercube, diamond_dag, fft_butterfly, naive_matmul};
+use graphio_graph::json::{parse, JsonValue};
+use graphio_graph::{fingerprint, CompGraph};
+use graphio_service::analysis::{analysis_body, AnalyzeSpec};
+use graphio_service::{client, serve, Server, ServiceConfig};
+use graphio_spectral::OwnedAnalyzer;
+
+fn test_server(workers: usize, queue: usize) -> Server {
+    serve(&ServiceConfig {
+        workers,
+        queue_capacity: queue,
+        ..Default::default()
+    })
+    .expect("bind ephemeral port")
+}
+
+fn graph_json(g: &CompGraph) -> String {
+    g.to_edge_list().to_json()
+}
+
+fn offline_body(g: &CompGraph, memories: &[usize]) -> String {
+    analysis_body(
+        &OwnedAnalyzer::from_graph(g.clone()),
+        &AnalyzeSpec::sweep(memories.to_vec()),
+    )
+}
+
+#[test]
+fn healthz_and_stats_respond() {
+    let server = test_server(2, 32);
+    let health = client::request("GET", &server.url(), "/healthz", None).unwrap();
+    assert_eq!(health.status, 200);
+    let doc = parse(&health.body).unwrap();
+    assert_eq!(doc.get("status").and_then(JsonValue::as_str), Some("ok"));
+
+    let stats = client::request("GET", &server.url(), "/stats", None).unwrap();
+    assert_eq!(stats.status, 200);
+    let doc = parse(&stats.body).unwrap();
+    assert!(doc.get("cache").is_some());
+    assert!(doc.get("engine").is_some());
+}
+
+#[test]
+fn analyze_matches_offline_path_bit_for_bit() {
+    let server = test_server(2, 32);
+    let memories = [2usize, 4, 8, 16];
+    for g in [fft_butterfly(4), naive_matmul(3), diamond_dag(5, 5)] {
+        let remote = client::analyze(&server.url(), &graph_json(&g), &memories, 1, false).unwrap();
+        assert_eq!(remote.status, 200, "{}", remote.body);
+        assert_eq!(remote.body, offline_body(&g, &memories));
+    }
+}
+
+/// The property-test form of the acceptance criterion: random graphs and
+/// random sweeps round-trip through the server byte-identically to the
+/// offline analyzer, whether the session is cold or cached.
+#[test]
+fn analyze_equivalence_property() {
+    use graphio_graph::generators::{erdos_renyi_dag, layered_random_dag};
+    let server = test_server(4, 64);
+    for seed in 0..12u64 {
+        let g = if seed % 2 == 0 {
+            erdos_renyi_dag(8 + (seed as usize * 3) % 40, 0.3, seed)
+        } else {
+            layered_random_dag(2 + seed as usize % 3, 2 + seed as usize % 5, 0.5, seed)
+        };
+        let memories: Vec<usize> = (0..1 + (seed as usize % 4))
+            .map(|i| 1 + ((seed as usize).wrapping_mul(7) + 3 * i) % 32)
+            .collect();
+        // Deduplicate like validate_memories will, to build the expected
+        // spec (the server answers the deduplicated sweep).
+        let mut deduped = Vec::new();
+        for &m in &memories {
+            if !deduped.contains(&m) {
+                deduped.push(m);
+            }
+        }
+        let offline = offline_body(&g, &deduped);
+        for round in 0..2 {
+            let remote =
+                client::analyze(&server.url(), &graph_json(&g), &memories, 1, false).unwrap();
+            assert_eq!(remote.status, 200, "{}", remote.body);
+            assert_eq!(remote.body, offline, "seed {seed} round {round}");
+        }
+    }
+}
+
+#[test]
+fn sessions_amortize_eigensolves_across_requests_and_relabelings() {
+    let server = test_server(4, 64);
+    let g = bhk_hypercube(5);
+    let fp = fingerprint(&g);
+    for _ in 0..5 {
+        let r = client::analyze(&server.url(), &graph_json(&g), &[4, 8], 1, true).unwrap();
+        assert_eq!(r.status, 200);
+        assert_eq!(
+            r.header("x-graphio-fingerprint"),
+            Some(fp.to_hex().as_str())
+        );
+    }
+    // A relabeled copy of the same structure must hit the same session.
+    let el = g.to_edge_list();
+    let n = el.ops.len() as u32;
+    let perm: Vec<u32> = (0..n).rev().collect();
+    let mut ops = el.ops.clone();
+    for (v, op) in el.ops.iter().enumerate() {
+        ops[perm[v] as usize] = *op;
+    }
+    let relabeled = graphio_graph::EdgeListGraph {
+        ops,
+        edges: el
+            .edges
+            .iter()
+            .map(|&(u, v)| (perm[u as usize], perm[v as usize]))
+            .collect(),
+    };
+    let r = client::analyze(&server.url(), &relabeled.to_json(), &[4, 8], 1, true).unwrap();
+    assert_eq!(r.status, 200);
+    assert_eq!(r.header("x-graphio-session"), Some("hit"));
+    // Documented relabeling semantics: a structurally equal submission is
+    // answered on the session's canonical (first-seen) representative.
+    let spec = AnalyzeSpec {
+        memories: vec![4, 8],
+        processors: 1,
+        no_sim: true,
+    };
+    assert_eq!(
+        r.body,
+        analysis_body(&OwnedAnalyzer::from_graph(g.clone()), &spec)
+    );
+
+    // ≤ 1 eigensolve per (fingerprint, Laplacian kind): one session, two
+    // kinds, any number of requests.
+    let stats = server.cache_stats();
+    assert_eq!(stats.sessions, 1);
+    assert_eq!(stats.engine.spectrum_misses, 2, "{stats:?}");
+    assert!(stats.engine.spectrum_hits >= 2 * 5);
+}
+
+#[test]
+fn register_then_analyze_by_fingerprint() {
+    let server = test_server(2, 32);
+    let g = fft_butterfly(3);
+    let reg = client::request("POST", &server.url(), "/graphs", Some(&graph_json(&g))).unwrap();
+    assert_eq!(reg.status, 200);
+    let doc = parse(&reg.body).unwrap();
+    let fp = doc.get("fingerprint").and_then(JsonValue::as_str).unwrap();
+    assert_eq!(fp, fingerprint(&g).to_hex());
+    assert_eq!(doc.get("cached"), Some(&JsonValue::Bool(false)));
+
+    let body = format!("{{\"fingerprint\":\"{fp}\",\"memories\":[2,4]}}");
+    let r = client::request("POST", &server.url(), "/analyze", Some(&body)).unwrap();
+    assert_eq!(r.status, 200, "{}", r.body);
+    assert_eq!(r.body, offline_body(&g, &[2, 4]));
+
+    // Unknown fingerprints are a clean 404.
+    let body = format!(
+        "{{\"fingerprint\":\"{}\",\"memories\":[2]}}",
+        "0".repeat(32)
+    );
+    let r = client::request("POST", &server.url(), "/analyze", Some(&body)).unwrap();
+    assert_eq!(r.status, 404);
+}
+
+#[test]
+fn invalid_requests_are_rejected_cleanly() {
+    let server = test_server(2, 32);
+    let url = server.url();
+    let g = graph_json(&fft_butterfly(3));
+
+    // Memory 0 / empty sweep / missing memories.
+    for bad in [
+        format!("{{\"graph\":{g},\"memories\":[0,4]}}"),
+        format!("{{\"graph\":{g},\"memories\":[]}}"),
+        format!("{{\"graph\":{g}}}"),
+        format!("{{\"graph\":{g},\"memories\":[4],\"processors\":0}}"),
+        format!("{{\"graph\":{g},\"memories\":[4],\"no_sim\":7}}"),
+        "{not json".to_string(),
+        r#"{"graph":{"ops":["Add"],"edges":[[0,0]]},"memories":[4]}"#.to_string(),
+    ] {
+        let r = client::request("POST", &url, "/analyze", Some(&bad)).unwrap();
+        assert_eq!(r.status, 400, "body {bad} gave {}: {}", r.status, r.body);
+        assert!(parse(&r.body).unwrap().get("error").is_some());
+    }
+
+    // Duplicate sweep points are accepted but flagged.
+    let dup = format!("{{\"graph\":{g},\"memories\":[4,4,8]}}");
+    let r = client::request("POST", &url, "/analyze", Some(&dup)).unwrap();
+    assert_eq!(r.status, 200);
+    assert!(r
+        .header("x-graphio-warnings")
+        .is_some_and(|w| w.contains("duplicate memory size 4")));
+
+    // Unknown routes and methods.
+    let r = client::request("GET", &url, "/nope", None).unwrap();
+    assert_eq!(r.status, 404);
+    let r = client::request("DELETE", &url, "/analyze", None).unwrap();
+    assert_eq!(r.status, 405);
+}
+
+/// Acceptance criterion: ≥ 64 concurrent in-flight requests across ≥ 4
+/// distinct graphs, no deadlock, per-request results deterministic.
+#[test]
+fn stress_64_concurrent_requests_across_4_graphs() {
+    let server = test_server(8, 128);
+    let url = server.url();
+    let graphs: Vec<CompGraph> = vec![
+        fft_butterfly(4),
+        bhk_hypercube(4),
+        naive_matmul(3),
+        diamond_dag(6, 6),
+    ];
+    let memories = [2usize, 4, 8, 16];
+    let expected: Vec<String> = graphs.iter().map(|g| offline_body(g, &memories)).collect();
+    let payloads: Vec<String> = graphs.iter().map(graph_json).collect();
+
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..64)
+            .map(|i| {
+                let url = &url;
+                let payloads = &payloads;
+                let expected = &expected;
+                s.spawn(move || {
+                    let which = i % payloads.len();
+                    let r = client::analyze(url, &payloads[which], &memories, 1, false)
+                        .unwrap_or_else(|e| panic!("request {i}: {e}"));
+                    assert_eq!(r.status, 200, "request {i}: {}", r.body);
+                    assert_eq!(r.body, expected[which], "request {i} diverged");
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("stress worker panicked");
+        }
+    });
+
+    let stats = server.cache_stats();
+    assert_eq!(stats.sessions, 4);
+    // ≤ 1 eigensolve per (fingerprint, Laplacian kind) even under full
+    // concurrency: the engine's single-flight makes this exact.
+    assert_eq!(stats.engine.spectrum_misses, 8, "{stats:?}");
+    assert_eq!(stats.hits + stats.misses, 64);
+}
+
+/// A full queue answers 503 + Retry-After instead of hanging or dropping
+/// the connection.
+#[test]
+fn backpressure_responds_503_with_retry_after() {
+    use std::io::{Read as _, Write as _};
+    use std::net::TcpStream;
+
+    // One worker, tiny queue; the worker is blocked by a connection that
+    // never sends its request (it parks in read_request until timeout).
+    let server = test_server(1, 1);
+    let addr = server.addr();
+    let _blocker = TcpStream::connect(addr).unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    let _queued = TcpStream::connect(addr).unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(100));
+
+    // Worker busy + queue full → this connection must get the 503.
+    let mut rejected = TcpStream::connect(addr).unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    rejected
+        .write_all(b"GET /healthz HTTP/1.1\r\n\r\n")
+        .unwrap();
+    let mut response = String::new();
+    rejected.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.1 503"), "{response}");
+    assert!(response.contains("Retry-After: 1"), "{response}");
+}
+
+#[test]
+fn shutdown_is_clean_and_idempotent() {
+    let server = test_server(2, 16);
+    let url = server.url();
+    let r = client::request("GET", &url, "/healthz", None).unwrap();
+    assert_eq!(r.status, 200);
+    server.shutdown();
+    server.shutdown();
+    assert!(client::request("GET", &url, "/healthz", None).is_err());
+}

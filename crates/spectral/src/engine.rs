@@ -8,24 +8,38 @@
 //! (as the original bench harness did) wastes the dominant cost of the
 //! whole pipeline.
 //!
-//! [`Analyzer`] owns one graph's analysis session:
+//! Two session types share one cache implementation ([`EngineCore`]):
+//!
+//! * [`Analyzer`] borrows its graph — the right shape for in-process
+//!   consumers (benches, examples, one-shot CLI runs) where the graph
+//!   outlives the session on the stack.
+//! * [`OwnedAnalyzer`] holds `Arc<CompGraph>` — the right shape for the
+//!   analysis service, where a session must outlive any single request
+//!   and live in a cross-request cache.
+//!
+//! Shared behavior:
 //!
 //! * each Laplacian (normalized `L̃` / unnormalized `L`) is **built once**,
 //! * spectra are **cached** keyed by `(Laplacian kind, h, eigensolver
-//!   options)`,
+//!   options)` with per-key *single-flight*: concurrent requests for the
+//!   same spectrum block on one solve instead of racing to duplicate it,
+//!   so a session performs **at most one eigensolve per key** no matter
+//!   how many threads hit it (solver errors are not cached and retry),
 //! * the maximum wavefront cut of the convex min-cut baseline (also
-//!   `M`-independent) is cached keyed by its sweep strategy,
+//!   `M`-independent) is cached the same way keyed by its sweep strategy,
 //!
 //! and every downstream consumer — Theorem 4/5/6 bounds across arbitrary
 //! memory sweeps, closed-form comparisons, the CLI's `analyze` command,
-//! the per-figure bench modules — pulls from those caches. Bounds served
-//! by the engine are **bit-identical** to the direct [`spectral_bound`] /
-//! [`spectral_bound_original`] / [`parallel_spectral_bound`] calls: both
-//! paths build the same Laplacian, call the same eigensolver with the same
-//! options, and run the same `k`-maximization.
+//! the analysis server, the per-figure bench modules — pulls from those
+//! caches. Bounds served by the engine are **bit-identical** to the direct
+//! [`spectral_bound`] / [`spectral_bound_original`] /
+//! [`parallel_spectral_bound`] calls: both paths build the same Laplacian,
+//! call the same eigensolver with the same options, and run the same
+//! `k`-maximization.
 //!
-//! The engine is `Sync`: interior caches sit behind locks, so concurrent
-//! consumers (e.g. per-`M` worker threads) can share one `Analyzer`.
+//! The sessions are `Sync`: interior caches sit behind locks, so
+//! concurrent consumers (per-`M` worker threads, server workers) can share
+//! one session.
 //!
 //! [`spectral_bound`]: crate::bound::spectral_bound
 //! [`spectral_bound_original`]: crate::bound::spectral_bound_original
@@ -133,7 +147,7 @@ impl CutKey {
     }
 }
 
-/// Cache-effectiveness counters for one [`Analyzer`].
+/// Cache-effectiveness counters for one session.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineStats {
     /// Eigensolves actually executed.
@@ -146,16 +160,201 @@ pub struct EngineStats {
     pub mincut_hits: u64,
 }
 
-/// A per-graph spectral analysis session (see the module docs).
-pub struct Analyzer<'g> {
-    graph: &'g CompGraph,
+/// A single-flight cache slot: the outer map hands every caller the same
+/// `Arc<Slot<T>>`; the slot's own mutex serializes same-key computations
+/// (different keys proceed in parallel) and stores the first success.
+/// Failures leave the slot empty so the next caller retries.
+#[derive(Debug)]
+struct Slot<T>(Mutex<Option<T>>);
+
+/// One cached spectrum: the `h` smallest eigenvalues, shared by `Arc`.
+type Spectrum = Arc<Vec<f64>>;
+type SlotMap<K, T> = Mutex<HashMap<K, Arc<Slot<T>>>>;
+
+impl<T> Slot<T> {
+    fn new() -> Arc<Self> {
+        Arc::new(Slot(Mutex::new(None)))
+    }
+}
+
+/// The cache state shared by [`Analyzer`] and [`OwnedAnalyzer`]. Every
+/// method takes the graph explicitly so the two session types can manage
+/// ownership differently (borrow vs `Arc`) over identical caching logic.
+#[derive(Debug)]
+struct EngineCore {
     laplacians: [OnceLock<CsrMatrix>; 2],
-    spectra: Mutex<HashMap<SpectrumKey, Arc<Vec<f64>>>>,
-    cuts: Mutex<HashMap<CutKey, ConvexMinCutResult>>,
+    spectra: SlotMap<SpectrumKey, Spectrum>,
+    cuts: SlotMap<CutKey, ConvexMinCutResult>,
     spectrum_hits: AtomicU64,
     spectrum_misses: AtomicU64,
     mincut_hits: AtomicU64,
     mincut_misses: AtomicU64,
+}
+
+impl EngineCore {
+    fn new() -> Self {
+        EngineCore {
+            laplacians: [OnceLock::new(), OnceLock::new()],
+            spectra: Mutex::new(HashMap::new()),
+            cuts: Mutex::new(HashMap::new()),
+            spectrum_hits: AtomicU64::new(0),
+            spectrum_misses: AtomicU64::new(0),
+            mincut_hits: AtomicU64::new(0),
+            mincut_misses: AtomicU64::new(0),
+        }
+    }
+
+    fn laplacian(&self, g: &CompGraph, kind: LaplacianKind) -> &CsrMatrix {
+        self.laplacians[kind.slot()].get_or_init(|| match kind {
+            LaplacianKind::Normalized => normalized_laplacian(g),
+            LaplacianKind::Unnormalized => unnormalized_laplacian(g),
+        })
+    }
+
+    fn spectrum(
+        &self,
+        g: &CompGraph,
+        kind: LaplacianKind,
+        opts: &BoundOptions,
+    ) -> Result<Arc<Vec<f64>>, LinalgError> {
+        let key = SpectrumKey::for_options(kind, opts, g.n());
+        let slot = Arc::clone(
+            self.spectra
+                .lock()
+                .expect("spectra lock")
+                .entry(key)
+                .or_insert_with(Slot::new),
+        );
+        // The per-slot lock is held across the eigensolve: a second caller
+        // with the same key blocks here and then reads the cached result
+        // instead of duplicating seconds of work. Different keys use
+        // different slots, so unrelated solves still run concurrently.
+        let mut value = slot.0.lock().expect("spectrum slot lock");
+        if let Some(hit) = value.as_ref() {
+            self.spectrum_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(hit));
+        }
+        self.spectrum_misses.fetch_add(1, Ordering::Relaxed);
+        let eigs = Arc::new(crate::bound::smallest_eigenvalues(
+            self.laplacian(g, kind),
+            opts,
+        )?);
+        *value = Some(Arc::clone(&eigs));
+        Ok(eigs)
+    }
+
+    fn bound(
+        &self,
+        g: &CompGraph,
+        memory: usize,
+        opts: &BoundOptions,
+    ) -> Result<SpectralBound, LinalgError> {
+        let eigs = self.spectrum(g, LaplacianKind::Normalized, opts)?;
+        Ok(bound_from_eigenvalues(
+            &eigs,
+            g.n(),
+            memory,
+            1,
+            1.0,
+            opts.fixed_k,
+        ))
+    }
+
+    fn bound_original(
+        &self,
+        g: &CompGraph,
+        memory: usize,
+        opts: &BoundOptions,
+    ) -> Result<SpectralBound, LinalgError> {
+        let eigs = self.spectrum(g, LaplacianKind::Unnormalized, opts)?;
+        let dmax = g.max_out_degree().max(1) as f64;
+        Ok(bound_from_eigenvalues(
+            &eigs,
+            g.n(),
+            memory,
+            1,
+            1.0 / dmax,
+            opts.fixed_k,
+        ))
+    }
+
+    fn parallel_bound(
+        &self,
+        g: &CompGraph,
+        memory: usize,
+        processors: usize,
+        opts: &BoundOptions,
+    ) -> Result<SpectralBound, LinalgError> {
+        assert!(processors >= 1, "need at least one processor");
+        let eigs = self.spectrum(g, LaplacianKind::Normalized, opts)?;
+        Ok(bound_from_eigenvalues(
+            &eigs,
+            g.n(),
+            memory,
+            processors,
+            1.0,
+            opts.fixed_k,
+        ))
+    }
+
+    fn min_cut(&self, g: &CompGraph, opts: &ConvexMinCutOptions) -> ConvexMinCutResult {
+        let key = CutKey::for_options(opts);
+        let slot = Arc::clone(
+            self.cuts
+                .lock()
+                .expect("cuts lock")
+                .entry(key)
+                .or_insert_with(Slot::new),
+        );
+        let mut value = slot.0.lock().expect("cut slot lock");
+        if let Some(hit) = value.as_ref() {
+            self.mincut_hits.fetch_add(1, Ordering::Relaxed);
+            return hit.clone();
+        }
+        self.mincut_misses.fetch_add(1, Ordering::Relaxed);
+        // Memory 0 keeps the cached result M-independent; bounds for a
+        // concrete M are derived in `min_cut_bound`.
+        let result = convex_min_cut_bound(g, 0, opts);
+        *value = Some(result.clone());
+        result
+    }
+
+    fn stats(&self) -> EngineStats {
+        EngineStats {
+            spectrum_misses: self.spectrum_misses.load(Ordering::Relaxed),
+            spectrum_hits: self.spectrum_hits.load(Ordering::Relaxed),
+            mincut_misses: self.mincut_misses.load(Ordering::Relaxed),
+            mincut_hits: self.mincut_hits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Approximate heap bytes held by the caches (Laplacians + spectra).
+    fn approx_bytes(&self) -> usize {
+        let lap_bytes: usize = self
+            .laplacians
+            .iter()
+            .filter_map(OnceLock::get)
+            .map(|m| m.nnz() * (std::mem::size_of::<u32>() + std::mem::size_of::<f64>()))
+            .sum();
+        let spectra = self.spectra.lock().expect("spectra lock");
+        let spec_bytes: usize = spectra
+            .values()
+            .filter_map(|slot| {
+                slot.0
+                    .try_lock()
+                    .ok()
+                    .and_then(|v| v.as_ref().map(|eigs| eigs.len() * 8 + 64))
+            })
+            .sum();
+        lap_bytes + spec_bytes
+    }
+}
+
+/// A per-graph spectral analysis session borrowing its graph (see the
+/// module docs; [`OwnedAnalyzer`] is the `Arc`-owning variant).
+pub struct Analyzer<'g> {
+    graph: &'g CompGraph,
+    core: EngineCore,
 }
 
 impl<'g> Analyzer<'g> {
@@ -164,13 +363,7 @@ impl<'g> Analyzer<'g> {
     pub fn new(graph: &'g CompGraph) -> Self {
         Analyzer {
             graph,
-            laplacians: [OnceLock::new(), OnceLock::new()],
-            spectra: Mutex::new(HashMap::new()),
-            cuts: Mutex::new(HashMap::new()),
-            spectrum_hits: AtomicU64::new(0),
-            spectrum_misses: AtomicU64::new(0),
-            mincut_hits: AtomicU64::new(0),
-            mincut_misses: AtomicU64::new(0),
+            core: EngineCore::new(),
         }
     }
 
@@ -187,14 +380,12 @@ impl<'g> Analyzer<'g> {
 
     /// The requested Laplacian, built on first use and cached.
     pub fn laplacian(&self, kind: LaplacianKind) -> &CsrMatrix {
-        self.laplacians[kind.slot()].get_or_init(|| match kind {
-            LaplacianKind::Normalized => normalized_laplacian(self.graph),
-            LaplacianKind::Unnormalized => unnormalized_laplacian(self.graph),
-        })
+        self.core.laplacian(self.graph, kind)
     }
 
     /// The `h` smallest eigenvalues of the requested Laplacian, computed
-    /// once per distinct `(kind, h, eigensolver options)` and cached.
+    /// once per distinct `(kind, h, eigensolver options)` and cached, with
+    /// single-flight de-duplication of concurrent same-key solves.
     /// Errors are not cached; a failed solve is retried on the next call.
     ///
     /// # Errors
@@ -204,22 +395,7 @@ impl<'g> Analyzer<'g> {
         kind: LaplacianKind,
         opts: &BoundOptions,
     ) -> Result<Arc<Vec<f64>>, LinalgError> {
-        let key = SpectrumKey::for_options(kind, opts, self.graph.n());
-        if let Some(hit) = self.spectra.lock().expect("spectra lock").get(&key) {
-            self.spectrum_hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::clone(hit));
-        }
-        // Solve outside the lock: eigensolves are seconds-long on large
-        // graphs and must not serialize unrelated cache lookups. Two
-        // threads racing on the same key both solve; the deterministic
-        // solver makes either result correct, and the first insert wins.
-        self.spectrum_misses.fetch_add(1, Ordering::Relaxed);
-        let eigs = Arc::new(crate::bound::smallest_eigenvalues(
-            self.laplacian(kind),
-            opts,
-        )?);
-        let mut cache = self.spectra.lock().expect("spectra lock");
-        Ok(Arc::clone(cache.entry(key).or_insert(eigs)))
+        self.core.spectrum(self.graph, kind, opts)
     }
 
     /// Theorem 4 — bit-identical to [`crate::bound::spectral_bound`], with
@@ -228,15 +404,7 @@ impl<'g> Analyzer<'g> {
     /// # Errors
     /// Propagates eigensolver failures.
     pub fn bound(&self, memory: usize, opts: &BoundOptions) -> Result<SpectralBound, LinalgError> {
-        let eigs = self.spectrum(LaplacianKind::Normalized, opts)?;
-        Ok(bound_from_eigenvalues(
-            &eigs,
-            self.graph.n(),
-            memory,
-            1,
-            1.0,
-            opts.fixed_k,
-        ))
+        self.core.bound(self.graph, memory, opts)
     }
 
     /// Theorem 5 — bit-identical to
@@ -250,16 +418,7 @@ impl<'g> Analyzer<'g> {
         memory: usize,
         opts: &BoundOptions,
     ) -> Result<SpectralBound, LinalgError> {
-        let eigs = self.spectrum(LaplacianKind::Unnormalized, opts)?;
-        let dmax = self.graph.max_out_degree().max(1) as f64;
-        Ok(bound_from_eigenvalues(
-            &eigs,
-            self.graph.n(),
-            memory,
-            1,
-            1.0 / dmax,
-            opts.fixed_k,
-        ))
+        self.core.bound_original(self.graph, memory, opts)
     }
 
     /// Theorem 6 — bit-identical to
@@ -277,16 +436,8 @@ impl<'g> Analyzer<'g> {
         processors: usize,
         opts: &BoundOptions,
     ) -> Result<SpectralBound, LinalgError> {
-        assert!(processors >= 1, "need at least one processor");
-        let eigs = self.spectrum(LaplacianKind::Normalized, opts)?;
-        Ok(bound_from_eigenvalues(
-            &eigs,
-            self.graph.n(),
-            memory,
-            processors,
-            1.0,
-            opts.fixed_k,
-        ))
+        self.core
+            .parallel_bound(self.graph, memory, processors, opts)
     }
 
     /// Theorem 4 across a memory sweep — exactly one eigensolve however
@@ -305,17 +456,7 @@ impl<'g> Analyzer<'g> {
     /// The convex min-cut baseline's sweep result (`M`-independent),
     /// computed once per sweep strategy and cached.
     pub fn min_cut(&self, opts: &ConvexMinCutOptions) -> ConvexMinCutResult {
-        let key = CutKey::for_options(opts);
-        if let Some(hit) = self.cuts.lock().expect("cuts lock").get(&key) {
-            self.mincut_hits.fetch_add(1, Ordering::Relaxed);
-            return hit.clone();
-        }
-        self.mincut_misses.fetch_add(1, Ordering::Relaxed);
-        // Memory 0 keeps the cached result M-independent; bounds for a
-        // concrete M are derived in `min_cut_bound`.
-        let result = convex_min_cut_bound(self.graph, 0, opts);
-        let mut cache = self.cuts.lock().expect("cuts lock");
-        cache.entry(key).or_insert(result).clone()
+        self.core.min_cut(self.graph, opts)
     }
 
     /// The convex min-cut lower bound `2·max(0, max_cut − M)` for one
@@ -326,18 +467,152 @@ impl<'g> Analyzer<'g> {
 
     /// Cache-effectiveness counters for this session.
     pub fn stats(&self) -> EngineStats {
-        EngineStats {
-            spectrum_misses: self.spectrum_misses.load(Ordering::Relaxed),
-            spectrum_hits: self.spectrum_hits.load(Ordering::Relaxed),
-            mincut_misses: self.mincut_misses.load(Ordering::Relaxed),
-            mincut_hits: self.mincut_hits.load(Ordering::Relaxed),
-        }
+        self.core.stats()
     }
 }
 
 impl std::fmt::Debug for Analyzer<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Analyzer")
+            .field("n", &self.graph.n())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// A spectral analysis session that **owns** its graph via `Arc`, so it can
+/// live in a cross-request cache (the analysis service's session cache)
+/// and be shared between worker threads without a borrow tying it to a
+/// stack frame. Identical caching behavior and bit-identical results to
+/// [`Analyzer`]; both delegate to the same [`EngineCore`].
+pub struct OwnedAnalyzer {
+    graph: Arc<CompGraph>,
+    core: EngineCore,
+}
+
+impl OwnedAnalyzer {
+    /// Opens an owning analysis session on `graph`.
+    pub fn new(graph: Arc<CompGraph>) -> Self {
+        OwnedAnalyzer {
+            graph,
+            core: EngineCore::new(),
+        }
+    }
+
+    /// Convenience constructor taking the graph by value.
+    pub fn from_graph(graph: CompGraph) -> Self {
+        OwnedAnalyzer::new(Arc::new(graph))
+    }
+
+    /// The graph under analysis.
+    pub fn graph(&self) -> &CompGraph {
+        &self.graph
+    }
+
+    /// A shared handle to the graph under analysis.
+    pub fn graph_arc(&self) -> Arc<CompGraph> {
+        Arc::clone(&self.graph)
+    }
+
+    /// The size-scaled default options for this graph
+    /// ([`BoundOptions::for_graph_size`]).
+    pub fn default_options(&self) -> BoundOptions {
+        BoundOptions::for_graph_size(self.graph.n())
+    }
+
+    /// The requested Laplacian, built on first use and cached.
+    pub fn laplacian(&self, kind: LaplacianKind) -> &CsrMatrix {
+        self.core.laplacian(&self.graph, kind)
+    }
+
+    /// See [`Analyzer::spectrum`].
+    ///
+    /// # Errors
+    /// Propagates eigensolver failures ([`LinalgError`]).
+    pub fn spectrum(
+        &self,
+        kind: LaplacianKind,
+        opts: &BoundOptions,
+    ) -> Result<Arc<Vec<f64>>, LinalgError> {
+        self.core.spectrum(&self.graph, kind, opts)
+    }
+
+    /// See [`Analyzer::bound`].
+    ///
+    /// # Errors
+    /// Propagates eigensolver failures.
+    pub fn bound(&self, memory: usize, opts: &BoundOptions) -> Result<SpectralBound, LinalgError> {
+        self.core.bound(&self.graph, memory, opts)
+    }
+
+    /// See [`Analyzer::bound_original`].
+    ///
+    /// # Errors
+    /// Propagates eigensolver failures.
+    pub fn bound_original(
+        &self,
+        memory: usize,
+        opts: &BoundOptions,
+    ) -> Result<SpectralBound, LinalgError> {
+        self.core.bound_original(&self.graph, memory, opts)
+    }
+
+    /// See [`Analyzer::parallel_bound`].
+    ///
+    /// # Errors
+    /// Propagates eigensolver failures.
+    ///
+    /// # Panics
+    /// Panics if `processors == 0`.
+    pub fn parallel_bound(
+        &self,
+        memory: usize,
+        processors: usize,
+        opts: &BoundOptions,
+    ) -> Result<SpectralBound, LinalgError> {
+        self.core
+            .parallel_bound(&self.graph, memory, processors, opts)
+    }
+
+    /// See [`Analyzer::memory_sweep`].
+    ///
+    /// # Errors
+    /// Propagates eigensolver failures.
+    pub fn memory_sweep(
+        &self,
+        memories: &[usize],
+        opts: &BoundOptions,
+    ) -> Result<Vec<SpectralBound>, LinalgError> {
+        memories.iter().map(|&m| self.bound(m, opts)).collect()
+    }
+
+    /// See [`Analyzer::min_cut`].
+    pub fn min_cut(&self, opts: &ConvexMinCutOptions) -> ConvexMinCutResult {
+        self.core.min_cut(&self.graph, opts)
+    }
+
+    /// See [`Analyzer::min_cut_bound`].
+    pub fn min_cut_bound(&self, memory: usize, opts: &ConvexMinCutOptions) -> u64 {
+        2 * self.min_cut(opts).max_cut.saturating_sub(memory as u64)
+    }
+
+    /// Cache-effectiveness counters for this session.
+    pub fn stats(&self) -> EngineStats {
+        self.core.stats()
+    }
+
+    /// Approximate heap footprint of the session: the graph plus every
+    /// cached Laplacian and spectrum. The service's session cache charges
+    /// this against its byte budget; it grows as caches fill, so the cache
+    /// re-reads it on every touch.
+    pub fn approx_bytes(&self) -> usize {
+        self.graph.approx_bytes() + self.core.approx_bytes()
+    }
+}
+
+impl std::fmt::Debug for OwnedAnalyzer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OwnedAnalyzer")
             .field("n", &self.graph.n())
             .field("stats", &self.stats())
             .finish()
@@ -405,6 +680,30 @@ mod tests {
     }
 
     #[test]
+    fn owned_analyzer_matches_borrowing_analyzer_exactly() {
+        let g = fft_butterfly(5);
+        let borrowed = Analyzer::new(&g);
+        let owned = OwnedAnalyzer::from_graph(g.clone());
+        let opts = BoundOptions::default();
+        let mc = ConvexMinCutOptions::default();
+        for m in [1usize, 4, 16] {
+            let a = borrowed.bound(m, &opts).unwrap();
+            let b = owned.bound(m, &opts).unwrap();
+            assert_eq!(a.bound.to_bits(), b.bound.to_bits());
+            assert_eq!(a.best_k, b.best_k);
+            let a5 = borrowed.bound_original(m, &opts).unwrap();
+            let b5 = owned.bound_original(m, &opts).unwrap();
+            assert_eq!(a5.bound.to_bits(), b5.bound.to_bits());
+            let a6 = borrowed.parallel_bound(m, 4, &opts).unwrap();
+            let b6 = owned.parallel_bound(m, 4, &opts).unwrap();
+            assert_eq!(a6.bound.to_bits(), b6.bound.to_bits());
+            assert_eq!(borrowed.min_cut_bound(m, &mc), owned.min_cut_bound(m, &mc));
+        }
+        assert_eq!(borrowed.stats(), owned.stats());
+        assert!(owned.approx_bytes() > g.approx_bytes());
+    }
+
+    #[test]
     fn sweep_and_parallel_bounds_share_one_spectrum() {
         let g = bhk_hypercube(6);
         let an = Analyzer::new(&g);
@@ -436,6 +735,7 @@ mod tests {
     fn analyzer_is_sync_and_shareable() {
         fn assert_sync<T: Sync>() {}
         assert_sync::<Analyzer<'static>>();
+        assert_sync::<OwnedAnalyzer>();
         let g = fft_butterfly(4);
         let an = Analyzer::new(&g);
         let opts = an.default_options();
@@ -449,5 +749,24 @@ mod tests {
         let stats = an.stats();
         assert_eq!(stats.spectrum_hits + stats.spectrum_misses, 3);
         assert!(stats.spectrum_misses >= 1);
+    }
+
+    #[test]
+    fn concurrent_same_key_requests_single_flight() {
+        // 16 threads hammer the same spectrum key; single-flight must
+        // collapse them to exactly one eigensolve.
+        let g = bhk_hypercube(7);
+        let an = OwnedAnalyzer::from_graph(g);
+        let opts = an.default_options();
+        std::thread::scope(|s| {
+            for _ in 0..16 {
+                let an = &an;
+                let opts = &opts;
+                s.spawn(move || an.bound(8, opts).unwrap());
+            }
+        });
+        let stats = an.stats();
+        assert_eq!(stats.spectrum_misses, 1, "{stats:?}");
+        assert_eq!(stats.spectrum_hits, 15, "{stats:?}");
     }
 }

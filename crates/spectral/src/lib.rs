@@ -42,5 +42,5 @@ pub use bound::{
     parallel_spectral_bound, spectral_bound, spectral_bound_original, BoundOptions, EigenMethod,
     SpectralBound,
 };
-pub use engine::{Analyzer, EngineStats, LaplacianKind};
+pub use engine::{Analyzer, EngineStats, LaplacianKind, OwnedAnalyzer};
 pub use laplacian::{normalized_laplacian, unnormalized_laplacian};

@@ -1,0 +1,64 @@
+//! The analysis service end to end, in one process.
+//!
+//! ```text
+//! cargo run --release --example service_roundtrip
+//! ```
+//!
+//! Spawns `graphio_service` on an ephemeral port, fires concurrent
+//! analyze requests from several client threads across distinct graphs,
+//! and then reads `GET /stats` to show the session cache doing its job:
+//! one eigensolve per (graph fingerprint, Laplacian kind), no matter how
+//! many requests asked.
+
+use graphio::graph::generators::{bhk_hypercube, fft_butterfly, naive_matmul};
+use graphio::service::{client, serve, ServiceConfig};
+
+fn main() {
+    let server = serve(&ServiceConfig {
+        workers: 4,
+        ..Default::default()
+    })
+    .expect("bind ephemeral port");
+    let url = server.url();
+    println!("serving on {url}\n");
+
+    let graphs = [
+        ("fft(5)", fft_butterfly(5).to_edge_list().to_json()),
+        ("bhk(5)", bhk_hypercube(5).to_edge_list().to_json()),
+        ("matmul(3)", naive_matmul(3).to_edge_list().to_json()),
+    ];
+    let memories = [2usize, 4, 8, 16];
+
+    // 8 client threads × 3 graphs: every same-graph request after the
+    // first is served from the cached session.
+    std::thread::scope(|s| {
+        for t in 0..8 {
+            let url = &url;
+            let graphs = &graphs;
+            s.spawn(move || {
+                let (name, json) = &graphs[t % graphs.len()];
+                let r = client::analyze(url, json, &memories, 1, false).expect("analyze");
+                assert_eq!(r.status, 200);
+                println!(
+                    "thread {t}: {name:>10} -> {} bytes, session {}",
+                    r.body.len(),
+                    r.header("x-graphio-session").unwrap_or("?"),
+                );
+            });
+        }
+    });
+
+    let stats = client::request("GET", &url, "/stats", None).expect("stats");
+    println!("\nGET /stats\n{}", stats.body.trim_end());
+
+    let cache = server.cache_stats();
+    println!(
+        "\n{} requests hit {} cached sessions; {} eigensolves total (2 per graph: one per Laplacian kind)",
+        cache.hits + cache.misses,
+        cache.sessions,
+        cache.engine.spectrum_misses,
+    );
+    assert_eq!(cache.sessions, 3);
+    assert_eq!(cache.engine.spectrum_misses, 6);
+    server.shutdown();
+}

@@ -1,6 +1,6 @@
 //! `graphio` command-line tool: generate computation graphs, compute I/O
-//! lower bounds, run whole analysis sessions, and simulate executions from
-//! the shell.
+//! lower bounds, run whole analysis sessions, serve them over HTTP, and
+//! simulate executions from the shell.
 //!
 //! ```text
 //! graphio generate fft 6                     # emit edge-list JSON on stdout
@@ -8,11 +8,19 @@
 //! graphio analyze --memory-sweep 2,4,8,16 --threads 8 --json < graph.json
 //! graphio simulate --memory 4 --policy lru < graph.json
 //! graphio dot < graph.json                   # Graphviz rendering
+//! graphio serve --port 7878 --workers 4      # the analysis service
+//! graphio client analyze --url http://127.0.0.1:7878 \
+//!     --memory-sweep 2,4,8 < graph.json      # remote analysis
 //! ```
 //!
-//! `analyze` is the cached path: one `Analyzer` session computes each
-//! Laplacian spectrum and the min-cut sweep once and serves every memory
-//! size, theorem variant and processor count from the cache.
+//! `analyze` is the cached path: one session computes each Laplacian
+//! spectrum and the min-cut sweep once and serves every memory size,
+//! theorem variant and processor count from the cache. `serve` keeps those
+//! sessions alive *across* processes in a sharded LRU keyed by the graph's
+//! structural fingerprint; `POST /analyze` responses are bit-identical to
+//! `analyze --json` output for the same request.
+//!
+//! Every subcommand rejects flags it does not understand.
 
 use graphio::baselines::convex_mincut::{convex_min_cut_bound, ConvexMinCutOptions};
 use graphio::graph::dot::{to_dot, DotOptions};
@@ -20,24 +28,87 @@ use graphio::graph::generators::{
     bhk_hypercube, diamond_dag, erdos_renyi_dag, fft_butterfly, inner_product, naive_matmul,
     strassen_matmul,
 };
-use graphio::graph::json::JsonValue;
 use graphio::graph::topo::{bfs_order, dfs_order, natural_order};
 use graphio::graph::{CompGraph, EdgeListGraph};
 use graphio::linalg::stats::sparse_matvec_count;
 use graphio::pebble::{simulate, Policy};
-use graphio::spectral::{Analyzer, BoundOptions};
+use graphio::service::analysis::{analysis_body, analyze_rows, validate_memories, AnalyzeSpec};
+use graphio::service::cache::CacheConfig;
+use graphio::service::{client, serve, ServiceConfig};
+use graphio::spectral::{BoundOptions, OwnedAnalyzer};
+use std::collections::HashMap;
 use std::io::Read;
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  graphio generate <family> <size> [--p <prob>] [--seed <s>]\n  \
-         graphio bound --memory <M> [--processors <p>] < graph.json\n  \
+         graphio bound --memory <M> [--processors <p>] [--threads <N>] < graph.json\n  \
          graphio analyze --memory-sweep <M1,M2,...> [--processors <p>] [--threads <N>] [--no-sim] [--json] < graph.json\n  \
-         graphio simulate --memory <M> [--policy lru|fifo|belady|random] [--order natural|dfs|bfs] < graph.json\n  \
-         graphio dot < graph.json\n\n\
+         graphio simulate --memory <M> [--policy lru|fifo|belady|random] [--order natural|dfs|bfs] [--threads <N>] < graph.json\n  \
+         graphio dot < graph.json\n  \
+         graphio serve [--host <H>] [--port <P>] [--workers <W>] [--queue <Q>] [--cache-mb <B>] [--shards <S>] [--max-sessions <K>] [--threads <N>]\n  \
+         graphio client analyze --url <http://host:port> --memory-sweep <M1,...> [--processors <p>] [--no-sim] < graph.json\n  \
+         graphio client register --url <http://host:port> < graph.json\n  \
+         graphio client stats|health --url <http://host:port>\n\n\
          families: fft, bhk, matmul, strassen, inner, diamond, er"
     );
     std::process::exit(2)
+}
+
+/// Parsed arguments of one subcommand: every flag checked against an
+/// allowlist so typos fail loudly instead of being silently ignored.
+struct Parsed {
+    positional: Vec<String>,
+    flags: HashMap<String, String>,
+}
+
+impl Parsed {
+    fn flag(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.contains_key(name)
+    }
+
+    fn parse_flag<T: std::str::FromStr>(&self, name: &str) -> Option<T> {
+        self.flag(name).map(|raw| {
+            raw.parse().unwrap_or_else(|_| {
+                eprintln!("error: invalid value {raw:?} for {name}");
+                usage()
+            })
+        })
+    }
+}
+
+/// Splits `args` into positionals and flags, rejecting any flag not named
+/// in `value_flags` (which take one value) or `bool_flags`.
+fn parse_args(cmd: &str, args: &[String], value_flags: &[&str], bool_flags: &[&str]) -> Parsed {
+    let mut positional = Vec::new();
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if a.starts_with("--") {
+            if bool_flags.contains(&a.as_str()) {
+                flags.insert(a.clone(), String::new());
+            } else if value_flags.contains(&a.as_str()) {
+                let Some(value) = args.get(i + 1) else {
+                    eprintln!("error: flag {a} expects a value");
+                    usage()
+                };
+                flags.insert(a.clone(), value.clone());
+                i += 1;
+            } else {
+                eprintln!("error: unknown flag {a} for `graphio {cmd}`");
+                usage()
+            }
+        } else {
+            positional.push(a.clone());
+        }
+        i += 1;
+    }
+    Parsed { positional, flags }
 }
 
 fn read_graph_from_stdin() -> CompGraph {
@@ -48,7 +119,11 @@ fn read_graph_from_stdin() -> CompGraph {
             eprintln!("error reading stdin: {e}");
             std::process::exit(1);
         });
-    let el = EdgeListGraph::from_json(&buf).unwrap_or_else(|e| {
+    parse_graph(&buf)
+}
+
+fn parse_graph(json: &str) -> CompGraph {
+    let el = EdgeListGraph::from_json(json).unwrap_or_else(|e| {
         eprintln!("error parsing graph JSON: {e}");
         std::process::exit(1);
     });
@@ -58,10 +133,37 @@ fn read_graph_from_stdin() -> CompGraph {
     })
 }
 
-fn flag_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1).cloned())
+/// Applies `--threads N` to the process-global linalg knob.
+fn apply_threads(parsed: &Parsed) {
+    if let Some(threads) = parsed.parse_flag::<usize>("--threads") {
+        graphio::linalg::set_threads(threads);
+    }
+}
+
+/// Parses and validates a `--memory-sweep` list, printing warnings for
+/// deduplicated entries and exiting on invalid ones.
+fn parse_sweep(raw: &str) -> Vec<usize> {
+    let parsed: Vec<usize> = raw
+        .split(',')
+        .map(|s| {
+            s.trim().parse().unwrap_or_else(|_| {
+                eprintln!("error: invalid memory size {s:?} in --memory-sweep");
+                usage()
+            })
+        })
+        .collect();
+    match validate_memories(&parsed) {
+        Ok((memories, warnings)) => {
+            for w in warnings {
+                eprintln!("warning: {w}");
+            }
+            memories
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            usage()
+        }
+    }
 }
 
 /// Writes bulk output to stdout. A broken pipe (`generate ... | head`, or
@@ -82,131 +184,105 @@ fn write_stdout(s: &str) {
 
 fn mincut_options(n: usize) -> ConvexMinCutOptions {
     // Shared size-scaled schedule (same source of truth as the bench
-    // harness).
+    // harness and the service).
     ConvexMinCutOptions::for_graph_size(n)
 }
 
-/// One memory point of an `analyze` session.
-struct AnalyzeRow {
-    memory: usize,
-    thm4: Option<(f64, usize)>,
-    thm5: Option<f64>,
-    thm6: Option<f64>,
-    mincut: u64,
-    sim_upper: Option<u64>,
+fn cmd_generate(args: &[String]) {
+    let parsed = parse_args("generate", args, &["--p", "--seed"], &[]);
+    let [family, size] = parsed.positional.as_slice() else {
+        usage()
+    };
+    let size: usize = size.parse().unwrap_or_else(|_| usage());
+    let seed: u64 = parsed.parse_flag("--seed").unwrap_or(0);
+    let p: f64 = parsed.parse_flag("--p").unwrap_or(0.1);
+    let g = match family.as_str() {
+        "fft" => fft_butterfly(size),
+        "bhk" => bhk_hypercube(size),
+        "matmul" => naive_matmul(size),
+        "strassen" => strassen_matmul(size),
+        "inner" => inner_product(size),
+        "diamond" => diamond_dag(size, size),
+        "er" => erdos_renyi_dag(size, p, seed),
+        _ => usage(),
+    };
+    write_stdout(&g.to_edge_list().to_json());
+    write_stdout("\n");
+}
+
+fn cmd_bound(args: &[String]) {
+    let parsed = parse_args(
+        "bound",
+        args,
+        &["--memory", "--processors", "--threads"],
+        &[],
+    );
+    let m: usize = parsed.parse_flag("--memory").unwrap_or_else(|| usage());
+    let p: usize = parsed.parse_flag("--processors").unwrap_or(1);
+    apply_threads(&parsed);
+    let g = read_graph_from_stdin();
+    // The CLI shares the bench harness's size-scaled tuning schedule
+    // (BoundOptions::for_graph_size).
+    let opts = BoundOptions::for_graph_size(g.n());
+    let analyzer = OwnedAnalyzer::from_graph(g);
+    let spectral = if p == 1 {
+        analyzer.bound(m, &opts)
+    } else {
+        analyzer.parallel_bound(m, p, &opts)
+    };
+    match spectral {
+        Ok(b) => println!(
+            "spectral lower bound: {:.2}  (best k = {}, n = {})",
+            b.bound,
+            b.best_k,
+            analyzer.graph().n()
+        ),
+        Err(e) => eprintln!("spectral bound failed: {e}"),
+    }
+    let g = analyzer.graph();
+    let mc = convex_min_cut_bound(g, m, &mincut_options(g.n()));
+    println!(
+        "convex min-cut bound: {}  (max wavefront = {})",
+        mc.bound, mc.max_cut
+    );
 }
 
 fn cmd_analyze(args: &[String]) {
-    let memories: Vec<usize> = flag_value(args, "--memory-sweep")
-        .unwrap_or_else(|| usage())
-        .split(',')
-        .map(|s| s.trim().parse().unwrap_or_else(|_| usage()))
-        .collect();
-    if memories.is_empty() {
-        usage();
-    }
-    let processors: usize = flag_value(args, "--processors")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1);
-    if let Some(threads) = flag_value(args, "--threads") {
-        let threads: usize = threads.parse().unwrap_or_else(|_| usage());
-        graphio::linalg::set_threads(threads);
-    }
-    let want_json = args.iter().any(|a| a == "--json");
-    let no_sim = args.iter().any(|a| a == "--no-sim");
-
-    let g = read_graph_from_stdin();
-    let analyzer = Analyzer::new(&g);
-    let opts = BoundOptions::for_graph_size(g.n());
-    let mc_opts = mincut_options(g.n());
-    let order = if no_sim {
-        Vec::new()
-    } else {
-        natural_order(&g)
+    let parsed = parse_args(
+        "analyze",
+        args,
+        &["--memory-sweep", "--processors", "--threads"],
+        &["--no-sim", "--json"],
+    );
+    let memories = parse_sweep(parsed.flag("--memory-sweep").unwrap_or_else(|| usage()));
+    let processors: usize = parsed.parse_flag("--processors").unwrap_or(1);
+    apply_threads(&parsed);
+    let want_json = parsed.has("--json");
+    let spec = AnalyzeSpec {
+        memories,
+        processors,
+        no_sim: parsed.has("--no-sim"),
     };
+
+    let analyzer = OwnedAnalyzer::from_graph(read_graph_from_stdin());
     let matvecs_before = sparse_matvec_count();
 
-    let rows: Vec<AnalyzeRow> = memories
-        .iter()
-        .map(|&m| {
-            let thm4 = analyzer.bound(m, &opts).ok().map(|b| (b.bound, b.best_k));
-            let thm5 = analyzer.bound_original(m, &opts).ok().map(|b| b.bound);
-            let thm6 = (processors > 1)
-                .then(|| analyzer.parallel_bound(m, processors, &opts).ok())
-                .flatten()
-                .map(|b| b.bound);
-            let mincut = analyzer.min_cut_bound(m, &mc_opts);
-            let sim_upper = (!no_sim)
-                .then(|| {
-                    [Policy::Lru, Policy::Belady]
-                        .iter()
-                        .filter_map(|&p| simulate(&g, &order, m, p, 0).ok().map(|r| r.io()))
-                        .min()
-                })
-                .flatten();
-            AnalyzeRow {
-                memory: m,
-                thm4,
-                thm5,
-                thm6,
-                mincut,
-                sim_upper,
-            }
-        })
-        .collect();
-
-    let stats = analyzer.stats();
-    let matvecs = sparse_matvec_count() - matvecs_before;
-
     if want_json {
-        let mut doc = vec![
-            ("n".to_string(), JsonValue::Number(g.n() as f64)),
-            ("edges".to_string(), JsonValue::Number(g.num_edges() as f64)),
-            (
-                "processors".to_string(),
-                JsonValue::Number(processors as f64),
-            ),
-            (
-                "eigensolves".to_string(),
-                JsonValue::Number(stats.spectrum_misses as f64),
-            ),
-            (
-                "sparse_matvecs".to_string(),
-                JsonValue::Number(matvecs as f64),
-            ),
-        ];
-        let opt_num = |v: Option<f64>| v.map_or(JsonValue::Null, JsonValue::Number);
-        doc.push((
-            "sweep".to_string(),
-            JsonValue::Array(
-                rows.iter()
-                    .map(|r| {
-                        JsonValue::Object(vec![
-                            ("memory".into(), JsonValue::Number(r.memory as f64)),
-                            ("thm4".into(), opt_num(r.thm4.map(|(b, _)| b))),
-                            (
-                                "best_k".into(),
-                                r.thm4
-                                    .map_or(JsonValue::Null, |(_, k)| JsonValue::Number(k as f64)),
-                            ),
-                            ("thm5".into(), opt_num(r.thm5)),
-                            ("thm6".into(), opt_num(r.thm6)),
-                            ("mincut".into(), JsonValue::Number(r.mincut as f64)),
-                            ("sim_upper".into(), opt_num(r.sim_upper.map(|s| s as f64))),
-                        ])
-                    })
-                    .collect(),
-            ),
-        ));
-        println!("{}", JsonValue::Object(doc));
+        // The exact bytes `POST /analyze` serves for the same request
+        // (property-tested in crates/service/tests).
+        write_stdout(&analysis_body(&analyzer, &spec));
         return;
     }
 
+    let rows = analyze_rows(&analyzer, &spec);
+    let g = analyzer.graph();
+    let stats = analyzer.stats();
+    let matvecs = sparse_matvec_count() - matvecs_before;
     println!(
         "analysis of graph: n = {}, edges = {}, h = {}, threads = {}",
         g.n(),
         g.num_edges(),
-        opts.h,
+        BoundOptions::for_graph_size(g.n()).h,
         graphio::linalg::threads::effective_threads(),
     );
     let fmt_opt = |v: Option<f64>| v.map_or("-".to_string(), |b| format!("{b:.1}"));
@@ -232,101 +308,185 @@ fn cmd_analyze(args: &[String]) {
     );
 }
 
+fn cmd_simulate(args: &[String]) {
+    let parsed = parse_args(
+        "simulate",
+        args,
+        &["--memory", "--policy", "--order", "--threads"],
+        &[],
+    );
+    let m: usize = parsed.parse_flag("--memory").unwrap_or_else(|| usage());
+    apply_threads(&parsed);
+    let policy = match parsed.flag("--policy") {
+        None | Some("lru") => Policy::Lru,
+        Some("fifo") => Policy::Fifo,
+        Some("belady") => Policy::Belady,
+        Some("random") => Policy::Random,
+        Some(_) => usage(),
+    };
+    let g = read_graph_from_stdin();
+    let order = match parsed.flag("--order") {
+        None | Some("natural") => natural_order(&g),
+        Some("dfs") => dfs_order(&g),
+        Some("bfs") => bfs_order(&g),
+        Some(_) => usage(),
+    };
+    match simulate(&g, &order, m, policy, 0) {
+        Ok(r) => println!(
+            "simulated I/O: {} ({} reads, {} writes, peak residency {})",
+            r.io(),
+            r.reads,
+            r.writes,
+            r.peak_resident
+        ),
+        Err(e) => {
+            eprintln!("simulation failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn cmd_serve(args: &[String]) {
+    let parsed = parse_args(
+        "serve",
+        args,
+        &[
+            "--host",
+            "--port",
+            "--workers",
+            "--queue",
+            "--cache-mb",
+            "--shards",
+            "--max-sessions",
+            "--threads",
+        ],
+        &[],
+    );
+    if !parsed.positional.is_empty() {
+        usage();
+    }
+    let defaults = ServiceConfig::default();
+    let cache_defaults = CacheConfig::default();
+    let config = ServiceConfig {
+        host: parsed
+            .flag("--host")
+            .unwrap_or(defaults.host.as_str())
+            .to_string(),
+        port: parsed.parse_flag("--port").unwrap_or(7878),
+        workers: parsed.parse_flag("--workers").unwrap_or(defaults.workers),
+        queue_capacity: parsed
+            .parse_flag("--queue")
+            .unwrap_or(defaults.queue_capacity),
+        cache: CacheConfig {
+            shards: parsed
+                .parse_flag("--shards")
+                .unwrap_or(cache_defaults.shards),
+            max_sessions: parsed
+                .parse_flag("--max-sessions")
+                .unwrap_or(cache_defaults.max_sessions),
+            max_bytes: parsed
+                .parse_flag::<usize>("--cache-mb")
+                .map_or(cache_defaults.max_bytes, |mb| mb.saturating_mul(1 << 20)),
+        },
+    };
+    // Each worker runs its eigensolves through the linalg kernels, which
+    // parallelize internally via the process-global thread knob; split
+    // the machine across workers unless told otherwise.
+    match parsed.parse_flag::<usize>("--threads") {
+        Some(threads) => graphio::linalg::set_threads(threads),
+        None => {
+            let available = std::thread::available_parallelism().map_or(1, |p| p.get());
+            graphio::linalg::set_threads((available / config.workers.max(1)).max(1));
+        }
+    }
+    let server = serve(&config).unwrap_or_else(|e| {
+        eprintln!("error: failed to bind {}:{}: {e}", config.host, config.port);
+        std::process::exit(1);
+    });
+    // Line-buffered and parsed by the CI driver — keep the format stable.
+    println!("graphio service listening on {}", server.url());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    server.join();
+}
+
+fn cmd_client(args: &[String]) {
+    let Some((action, rest)) = args.split_first() else {
+        usage()
+    };
+    // The allowlist depends on the action: `client stats --memory-sweep`
+    // is as much a user error as any other unknown flag.
+    let (value_flags, bool_flags): (&[&str], &[&str]) = match action.as_str() {
+        "analyze" => (&["--url", "--memory-sweep", "--processors"], &["--no-sim"]),
+        "register" | "stats" | "health" => (&["--url"], &[]),
+        _ => usage(),
+    };
+    let parsed = parse_args(&format!("client {action}"), rest, value_flags, bool_flags);
+    let url = parsed.flag("--url").unwrap_or_else(|| usage());
+
+    let response = match action.as_str() {
+        "analyze" => {
+            let memories = parse_sweep(parsed.flag("--memory-sweep").unwrap_or_else(|| usage()));
+            let processors: usize = parsed.parse_flag("--processors").unwrap_or(1);
+            let mut graph_json = String::new();
+            std::io::stdin()
+                .read_to_string(&mut graph_json)
+                .unwrap_or_else(|e| {
+                    eprintln!("error reading stdin: {e}");
+                    std::process::exit(1);
+                });
+            client::analyze(
+                url,
+                &graph_json,
+                &memories,
+                processors,
+                parsed.has("--no-sim"),
+            )
+        }
+        "register" => {
+            let mut graph_json = String::new();
+            std::io::stdin()
+                .read_to_string(&mut graph_json)
+                .unwrap_or_else(|e| {
+                    eprintln!("error reading stdin: {e}");
+                    std::process::exit(1);
+                });
+            client::request("POST", url, "/graphs", Some(graph_json.trim_end()))
+        }
+        "stats" => client::request("GET", url, "/stats", None),
+        "health" => client::request("GET", url, "/healthz", None),
+        _ => usage(),
+    };
+
+    match response {
+        Ok(r) if r.status == 200 => write_stdout(&r.body),
+        Ok(r) => {
+            eprintln!("error: server returned {}: {}", r.status, r.body.trim_end());
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else { usage() };
+    let rest = &args[1..];
     match cmd.as_str() {
-        "generate" => {
-            let family = args.get(1).unwrap_or_else(|| usage());
-            let size: usize = args
-                .get(2)
-                .and_then(|s| s.parse().ok())
-                .unwrap_or_else(|| usage());
-            let seed: u64 = flag_value(&args, "--seed")
-                .and_then(|s| s.parse().ok())
-                .unwrap_or(0);
-            let p: f64 = flag_value(&args, "--p")
-                .and_then(|s| s.parse().ok())
-                .unwrap_or(0.1);
-            let g = match family.as_str() {
-                "fft" => fft_butterfly(size),
-                "bhk" => bhk_hypercube(size),
-                "matmul" => naive_matmul(size),
-                "strassen" => strassen_matmul(size),
-                "inner" => inner_product(size),
-                "diamond" => diamond_dag(size, size),
-                "er" => erdos_renyi_dag(size, p, seed),
-                _ => usage(),
-            };
-            write_stdout(&g.to_edge_list().to_json());
-            write_stdout("\n");
-        }
-        "bound" => {
-            let m: usize = flag_value(&args, "--memory")
-                .and_then(|s| s.parse().ok())
-                .unwrap_or_else(|| usage());
-            let p: usize = flag_value(&args, "--processors")
-                .and_then(|s| s.parse().ok())
-                .unwrap_or(1);
-            let g = read_graph_from_stdin();
-            // The CLI shares the bench harness's size-scaled tuning
-            // schedule (BoundOptions::for_graph_size).
-            let opts = BoundOptions::for_graph_size(g.n());
-            let analyzer = Analyzer::new(&g);
-            let spectral = if p == 1 {
-                analyzer.bound(m, &opts)
-            } else {
-                analyzer.parallel_bound(m, p, &opts)
-            };
-            match spectral {
-                Ok(b) => println!(
-                    "spectral lower bound: {:.2}  (best k = {}, n = {})",
-                    b.bound,
-                    b.best_k,
-                    g.n()
-                ),
-                Err(e) => eprintln!("spectral bound failed: {e}"),
-            }
-            let mc = convex_min_cut_bound(&g, m, &mincut_options(g.n()));
-            println!(
-                "convex min-cut bound: {}  (max wavefront = {})",
-                mc.bound, mc.max_cut
-            );
-        }
-        "analyze" => cmd_analyze(&args),
-        "simulate" => {
-            let m: usize = flag_value(&args, "--memory")
-                .and_then(|s| s.parse().ok())
-                .unwrap_or_else(|| usage());
-            let policy = match flag_value(&args, "--policy").as_deref() {
-                None | Some("lru") => Policy::Lru,
-                Some("fifo") => Policy::Fifo,
-                Some("belady") => Policy::Belady,
-                Some("random") => Policy::Random,
-                Some(_) => usage(),
-            };
-            let g = read_graph_from_stdin();
-            let order = match flag_value(&args, "--order").as_deref() {
-                None | Some("natural") => natural_order(&g),
-                Some("dfs") => dfs_order(&g),
-                Some("bfs") => bfs_order(&g),
-                Some(_) => usage(),
-            };
-            match simulate(&g, &order, m, policy, 0) {
-                Ok(r) => println!(
-                    "simulated I/O: {} ({} reads, {} writes, peak residency {})",
-                    r.io(),
-                    r.reads,
-                    r.writes,
-                    r.peak_resident
-                ),
-                Err(e) => {
-                    eprintln!("simulation failed: {e}");
-                    std::process::exit(1);
-                }
-            }
-        }
+        "generate" => cmd_generate(rest),
+        "bound" => cmd_bound(rest),
+        "analyze" => cmd_analyze(rest),
+        "simulate" => cmd_simulate(rest),
+        "serve" => cmd_serve(rest),
+        "client" => cmd_client(rest),
         "dot" => {
+            let parsed = parse_args("dot", rest, &[], &[]);
+            if !parsed.positional.is_empty() {
+                usage();
+            }
             let g = read_graph_from_stdin();
             write_stdout(&to_dot(&g, &DotOptions::default()));
         }

@@ -11,6 +11,7 @@
 //! | [`spectral`] | the paper's contribution: Theorems 4/5/6 bounds, §5 closed forms (hypercube, butterfly spectrum of Theorem 7, Erdős–Rényi) |
 //! | [`pebble`] | the §3 two-level-memory execution simulator (upper bounds) |
 //! | [`baselines`] | the §6.3 convex min-cut baseline and an exact tiny-graph optimum oracle |
+//! | [`service`] | the HTTP analysis server: sharded session cache + worker pool, `graphio serve` / `graphio client` |
 //!
 //! ## Quickstart
 //!
@@ -34,6 +35,7 @@ pub use graphio_baselines as baselines;
 pub use graphio_graph as graph;
 pub use graphio_linalg as linalg;
 pub use graphio_pebble as pebble;
+pub use graphio_service as service;
 pub use graphio_spectral as spectral;
 
 /// One-stop imports for the common workflow: generate or trace a graph,
@@ -44,11 +46,12 @@ pub mod prelude {
         bhk_hypercube, diamond_dag, erdos_renyi_dag, fft_butterfly, inner_product, naive_matmul,
         strassen_matmul,
     };
-    pub use graphio_graph::{CompGraph, GraphBuilder, OpKind, Tracer};
+    pub use graphio_graph::{fingerprint, CompGraph, Fingerprint, GraphBuilder, OpKind, Tracer};
     pub use graphio_linalg::{set_threads, Threads};
     pub use graphio_pebble::{simulate, Policy};
+    pub use graphio_service::{serve, ServiceConfig};
     pub use graphio_spectral::{
         parallel_spectral_bound, spectral_bound, spectral_bound_original, Analyzer, BoundOptions,
-        EigenMethod, LaplacianKind, SpectralBound,
+        EigenMethod, LaplacianKind, OwnedAnalyzer, SpectralBound,
     };
 }

@@ -29,12 +29,16 @@ fn run_with_stdin(args: &[&str], stdin_data: &str) -> (String, String, bool) {
         .stderr(Stdio::piped())
         .spawn()
         .expect("spawn graphio");
-    child
+    // A child that rejects its arguments exits before reading stdin, so a
+    // broken pipe here is expected for usage-error tests.
+    if let Err(e) = child
         .stdin
         .as_mut()
         .expect("stdin piped")
         .write_all(stdin_data.as_bytes())
-        .expect("write stdin");
+    {
+        assert_eq!(e.kind(), std::io::ErrorKind::BrokenPipe, "write stdin: {e}");
+    }
     let out = child.wait_with_output().expect("wait");
     (
         String::from_utf8_lossy(&out.stdout).to_string(),
@@ -154,4 +158,118 @@ fn unknown_family_prints_usage() {
     let out = cli().args(["generate", "mystery", "3"]).output().unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+#[test]
+fn unknown_flags_are_rejected_everywhere() {
+    let json = generate("fft", 3);
+    for args in [
+        ["bound", "--memory", "4", "--bogus", "1"].as_slice(),
+        &["analyze", "--memory-sweep", "2,4", "--frobnicate"],
+        &["simulate", "--memory", "4", "--speed", "fast"],
+        &["dot", "--color"],
+        &["generate", "fft", "3", "--size", "9"],
+    ] {
+        let (_, stderr, ok) = run_with_stdin(args, &json);
+        assert!(!ok, "{args:?} must fail");
+        assert!(
+            stderr.contains("unknown flag") && stderr.contains("usage"),
+            "{args:?}: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn bound_and_simulate_accept_threads() {
+    let json = generate("fft", 4);
+    let (stdout, stderr, ok) = run_with_stdin(&["bound", "--memory", "4", "--threads", "2"], &json);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("spectral lower bound:"));
+    let (stdout, stderr, ok) = run_with_stdin(
+        &["simulate", "--memory", "8", "--threads", "2"],
+        &generate("diamond", 4),
+    );
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("simulated I/O:"));
+}
+
+#[test]
+fn analyze_rejects_zero_memory_and_warns_on_duplicates() {
+    let json = generate("fft", 3);
+    let (_, stderr, ok) = run_with_stdin(&["analyze", "--memory-sweep", "2,0,4"], &json);
+    assert!(!ok);
+    assert!(stderr.contains("memory size 0"), "{stderr}");
+
+    let (stdout, stderr, ok) =
+        run_with_stdin(&["analyze", "--memory-sweep", "4,4,2", "--json"], &json);
+    assert!(ok, "stderr: {stderr}");
+    assert!(
+        stderr.contains("duplicate memory size 4"),
+        "expected dedup warning: {stderr}"
+    );
+    let doc = graphio::graph::json::parse(&stdout).unwrap();
+    let sweep = doc.get("sweep").and_then(|s| s.as_array()).unwrap();
+    assert_eq!(sweep.len(), 2, "duplicates must be dropped: {stdout}");
+}
+
+/// Full process-level round trip: `graphio serve` on an ephemeral port,
+/// driven by `graphio client`, diffed against offline `analyze --json`.
+#[test]
+fn serve_and_client_round_trip_matches_offline_analyze() {
+    use std::io::{BufRead as _, BufReader};
+
+    let mut server = cli()
+        .args(["serve", "--port", "0", "--workers", "2"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn graphio serve");
+    let mut first_line = String::new();
+    BufReader::new(server.stdout.as_mut().expect("stdout piped"))
+        .read_line(&mut first_line)
+        .expect("read listen line");
+    let url = first_line
+        .trim()
+        .strip_prefix("graphio service listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner: {first_line}"))
+        .to_string();
+
+    let result = std::panic::catch_unwind(|| {
+        for family in ["fft", "bhk", "inner"] {
+            let json = generate(family, 4);
+            let (offline, stderr, ok) =
+                run_with_stdin(&["analyze", "--memory-sweep", "2,4,8", "--json"], &json);
+            assert!(ok, "offline analyze failed: {stderr}");
+            for round in 0..2 {
+                let (remote, stderr, ok) = run_with_stdin(
+                    &[
+                        "client",
+                        "analyze",
+                        "--url",
+                        &url,
+                        "--memory-sweep",
+                        "2,4,8",
+                    ],
+                    &json,
+                );
+                assert!(ok, "client analyze failed: {stderr}");
+                assert_eq!(remote, offline, "{family} round {round} diverged");
+            }
+        }
+        let (stats, _, ok) = run_with_stdin(&["client", "stats", "--url", &url], "");
+        assert!(ok);
+        let doc = graphio::graph::json::parse(&stats).unwrap();
+        let misses = doc
+            .get("engine")
+            .and_then(|e| e.get("spectrum_misses"))
+            .and_then(|v| v.as_f64())
+            .unwrap();
+        // 3 cached sessions × 2 Laplacian kinds, across 6 analyze calls.
+        assert_eq!(misses, 6.0, "{stats}");
+    });
+    let _ = server.kill();
+    let _ = server.wait();
+    if let Err(p) = result {
+        std::panic::resume_unwind(p);
+    }
 }
