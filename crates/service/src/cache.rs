@@ -14,9 +14,13 @@
 //! contend only inside the engine's per-key single-flight slots, which is
 //! exactly the contention that deduplicates work). Eviction is LRU per
 //! shard under both a session-count cap and a byte budget; session sizes
-//! are re-read on every touch because a session's caches grow after
-//! insertion. Evicting a session that requests still hold is safe — the
-//! `Arc` keeps it alive until the last request drops it.
+//! are re-read on every eviction pass because a session's caches grow
+//! after insertion, and the server re-runs the pass via
+//! [`SessionCache::enforce_budget`] after each analysis completes — a
+//! shard serving only cache hits still converges back under its budget,
+//! without size-summing work on the per-hit fast path. Evicting a
+//! session that requests still hold is safe — the `Arc` keeps it alive
+//! until the last request drops it.
 
 use graphio_graph::Fingerprint;
 use graphio_spectral::{EngineStats, OwnedAnalyzer};
@@ -123,6 +127,20 @@ impl SessionCache {
                 None
             }
         }
+    }
+
+    /// Re-runs eviction on the shard holding `fp`. The server calls this
+    /// after each analysis completes: sessions grow *after* insertion
+    /// (every first-time eigensolve or min-cut sweep adds to the
+    /// session's caches), so insert-time eviction alone would let a
+    /// shard whose entries only ever get hit exceed its byte budget
+    /// indefinitely. Running the check here — once the growth is
+    /// actually visible in `approx_bytes`, off the per-hit fast path —
+    /// keeps the budget honest without adding size-summing work under
+    /// the shard lock on every lookup.
+    pub fn enforce_budget(&self, fp: Fingerprint) {
+        let mut shard = self.shard(fp).lock().expect("cache shard lock");
+        self.evict(&mut shard);
     }
 
     /// The session for `fp`, creating it with `make` under the shard lock
@@ -279,6 +297,61 @@ mod tests {
         }
         assert_eq!(cache.len(), 1, "budget evicts down to a single session");
         assert!(cache.stats().bytes > 1);
+    }
+
+    /// Regression test for byte-budget staleness: a cached session grows
+    /// on every *hit* that triggers a new eigensolve or min-cut sweep,
+    /// and historically eviction only ran on insert — so a shard whose
+    /// sessions only ever got hit could exceed `max_bytes` forever.
+    /// `enforce_budget` (run by the server after every analysis) must
+    /// re-check the budget once the growth is visible.
+    #[test]
+    fn byte_budget_is_reenforced_when_cached_sessions_grow() {
+        let a = diamond_dag(4, 4);
+        let b = diamond_dag(5, 5);
+        let (fp_a, fp_b) = (fingerprint(&a), fingerprint(&b));
+        // Budget that admits exactly the two idle sessions: analysis
+        // sessions materialize Laplacians/spectra lazily, so any growth
+        // at all puts the shard over budget without an insert happening.
+        let budget = OwnedAnalyzer::from_graph(a.clone()).approx_bytes()
+            + OwnedAnalyzer::from_graph(b.clone()).approx_bytes();
+        let cache = SessionCache::new(&CacheConfig {
+            shards: 1,
+            max_sessions: 16,
+            max_bytes: budget,
+        });
+        cache.get_or_insert_with(fp_a, || OwnedAnalyzer::from_graph(a));
+        cache.get_or_insert_with(fp_b, || OwnedAnalyzer::from_graph(b));
+        assert_eq!(cache.len(), 2, "both idle sessions fit the budget");
+
+        // Repeated queries against the cached session grow it past the
+        // budget without a single insert happening.
+        let grown = cache.get(fp_a).expect("session a is cached");
+        let opts = grown.default_options();
+        for m in [2usize, 4, 8] {
+            let _ = grown.bound(m, &opts);
+            let _ = grown.bound_original(m, &opts);
+        }
+        let stale = cache.stats();
+        assert!(
+            stale.sessions == 2 && stale.bytes > budget,
+            "the grown shard must exceed the budget for this test to bite: {stale:?}"
+        );
+
+        // The post-analysis enforcement observes the growth and evicts
+        // the LRU session; the grown (just-used) one is kept, and the
+        // "always keep one" rule stops a single over-budget session from
+        // thrashing.
+        cache.enforce_budget(fp_a);
+        let stats = cache.stats();
+        assert!(
+            stats.evictions >= 1 && stats.sessions == 1,
+            "enforce_budget must evict the over-budget shard: {stats:?}"
+        );
+        assert!(cache.get(fp_a).is_some(), "the grown session is kept");
+        assert!(cache.get(fp_b).is_none(), "LRU session b was evicted");
+        cache.enforce_budget(fp_a); // idempotent at one session
+        assert_eq!(cache.len(), 1);
     }
 
     #[test]

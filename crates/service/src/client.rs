@@ -1,10 +1,14 @@
 //! A minimal blocking HTTP client for the analysis service.
 //!
-//! Speaks exactly the dialect [`crate::http`] serves (one request per
-//! connection, `Content-Length` bodies) and doubles as the integration
-//! test and CI driver behind `graphio client`.
+//! Speaks exactly the dialect [`crate::http`] serves (`Content-Length`
+//! bodies, persistent HTTP/1.1 connections) and doubles as the
+//! integration test and CI driver behind `graphio client`. [`Client`]
+//! holds one keep-alive connection and reconnects transparently when the
+//! server closes it (idle deadline, per-connection request cap, restart);
+//! the free [`request`] function is the one-shot `Connection: close`
+//! form.
 
-use std::io::{Read, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::time::Duration;
 
@@ -69,7 +73,201 @@ fn host_port(url: &str) -> Result<String, ClientError> {
     Ok(authority.to_string())
 }
 
-/// Issues one request and reads the full response.
+/// A persistent connection to one server. Requests issued through the
+/// same `Client` reuse the TCP connection (HTTP/1.1 keep-alive); when the
+/// server closes it — idle deadline, request cap, restart — the next
+/// request transparently reconnects and retries once.
+pub struct Client {
+    authority: String,
+    /// The live connection, if any. Buffered so a response's status line,
+    /// headers and body can be read without over-reading into the next
+    /// response.
+    reader: Option<BufReader<TcpStream>>,
+    /// Connections opened over this client's lifetime (observability for
+    /// `--repeat`-style drivers: reuse means this stays at 1).
+    connects: u64,
+}
+
+/// Whether `e` means the *connection* died (server closed a kept-alive
+/// socket: EOF, reset, broken pipe) as opposed to the server being slow
+/// or wrong. Only the former is safe to answer with a reconnect-and-
+/// retry — re-sending on a read *timeout* would double-spend a request
+/// the server may still be computing.
+fn is_connection_death(e: &ClientError) -> bool {
+    use std::io::ErrorKind;
+    matches!(
+        e,
+        ClientError::Io(io) if matches!(
+            io.kind(),
+            ErrorKind::UnexpectedEof
+                | ErrorKind::ConnectionReset
+                | ErrorKind::ConnectionAborted
+                | ErrorKind::BrokenPipe
+        )
+    )
+}
+
+impl Client {
+    /// Creates a client for `url` (`http://host:port[...]`). Connects
+    /// lazily on the first request.
+    ///
+    /// # Errors
+    /// [`ClientError::BadUrl`] when the URL is not `http://host:port`.
+    pub fn new(url: &str) -> Result<Client, ClientError> {
+        Ok(Client {
+            authority: host_port(url)?,
+            reader: None,
+            connects: 0,
+        })
+    }
+
+    /// Connections opened so far (1 across any number of requests ⇔
+    /// perfect reuse).
+    pub fn connects(&self) -> u64 {
+        self.connects
+    }
+
+    /// Issues one request over the persistent connection, reconnecting
+    /// and retrying once if a reused connection turns out to be dead.
+    ///
+    /// # Errors
+    /// [`ClientError`] on socket failures or malformed responses.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<Response, ClientError> {
+        let reused = self.reader.is_some();
+        match self.try_request(method, path, body) {
+            Ok(response) => Ok(response),
+            Err(e) => {
+                if !reused || !is_connection_death(&e) {
+                    return Err(e);
+                }
+                // The server closed the kept-alive connection between
+                // requests (idle deadline, request cap, restart); retry
+                // exactly once on a fresh connection.
+                self.reader = None;
+                self.try_request(method, path, body)
+            }
+        }
+    }
+
+    fn try_request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<Response, ClientError> {
+        let result = self.send_and_read(method, path, body);
+        match &result {
+            Ok(response) => {
+                // The server told us it will close; beat it to the punch
+                // so the next request starts fresh instead of failing.
+                if response.header("connection") == Some("close") {
+                    self.reader = None;
+                }
+            }
+            Err(_) => self.reader = None,
+        }
+        result
+    }
+
+    fn send_and_read(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<Response, ClientError> {
+        if self.reader.is_none() {
+            let stream = TcpStream::connect(&self.authority)?;
+            stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+            stream.set_write_timeout(Some(Duration::from_secs(60)))?;
+            self.reader = Some(BufReader::new(stream));
+            self.connects += 1;
+        }
+        let reader = self.reader.as_mut().expect("connected above");
+        let body = body.unwrap_or("");
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\n\r\n",
+            self.authority,
+            body.len()
+        );
+        let stream = reader.get_mut();
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(body.as_bytes())?;
+        stream.flush()?;
+        read_response(reader)
+    }
+}
+
+/// Reads one `Content-Length`-framed response without consuming bytes of
+/// any response that may follow it on the same connection.
+fn read_response(reader: &mut BufReader<TcpStream>) -> Result<Response, ClientError> {
+    let mut line = String::new();
+    read_crlf_line(reader, &mut line)?;
+    if line.is_empty() {
+        return Err(ClientError::BadResponse("empty response".to_string()));
+    }
+    let status = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| ClientError::BadResponse(format!("bad status line: {line}")))?;
+    let mut headers = Vec::new();
+    loop {
+        read_crlf_line(reader, &mut line)?;
+        if line.is_empty() {
+            break;
+        }
+        if let Some((k, v)) = line.split_once(':') {
+            headers.push((k.trim().to_ascii_lowercase(), v.trim().to_string()));
+        }
+    }
+    let content_length = headers
+        .iter()
+        .find_map(|(k, v)| (k == "content-length").then_some(v.as_str()))
+        .map(|v| {
+            v.parse::<usize>()
+                .map_err(|_| ClientError::BadResponse(format!("bad content-length: {v}")))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    let body = String::from_utf8(body)
+        .map_err(|_| ClientError::BadResponse("response body is not UTF-8".to_string()))?;
+    Ok(Response {
+        status,
+        headers,
+        body,
+    })
+}
+
+/// Reads one `\r\n`-terminated line (terminator stripped) into `line`.
+fn read_crlf_line(reader: &mut BufReader<TcpStream>, line: &mut String) -> Result<(), ClientError> {
+    let mut raw = Vec::new();
+    let n = reader.read_until(b'\n', &mut raw)?;
+    if n == 0 {
+        return Err(ClientError::Io(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "connection closed mid-response",
+        )));
+    }
+    line.clear();
+    line.push_str(
+        std::str::from_utf8(&raw)
+            .map_err(|_| ClientError::BadResponse("response is not UTF-8".to_string()))?,
+    );
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(())
+}
+
+/// Issues one request on a throwaway connection (`Connection: close`) and
+/// reads the full response.
 ///
 /// # Errors
 /// [`ClientError`] on bad URLs, socket failures, or malformed responses.
@@ -80,50 +278,49 @@ pub fn request(
     body: Option<&str>,
 ) -> Result<Response, ClientError> {
     let authority = host_port(url)?;
-    let mut stream = TcpStream::connect(&authority)?;
+    let stream = TcpStream::connect(&authority)?;
     stream.set_read_timeout(Some(Duration::from_secs(60)))?;
     stream.set_write_timeout(Some(Duration::from_secs(60)))?;
+    let mut reader = BufReader::new(stream);
 
     let body = body.unwrap_or("");
     let head = format!(
         "{method} {path} HTTP/1.1\r\nHost: {authority}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         body.len()
     );
+    let stream = reader.get_mut();
     stream.write_all(head.as_bytes())?;
     stream.write_all(body.as_bytes())?;
     stream.flush()?;
-
-    let mut raw = Vec::new();
-    stream.read_to_end(&mut raw)?;
-    parse_response(&raw)
+    read_response(&mut reader)
 }
 
-fn parse_response(raw: &[u8]) -> Result<Response, ClientError> {
-    let text = std::str::from_utf8(raw)
-        .map_err(|_| ClientError::BadResponse("response is not UTF-8".to_string()))?;
-    let (head, body) = text
-        .split_once("\r\n\r\n")
-        .ok_or_else(|| ClientError::BadResponse("missing header terminator".to_string()))?;
-    let mut lines = head.split("\r\n");
-    let status_line = lines
-        .next()
-        .ok_or_else(|| ClientError::BadResponse("empty response".to_string()))?;
-    let status = status_line
-        .split_whitespace()
-        .nth(1)
-        .and_then(|s| s.parse::<u16>().ok())
-        .ok_or_else(|| ClientError::BadResponse(format!("bad status line: {status_line}")))?;
-    let headers = lines
-        .filter_map(|line| {
-            line.split_once(':')
-                .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
-        })
-        .collect();
-    Ok(Response {
-        status,
-        headers,
-        body: body.to_string(),
-    })
+/// Appends the shared sweep-spec fields (`"memories"` plus the optional
+/// `"processors"`/`"no_sim"`) and the closing brace — the one place the
+/// `/analyze` and `/batch` body encodings agree on the spec.
+fn push_spec_and_close(body: &mut String, memories: &[usize], processors: usize, no_sim: bool) {
+    let memories = memories
+        .iter()
+        .map(|m| m.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    body.push_str(&format!(",\"memories\":[{memories}]"));
+    if processors > 1 {
+        body.push_str(&format!(",\"processors\":{processors}"));
+    }
+    if no_sim {
+        body.push_str(",\"no_sim\":true");
+    }
+    body.push('}');
+}
+
+/// Builds the `POST /analyze` body for `graph_json` (an edge-list
+/// document) over the given memory sweep.
+fn analyze_body(graph_json: &str, memories: &[usize], processors: usize, no_sim: bool) -> String {
+    // The graph document is already JSON; splice it in directly.
+    let mut body = format!("{{\"graph\":{}", graph_json.trim_end());
+    push_spec_and_close(&mut body, memories, processors, no_sim);
+    body
 }
 
 /// `POST /analyze` for `graph_json` (an edge-list document) over the given
@@ -138,24 +335,54 @@ pub fn analyze(
     processors: usize,
     no_sim: bool,
 ) -> Result<Response, ClientError> {
-    let memories = memories
+    request(
+        "POST",
+        url,
+        "/analyze",
+        Some(&analyze_body(graph_json, memories, processors, no_sim)),
+    )
+}
+
+/// [`analyze`] over an existing persistent [`Client`] connection.
+///
+/// # Errors
+/// Propagates [`ClientError`].
+pub fn analyze_on(
+    client: &mut Client,
+    graph_json: &str,
+    memories: &[usize],
+    processors: usize,
+    no_sim: bool,
+) -> Result<Response, ClientError> {
+    client.request(
+        "POST",
+        "/analyze",
+        Some(&analyze_body(graph_json, memories, processors, no_sim)),
+    )
+}
+
+/// `POST /batch`: one request analyzing every graph in `graph_jsons`
+/// (each an edge-list document or a quoted fingerprint string) over the
+/// same memory sweep. The response body is the concatenation of the
+/// per-graph `/analyze` bodies.
+///
+/// # Errors
+/// Propagates [`ClientError`].
+pub fn batch(
+    url: &str,
+    graph_jsons: &[String],
+    memories: &[usize],
+    processors: usize,
+    no_sim: bool,
+) -> Result<Response, ClientError> {
+    let graphs = graph_jsons
         .iter()
-        .map(|m| m.to_string())
+        .map(|g| g.trim().to_string())
         .collect::<Vec<_>>()
         .join(",");
-    // The graph document is already JSON; splice it in directly.
-    let mut body = format!(
-        "{{\"graph\":{},\"memories\":[{memories}]",
-        graph_json.trim_end()
-    );
-    if processors > 1 {
-        body.push_str(&format!(",\"processors\":{processors}"));
-    }
-    if no_sim {
-        body.push_str(",\"no_sim\":true");
-    }
-    body.push('}');
-    request("POST", url, "/analyze", Some(&body))
+    let mut body = format!("{{\"graphs\":[{graphs}]");
+    push_spec_and_close(&mut body, memories, processors, no_sim);
+    request("POST", url, "/batch", Some(&body))
 }
 
 #[cfg(test)]
@@ -173,14 +400,48 @@ mod tests {
         assert!(host_port("127.0.0.1:8080").is_err());
     }
 
+    /// Serves `responses` verbatim, one per accepted connection.
+    fn canned_server(responses: Vec<&'static [u8]>) -> std::net::SocketAddr {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            for canned in responses {
+                let (mut stream, _) = listener.accept().unwrap();
+                let mut buf = [0u8; 1024];
+                let _ = stream.read(&mut buf); // consume the request head
+                stream.write_all(canned).unwrap();
+            }
+        });
+        addr
+    }
+
     #[test]
-    fn response_parsing() {
-        let raw =
-            b"HTTP/1.1 503 Service Unavailable\r\nRetry-After: 1\r\nContent-Length: 3\r\n\r\nabc";
-        let r = parse_response(raw).unwrap();
+    fn framed_response_parsing() {
+        let addr = canned_server(vec![
+            b"HTTP/1.1 503 Service Unavailable\r\nRetry-After: 1\r\nContent-Length: 3\r\n\r\nabc",
+        ]);
+        let r = request("GET", &format!("http://{addr}"), "/x", None).unwrap();
         assert_eq!(r.status, 503);
         assert_eq!(r.header("retry-after"), Some("1"));
         assert_eq!(r.body, "abc");
-        assert!(parse_response(b"garbage").is_err());
+    }
+
+    #[test]
+    fn garbage_responses_are_rejected() {
+        let addr = canned_server(vec![b"garbage\r\n\r\n"]);
+        assert!(request("GET", &format!("http://{addr}"), "/x", None).is_err());
+    }
+
+    #[test]
+    fn client_reconnects_when_a_reused_connection_dies() {
+        // First connection serves one keep-alive response then closes;
+        // the client's second request must transparently reconnect.
+        let keep: &[u8] =
+            b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\nConnection: keep-alive\r\n\r\nok";
+        let addr = canned_server(vec![keep, keep]);
+        let mut client = Client::new(&format!("http://{addr}")).unwrap();
+        assert_eq!(client.request("GET", "/a", None).unwrap().body, "ok");
+        assert_eq!(client.request("GET", "/b", None).unwrap().body, "ok");
+        assert_eq!(client.connects(), 2, "second request reconnected");
     }
 }

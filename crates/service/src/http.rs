@@ -2,11 +2,18 @@
 //!
 //! The workspace builds fully offline with zero crates.io dependencies, so
 //! the service speaks the minimal dialect its clients need instead of
-//! pulling in a web stack: one request per connection (`Connection: close`
-//! on every response), `Content-Length` bodies only (no chunked transfer),
-//! and hard caps on header and body sizes so a misbehaving peer cannot
-//! balloon memory. That subset is valid HTTP/1.1 and is what `curl`, the
-//! bundled [`crate::client`], and the CI driver exercise.
+//! pulling in a web stack: `Content-Length` bodies only (chunked transfer
+//! is rejected, not ignored), persistent connections per RFC 9112
+//! (`Connection: keep-alive`/`close` honored in both directions), and hard
+//! caps on header and body sizes so a misbehaving peer cannot balloon
+//! memory. That subset is valid HTTP/1.1 and is what `curl`, the bundled
+//! [`crate::client`], and the CI driver exercise.
+//!
+//! Because a connection can now carry a second request, request framing is
+//! strict where it used to be lax: a duplicate `Content-Length`, any
+//! `Transfer-Encoding` header, or whitespace between a header name and its
+//! colon is a 400, not a guess — each of those laxities is harmless under
+//! close-per-request but a request-smuggling vector under keep-alive.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
@@ -20,10 +27,25 @@ pub const MAX_BODY_BYTES: usize = 64 * 1024 * 1024;
 /// Per-connection write timeout.
 pub const IO_TIMEOUT: Duration = Duration::from_secs(10);
 /// Per-read deadline while receiving a request. Deliberately short:
-/// request parsing runs on a pooled worker, so an idle connection that
-/// sends nothing can hold a worker for at most this long per read — the
+/// request parsing runs on a pooled worker, so a connection that stalls
+/// mid-request can hold a worker for at most this long per read — the
 /// cheap std-only mitigation of slow-client worker starvation.
 pub const READ_TIMEOUT: Duration = Duration::from_secs(2);
+/// How long a keep-alive connection may sit idle *between* requests
+/// before the server closes it.
+pub const IDLE_TIMEOUT: Duration = Duration::from_secs(5);
+/// Requests served on one connection before the server closes it (the
+/// response that hits the cap advertises `Connection: close`). Bounds how
+/// long one client can monopolize a pooled worker.
+pub const MAX_REQUESTS_PER_CONNECTION: usize = 128;
+/// Wall-clock cap on one connection's total lifetime. A keep-alive
+/// connection occupies a pooled worker even while idle between requests,
+/// so without this cap a client pacing cheap requests just under the
+/// idle deadline could hold a worker for `MAX_REQUESTS_PER_CONNECTION ×
+/// IDLE_TIMEOUT` — minutes, not seconds. The lifetime cap bounds the
+/// hold regardless of request pacing; a well-behaved client's
+/// [`crate::client::Client`] reconnects transparently.
+pub const MAX_CONNECTION_LIFETIME: Duration = Duration::from_secs(60);
 
 /// A parsed HTTP request.
 #[derive(Debug)]
@@ -36,6 +58,9 @@ pub struct Request {
     pub headers: Vec<(String, String)>,
     /// The request body (empty unless `Content-Length` was sent).
     pub body: Vec<u8>,
+    /// True for `HTTP/1.1` (and later minors), false for `HTTP/1.0` —
+    /// decides the default connection persistence.
+    pub http11: bool,
 }
 
 impl Request {
@@ -44,6 +69,27 @@ impl Request {
         self.headers
             .iter()
             .find_map(|(k, v)| (k == name).then_some(v.as_str()))
+    }
+
+    /// Whether the peer wants the connection kept open after this request,
+    /// per RFC 9112 §9.3: `Connection: close` always closes,
+    /// `Connection: keep-alive` always persists, and the default is
+    /// persistent for HTTP/1.1, close for HTTP/1.0.
+    pub fn wants_keep_alive(&self) -> bool {
+        match self.header("connection") {
+            Some(v) => {
+                let mut keep = self.http11;
+                for token in v.split(',') {
+                    match token.trim().to_ascii_lowercase().as_str() {
+                        "close" => return false,
+                        "keep-alive" => keep = true,
+                        _ => {}
+                    }
+                }
+                keep
+            }
+            None => self.http11,
+        }
     }
 }
 
@@ -54,6 +100,10 @@ pub enum HttpError {
     Malformed(String),
     /// Headers or body exceed the hard caps → 413.
     TooLarge(String),
+    /// The peer closed (or went idle past the deadline) *between*
+    /// requests — the clean end of a keep-alive conversation, not an
+    /// error to report.
+    Closed,
     /// Socket failure or timeout mid-request.
     Io(std::io::Error),
 }
@@ -63,6 +113,7 @@ impl std::fmt::Display for HttpError {
         match self {
             HttpError::Malformed(m) => write!(f, "malformed request: {m}"),
             HttpError::TooLarge(m) => write!(f, "request too large: {m}"),
+            HttpError::Closed => write!(f, "connection closed between requests"),
             HttpError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
@@ -74,18 +125,26 @@ impl From<std::io::Error> for HttpError {
     }
 }
 
-/// Reads one HTTP/1.1 request from `stream` (which should already carry
-/// read/write timeouts).
+/// Reads one HTTP/1.1 request from `reader`.
+///
+/// The reader persists across requests on a keep-alive connection — a
+/// pipelined second request buffered during the first read must not be
+/// discarded, so the caller owns the `BufReader` and hands it back for
+/// every request.
 ///
 /// # Errors
-/// [`HttpError::Malformed`] on protocol violations, [`HttpError::TooLarge`]
-/// past the size caps, [`HttpError::Io`] on socket failures.
-pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
-    let mut reader = BufReader::new(stream);
+/// [`HttpError::Closed`] if the peer closed before sending any byte of a
+/// request, [`HttpError::Malformed`] on protocol violations,
+/// [`HttpError::TooLarge`] past the size caps, [`HttpError::Io`] on socket
+/// failures.
+pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, HttpError> {
     let mut line = String::new();
     let mut header_bytes = 0usize;
 
-    read_crlf_line(&mut reader, &mut line, &mut header_bytes)?;
+    match read_crlf_line(reader, &mut line, &mut header_bytes) {
+        Err(HttpError::Malformed(_)) if header_bytes == 0 => return Err(HttpError::Closed),
+        other => other?,
+    }
     let mut parts = line.split_whitespace();
     let method = parts
         .next()
@@ -103,28 +162,53 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
             "unsupported version {version}"
         )));
     }
+    let http11 = version != "HTTP/1.0";
 
-    let mut headers = Vec::new();
+    let mut headers: Vec<(String, String)> = Vec::new();
     loop {
-        read_crlf_line(&mut reader, &mut line, &mut header_bytes)?;
+        read_crlf_line(reader, &mut line, &mut header_bytes)?;
         if line.is_empty() {
             break;
         }
         let (name, value) = line
             .split_once(':')
             .ok_or_else(|| HttpError::Malformed(format!("header without ':': {line}")))?;
-        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        // RFC 9112 §5.1: no whitespace between the field name and the
+        // colon (`Content-Length : 5` must not parse as a length — two
+        // hops disagreeing on where the next request starts is exactly
+        // how requests get smuggled), and none inside the name either.
+        if name.is_empty() || name.chars().any(|c| c.is_ascii_whitespace()) {
+            return Err(HttpError::Malformed(format!(
+                "whitespace in header name: {line:?}"
+            )));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
     }
 
-    let content_length = headers
-        .iter()
-        .find_map(|(k, v)| (k == "content-length").then_some(v.as_str()))
-        .map(|v| {
+    // Reject framing ambiguity outright instead of picking one reading.
+    if headers.iter().any(|(k, _)| k == "transfer-encoding") {
+        return Err(HttpError::Malformed(
+            "transfer-encoding is not supported; send a content-length body".into(),
+        ));
+    }
+    let mut lengths = headers.iter().filter(|(k, _)| k == "content-length");
+    let content_length = match (lengths.next(), lengths.next()) {
+        (None, _) => 0,
+        (Some(_), Some(_)) => {
+            return Err(HttpError::Malformed(
+                "duplicate content-length headers".into(),
+            ))
+        }
+        (Some((_, v)), None) => {
+            // Digits only: `parse` alone would also accept `+5`, and a
+            // value like `5, 5` must be a 400, not a guess.
+            if v.is_empty() || !v.bytes().all(|b| b.is_ascii_digit()) {
+                return Err(HttpError::Malformed(format!("bad content-length: {v}")));
+            }
             v.parse::<usize>()
-                .map_err(|_| HttpError::Malformed(format!("bad content-length: {v}")))
-        })
-        .transpose()?
-        .unwrap_or(0);
+                .map_err(|_| HttpError::Malformed(format!("bad content-length: {v}")))?
+        }
+    };
     if content_length > MAX_BODY_BYTES {
         return Err(HttpError::TooLarge(format!(
             "body of {content_length} bytes exceeds the {MAX_BODY_BYTES}-byte cap"
@@ -138,6 +222,7 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
         path,
         headers,
         body,
+        http11,
     })
 }
 
@@ -146,7 +231,7 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
 /// via `Take`, so a peer streaming bytes with no newline hits the cap
 /// instead of growing the buffer without bound.
 fn read_crlf_line(
-    reader: &mut BufReader<&mut TcpStream>,
+    reader: &mut BufReader<TcpStream>,
     line: &mut String,
     header_bytes: &mut usize,
 ) -> Result<(), HttpError> {
@@ -183,7 +268,10 @@ fn read_crlf_line(
 }
 
 /// Writes a complete response (status line, standard headers, any `extra`
-/// headers, body) and flushes. Every response closes the connection.
+/// headers, body) and flushes. `keep` decides the advertised connection
+/// disposition — the caller closes the socket after a
+/// `Connection: close` response and loops for the next request after a
+/// `Connection: keep-alive` one.
 ///
 /// # Errors
 /// Propagates socket write failures.
@@ -191,11 +279,13 @@ pub fn write_response(
     stream: &mut TcpStream,
     status: u16,
     reason: &str,
+    keep: bool,
     extra: &[(&str, String)],
     body: &[u8],
 ) -> std::io::Result<()> {
+    let connection = if keep { "keep-alive" } else { "close" };
     let mut head = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {connection}\r\n",
         body.len()
     );
     for (name, value) in extra {
@@ -221,5 +311,92 @@ pub fn reason(status: u16) -> &'static str {
         500 => "Internal Server Error",
         503 => "Service Unavailable",
         _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Parses `raw` as a request by shipping it through a real loopback
+    /// socket (read_request is typed against `BufReader<TcpStream>`).
+    fn parse_raw(raw: &[u8]) -> Result<Request, HttpError> {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut tx = TcpStream::connect(addr).unwrap();
+        let (rx, _) = listener.accept().unwrap();
+        tx.write_all(raw).unwrap();
+        drop(tx); // EOF so short requests fail Closed, not by timeout
+        rx.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+        read_request(&mut BufReader::new(rx))
+    }
+
+    #[test]
+    fn parses_a_framed_request() {
+        let r = parse_raw(b"POST /analyze HTTP/1.1\r\nHost: x\r\nContent-Length: 3\r\n\r\nabc")
+            .unwrap();
+        assert_eq!((r.method.as_str(), r.path.as_str()), ("POST", "/analyze"));
+        assert_eq!(r.body, b"abc");
+        assert!(r.http11);
+        assert!(r.wants_keep_alive());
+    }
+
+    #[test]
+    fn connection_header_controls_persistence() {
+        let close = parse_raw(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(!close.wants_keep_alive());
+        let old = parse_raw(b"GET / HTTP/1.0\r\n\r\n").unwrap();
+        assert!(!old.wants_keep_alive());
+        let old_keep = parse_raw(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").unwrap();
+        assert!(old_keep.wants_keep_alive());
+        let tokens = parse_raw(b"GET / HTTP/1.1\r\nConnection: foo, Close\r\n\r\n").unwrap();
+        assert!(!tokens.wants_keep_alive());
+    }
+
+    #[test]
+    fn duplicate_content_length_is_malformed() {
+        for raw in [
+            b"GET / HTTP/1.1\r\nContent-Length: 3\r\nContent-Length: 3\r\n\r\nabc".as_slice(),
+            b"GET / HTTP/1.1\r\nContent-Length: 3\r\nContent-Length: 8\r\n\r\nabc".as_slice(),
+            b"GET / HTTP/1.1\r\nContent-Length: 3, 3\r\n\r\nabc".as_slice(),
+            b"GET / HTTP/1.1\r\nContent-Length: +3\r\n\r\nabc".as_slice(),
+        ] {
+            assert!(
+                matches!(parse_raw(raw), Err(HttpError::Malformed(_))),
+                "{:?} must be rejected",
+                String::from_utf8_lossy(raw)
+            );
+        }
+    }
+
+    #[test]
+    fn transfer_encoding_is_malformed() {
+        let raw = b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n\r\n";
+        assert!(matches!(parse_raw(raw), Err(HttpError::Malformed(_))));
+    }
+
+    #[test]
+    fn whitespace_before_header_colon_is_malformed() {
+        for raw in [
+            b"GET / HTTP/1.1\r\nContent-Length : 5\r\n\r\n".as_slice(),
+            b"GET / HTTP/1.1\r\n Content-Length: 5\r\n\r\n".as_slice(),
+            b"GET / HTTP/1.1\r\nContent Length: 5\r\n\r\n".as_slice(),
+        ] {
+            assert!(
+                matches!(parse_raw(raw), Err(HttpError::Malformed(_))),
+                "{:?} must be rejected",
+                String::from_utf8_lossy(raw)
+            );
+        }
+    }
+
+    #[test]
+    fn eof_before_any_byte_is_closed_not_malformed() {
+        assert!(matches!(parse_raw(b""), Err(HttpError::Closed)));
+        // ...but EOF mid-request is a protocol error.
+        assert!(matches!(
+            parse_raw(b"GET / HTTP/1.1\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
     }
 }

@@ -8,10 +8,19 @@
 //! This crate turns the in-process [`OwnedAnalyzer`] session into a
 //! network service with that amortization as its core invariant:
 //!
-//! * [`http`] — a hand-rolled HTTP/1.1 subset over `std::net`
-//!   (the workspace builds fully offline; no web framework),
+//! The same amortization argument applies one layer down: a connection
+//! is an artifact independent of the requests it carries, so the server
+//! speaks persistent HTTP/1.1 (keep-alive request loop per connection)
+//! and offers `POST /batch` to fan one request's sub-analyses across the
+//! worker pool — TCP, parse and dispatch costs amortize across requests
+//! exactly as eigensolves amortize across queries.
+//!
+//! * [`http`] — a hand-rolled HTTP/1.1 subset over `std::net` with
+//!   strict request framing (the workspace builds fully offline; no web
+//!   framework),
 //! * [`pool`] — a bounded worker pool with `503 + Retry-After`
-//!   backpressure and graceful shutdown,
+//!   backpressure, a deadlock-free [`WorkerPool::scatter`] fan-out for
+//!   batch work, and graceful shutdown,
 //! * [`cache`] — a sharded LRU of analysis sessions keyed by the
 //!   relabeling-invariant graph [`fingerprint`],
 //! * [`analysis`] — the deterministic analysis document shared with the
@@ -41,6 +50,6 @@ pub mod server;
 
 pub use analysis::{analysis_body, analysis_doc, validate_memories, AnalyzeSpec};
 pub use cache::{CacheConfig, CacheStats, SessionCache};
-pub use client::{ClientError, Response};
+pub use client::{Client, ClientError, Response};
 pub use pool::{PoolSnapshot, SubmitError, WorkerPool};
-pub use server::{serve, Server, ServiceConfig};
+pub use server::{serve, Server, ServiceConfig, MAX_BATCH_GRAPHS};

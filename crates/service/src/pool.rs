@@ -140,6 +140,77 @@ impl WorkerPool {
         self.workers.lock().expect("workers lock").len()
     }
 
+    /// Runs `work` over every item, fanning out across the pool, and
+    /// returns the results in input order (`None` where `work` panicked).
+    ///
+    /// Deadlock-free by construction even when called *from* a pooled
+    /// worker (the `POST /batch` handler does exactly that): the items
+    /// live in a shared deque that the calling thread drains itself, and
+    /// the submitted jobs are only *helpers* that steal from the same
+    /// deque. A saturated pool — every worker busy, queue full — just
+    /// means no helper ever runs and the caller computes everything
+    /// inline; the caller blocks only while helpers are actively
+    /// computing items they already claimed.
+    pub fn scatter<T, R>(
+        &self,
+        items: Vec<T>,
+        work: impl Fn(T) -> R + Send + Sync + 'static,
+    ) -> Vec<Option<R>>
+    where
+        T: Send + 'static,
+        R: Send + 'static,
+    {
+        struct Batch<T, R> {
+            pending: Mutex<VecDeque<(usize, T)>>,
+            results: Mutex<Vec<Option<R>>>,
+            /// Items fully accounted for (computed or panicked).
+            done: Mutex<usize>,
+            all_done: Condvar,
+        }
+
+        fn drain<T, R>(batch: &Batch<T, R>, work: &(impl Fn(T) -> R + Sync)) {
+            loop {
+                let item = batch.pending.lock().expect("batch lock").pop_front();
+                let Some((i, t)) = item else { return };
+                let result = catch_unwind(AssertUnwindSafe(|| work(t))).ok();
+                batch.results.lock().expect("batch results")[i] = result;
+                let mut done = batch.done.lock().expect("batch done");
+                *done += 1;
+                batch.all_done.notify_all();
+            }
+        }
+
+        let total = items.len();
+        let batch = Arc::new(Batch {
+            pending: Mutex::new(items.into_iter().enumerate().collect()),
+            results: Mutex::new((0..total).map(|_| None).collect()),
+            done: Mutex::new(0),
+            all_done: Condvar::new(),
+        });
+        let work = Arc::new(work);
+        // One drain() loop empties the whole deque, so more helpers than
+        // workers is pure queue pollution — they would sit as no-op jobs
+        // in the same bounded queue the acceptor needs for incoming
+        // connections. Failed submits are fine — the caller picks up the
+        // slack.
+        let helpers = total.saturating_sub(1).min(self.workers());
+        for _ in 0..helpers {
+            let batch = Arc::clone(&batch);
+            let work = Arc::clone(&work);
+            if self.submit(move || drain(&batch, &*work)).is_err() {
+                break;
+            }
+        }
+        drain(&batch, &*work);
+        let mut done = batch.done.lock().expect("batch done");
+        while *done < total {
+            done = batch.all_done.wait(done).expect("batch wait");
+        }
+        drop(done);
+        let results = std::mem::take(&mut *batch.results.lock().expect("batch results"));
+        results
+    }
+
     /// Stops accepting work, drains the queue, and joins every worker.
     /// Idempotent.
     pub fn shutdown(&self) {
@@ -243,6 +314,47 @@ mod tests {
         pool.shutdown();
         assert_eq!(counter.load(Ordering::Relaxed), 64);
         assert_eq!(pool.submit(|| {}), Err(SubmitError::ShuttingDown));
+    }
+
+    #[test]
+    fn scatter_returns_results_in_input_order() {
+        let pool = WorkerPool::new(4, 32);
+        let results = pool.scatter((0..50usize).collect(), |i| i * i);
+        assert_eq!(
+            results,
+            (0..50usize).map(|i| Some(i * i)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn scatter_completes_inline_when_the_pool_is_saturated() {
+        // One worker, blocked; zero queue slack for helpers. scatter is
+        // called from the outside, so the calling thread must do all the
+        // work itself instead of deadlocking.
+        let pool = WorkerPool::new(1, 1);
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        pool.submit(move || {
+            started_tx.send(()).unwrap();
+            release_rx.recv().unwrap();
+        })
+        .unwrap();
+        started_rx.recv().unwrap();
+        pool.submit(|| {}).unwrap(); // fill the queue
+        let results = pool.scatter(vec![1, 2, 3], |i| i + 10);
+        assert_eq!(results, vec![Some(11), Some(12), Some(13)]);
+        release_tx.send(()).unwrap();
+        pool.shutdown();
+    }
+
+    #[test]
+    fn scatter_reports_panicked_items_as_none() {
+        let pool = WorkerPool::new(2, 16);
+        let results = pool.scatter(vec![1usize, 2, 3, 4], |i| {
+            assert!(i != 3, "boom");
+            i
+        });
+        assert_eq!(results, vec![Some(1), Some(2), None, Some(4)]);
     }
 
     #[test]

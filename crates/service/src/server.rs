@@ -19,14 +19,30 @@
 //! | Route | Body | Response |
 //! |---|---|---|
 //! | `POST /analyze` | `{"graph": {...} \| "fingerprint": "hex", "memories": [..], "processors"?, "no_sim"?}` | the canonical analysis document ([`crate::analysis`]) |
+//! | `POST /batch` | `{"graphs": [graph \| "hex", ...], "memories": [..], "processors"?, "no_sim"?}` | the concatenation of the per-graph `/analyze` bodies |
 //! | `POST /graphs` | `{"graph": {...}}` or a bare edge-list document | `{"fingerprint", "n", "edges", "cached"}` |
 //! | `GET /healthz` | — | `{"status":"ok", ...}` |
-//! | `GET /stats` | — | cache/pool/engine/eigensolver counters |
+//! | `GET /stats` | — | connection/request/cache/pool/engine counters |
 //!
 //! `POST /analyze` responses carry `X-Graphio-Fingerprint` and
 //! `X-Graphio-Session: hit|miss` headers (and `X-Graphio-Warnings` for
 //! deduplicated sweep points) so metadata never perturbs the
-//! bit-identical body.
+//! bit-identical body; `POST /batch` carries `X-Graphio-Batch: N` and a
+//! comma-joined `X-Graphio-Session` list.
+//!
+//! ## Connection lifecycle
+//!
+//! Connections are persistent per RFC 9112: each pooled worker runs a
+//! request loop that honors `Connection: keep-alive`/`close`, closes
+//! after [`IDLE_TIMEOUT`] of between-request silence or
+//! [`MAX_REQUESTS_PER_CONNECTION`] requests (both configurable via
+//! [`ServiceConfig`]) or [`crate::http::MAX_CONNECTION_LIFETIME`] of
+//! total wall-clock (an idle keep-alive connection pins a pooled
+//! worker; the lifetime cap bounds the pin regardless of request
+//! pacing), and closes unconditionally after any malformed request —
+//! once framing trust is lost there must be no second read.
+//! `GET /stats` exposes `connections` vs `requests` so reuse is
+//! observable.
 //!
 //! ## Relabeling semantics
 //!
@@ -44,17 +60,24 @@
 
 use crate::analysis::{analysis_body, validate_memories, AnalyzeSpec};
 use crate::cache::{CacheConfig, SessionCache};
-use crate::http::{read_request, write_response, HttpError, Request, IO_TIMEOUT, READ_TIMEOUT};
+use crate::http::{
+    read_request, write_response, HttpError, Request, IDLE_TIMEOUT, IO_TIMEOUT,
+    MAX_REQUESTS_PER_CONNECTION, READ_TIMEOUT,
+};
 use crate::pool::{SubmitError, WorkerPool};
 use graphio_graph::json::JsonValue;
 use graphio_graph::{fingerprint, CompGraph, EdgeListGraph, Fingerprint};
 use graphio_linalg::stats::{dense_eigensolve_count, sparse_matvec_count};
 use graphio_spectral::OwnedAnalyzer;
-use std::io;
+use std::io::{self, BufRead as _, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Maximum graphs accepted in one `POST /batch` request.
+pub const MAX_BATCH_GRAPHS: usize = 64;
 
 /// Server sizing and binding knobs.
 #[derive(Debug, Clone)]
@@ -68,6 +91,12 @@ pub struct ServiceConfig {
     pub workers: usize,
     /// Bounded queue depth between the acceptor and the workers.
     pub queue_capacity: usize,
+    /// How long a keep-alive connection may idle between requests before
+    /// the server closes it (default [`IDLE_TIMEOUT`]).
+    pub idle_timeout: Duration,
+    /// Requests served on one connection before the server closes it
+    /// (default [`MAX_REQUESTS_PER_CONNECTION`]; clamped to ≥ 1).
+    pub max_requests_per_connection: usize,
     /// Session-cache sizing.
     pub cache: CacheConfig,
 }
@@ -79,6 +108,8 @@ impl Default for ServiceConfig {
             port: 0,
             workers: 4,
             queue_capacity: 256,
+            idle_timeout: IDLE_TIMEOUT,
+            max_requests_per_connection: MAX_REQUESTS_PER_CONNECTION,
             cache: CacheConfig::default(),
         }
     }
@@ -87,12 +118,21 @@ impl Default for ServiceConfig {
 /// Shared server state: the session cache plus request counters.
 pub(crate) struct ServiceState {
     pub(crate) cache: SessionCache,
+    /// Connections accepted. With keep-alive, `requests > connections` is
+    /// the server-side evidence that connection reuse is happening — the
+    /// per-connection TCP + dispatch cost amortizes across requests the
+    /// same way the session cache amortizes eigensolves across queries.
+    pub(crate) connections: AtomicU64,
+    /// Requests served (every request on every connection).
     pub(crate) requests: AtomicU64,
     pub(crate) rejected: AtomicU64,
     pub(crate) analyze_ok: AtomicU64,
+    pub(crate) batch_ok: AtomicU64,
     pub(crate) errors: AtomicU64,
     pub(crate) workers: usize,
     pub(crate) queue_capacity: usize,
+    pub(crate) idle_timeout: Duration,
+    pub(crate) max_requests_per_connection: usize,
 }
 
 /// A running analysis server. Dropping the handle shuts it down.
@@ -115,12 +155,16 @@ pub fn serve(config: &ServiceConfig) -> io::Result<Server> {
     let addr = listener.local_addr()?;
     let state = Arc::new(ServiceState {
         cache: SessionCache::new(&config.cache),
+        connections: AtomicU64::new(0),
         requests: AtomicU64::new(0),
         rejected: AtomicU64::new(0),
         analyze_ok: AtomicU64::new(0),
+        batch_ok: AtomicU64::new(0),
         errors: AtomicU64::new(0),
         workers: config.workers.max(1),
         queue_capacity: config.queue_capacity.max(1),
+        idle_timeout: config.idle_timeout,
+        max_requests_per_connection: config.max_requests_per_connection.max(1),
     });
     let pool = Arc::new(WorkerPool::new(config.workers, config.queue_capacity));
     let stop = Arc::new(AtomicBool::new(false));
@@ -214,7 +258,7 @@ fn accept_loop(
                 continue;
             }
         };
-        state.requests.fetch_add(1, Ordering::Relaxed);
+        state.connections.fetch_add(1, Ordering::Relaxed);
         let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
         let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
         // The stream lives in a shared cell so the acceptor can take it
@@ -224,9 +268,10 @@ fn accept_loop(
         let cell = Arc::new(std::sync::Mutex::new(Some(stream)));
         let job_cell = Arc::clone(&cell);
         let job_state = Arc::clone(state);
+        let job_pool = Arc::clone(pool);
         let submitted = pool.submit(move || {
             if let Some(stream) = job_cell.lock().expect("stream cell").take() {
-                handle_connection(stream, &job_state);
+                handle_connection(stream, &job_state, &job_pool);
             }
         });
         match submitted {
@@ -239,6 +284,7 @@ fn accept_loop(
                         &mut stream,
                         503,
                         crate::http::reason(503),
+                        false,
                         &[("Retry-After", "1".to_string())],
                         body,
                     );
@@ -249,24 +295,65 @@ fn accept_loop(
     }
 }
 
-fn handle_connection(mut stream: TcpStream, state: &Arc<ServiceState>) {
-    let request = match read_request(&mut stream) {
-        Ok(r) => r,
-        Err(err) => {
-            state.errors.fetch_add(1, Ordering::Relaxed);
-            let (status, msg) = match &err {
-                HttpError::Malformed(m) => (400, m.clone()),
-                HttpError::TooLarge(m) => (413, m.clone()),
-                HttpError::Io(_) => return, // peer went away; nothing to say
-            };
-            respond_error(&mut stream, status, &msg);
+/// The per-connection request loop: accept → serve requests until the
+/// peer closes, asks for `Connection: close`, idles past the deadline,
+/// hits the per-connection request cap, or sends something malformed
+/// (close-on-malformed — a peer we cannot frame-sync with must not get a
+/// second read).
+fn handle_connection(stream: TcpStream, state: &Arc<ServiceState>, pool: &Arc<WorkerPool>) {
+    let started = std::time::Instant::now();
+    let mut reader = BufReader::new(stream);
+    let mut served = 0usize;
+    loop {
+        if served > 0 {
+            // Between requests the connection may idle up to the idle
+            // deadline (vs. the short READ_TIMEOUT while mid-request),
+            // but never past the connection's wall-clock lifetime cap —
+            // an idle keep-alive connection holds this pooled worker.
+            // fill_buf returns instantly for a pipelined next request.
+            let remaining = crate::http::MAX_CONNECTION_LIFETIME.saturating_sub(started.elapsed());
+            if remaining.is_zero() {
+                return; // lifetime cap reached
+            }
+            // set_read_timeout rejects a zero Duration; clamp up.
+            let idle = state
+                .idle_timeout
+                .min(remaining)
+                .max(Duration::from_millis(1));
+            let _ = reader.get_ref().set_read_timeout(Some(idle));
+            match reader.fill_buf() {
+                Ok([]) => return, // peer closed between requests
+                Ok(_) => {}       // next request has begun
+                Err(_) => return, // idle deadline, lifetime cap, or socket error
+            }
+            let _ = reader.get_ref().set_read_timeout(Some(READ_TIMEOUT));
+        }
+        let request = match read_request(&mut reader) {
+            Ok(r) => r,
+            Err(HttpError::Closed) => return, // clean close, nothing sent
+            Err(HttpError::Io(_)) => return,  // peer went away; nothing to say
+            Err(err) => {
+                state.errors.fetch_add(1, Ordering::Relaxed);
+                let (status, msg) = match &err {
+                    HttpError::Malformed(m) => (400, m.clone()),
+                    HttpError::TooLarge(m) => (413, m.clone()),
+                    HttpError::Closed | HttpError::Io(_) => unreachable!("handled above"),
+                };
+                respond_error(reader.get_mut(), status, false, &msg);
+                return;
+            }
+        };
+        served += 1;
+        state.requests.fetch_add(1, Ordering::Relaxed);
+        let keep = request.wants_keep_alive() && served < state.max_requests_per_connection;
+        route(reader.get_mut(), &request, state, pool, keep);
+        if !keep {
             return;
         }
-    };
-    route(&mut stream, &request, state);
+    }
 }
 
-fn respond_error(stream: &mut TcpStream, status: u16, message: &str) {
+fn respond_error(stream: &mut TcpStream, status: u16, keep: bool, message: &str) {
     let body = JsonValue::Object(vec![(
         "error".to_string(),
         JsonValue::String(message.to_string()),
@@ -277,44 +364,60 @@ fn respond_error(stream: &mut TcpStream, status: u16, message: &str) {
         stream,
         status,
         crate::http::reason(status),
+        keep,
         &[],
         body.as_bytes(),
     );
 }
 
-fn respond_json(stream: &mut TcpStream, status: u16, extra: &[(&str, String)], doc: &JsonValue) {
+fn respond_json(
+    stream: &mut TcpStream,
+    status: u16,
+    keep: bool,
+    extra: &[(&str, String)],
+    doc: &JsonValue,
+) {
     let body = doc.to_string() + "\n";
     let _ = write_response(
         stream,
         status,
         crate::http::reason(status),
+        keep,
         extra,
         body.as_bytes(),
     );
 }
 
-fn route(stream: &mut TcpStream, request: &Request, state: &Arc<ServiceState>) {
+fn route(
+    stream: &mut TcpStream,
+    request: &Request,
+    state: &Arc<ServiceState>,
+    pool: &Arc<WorkerPool>,
+    keep: bool,
+) {
     match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => handle_healthz(stream, state),
-        ("GET", "/stats") => handle_stats(stream, state),
-        ("POST", "/graphs") => handle_graphs(stream, request, state),
-        ("POST", "/analyze") => handle_analyze(stream, request, state),
+        ("GET", "/healthz") => handle_healthz(stream, state, keep),
+        ("GET", "/stats") => handle_stats(stream, state, keep),
+        ("POST", "/graphs") => handle_graphs(stream, request, state, keep),
+        ("POST", "/analyze") => handle_analyze(stream, request, state, keep),
+        ("POST", "/batch") => handle_batch(stream, request, state, pool, keep),
         ("GET" | "POST", _) => {
             state.errors.fetch_add(1, Ordering::Relaxed);
-            respond_error(stream, 404, &format!("no route for {}", request.path));
+            respond_error(stream, 404, keep, &format!("no route for {}", request.path));
         }
         _ => {
             state.errors.fetch_add(1, Ordering::Relaxed);
             respond_error(
                 stream,
                 405,
+                keep,
                 &format!("method {} not supported", request.method),
             );
         }
     }
 }
 
-fn handle_healthz(stream: &mut TcpStream, state: &Arc<ServiceState>) {
+fn handle_healthz(stream: &mut TcpStream, state: &Arc<ServiceState>, keep: bool) {
     let doc = JsonValue::Object(vec![
         ("status".to_string(), JsonValue::String("ok".to_string())),
         (
@@ -330,13 +433,20 @@ fn handle_healthz(stream: &mut TcpStream, state: &Arc<ServiceState>) {
             JsonValue::Number(state.cache.len() as f64),
         ),
     ]);
-    respond_json(stream, 200, &[], &doc);
+    respond_json(stream, 200, keep, &[], &doc);
 }
 
-fn handle_stats(stream: &mut TcpStream, state: &Arc<ServiceState>) {
+fn handle_stats(stream: &mut TcpStream, state: &Arc<ServiceState>, keep: bool) {
     let cache = state.cache.stats();
     let num = |v: u64| JsonValue::Number(v as f64);
+    // `requests` vs `connections` is the keep-alive throughput story:
+    // requests/connections > 1 means the TCP + dispatch cost is being
+    // amortized across a connection's lifetime.
     let doc = JsonValue::Object(vec![
+        (
+            "connections".to_string(),
+            num(state.connections.load(Ordering::Relaxed)),
+        ),
         (
             "requests".to_string(),
             num(state.requests.load(Ordering::Relaxed)),
@@ -348,6 +458,10 @@ fn handle_stats(stream: &mut TcpStream, state: &Arc<ServiceState>) {
         (
             "analyze_ok".to_string(),
             num(state.analyze_ok.load(Ordering::Relaxed)),
+        ),
+        (
+            "batch_ok".to_string(),
+            num(state.batch_ok.load(Ordering::Relaxed)),
         ),
         (
             "errors".to_string(),
@@ -389,7 +503,7 @@ fn handle_stats(stream: &mut TcpStream, state: &Arc<ServiceState>) {
             ]),
         ),
     ]);
-    respond_json(stream, 200, &[], &doc);
+    respond_json(stream, 200, keep, &[], &doc);
 }
 
 /// Extracts the graph sub-document: `{"graph": {...}}` wrapping or a bare
@@ -409,13 +523,13 @@ fn parse_body(request: &Request) -> Result<JsonValue, String> {
     graphio_graph::json::parse(text).map_err(|e| format!("invalid JSON body: {e}"))
 }
 
-fn handle_graphs(stream: &mut TcpStream, request: &Request, state: &Arc<ServiceState>) {
+fn handle_graphs(stream: &mut TcpStream, request: &Request, state: &Arc<ServiceState>, keep: bool) {
     let result = parse_body(request).and_then(|doc| parse_graph(&doc));
     let graph = match result {
         Ok(g) => g,
         Err(msg) => {
             state.errors.fetch_add(1, Ordering::Relaxed);
-            respond_error(stream, 400, &msg);
+            respond_error(stream, 400, keep, &msg);
             return;
         }
     };
@@ -430,7 +544,7 @@ fn handle_graphs(stream: &mut TcpStream, request: &Request, state: &Arc<ServiceS
         ("edges".to_string(), JsonValue::Number(edges as f64)),
         ("cached".to_string(), JsonValue::Bool(cached)),
     ]);
-    respond_json(stream, 200, &[], &doc);
+    respond_json(stream, 200, keep, &[], &doc);
 }
 
 /// A parsed `/analyze` request: the (possibly cached) session, its
@@ -444,11 +558,9 @@ struct AnalyzeParts {
     warnings: Vec<String>,
 }
 
-/// Parses the `/analyze` request body into a session handle + spec.
-fn parse_analyze(
-    doc: &JsonValue,
-    state: &Arc<ServiceState>,
-) -> Result<AnalyzeParts, (u16, String)> {
+/// Parses the sweep spec (`memories`/`processors`/`no_sim`) shared by
+/// `POST /analyze` and `POST /batch`.
+fn parse_spec(doc: &JsonValue) -> Result<(AnalyzeSpec, Vec<String>), (u16, String)> {
     let raw_memories: Vec<usize> = doc
         .get("memories")
         .and_then(JsonValue::as_array)
@@ -480,12 +592,38 @@ fn parse_analyze(
         Some(JsonValue::Bool(b)) => *b,
         Some(_) => return Err((400, "\"no_sim\" must be a boolean".to_string())),
     };
-    let spec = AnalyzeSpec {
-        memories,
-        processors,
-        no_sim,
-    };
+    Ok((
+        AnalyzeSpec {
+            memories,
+            processors,
+            no_sim,
+        },
+        warnings,
+    ))
+}
 
+/// Resolves a fingerprint hex string to its cached session.
+fn lookup_session(
+    hex: &str,
+    state: &Arc<ServiceState>,
+) -> Result<(Arc<OwnedAnalyzer>, Fingerprint), (u16, String)> {
+    let fp = Fingerprint::from_hex(hex)
+        .ok_or_else(|| (400, format!("malformed fingerprint {hex:?}")))?;
+    let analyzer = state.cache.get(fp).ok_or_else(|| {
+        (
+            404,
+            format!("no session for fingerprint {hex} (register via POST /graphs)"),
+        )
+    })?;
+    Ok((analyzer, fp))
+}
+
+/// Parses the `/analyze` request body into a session handle + spec.
+fn parse_analyze(
+    doc: &JsonValue,
+    state: &Arc<ServiceState>,
+) -> Result<AnalyzeParts, (u16, String)> {
+    let (spec, warnings) = parse_spec(doc)?;
     let (analyzer, fp, cached) = if doc.get("graph").is_some() {
         let graph = parse_graph(doc).map_err(|m| (400, m))?;
         let fp = fingerprint(&graph);
@@ -498,14 +636,7 @@ fn parse_analyze(
             .get("fingerprint")
             .and_then(JsonValue::as_str)
             .ok_or_else(|| (400, "need \"graph\" or \"fingerprint\"".to_string()))?;
-        let fp = Fingerprint::from_hex(hex)
-            .ok_or_else(|| (400, format!("malformed fingerprint {hex:?}")))?;
-        let analyzer = state.cache.get(fp).ok_or_else(|| {
-            (
-                404,
-                format!("no session for fingerprint {hex} (register via POST /graphs)"),
-            )
-        })?;
+        let (analyzer, fp) = lookup_session(hex, state)?;
         (analyzer, fp, true)
     };
     Ok(AnalyzeParts {
@@ -517,12 +648,17 @@ fn parse_analyze(
     })
 }
 
-fn handle_analyze(stream: &mut TcpStream, request: &Request, state: &Arc<ServiceState>) {
+fn handle_analyze(
+    stream: &mut TcpStream,
+    request: &Request,
+    state: &Arc<ServiceState>,
+    keep: bool,
+) {
     let doc = match parse_body(request) {
         Ok(doc) => doc,
         Err(msg) => {
             state.errors.fetch_add(1, Ordering::Relaxed);
-            respond_error(stream, 400, &msg);
+            respond_error(stream, 400, keep, &msg);
             return;
         }
     };
@@ -536,11 +672,15 @@ fn handle_analyze(stream: &mut TcpStream, request: &Request, state: &Arc<Service
         Ok(parts) => parts,
         Err((status, msg)) => {
             state.errors.fetch_add(1, Ordering::Relaxed);
-            respond_error(stream, status, &msg);
+            respond_error(stream, status, keep, &msg);
             return;
         }
     };
     let body = analysis_body(&analyzer, &spec);
+    // The analysis may have grown the session (fresh spectra/min-cut
+    // sweeps); re-check the shard's byte budget now that the growth is
+    // visible.
+    state.cache.enforce_budget(fp);
     state.analyze_ok.fetch_add(1, Ordering::Relaxed);
     let mut extra = vec![
         ("X-Graphio-Fingerprint", fp.to_hex()),
@@ -552,5 +692,105 @@ fn handle_analyze(stream: &mut TcpStream, request: &Request, state: &Arc<Service
     if !warnings.is_empty() {
         extra.push(("X-Graphio-Warnings", warnings.join("; ")));
     }
-    let _ = write_response(stream, 200, "OK", &extra, body.as_bytes());
+    let _ = write_response(stream, 200, "OK", keep, &extra, body.as_bytes());
+}
+
+/// `POST /batch`: `{"graphs": [...], "memories": [...], "processors"?,
+/// "no_sim"?}` — one sweep spec fanned across many graphs. Each element
+/// of `graphs` is a graph document (`{"graph": ...}` or a bare edge
+/// list) or a fingerprint hex string for an already-registered session.
+///
+/// The response body is *exactly* the concatenation of the `N`
+/// individual `POST /analyze` bodies for the same graphs and spec — the
+/// batch endpoint amortizes connection, parse and dispatch cost without
+/// perturbing a single byte of the analysis documents (property-tested
+/// in the integration suite and diffed in CI).
+fn handle_batch(
+    stream: &mut TcpStream,
+    request: &Request,
+    state: &Arc<ServiceState>,
+    pool: &Arc<WorkerPool>,
+    keep: bool,
+) {
+    let parsed = parse_body(request).map_err(|m| (400, m)).and_then(|doc| {
+        let entries = doc
+            .get("graphs")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| (400, "missing \"graphs\" array".to_string()))?;
+        if entries.is_empty() {
+            return Err((400, "\"graphs\" must not be empty".to_string()));
+        }
+        if entries.len() > MAX_BATCH_GRAPHS {
+            return Err((
+                413,
+                format!(
+                    "batch of {} graphs exceeds the {MAX_BATCH_GRAPHS}-graph cap",
+                    entries.len()
+                ),
+            ));
+        }
+        let (spec, warnings) = parse_spec(&doc)?;
+        // Resolve every entry before running anything: a batch with a bad
+        // graph fails whole, like N requests where one would 400.
+        let mut items = Vec::with_capacity(entries.len());
+        let mut hits = Vec::with_capacity(entries.len());
+        for (i, entry) in entries.iter().enumerate() {
+            let (analyzer, fp, cached) = if let Some(hex) = entry.as_str() {
+                let (analyzer, fp) = lookup_session(hex, state)
+                    .map_err(|(s, m)| (s, format!("graphs[{i}]: {m}")))?;
+                (analyzer, fp, true)
+            } else {
+                let graph = parse_graph(entry).map_err(|m| (400, format!("graphs[{i}]: {m}")))?;
+                let fp = fingerprint(&graph);
+                let (analyzer, cached) = state
+                    .cache
+                    .get_or_insert_with(fp, || OwnedAnalyzer::from_graph(graph));
+                (analyzer, fp, cached)
+            };
+            items.push((analyzer, fp));
+            hits.push(if cached { "hit" } else { "miss" });
+        }
+        Ok((items, hits, spec, warnings))
+    });
+    let (items, hits, spec, warnings) = match parsed {
+        Ok(p) => p,
+        Err((status, msg)) => {
+            state.errors.fetch_add(1, Ordering::Relaxed);
+            respond_error(stream, status, keep, &msg);
+            return;
+        }
+    };
+
+    let count = items.len();
+    let spec = Arc::new(spec);
+    let scatter_state = Arc::clone(state);
+    let bodies = pool.scatter(
+        items,
+        move |(analyzer, fp): (Arc<OwnedAnalyzer>, Fingerprint)| {
+            let body = analysis_body(&analyzer, &spec);
+            scatter_state.cache.enforce_budget(fp);
+            body
+        },
+    );
+    let mut body = String::new();
+    for sub in &bodies {
+        match sub {
+            Some(s) => body.push_str(s),
+            None => {
+                state.errors.fetch_add(1, Ordering::Relaxed);
+                respond_error(stream, 500, keep, "batch sub-analysis panicked");
+                return;
+            }
+        }
+    }
+    state.analyze_ok.fetch_add(count as u64, Ordering::Relaxed);
+    state.batch_ok.fetch_add(1, Ordering::Relaxed);
+    let mut extra = vec![
+        ("X-Graphio-Batch", count.to_string()),
+        ("X-Graphio-Session", hits.join(",")),
+    ];
+    if !warnings.is_empty() {
+        extra.push(("X-Graphio-Warnings", warnings.join("; ")));
+    }
+    let _ = write_response(stream, 200, "OK", keep, &extra, body.as_bytes());
 }

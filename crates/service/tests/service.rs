@@ -1,6 +1,7 @@
 //! Integration tests of the analysis server over real sockets: routing,
-//! validation, cache amortization, backpressure, and the bit-identical
-//! equivalence between `POST /analyze` and the offline analysis path.
+//! validation, cache amortization, backpressure, keep-alive connection
+//! reuse, `POST /batch`, and the bit-identical equivalence between
+//! `POST /analyze` and the offline analysis path.
 
 use graphio_graph::generators::{bhk_hypercube, diamond_dag, fft_butterfly, naive_matmul};
 use graphio_graph::json::{parse, JsonValue};
@@ -8,6 +9,9 @@ use graphio_graph::{fingerprint, CompGraph};
 use graphio_service::analysis::{analysis_body, AnalyzeSpec};
 use graphio_service::{client, serve, Server, ServiceConfig};
 use graphio_spectral::OwnedAnalyzer;
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::time::Duration;
 
 fn test_server(workers: usize, queue: usize) -> Server {
     serve(&ServiceConfig {
@@ -16,6 +20,29 @@ fn test_server(workers: usize, queue: usize) -> Server {
         ..Default::default()
     })
     .expect("bind ephemeral port")
+}
+
+/// Writes `raw` on a fresh connection and returns everything the server
+/// sends until it closes (or the 3 s safety timeout trips).
+fn raw_roundtrip(addr: std::net::SocketAddr, raw: &[u8]) -> String {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(3)))
+        .unwrap();
+    stream.write_all(raw).unwrap();
+    let mut out = Vec::new();
+    stream
+        .read_to_end(&mut out)
+        .expect("server must close the connection");
+    String::from_utf8_lossy(&out).to_string()
+}
+
+/// `/stats` counters relevant to connection reuse.
+fn reuse_counters(doc: &JsonValue) -> (f64, f64) {
+    (
+        doc.get("connections").and_then(JsonValue::as_f64).unwrap(),
+        doc.get("requests").and_then(JsonValue::as_f64).unwrap(),
+    )
 }
 
 fn graph_json(g: &CompGraph) -> String {
@@ -203,7 +230,10 @@ fn invalid_requests_are_rejected_cleanly() {
 }
 
 /// Acceptance criterion: ≥ 64 concurrent in-flight requests across ≥ 4
-/// distinct graphs, no deadlock, per-request results deterministic.
+/// distinct graphs with keep-alive enabled — each client thread issues
+/// two requests over one persistent connection, no deadlock, per-request
+/// results deterministic, and `/stats` shows requests served strictly
+/// greater than connections accepted.
 #[test]
 fn stress_64_concurrent_requests_across_4_graphs() {
     let server = test_server(8, 128);
@@ -226,10 +256,17 @@ fn stress_64_concurrent_requests_across_4_graphs() {
                 let expected = &expected;
                 s.spawn(move || {
                     let which = i % payloads.len();
-                    let r = client::analyze(url, &payloads[which], &memories, 1, false)
-                        .unwrap_or_else(|e| panic!("request {i}: {e}"));
-                    assert_eq!(r.status, 200, "request {i}: {}", r.body);
-                    assert_eq!(r.body, expected[which], "request {i} diverged");
+                    let mut session = client::Client::new(url).expect("url");
+                    for round in 0..2 {
+                        let r =
+                            client::analyze_on(&mut session, &payloads[which], &memories, 1, false)
+                                .unwrap_or_else(|e| panic!("request {i} round {round}: {e}"));
+                        assert_eq!(r.status, 200, "request {i}: {}", r.body);
+                        assert_eq!(
+                            r.body, expected[which],
+                            "request {i} round {round} diverged"
+                        );
+                    }
                 })
             })
             .collect();
@@ -243,16 +280,271 @@ fn stress_64_concurrent_requests_across_4_graphs() {
     // ≤ 1 eigensolve per (fingerprint, Laplacian kind) even under full
     // concurrency: the engine's single-flight makes this exact.
     assert_eq!(stats.engine.spectrum_misses, 8, "{stats:?}");
-    assert_eq!(stats.hits + stats.misses, 64);
+    assert_eq!(stats.hits + stats.misses, 128);
+
+    let r = client::request("GET", &url, "/stats", None).unwrap();
+    let (connections, requests) = reuse_counters(&parse(&r.body).unwrap());
+    assert!(
+        requests > connections,
+        "keep-alive must amortize connections: {requests} requests over {connections} connections"
+    );
+}
+
+#[test]
+fn keep_alive_serves_sequential_requests_on_one_connection() {
+    let server = test_server(2, 32);
+    let g = fft_butterfly(3);
+    let mut session = client::Client::new(&server.url()).unwrap();
+    let first = client::analyze_on(&mut session, &graph_json(&g), &[2, 4], 1, true).unwrap();
+    assert_eq!(first.status, 200);
+    assert_eq!(first.header("x-graphio-session"), Some("miss"));
+    assert_eq!(first.header("connection"), Some("keep-alive"));
+    let second = client::analyze_on(&mut session, &graph_json(&g), &[2, 4], 1, true).unwrap();
+    assert_eq!(second.status, 200);
+    assert_eq!(
+        second.header("x-graphio-session"),
+        Some("hit"),
+        "second request on the connection must hit the session cache"
+    );
+    assert_eq!(second.body, first.body);
+
+    // Same connection serves the stats read too: one connection, three
+    // requests — reuse visible in the counters it returns.
+    let stats = session.request("GET", "/stats", None).unwrap();
+    assert_eq!(session.connects(), 1, "all requests on one connection");
+    let (connections, requests) = reuse_counters(&parse(&stats.body).unwrap());
+    assert_eq!((connections, requests), (1.0, 3.0));
+}
+
+#[test]
+fn idle_keep_alive_connection_is_closed_by_the_deadline() {
+    let server = serve(&ServiceConfig {
+        workers: 1,
+        queue_capacity: 8,
+        idle_timeout: Duration::from_millis(150),
+        ..Default::default()
+    })
+    .unwrap();
+    // One keep-alive request, then silence: the server must close the
+    // connection on its own (read_to_end returning proves EOF arrived —
+    // on a still-open connection it would error out at the 3 s timeout).
+    let response = raw_roundtrip(server.addr(), b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+    assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+    assert!(response.contains("Connection: keep-alive"), "{response}");
+}
+
+#[test]
+fn max_requests_per_connection_cap_closes_and_client_reconnects() {
+    let server = serve(&ServiceConfig {
+        workers: 2,
+        queue_capacity: 32,
+        max_requests_per_connection: 2,
+        ..Default::default()
+    })
+    .unwrap();
+    let mut session = client::Client::new(&server.url()).unwrap();
+    for round in 0..4 {
+        let r = session.request("GET", "/healthz", None).unwrap();
+        assert_eq!(r.status, 200, "round {round}");
+        // Odd rounds are each connection's second request — the response
+        // that hits the cap must advertise the close.
+        let expected = if round % 2 == 0 {
+            "keep-alive"
+        } else {
+            "close"
+        };
+        assert_eq!(r.header("connection"), Some(expected), "round {round}");
+    }
+    assert_eq!(
+        session.connects(),
+        2,
+        "4 requests at 2 per connection must use exactly 2 connections"
+    );
+}
+
+#[test]
+fn malformed_request_closes_the_connection() {
+    let server = test_server(2, 32);
+    // A malformed first request followed by a pipelined valid one: the
+    // server must answer 400 with `Connection: close` and never serve
+    // the second request on a connection it cannot frame-sync.
+    let response = raw_roundtrip(
+        server.addr(),
+        b"GET /healthz HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 5\r\n\r\nhiGET /healthz HTTP/1.1\r\nHost: x\r\n\r\n",
+    );
+    assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+    assert!(response.contains("Connection: close"), "{response}");
+    assert!(
+        !response.contains("HTTP/1.1 200"),
+        "no second response after a framing error: {response}"
+    );
+}
+
+/// Property-style sweep of the framing laxities that become smuggling
+/// vectors under keep-alive: every variation of duplicate/conflicting
+/// `Content-Length`, `Transfer-Encoding` (any value, any casing), and
+/// whitespace between header name and colon must be a 400 that closes
+/// the connection.
+#[test]
+fn smuggling_shaped_framing_is_rejected_with_400_and_close() {
+    let server = test_server(2, 32);
+    let mut cases: Vec<String> = Vec::new();
+    // Duplicate Content-Length: equal and conflicting values, either
+    // casing, with the duplicate before and after an innocuous header.
+    for (a, b) in [("2", "2"), ("2", "5"), ("0", "2")] {
+        for name in ["Content-Length", "content-length", "CONTENT-LENGTH"] {
+            cases.push(format!(
+                "POST /analyze HTTP/1.1\r\n{name}: {a}\r\nHost: x\r\nContent-Length: {b}\r\n\r\nhi"
+            ));
+        }
+    }
+    // A single list-valued Content-Length is the same ambiguity.
+    cases.push("POST /analyze HTTP/1.1\r\nContent-Length: 2, 2\r\n\r\nhi".to_string());
+    // Transfer-Encoding in any form, even alongside a Content-Length.
+    for te in ["chunked", "identity", "gzip, chunked"] {
+        for name in ["Transfer-Encoding", "transfer-encoding"] {
+            cases.push(format!("POST /analyze HTTP/1.1\r\n{name}: {te}\r\n\r\n"));
+            cases.push(format!(
+                "POST /analyze HTTP/1.1\r\nContent-Length: 2\r\n{name}: {te}\r\n\r\nhi"
+            ));
+        }
+    }
+    // Whitespace between header name and colon (RFC 9112 §5.1).
+    for line in [
+        "Content-Length : 2",
+        "Content-Length\t: 2",
+        "Content Length: 2",
+    ] {
+        cases.push(format!("POST /analyze HTTP/1.1\r\n{line}\r\n\r\nhi"));
+    }
+    for raw in &cases {
+        let response = raw_roundtrip(server.addr(), raw.as_bytes());
+        assert!(
+            response.starts_with("HTTP/1.1 400"),
+            "{raw:?} must get 400, got: {response}"
+        );
+        assert!(
+            response.contains("Connection: close"),
+            "{raw:?} must close: {response}"
+        );
+    }
+}
+
+#[test]
+fn batch_is_bit_identical_to_concatenated_individual_analyzes() {
+    let server = test_server(4, 64);
+    let url = server.url();
+    let graphs = [fft_butterfly(3), naive_matmul(2), diamond_dag(4, 4)];
+    let memories = [2usize, 4, 8];
+    let payloads: Vec<String> = graphs.iter().map(graph_json).collect();
+
+    let expected: String = graphs.iter().map(|g| offline_body(g, &memories)).collect();
+    for round in 0..2 {
+        let r = client::batch(&url, &payloads, &memories, 1, false).unwrap();
+        assert_eq!(r.status, 200, "round {round}: {}", r.body);
+        assert_eq!(r.header("x-graphio-batch"), Some("3"));
+        assert_eq!(r.body, expected, "round {round} diverged from offline");
+    }
+    // ...and identical to what N individual /analyze calls serve.
+    let individual: String = payloads
+        .iter()
+        .map(|p| client::analyze(&url, p, &memories, 1, false).unwrap().body)
+        .collect();
+    assert_eq!(individual, expected);
+    assert_eq!(server.cache_stats().sessions, 3);
+}
+
+/// The property-test form of the batch acceptance criterion: random
+/// graph sets and sweeps, batch vs. per-graph concatenation, cold and
+/// cached.
+#[test]
+fn batch_equivalence_property() {
+    use graphio_graph::generators::{erdos_renyi_dag, layered_random_dag};
+    let server = test_server(4, 64);
+    let url = server.url();
+    for seed in 0..6u64 {
+        let count = 1 + (seed as usize) % 4;
+        let graphs: Vec<CompGraph> = (0..count)
+            .map(|i| {
+                let s = seed.wrapping_mul(31).wrapping_add(i as u64);
+                if (seed + i as u64) % 2 == 0 {
+                    erdos_renyi_dag(6 + ((s as usize) * 5) % 24, 0.3, s)
+                } else {
+                    layered_random_dag(2 + s as usize % 3, 2 + s as usize % 4, 0.5, s)
+                }
+            })
+            .collect();
+        let memories: Vec<usize> = (0..1 + (seed as usize % 3))
+            .map(|i| 1 + ((seed as usize).wrapping_mul(11) + 5 * i) % 24)
+            .collect();
+        let payloads: Vec<String> = graphs.iter().map(graph_json).collect();
+        let expected: String = payloads
+            .iter()
+            .map(|p| {
+                let r = client::analyze(&url, p, &memories, 1, false).unwrap();
+                assert_eq!(r.status, 200, "{}", r.body);
+                r.body
+            })
+            .collect();
+        let r = client::batch(&url, &payloads, &memories, 1, false).unwrap();
+        assert_eq!(r.status, 200, "seed {seed}: {}", r.body);
+        assert_eq!(
+            r.header("x-graphio-batch"),
+            Some(count.to_string().as_str())
+        );
+        assert_eq!(r.body, expected, "seed {seed} diverged");
+    }
+}
+
+#[test]
+fn batch_accepts_fingerprints_and_rejects_bad_requests() {
+    let server = test_server(2, 32);
+    let url = server.url();
+    let g = fft_butterfly(3);
+    let reg = client::request("POST", &url, "/graphs", Some(&graph_json(&g))).unwrap();
+    let fp = parse(&reg.body)
+        .unwrap()
+        .get("fingerprint")
+        .and_then(JsonValue::as_str)
+        .unwrap()
+        .to_string();
+
+    // A mixed batch: one registered fingerprint, one inline graph.
+    let inline = graph_json(&naive_matmul(2));
+    let body = format!("{{\"graphs\":[\"{fp}\",{inline}],\"memories\":[2,4]}}");
+    let r = client::request("POST", &url, "/batch", Some(&body)).unwrap();
+    assert_eq!(r.status, 200, "{}", r.body);
+    let expected = offline_body(&g, &[2, 4]) + &offline_body(&naive_matmul(2), &[2, 4]);
+    assert_eq!(r.body, expected);
+    assert_eq!(r.header("x-graphio-session"), Some("hit,miss"));
+
+    for (bad, status) in [
+        (r#"{"memories":[2]}"#.to_string(), 400),
+        (r#"{"graphs":[],"memories":[2]}"#.to_string(), 400),
+        (format!("{{\"graphs\":[{inline}]}}"), 400),
+        (
+            format!("{{\"graphs\":[{inline},{{}}],\"memories\":[2]}}"),
+            400,
+        ),
+        (
+            format!("{{\"graphs\":[\"{}\"],\"memories\":[2]}}", "0".repeat(32)),
+            404,
+        ),
+    ] {
+        let r = client::request("POST", &url, "/batch", Some(&bad)).unwrap();
+        assert_eq!(r.status, status, "body {bad} gave {}: {}", r.status, r.body);
+        assert!(parse(&r.body).unwrap().get("error").is_some());
+    }
+    // Positional blame: the 400 for a bad entry names its index.
+    let bad = format!("{{\"graphs\":[{inline},{{}}],\"memories\":[2]}}");
+    let r = client::request("POST", &url, "/batch", Some(&bad)).unwrap();
+    assert!(r.body.contains("graphs[1]"), "{}", r.body);
 }
 
 /// A full queue answers 503 + Retry-After instead of hanging or dropping
 /// the connection.
 #[test]
 fn backpressure_responds_503_with_retry_after() {
-    use std::io::{Read as _, Write as _};
-    use std::net::TcpStream;
-
     // One worker, tiny queue; the worker is blocked by a connection that
     // never sends its request (it parks in read_request until timeout).
     let server = test_server(1, 1);

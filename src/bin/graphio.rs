@@ -11,6 +11,10 @@
 //! graphio serve --port 7878 --workers 4      # the analysis service
 //! graphio client analyze --url http://127.0.0.1:7878 \
 //!     --memory-sweep 2,4,8 < graph.json      # remote analysis
+//! graphio client analyze --url ... --memory-sweep 2,4,8 \
+//!     --keep-alive --repeat 16 < graph.json  # one connection, 16 requests
+//! graphio client batch --url ... --memory-sweep 2,4,8 \
+//!     < graphs.ndjson                        # many graphs, one request
 //! ```
 //!
 //! `analyze` is the cached path: one session computes each Laplacian
@@ -46,8 +50,9 @@ fn usage() -> ! {
          graphio analyze --memory-sweep <M1,M2,...> [--processors <p>] [--threads <N>] [--no-sim] [--json] < graph.json\n  \
          graphio simulate --memory <M> [--policy lru|fifo|belady|random] [--order natural|dfs|bfs] [--threads <N>] < graph.json\n  \
          graphio dot < graph.json\n  \
-         graphio serve [--host <H>] [--port <P>] [--workers <W>] [--queue <Q>] [--cache-mb <B>] [--shards <S>] [--max-sessions <K>] [--threads <N>]\n  \
-         graphio client analyze --url <http://host:port> --memory-sweep <M1,...> [--processors <p>] [--no-sim] < graph.json\n  \
+         graphio serve [--host <H>] [--port <P>] [--workers <W>] [--queue <Q>] [--cache-mb <B>] [--shards <S>] [--max-sessions <K>] [--threads <N>] [--idle-ms <T>] [--max-requests <R>]\n  \
+         graphio client analyze --url <http://host:port> --memory-sweep <M1,...> [--processors <p>] [--no-sim] [--keep-alive] [--repeat <N>] < graph.json\n  \
+         graphio client batch --url <http://host:port> --memory-sweep <M1,...> [--processors <p>] [--no-sim] < graphs.ndjson\n  \
          graphio client register --url <http://host:port> < graph.json\n  \
          graphio client stats|health --url <http://host:port>\n\n\
          families: fft, bhk, matmul, strassen, inner, diamond, er"
@@ -57,7 +62,11 @@ fn usage() -> ! {
 
 /// Parsed arguments of one subcommand: every flag checked against an
 /// allowlist so typos fail loudly instead of being silently ignored.
+/// Every error path names both the offending flag *and* the subcommand,
+/// so `error: ... for --threads in \`graphio analyze\`` is greppable from
+/// any shell transcript.
 struct Parsed {
+    cmd: String,
     positional: Vec<String>,
     flags: HashMap<String, String>,
 }
@@ -74,7 +83,10 @@ impl Parsed {
     fn parse_flag<T: std::str::FromStr>(&self, name: &str) -> Option<T> {
         self.flag(name).map(|raw| {
             raw.parse().unwrap_or_else(|_| {
-                eprintln!("error: invalid value {raw:?} for {name}");
+                eprintln!(
+                    "error: invalid value {raw:?} for {name} in `graphio {}`",
+                    self.cmd
+                );
                 usage()
             })
         })
@@ -94,7 +106,7 @@ fn parse_args(cmd: &str, args: &[String], value_flags: &[&str], bool_flags: &[&s
                 flags.insert(a.clone(), String::new());
             } else if value_flags.contains(&a.as_str()) {
                 let Some(value) = args.get(i + 1) else {
-                    eprintln!("error: flag {a} expects a value");
+                    eprintln!("error: flag {a} expects a value in `graphio {cmd}`");
                     usage()
                 };
                 flags.insert(a.clone(), value.clone());
@@ -108,7 +120,11 @@ fn parse_args(cmd: &str, args: &[String], value_flags: &[&str], bool_flags: &[&s
         }
         i += 1;
     }
-    Parsed { positional, flags }
+    Parsed {
+        cmd: cmd.to_string(),
+        positional,
+        flags,
+    }
 }
 
 fn read_graph_from_stdin() -> CompGraph {
@@ -142,12 +158,12 @@ fn apply_threads(parsed: &Parsed) {
 
 /// Parses and validates a `--memory-sweep` list, printing warnings for
 /// deduplicated entries and exiting on invalid ones.
-fn parse_sweep(raw: &str) -> Vec<usize> {
+fn parse_sweep(cmd: &str, raw: &str) -> Vec<usize> {
     let parsed: Vec<usize> = raw
         .split(',')
         .map(|s| {
             s.trim().parse().unwrap_or_else(|_| {
-                eprintln!("error: invalid memory size {s:?} in --memory-sweep");
+                eprintln!("error: invalid memory size {s:?} for --memory-sweep in `graphio {cmd}`");
                 usage()
             })
         })
@@ -160,7 +176,7 @@ fn parse_sweep(raw: &str) -> Vec<usize> {
             memories
         }
         Err(msg) => {
-            eprintln!("error: {msg}");
+            eprintln!("error: {msg} (--memory-sweep in `graphio {cmd}`)");
             usage()
         }
     }
@@ -193,7 +209,10 @@ fn cmd_generate(args: &[String]) {
     let [family, size] = parsed.positional.as_slice() else {
         usage()
     };
-    let size: usize = size.parse().unwrap_or_else(|_| usage());
+    let size: usize = size.parse().unwrap_or_else(|_| {
+        eprintln!("error: invalid size {size:?} for `graphio generate`");
+        usage()
+    });
     let seed: u64 = parsed.parse_flag("--seed").unwrap_or(0);
     let p: f64 = parsed.parse_flag("--p").unwrap_or(0.1);
     let g = match family.as_str() {
@@ -254,7 +273,10 @@ fn cmd_analyze(args: &[String]) {
         &["--memory-sweep", "--processors", "--threads"],
         &["--no-sim", "--json"],
     );
-    let memories = parse_sweep(parsed.flag("--memory-sweep").unwrap_or_else(|| usage()));
+    let memories = parse_sweep(
+        &parsed.cmd,
+        parsed.flag("--memory-sweep").unwrap_or_else(|| usage()),
+    );
     let processors: usize = parsed.parse_flag("--processors").unwrap_or(1);
     apply_threads(&parsed);
     let want_json = parsed.has("--json");
@@ -359,6 +381,8 @@ fn cmd_serve(args: &[String]) {
             "--shards",
             "--max-sessions",
             "--threads",
+            "--idle-ms",
+            "--max-requests",
         ],
         &[],
     );
@@ -377,6 +401,12 @@ fn cmd_serve(args: &[String]) {
         queue_capacity: parsed
             .parse_flag("--queue")
             .unwrap_or(defaults.queue_capacity),
+        idle_timeout: parsed
+            .parse_flag::<u64>("--idle-ms")
+            .map_or(defaults.idle_timeout, std::time::Duration::from_millis),
+        max_requests_per_connection: parsed
+            .parse_flag("--max-requests")
+            .unwrap_or(defaults.max_requests_per_connection),
         cache: CacheConfig {
             shards: parsed
                 .parse_flag("--shards")
@@ -410,6 +440,17 @@ fn cmd_serve(args: &[String]) {
     server.join();
 }
 
+fn read_stdin_to_string() -> String {
+    let mut buf = String::new();
+    std::io::stdin()
+        .read_to_string(&mut buf)
+        .unwrap_or_else(|e| {
+            eprintln!("error reading stdin: {e}");
+            std::process::exit(1);
+        });
+    buf
+}
+
 fn cmd_client(args: &[String]) {
     let Some((action, rest)) = args.split_first() else {
         usage()
@@ -417,7 +458,11 @@ fn cmd_client(args: &[String]) {
     // The allowlist depends on the action: `client stats --memory-sweep`
     // is as much a user error as any other unknown flag.
     let (value_flags, bool_flags): (&[&str], &[&str]) = match action.as_str() {
-        "analyze" => (&["--url", "--memory-sweep", "--processors"], &["--no-sim"]),
+        "analyze" => (
+            &["--url", "--memory-sweep", "--processors", "--repeat"],
+            &["--no-sim", "--keep-alive"],
+        ),
+        "batch" => (&["--url", "--memory-sweep", "--processors"], &["--no-sim"]),
         "register" | "stats" | "health" => (&["--url"], &[]),
         _ => usage(),
     };
@@ -426,31 +471,45 @@ fn cmd_client(args: &[String]) {
 
     let response = match action.as_str() {
         "analyze" => {
-            let memories = parse_sweep(parsed.flag("--memory-sweep").unwrap_or_else(|| usage()));
+            let memories = parse_sweep(
+                &parsed.cmd,
+                parsed.flag("--memory-sweep").unwrap_or_else(|| usage()),
+            );
             let processors: usize = parsed.parse_flag("--processors").unwrap_or(1);
-            let mut graph_json = String::new();
-            std::io::stdin()
-                .read_to_string(&mut graph_json)
-                .unwrap_or_else(|e| {
-                    eprintln!("error reading stdin: {e}");
-                    std::process::exit(1);
-                });
-            client::analyze(
-                url,
-                &graph_json,
-                &memories,
-                processors,
-                parsed.has("--no-sim"),
-            )
+            let no_sim = parsed.has("--no-sim");
+            let repeat: u64 = parsed.parse_flag("--repeat").unwrap_or(1).max(1);
+            let graph_json = read_stdin_to_string();
+            if parsed.has("--keep-alive") || repeat > 1 {
+                // One persistent connection for all rounds; responses are
+                // deterministic, so only the last is printed.
+                run_keep_alive_analyze(url, &graph_json, &memories, processors, no_sim, repeat)
+            } else {
+                client::analyze(url, &graph_json, &memories, processors, no_sim)
+            }
+        }
+        "batch" => {
+            let memories = parse_sweep(
+                &parsed.cmd,
+                parsed.flag("--memory-sweep").unwrap_or_else(|| usage()),
+            );
+            let processors: usize = parsed.parse_flag("--processors").unwrap_or(1);
+            // One JSON graph document (or quoted "fingerprint") per
+            // non-empty stdin line — the NDJSON shape `graphio generate`
+            // emits.
+            let graphs: Vec<String> = read_stdin_to_string()
+                .lines()
+                .map(str::trim)
+                .filter(|l| !l.is_empty())
+                .map(str::to_string)
+                .collect();
+            if graphs.is_empty() {
+                eprintln!("error: `graphio client batch` expects one graph JSON per stdin line");
+                std::process::exit(1);
+            }
+            client::batch(url, &graphs, &memories, processors, parsed.has("--no-sim"))
         }
         "register" => {
-            let mut graph_json = String::new();
-            std::io::stdin()
-                .read_to_string(&mut graph_json)
-                .unwrap_or_else(|e| {
-                    eprintln!("error reading stdin: {e}");
-                    std::process::exit(1);
-                });
+            let graph_json = read_stdin_to_string();
             client::request("POST", url, "/graphs", Some(graph_json.trim_end()))
         }
         "stats" => client::request("GET", url, "/stats", None),
@@ -469,6 +528,39 @@ fn cmd_client(args: &[String]) {
             std::process::exit(1);
         }
     }
+}
+
+/// `--keep-alive` / `--repeat N`: issue the analyze request `repeat`
+/// times over one persistent connection, verifying every round succeeds
+/// and reporting the reuse ratio on stderr (stdout stays the pristine
+/// response body for piping/diffing).
+fn run_keep_alive_analyze(
+    url: &str,
+    graph_json: &str,
+    memories: &[usize],
+    processors: usize,
+    no_sim: bool,
+    repeat: u64,
+) -> Result<client::Response, client::ClientError> {
+    let mut session = client::Client::new(url)?;
+    let mut last = None;
+    for round in 0..repeat {
+        let r = client::analyze_on(&mut session, graph_json, memories, processors, no_sim)?;
+        if r.status != 200 {
+            eprintln!(
+                "error: server returned {} on round {round}: {}",
+                r.status,
+                r.body.trim_end()
+            );
+            std::process::exit(1);
+        }
+        last = Some(r);
+    }
+    eprintln!(
+        "keep-alive: {repeat} requests over {} connection(s)",
+        session.connects()
+    );
+    Ok(last.expect("repeat >= 1"))
 }
 
 fn main() {

@@ -179,6 +179,48 @@ fn unknown_flags_are_rejected_everywhere() {
     }
 }
 
+/// Satellite regression: a malformed flag value must exit with the usage
+/// status (2) and an error naming both the offending flag and the
+/// subcommand — not just the bad value.
+#[test]
+fn malformed_threads_flag_names_flag_and_subcommand() {
+    let json = generate("fft", 3);
+    for (args, cmd) in [
+        (
+            ["analyze", "--memory-sweep", "2,4", "--threads", "banana"].as_slice(),
+            "analyze",
+        ),
+        (&["bound", "--memory", "4", "--threads", "-3"], "bound"),
+        (
+            &["simulate", "--memory", "4", "--threads", "2.5"],
+            "simulate",
+        ),
+    ] {
+        let mut child = cli()
+            .args(args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn graphio");
+        if let Err(e) = child
+            .stdin
+            .as_mut()
+            .expect("stdin piped")
+            .write_all(json.as_bytes())
+        {
+            assert_eq!(e.kind(), std::io::ErrorKind::BrokenPipe, "{e}");
+        }
+        let out = child.wait_with_output().expect("wait");
+        assert_eq!(out.status.code(), Some(2), "{args:?} must exit 2 (usage)");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("--threads") && stderr.contains(&format!("`graphio {cmd}`")),
+            "{args:?} must blame the flag and subcommand: {stderr}"
+        );
+    }
+}
+
 #[test]
 fn bound_and_simulate_accept_threads() {
     let json = generate("fft", 4);
@@ -235,6 +277,8 @@ fn serve_and_client_round_trip_matches_offline_analyze() {
         .to_string();
 
     let result = std::panic::catch_unwind(|| {
+        let mut offline_all = String::new();
+        let mut graphs_ndjson = String::new();
         for family in ["fft", "bhk", "inner"] {
             let json = generate(family, 4);
             let (offline, stderr, ok) =
@@ -255,7 +299,43 @@ fn serve_and_client_round_trip_matches_offline_analyze() {
                 assert!(ok, "client analyze failed: {stderr}");
                 assert_eq!(remote, offline, "{family} round {round} diverged");
             }
+            offline_all.push_str(&offline);
+            graphs_ndjson.push_str(json.trim_end());
+            graphs_ndjson.push('\n');
         }
+
+        // `client batch`: all three graphs in one request, response
+        // bit-identical to the concatenated per-graph offline outputs.
+        let (batched, stderr, ok) = run_with_stdin(
+            &["client", "batch", "--url", &url, "--memory-sweep", "2,4,8"],
+            &graphs_ndjson,
+        );
+        assert!(ok, "client batch failed: {stderr}");
+        assert_eq!(batched, offline_all, "batch diverged from offline concat");
+
+        // `--keep-alive --repeat`: several requests on one connection.
+        let json = generate("fft", 4);
+        let (body, stderr, ok) = run_with_stdin(
+            &[
+                "client",
+                "analyze",
+                "--url",
+                &url,
+                "--memory-sweep",
+                "2,4,8",
+                "--keep-alive",
+                "--repeat",
+                "3",
+            ],
+            &json,
+        );
+        assert!(ok, "keep-alive analyze failed: {stderr}");
+        assert!(
+            stderr.contains("3 requests over 1 connection(s)"),
+            "expected connection reuse: {stderr}"
+        );
+        assert!(!body.is_empty());
+
         let (stats, _, ok) = run_with_stdin(&["client", "stats", "--url", &url], "");
         assert!(ok);
         let doc = graphio::graph::json::parse(&stats).unwrap();
@@ -264,8 +344,15 @@ fn serve_and_client_round_trip_matches_offline_analyze() {
             .and_then(|e| e.get("spectrum_misses"))
             .and_then(|v| v.as_f64())
             .unwrap();
-        // 3 cached sessions × 2 Laplacian kinds, across 6 analyze calls.
+        // 3 cached sessions × 2 Laplacian kinds, across every analyze
+        // and batch call above (fft/4 repeats an already-cached graph).
         assert_eq!(misses, 6.0, "{stats}");
+        let requests = doc.get("requests").and_then(|v| v.as_f64()).unwrap();
+        let connections = doc.get("connections").and_then(|v| v.as_f64()).unwrap();
+        assert!(
+            requests > connections,
+            "keep-alive must show reuse: {requests} requests / {connections} connections"
+        );
     });
     let _ = server.kill();
     let _ = server.wait();
