@@ -57,12 +57,15 @@ struct Entry {
 type Shard = HashMap<u128, Entry>;
 
 /// Point-in-time cache counters (see [`SessionCache::stats`]).
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct CacheStats {
     /// Sessions currently cached.
     pub sessions: usize,
     /// Approximate bytes held by cached sessions.
     pub bytes: usize,
+    /// Approximate bytes per shard (indexed by shard id) — the gauge that
+    /// makes a hot shard visible before its byte budget starts evicting.
+    pub shard_bytes: Vec<usize>,
     /// Lookups that found a session.
     pub hits: u64,
     /// Lookups that had to create (or could not find) a session.
@@ -170,6 +173,34 @@ impl SessionCache {
         (analyzer, false)
     }
 
+    /// Inserts a ready-made session for `fp` unless one is already
+    /// cached, returning the cached-or-inserted session and whether a
+    /// concurrent insert won the race. **No hit/miss counter moves**: this
+    /// is the back-fill half of a lookup whose miss the caller already
+    /// recorded via [`SessionCache::get`] — the persistent store's disk
+    /// read happens between the two calls, outside any shard lock.
+    pub fn insert_if_absent(
+        &self,
+        fp: Fingerprint,
+        analyzer: OwnedAnalyzer,
+    ) -> (Arc<OwnedAnalyzer>, bool) {
+        let mut shard = self.shard(fp).lock().expect("cache shard lock");
+        if let Some(entry) = shard.get_mut(&fp.0) {
+            return (self.touch(entry), true);
+        }
+        let analyzer = Arc::new(analyzer);
+        let last_used = self.tick.fetch_add(1, Ordering::Relaxed);
+        shard.insert(
+            fp.0,
+            Entry {
+                analyzer: Arc::clone(&analyzer),
+                last_used,
+            },
+        );
+        self.evict(&mut shard);
+        (analyzer, false)
+    }
+
     /// Evicts least-recently-used entries until the shard fits both its
     /// session cap and its byte budget. Always keeps at least one entry so
     /// a single over-budget session cannot thrash forever.
@@ -215,22 +246,27 @@ impl SessionCache {
     pub fn stats(&self) -> CacheStats {
         let mut sessions = 0usize;
         let mut bytes = 0usize;
+        let mut shard_bytes = Vec::with_capacity(self.shards.len());
         let mut engine = EngineStats::default();
         for shard in &self.shards {
             let shard = shard.lock().expect("cache shard lock");
             sessions += shard.len();
+            let mut this_shard = 0usize;
             for entry in shard.values() {
-                bytes += entry.analyzer.approx_bytes();
+                this_shard += entry.analyzer.approx_bytes();
                 let s = entry.analyzer.stats();
                 engine.spectrum_misses += s.spectrum_misses;
                 engine.spectrum_hits += s.spectrum_hits;
                 engine.mincut_misses += s.mincut_misses;
                 engine.mincut_hits += s.mincut_hits;
             }
+            bytes += this_shard;
+            shard_bytes.push(this_shard);
         }
         CacheStats {
             sessions,
             bytes,
+            shard_bytes,
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
@@ -352,6 +388,39 @@ mod tests {
         assert!(cache.get(fp_b).is_none(), "LRU session b was evicted");
         cache.enforce_budget(fp_a); // idempotent at one session
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn insert_if_absent_backfills_without_counting() {
+        let cache = SessionCache::new(&CacheConfig::default());
+        let g = fft_butterfly(3);
+        let fp = fingerprint(&g);
+        assert!(cache.get(fp).is_none()); // the caller-recorded miss
+        let (a, raced) = cache.insert_if_absent(fp, OwnedAnalyzer::from_graph(g.clone()));
+        assert!(!raced);
+        let (b, raced) = cache.insert_if_absent(fp, OwnedAnalyzer::from_graph(g));
+        assert!(raced, "second insert finds the first");
+        assert!(Arc::ptr_eq(&a, &b));
+        let stats = cache.stats();
+        // Only the explicit get() moved a counter; the back-fills did not.
+        assert_eq!((stats.hits, stats.misses, stats.sessions), (0, 1, 1));
+    }
+
+    #[test]
+    fn stats_report_per_shard_byte_gauges() {
+        let cache = SessionCache::new(&CacheConfig {
+            shards: 4,
+            max_sessions: 64,
+            max_bytes: usize::MAX,
+        });
+        for k in 2..8 {
+            let g = diamond_dag(k, k);
+            cache.get_or_insert_with(fingerprint(&g), || OwnedAnalyzer::from_graph(g.clone()));
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.shard_bytes.len(), 4);
+        assert_eq!(stats.shard_bytes.iter().sum::<usize>(), stats.bytes);
+        assert!(stats.bytes > 0);
     }
 
     #[test]

@@ -385,9 +385,36 @@ pub fn batch(
     request("POST", url, "/batch", Some(&body))
 }
 
+/// Extracts the blamed entry index from a batch error message
+/// (`graphs[i]: ...`, the shape `POST /batch` uses for per-entry 400/404
+/// blame). The CLI maps the index back to the *stdin line number* the
+/// entry came from — after blank-line filtering the two differ, and a
+/// user fixing an NDJSON corpus needs the line, not the array slot.
+pub fn batch_blame_index(message: &str) -> Option<usize> {
+    let rest = message.split("graphs[").nth(1)?;
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    if !rest[digits.len()..].starts_with(']') {
+        return None;
+    }
+    digits.parse().ok()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn batch_blame_index_parses_the_servers_shape() {
+        assert_eq!(
+            batch_blame_index("{\"error\":\"graphs[3]: invalid graph: cycle\"}"),
+            Some(3)
+        );
+        assert_eq!(batch_blame_index("graphs[0]: no session"), Some(0));
+        assert_eq!(batch_blame_index("graphs[12]"), Some(12));
+        assert_eq!(batch_blame_index("missing \"graphs\" array"), None);
+        assert_eq!(batch_blame_index("graphs[x]: nope"), None);
+        assert_eq!(batch_blame_index("graphs[3: unterminated"), None);
+    }
 
     #[test]
     fn url_parsing() {

@@ -52,4 +52,4 @@ pub use analysis::{analysis_body, analysis_doc, validate_memories, AnalyzeSpec};
 pub use cache::{CacheConfig, CacheStats, SessionCache};
 pub use client::{Client, ClientError, Response};
 pub use pool::{PoolSnapshot, SubmitError, WorkerPool};
-pub use server::{serve, Server, ServiceConfig, MAX_BATCH_GRAPHS};
+pub use server::{serve, PersistenceConfig, Server, ServiceConfig, MAX_BATCH_GRAPHS};

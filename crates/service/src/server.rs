@@ -25,10 +25,20 @@
 //! | `GET /stats` | — | connection/request/cache/pool/engine counters |
 //!
 //! `POST /analyze` responses carry `X-Graphio-Fingerprint` and
-//! `X-Graphio-Session: hit|miss` headers (and `X-Graphio-Warnings` for
-//! deduplicated sweep points) so metadata never perturbs the
-//! bit-identical body; `POST /batch` carries `X-Graphio-Batch: N` and a
-//! comma-joined `X-Graphio-Session` list.
+//! `X-Graphio-Session: hit|store|miss` headers (`store` = RAM miss
+//! back-filled from the persistent store, the warm-restart path; plus
+//! `X-Graphio-Warnings` for deduplicated sweep points) so metadata never
+//! perturbs the bit-identical body; `POST /batch` carries
+//! `X-Graphio-Batch: N` and a comma-joined `X-Graphio-Session` list.
+//!
+//! ## Persistence (`--store DIR`)
+//!
+//! With a [`PersistenceConfig`], the session cache gains a disk tier
+//! (`graphio_store`'s fingerprint-keyed segment log): boot warm-loads
+//! the index, a RAM miss back-fills the decoded session from disk — a
+//! store hit answers with **zero** eigensolves — completed analyses
+//! write through (skip-if-unchanged), and graceful shutdown flushes a
+//! compacted snapshot. See `DESIGN.md` §7.
 //!
 //! ## Connection lifecycle
 //!
@@ -69,8 +79,10 @@ use graphio_graph::json::JsonValue;
 use graphio_graph::{fingerprint, CompGraph, EdgeListGraph, Fingerprint};
 use graphio_linalg::stats::{dense_eigensolve_count, sparse_matvec_count};
 use graphio_spectral::OwnedAnalyzer;
+use graphio_store::{load_session, save_session, Store, StoreConfig, StoreStats};
 use std::io::{self, BufRead as _, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -78,6 +90,50 @@ use std::time::Duration;
 
 /// Maximum graphs accepted in one `POST /batch` request.
 pub const MAX_BATCH_GRAPHS: usize = 64;
+
+/// Where (and how) the server persists analysis sessions
+/// (`graphio serve --store DIR`). See `graphio_store` for the on-disk
+/// format; the service treats the store strictly as a second cache tier:
+/// the index warm-loads at boot, RAM misses back-fill from disk (a store
+/// hit performs **zero** eigensolves), completed analyses write through,
+/// and graceful shutdown flushes a compacted snapshot.
+#[derive(Debug, Clone)]
+pub struct PersistenceConfig {
+    /// Store directory (created if missing).
+    pub dir: PathBuf,
+    /// Segment-log sizing (byte budget, segment roll size).
+    pub store: StoreConfig,
+}
+
+impl PersistenceConfig {
+    /// Default store sizing in `dir`.
+    pub fn at(dir: impl Into<PathBuf>) -> PersistenceConfig {
+        PersistenceConfig {
+            dir: dir.into(),
+            store: StoreConfig::default(),
+        }
+    }
+}
+
+/// Where a request's session came from, for the `X-Graphio-Session`
+/// response header: `hit` (RAM), `store` (disk back-fill — the warm
+/// restart path), `miss` (computed fresh this request).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SessionSource {
+    Ram,
+    Disk,
+    Fresh,
+}
+
+impl SessionSource {
+    fn header(self) -> &'static str {
+        match self {
+            SessionSource::Ram => "hit",
+            SessionSource::Disk => "store",
+            SessionSource::Fresh => "miss",
+        }
+    }
+}
 
 /// Server sizing and binding knobs.
 #[derive(Debug, Clone)]
@@ -99,6 +155,8 @@ pub struct ServiceConfig {
     pub max_requests_per_connection: usize,
     /// Session-cache sizing.
     pub cache: CacheConfig,
+    /// Persistent session store (`None` keeps the cache RAM-only).
+    pub store: Option<PersistenceConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -111,6 +169,7 @@ impl Default for ServiceConfig {
             idle_timeout: IDLE_TIMEOUT,
             max_requests_per_connection: MAX_REQUESTS_PER_CONNECTION,
             cache: CacheConfig::default(),
+            store: None,
         }
     }
 }
@@ -118,6 +177,15 @@ impl Default for ServiceConfig {
 /// Shared server state: the session cache plus request counters.
 pub(crate) struct ServiceState {
     pub(crate) cache: SessionCache,
+    /// The persistent second cache tier, if configured.
+    pub(crate) store: Option<Arc<Store>>,
+    /// Per-fingerprint mark of the session state last persisted (the
+    /// session's cumulative `spectrum_misses + mincut_misses` — exactly
+    /// the count of artifacts computed locally). A hot session serving
+    /// pure cache hits matches its mark, so steady-state requests skip
+    /// the whole encode-then-discover-identical path, not just the disk
+    /// append.
+    pub(crate) persist_marks: std::sync::Mutex<std::collections::HashMap<u128, u64>>,
     /// Connections accepted. With keep-alive, `requests > connections` is
     /// the server-side evidence that connection reuse is happening — the
     /// per-connection TCP + dispatch cost amortizes across requests the
@@ -153,8 +221,20 @@ pub struct Server {
 pub fn serve(config: &ServiceConfig) -> io::Result<Server> {
     let listener = TcpListener::bind((config.host.as_str(), config.port))?;
     let addr = listener.local_addr()?;
+    // Opening the store *is* the boot-time index warm-load: every segment
+    // is scanned (recovering past any torn tail) before the first request
+    // is accepted, so fingerprint lookups can back-fill from disk
+    // immediately.
+    let store = config
+        .store
+        .as_ref()
+        .map(|p| Store::open(&p.dir, p.store.clone()))
+        .transpose()?
+        .map(Arc::new);
     let state = Arc::new(ServiceState {
         cache: SessionCache::new(&config.cache),
+        store,
+        persist_marks: std::sync::Mutex::new(std::collections::HashMap::new()),
         connections: AtomicU64::new(0),
         requests: AtomicU64::new(0),
         rejected: AtomicU64::new(0),
@@ -204,9 +284,28 @@ impl Server {
         self.state.cache.stats()
     }
 
+    /// Point-in-time store counters, when persistence is configured.
+    pub fn store_stats(&self) -> Option<StoreStats> {
+        self.state.store.as_ref().map(|s| s.stats())
+    }
+
+    /// Part of the graceful drain: once no worker can be mid-analysis,
+    /// flush a compacted snapshot so the next boot scans one tight
+    /// segment. Best-effort — the log was already flushed record-by-
+    /// record at write-through time, so a failure here costs compactness,
+    /// not data.
+    fn flush_store(&self) {
+        if let Some(store) = &self.state.store {
+            if let Err(e) = store.snapshot() {
+                eprintln!("graphio-store: shutdown snapshot failed: {e}");
+            }
+        }
+    }
+
     /// Stops accepting connections, drains in-flight work, joins all
-    /// threads. Takes `&self` so another thread can trigger it while one
-    /// blocks in [`Server::join`]. Idempotent.
+    /// threads, and flushes a store snapshot. Takes `&self` so another
+    /// thread can trigger it while one blocks in [`Server::join`].
+    /// Idempotent.
     pub fn shutdown(&self) {
         if self.stop.swap(true, Ordering::SeqCst) {
             return;
@@ -218,6 +317,7 @@ impl Server {
             let _ = handle.join();
         }
         self.pool.shutdown();
+        self.flush_store();
     }
 
     /// Blocks until the acceptor exits — i.e. until [`Server::shutdown`]
@@ -229,6 +329,7 @@ impl Server {
             let _ = handle.join();
         }
         self.pool.shutdown();
+        self.flush_store();
     }
 }
 
@@ -436,6 +537,34 @@ fn handle_healthz(stream: &mut TcpStream, state: &Arc<ServiceState>, keep: bool)
     respond_json(stream, 200, keep, &[], &doc);
 }
 
+/// The `"store"` sub-document of `GET /stats`: `{"enabled":false}` when
+/// the server runs RAM-only, full segment-log metrics otherwise.
+fn store_stats_doc(state: &Arc<ServiceState>) -> JsonValue {
+    let num = |v: u64| JsonValue::Number(v as f64);
+    let Some(store) = &state.store else {
+        return JsonValue::Object(vec![("enabled".to_string(), JsonValue::Bool(false))]);
+    };
+    let s = store.stats();
+    JsonValue::Object(vec![
+        ("enabled".to_string(), JsonValue::Bool(true)),
+        ("records".to_string(), num(s.records)),
+        ("segments".to_string(), num(s.segments)),
+        ("bytes_on_disk".to_string(), num(s.bytes_on_disk)),
+        ("live_bytes".to_string(), num(s.live_bytes)),
+        ("hits".to_string(), num(s.hits)),
+        ("misses".to_string(), num(s.misses)),
+        ("puts".to_string(), num(s.puts)),
+        ("put_skips".to_string(), num(s.put_skips)),
+        ("evictions".to_string(), num(s.evictions)),
+        ("compactions".to_string(), num(s.compactions)),
+        (
+            "last_compaction_unix".to_string(),
+            s.last_compaction_unix
+                .map_or(JsonValue::Null, |t| JsonValue::Number(t as f64)),
+        ),
+    ])
+}
+
 fn handle_stats(stream: &mut TcpStream, state: &Arc<ServiceState>, keep: bool) {
     let cache = state.cache.stats();
     let num = |v: u64| JsonValue::Number(v as f64);
@@ -475,11 +604,22 @@ fn handle_stats(stream: &mut TcpStream, state: &Arc<ServiceState>, keep: bool) {
                     JsonValue::Number(cache.sessions as f64),
                 ),
                 ("bytes".to_string(), JsonValue::Number(cache.bytes as f64)),
+                (
+                    "shard_bytes".to_string(),
+                    JsonValue::Array(
+                        cache
+                            .shard_bytes
+                            .iter()
+                            .map(|&b| JsonValue::Number(b as f64))
+                            .collect(),
+                    ),
+                ),
                 ("hits".to_string(), num(cache.hits)),
                 ("misses".to_string(), num(cache.misses)),
                 ("evictions".to_string(), num(cache.evictions)),
             ]),
         ),
+        ("store".to_string(), store_stats_doc(state)),
         (
             "engine".to_string(),
             JsonValue::Object(vec![
@@ -533,29 +673,118 @@ fn handle_graphs(stream: &mut TcpStream, request: &Request, state: &Arc<ServiceS
             return;
         }
     };
-    let fp = fingerprint(&graph);
     let (n, edges) = (graph.n(), graph.num_edges());
-    let (_, cached) = state
-        .cache
-        .get_or_insert_with(fp, || OwnedAnalyzer::from_graph(graph));
+    let (analyzer, fp, source) = session_for_graph(state, graph);
+    // Persist the registration (a graph-only record when the session is
+    // new): after a restart the fingerprint resolves from disk instead of
+    // requiring re-registration.
+    write_through(state, fp, &analyzer);
     let doc = JsonValue::Object(vec![
         ("fingerprint".to_string(), JsonValue::String(fp.to_hex())),
         ("n".to_string(), JsonValue::Number(n as f64)),
         ("edges".to_string(), JsonValue::Number(edges as f64)),
-        ("cached".to_string(), JsonValue::Bool(cached)),
+        (
+            "cached".to_string(),
+            JsonValue::Bool(source != SessionSource::Fresh),
+        ),
     ]);
     respond_json(stream, 200, keep, &[], &doc);
 }
 
 /// A parsed `/analyze` request: the (possibly cached) session, its
-/// fingerprint, whether the session was already cached, the validated
-/// spec, and any validation warnings.
+/// fingerprint, where the session came from, the validated spec, and any
+/// validation warnings.
 struct AnalyzeParts {
     analyzer: Arc<OwnedAnalyzer>,
     fp: Fingerprint,
-    cached: bool,
+    source: SessionSource,
     spec: AnalyzeSpec,
     warnings: Vec<String>,
+}
+
+/// Attempts the disk tier after a RAM miss: a stored session is decoded,
+/// its spectra/min-cut caches imported, and the result back-filled into
+/// the RAM cache (so the next request is a plain RAM hit). Undecodable
+/// or unreadable records are treated as absent — the store is a cache of
+/// recomputable artifacts, so the worst case of corruption is paying the
+/// eigensolve again, never failing the request.
+fn session_from_store(state: &Arc<ServiceState>, fp: Fingerprint) -> Option<Arc<OwnedAnalyzer>> {
+    let store = state.store.as_ref()?;
+    match load_session(store, fp) {
+        Ok(Some(analyzer)) => Some(state.cache.insert_if_absent(fp, analyzer).0),
+        Ok(None) => None,
+        Err(e) => {
+            eprintln!("graphio-store: ignoring unreadable record for {fp}: {e}");
+            None
+        }
+    }
+}
+
+/// Persists `analyzer`'s current artifacts under `fp`. Two skip tiers:
+/// the persist-mark map short-circuits before any encoding when the
+/// session has computed nothing since its last save (the steady state —
+/// a warm session would otherwise pay an O(n + m + h) serialization per
+/// request just to discover the bytes are unchanged), and the store's
+/// own CRC comparison de-duplicates whatever gets past the mark (e.g.
+/// racing workers). Best-effort: a full disk must not fail the analysis
+/// that already succeeded.
+fn write_through(state: &Arc<ServiceState>, fp: Fingerprint, analyzer: &OwnedAnalyzer) {
+    let Some(store) = &state.store else {
+        return;
+    };
+    let s = analyzer.stats();
+    let mark = s.spectrum_misses + s.mincut_misses;
+    {
+        let marks = state.persist_marks.lock().expect("persist marks lock");
+        // The mark alone is not enough: the store's byte budget may have
+        // evicted this record since we last saved it, and a hot session
+        // whose mark never moves would then stay unpersisted forever —
+        // losing warm restarts for exactly the hottest entries. The
+        // `contains` index probe keeps the skip honest.
+        if marks.get(&fp.0) == Some(&mark) && store.contains(fp) {
+            return;
+        }
+    }
+    match save_session(store, fp, analyzer) {
+        Ok(_) => {
+            let mut marks = state.persist_marks.lock().expect("persist marks lock");
+            // Far above any plausible live set; a clear only costs one
+            // redundant encode per fingerprint.
+            if marks.len() > 1 << 20 {
+                marks.clear();
+            }
+            marks.insert(fp.0, mark);
+        }
+        Err(e) => eprintln!("graphio-store: write-through for {fp} failed: {e}"),
+    }
+}
+
+/// Resolves the session for a request that carried a full graph:
+/// RAM → disk → fresh. Exactly one hit-or-miss counter moves (in
+/// [`SessionCache::get`]); the back-fill inserts are counter-silent.
+fn session_for_graph(
+    state: &Arc<ServiceState>,
+    graph: CompGraph,
+) -> (Arc<OwnedAnalyzer>, Fingerprint, SessionSource) {
+    let fp = fingerprint(&graph);
+    if let Some(analyzer) = state.cache.get(fp) {
+        return (analyzer, fp, SessionSource::Ram);
+    }
+    if let Some(analyzer) = session_from_store(state, fp) {
+        return (analyzer, fp, SessionSource::Disk);
+    }
+    let (analyzer, raced) = state
+        .cache
+        .insert_if_absent(fp, OwnedAnalyzer::from_graph(graph));
+    // A racing request may have inserted between our get and insert;
+    // either way the session exists now and this request computes (or
+    // shares) the analysis.
+    let source = if raced {
+        SessionSource::Ram
+    } else {
+        SessionSource::Fresh
+    };
+    (analyzer, fp, source)
 }
 
 /// Parses the sweep spec (`memories`/`processors`/`no_sim`) shared by
@@ -602,20 +831,25 @@ fn parse_spec(doc: &JsonValue) -> Result<(AnalyzeSpec, Vec<String>), (u16, Strin
     ))
 }
 
-/// Resolves a fingerprint hex string to its cached session.
+/// Resolves a fingerprint hex string to its session: RAM first, then the
+/// persistent store (the warm-restart path — a fingerprint analyzed
+/// before the last restart back-fills from disk instead of 404ing).
 fn lookup_session(
     hex: &str,
     state: &Arc<ServiceState>,
-) -> Result<(Arc<OwnedAnalyzer>, Fingerprint), (u16, String)> {
+) -> Result<(Arc<OwnedAnalyzer>, Fingerprint, SessionSource), (u16, String)> {
     let fp = Fingerprint::from_hex(hex)
         .ok_or_else(|| (400, format!("malformed fingerprint {hex:?}")))?;
-    let analyzer = state.cache.get(fp).ok_or_else(|| {
-        (
-            404,
-            format!("no session for fingerprint {hex} (register via POST /graphs)"),
-        )
-    })?;
-    Ok((analyzer, fp))
+    if let Some(analyzer) = state.cache.get(fp) {
+        return Ok((analyzer, fp, SessionSource::Ram));
+    }
+    if let Some(analyzer) = session_from_store(state, fp) {
+        return Ok((analyzer, fp, SessionSource::Disk));
+    }
+    Err((
+        404,
+        format!("no session for fingerprint {hex} (register via POST /graphs)"),
+    ))
 }
 
 /// Parses the `/analyze` request body into a session handle + spec.
@@ -624,25 +858,20 @@ fn parse_analyze(
     state: &Arc<ServiceState>,
 ) -> Result<AnalyzeParts, (u16, String)> {
     let (spec, warnings) = parse_spec(doc)?;
-    let (analyzer, fp, cached) = if doc.get("graph").is_some() {
+    let (analyzer, fp, source) = if doc.get("graph").is_some() {
         let graph = parse_graph(doc).map_err(|m| (400, m))?;
-        let fp = fingerprint(&graph);
-        let (analyzer, cached) = state
-            .cache
-            .get_or_insert_with(fp, || OwnedAnalyzer::from_graph(graph));
-        (analyzer, fp, cached)
+        session_for_graph(state, graph)
     } else {
         let hex = doc
             .get("fingerprint")
             .and_then(JsonValue::as_str)
             .ok_or_else(|| (400, "need \"graph\" or \"fingerprint\"".to_string()))?;
-        let (analyzer, fp) = lookup_session(hex, state)?;
-        (analyzer, fp, true)
+        lookup_session(hex, state)?
     };
     Ok(AnalyzeParts {
         analyzer,
         fp,
-        cached,
+        source,
         spec,
         warnings,
     })
@@ -665,7 +894,7 @@ fn handle_analyze(
     let AnalyzeParts {
         analyzer,
         fp,
-        cached,
+        source,
         spec,
         warnings,
     } = match parse_analyze(&doc, state) {
@@ -678,16 +907,14 @@ fn handle_analyze(
     };
     let body = analysis_body(&analyzer, &spec);
     // The analysis may have grown the session (fresh spectra/min-cut
-    // sweeps); re-check the shard's byte budget now that the growth is
-    // visible.
+    // sweeps): persist the growth, then re-check the shard's byte budget
+    // now that it is visible.
+    write_through(state, fp, &analyzer);
     state.cache.enforce_budget(fp);
     state.analyze_ok.fetch_add(1, Ordering::Relaxed);
     let mut extra = vec![
         ("X-Graphio-Fingerprint", fp.to_hex()),
-        (
-            "X-Graphio-Session",
-            if cached { "hit" } else { "miss" }.to_string(),
-        ),
+        ("X-Graphio-Session", source.header().to_string()),
     ];
     if !warnings.is_empty() {
         extra.push(("X-Graphio-Warnings", warnings.join("; ")));
@@ -735,20 +962,14 @@ fn handle_batch(
         let mut items = Vec::with_capacity(entries.len());
         let mut hits = Vec::with_capacity(entries.len());
         for (i, entry) in entries.iter().enumerate() {
-            let (analyzer, fp, cached) = if let Some(hex) = entry.as_str() {
-                let (analyzer, fp) = lookup_session(hex, state)
-                    .map_err(|(s, m)| (s, format!("graphs[{i}]: {m}")))?;
-                (analyzer, fp, true)
+            let (analyzer, fp, source) = if let Some(hex) = entry.as_str() {
+                lookup_session(hex, state).map_err(|(s, m)| (s, format!("graphs[{i}]: {m}")))?
             } else {
                 let graph = parse_graph(entry).map_err(|m| (400, format!("graphs[{i}]: {m}")))?;
-                let fp = fingerprint(&graph);
-                let (analyzer, cached) = state
-                    .cache
-                    .get_or_insert_with(fp, || OwnedAnalyzer::from_graph(graph));
-                (analyzer, fp, cached)
+                session_for_graph(state, graph)
             };
             items.push((analyzer, fp));
-            hits.push(if cached { "hit" } else { "miss" });
+            hits.push(source.header());
         }
         Ok((items, hits, spec, warnings))
     });
@@ -768,6 +989,7 @@ fn handle_batch(
         items,
         move |(analyzer, fp): (Arc<OwnedAnalyzer>, Fingerprint)| {
             let body = analysis_body(&analyzer, &spec);
+            write_through(&scatter_state, fp, &analyzer);
             scatter_state.cache.enforce_budget(fp);
             body
         },

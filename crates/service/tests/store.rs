@@ -1,0 +1,216 @@
+//! Behavioral tests of the `serve --store` integration that do not need
+//! process-global counter isolation (that lives in
+//! `tests/warm_restart.rs`): fingerprint-only back-fill across restarts,
+//! batch over a warm store, `/stats` store metrics and per-shard cache
+//! gauges, and torn-tail tolerance at the service level.
+
+use graphio_graph::generators::{bhk_hypercube, diamond_dag, fft_butterfly};
+use graphio_graph::json::{parse, JsonValue};
+use graphio_graph::CompGraph;
+use graphio_service::analysis::{analysis_body, AnalyzeSpec};
+use graphio_service::{client, serve, PersistenceConfig, Server, ServiceConfig};
+use graphio_spectral::OwnedAnalyzer;
+use std::path::PathBuf;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "graphio_service_store_{tag}_{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn store_server(dir: &PathBuf) -> Server {
+    serve(&ServiceConfig {
+        workers: 2,
+        queue_capacity: 32,
+        store: Some(PersistenceConfig::at(dir)),
+        ..Default::default()
+    })
+    .expect("bind ephemeral port")
+}
+
+fn graph_json(g: &CompGraph) -> String {
+    g.to_edge_list().to_json()
+}
+
+fn offline_body(g: &CompGraph, memories: &[usize]) -> String {
+    analysis_body(
+        &OwnedAnalyzer::from_graph(g.clone()),
+        &AnalyzeSpec::sweep(memories.to_vec()),
+    )
+}
+
+#[test]
+fn fingerprint_only_requests_backfill_across_restarts() {
+    let dir = tmp_dir("fp_backfill");
+    let g = fft_butterfly(3);
+    let fp_hex = {
+        let server = store_server(&dir);
+        // Register only — no analysis ran, so the store holds a
+        // graph-only record.
+        let r = client::request(
+            "POST",
+            &server.url(),
+            "/graphs",
+            Some(&format!("{{\"graph\":{}}}", graph_json(&g))),
+        )
+        .unwrap();
+        assert_eq!(r.status, 200, "{}", r.body);
+        let doc = parse(&r.body).unwrap();
+        doc.get("fingerprint")
+            .and_then(JsonValue::as_str)
+            .unwrap()
+            .to_string()
+    };
+    // New server, same store: the fingerprint resolves from disk even
+    // though this process never saw the graph bytes.
+    let server = store_server(&dir);
+    let body = format!("{{\"fingerprint\":\"{fp_hex}\",\"memories\":[2,4]}}");
+    let r = client::request("POST", &server.url(), "/analyze", Some(&body)).unwrap();
+    assert_eq!(r.status, 200, "{}", r.body);
+    assert_eq!(r.header("x-graphio-session"), Some("store"));
+    assert_eq!(r.body, offline_body(&g, &[2, 4]));
+    // Unknown fingerprints still 404 (the store was consulted).
+    let bogus = format!(
+        "{{\"fingerprint\":\"{}\",\"memories\":[2]}}",
+        "ab".repeat(16)
+    );
+    let r = client::request("POST", &server.url(), "/analyze", Some(&bogus)).unwrap();
+    assert_eq!(r.status, 404);
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn batch_over_a_warm_store_matches_offline_concatenation() {
+    let dir = tmp_dir("batch_warm");
+    let memories = [2usize, 4, 8];
+    let graphs = [fft_butterfly(3), diamond_dag(4, 4), bhk_hypercube(3)];
+    {
+        let server = store_server(&dir);
+        for g in &graphs {
+            let r = client::analyze(&server.url(), &graph_json(g), &memories, 1, false).unwrap();
+            assert_eq!(r.status, 200, "{}", r.body);
+        }
+        server.shutdown();
+    }
+    let server = store_server(&dir);
+    let jsons: Vec<String> = graphs.iter().map(graph_json).collect();
+    let r = client::batch(&server.url(), &jsons, &memories, 1, false).unwrap();
+    assert_eq!(r.status, 200, "{}", r.body);
+    assert_eq!(
+        r.header("x-graphio-session"),
+        Some("store,store,store"),
+        "every batch entry back-filled from disk"
+    );
+    let expected: String = graphs.iter().map(|g| offline_body(g, &memories)).collect();
+    assert_eq!(r.body, expected);
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn stats_report_store_metrics_and_shard_gauges() {
+    let dir = tmp_dir("stats");
+    let server = store_server(&dir);
+    let g = fft_butterfly(3);
+    client::analyze(&server.url(), &graph_json(&g), &[2, 4], 1, false).unwrap();
+    let r = client::request("GET", &server.url(), "/stats", None).unwrap();
+    let doc = parse(&r.body).unwrap();
+    let store = doc.get("store").expect("store sub-document");
+    assert_eq!(store.get("enabled"), Some(&JsonValue::Bool(true)));
+    assert_eq!(store.get("records").and_then(JsonValue::as_f64), Some(1.0));
+    assert!(store.get("puts").and_then(JsonValue::as_f64).unwrap() >= 1.0);
+    assert!(
+        store
+            .get("bytes_on_disk")
+            .and_then(JsonValue::as_f64)
+            .unwrap()
+            > 0.0
+    );
+    assert!(store.get("segments").and_then(JsonValue::as_f64).unwrap() >= 1.0);
+    assert!(store.get("last_compaction_unix").is_some());
+    let shard_bytes = doc
+        .get("cache")
+        .and_then(|c| c.get("shard_bytes"))
+        .and_then(JsonValue::as_array)
+        .expect("per-shard byte gauges");
+    assert_eq!(shard_bytes.len(), ServiceConfig::default().cache.shards);
+    let total: f64 = shard_bytes.iter().filter_map(JsonValue::as_f64).sum();
+    assert_eq!(
+        Some(total),
+        doc.get("cache")
+            .and_then(|c| c.get("bytes"))
+            .and_then(JsonValue::as_f64),
+        "shard gauges sum to the cache byte gauge"
+    );
+    server.shutdown();
+
+    // RAM-only servers advertise the store as disabled.
+    let ramonly = serve(&ServiceConfig::default()).unwrap();
+    let r = client::request("GET", &ramonly.url(), "/stats", None).unwrap();
+    let doc = parse(&r.body).unwrap();
+    assert_eq!(
+        doc.get("store").and_then(|s| s.get("enabled")),
+        Some(&JsonValue::Bool(false))
+    );
+    ramonly.shutdown();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A torn final record (simulated crash mid-append) costs at most that
+/// record: the restarted server recovers every complete one and simply
+/// recomputes the torn graph.
+#[test]
+fn torn_store_tail_degrades_to_recompute() {
+    let dir = tmp_dir("torn");
+    let memories = [2usize, 4];
+    let g1 = fft_butterfly(3);
+    let g2 = diamond_dag(5, 5);
+    {
+        let server = serve(&ServiceConfig {
+            workers: 2,
+            queue_capacity: 32,
+            store: Some(PersistenceConfig::at(&dir)),
+            ..Default::default()
+        })
+        .unwrap();
+        client::analyze(&server.url(), &graph_json(&g1), &memories, 1, false).unwrap();
+        client::analyze(&server.url(), &graph_json(&g2), &memories, 1, false).unwrap();
+        // Drop releases the writer lock; the snapshot leaves one compact
+        // segment holding both records (g1 then g2, oldest first), whose
+        // tail we then tear like a crash mid-append would.
+        drop(server);
+    }
+    let seg = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "log"))
+        .max()
+        .expect("a segment exists");
+    let len = std::fs::metadata(&seg).unwrap().len();
+    std::fs::OpenOptions::new()
+        .write(true)
+        .open(&seg)
+        .unwrap()
+        .set_len(len - 3)
+        .unwrap();
+
+    let server = store_server(&dir);
+    for g in [&g1, &g2] {
+        let r = client::analyze(&server.url(), &graph_json(g), &memories, 1, false).unwrap();
+        assert_eq!(r.status, 200, "{}", r.body);
+        assert_eq!(r.body, offline_body(g, &memories));
+    }
+    let store = server.store_stats().unwrap();
+    assert_eq!(
+        (store.hits, store.misses),
+        (1, 1),
+        "one record recovered, the torn one recomputed: {store:?}"
+    );
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).unwrap();
+}

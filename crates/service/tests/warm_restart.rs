@@ -1,0 +1,91 @@
+//! The acceptance-criteria test for `serve --store`: after a server
+//! restart, previously analyzed graphs are served **bit-identically**
+//! with **zero eigensolves**, verified against the process-global
+//! `graphio_linalg::stats` counters.
+//!
+//! This file deliberately holds a single `#[test]`: the counters are
+//! process-global, so any concurrently running test that eigensolves
+//! would poison the zero-delta assertion. Everything else about the
+//! store integration is covered in `tests/store.rs`.
+
+use graphio_graph::generators::{fft_butterfly, naive_matmul};
+use graphio_graph::CompGraph;
+use graphio_linalg::stats::{dense_eigensolve_count, sparse_matvec_count};
+use graphio_service::analysis::{analysis_body, AnalyzeSpec};
+use graphio_service::{client, serve, PersistenceConfig, ServiceConfig};
+use graphio_spectral::OwnedAnalyzer;
+
+fn graph_json(g: &CompGraph) -> String {
+    g.to_edge_list().to_json()
+}
+
+#[test]
+fn warm_restart_serves_bit_identical_responses_with_zero_eigensolves() {
+    let dir = std::env::temp_dir().join(format!("graphio_warm_restart_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = ServiceConfig {
+        workers: 2,
+        queue_capacity: 32,
+        store: Some(PersistenceConfig::at(&dir)),
+        ..Default::default()
+    };
+    let memories = [2usize, 4, 8, 16];
+    let graphs = [fft_butterfly(4), naive_matmul(3)];
+
+    // ── Cold run: compute, respond, write through, drain. ──────────────
+    let cold_bodies: Vec<String> = {
+        let server = serve(&config).expect("bind first server");
+        let bodies = graphs
+            .iter()
+            .map(|g| {
+                let r = client::analyze(&server.url(), &graph_json(g), &memories, 1, false)
+                    .expect("cold analyze");
+                assert_eq!(r.status, 200, "{}", r.body);
+                assert_eq!(r.header("x-graphio-session"), Some("miss"));
+                r.body
+            })
+            .collect();
+        let store = server.store_stats().expect("store configured");
+        assert!(store.puts >= graphs.len() as u64, "{store:?}");
+        server.shutdown(); // graceful drain flushes the snapshot
+        bodies
+    };
+    for (g, body) in graphs.iter().zip(&cold_bodies) {
+        let offline = analysis_body(
+            &OwnedAnalyzer::from_graph(g.clone()),
+            &AnalyzeSpec::sweep(memories.to_vec()),
+        );
+        assert_eq!(body, &offline, "served bytes match the offline path");
+    }
+
+    // ── Warm run: a fresh server process-state over the same store. ────
+    let dense_before = dense_eigensolve_count();
+    let matvecs_before = sparse_matvec_count();
+    let server = serve(&config).expect("bind second server");
+    for (g, cold) in graphs.iter().zip(&cold_bodies) {
+        for round in 0..2 {
+            let r = client::analyze(&server.url(), &graph_json(g), &memories, 1, false)
+                .expect("warm analyze");
+            assert_eq!(r.status, 200, "{}", r.body);
+            assert_eq!(
+                r.header("x-graphio-session"),
+                Some(if round == 0 { "store" } else { "hit" }),
+                "first request back-fills from disk, second is a RAM hit"
+            );
+            assert_eq!(&r.body, cold, "warm response is bit-identical");
+        }
+    }
+    // The whole warm run performed zero eigensolver work: no dense
+    // solves, no Lanczos mat-vecs — the spectra all came off disk.
+    assert_eq!(dense_eigensolve_count(), dense_before, "0 dense solves");
+    assert_eq!(sparse_matvec_count(), matvecs_before, "0 sparse mat-vecs");
+    let engine = server.cache_stats().engine;
+    assert_eq!(engine.spectrum_misses, 0, "no spectrum was computed");
+    assert_eq!(engine.mincut_misses, 0, "no min-cut sweep was computed");
+    let store = server.store_stats().expect("store configured");
+    assert_eq!(store.hits, graphs.len() as u64, "{store:?}");
+    // Steady state: re-serving identical sessions appended nothing new.
+    assert_eq!(store.puts, 0, "warm server re-wrote nothing: {store:?}");
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -57,7 +57,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// Which Laplacian of the computation graph a spectrum belongs to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum LaplacianKind {
     /// The out-degree-normalized `L̃` of Theorem 4 (and Theorem 6).
     Normalized,
@@ -81,20 +81,37 @@ impl LaplacianKind {
 /// against the graph size so it shares a slot with the explicit method it
 /// would dispatch to, and `fixed_k` is deliberately absent (it only affects
 /// the cheap `k`-maximization, not the spectrum).
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-struct SpectrumKey {
-    kind: LaplacianKind,
-    h: usize,
-    method: MethodKey,
+///
+/// Public (with [`MethodKey`] and [`CutKey`]) so session snapshots can be
+/// serialized and restored by the persistence layer (`graphio_store`):
+/// a stored spectrum is only reusable if its *key* round-trips exactly.
+/// `Ord` gives snapshots a canonical ordering, so exporting the same
+/// session twice yields identical bytes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SpectrumKey {
+    /// Which Laplacian the spectrum belongs to.
+    pub kind: LaplacianKind,
+    /// Number of smallest eigenvalues computed (already clamped to `n`).
+    pub h: usize,
+    /// The resolved eigensolver (never `Auto`).
+    pub method: MethodKey,
 }
 
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-enum MethodKey {
+/// The resolved eigensolver half of a [`SpectrumKey`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MethodKey {
+    /// The dense O(n³) solver.
     Dense,
+    /// Deflated Lanczos with every result-determining option pinned
+    /// (`tol` as raw bits so the key is `Eq`/`Hash` without float caveats).
     Lanczos {
+        /// Krylov subspace dimension.
         subspace: usize,
+        /// Convergence tolerance, as `f64::to_bits`.
         tol_bits: u64,
+        /// Maximum restart sweeps.
         max_sweeps: usize,
+        /// Starting-vector seed.
         seed: u64,
     },
 }
@@ -102,7 +119,7 @@ enum MethodKey {
 impl SpectrumKey {
     /// Mirrors the dispatch in [`crate::bound::smallest_eigenvalues`]
     /// exactly, so cached results are the ones direct calls would produce.
-    fn for_options(kind: LaplacianKind, opts: &BoundOptions, n: usize) -> Self {
+    pub fn for_options(kind: LaplacianKind, opts: &BoundOptions, n: usize) -> Self {
         let use_dense = match &opts.method {
             EigenMethod::Auto => n <= opts.dense_cutoff,
             EigenMethod::Dense => true,
@@ -131,19 +148,56 @@ impl SpectrumKey {
 }
 
 /// Cache key for the convex min-cut baseline (`threads` is excluded — it
-/// does not change the result).
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-enum CutKey {
+/// does not change the result). Public for the same serialization reasons
+/// as [`SpectrumKey`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CutKey {
+    /// The full per-vertex sweep.
     All,
-    Sample { count: usize, seed: u64 },
+    /// A deterministic random sample of vertices.
+    Sample {
+        /// Number of vertices evaluated.
+        count: usize,
+        /// Sampling seed.
+        seed: u64,
+    },
 }
 
 impl CutKey {
-    fn for_options(opts: &ConvexMinCutOptions) -> Self {
+    /// The cache key [`Analyzer::min_cut`] uses for `opts`.
+    pub fn for_options(opts: &ConvexMinCutOptions) -> Self {
         match opts.sweep {
             VertexSweep::All => CutKey::All,
             VertexSweep::Sample { count, seed } => CutKey::Sample { count, seed },
         }
+    }
+}
+
+/// A serializable snapshot of everything expensive a session has computed:
+/// the cached spectra (keyed by [`SpectrumKey`]) and min-cut sweep results
+/// (keyed by [`CutKey`]). The graph itself is *not* included — the caller
+/// owns it (and the persistence layer stores it alongside).
+///
+/// Entries are sorted by key, so exporting an unchanged session always
+/// yields the same value (and, downstream, the same encoded bytes — which
+/// is how the store's write-through skips no-op appends).
+///
+/// Produced by [`OwnedAnalyzer::export`]; consumed by
+/// [`OwnedAnalyzer::import`], which seeds a fresh session's caches so
+/// later bound requests are pure cache hits — zero eigensolves, zero
+/// min-cut sweeps.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SessionExport {
+    /// Cached spectra: the `h` smallest eigenvalues per key, ascending.
+    pub spectra: Vec<(SpectrumKey, Vec<f64>)>,
+    /// Cached min-cut sweep results per sweep strategy.
+    pub cuts: Vec<(CutKey, ConvexMinCutResult)>,
+}
+
+impl SessionExport {
+    /// True when the snapshot carries no computed artifacts.
+    pub fn is_empty(&self) -> bool {
+        self.spectra.is_empty() && self.cuts.is_empty()
     }
 }
 
@@ -317,6 +371,69 @@ impl EngineCore {
         let result = convex_min_cut_bound(g, 0, opts);
         *value = Some(result.clone());
         result
+    }
+
+    fn export(&self) -> SessionExport {
+        let mut spectra: Vec<(SpectrumKey, Vec<f64>)> = {
+            let map = self.spectra.lock().expect("spectra lock");
+            map.iter()
+                .filter_map(|(key, slot)| {
+                    // Skip slots whose solve is still in flight (or failed):
+                    // try_lock keeps export non-blocking, and an in-flight
+                    // spectrum simply lands in the next export.
+                    slot.0
+                        .try_lock()
+                        .ok()
+                        .and_then(|v| v.as_ref().map(|eigs| (key.clone(), eigs.to_vec())))
+                })
+                .collect()
+        };
+        let mut cuts: Vec<(CutKey, ConvexMinCutResult)> = {
+            let map = self.cuts.lock().expect("cuts lock");
+            map.iter()
+                .filter_map(|(key, slot)| {
+                    slot.0
+                        .try_lock()
+                        .ok()
+                        .and_then(|v| v.as_ref().map(|cut| (key.clone(), cut.clone())))
+                })
+                .collect()
+        };
+        spectra.sort_by(|a, b| a.0.cmp(&b.0));
+        cuts.sort_by(|a, b| a.0.cmp(&b.0));
+        SessionExport { spectra, cuts }
+    }
+
+    /// Seeds empty cache slots from `snapshot`. Occupied slots win (the
+    /// session already computed — or is computing — a fresher value), and
+    /// no hit/miss counter moves: imports are provenance, not traffic.
+    fn import(&self, snapshot: &SessionExport) {
+        for (key, eigs) in &snapshot.spectra {
+            let slot = Arc::clone(
+                self.spectra
+                    .lock()
+                    .expect("spectra lock")
+                    .entry(key.clone())
+                    .or_insert_with(Slot::new),
+            );
+            let mut value = slot.0.lock().expect("spectrum slot lock");
+            if value.is_none() {
+                *value = Some(Arc::new(eigs.clone()));
+            }
+        }
+        for (key, cut) in &snapshot.cuts {
+            let slot = Arc::clone(
+                self.cuts
+                    .lock()
+                    .expect("cuts lock")
+                    .entry(key.clone())
+                    .or_insert_with(Slot::new),
+            );
+            let mut value = slot.0.lock().expect("cut slot lock");
+            if value.is_none() {
+                *value = Some(cut.clone());
+            }
+        }
     }
 
     fn stats(&self) -> EngineStats {
@@ -596,6 +713,28 @@ impl OwnedAnalyzer {
         2 * self.min_cut(opts).max_cut.saturating_sub(memory as u64)
     }
 
+    /// Snapshots every cached spectrum and min-cut result into a
+    /// serializable [`SessionExport`] (sorted by key; in-flight solves are
+    /// skipped). The persistence layer stores this next to the graph so a
+    /// future process can [`OwnedAnalyzer::import`] it instead of
+    /// re-solving.
+    pub fn export(&self) -> SessionExport {
+        self.core.export()
+    }
+
+    /// Seeds this session's caches from a previously exported snapshot.
+    /// Slots already computed locally are kept; hit/miss counters do not
+    /// move. After importing a snapshot produced by an identical graph,
+    /// bound requests covered by the snapshot perform **zero** eigensolves
+    /// and **zero** min-cut sweeps.
+    ///
+    /// The caller is responsible for pairing snapshots with the right
+    /// graph (the store keys both by the same structural fingerprint);
+    /// importing another graph's spectra silently yields wrong bounds.
+    pub fn import(&self, snapshot: &SessionExport) {
+        self.core.import(snapshot);
+    }
+
     /// Cache-effectiveness counters for this session.
     pub fn stats(&self) -> EngineStats {
         self.core.stats()
@@ -749,6 +888,70 @@ mod tests {
         let stats = an.stats();
         assert_eq!(stats.spectrum_hits + stats.spectrum_misses, 3);
         assert!(stats.spectrum_misses >= 1);
+    }
+
+    #[test]
+    fn export_import_roundtrips_without_recomputation() {
+        let g = fft_butterfly(4);
+        let warm = OwnedAnalyzer::from_graph(g.clone());
+        let opts = warm.default_options();
+        let mc = ConvexMinCutOptions::default();
+        let direct: Vec<_> = [2usize, 4, 8]
+            .iter()
+            .map(|&m| {
+                (
+                    warm.bound(m, &opts).unwrap(),
+                    warm.bound_original(m, &opts).unwrap(),
+                    warm.min_cut_bound(m, &mc),
+                )
+            })
+            .collect();
+        let snapshot = warm.export();
+        assert_eq!(snapshot.spectra.len(), 2, "both Laplacian kinds cached");
+        assert_eq!(snapshot.cuts.len(), 1);
+        assert!(!snapshot.is_empty());
+        // A second export of the unchanged session is identical (the
+        // determinism the store's skip-if-unchanged write-through needs).
+        assert_eq!(snapshot, warm.export());
+
+        let restored = OwnedAnalyzer::from_graph(g);
+        restored.import(&snapshot);
+        for (m, (b4, b5, mc_bound)) in [2usize, 4, 8].into_iter().zip(&direct) {
+            let r4 = restored.bound(m, &opts).unwrap();
+            assert_eq!(b4.bound.to_bits(), r4.bound.to_bits());
+            assert_eq!(b4.best_k, r4.best_k);
+            let r5 = restored.bound_original(m, &opts).unwrap();
+            assert_eq!(b5.bound.to_bits(), r5.bound.to_bits());
+            assert_eq!(*mc_bound, restored.min_cut_bound(m, &mc));
+        }
+        let stats = restored.stats();
+        assert_eq!(
+            (stats.spectrum_misses, stats.mincut_misses),
+            (0, 0),
+            "imported session must not recompute: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn import_keeps_locally_computed_slots_and_empty_export_is_noop() {
+        let g = fft_butterfly(3);
+        let an = OwnedAnalyzer::from_graph(g.clone());
+        let opts = an.default_options();
+        let local = an.bound(4, &opts).unwrap();
+        // An import carrying a bogus spectrum under the same key must not
+        // clobber the locally computed value.
+        let mut snapshot = an.export();
+        for (_, eigs) in &mut snapshot.spectra {
+            eigs.iter_mut().for_each(|e| *e += 1.0);
+        }
+        an.import(&snapshot);
+        let after = an.bound(4, &opts).unwrap();
+        assert_eq!(local.bound.to_bits(), after.bound.to_bits());
+
+        let fresh = OwnedAnalyzer::from_graph(g);
+        fresh.import(&SessionExport::default());
+        assert!(fresh.export().is_empty());
+        assert_eq!(fresh.stats(), EngineStats::default());
     }
 
     #[test]

@@ -42,5 +42,8 @@ pub use bound::{
     parallel_spectral_bound, spectral_bound, spectral_bound_original, BoundOptions, EigenMethod,
     SpectralBound,
 };
-pub use engine::{Analyzer, EngineStats, LaplacianKind, OwnedAnalyzer};
+pub use engine::{
+    Analyzer, CutKey, EngineStats, LaplacianKind, MethodKey, OwnedAnalyzer, SessionExport,
+    SpectrumKey,
+};
 pub use laplacian::{normalized_laplacian, unnormalized_laplacian};

@@ -1,0 +1,1054 @@
+//! The append-only segment log and its in-memory index.
+//!
+//! A store directory holds numbered segment files (`seg-000001.log`, …),
+//! each a header followed by CRC32-framed records:
+//!
+//! ```text
+//! segment := magic:"GIOS" version:u32(LE)  record*
+//! record  := len:u32(LE)  crc32:u32(LE, over payload)  payload
+//! payload := fingerprint:u128(LE)  document bytes (codec.rs)
+//! ```
+//!
+//! **Writes are appends.** A put encodes the document, appends one record
+//! to the active (highest-numbered) segment, and flushes before the index
+//! is updated — a reader never learns of a record that is not fully on
+//! disk. Re-putting a fingerprint appends a superseding record; the old
+//! bytes become dead space until compaction. One writer per directory at
+//! a time: writable opens take an advisory PID `LOCK` file (stale locks
+//! of dead processes are reclaimed); inspection uses lock-free read-only
+//! opens.
+//!
+//! **Recovery is a scan.** Opening a store replays every segment in id
+//! order, indexing the *last* record per fingerprint. A torn tail —
+//! a crash mid-append leaves a record whose length header promises more
+//! bytes than exist, or whose CRC does not match — ends the scan of that
+//! segment; every complete record before it is recovered. The active
+//! segment's torn tail is truncated away so future appends start on a
+//! record boundary.
+//!
+//! **Compaction is temp+rename.** `compact` writes every live record into
+//! `compact.tmp`, fsyncs, renames it to the next segment id (the atomic
+//! commit point), then deletes the old segments. A crash anywhere in
+//! between leaves either the old segments (rename not reached) or the old
+//! segments plus the new one (deletes not finished) — both recover to the
+//! same live set, because the new segment has the highest id and id order
+//! decides which record wins.
+//!
+//! **The byte budget is enforced at put time, with hysteresis.** When
+//! the directory exceeds `max_bytes`, the oldest-written fingerprints
+//! are evicted down to a 90% low-water mark (the store is a cache of
+//! recomputable artifacts, so shedding the coldest entries is always
+//! safe) and one compaction reclaims the dead bytes; the 10% headroom
+//! then absorbs new puts without compacting, bounding write
+//! amplification at a saturated store to roughly one live-set rewrite
+//! per `max_bytes / 10` of ingest.
+//!
+//! Torn-tail recovery as stated covers *process* crashes (`kill -9`
+//! included): appends are flushed, not fsynced, so a power cut may hole
+//! a segment mid-file via page-cache write-back reordering, and the scan
+//! stops at the hole. Set [`StoreConfig::fsync_appends`] when records
+//! must survive power loss.
+
+use crate::codec::crc32;
+use graphio_graph::Fingerprint;
+use std::collections::{BTreeMap, HashMap};
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+const MAGIC: &[u8; 4] = b"GIOS";
+const SEGMENT_VERSION: u32 = 1;
+const HEADER_LEN: u64 = 8;
+const RECORD_HEADER_LEN: u64 = 8;
+/// Sanity cap on a single record; a length header beyond this is treated
+/// as corruption rather than attempted as an allocation.
+const MAX_RECORD_LEN: u32 = 1 << 30;
+
+/// Sizing knobs for a [`Store`].
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Total on-disk byte budget. When exceeded, dead space is compacted
+    /// away; if the live records alone exceed it, the oldest-written
+    /// entries are evicted. Default 1 GiB.
+    pub max_bytes: u64,
+    /// Target size of one segment file; appends roll to a new segment
+    /// beyond it. Default 64 MiB.
+    pub segment_bytes: u64,
+    /// `fsync` every append. Off (default), the torn-tail recovery
+    /// guarantee covers *process* crashes — after a power cut, page
+    /// cache write-back order can hole a segment and recovery stops at
+    /// the hole. On, every record survives power loss at the cost of a
+    /// disk sync per put. Compaction always fsyncs either way.
+    pub fsync_appends: bool,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            max_bytes: 1 << 30,
+            segment_bytes: 64 << 20,
+            fsync_appends: false,
+        }
+    }
+}
+
+/// Point-in-time counters and gauges of a [`Store`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Live fingerprints in the index.
+    pub records: u64,
+    /// Segment files on disk.
+    pub segments: u64,
+    /// Total bytes on disk (live + dead + headers).
+    pub bytes_on_disk: u64,
+    /// Bytes of live records (what compaction would keep).
+    pub live_bytes: u64,
+    /// Lookups served from disk.
+    pub hits: u64,
+    /// Lookups for fingerprints not in the store.
+    pub misses: u64,
+    /// Documents appended.
+    pub puts: u64,
+    /// Puts skipped because the stored document was byte-identical.
+    pub put_skips: u64,
+    /// Live entries dropped by byte-budget eviction.
+    pub evictions: u64,
+    /// Compactions performed over this store's lifetime (persisted only
+    /// in memory; restarts reset it).
+    pub compactions: u64,
+    /// Unix seconds of the last compaction, if any happened this run.
+    pub last_compaction_unix: Option<u64>,
+}
+
+#[derive(Debug, Clone)]
+struct IndexEntry {
+    segment: u64,
+    /// Offset of the *payload* (past the record header) in the segment.
+    offset: u64,
+    /// Payload length (fingerprint + document).
+    len: u32,
+    /// CRC32 of the payload — compared on put to skip identical rewrites,
+    /// re-verified on get against the bytes read back.
+    crc: u32,
+    /// Monotone write sequence; smallest = oldest-written = evicted first.
+    seq: u64,
+}
+
+struct Inner {
+    /// fp → location of its newest record.
+    index: HashMap<u128, IndexEntry>,
+    /// segment id → file size in bytes.
+    segments: BTreeMap<u64, u64>,
+    /// Append handle for the highest segment, opened lazily.
+    active: Option<(u64, File)>,
+    /// Whether the highest segment carries a valid header — appending to
+    /// a foreign or headerless file would bury the records after garbage
+    /// the recovery scan can never cross, so an invalid tail segment is
+    /// left alone and appends roll to a fresh one.
+    last_appendable: bool,
+    next_seq: u64,
+    live_bytes: u64,
+    compactions: u64,
+    last_compaction_unix: Option<u64>,
+    evictions: u64,
+}
+
+/// A persistent, content-addressed document store (see module docs).
+/// All methods take `&self`; internal state is mutex-guarded, so a
+/// server can share one `Store` across worker threads.
+///
+/// Cross-process discipline: a writable [`Store::open`] takes an
+/// advisory `LOCK` file (holder PID inside; stale locks from dead
+/// processes are reclaimed), because two independent writers would
+/// interleave appends and orphan each other's indexes. Inspection goes
+/// through [`Store::open_read_only`], which takes no lock and performs
+/// no filesystem mutation, so `graphio store ls/stat/get/export` can
+/// look at a store a live server is writing.
+pub struct Store {
+    dir: PathBuf,
+    config: StoreConfig,
+    read_only: bool,
+    /// Canonical directory registered in [`LIVE_WRITER_DIRS`] — present
+    /// exactly when this instance owns the `LOCK` file; both are
+    /// released on drop.
+    write_registration: Option<PathBuf>,
+    inner: Mutex<Inner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    puts: AtomicU64,
+    put_skips: AtomicU64,
+}
+
+/// Canonical directories currently open for writing *in this process*.
+/// The PID `LOCK` file cannot arbitrate intra-process duplicates (our
+/// own PID must stay reclaimable so a crashed-and-restarted-in-process
+/// server is not bricked), so this registry closes that hole: a second
+/// writable open of the same directory fails loudly instead of letting
+/// two instances append with divergent in-memory offsets.
+static LIVE_WRITER_DIRS: Mutex<Vec<PathBuf>> = Mutex::new(Vec::new());
+
+impl Drop for Store {
+    fn drop(&mut self) {
+        if let Some(canon) = self.write_registration.take() {
+            let _ = fs::remove_file(self.dir.join("LOCK"));
+            let mut dirs = LIVE_WRITER_DIRS.lock().expect("writer registry lock");
+            dirs.retain(|d| d != &canon);
+        }
+    }
+}
+
+/// Takes the advisory single-writer lock: atomically creates `LOCK`
+/// holding our PID. An existing lock whose PID is our own process or no
+/// longer running (checked via `/proc`, so advisory-only off Linux) is
+/// reclaimed — a `kill -9`'d server must not brick its store.
+fn acquire_lock(dir: &Path) -> io::Result<()> {
+    let path = dir.join("LOCK");
+    for _ in 0..5 {
+        match OpenOptions::new().write(true).create_new(true).open(&path) {
+            Ok(mut file) => {
+                file.write_all(std::process::id().to_string().as_bytes())?;
+                return Ok(());
+            }
+            Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                let holder = fs::read_to_string(&path)
+                    .ok()
+                    .and_then(|s| s.trim().parse::<u32>().ok());
+                match holder {
+                    Some(pid)
+                        if pid != std::process::id()
+                            && Path::new(&format!("/proc/{pid}")).exists() =>
+                    {
+                        return Err(io::Error::new(
+                            io::ErrorKind::WouldBlock,
+                            format!(
+                                "store {} is locked by running process {pid} \
+                                 (one writer at a time; use read-only inspection, \
+                                 or remove LOCK if the holder is truly gone)",
+                                dir.display()
+                            ),
+                        ));
+                    }
+                    // Our own PID (an earlier instance this process never
+                    // dropped), a dead holder, or an unreadable lock:
+                    // reclaim and retry the atomic create.
+                    _ => {
+                        let _ = fs::remove_file(&path);
+                    }
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Err(io::Error::new(
+        io::ErrorKind::WouldBlock,
+        format!("store {}: could not acquire LOCK", dir.display()),
+    ))
+}
+
+impl std::fmt::Debug for Store {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Store")
+            .field("dir", &self.dir)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+fn segment_path(dir: &Path, id: u64) -> PathBuf {
+    dir.join(format!("seg-{id:06}.log"))
+}
+
+fn parse_segment_id(name: &str) -> Option<u64> {
+    name.strip_prefix("seg-")?
+        .strip_suffix(".log")?
+        .parse()
+        .ok()
+}
+
+fn now_unix() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs())
+}
+
+/// One recovered record location during a segment scan.
+struct ScannedRecord {
+    fp: u128,
+    offset: u64,
+    len: u32,
+    crc: u32,
+}
+
+/// Scans one segment, returning its complete records and the byte offset
+/// where the last complete record ends (the truncation point for a torn
+/// tail). A missing or foreign header yields no records.
+fn scan_segment(path: &Path) -> io::Result<(Vec<ScannedRecord>, u64)> {
+    let bytes = fs::read(path)?;
+    if bytes.len() < HEADER_LEN as usize || &bytes[0..4] != MAGIC {
+        return Ok((Vec::new(), 0));
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4"));
+    if version != SEGMENT_VERSION {
+        return Ok((Vec::new(), 0));
+    }
+    let mut records = Vec::new();
+    let mut pos = HEADER_LEN as usize;
+    // Scan until the clean end of the file or the first incomplete/
+    // corrupt record (a tail shorter than a record header is a clean end
+    // too: flush-before-index means it can only be a torn append).
+    while let Some(header) = bytes.get(pos..pos + RECORD_HEADER_LEN as usize) {
+        let len = u32::from_le_bytes(header[0..4].try_into().expect("4"));
+        let crc = u32::from_le_bytes(header[4..8].try_into().expect("4"));
+        // Payloads carry at least a fingerprint; anything outside
+        // [16, MAX_RECORD_LEN] is a corrupt length header.
+        if !(16..=MAX_RECORD_LEN).contains(&len) {
+            break;
+        }
+        let payload_start = pos + RECORD_HEADER_LEN as usize;
+        let Some(payload) = bytes.get(payload_start..payload_start + len as usize) else {
+            break; // torn record: header promises more bytes than exist
+        };
+        if crc32(payload) != crc {
+            break; // bit rot or torn mid-payload
+        }
+        let fp = u128::from_le_bytes(payload[0..16].try_into().expect("16"));
+        records.push(ScannedRecord {
+            fp,
+            offset: payload_start as u64,
+            len,
+            crc,
+        });
+        pos = payload_start + len as usize;
+    }
+    Ok((records, pos as u64))
+}
+
+impl Store {
+    /// Opens (creating if needed) the store in `dir` for reading and
+    /// writing, taking the single-writer `LOCK` and rebuilding the
+    /// in-memory index by scanning every segment — torn tails are
+    /// recovered past and, on the active segment, truncated away.
+    ///
+    /// # Errors
+    /// Propagates filesystem failures; [`io::ErrorKind::WouldBlock`]
+    /// when another live process holds the lock.
+    pub fn open(dir: impl Into<PathBuf>, config: StoreConfig) -> io::Result<Store> {
+        Self::open_inner(dir.into(), config, false)
+    }
+
+    /// Opens the store in `dir` without the writer lock and without any
+    /// filesystem mutation (no tail truncation, and [`Store::put`] /
+    /// [`Store::compact`] / [`Store::snapshot`] are rejected) — safe to
+    /// point at a store a live server is writing. Reads that race a
+    /// concurrent compaction can fail spuriously; callers should treat
+    /// per-record errors as skippable.
+    ///
+    /// # Errors
+    /// Propagates filesystem failures.
+    pub fn open_read_only(dir: impl Into<PathBuf>, config: StoreConfig) -> io::Result<Store> {
+        Self::open_inner(dir.into(), config, true)
+    }
+
+    fn open_inner(dir: PathBuf, config: StoreConfig, read_only: bool) -> io::Result<Store> {
+        fs::create_dir_all(&dir)?;
+        let write_registration = if read_only {
+            None
+        } else {
+            let canon = fs::canonicalize(&dir)?;
+            {
+                let mut dirs = LIVE_WRITER_DIRS.lock().expect("writer registry lock");
+                if dirs.contains(&canon) {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WouldBlock,
+                        format!(
+                            "store {} is already open for writing in this process",
+                            dir.display()
+                        ),
+                    ));
+                }
+                dirs.push(canon.clone());
+            }
+            if let Err(e) = acquire_lock(&dir) {
+                let mut dirs = LIVE_WRITER_DIRS.lock().expect("writer registry lock");
+                dirs.retain(|d| d != &canon);
+                return Err(e);
+            }
+            Some(canon)
+        };
+        match Self::load_state(&dir, read_only) {
+            Ok(inner) => Ok(Store {
+                dir,
+                config,
+                read_only,
+                write_registration,
+                inner: Mutex::new(inner),
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+                puts: AtomicU64::new(0),
+                put_skips: AtomicU64::new(0),
+            }),
+            Err(e) => {
+                // Release the lock and registry slot a failed scan would
+                // otherwise leak — no Store exists to drop them.
+                if let Some(canon) = write_registration {
+                    let _ = fs::remove_file(dir.join("LOCK"));
+                    let mut dirs = LIVE_WRITER_DIRS.lock().expect("writer registry lock");
+                    dirs.retain(|d| d != &canon);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Rebuilds the in-memory state by scanning every segment in id
+    /// order (writable opens also truncate the active segment's torn
+    /// tail).
+    fn load_state(dir: &Path, read_only: bool) -> io::Result<Inner> {
+        let mut ids: Vec<u64> = fs::read_dir(dir)?
+            .filter_map(|entry| {
+                let entry = entry.ok()?;
+                parse_segment_id(entry.file_name().to_str()?)
+            })
+            .collect();
+        ids.sort_unstable();
+
+        let mut index: HashMap<u128, IndexEntry> = HashMap::new();
+        let mut segments = BTreeMap::new();
+        let mut next_seq = 0u64;
+        let mut last_appendable = true;
+        for &id in &ids {
+            let path = segment_path(dir, id);
+            let (records, good_end) = scan_segment(&path)?;
+            let disk_len = fs::metadata(&path)?.len();
+            if Some(&id) == ids.last() {
+                last_appendable = good_end >= HEADER_LEN;
+            }
+            if !read_only
+                && Some(&id) == ids.last()
+                && good_end >= HEADER_LEN
+                && good_end < disk_len
+            {
+                // Truncate the active segment's torn tail so future
+                // appends start on a record boundary.
+                OpenOptions::new()
+                    .write(true)
+                    .open(&path)?
+                    .set_len(good_end)?;
+            }
+            let kept_len = if Some(&id) == ids.last() && good_end >= HEADER_LEN {
+                good_end
+            } else {
+                disk_len
+            };
+            segments.insert(id, kept_len);
+            for rec in records {
+                index.insert(
+                    rec.fp,
+                    IndexEntry {
+                        segment: id,
+                        offset: rec.offset,
+                        len: rec.len,
+                        crc: rec.crc,
+                        seq: next_seq,
+                    },
+                );
+                next_seq += 1;
+            }
+        }
+        let live_bytes = index
+            .values()
+            .map(|e| e.len as u64 + RECORD_HEADER_LEN)
+            .sum();
+        Ok(Inner {
+            index,
+            segments,
+            active: None,
+            last_appendable,
+            next_seq,
+            live_bytes,
+            compactions: 0,
+            last_compaction_unix: None,
+            evictions: 0,
+        })
+    }
+
+    /// The store's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// True when `fp` has a stored document (index check, no disk read).
+    pub fn contains(&self, fp: Fingerprint) -> bool {
+        self.inner
+            .lock()
+            .expect("store lock")
+            .index
+            .contains_key(&fp.0)
+    }
+
+    /// Live fingerprints, oldest-written first.
+    pub fn fingerprints(&self) -> Vec<Fingerprint> {
+        let inner = self.inner.lock().expect("store lock");
+        let mut fps: Vec<(u64, u128)> = inner.index.iter().map(|(&fp, e)| (e.seq, fp)).collect();
+        fps.sort_unstable();
+        fps.into_iter().map(|(_, fp)| Fingerprint(fp)).collect()
+    }
+
+    /// Reads the newest document stored for `fp`, re-verifying its CRC
+    /// against the bytes that actually came back from disk.
+    ///
+    /// # Errors
+    /// Propagates filesystem failures; a record whose re-read fails its
+    /// CRC is surfaced as [`io::ErrorKind::InvalidData`].
+    pub fn get(&self, fp: Fingerprint) -> io::Result<Option<Vec<u8>>> {
+        // The file read happens *under* the store lock: a concurrent
+        // budget-triggered compaction deletes old segment files, and an
+        // entry cloned before the delete would dangle. Gets only run on
+        // RAM-cache misses, so serializing them against puts/compactions
+        // costs little and removes the race entirely. (Read-only opens
+        // have no such guarantee — their callers skip bad records.)
+        let inner = self.inner.lock().expect("store lock");
+        let entry = match inner.index.get(&fp.0) {
+            Some(e) => e.clone(),
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return Ok(None);
+            }
+        };
+        let mut file = File::open(segment_path(&self.dir, entry.segment))?;
+        file.seek(SeekFrom::Start(entry.offset))?;
+        let mut payload = vec![0u8; entry.len as usize];
+        file.read_exact(&mut payload)?;
+        if crc32(&payload) != entry.crc {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("record for {fp} failed its checksum on read-back"),
+            ));
+        }
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        Ok(Some(payload[16..].to_vec()))
+    }
+
+    /// Appends `doc` as the newest document for `fp`, unless the stored
+    /// one is already byte-identical (returns `false` without touching
+    /// disk). The record is flushed before the index learns of it, then
+    /// the byte budget is enforced. Returns `true` when a record was
+    /// written.
+    ///
+    /// # Errors
+    /// Propagates filesystem failures; rejected on read-only stores.
+    pub fn put(&self, fp: Fingerprint, doc: &[u8]) -> io::Result<bool> {
+        self.require_writable()?;
+        // Enforce the writer side of the recovery scanner's length
+        // bound: a record the scanner would classify as corrupt must be
+        // rejected here, not "successfully" appended and then silently
+        // dropped (with everything after it) at the next reopen.
+        if doc.len() > (MAX_RECORD_LEN as usize) - 16 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "document of {} bytes exceeds the {MAX_RECORD_LEN}-byte record cap",
+                    doc.len()
+                ),
+            ));
+        }
+        let mut payload = Vec::with_capacity(16 + doc.len());
+        payload.extend_from_slice(&fp.0.to_le_bytes());
+        payload.extend_from_slice(doc);
+        let crc = crc32(&payload);
+
+        let mut inner = self.inner.lock().expect("store lock");
+        if let Some(existing) = inner.index.get(&fp.0) {
+            if existing.len as usize == payload.len() && existing.crc == crc {
+                self.put_skips.fetch_add(1, Ordering::Relaxed);
+                return Ok(false);
+            }
+        }
+        let (segment, offset) = self.append_record(&mut inner, &payload, crc)?;
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        let record_bytes = payload.len() as u64 + RECORD_HEADER_LEN;
+        if let Some(old) = inner.index.insert(
+            fp.0,
+            IndexEntry {
+                segment,
+                offset,
+                len: payload.len() as u32,
+                crc,
+                seq,
+            },
+        ) {
+            inner.live_bytes -= old.len as u64 + RECORD_HEADER_LEN;
+        }
+        inner.live_bytes += record_bytes;
+        self.puts.fetch_add(1, Ordering::Relaxed);
+        self.enforce_budget(&mut inner)?;
+        Ok(true)
+    }
+
+    /// Appends one framed record to the active segment (rolling to a new
+    /// segment past the target size), flushes, and returns its location.
+    fn append_record(&self, inner: &mut Inner, payload: &[u8], crc: u32) -> io::Result<(u64, u64)> {
+        let roll_past = self.config.segment_bytes;
+        let need_new = match inner.active {
+            Some((id, _)) => inner.segments.get(&id).copied().unwrap_or(0) >= roll_past,
+            None => match inner.segments.last_key_value() {
+                Some((&id, &len)) if len < roll_past && inner.last_appendable => {
+                    let file = OpenOptions::new()
+                        .append(true)
+                        .open(segment_path(&self.dir, id))?;
+                    inner.active = Some((id, file));
+                    false
+                }
+                _ => true,
+            },
+        };
+        if need_new {
+            let id = inner.segments.last_key_value().map_or(1, |(&id, _)| id + 1);
+            let mut file = OpenOptions::new()
+                .create_new(true)
+                .append(true)
+                .open(segment_path(&self.dir, id))?;
+            file.write_all(MAGIC)?;
+            file.write_all(&SEGMENT_VERSION.to_le_bytes())?;
+            inner.segments.insert(id, HEADER_LEN);
+            inner.active = Some((id, file));
+            inner.last_appendable = true;
+        }
+        let (id, file) = inner.active.as_mut().expect("active segment");
+        let id = *id;
+        let offset = inner.segments.get(&id).copied().unwrap_or(HEADER_LEN);
+        file.write_all(&(payload.len() as u32).to_le_bytes())?;
+        file.write_all(&crc.to_le_bytes())?;
+        file.write_all(payload)?;
+        file.flush()?;
+        if self.config.fsync_appends {
+            file.sync_data()?;
+        }
+        let new_len = offset + RECORD_HEADER_LEN + payload.len() as u64;
+        inner.segments.insert(id, new_len);
+        Ok((id, offset + RECORD_HEADER_LEN))
+    }
+
+    fn total_bytes(inner: &Inner) -> u64 {
+        inner.segments.values().sum()
+    }
+
+    /// Brings the directory back under `max_bytes` once it exceeds it:
+    /// evict the oldest-written fingerprints down to the **low-water
+    /// mark** (90% of the budget), then compact. The hysteresis is what
+    /// keeps a saturated store from degenerating into a full live-set
+    /// rewrite per put — after a compaction the next ~10% of the budget
+    /// ingests with no compaction at all, so write amplification is
+    /// bounded by `budget / headroom` (~10×) instead of `puts × live`.
+    fn enforce_budget(&self, inner: &mut Inner) -> io::Result<()> {
+        if Self::total_bytes(inner) <= self.config.max_bytes {
+            return Ok(());
+        }
+        let low_water = self.config.max_bytes - self.config.max_bytes / 10;
+        let header_overhead = inner.segments.len() as u64 * HEADER_LEN;
+        if inner.live_bytes + header_overhead > low_water {
+            let mut by_age: Vec<(u64, u128)> =
+                inner.index.iter().map(|(&fp, e)| (e.seq, fp)).collect();
+            by_age.sort_unstable();
+            for (_, fp) in by_age {
+                // Keep at least one entry: a single over-budget document
+                // must not thrash in and out of the store.
+                if inner.index.len() <= 1 || inner.live_bytes + HEADER_LEN <= low_water {
+                    break;
+                }
+                if let Some(old) = inner.index.remove(&fp) {
+                    inner.live_bytes -= old.len as u64 + RECORD_HEADER_LEN;
+                    inner.evictions += 1;
+                }
+            }
+        }
+        self.compact_locked(inner)
+    }
+
+    fn require_writable(&self) -> io::Result<()> {
+        if self.read_only {
+            return Err(io::Error::new(
+                io::ErrorKind::PermissionDenied,
+                format!("store {} was opened read-only", self.dir.display()),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Rewrites the live records into a single fresh segment via
+    /// temp+rename, then deletes the old segments (see module docs for
+    /// the crash-safety argument).
+    fn compact_locked(&self, inner: &mut Inner) -> io::Result<()> {
+        inner.active = None; // close the append handle before file surgery
+        let old_ids: Vec<u64> = inner.segments.keys().copied().collect();
+        let new_id = old_ids.last().map_or(1, |id| id + 1);
+        let tmp_path = self.dir.join("compact.tmp");
+        let mut tmp = File::create(&tmp_path)?;
+        tmp.write_all(MAGIC)?;
+        tmp.write_all(&SEGMENT_VERSION.to_le_bytes())?;
+
+        // Copy live records oldest-seq-first so relative age survives
+        // future recovery scans (recovery re-assigns seq in record order).
+        let mut live: Vec<(u64, u128)> = inner.index.iter().map(|(&fp, e)| (e.seq, fp)).collect();
+        live.sort_unstable();
+        let mut new_entries: HashMap<u128, IndexEntry> = HashMap::with_capacity(live.len());
+        let mut pos = HEADER_LEN;
+        let mut readers: HashMap<u64, File> = HashMap::new();
+        for (seq, fp) in live {
+            let entry = inner.index.get(&fp).expect("live entry").clone();
+            let file = match readers.entry(entry.segment) {
+                std::collections::hash_map::Entry::Occupied(o) => o.into_mut(),
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert(File::open(segment_path(&self.dir, entry.segment))?)
+                }
+            };
+            file.seek(SeekFrom::Start(entry.offset))?;
+            let mut payload = vec![0u8; entry.len as usize];
+            file.read_exact(&mut payload)?;
+            if crc32(&payload) != entry.crc {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "record failed its checksum during compaction",
+                ));
+            }
+            tmp.write_all(&entry.len.to_le_bytes())?;
+            tmp.write_all(&entry.crc.to_le_bytes())?;
+            tmp.write_all(&payload)?;
+            new_entries.insert(
+                fp,
+                IndexEntry {
+                    segment: new_id,
+                    offset: pos + RECORD_HEADER_LEN,
+                    len: entry.len,
+                    crc: entry.crc,
+                    seq,
+                },
+            );
+            pos += RECORD_HEADER_LEN + entry.len as u64;
+        }
+        tmp.sync_all()?;
+        drop(tmp);
+        // The atomic commit point: after this rename the new segment has
+        // the highest id and therefore wins every future recovery scan.
+        fs::rename(&tmp_path, segment_path(&self.dir, new_id))?;
+        for id in old_ids {
+            let _ = fs::remove_file(segment_path(&self.dir, id));
+        }
+        inner.index = new_entries;
+        inner.segments = BTreeMap::from([(new_id, pos)]);
+        inner.last_appendable = true;
+        inner.live_bytes = pos - HEADER_LEN;
+        inner.compactions += 1;
+        inner.last_compaction_unix = Some(now_unix());
+        Ok(())
+    }
+
+    /// Compacts unconditionally (CLI `graphio store compact`).
+    ///
+    /// # Errors
+    /// Propagates filesystem failures; rejected on read-only stores.
+    pub fn compact(&self) -> io::Result<()> {
+        self.require_writable()?;
+        let mut inner = self.inner.lock().expect("store lock");
+        self.compact_locked(&mut inner)
+    }
+
+    /// Flushes a snapshot for a graceful shutdown: compacts when the
+    /// directory carries dead space or is fragmented across segments, so
+    /// the next boot scans one tight segment. A no-op on an already-tidy
+    /// store.
+    ///
+    /// # Errors
+    /// Propagates filesystem failures; rejected on read-only stores.
+    pub fn snapshot(&self) -> io::Result<()> {
+        self.require_writable()?;
+        let mut inner = self.inner.lock().expect("store lock");
+        let header_overhead = inner.segments.len() as u64 * HEADER_LEN;
+        let tidy = inner.segments.len() <= 1
+            && Self::total_bytes(&inner) == inner.live_bytes + header_overhead;
+        if tidy {
+            return Ok(());
+        }
+        self.compact_locked(&mut inner)
+    }
+
+    /// Point-in-time counters and gauges.
+    pub fn stats(&self) -> StoreStats {
+        let inner = self.inner.lock().expect("store lock");
+        StoreStats {
+            records: inner.index.len() as u64,
+            segments: inner.segments.len() as u64,
+            bytes_on_disk: Self::total_bytes(&inner),
+            live_bytes: inner.live_bytes,
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            puts: self.puts.load(Ordering::Relaxed),
+            put_skips: self.put_skips.load(Ordering::Relaxed),
+            evictions: inner.evictions,
+            compactions: inner.compactions,
+            last_compaction_unix: inner.last_compaction_unix,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "graphio_store_{tag}_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn fp(x: u128) -> Fingerprint {
+        Fingerprint(x)
+    }
+
+    #[test]
+    fn put_get_roundtrip_and_skip_identical() {
+        let dir = tmp_dir("roundtrip");
+        let store = Store::open(&dir, StoreConfig::default()).unwrap();
+        assert!(store.get(fp(1)).unwrap().is_none());
+        assert!(store.put(fp(1), b"hello").unwrap());
+        assert!(!store.put(fp(1), b"hello").unwrap(), "identical put skips");
+        assert!(store.put(fp(1), b"hello2").unwrap(), "changed doc appends");
+        assert_eq!(store.get(fp(1)).unwrap().unwrap(), b"hello2");
+        let stats = store.stats();
+        assert_eq!((stats.puts, stats.put_skips, stats.records), (2, 1, 1));
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reopen_recovers_the_index() {
+        let dir = tmp_dir("reopen");
+        {
+            let store = Store::open(&dir, StoreConfig::default()).unwrap();
+            store.put(fp(7), b"seven").unwrap();
+            store.put(fp(8), b"eight").unwrap();
+            store.put(fp(7), b"SEVEN").unwrap(); // supersedes
+        }
+        let store = Store::open(&dir, StoreConfig::default()).unwrap();
+        assert_eq!(store.get(fp(7)).unwrap().unwrap(), b"SEVEN");
+        assert_eq!(store.get(fp(8)).unwrap().unwrap(), b"eight");
+        assert_eq!(store.stats().records, 2);
+        // Oldest-written first: 8 was written before 7's superseding put.
+        assert_eq!(store.fingerprints(), vec![fp(8), fp(7)]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// The acceptance-criteria crash test: a torn final record (the
+    /// classic power-cut-mid-append) must cost exactly that record —
+    /// every complete record is recovered and appends keep working.
+    #[test]
+    fn torn_final_record_recovers_all_complete_records() {
+        let dir = tmp_dir("torn");
+        {
+            let store = Store::open(&dir, StoreConfig::default()).unwrap();
+            store.put(fp(1), b"alpha").unwrap();
+            store.put(fp(2), b"beta").unwrap();
+            store.put(fp(3), b"gamma-the-last").unwrap();
+        }
+        let seg = segment_path(&dir, 1);
+        let full = fs::metadata(&seg).unwrap().len();
+        // Tear the last record mid-payload.
+        OpenOptions::new()
+            .write(true)
+            .open(&seg)
+            .unwrap()
+            .set_len(full - 5)
+            .unwrap();
+        let store = Store::open(&dir, StoreConfig::default()).unwrap();
+        assert_eq!(store.get(fp(1)).unwrap().unwrap(), b"alpha");
+        assert_eq!(store.get(fp(2)).unwrap().unwrap(), b"beta");
+        assert!(store.get(fp(3)).unwrap().is_none(), "torn record is lost");
+        assert_eq!(store.stats().records, 2);
+        // The torn tail was truncated, so new appends land on a record
+        // boundary and survive another reopen.
+        store.put(fp(4), b"delta").unwrap();
+        drop(store);
+        let store = Store::open(&dir, StoreConfig::default()).unwrap();
+        assert_eq!(store.get(fp(4)).unwrap().unwrap(), b"delta");
+        assert_eq!(store.get(fp(2)).unwrap().unwrap(), b"beta");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_crc_ends_the_scan_at_the_flip() {
+        let dir = tmp_dir("crc");
+        {
+            let store = Store::open(&dir, StoreConfig::default()).unwrap();
+            store.put(fp(1), b"first").unwrap();
+            store.put(fp(2), b"second").unwrap();
+        }
+        let seg = segment_path(&dir, 1);
+        let mut bytes = fs::read(&seg).unwrap();
+        let last = bytes.len() - 1; // inside the second record's payload
+        bytes[last] ^= 0xFF;
+        fs::write(&seg, &bytes).unwrap();
+        let store = Store::open(&dir, StoreConfig::default()).unwrap();
+        assert_eq!(store.get(fp(1)).unwrap().unwrap(), b"first");
+        assert!(store.get(fp(2)).unwrap().is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_drops_dead_space_and_survives_reopen() {
+        let dir = tmp_dir("compact");
+        let store = Store::open(&dir, StoreConfig::default()).unwrap();
+        for round in 0..10u8 {
+            store.put(fp(1), &[round; 64]).unwrap();
+            store.put(fp(2), &[round ^ 0xAA; 64]).unwrap();
+        }
+        let before = store.stats();
+        assert!(before.bytes_on_disk > before.live_bytes);
+        store.compact().unwrap();
+        let after = store.stats();
+        assert_eq!(after.records, 2);
+        assert_eq!(after.segments, 1);
+        assert_eq!(after.bytes_on_disk, after.live_bytes + HEADER_LEN);
+        assert!(after.bytes_on_disk < before.bytes_on_disk);
+        assert_eq!(after.compactions, 1);
+        assert!(after.last_compaction_unix.is_some());
+        assert_eq!(store.get(fp(1)).unwrap().unwrap(), vec![9u8; 64]);
+        drop(store);
+        let store = Store::open(&dir, StoreConfig::default()).unwrap();
+        assert_eq!(store.get(fp(2)).unwrap().unwrap(), vec![9u8 ^ 0xAA; 64]);
+        assert!(store.put(fp(3), b"post-compact").unwrap());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn byte_budget_evicts_oldest_written() {
+        let dir = tmp_dir("budget");
+        let store = Store::open(
+            &dir,
+            StoreConfig {
+                max_bytes: 400,
+                segment_bytes: 200,
+                ..StoreConfig::default()
+            },
+        )
+        .unwrap();
+        for i in 0..8u128 {
+            store.put(fp(i), &[i as u8; 100]).unwrap();
+        }
+        let stats = store.stats();
+        assert!(stats.bytes_on_disk <= 400, "budget enforced: {stats:?}");
+        assert!(stats.evictions > 0);
+        assert!(store.get(fp(7)).unwrap().is_some(), "newest survives");
+        assert!(store.get(fp(0)).unwrap().is_none(), "oldest evicted");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_compacts_only_when_dirty() {
+        let dir = tmp_dir("snapshot");
+        let store = Store::open(&dir, StoreConfig::default()).unwrap();
+        store.put(fp(1), b"one").unwrap();
+        store.put(fp(1), b"two").unwrap(); // dead space
+        store.snapshot().unwrap();
+        assert_eq!(store.stats().compactions, 1);
+        store.snapshot().unwrap(); // tidy: no second compaction
+        assert_eq!(store.stats().compactions, 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn segments_roll_at_the_target_size() {
+        let dir = tmp_dir("roll");
+        let store = Store::open(
+            &dir,
+            StoreConfig {
+                max_bytes: 1 << 20,
+                segment_bytes: 128,
+                ..StoreConfig::default()
+            },
+        )
+        .unwrap();
+        for i in 0..6u128 {
+            store.put(fp(i), &[0u8; 100]).unwrap();
+        }
+        assert!(store.stats().segments > 1);
+        for i in 0..6u128 {
+            assert!(store.get(fp(i)).unwrap().is_some());
+        }
+        drop(store);
+        let store = Store::open(&dir, StoreConfig::default()).unwrap();
+        assert_eq!(store.stats().records, 6);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn writer_lock_is_exclusive_reclaimable_and_skipped_for_readers() {
+        let dir = tmp_dir("lock");
+        {
+            let store = Store::open(&dir, StoreConfig::default()).unwrap();
+            store.put(fp(1), b"one").unwrap();
+            // Same process, same dir, second writable open: the
+            // in-process registry refuses it (the PID lock alone cannot —
+            // our own PID must stay reclaimable after in-process crashes).
+            let dup = Store::open(&dir, StoreConfig::default());
+            assert_eq!(dup.unwrap_err().kind(), io::ErrorKind::WouldBlock);
+        }
+        // Simulate another *live* process holding the lock; PID 1 always
+        // runs.
+        fs::write(dir.join("LOCK"), b"1").unwrap();
+        let denied = Store::open(&dir, StoreConfig::default());
+        assert_eq!(
+            denied.unwrap_err().kind(),
+            io::ErrorKind::WouldBlock,
+            "lock contention has a distinct error kind"
+        );
+        // Read-only opens neither take nor need the lock...
+        let reader = Store::open_read_only(&dir, StoreConfig::default()).unwrap();
+        assert_eq!(reader.get(fp(1)).unwrap().unwrap(), b"one");
+        // ...and reject every mutation.
+        assert_eq!(
+            reader.put(fp(2), b"x").unwrap_err().kind(),
+            io::ErrorKind::PermissionDenied
+        );
+        assert_eq!(
+            reader.compact().unwrap_err().kind(),
+            io::ErrorKind::PermissionDenied
+        );
+        assert_eq!(
+            reader.snapshot().unwrap_err().kind(),
+            io::ErrorKind::PermissionDenied
+        );
+        drop(reader); // must NOT remove the (foreign) lock
+        assert!(dir.join("LOCK").exists());
+
+        // A stale lock (dead PID) is reclaimed by the next writer, and a
+        // clean drop removes the lock it holds.
+        fs::write(dir.join("LOCK"), u32::MAX.to_string()).unwrap();
+        let store2 = Store::open(&dir, StoreConfig::default()).unwrap();
+        store2.put(fp(2), b"two").unwrap();
+        drop(store2);
+        assert!(!dir.join("LOCK").exists(), "drop releases the lock");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn foreign_files_are_ignored() {
+        let dir = tmp_dir("foreign");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("README.txt"), b"not a segment").unwrap();
+        fs::write(dir.join("seg-000001.log"), b"BAD!").unwrap();
+        let store = Store::open(&dir, StoreConfig::default()).unwrap();
+        assert_eq!(store.stats().records, 0);
+        store.put(fp(1), b"fine").unwrap();
+        assert_eq!(store.get(fp(1)).unwrap().unwrap(), b"fine");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,93 @@
+//! Cold vs warm analysis latency through the persistent store — the
+//! measurement behind `BENCH_store.json`.
+//!
+//! For each corpus graph the example times the full canonical analysis
+//! document twice: **cold** (fresh session: eigensolves + min-cut sweep +
+//! simulation) and **warm** (session restored from a `graphio_store`
+//! segment log: decode + import, zero eigensolves — only the
+//! per-request simulation is recomputed). The two documents are asserted
+//! byte-identical, so the speedup is bought without touching a single
+//! output bit.
+//!
+//! ```text
+//! cargo run --release --example store_warmstart > BENCH_store.json
+//! ```
+
+use graphio::graph::generators::{bhk_hypercube, diamond_dag, fft_butterfly};
+use graphio::graph::{fingerprint, CompGraph};
+use graphio::service::analysis::{analysis_body, AnalyzeSpec};
+use graphio::spectral::OwnedAnalyzer;
+use graphio::store::{load_session, save_session, Store, StoreConfig};
+use std::time::Instant;
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("graphio_bench_store_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = Store::open(&dir, StoreConfig::default()).expect("open store");
+    let memories = vec![2usize, 4, 8, 16, 32];
+    let spec = AnalyzeSpec::sweep(memories.clone());
+    let corpus: Vec<(&str, CompGraph)> = vec![
+        ("fft_butterfly(7)", fft_butterfly(7)),
+        ("bhk_hypercube(7)", bhk_hypercube(7)),
+        ("diamond_dag(40,40)", diamond_dag(40, 40)),
+    ];
+
+    let mut rows = Vec::new();
+    let mut speedup_product = 1.0f64;
+    for (name, g) in &corpus {
+        let fp = fingerprint(g);
+
+        let t = Instant::now();
+        let cold_session = OwnedAnalyzer::from_graph(g.clone());
+        let cold_body = analysis_body(&cold_session, &spec);
+        let cold_ms = t.elapsed().as_secs_f64() * 1e3;
+        save_session(&store, fp, &cold_session).expect("write through");
+
+        let t = Instant::now();
+        let warm_session = load_session(&store, fp)
+            .expect("read store")
+            .expect("record exists");
+        let warm_body = analysis_body(&warm_session, &spec);
+        let warm_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        assert_eq!(cold_body, warm_body, "{name}: warm bytes must match cold");
+        assert_eq!(
+            warm_session.stats().spectrum_misses,
+            0,
+            "{name}: warm eigensolved"
+        );
+        let speedup = cold_ms / warm_ms;
+        speedup_product *= speedup;
+        eprintln!("{name}: cold {cold_ms:.2} ms, warm {warm_ms:.2} ms ({speedup:.1}x)");
+        rows.push(format!(
+            concat!(
+                "    {{\"graph\": \"{}\", \"n\": {}, \"edges\": {}, ",
+                "\"cold_ms\": {:.3}, \"warm_ms\": {:.3}, \"speedup\": {:.2}}}"
+            ),
+            name,
+            g.n(),
+            g.num_edges(),
+            cold_ms,
+            warm_ms,
+            speedup
+        ));
+    }
+    let geomean = speedup_product.powf(1.0 / corpus.len() as f64);
+    println!("{{");
+    println!("  \"bench\": \"store_warmstart\",");
+    println!("  \"description\": \"full analysis document latency: cold session vs session restored from graphio_store (bit-identical output, 0 eigensolves warm)\",");
+    println!(
+        "  \"memories\": [{}],",
+        memories
+            .iter()
+            .map(|m| m.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    println!("  \"graphs\": [");
+    println!("{}", rows.join(",\n"));
+    println!("  ],");
+    println!("  \"geomean_speedup\": {geomean:.2}");
+    println!("}}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

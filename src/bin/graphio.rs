@@ -15,6 +15,12 @@
 //!     --keep-alive --repeat 16 < graph.json  # one connection, 16 requests
 //! graphio client batch --url ... --memory-sweep 2,4,8 \
 //!     < graphs.ndjson                        # many graphs, one request
+//! graphio precompute --store ./analysis-store \
+//!     < graphs.ndjson                        # sweep a corpus to disk
+//! graphio serve --port 7878 --store ./analysis-store  # boots hot
+//! graphio store ls --store ./analysis-store  # one line per fingerprint
+//! graphio store get --store ./analysis-store --fingerprint <hex> \
+//!     | graphio analyze --memory-sweep 2,4,8 # stored graphs pipe back in
 //! ```
 //!
 //! `analyze` is the cached path: one session computes each Laplacian
@@ -38,8 +44,12 @@ use graphio::linalg::stats::sparse_matvec_count;
 use graphio::pebble::{simulate, Policy};
 use graphio::service::analysis::{analysis_body, analyze_rows, validate_memories, AnalyzeSpec};
 use graphio::service::cache::CacheConfig;
-use graphio::service::{client, serve, ServiceConfig};
+use graphio::service::{client, serve, PersistenceConfig, ServiceConfig};
 use graphio::spectral::{BoundOptions, OwnedAnalyzer};
+use graphio::store::{
+    canonical_edge_list, decode_session, load_session, save_session, warm_session, Store,
+    StoreConfig,
+};
 use std::collections::HashMap;
 use std::io::Read;
 
@@ -50,11 +60,14 @@ fn usage() -> ! {
          graphio analyze --memory-sweep <M1,M2,...> [--processors <p>] [--threads <N>] [--no-sim] [--json] < graph.json\n  \
          graphio simulate --memory <M> [--policy lru|fifo|belady|random] [--order natural|dfs|bfs] [--threads <N>] < graph.json\n  \
          graphio dot < graph.json\n  \
-         graphio serve [--host <H>] [--port <P>] [--workers <W>] [--queue <Q>] [--cache-mb <B>] [--shards <S>] [--max-sessions <K>] [--threads <N>] [--idle-ms <T>] [--max-requests <R>]\n  \
+         graphio serve [--host <H>] [--port <P>] [--workers <W>] [--queue <Q>] [--cache-mb <B>] [--shards <S>] [--max-sessions <K>] [--threads <N>] [--idle-ms <T>] [--max-requests <R>] [--store <DIR>] [--store-mb <B>]\n  \
          graphio client analyze --url <http://host:port> --memory-sweep <M1,...> [--processors <p>] [--no-sim] [--keep-alive] [--repeat <N>] < graph.json\n  \
          graphio client batch --url <http://host:port> --memory-sweep <M1,...> [--processors <p>] [--no-sim] < graphs.ndjson\n  \
          graphio client register --url <http://host:port> < graph.json\n  \
-         graphio client stats|health --url <http://host:port>\n\n\
+         graphio client stats|health --url <http://host:port>\n  \
+         graphio precompute --store <DIR> [--store-mb <B>] [--threads <N>] < graphs.ndjson\n  \
+         graphio store stat|ls|compact|export --store <DIR>\n  \
+         graphio store get --store <DIR> --fingerprint <HEX>\n\n\
          families: fft, bhk, matmul, strassen, inner, diamond, er"
     );
     std::process::exit(2)
@@ -383,6 +396,8 @@ fn cmd_serve(args: &[String]) {
             "--threads",
             "--idle-ms",
             "--max-requests",
+            "--store",
+            "--store-mb",
         ],
         &[],
     );
@@ -418,7 +433,15 @@ fn cmd_serve(args: &[String]) {
                 .parse_flag::<usize>("--cache-mb")
                 .map_or(cache_defaults.max_bytes, |mb| mb.saturating_mul(1 << 20)),
         },
+        store: parsed.flag("--store").map(|dir| PersistenceConfig {
+            dir: dir.into(),
+            store: store_config(&parsed),
+        }),
     };
+    if parsed.has("--store-mb") && config.store.is_none() {
+        eprintln!("error: --store-mb requires --store in `graphio serve`");
+        usage();
+    }
     // Each worker runs its eigensolves through the linalg kernels, which
     // parallelize internally via the process-global thread knob; split
     // the machine across workers unless told otherwise.
@@ -430,14 +453,247 @@ fn cmd_serve(args: &[String]) {
         }
     }
     let server = serve(&config).unwrap_or_else(|e| {
-        eprintln!("error: failed to bind {}:{}: {e}", config.host, config.port);
+        eprintln!("error: failed to start server: {e}");
         std::process::exit(1);
     });
+    if let Some(stats) = server.store_stats() {
+        println!(
+            "store: {} record(s) in {} segment(s), {} bytes on disk",
+            stats.records, stats.segments, stats.bytes_on_disk
+        );
+    }
     // Line-buffered and parsed by the CI driver — keep the format stable.
     println!("graphio service listening on {}", server.url());
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
     server.join();
+}
+
+/// Store sizing shared by every subcommand that opens one
+/// (`--store-mb` caps the on-disk byte budget).
+fn store_config(parsed: &Parsed) -> StoreConfig {
+    let defaults = StoreConfig::default();
+    StoreConfig {
+        max_bytes: parsed
+            .parse_flag::<u64>("--store-mb")
+            .map_or(defaults.max_bytes, |mb| mb.saturating_mul(1 << 20)),
+        ..defaults
+    }
+}
+
+/// Opens the store named by `--store` (required). Inspection commands
+/// pass `read_only` — no writer lock, no filesystem mutation — so they
+/// can point at a store a live `serve --store` is writing.
+fn open_store(parsed: &Parsed, read_only: bool) -> Store {
+    let dir = parsed.flag("--store").unwrap_or_else(|| {
+        eprintln!(
+            "error: --store <DIR> is required for `graphio {}`",
+            parsed.cmd
+        );
+        usage()
+    });
+    let opened = if read_only {
+        Store::open_read_only(dir, store_config(parsed))
+    } else {
+        Store::open(dir, store_config(parsed))
+    };
+    opened.unwrap_or_else(|e| {
+        eprintln!("error: cannot open store {dir}: {e}");
+        std::process::exit(1);
+    })
+}
+
+/// `graphio store {stat,ls,get,compact,export}` — inspect and maintain a
+/// persistent analysis store offline.
+fn cmd_store(args: &[String]) {
+    let Some((action, rest)) = args.split_first() else {
+        usage()
+    };
+    let value_flags: &[&str] = match action.as_str() {
+        "get" => &["--store", "--store-mb", "--fingerprint"],
+        "stat" | "ls" | "compact" | "export" => &["--store", "--store-mb"],
+        _ => usage(),
+    };
+    let parsed = parse_args(&format!("store {action}"), rest, value_flags, &[]);
+    // Only `compact` mutates; everything else opens lock-free/read-only.
+    let store = open_store(&parsed, action != "compact");
+
+    /// The decoded document for `fp`, or `None` with a warning — bulk
+    /// commands (`ls`, `export`) keep going past one bad record so a
+    /// single undecodable entry (version skew, racing compaction) does
+    /// not hide the healthy rest of the store.
+    fn try_fetch(
+        store: &Store,
+        fp: graphio::graph::Fingerprint,
+    ) -> Option<(Vec<u8>, graphio::store::StoredSession)> {
+        match store.get(fp) {
+            Ok(Some(doc)) => match decode_session(&doc) {
+                Ok(session) => Some((doc, session)),
+                Err(e) => {
+                    eprintln!("warning: skipping undecodable record for {fp}: {e}");
+                    None
+                }
+            },
+            Ok(None) => None,
+            Err(e) => {
+                eprintln!("warning: skipping unreadable record for {fp}: {e}");
+                None
+            }
+        }
+    }
+
+    match action.as_str() {
+        "stat" => {
+            let s = store.stats();
+            let num = |v: u64| graphio::graph::json::JsonValue::Number(v as f64);
+            let doc = graphio::graph::json::JsonValue::Object(vec![
+                ("records".to_string(), num(s.records)),
+                ("segments".to_string(), num(s.segments)),
+                ("bytes_on_disk".to_string(), num(s.bytes_on_disk)),
+                ("live_bytes".to_string(), num(s.live_bytes)),
+                ("compactions".to_string(), num(s.compactions)),
+            ]);
+            write_stdout(&(doc.to_string() + "\n"));
+        }
+        "ls" => {
+            let mut out = String::new();
+            for fp in store.fingerprints() {
+                let Some((doc, session)) = try_fetch(&store, fp) else {
+                    continue;
+                };
+                out.push_str(&format!(
+                    "{fp}\tn={}\tedges={}\tspectra={}\tcuts={}\tbytes={}\n",
+                    session.graph.n(),
+                    session.graph.num_edges(),
+                    session.export.spectra.len(),
+                    session.export.cuts.len(),
+                    doc.len(),
+                ));
+            }
+            write_stdout(&out);
+        }
+        "get" => {
+            let hex = parsed.flag("--fingerprint").unwrap_or_else(|| usage());
+            let Some(fp) = graphio::graph::Fingerprint::from_hex(hex) else {
+                eprintln!("error: malformed fingerprint {hex:?} for `graphio store get`");
+                usage()
+            };
+            // `get` asked for one specific record, so absence IS the
+            // error (unlike the bulk commands above).
+            let Some((_, session)) = try_fetch(&store, fp) else {
+                eprintln!("error: no record for fingerprint {fp}");
+                std::process::exit(1);
+            };
+            eprintln!(
+                "fingerprint {fp}: n={}, edges={}, spectra={}, cuts={}",
+                session.graph.n(),
+                session.graph.num_edges(),
+                session.export.spectra.len(),
+                session.export.cuts.len(),
+            );
+            // The graph goes to stdout as ordinary edge-list JSON, so it
+            // pipes straight back into `graphio analyze` / `bound` /
+            // `dot` — in the codec's canonical edge order, so the
+            // rebuilt graph reproduces parent order (and therefore
+            // simulation bytes) exactly.
+            write_stdout(&canonical_edge_list(&session.graph).to_json());
+            write_stdout("\n");
+        }
+        "compact" => {
+            let before = store.stats();
+            if let Err(e) = store.compact() {
+                eprintln!("error: compaction failed: {e}");
+                std::process::exit(1);
+            }
+            let after = store.stats();
+            println!(
+                "compacted: {} -> {} bytes ({} record(s), {} segment(s))",
+                before.bytes_on_disk, after.bytes_on_disk, after.records, after.segments
+            );
+        }
+        "export" => {
+            // NDJSON of stored graphs: the exact shape `graphio
+            // precompute` consumes, so a store can be rebuilt or merged
+            // elsewhere.
+            let mut out = String::new();
+            for fp in store.fingerprints() {
+                let Some((_, session)) = try_fetch(&store, fp) else {
+                    continue;
+                };
+                // Canonical edge order: see `store get` above.
+                out.push_str(&canonical_edge_list(&session.graph).to_json());
+                out.push('\n');
+            }
+            write_stdout(&out);
+        }
+        _ => usage(),
+    }
+}
+
+/// `graphio precompute` — sweep an NDJSON corpus of graphs into a store
+/// offline, so a server started with `--store` boots hot: every corpus
+/// graph's spectra and min-cut sweep are already on disk and the server
+/// never eigensolves for them.
+fn cmd_precompute(args: &[String]) {
+    let parsed = parse_args(
+        "precompute",
+        args,
+        &["--store", "--store-mb", "--threads"],
+        &[],
+    );
+    if !parsed.positional.is_empty() {
+        usage();
+    }
+    apply_threads(&parsed);
+    let store = open_store(&parsed, false);
+    let input = read_stdin_to_string();
+    let (mut fresh, mut skipped) = (0u64, 0u64);
+    for (line_no, line) in input.lines().enumerate().map(|(i, l)| (i + 1, l.trim())) {
+        if line.is_empty() {
+            continue;
+        }
+        let el = graphio::graph::EdgeListGraph::from_json(line).unwrap_or_else(|e| {
+            eprintln!("error: stdin line {line_no}: invalid graph JSON: {e}");
+            std::process::exit(1);
+        });
+        let g = CompGraph::try_from(el).unwrap_or_else(|e| {
+            eprintln!("error: stdin line {line_no}: invalid graph: {e}");
+            std::process::exit(1);
+        });
+        let fp = graphio::graph::fingerprint(&g);
+        // Already stored *and* warmed? Then this line is free.
+        if let Ok(Some(existing)) = load_session(&store, fp) {
+            if !existing.export().is_empty() {
+                skipped += 1;
+                continue;
+            }
+        }
+        let analyzer = OwnedAnalyzer::from_graph(g);
+        if let Err(e) = warm_session(&analyzer) {
+            eprintln!("error: stdin line {line_no}: eigensolve failed: {e}");
+            std::process::exit(1);
+        }
+        if let Err(e) = save_session(&store, fp, &analyzer) {
+            eprintln!("error: stdin line {line_no}: store write failed: {e}");
+            std::process::exit(1);
+        }
+        fresh += 1;
+        eprintln!(
+            "line {line_no}: {fp} n={} precomputed",
+            analyzer.graph().n()
+        );
+    }
+    if fresh + skipped == 0 {
+        eprintln!("error: `graphio precompute` expects one graph JSON per stdin line");
+        std::process::exit(1);
+    }
+    if let Err(e) = store.snapshot() {
+        eprintln!("warning: snapshot failed: {e}");
+    }
+    eprintln!(
+        "precomputed {fresh} graph(s) ({skipped} already stored) into {}",
+        store.dir().display()
+    );
 }
 
 fn read_stdin_to_string() -> String {
@@ -469,6 +725,10 @@ fn cmd_client(args: &[String]) {
     let parsed = parse_args(&format!("client {action}"), rest, value_flags, bool_flags);
     let url = parsed.flag("--url").unwrap_or_else(|| usage());
 
+    // For `client batch`: stdin line number of each submitted entry, so a
+    // per-index rejection (`graphs[i]: ...`) can name the offending line
+    // (blank lines are skipped, so index and line number diverge).
+    let mut batch_lines: Option<Vec<usize>> = None;
     let response = match action.as_str() {
         "analyze" => {
             let memories = parse_sweep(
@@ -496,16 +756,18 @@ fn cmd_client(args: &[String]) {
             // One JSON graph document (or quoted "fingerprint") per
             // non-empty stdin line — the NDJSON shape `graphio generate`
             // emits.
-            let graphs: Vec<String> = read_stdin_to_string()
+            let (lines, graphs): (Vec<usize>, Vec<String>) = read_stdin_to_string()
                 .lines()
-                .map(str::trim)
-                .filter(|l| !l.is_empty())
-                .map(str::to_string)
-                .collect();
+                .enumerate()
+                .map(|(i, l)| (i + 1, l.trim()))
+                .filter(|(_, l)| !l.is_empty())
+                .map(|(no, l)| (no, l.to_string()))
+                .unzip();
             if graphs.is_empty() {
                 eprintln!("error: `graphio client batch` expects one graph JSON per stdin line");
                 std::process::exit(1);
             }
+            batch_lines = Some(lines);
             client::batch(url, &graphs, &memories, processors, parsed.has("--no-sim"))
         }
         "register" => {
@@ -520,7 +782,19 @@ fn cmd_client(args: &[String]) {
     match response {
         Ok(r) if r.status == 200 => write_stdout(&r.body),
         Ok(r) => {
-            eprintln!("error: server returned {}: {}", r.status, r.body.trim_end());
+            // When the server blames a batch entry by index, also name
+            // the stdin line it came from.
+            let line_note = batch_lines
+                .as_ref()
+                .zip(client::batch_blame_index(&r.body))
+                .and_then(|(lines, index)| lines.get(index))
+                .map(|line| format!(" (stdin line {line})"))
+                .unwrap_or_default();
+            eprintln!(
+                "error: server returned {}: {}{line_note}",
+                r.status,
+                r.body.trim_end()
+            );
             std::process::exit(1);
         }
         Err(e) => {
@@ -574,6 +848,8 @@ fn main() {
         "simulate" => cmd_simulate(rest),
         "serve" => cmd_serve(rest),
         "client" => cmd_client(rest),
+        "store" => cmd_store(rest),
+        "precompute" => cmd_precompute(rest),
         "dot" => {
             let parsed = parse_args("dot", rest, &[], &[]);
             if !parsed.positional.is_empty() {

@@ -12,6 +12,7 @@
 //! | [`pebble`] | the §3 two-level-memory execution simulator (upper bounds) |
 //! | [`baselines`] | the §6.3 convex min-cut baseline and an exact tiny-graph optimum oracle |
 //! | [`service`] | the HTTP analysis server: sharded session cache + worker pool, `graphio serve` / `graphio client` |
+//! | [`store`] | persistent content-addressed session store: CRC32-framed segment log + binary codec, `graphio store` / `graphio precompute`, `serve --store` |
 //!
 //! ## Quickstart
 //!
@@ -37,6 +38,7 @@ pub use graphio_linalg as linalg;
 pub use graphio_pebble as pebble;
 pub use graphio_service as service;
 pub use graphio_spectral as spectral;
+pub use graphio_store as store;
 
 /// One-stop imports for the common workflow: generate or trace a graph,
 /// compute lower bounds, simulate executions.
@@ -54,4 +56,5 @@ pub mod prelude {
         parallel_spectral_bound, spectral_bound, spectral_bound_original, Analyzer, BoundOptions,
         EigenMethod, LaplacianKind, OwnedAnalyzer, SpectralBound,
     };
+    pub use graphio_store::{load_session, save_session, warm_session, Store, StoreConfig};
 }

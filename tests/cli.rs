@@ -169,6 +169,8 @@ fn unknown_flags_are_rejected_everywhere() {
         &["simulate", "--memory", "4", "--speed", "fast"],
         &["dot", "--color"],
         &["generate", "fft", "3", "--size", "9"],
+        &["precompute", "--store", "x", "--frobnicate"],
+        &["store", "stat", "--store", "x", "--bogus", "1"],
     ] {
         let (_, stderr, ok) = run_with_stdin(args, &json);
         assert!(!ok, "{args:?} must fail");
@@ -252,6 +254,100 @@ fn analyze_rejects_zero_memory_and_warns_on_duplicates() {
     let doc = graphio::graph::json::parse(&stdout).unwrap();
     let sweep = doc.get("sweep").and_then(|s| s.as_array()).unwrap();
     assert_eq!(sweep.len(), 2, "duplicates must be dropped: {stdout}");
+}
+
+/// Offline persistence round trip through real process boundaries:
+/// `precompute` sweeps an NDJSON corpus into a store, `store
+/// stat/ls/get/export/compact` inspect and maintain it, and a stored
+/// graph pipes back into `analyze` unchanged.
+#[test]
+fn precompute_and_store_subcommands_round_trip() {
+    let dir = std::env::temp_dir().join(format!("graphio_cli_store_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = dir.to_str().unwrap().to_string();
+    let corpus = format!(
+        "{}\n\n{}",
+        generate("fft", 3).trim_end(),
+        generate("inner", 3)
+    );
+
+    let (_, stderr, ok) = run_with_stdin(&["precompute", "--store", &store], &corpus);
+    assert!(ok, "precompute failed: {stderr}");
+    assert!(
+        stderr.contains("precomputed 2 graph(s) (0 already stored)"),
+        "{stderr}"
+    );
+    // Line numbers in progress output account for the blank line.
+    assert!(
+        stderr.contains("line 1:") && stderr.contains("line 3:"),
+        "{stderr}"
+    );
+
+    // Idempotent: a second sweep of the same corpus stores nothing new.
+    let (_, stderr, ok) = run_with_stdin(&["precompute", "--store", &store], &corpus);
+    assert!(ok, "{stderr}");
+    assert!(
+        stderr.contains("precomputed 0 graph(s) (2 already stored)"),
+        "{stderr}"
+    );
+
+    let (stat, _, ok) = run_with_stdin(&["store", "stat", "--store", &store], "");
+    assert!(ok);
+    let doc = graphio::graph::json::parse(&stat).unwrap();
+    assert_eq!(doc.get("records").and_then(|v| v.as_f64()), Some(2.0));
+
+    let (ls, _, ok) = run_with_stdin(&["store", "ls", "--store", &store], "");
+    assert!(ok);
+    assert_eq!(ls.lines().count(), 2, "{ls}");
+    assert!(ls.contains("spectra=2") && ls.contains("cuts=1"), "{ls}");
+
+    // `store get` emits the stored graph as plain edge-list JSON.
+    let fp = ls
+        .lines()
+        .next()
+        .unwrap()
+        .split('\t')
+        .next()
+        .unwrap()
+        .to_string();
+    let (graph_json, stderr, ok) = run_with_stdin(
+        &["store", "get", "--store", &store, "--fingerprint", &fp],
+        "",
+    );
+    assert!(ok, "{stderr}");
+    let el = graphio::graph::EdgeListGraph::from_json(&graph_json).unwrap();
+    assert!(!el.ops.is_empty());
+    let (stdout, stderr, ok) =
+        run_with_stdin(&["analyze", "--memory-sweep", "2,4", "--json"], &graph_json);
+    assert!(ok, "stored graph must re-analyze: {stderr}");
+    assert!(stdout.contains("\"sweep\""));
+
+    let (export, _, ok) = run_with_stdin(&["store", "export", "--store", &store], "");
+    assert!(ok);
+    assert_eq!(export.lines().count(), 2);
+    for line in export.lines() {
+        graphio::graph::EdgeListGraph::from_json(line).expect("export lines are graph JSON");
+    }
+
+    let (out, _, ok) = run_with_stdin(&["store", "compact", "--store", &store], "");
+    assert!(ok);
+    assert!(out.contains("compacted:"), "{out}");
+
+    // Unknown fingerprints fail cleanly.
+    let (_, stderr, ok) = run_with_stdin(
+        &[
+            "store",
+            "get",
+            "--store",
+            &store,
+            "--fingerprint",
+            &"0".repeat(32),
+        ],
+        "",
+    );
+    assert!(!ok);
+    assert!(stderr.contains("no record for fingerprint"), "{stderr}");
+    std::fs::remove_dir_all(&dir).unwrap();
 }
 
 /// Full process-level round trip: `graphio serve` on an ephemeral port,
@@ -352,6 +448,54 @@ fn serve_and_client_round_trip_matches_offline_analyze() {
         assert!(
             requests > connections,
             "keep-alive must show reuse: {requests} requests / {connections} connections"
+        );
+    });
+    let _ = server.kill();
+    let _ = server.wait();
+    if let Err(p) = result {
+        std::panic::resume_unwind(p);
+    }
+}
+
+/// Satellite regression: a batch rejection must name the *stdin line*
+/// of the offending entry, not just the post-filtering array index —
+/// blank NDJSON lines make the two diverge.
+#[test]
+fn client_batch_error_names_the_offending_stdin_line() {
+    use std::io::{BufRead as _, BufReader};
+
+    let mut server = cli()
+        .args(["serve", "--port", "0", "--workers", "2"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn graphio serve");
+    let mut first_line = String::new();
+    BufReader::new(server.stdout.as_mut().expect("stdout piped"))
+        .read_line(&mut first_line)
+        .expect("read listen line");
+    let url = first_line
+        .trim()
+        .strip_prefix("graphio service listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner: {first_line}"))
+        .to_string();
+
+    let result = std::panic::catch_unwind(|| {
+        // Entry index 1 sits on stdin line 4 (blank lines in between).
+        let bad_graph = "{\"ops\":[\"in\"],\"edges\":[[0,5]]}";
+        let ndjson = format!("{}\n\n\n{bad_graph}\n", generate("fft", 3).trim_end());
+        let (_, stderr, ok) = run_with_stdin(
+            &["client", "batch", "--url", &url, "--memory-sweep", "2,4"],
+            &ndjson,
+        );
+        assert!(!ok, "batch with an invalid entry must fail");
+        assert!(
+            stderr.contains("graphs[1]"),
+            "index blame expected: {stderr}"
+        );
+        assert!(
+            stderr.contains("(stdin line 4)"),
+            "stdin line blame expected: {stderr}"
         );
     });
     let _ = server.kill();
