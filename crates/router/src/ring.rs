@@ -1,0 +1,211 @@
+//! A deterministic consistent-hash ring keyed by graph fingerprints.
+//!
+//! The router's affinity invariant — *the same graph always lands on the
+//! same backend* — is exactly what maximizes session-cache and store hits
+//! on the backends, so the ring must be stable in every way that matters
+//! operationally:
+//!
+//! * **Insertion order never changes ownership.** Every ring point is a
+//!   pure hash of `(backend address, virtual-replica index)`; the
+//!   backend list is just a lookup table. Two routers configured with the
+//!   same backends in any order route identically, so a fleet of routers
+//!   needs no coordination.
+//! * **Removing one of N backends moves only that backend's keys**
+//!   (≈ `keys/N` of them): a key's owner changes only if its owning point
+//!   belonged to the removed backend. Every other key keeps its backend —
+//!   and therefore its warm session. Both properties are property-tested
+//!   in `tests/ring.rs`.
+//!
+//! Failover uses the same geometry: [`Ring::sequence`] walks clockwise
+//! from the key's position and yields each *distinct* backend once, so
+//! "retry the next replica" is deterministic per key and spreads a dead
+//! backend's load around the ring instead of dogpiling one neighbor.
+
+use graphio_graph::Fingerprint;
+
+/// SplitMix64 finalizer — the same mixing primitive the fingerprint uses.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Hashes a backend address to a stable 64-bit seed (FNV-1a folded
+/// through `mix` so short addresses still spread over the ring).
+fn addr_seed(addr: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in addr.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    mix(h)
+}
+
+/// Where a fingerprint lands on the ring.
+fn key_point(fp: Fingerprint) -> u64 {
+    let lo = fp.0 as u64;
+    let hi = (fp.0 >> 64) as u64;
+    mix(lo ^ mix(hi))
+}
+
+/// Default virtual replicas per backend (`--replicas`): enough that the
+/// load split between N backends is within a few percent of uniform and
+/// a removal moves close to exactly 1/N of keys.
+pub const DEFAULT_REPLICAS: usize = 64;
+
+/// See the module docs.
+#[derive(Debug, Clone)]
+pub struct Ring {
+    /// Backend addresses, in the caller's order (indices into this vec
+    /// are what lookups return).
+    backends: Vec<String>,
+    /// Sorted ring points: `(position, backend index)`. Ties (a 1-in-2⁶⁴
+    /// event) break by address so insertion order stays irrelevant.
+    points: Vec<(u64, usize)>,
+    replicas: usize,
+}
+
+impl Ring {
+    /// Builds the ring for `backends` with `replicas` virtual points per
+    /// backend (clamped to ≥ 1). Duplicate addresses are collapsed — two
+    /// entries with the same address would be the same backend twice.
+    pub fn new(backends: &[String], replicas: usize) -> Ring {
+        let replicas = replicas.max(1);
+        let mut unique: Vec<String> = Vec::new();
+        for addr in backends {
+            if !unique.iter().any(|existing| existing == addr) {
+                unique.push(addr.clone());
+            }
+        }
+        let mut points = Vec::with_capacity(unique.len() * replicas);
+        for (index, addr) in unique.iter().enumerate() {
+            let seed = addr_seed(addr);
+            for replica in 0..replicas {
+                points.push((mix(seed ^ mix(replica as u64)), index));
+            }
+        }
+        points.sort_by(|a, b| (a.0, unique[a.1].as_str()).cmp(&(b.0, unique[b.1].as_str())));
+        Ring {
+            backends: unique,
+            points,
+            replicas,
+        }
+    }
+
+    /// Backend addresses, indexable by the indices lookups return.
+    pub fn backends(&self) -> &[String] {
+        &self.backends
+    }
+
+    /// Virtual replicas per backend.
+    pub fn replicas(&self) -> usize {
+        self.replicas
+    }
+
+    /// Index of the first ring point at or after the key's position
+    /// (clockwise, wrapping).
+    fn start(&self, fp: Fingerprint) -> usize {
+        let key = key_point(fp);
+        match self.points.binary_search_by(|&(p, _)| p.cmp(&key)) {
+            Ok(i) => i,
+            Err(i) if i == self.points.len() => 0,
+            Err(i) => i,
+        }
+    }
+
+    /// The backend that owns `fp` — the first ring point clockwise from
+    /// the key's position. `None` only for an empty ring.
+    pub fn owner(&self, fp: Fingerprint) -> Option<usize> {
+        self.points.get(self.start(fp)).map(|&(_, b)| b)
+    }
+
+    /// The deterministic failover order for `fp`: every backend exactly
+    /// once, starting with the owner, then each further *distinct*
+    /// backend in clockwise point order. Retrying down this sequence is
+    /// how the proxy survives a dead or backpressuring owner.
+    pub fn sequence(&self, fp: Fingerprint) -> Vec<usize> {
+        let mut order = Vec::with_capacity(self.backends.len());
+        if self.points.is_empty() {
+            return order;
+        }
+        let start = self.start(fp);
+        let mut seen = vec![false; self.backends.len()];
+        for offset in 0..self.points.len() {
+            let (_, b) = self.points[(start + offset) % self.points.len()];
+            if !seen[b] {
+                seen[b] = true;
+                order.push(b);
+                if order.len() == self.backends.len() {
+                    break;
+                }
+            }
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addrs(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("127.0.0.1:{}", 9000 + i)).collect()
+    }
+
+    #[test]
+    fn empty_ring_owns_nothing() {
+        let ring = Ring::new(&[], 64);
+        assert_eq!(ring.owner(Fingerprint(7)), None);
+        assert!(ring.sequence(Fingerprint(7)).is_empty());
+    }
+
+    #[test]
+    fn single_backend_owns_everything() {
+        let ring = Ring::new(&addrs(1), 64);
+        for k in 0..100u128 {
+            assert_eq!(ring.owner(Fingerprint(k * 0x9E37)), Some(0));
+        }
+    }
+
+    #[test]
+    fn duplicate_addresses_collapse() {
+        let mut listed = addrs(3);
+        listed.push(listed[0].clone());
+        let ring = Ring::new(&listed, 8);
+        assert_eq!(ring.backends().len(), 3);
+    }
+
+    #[test]
+    fn sequence_starts_at_owner_and_covers_all_backends_once() {
+        let ring = Ring::new(&addrs(5), 64);
+        for k in 0..200u128 {
+            let fp = Fingerprint(k.wrapping_mul(0x0bad_cafe_f00d));
+            let seq = ring.sequence(fp);
+            assert_eq!(seq.first().copied(), ring.owner(fp));
+            let mut sorted = seq.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 5, "all distinct backends appear: {seq:?}");
+        }
+    }
+
+    #[test]
+    fn load_is_roughly_uniform() {
+        let ring = Ring::new(&addrs(4), DEFAULT_REPLICAS);
+        let keys = 4000u128;
+        let mut counts = [0usize; 4];
+        for k in 0..keys {
+            counts[ring
+                .owner(Fingerprint(k.wrapping_mul(0x2545_F491_4F6C_DD1D)))
+                .unwrap()] += 1;
+        }
+        let expected = keys as usize / 4;
+        for (b, &c) in counts.iter().enumerate() {
+            assert!(
+                c > expected / 2 && c < expected * 2,
+                "backend {b} owns {c} of {keys} keys (expected ≈{expected})"
+            );
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! Per-backend state: pooled keep-alive connections, health/ejection
+//! bookkeeping, and counters.
+//!
+//! ## Failover state machine
+//!
+//! ```text
+//!            probe ok / forward ok
+//!       ┌──────────────────────────────┐
+//!       ▼                              │
+//!   HEALTHY ──connect fail / 503──▶ EJECTED (backoff b)
+//!       ▲                              │
+//!       │   probe ok                   │ probe fails at t ≥ next_probe
+//!       └──────────────────────────────┤ b ← min(2b, 5s)
+//!                                      ▼
+//!                                  EJECTED (backoff 2b)
+//! ```
+//!
+//! Ejection is advisory, not absolute: the proxy prefers healthy backends
+//! in ring order but falls back to ejected ones when *every* replica is
+//! ejected — a router must degrade to trying, not to refusing. A `503 +
+//! Retry-After` ejects with exactly the backoff the backend asked for;
+//! the health checker then probes `GET /healthz` on the backoff schedule
+//! and restores the backend on the first success.
+
+use graphio_service::client::{Client, ClientError, Response};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Keep-alive connections pooled per backend. Past this, extra
+/// connections are dropped after use (the backend's own idle deadline
+/// would reap them anyway).
+const MAX_POOLED_CONNECTIONS: usize = 8;
+
+/// First ejection backoff; doubles per consecutive probe failure.
+pub const BACKOFF_FLOOR: Duration = Duration::from_millis(100);
+/// Ejection backoff cap — also caps how long a `Retry-After` hint can
+/// keep a backend out of the ring.
+pub const BACKOFF_CEIL: Duration = Duration::from_secs(5);
+
+struct HealthState {
+    consecutive_failures: u32,
+    /// No probe (and no backoff-driven routing) before this instant.
+    next_probe: Instant,
+}
+
+/// One backend: address, connection pool, health, counters.
+pub struct Upstream {
+    addr: String,
+    url: String,
+    pool: Mutex<Vec<Client>>,
+    healthy: AtomicBool,
+    health: Mutex<HealthState>,
+    /// Requests this backend answered (any status).
+    pub requests: AtomicU64,
+    /// Requests retried *away* from this backend (connect failure or
+    /// 503 → next replica).
+    pub retries: AtomicU64,
+    /// Healthy→ejected transitions.
+    pub ejections: AtomicU64,
+    /// Ejected→healthy transitions (with `ejections`, counts effective
+    /// ring rebalances: each transition changes which backend keys
+    /// resolve to).
+    pub restorations: AtomicU64,
+}
+
+impl Upstream {
+    pub fn new(addr: &str) -> Upstream {
+        Upstream {
+            addr: addr.to_string(),
+            url: format!("http://{addr}"),
+            pool: Mutex::new(Vec::new()),
+            healthy: AtomicBool::new(true),
+            health: Mutex::new(HealthState {
+                consecutive_failures: 0,
+                next_probe: Instant::now(),
+            }),
+            requests: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            ejections: AtomicU64::new(0),
+            restorations: AtomicU64::new(0),
+        }
+    }
+
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    pub fn is_healthy(&self) -> bool {
+        self.healthy.load(Ordering::Relaxed)
+    }
+
+    /// Forwards one request over a pooled keep-alive connection. The
+    /// connection returns to the pool only after a successful exchange;
+    /// error paths drop it (its state is unknowable). 503 auto-retry is
+    /// disabled on pooled clients — on 503 the *router's* policy applies:
+    /// eject for `Retry-After` and fail over to the next replica, instead
+    /// of parking a router worker in a sleep.
+    pub fn forward(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<Response, ClientError> {
+        let mut client = match self.pool.lock().expect("upstream pool").pop() {
+            Some(client) => client,
+            None => {
+                let mut client = Client::new(&self.url)?;
+                client.set_retry_503(false);
+                client
+            }
+        };
+        let result = client.request(method, path, body);
+        if result.is_ok() {
+            let mut pool = self.pool.lock().expect("upstream pool");
+            if pool.len() < MAX_POOLED_CONNECTIONS {
+                pool.push(client);
+            }
+        }
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        result
+    }
+
+    /// Records a failure (connect error, or 503 with `backoff` =
+    /// `Retry-After`) and ejects the backend until `backoff` elapses.
+    /// Returns whether this call performed the healthy→ejected
+    /// transition.
+    pub fn mark_failure(&self, backoff: Option<Duration>) -> bool {
+        let mut health = self.health.lock().expect("upstream health");
+        health.consecutive_failures = health.consecutive_failures.saturating_add(1);
+        let exponential = BACKOFF_FLOOR
+            .saturating_mul(1u32 << health.consecutive_failures.min(6).saturating_sub(1))
+            .min(BACKOFF_CEIL);
+        health.next_probe = Instant::now() + backoff.unwrap_or(exponential).min(BACKOFF_CEIL);
+        drop(health);
+        // Dropping the pooled connections on ejection: they point at a
+        // peer we just watched fail, and holding them would hand the
+        // next request a dead socket.
+        self.pool.lock().expect("upstream pool").clear();
+        let was_healthy = self.healthy.swap(false, Ordering::Relaxed);
+        if was_healthy {
+            self.ejections.fetch_add(1, Ordering::Relaxed);
+        }
+        was_healthy
+    }
+
+    /// Records a successful probe (or forwarded request): the backend is
+    /// healthy again, backoff resets. Returns whether this call performed
+    /// the ejected→healthy transition.
+    pub fn mark_success(&self) -> bool {
+        let mut health = self.health.lock().expect("upstream health");
+        health.consecutive_failures = 0;
+        health.next_probe = Instant::now();
+        drop(health);
+        let restored = !self.healthy.swap(true, Ordering::Relaxed);
+        if restored {
+            self.restorations.fetch_add(1, Ordering::Relaxed);
+        }
+        restored
+    }
+
+    /// Whether the health checker should probe now: healthy backends are
+    /// probed every interval; ejected ones only once their backoff
+    /// elapses.
+    pub fn due_for_probe(&self) -> bool {
+        self.is_healthy()
+            || self.health.lock().expect("upstream health").next_probe <= Instant::now()
+    }
+
+    /// One active health check: `GET /healthz` on a throwaway connection
+    /// (the probe must not compete with pooled request connections).
+    /// Updates health state; returns the new healthy flag.
+    pub fn probe(&self) -> bool {
+        match graphio_service::client::request("GET", &self.url, "/healthz", None) {
+            Ok(r) if r.status == 200 => {
+                self.mark_success();
+                true
+            }
+            Ok(_) | Err(_) => {
+                self.mark_failure(None);
+                false
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ejection_and_restore_transitions_count_once() {
+        let up = Upstream::new("127.0.0.1:1");
+        assert!(up.is_healthy());
+        assert!(up.mark_failure(None), "first failure ejects");
+        assert!(!up.mark_failure(None), "already ejected");
+        assert!(!up.is_healthy());
+        assert_eq!(up.ejections.load(Ordering::Relaxed), 1);
+        assert!(up.mark_success(), "first success restores");
+        assert!(!up.mark_success(), "already healthy");
+        assert!(up.is_healthy());
+    }
+
+    #[test]
+    fn backoff_defers_probes_exponentially() {
+        let up = Upstream::new("127.0.0.1:1");
+        up.mark_failure(None);
+        // 100ms floor: not due immediately.
+        assert!(!up.due_for_probe());
+        // A Retry-After hint replaces the exponential schedule.
+        up.mark_failure(Some(Duration::ZERO));
+        assert!(up.due_for_probe());
+    }
+
+    #[test]
+    fn probe_against_a_dead_port_ejects() {
+        // Bind-then-drop to get a port nothing listens on.
+        let port = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().port()
+        };
+        let up = Upstream::new(&format!("127.0.0.1:{port}"));
+        assert!(!up.probe());
+        assert!(!up.is_healthy());
+        assert_eq!(up.ejections.load(Ordering::Relaxed), 1);
+    }
+}

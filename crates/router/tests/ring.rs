@@ -1,0 +1,129 @@
+//! Ring stability property tests — the operational contracts the ISSUE
+//! names: removing one of N backends remaps at most ⌈keys/N⌉ + slack
+//! fingerprints (and *only* fingerprints the removed backend owned), and
+//! backend insertion order never changes ownership.
+
+use graphio_graph::Fingerprint;
+use graphio_router::{Ring, DEFAULT_REPLICAS};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn backends(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("10.0.0.{i}:7878")).collect()
+}
+
+fn random_keys(rng: &mut StdRng, count: usize) -> Vec<Fingerprint> {
+    (0..count)
+        .map(|_| {
+            let hi: u64 = rng.gen();
+            let lo: u64 = rng.gen();
+            Fingerprint((u128::from(hi) << 64) | u128::from(lo))
+        })
+        .collect()
+}
+
+#[test]
+fn removal_remaps_only_the_removed_backends_keys() {
+    let mut rng = StdRng::seed_from_u64(0x5eed);
+    let keys = random_keys(&mut rng, 2000);
+    for n in [2usize, 3, 5, 8] {
+        let addrs = backends(n);
+        let full = Ring::new(&addrs, DEFAULT_REPLICAS);
+        for removed in 0..n {
+            let survivors: Vec<String> = addrs
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != removed)
+                .map(|(_, a)| a.clone())
+                .collect();
+            let shrunk = Ring::new(&survivors, DEFAULT_REPLICAS);
+            let mut moved = 0usize;
+            for &fp in &keys {
+                let before = &addrs[full.owner(fp).unwrap()];
+                let after = &survivors[shrunk.owner(fp).unwrap()];
+                if before != after {
+                    // The *only* legitimate reason for a key to move is
+                    // that its owner was removed.
+                    assert_eq!(
+                        before, &addrs[removed],
+                        "key {fp} moved off surviving backend {before}"
+                    );
+                    moved += 1;
+                }
+            }
+            // Expected moved ≈ keys/n; consistent hashing with
+            // DEFAULT_REPLICAS virtual points keeps the variance small.
+            // Slack: half the expected share again.
+            let expected = keys.len().div_ceil(n);
+            let slack = expected / 2;
+            assert!(
+                moved <= expected + slack,
+                "removing 1 of {n} backends moved {moved} of {} keys (cap {})",
+                keys.len(),
+                expected + slack
+            );
+        }
+    }
+}
+
+#[test]
+fn insertion_order_never_changes_ownership() {
+    let mut rng = StdRng::seed_from_u64(0xd15c);
+    let keys = random_keys(&mut rng, 500);
+    let addrs = backends(6);
+    let reference = Ring::new(&addrs, DEFAULT_REPLICAS);
+    // A handful of deterministic permutations, including full reversal.
+    let mut permutations: Vec<Vec<String>> = vec![addrs.iter().rev().cloned().collect()];
+    let mut shuffled = addrs.clone();
+    for round in 0..5 {
+        // Fisher–Yates with the seeded rng.
+        for i in (1..shuffled.len()).rev() {
+            let j = rng.gen_range(0..i + 1);
+            shuffled.swap(i, j);
+        }
+        assert_ne!(shuffled, addrs, "shuffle round {round} degenerated");
+        permutations.push(shuffled.clone());
+    }
+    for permuted in permutations {
+        let ring = Ring::new(&permuted, DEFAULT_REPLICAS);
+        for &fp in &keys {
+            let expected = &addrs[reference.owner(fp).unwrap()];
+            let got = &permuted[ring.owner(fp).unwrap()];
+            assert_eq!(expected, got, "owner of {fp} depends on insertion order");
+            // The failover sequence must be order-independent too — a
+            // fleet of routers fails over identically.
+            let expected_seq: Vec<&String> = reference
+                .sequence(fp)
+                .into_iter()
+                .map(|b| &addrs[b])
+                .collect();
+            let got_seq: Vec<&String> = ring
+                .sequence(fp)
+                .into_iter()
+                .map(|b| &permuted[b])
+                .collect();
+            assert_eq!(expected_seq, got_seq);
+        }
+    }
+}
+
+#[test]
+fn replica_count_trades_balance_for_points() {
+    // Not a tuning assertion, a sanity floor: even 16 replicas must keep
+    // every backend's share within 3x of uniform for a big key set.
+    let mut rng = StdRng::seed_from_u64(7);
+    let keys = random_keys(&mut rng, 3000);
+    let addrs = backends(4);
+    let ring = Ring::new(&addrs, 16);
+    let mut counts = [0usize; 4];
+    for &fp in &keys {
+        counts[ring.owner(fp).unwrap()] += 1;
+    }
+    for (b, &c) in counts.iter().enumerate() {
+        assert!(
+            c * 3 >= keys.len() / 4,
+            "backend {b} owns {c} of {} keys",
+            keys.len()
+        );
+    }
+}

@@ -21,6 +21,7 @@
 use graphio_baselines::convex_mincut::ConvexMinCutOptions;
 use graphio_graph::json::JsonValue;
 use graphio_graph::topo::natural_order;
+use graphio_graph::{CompGraph, EdgeListGraph};
 use graphio_pebble::{simulate, Policy};
 use graphio_spectral::{BoundOptions, LaplacianKind, OwnedAnalyzer};
 
@@ -73,6 +74,113 @@ pub fn validate_memories(raw: &[usize]) -> Result<(Vec<usize>, Vec<String>), Str
         }
     }
     Ok((memories, warnings))
+}
+
+/// Parses a request body as JSON, with the exact error wording the
+/// server's 400 responses use. Shared with the cluster router, which must
+/// reproduce the single-node error bytes for bodies it rejects locally.
+///
+/// # Errors
+/// The `{"error": ...}` message for the 400 response.
+pub fn parse_request_json(body: &[u8]) -> Result<JsonValue, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    graphio_graph::json::parse(text).map_err(|e| format!("invalid JSON body: {e}"))
+}
+
+/// Extracts the graph sub-document: `{"graph": {...}}` wrapping or a bare
+/// edge-list document.
+pub fn graph_value(doc: &JsonValue) -> &JsonValue {
+    doc.get("graph").unwrap_or(doc)
+}
+
+/// Parses the graph carried by an analyze/register document (wrapped or
+/// bare edge list), with the server's canonical error wording.
+///
+/// # Errors
+/// The `{"error": ...}` message for the 400 response.
+pub fn parse_graph_doc(doc: &JsonValue) -> Result<CompGraph, String> {
+    let el = EdgeListGraph::from_json_value(graph_value(doc))
+        .map_err(|e| format!("invalid graph: {e}"))?;
+    CompGraph::try_from(el).map_err(|e| format!("invalid graph: {e}"))
+}
+
+/// Parses the sweep spec (`memories`/`processors`/`no_sim`) shared by
+/// `POST /analyze` and `POST /batch` (and validated identically by the
+/// cluster router before it splits a batch).
+///
+/// # Errors
+/// `(status, message)` for the error response.
+pub fn parse_spec(doc: &JsonValue) -> Result<(AnalyzeSpec, Vec<String>), (u16, String)> {
+    let raw_memories: Vec<usize> = doc
+        .get("memories")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| (400, "missing \"memories\" array".to_string()))?
+        .iter()
+        .map(|v| {
+            // as_u64 so any M the offline CLI accepts (and JSON can carry
+            // exactly) round-trips; the offline/server parity contract
+            // covers large memories too.
+            v.as_u64().map(|m| m as usize).ok_or_else(|| {
+                (
+                    400,
+                    "memory sizes must be non-negative integers".to_string(),
+                )
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    let (memories, warnings) = validate_memories(&raw_memories).map_err(|m| (400, m))?;
+    let processors = match doc.get("processors") {
+        None => 1,
+        Some(v) => v
+            .as_u32()
+            .filter(|&p| p >= 1)
+            .ok_or_else(|| (400, "\"processors\" must be a positive integer".to_string()))?
+            as usize,
+    };
+    let no_sim = match doc.get("no_sim") {
+        None => false,
+        Some(JsonValue::Bool(b)) => *b,
+        Some(_) => return Err((400, "\"no_sim\" must be a boolean".to_string())),
+    };
+    Ok((
+        AnalyzeSpec {
+            memories,
+            processors,
+            no_sim,
+        },
+        warnings,
+    ))
+}
+
+/// Maximum graphs accepted in one `POST /batch` request.
+pub const MAX_BATCH_GRAPHS: usize = 64;
+
+/// Validates the shape of a `POST /batch` body (`graphs` present,
+/// non-empty, within [`MAX_BATCH_GRAPHS`]) and returns the entries. One
+/// source of truth for the messages, shared between the server and the
+/// cluster router (which must reject malformed batches with single-node
+/// bytes *before* splitting them).
+///
+/// # Errors
+/// `(status, message)` for the error response.
+pub fn validate_batch_entries(doc: &JsonValue) -> Result<&[JsonValue], (u16, String)> {
+    let entries = doc
+        .get("graphs")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| (400, "missing \"graphs\" array".to_string()))?;
+    if entries.is_empty() {
+        return Err((400, "\"graphs\" must not be empty".to_string()));
+    }
+    if entries.len() > MAX_BATCH_GRAPHS {
+        return Err((
+            413,
+            format!(
+                "batch of {} graphs exceeds the {MAX_BATCH_GRAPHS}-graph cap",
+                entries.len()
+            ),
+        ));
+    }
+    Ok(entries)
 }
 
 /// One memory point of an analysis session.

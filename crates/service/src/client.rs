@@ -61,6 +61,32 @@ impl From<std::io::Error> for ClientError {
     }
 }
 
+/// Bound on establishing a TCP connection. Without it, a blackholed
+/// peer (firewall DROP, dead VM — anything that never answers the SYN)
+/// would hang the caller for the kernel's SYN-retry window (~2 minutes
+/// on Linux) instead of failing over; a refused localhost connect is
+/// unaffected (instant RST either way).
+pub const CONNECT_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Connects to `host:port` with [`CONNECT_TIMEOUT`] applied to each
+/// resolved address.
+fn connect(authority: &str) -> Result<TcpStream, ClientError> {
+    use std::net::ToSocketAddrs as _;
+    let mut last: Option<std::io::Error> = None;
+    for addr in authority.to_socket_addrs()? {
+        match TcpStream::connect_timeout(&addr, CONNECT_TIMEOUT) {
+            Ok(stream) => return Ok(stream),
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(ClientError::Io(last.unwrap_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::AddrNotAvailable,
+            format!("{authority} resolved to no addresses"),
+        )
+    })))
+}
+
 /// Extracts `host:port` from `http://host:port[/ignored]`.
 fn host_port(url: &str) -> Result<String, ClientError> {
     let rest = url
@@ -86,7 +112,18 @@ pub struct Client {
     /// Connections opened over this client's lifetime (observability for
     /// `--repeat`-style drivers: reuse means this stays at 1).
     connects: u64,
+    /// 503 retries performed (see [`Client::retries`]).
+    retries: u64,
+    /// Whether a `503 + Retry-After` answer triggers one bounded retry
+    /// (default on; the cluster router disables it because its policy on
+    /// 503 is fail-over-to-the-next-replica, not wait).
+    retry_503: bool,
 }
+
+/// Upper bound on how long [`Client::request`] sleeps for one
+/// `Retry-After` hint. The server's backpressure hint is 1 s; anything
+/// much larger is a misconfigured peer, not a reason to hang the caller.
+pub const RETRY_AFTER_CAP: Duration = Duration::from_secs(2);
 
 /// Whether `e` means the *connection* died (server closed a kept-alive
 /// socket: EOF, reset, broken pipe) as opposed to the server being slow
@@ -118,6 +155,8 @@ impl Client {
             authority: host_port(url)?,
             reader: None,
             connects: 0,
+            retries: 0,
+            retry_503: true,
         })
     }
 
@@ -127,12 +166,55 @@ impl Client {
         self.connects
     }
 
+    /// `503 + Retry-After` retries performed so far (each is one extra
+    /// round-trip the caller never saw — observability beside
+    /// [`Client::connects`]).
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Enables or disables the bounded 503 retry (on by default).
+    pub fn set_retry_503(&mut self, enabled: bool) {
+        self.retry_503 = enabled;
+    }
+
     /// Issues one request over the persistent connection, reconnecting
     /// and retrying once if a reused connection turns out to be dead.
+    ///
+    /// When the server answers `503` *and asks for a backoff* via
+    /// `Retry-After: <seconds>`, the client honors it with exactly one
+    /// bounded retry (sleep capped at [`RETRY_AFTER_CAP`]) — the server's
+    /// backpressure contract is "come back in a second", and surfacing
+    /// the 503 to every caller forces each of them to reimplement that
+    /// loop. A second 503 is surfaced as-is. Disable via
+    /// [`Client::set_retry_503`].
     ///
     /// # Errors
     /// [`ClientError`] on socket failures or malformed responses.
     pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<Response, ClientError> {
+        let response = self.request_reconnecting(method, path, body)?;
+        if !(self.retry_503 && response.status == 503) {
+            return Ok(response);
+        }
+        let Some(seconds) = response
+            .header("retry-after")
+            .and_then(|v| v.trim().parse::<u64>().ok())
+        else {
+            return Ok(response); // 503 without a backoff hint: surface it
+        };
+        std::thread::sleep(Duration::from_secs(seconds).min(RETRY_AFTER_CAP));
+        self.retries += 1;
+        self.request_reconnecting(method, path, body)
+    }
+
+    /// One request attempt plus the transparent reconnect-once on a dead
+    /// reused connection (the pre-Retry-After behavior of `request`).
+    fn request_reconnecting(
         &mut self,
         method: &str,
         path: &str,
@@ -181,7 +263,7 @@ impl Client {
         body: Option<&str>,
     ) -> Result<Response, ClientError> {
         if self.reader.is_none() {
-            let stream = TcpStream::connect(&self.authority)?;
+            let stream = connect(&self.authority)?;
             stream.set_read_timeout(Some(Duration::from_secs(60)))?;
             stream.set_write_timeout(Some(Duration::from_secs(60)))?;
             self.reader = Some(BufReader::new(stream));
@@ -278,7 +360,7 @@ pub fn request(
     body: Option<&str>,
 ) -> Result<Response, ClientError> {
     let authority = host_port(url)?;
-    let stream = TcpStream::connect(&authority)?;
+    let stream = connect(&authority)?;
     stream.set_read_timeout(Some(Duration::from_secs(60)))?;
     stream.set_write_timeout(Some(Duration::from_secs(60)))?;
     let mut reader = BufReader::new(stream);
@@ -457,6 +539,47 @@ mod tests {
     fn garbage_responses_are_rejected() {
         let addr = canned_server(vec![b"garbage\r\n\r\n"]);
         assert!(request("GET", &format!("http://{addr}"), "/x", None).is_err());
+    }
+
+    const BUSY: &[u8] =
+        b"HTTP/1.1 503 Service Unavailable\r\nRetry-After: 0\r\nContent-Length: 0\r\nConnection: close\r\n\r\n";
+    const OK: &[u8] = b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\nConnection: close\r\n\r\nok";
+
+    #[test]
+    fn client_honors_retry_after_with_one_retry() {
+        let addr = canned_server(vec![BUSY, OK]);
+        let mut client = Client::new(&format!("http://{addr}")).unwrap();
+        let r = client.request("GET", "/x", None).unwrap();
+        assert_eq!(r.status, 200, "the 503 must be retried away");
+        assert_eq!(client.retries(), 1);
+    }
+
+    #[test]
+    fn client_retry_is_bounded_to_one() {
+        let addr = canned_server(vec![BUSY, BUSY]);
+        let mut client = Client::new(&format!("http://{addr}")).unwrap();
+        let r = client.request("GET", "/x", None).unwrap();
+        assert_eq!(r.status, 503, "a second 503 is surfaced, not retried");
+        assert_eq!(client.retries(), 1);
+    }
+
+    #[test]
+    fn client_surfaces_503_without_retry_after_hint() {
+        let addr = canned_server(vec![
+            b"HTTP/1.1 503 Service Unavailable\r\nContent-Length: 0\r\nConnection: close\r\n\r\n",
+        ]);
+        let mut client = Client::new(&format!("http://{addr}")).unwrap();
+        assert_eq!(client.request("GET", "/x", None).unwrap().status, 503);
+        assert_eq!(client.retries(), 0);
+    }
+
+    #[test]
+    fn client_503_retry_can_be_disabled() {
+        let addr = canned_server(vec![BUSY]);
+        let mut client = Client::new(&format!("http://{addr}")).unwrap();
+        client.set_retry_503(false);
+        assert_eq!(client.request("GET", "/x", None).unwrap().status, 503);
+        assert_eq!(client.retries(), 0);
     }
 
     #[test]

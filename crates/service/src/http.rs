@@ -267,6 +267,119 @@ fn read_crlf_line(
     Ok(())
 }
 
+/// Per-connection limits for [`serve_connection`].
+#[derive(Debug, Clone, Copy)]
+pub struct ConnectionLimits {
+    /// How long the connection may idle *between* requests.
+    pub idle_timeout: Duration,
+    /// Requests served before the connection is closed.
+    pub max_requests: usize,
+}
+
+impl Default for ConnectionLimits {
+    fn default() -> Self {
+        ConnectionLimits {
+            idle_timeout: IDLE_TIMEOUT,
+            max_requests: MAX_REQUESTS_PER_CONNECTION,
+        }
+    }
+}
+
+/// The persistent-connection request loop shared by every HTTP front in
+/// the workspace (the analysis server and the cluster router): serve
+/// requests until the peer closes, asks for `Connection: close`, idles
+/// past the deadline, hits the request cap or the
+/// [`MAX_CONNECTION_LIFETIME`] wall-clock cap, or sends something
+/// malformed (close-on-malformed — a peer we cannot frame-sync with must
+/// not get a second read; the 400/413 is written here before closing).
+///
+/// `on_request(stream, request, keep)` handles one request and must write
+/// exactly one response advertising the given `keep` disposition;
+/// `on_protocol_error` runs once per malformed/oversized request, for
+/// error counters.
+pub fn serve_connection(
+    stream: TcpStream,
+    limits: &ConnectionLimits,
+    mut on_request: impl FnMut(&mut TcpStream, &Request, bool),
+    mut on_protocol_error: impl FnMut(&HttpError),
+) {
+    let started = std::time::Instant::now();
+    let max_requests = limits.max_requests.max(1);
+    let mut reader = BufReader::new(stream);
+    let mut served = 0usize;
+    loop {
+        if served > 0 {
+            // Between requests the connection may idle up to the idle
+            // deadline (vs. the short READ_TIMEOUT while mid-request),
+            // but never past the connection's wall-clock lifetime cap —
+            // an idle keep-alive connection holds a pooled worker.
+            // fill_buf returns instantly for a pipelined next request.
+            let remaining = MAX_CONNECTION_LIFETIME.saturating_sub(started.elapsed());
+            if remaining.is_zero() {
+                return; // lifetime cap reached
+            }
+            // set_read_timeout rejects a zero Duration; clamp up.
+            let idle = limits
+                .idle_timeout
+                .min(remaining)
+                .max(Duration::from_millis(1));
+            let _ = reader.get_ref().set_read_timeout(Some(idle));
+            match reader.fill_buf() {
+                Ok([]) => return, // peer closed between requests
+                Ok(_) => {}       // next request has begun
+                Err(_) => return, // idle deadline, lifetime cap, or socket error
+            }
+            let _ = reader.get_ref().set_read_timeout(Some(READ_TIMEOUT));
+        }
+        let request = match read_request(&mut reader) {
+            Ok(r) => r,
+            Err(HttpError::Closed) => return, // clean close, nothing sent
+            Err(HttpError::Io(_)) => return,  // peer went away; nothing to say
+            Err(err) => {
+                on_protocol_error(&err);
+                let (status, msg) = match &err {
+                    HttpError::Malformed(m) => (400, m.clone()),
+                    HttpError::TooLarge(m) => (413, m.clone()),
+                    HttpError::Closed | HttpError::Io(_) => unreachable!("handled above"),
+                };
+                respond_error(reader.get_mut(), status, false, &msg);
+                return;
+            }
+        };
+        served += 1;
+        let keep = request.wants_keep_alive() && served < max_requests;
+        on_request(reader.get_mut(), &request, keep);
+        if !keep {
+            return;
+        }
+    }
+}
+
+/// Writes the service's standard JSON error body
+/// (`{"error": message}\n`) with the given status.
+pub fn respond_error(stream: &mut TcpStream, status: u16, keep: bool, message: &str) {
+    respond_error_with(stream, status, keep, &[], message);
+}
+
+/// [`respond_error`] with extra headers (e.g. `Retry-After`). The one
+/// place the `{"error": ...}` body shape is built — the message goes
+/// through the JSON serializer, so embedded quotes stay valid JSON.
+pub fn respond_error_with(
+    stream: &mut TcpStream,
+    status: u16,
+    keep: bool,
+    extra: &[(&str, String)],
+    message: &str,
+) {
+    let body = graphio_graph::json::JsonValue::Object(vec![(
+        "error".to_string(),
+        graphio_graph::json::JsonValue::String(message.to_string()),
+    )])
+    .to_string()
+        + "\n";
+    let _ = write_response(stream, status, reason(status), keep, extra, body.as_bytes());
+}
+
 /// Writes a complete response (status line, standard headers, any `extra`
 /// headers, body) and flushes. `keep` decides the advertised connection
 /// disposition — the caller closes the socket after a

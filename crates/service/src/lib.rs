@@ -48,7 +48,10 @@ pub mod http;
 pub mod pool;
 pub mod server;
 
-pub use analysis::{analysis_body, analysis_doc, validate_memories, AnalyzeSpec};
+pub use analysis::{
+    analysis_body, analysis_doc, parse_graph_doc, parse_request_json, parse_spec,
+    validate_memories, AnalyzeSpec,
+};
 pub use cache::{CacheConfig, CacheStats, SessionCache};
 pub use client::{Client, ClientError, Response};
 pub use pool::{PoolSnapshot, SubmitError, WorkerPool};

@@ -68,28 +68,29 @@
 //! byte-identical graph inputs; cross-relabeling reuse trades exact
 //! numbering fidelity for amortization, deliberately.
 
-use crate::analysis::{analysis_body, validate_memories, AnalyzeSpec};
+use crate::analysis::{
+    analysis_body, parse_graph_doc, parse_request_json, parse_spec, AnalyzeSpec,
+};
 use crate::cache::{CacheConfig, SessionCache};
 use crate::http::{
-    read_request, write_response, HttpError, Request, IDLE_TIMEOUT, IO_TIMEOUT,
-    MAX_REQUESTS_PER_CONNECTION, READ_TIMEOUT,
+    respond_error, serve_connection, write_response, ConnectionLimits, Request, IDLE_TIMEOUT,
+    IO_TIMEOUT, MAX_REQUESTS_PER_CONNECTION, READ_TIMEOUT,
 };
 use crate::pool::{SubmitError, WorkerPool};
 use graphio_graph::json::JsonValue;
-use graphio_graph::{fingerprint, CompGraph, EdgeListGraph, Fingerprint};
+use graphio_graph::{fingerprint, CompGraph, Fingerprint};
 use graphio_linalg::stats::{dense_eigensolve_count, sparse_matvec_count};
 use graphio_spectral::OwnedAnalyzer;
 use graphio_store::{load_session, save_session, Store, StoreConfig, StoreStats};
-use std::io::{self, BufRead as _, BufReader};
+use std::io::{self};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-/// Maximum graphs accepted in one `POST /batch` request.
-pub const MAX_BATCH_GRAPHS: usize = 64;
+pub use crate::analysis::MAX_BATCH_GRAPHS;
 
 /// Where (and how) the server persists analysis sessions
 /// (`graphio serve --store DIR`). See `graphio_store` for the on-disk
@@ -201,6 +202,10 @@ pub(crate) struct ServiceState {
     pub(crate) queue_capacity: usize,
     pub(crate) idle_timeout: Duration,
     pub(crate) max_requests_per_connection: usize,
+    /// Boot time, for the `uptime_seconds` stats field — the cluster
+    /// router's aggregated stats use it to spot freshly-restarted
+    /// backends (whose caches are cold).
+    pub(crate) started: Instant,
 }
 
 /// A running analysis server. Dropping the handle shuts it down.
@@ -245,6 +250,7 @@ pub fn serve(config: &ServiceConfig) -> io::Result<Server> {
         queue_capacity: config.queue_capacity.max(1),
         idle_timeout: config.idle_timeout,
         max_requests_per_connection: config.max_requests_per_connection.max(1),
+        started: Instant::now(),
     });
     let pool = Arc::new(WorkerPool::new(config.workers, config.queue_capacity));
     let stop = Arc::new(AtomicBool::new(false));
@@ -396,78 +402,26 @@ fn accept_loop(
     }
 }
 
-/// The per-connection request loop: accept → serve requests until the
-/// peer closes, asks for `Connection: close`, idles past the deadline,
-/// hits the per-connection request cap, or sends something malformed
-/// (close-on-malformed — a peer we cannot frame-sync with must not get a
-/// second read).
+/// The per-connection request loop, shared with the cluster router via
+/// [`serve_connection`]: serve requests until the peer closes, asks for
+/// `Connection: close`, idles past the deadline, hits the per-connection
+/// request cap, or sends something malformed (close-on-malformed — a peer
+/// we cannot frame-sync with must not get a second read).
 fn handle_connection(stream: TcpStream, state: &Arc<ServiceState>, pool: &Arc<WorkerPool>) {
-    let started = std::time::Instant::now();
-    let mut reader = BufReader::new(stream);
-    let mut served = 0usize;
-    loop {
-        if served > 0 {
-            // Between requests the connection may idle up to the idle
-            // deadline (vs. the short READ_TIMEOUT while mid-request),
-            // but never past the connection's wall-clock lifetime cap —
-            // an idle keep-alive connection holds this pooled worker.
-            // fill_buf returns instantly for a pipelined next request.
-            let remaining = crate::http::MAX_CONNECTION_LIFETIME.saturating_sub(started.elapsed());
-            if remaining.is_zero() {
-                return; // lifetime cap reached
-            }
-            // set_read_timeout rejects a zero Duration; clamp up.
-            let idle = state
-                .idle_timeout
-                .min(remaining)
-                .max(Duration::from_millis(1));
-            let _ = reader.get_ref().set_read_timeout(Some(idle));
-            match reader.fill_buf() {
-                Ok([]) => return, // peer closed between requests
-                Ok(_) => {}       // next request has begun
-                Err(_) => return, // idle deadline, lifetime cap, or socket error
-            }
-            let _ = reader.get_ref().set_read_timeout(Some(READ_TIMEOUT));
-        }
-        let request = match read_request(&mut reader) {
-            Ok(r) => r,
-            Err(HttpError::Closed) => return, // clean close, nothing sent
-            Err(HttpError::Io(_)) => return,  // peer went away; nothing to say
-            Err(err) => {
-                state.errors.fetch_add(1, Ordering::Relaxed);
-                let (status, msg) = match &err {
-                    HttpError::Malformed(m) => (400, m.clone()),
-                    HttpError::TooLarge(m) => (413, m.clone()),
-                    HttpError::Closed | HttpError::Io(_) => unreachable!("handled above"),
-                };
-                respond_error(reader.get_mut(), status, false, &msg);
-                return;
-            }
-        };
-        served += 1;
-        state.requests.fetch_add(1, Ordering::Relaxed);
-        let keep = request.wants_keep_alive() && served < state.max_requests_per_connection;
-        route(reader.get_mut(), &request, state, pool, keep);
-        if !keep {
-            return;
-        }
-    }
-}
-
-fn respond_error(stream: &mut TcpStream, status: u16, keep: bool, message: &str) {
-    let body = JsonValue::Object(vec![(
-        "error".to_string(),
-        JsonValue::String(message.to_string()),
-    )])
-    .to_string()
-        + "\n";
-    let _ = write_response(
+    let limits = ConnectionLimits {
+        idle_timeout: state.idle_timeout,
+        max_requests: state.max_requests_per_connection,
+    };
+    serve_connection(
         stream,
-        status,
-        crate::http::reason(status),
-        keep,
-        &[],
-        body.as_bytes(),
+        &limits,
+        |stream, request, keep| {
+            state.requests.fetch_add(1, Ordering::Relaxed);
+            route(stream, request, state, pool, keep);
+        },
+        |_| {
+            state.errors.fetch_add(1, Ordering::Relaxed);
+        },
     );
 }
 
@@ -570,8 +524,18 @@ fn handle_stats(stream: &mut TcpStream, state: &Arc<ServiceState>, keep: bool) {
     let num = |v: u64| JsonValue::Number(v as f64);
     // `requests` vs `connections` is the keep-alive throughput story:
     // requests/connections > 1 means the TCP + dispatch cost is being
-    // amortized across a connection's lifetime.
+    // amortized across a connection's lifetime. `version` and
+    // `uptime_seconds` let the cluster router's aggregated stats flag
+    // mixed-version rings and freshly-restarted (cold-cache) backends.
     let doc = JsonValue::Object(vec![
+        (
+            "version".to_string(),
+            JsonValue::String(env!("CARGO_PKG_VERSION").to_string()),
+        ),
+        (
+            "uptime_seconds".to_string(),
+            num(state.started.elapsed().as_secs()),
+        ),
         (
             "connections".to_string(),
             num(state.connections.load(Ordering::Relaxed)),
@@ -646,25 +610,12 @@ fn handle_stats(stream: &mut TcpStream, state: &Arc<ServiceState>, keep: bool) {
     respond_json(stream, 200, keep, &[], &doc);
 }
 
-/// Extracts the graph sub-document: `{"graph": {...}}` wrapping or a bare
-/// edge-list document.
-fn graph_value(doc: &JsonValue) -> &JsonValue {
-    doc.get("graph").unwrap_or(doc)
-}
-
-fn parse_graph(doc: &JsonValue) -> Result<CompGraph, String> {
-    let el = EdgeListGraph::from_json_value(graph_value(doc))
-        .map_err(|e| format!("invalid graph: {e}"))?;
-    CompGraph::try_from(el).map_err(|e| format!("invalid graph: {e}"))
-}
-
 fn parse_body(request: &Request) -> Result<JsonValue, String> {
-    let text = std::str::from_utf8(&request.body).map_err(|_| "body is not UTF-8".to_string())?;
-    graphio_graph::json::parse(text).map_err(|e| format!("invalid JSON body: {e}"))
+    parse_request_json(&request.body)
 }
 
 fn handle_graphs(stream: &mut TcpStream, request: &Request, state: &Arc<ServiceState>, keep: bool) {
-    let result = parse_body(request).and_then(|doc| parse_graph(&doc));
+    let result = parse_body(request).and_then(|doc| parse_graph_doc(&doc));
     let graph = match result {
         Ok(g) => g,
         Err(msg) => {
@@ -787,50 +738,6 @@ fn session_for_graph(
     (analyzer, fp, source)
 }
 
-/// Parses the sweep spec (`memories`/`processors`/`no_sim`) shared by
-/// `POST /analyze` and `POST /batch`.
-fn parse_spec(doc: &JsonValue) -> Result<(AnalyzeSpec, Vec<String>), (u16, String)> {
-    let raw_memories: Vec<usize> = doc
-        .get("memories")
-        .and_then(JsonValue::as_array)
-        .ok_or_else(|| (400, "missing \"memories\" array".to_string()))?
-        .iter()
-        .map(|v| {
-            // as_u64 so any M the offline CLI accepts (and JSON can carry
-            // exactly) round-trips; the offline/server parity contract
-            // covers large memories too.
-            v.as_u64().map(|m| m as usize).ok_or_else(|| {
-                (
-                    400,
-                    "memory sizes must be non-negative integers".to_string(),
-                )
-            })
-        })
-        .collect::<Result<_, _>>()?;
-    let (memories, warnings) = validate_memories(&raw_memories).map_err(|m| (400, m))?;
-    let processors = match doc.get("processors") {
-        None => 1,
-        Some(v) => v
-            .as_u32()
-            .filter(|&p| p >= 1)
-            .ok_or_else(|| (400, "\"processors\" must be a positive integer".to_string()))?
-            as usize,
-    };
-    let no_sim = match doc.get("no_sim") {
-        None => false,
-        Some(JsonValue::Bool(b)) => *b,
-        Some(_) => return Err((400, "\"no_sim\" must be a boolean".to_string())),
-    };
-    Ok((
-        AnalyzeSpec {
-            memories,
-            processors,
-            no_sim,
-        },
-        warnings,
-    ))
-}
-
 /// Resolves a fingerprint hex string to its session: RAM first, then the
 /// persistent store (the warm-restart path — a fingerprint analyzed
 /// before the last restart back-fills from disk instead of 404ing).
@@ -859,7 +766,7 @@ fn parse_analyze(
 ) -> Result<AnalyzeParts, (u16, String)> {
     let (spec, warnings) = parse_spec(doc)?;
     let (analyzer, fp, source) = if doc.get("graph").is_some() {
-        let graph = parse_graph(doc).map_err(|m| (400, m))?;
+        let graph = parse_graph_doc(doc).map_err(|m| (400, m))?;
         session_for_graph(state, graph)
     } else {
         let hex = doc
@@ -940,22 +847,7 @@ fn handle_batch(
     keep: bool,
 ) {
     let parsed = parse_body(request).map_err(|m| (400, m)).and_then(|doc| {
-        let entries = doc
-            .get("graphs")
-            .and_then(JsonValue::as_array)
-            .ok_or_else(|| (400, "missing \"graphs\" array".to_string()))?;
-        if entries.is_empty() {
-            return Err((400, "\"graphs\" must not be empty".to_string()));
-        }
-        if entries.len() > MAX_BATCH_GRAPHS {
-            return Err((
-                413,
-                format!(
-                    "batch of {} graphs exceeds the {MAX_BATCH_GRAPHS}-graph cap",
-                    entries.len()
-                ),
-            ));
-        }
+        let entries = crate::analysis::validate_batch_entries(&doc)?;
         let (spec, warnings) = parse_spec(&doc)?;
         // Resolve every entry before running anything: a batch with a bad
         // graph fails whole, like N requests where one would 400.
@@ -965,7 +857,8 @@ fn handle_batch(
             let (analyzer, fp, source) = if let Some(hex) = entry.as_str() {
                 lookup_session(hex, state).map_err(|(s, m)| (s, format!("graphs[{i}]: {m}")))?
             } else {
-                let graph = parse_graph(entry).map_err(|m| (400, format!("graphs[{i}]: {m}")))?;
+                let graph =
+                    parse_graph_doc(entry).map_err(|m| (400, format!("graphs[{i}]: {m}")))?;
                 session_for_graph(state, graph)
             };
             items.push((analyzer, fp));

@@ -69,6 +69,16 @@ fn healthz_and_stats_respond() {
     let doc = parse(&stats.body).unwrap();
     assert!(doc.get("cache").is_some());
     assert!(doc.get("engine").is_some());
+    // The cluster router's aggregated stats key off these two fields to
+    // flag mixed-version rings and freshly-restarted backends.
+    assert_eq!(
+        doc.get("version").and_then(JsonValue::as_str),
+        Some(env!("CARGO_PKG_VERSION"))
+    );
+    assert!(doc
+        .get("uptime_seconds")
+        .and_then(JsonValue::as_f64)
+        .is_some());
 }
 
 #[test]

@@ -42,6 +42,7 @@ use graphio::graph::topo::{bfs_order, dfs_order, natural_order};
 use graphio::graph::{CompGraph, EdgeListGraph};
 use graphio::linalg::stats::sparse_matvec_count;
 use graphio::pebble::{simulate, Policy};
+use graphio::router::{serve_router, RouterConfig};
 use graphio::service::analysis::{analysis_body, analyze_rows, validate_memories, AnalyzeSpec};
 use graphio::service::cache::CacheConfig;
 use graphio::service::{client, serve, PersistenceConfig, ServiceConfig};
@@ -65,7 +66,9 @@ fn usage() -> ! {
          graphio client batch --url <http://host:port> --memory-sweep <M1,...> [--processors <p>] [--no-sim] < graphs.ndjson\n  \
          graphio client register --url <http://host:port> < graph.json\n  \
          graphio client stats|health --url <http://host:port>\n  \
-         graphio precompute --store <DIR> [--store-mb <B>] [--threads <N>] < graphs.ndjson\n  \
+         graphio router --backends <host:port,host:port,...> [--listen <H:P>] [--replicas <K>] [--workers <W>] [--queue <Q>] [--health-ms <T>]\n  \
+         graphio cluster [--backends <N>] [--listen <H:P>] [--replicas <K>] [--workers <W>]\n  \
+         graphio precompute --store <DIR> [--store-mb <B>] [--threads <N>] [--jobs <J>] < graphs.ndjson\n  \
          graphio store stat|ls|compact|export --store <DIR>\n  \
          graphio store get --store <DIR> --fingerprint <HEX>\n\n\
          families: fft, bhk, matmul, strassen, inner, diamond, er"
@@ -630,62 +633,144 @@ fn cmd_store(args: &[String]) {
     }
 }
 
+/// What one corpus line came to. `Failed` aborts the run (exit 1) once
+/// printing reaches it — in input order, so the reported line is the
+/// same whichever worker hit it first.
+enum PrecomputeOutcome {
+    Fresh {
+        fp: graphio::graph::Fingerprint,
+        n: usize,
+    },
+    Skipped,
+    Failed(String),
+}
+
+/// Parses one corpus line and warms + stores it unless the store already
+/// holds a warm session for its fingerprint.
+fn precompute_line(store: &Store, graph: CompGraph) -> PrecomputeOutcome {
+    let fp = graphio::graph::fingerprint(&graph);
+    // Already stored *and* warmed? Then this line is free.
+    if let Ok(Some(existing)) = load_session(store, fp) {
+        if !existing.export().is_empty() {
+            return PrecomputeOutcome::Skipped;
+        }
+    }
+    let n = graph.n();
+    let analyzer = OwnedAnalyzer::from_graph(graph);
+    if let Err(e) = warm_session(&analyzer) {
+        return PrecomputeOutcome::Failed(format!("eigensolve failed: {e}"));
+    }
+    if let Err(e) = save_session(store, fp, &analyzer) {
+        return PrecomputeOutcome::Failed(format!("store write failed: {e}"));
+    }
+    PrecomputeOutcome::Fresh { fp, n }
+}
+
 /// `graphio precompute` — sweep an NDJSON corpus of graphs into a store
 /// offline, so a server started with `--store` boots hot: every corpus
 /// graph's spectra and min-cut sweep are already on disk and the server
 /// never eigensolves for them.
+///
+/// `--jobs N` warms up to N corpus lines concurrently (the store's own
+/// locking serializes the appends). Reporting stays deterministic:
+/// outcomes are collected per line and printed in input order, so the
+/// progress lines — and which error gets reported when several lines are
+/// bad — are identical at every job count.
 fn cmd_precompute(args: &[String]) {
     let parsed = parse_args(
         "precompute",
         args,
-        &["--store", "--store-mb", "--threads"],
+        &["--store", "--store-mb", "--threads", "--jobs"],
         &[],
     );
     if !parsed.positional.is_empty() {
         usage();
     }
     apply_threads(&parsed);
+    let jobs: usize = parsed.parse_flag("--jobs").unwrap_or(1).max(1);
     let store = open_store(&parsed, false);
     let input = read_stdin_to_string();
-    let (mut fresh, mut skipped) = (0u64, 0u64);
+
+    // Phase 1 (sequential, cheap): parse every line, fingerprint it, and
+    // mark duplicates of an earlier line as skips — so the fresh/skipped
+    // counts cannot depend on which worker wins a race.
+    let mut items: Vec<(usize, Option<CompGraph>, Option<PrecomputeOutcome>)> = Vec::new();
+    let mut seen_fps = std::collections::HashSet::new();
     for (line_no, line) in input.lines().enumerate().map(|(i, l)| (i + 1, l.trim())) {
         if line.is_empty() {
             continue;
         }
-        let el = graphio::graph::EdgeListGraph::from_json(line).unwrap_or_else(|e| {
-            eprintln!("error: stdin line {line_no}: invalid graph JSON: {e}");
-            std::process::exit(1);
-        });
-        let g = CompGraph::try_from(el).unwrap_or_else(|e| {
-            eprintln!("error: stdin line {line_no}: invalid graph: {e}");
-            std::process::exit(1);
-        });
-        let fp = graphio::graph::fingerprint(&g);
-        // Already stored *and* warmed? Then this line is free.
-        if let Ok(Some(existing)) = load_session(&store, fp) {
-            if !existing.export().is_empty() {
-                skipped += 1;
-                continue;
+        match graphio::graph::EdgeListGraph::from_json(line)
+            .map_err(|e| format!("invalid graph JSON: {e}"))
+            .and_then(|el| CompGraph::try_from(el).map_err(|e| format!("invalid graph: {e}")))
+        {
+            Ok(g) => {
+                if seen_fps.insert(graphio::graph::fingerprint(&g)) {
+                    items.push((line_no, Some(g), None));
+                } else {
+                    items.push((line_no, None, Some(PrecomputeOutcome::Skipped)));
+                }
             }
+            Err(msg) => items.push((line_no, None, Some(PrecomputeOutcome::Failed(msg)))),
         }
-        let analyzer = OwnedAnalyzer::from_graph(g);
-        if let Err(e) = warm_session(&analyzer) {
-            eprintln!("error: stdin line {line_no}: eigensolve failed: {e}");
-            std::process::exit(1);
-        }
-        if let Err(e) = save_session(&store, fp, &analyzer) {
-            eprintln!("error: stdin line {line_no}: store write failed: {e}");
-            std::process::exit(1);
-        }
-        fresh += 1;
-        eprintln!(
-            "line {line_no}: {fp} n={} precomputed",
-            analyzer.graph().n()
-        );
     }
-    if fresh + skipped == 0 {
+    if items.is_empty() {
         eprintln!("error: `graphio precompute` expects one graph JSON per stdin line");
         std::process::exit(1);
+    }
+
+    // Phase 2 (parallel): warm + store, workers claiming lines off a
+    // shared cursor.
+    let outcomes: Vec<std::sync::Mutex<Option<PrecomputeOutcome>>> = items
+        .iter_mut()
+        .map(|(_, _, o)| std::sync::Mutex::new(o.take()))
+        .collect();
+    let cursor = std::sync::atomic::AtomicUsize::new(0);
+    let store_ref = &store;
+    // The graphs move out of `items` through per-slot mutexes so workers
+    // can take them without cloning.
+    let work: Vec<std::sync::Mutex<Option<CompGraph>>> = items
+        .iter_mut()
+        .map(|(_, g, _)| std::sync::Mutex::new(g.take()))
+        .collect();
+    std::thread::scope(|scope| {
+        let work = &work;
+        let cursor = &cursor;
+        let outcomes = &outcomes;
+        for _ in 0..jobs.min(work.len()) {
+            scope.spawn(move || loop {
+                let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= work.len() {
+                    return;
+                }
+                let Some(graph) = work[i].lock().expect("work slot").take() else {
+                    continue; // pre-resolved in phase 1
+                };
+                let outcome = precompute_line(store_ref, graph);
+                *outcomes[i].lock().expect("outcome slot") = Some(outcome);
+            });
+        }
+    });
+
+    // Phase 3: print in input order; the first failed line (in input
+    // order) aborts exactly like the sequential path did.
+    let (mut fresh, mut skipped) = (0u64, 0u64);
+    for ((line_no, _, _), outcome) in items.iter().zip(outcomes) {
+        match outcome
+            .into_inner()
+            .expect("outcome lock")
+            .expect("every line resolved")
+        {
+            PrecomputeOutcome::Fresh { fp, n } => {
+                fresh += 1;
+                eprintln!("line {line_no}: {fp} n={n} precomputed");
+            }
+            PrecomputeOutcome::Skipped => skipped += 1,
+            PrecomputeOutcome::Failed(msg) => {
+                eprintln!("error: stdin line {line_no}: {msg}");
+                std::process::exit(1);
+            }
+        }
     }
     if let Err(e) = store.snapshot() {
         eprintln!("warning: snapshot failed: {e}");
@@ -694,6 +779,158 @@ fn cmd_precompute(args: &[String]) {
         "precomputed {fresh} graph(s) ({skipped} already stored) into {}",
         store.dir().display()
     );
+}
+
+/// Splits `host:port` (the `--listen` form). IPv6 listen addresses use
+/// the usual `[::1]:port` bracket form.
+fn parse_listen(cmd: &str, listen: &str) -> (String, u16) {
+    let Some((host, port)) = listen.rsplit_once(':') else {
+        eprintln!("error: --listen expects host:port in `graphio {cmd}`, got {listen:?}");
+        usage()
+    };
+    let Ok(port) = port.parse::<u16>() else {
+        eprintln!("error: invalid port {port:?} for --listen in `graphio {cmd}`");
+        usage()
+    };
+    (host.trim_matches(['[', ']']).to_string(), port)
+}
+
+/// Builds a [`RouterConfig`] from shared router/cluster flags.
+fn router_config(parsed: &Parsed, backends: Vec<String>) -> RouterConfig {
+    let defaults = RouterConfig::over(Vec::new());
+    let (host, port) = parse_listen(
+        &parsed.cmd,
+        parsed.flag("--listen").unwrap_or("127.0.0.1:7979"),
+    );
+    RouterConfig {
+        host,
+        port,
+        backends,
+        replicas: parsed.parse_flag("--replicas").unwrap_or(defaults.replicas),
+        workers: parsed.parse_flag("--workers").unwrap_or(defaults.workers),
+        queue_capacity: parsed
+            .parse_flag("--queue")
+            .unwrap_or(defaults.queue_capacity),
+        health_interval: parsed
+            .parse_flag::<u64>("--health-ms")
+            .map_or(defaults.health_interval, std::time::Duration::from_millis),
+        ..defaults
+    }
+}
+
+/// `graphio router` — the fingerprint-affine cluster tier: a reverse
+/// proxy fronting N `graphio serve` backends with consistent-hash
+/// routing, scatter/gather batching, and failover (see DESIGN.md §8).
+fn cmd_router(args: &[String]) {
+    let parsed = parse_args(
+        "router",
+        args,
+        &[
+            "--backends",
+            "--listen",
+            "--replicas",
+            "--workers",
+            "--queue",
+            "--health-ms",
+        ],
+        &[],
+    );
+    if !parsed.positional.is_empty() {
+        usage();
+    }
+    let backends: Vec<String> = parsed
+        .flag("--backends")
+        .unwrap_or_else(|| usage())
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    if backends.is_empty() {
+        eprintln!("error: --backends expects at least one host:port in `graphio router`");
+        usage();
+    }
+    let router = serve_router(&router_config(&parsed, backends)).unwrap_or_else(|e| {
+        eprintln!("error: failed to start router: {e}");
+        std::process::exit(1);
+    });
+    // Line-buffered and parsed by the CI driver — keep the format stable.
+    println!("graphio router listening on {}", router.url());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    router.join();
+}
+
+/// `graphio cluster` — a test/demo helper: spawn N `graphio serve`
+/// children on ephemeral ports and front them with an in-process router.
+/// Prints one `cluster backend I: URL pid=P` line per child (so a test
+/// harness can `kill -9` one mid-load) and then the standard router
+/// listening line. The children are plain child processes: killing the
+/// cluster process orphans them, so harnesses should kill the printed
+/// pids too.
+fn cmd_cluster(args: &[String]) {
+    let parsed = parse_args(
+        "cluster",
+        args,
+        &["--backends", "--listen", "--replicas", "--workers"],
+        &[],
+    );
+    if !parsed.positional.is_empty() {
+        usage();
+    }
+    let n: usize = parsed.parse_flag("--backends").unwrap_or(3).max(1);
+    let workers: usize = parsed.parse_flag("--workers").unwrap_or(2);
+    let exe = std::env::current_exe().unwrap_or_else(|e| {
+        eprintln!("error: cannot locate own binary: {e}");
+        std::process::exit(1);
+    });
+    let mut children = Vec::new();
+    let mut addrs = Vec::new();
+    for i in 0..n {
+        let mut child = std::process::Command::new(&exe)
+            .args(["serve", "--port", "0", "--workers", &workers.to_string()])
+            .stdout(std::process::Stdio::piped())
+            .spawn()
+            .unwrap_or_else(|e| {
+                eprintln!("error: failed to spawn backend {i}: {e}");
+                std::process::exit(1);
+            });
+        let stdout = child.stdout.take().expect("stdout piped");
+        let mut reader = std::io::BufReader::new(stdout);
+        let url = loop {
+            let mut line = String::new();
+            use std::io::BufRead as _;
+            let read = reader.read_line(&mut line).unwrap_or(0);
+            if read == 0 {
+                eprintln!("error: backend {i} exited before listening");
+                std::process::exit(1);
+            }
+            if let Some(url) = line.trim().strip_prefix("graphio service listening on ") {
+                break url.to_string();
+            }
+        };
+        let addr = url.strip_prefix("http://").unwrap_or(&url).to_string();
+        println!("cluster backend {i}: {url} pid={}", child.id());
+        addrs.push(addr);
+        children.push(child);
+    }
+    let router = match serve_router(&router_config(&parsed, addrs)) {
+        Ok(router) => router,
+        Err(e) => {
+            eprintln!("error: failed to start router: {e}");
+            for mut child in children {
+                let _ = child.kill();
+            }
+            std::process::exit(1);
+        }
+    };
+    println!("graphio router listening on {}", router.url());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    router.join();
+    for mut child in children {
+        let _ = child.kill();
+        let _ = child.wait();
+    }
 }
 
 fn read_stdin_to_string() -> String {
@@ -848,6 +1085,8 @@ fn main() {
         "simulate" => cmd_simulate(rest),
         "serve" => cmd_serve(rest),
         "client" => cmd_client(rest),
+        "router" => cmd_router(rest),
+        "cluster" => cmd_cluster(rest),
         "store" => cmd_store(rest),
         "precompute" => cmd_precompute(rest),
         "dot" => {

@@ -13,6 +13,7 @@
 //! | [`baselines`] | the §6.3 convex min-cut baseline and an exact tiny-graph optimum oracle |
 //! | [`service`] | the HTTP analysis server: sharded session cache + worker pool, `graphio serve` / `graphio client` |
 //! | [`store`] | persistent content-addressed session store: CRC32-framed segment log + binary codec, `graphio store` / `graphio precompute`, `serve --store` |
+//! | [`router`] | the fingerprint-affine cluster tier: consistent-hash reverse proxy with scatter/gather batching and failover, `graphio router` / `graphio cluster` |
 //!
 //! ## Quickstart
 //!
@@ -36,6 +37,7 @@ pub use graphio_baselines as baselines;
 pub use graphio_graph as graph;
 pub use graphio_linalg as linalg;
 pub use graphio_pebble as pebble;
+pub use graphio_router as router;
 pub use graphio_service as service;
 pub use graphio_spectral as spectral;
 pub use graphio_store as store;

@@ -171,6 +171,8 @@ fn unknown_flags_are_rejected_everywhere() {
         &["generate", "fft", "3", "--size", "9"],
         &["precompute", "--store", "x", "--frobnicate"],
         &["store", "stat", "--store", "x", "--bogus", "1"],
+        &["router", "--backends", "127.0.0.1:1", "--bogus", "1"],
+        &["cluster", "--frobnicate"],
     ] {
         let (_, stderr, ok) = run_with_stdin(args, &json);
         assert!(!ok, "{args:?} must fail");
@@ -500,6 +502,141 @@ fn client_batch_error_names_the_offending_stdin_line() {
     });
     let _ = server.kill();
     let _ = server.wait();
+    if let Err(p) = result {
+        std::panic::resume_unwind(p);
+    }
+}
+
+/// Satellite regression: `precompute --jobs N` parallelizes corpus
+/// warming but must keep line-numbered reporting deterministic —
+/// progress lines in input order, and the *first* bad line (in input
+/// order) blamed regardless of which worker hit an error first.
+#[test]
+fn precompute_jobs_is_parallel_but_deterministic() {
+    let dir = std::env::temp_dir().join(format!("graphio_cli_jobs_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = dir.to_str().unwrap().to_string();
+    let corpus = format!(
+        "{}\n{}\n{}",
+        generate("fft", 3).trim_end(),
+        generate("inner", 3).trim_end(),
+        generate("diamond", 3).trim_end(),
+    );
+    let (_, stderr, ok) =
+        run_with_stdin(&["precompute", "--store", &store, "--jobs", "4"], &corpus);
+    assert!(ok, "precompute --jobs failed: {stderr}");
+    assert!(
+        stderr.contains("precomputed 3 graph(s) (0 already stored)"),
+        "{stderr}"
+    );
+    // Progress lines appear in input order even though the lines were
+    // warmed concurrently.
+    let positions: Vec<usize> = (1..=3)
+        .map(|i| {
+            stderr
+                .find(&format!("line {i}:"))
+                .unwrap_or_else(|| panic!("line {i} missing: {stderr}"))
+        })
+        .collect();
+    assert!(
+        positions[0] < positions[1] && positions[1] < positions[2],
+        "{stderr}"
+    );
+
+    // Two bad lines: the one earliest in input order wins the blame at
+    // every job count.
+    let bad_corpus = format!(
+        "{}\nnot json\n{}\nalso not json\n",
+        generate("fft", 3).trim_end(),
+        generate("inner", 3).trim_end(),
+    );
+    for jobs in ["1", "4"] {
+        let (_, stderr, ok) = run_with_stdin(
+            &["precompute", "--store", &store, "--jobs", jobs],
+            &bad_corpus,
+        );
+        assert!(!ok, "bad corpus must fail (--jobs {jobs})");
+        assert!(
+            stderr.contains("error: stdin line 2: invalid graph JSON"),
+            "--jobs {jobs}: {stderr}"
+        );
+        assert!(
+            !stderr.contains("stdin line 4"),
+            "only the first bad line is blamed (--jobs {jobs}): {stderr}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// End-to-end smoke of the cluster tier through real process boundaries:
+/// `graphio cluster` spawns N serve children plus a router, and an
+/// analyze through the router is byte-identical to the offline path.
+#[test]
+fn cluster_spawns_backends_and_routes_byte_identically() {
+    use std::io::{BufRead as _, BufReader};
+    let mut cluster = cli()
+        .args([
+            "cluster",
+            "--backends",
+            "2",
+            "--listen",
+            "127.0.0.1:0",
+            "--workers",
+            "1",
+        ])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn graphio cluster");
+    let mut reader = BufReader::new(cluster.stdout.take().expect("stdout piped"));
+    let mut backend_pids = Vec::new();
+    let router_url = loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line).unwrap_or(0) == 0 {
+            let _ = cluster.kill();
+            panic!("cluster exited before the router came up");
+        }
+        if let Some(rest) = line.trim().strip_prefix("cluster backend ") {
+            let pid = rest
+                .split("pid=")
+                .nth(1)
+                .and_then(|p| p.trim().parse::<u32>().ok())
+                .expect("pid in backend line");
+            backend_pids.push(pid);
+        } else if let Some(url) = line.trim().strip_prefix("graphio router listening on ") {
+            break url.to_string();
+        }
+    };
+    let result = std::panic::catch_unwind(|| {
+        assert_eq!(
+            backend_pids.len(),
+            2,
+            "two backend lines before the router line"
+        );
+        let graph = generate("fft", 4);
+        let (offline, _, ok) =
+            run_with_stdin(&["analyze", "--memory-sweep", "2,4", "--json"], &graph);
+        assert!(ok);
+        let (via_router, stderr, ok) = run_with_stdin(
+            &[
+                "client",
+                "analyze",
+                "--url",
+                &router_url,
+                "--memory-sweep",
+                "2,4",
+            ],
+            &graph,
+        );
+        assert!(ok, "analyze via router failed: {stderr}");
+        assert_eq!(via_router, offline, "router must serve offline bytes");
+    });
+    let _ = cluster.kill();
+    let _ = cluster.wait();
+    for pid in backend_pids {
+        // The cluster helper's children outlive a kill -9 of the helper;
+        // reap them explicitly like any harness must.
+        let _ = Command::new("kill").args(["-9", &pid.to_string()]).status();
+    }
     if let Err(p) = result {
         std::panic::resume_unwind(p);
     }
