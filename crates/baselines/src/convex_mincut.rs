@@ -21,6 +21,16 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
+/// Above this vertex count [`ConvexMinCutOptions::for_graph_size`] samples
+/// only a handful of vertices and [`wavefront_cut`] caps each max-flow at
+/// [`HUGE_FLOW_CAP`] — the baseline becomes a coarse (still valid) lower
+/// bound whose job is to not stall a million-vertex analyze. Matches the
+/// spectral layer's huge-tier cutoff.
+pub const HUGE_SWEEP_CUTOFF: usize = 100_000;
+
+/// Per-vertex flow cap above [`HUGE_SWEEP_CUTOFF`] (see [`wavefront_cut`]).
+pub const HUGE_FLOW_CAP: u64 = 32;
+
 /// Vertex-sweep strategy for the per-vertex min cuts.
 #[derive(Debug, Clone)]
 pub enum VertexSweep {
@@ -65,7 +75,12 @@ impl ConvexMinCutOptions {
     /// cutoffs the paper applied to this method.
     pub fn for_graph_size(n: usize) -> Self {
         ConvexMinCutOptions {
-            sweep: if n > 3000 {
+            sweep: if n > HUGE_SWEEP_CUTOFF {
+                VertexSweep::Sample {
+                    count: 4,
+                    seed: 0xC07,
+                }
+            } else if n > 3000 {
                 VertexSweep::Sample {
                     count: 512,
                     seed: 0xC07,
@@ -177,6 +192,14 @@ pub fn convex_min_cut_bound(
 /// here: on unique-path networks like the butterfly every
 /// ancestor-to-descendant path runs through `v` itself, collapsing the cut
 /// to 1. Down-closedness is what forces wide wavefronts.
+///
+/// Above [`HUGE_SWEEP_CUTOFF`] vertices each max-flow is capped at
+/// [`HUGE_FLOW_CAP`]: a capped Dinic run still yields a valid flow, and
+/// any flow value lower-bounds the true wavefront, so the baseline stays
+/// a certified lower bound — it just stops tightening past the cap (the
+/// huge-scale analog of the paper's §6.5 wall-clock cutoffs). The cap is
+/// a pure function of the graph size, so results stay deterministic per
+/// graph and cache keys need no new fields.
 pub fn wavefront_cut(g: &CompGraph, v: usize) -> u64 {
     let desc = g.descendants(v);
     if desc.is_empty() {
@@ -204,7 +227,12 @@ pub fn wavefront_cut(g: &CompGraph, v: usize) -> u64 {
     for &d in &desc {
         net.add_edge(d, t, INF);
     }
-    net.max_flow(s, t)
+    let cap = if n > HUGE_SWEEP_CUTOFF {
+        HUGE_FLOW_CAP
+    } else {
+        u64::MAX
+    };
+    net.max_flow_capped(s, t, cap)
 }
 
 #[cfg(test)]

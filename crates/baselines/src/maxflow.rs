@@ -108,9 +108,22 @@ impl FlowNetwork {
     /// # Panics
     /// Panics if `s == t` or either is out of range.
     pub fn max_flow(&mut self, s: usize, t: usize) -> u64 {
+        self.max_flow_capped(s, t, u64::MAX)
+    }
+
+    /// [`FlowNetwork::max_flow`] that stops early after the first
+    /// blocking-flow phase in which the accumulated flow reaches `cap`.
+    ///
+    /// The returned value is the flow found so far, which is always a
+    /// **lower bound** on the true maximum flow (flow only accumulates),
+    /// so min-cut-style lower bounds computed from it stay valid — they
+    /// just may stop short of the tightest value. With `cap = u64::MAX`
+    /// this is exactly `max_flow`. Phases are never abandoned midway, so
+    /// the result is deterministic for a given network and cap.
+    pub fn max_flow_capped(&mut self, s: usize, t: usize, cap: u64) -> u64 {
         assert!(s < self.nodes() && t < self.nodes() && s != t);
         let mut flow = 0u64;
-        while self.bfs(s, t) {
+        while flow < cap && self.bfs(s, t) {
             self.iter.fill(0);
             loop {
                 let f = self.dfs(s, t, INF);
@@ -189,6 +202,29 @@ mod tests {
         net.add_edge(1, 3, 1);
         net.add_edge(2, 3, 1);
         assert_eq!(net.max_flow(0, 3), 2);
+    }
+
+    #[test]
+    fn capped_flow_lower_bounds_and_matches_when_loose() {
+        // Wide network: many disjoint unit paths, so true max flow = 8.
+        let build = || {
+            let mut net = FlowNetwork::new(18);
+            for i in 0..8 {
+                net.add_edge(0, 1 + i, 1);
+                net.add_edge(1 + i, 9 + i, 1);
+                net.add_edge(9 + i, 17, 1);
+            }
+            net
+        };
+        assert_eq!(build().max_flow(0, 17), 8);
+        // A loose cap changes nothing.
+        assert_eq!(build().max_flow_capped(0, 17, 100), 8);
+        // A tight cap stops early but never under-reports below the cap
+        // while more flow is available (phases complete atomically).
+        let capped = build().max_flow_capped(0, 17, 3);
+        assert!((3..=8).contains(&capped), "capped={capped}");
+        // Determinism: same network, same cap, same answer.
+        assert_eq!(capped, build().max_flow_capped(0, 17, 3));
     }
 
     #[test]

@@ -96,11 +96,13 @@ fn bench_lanczos_threads(c: &mut Criterion) {
     group.sample_size(2);
     let g = fft_butterfly(14);
     let lap = normalized_laplacian(&g);
-    // The production schedule for this size: h = 16, subspace 96.
-    let opts = BoundOptions::for_graph_size(g.n());
+    // The sparse-tier schedule, pinned explicitly: the Auto tier hands
+    // n = 245,760 to the single-sweep estimate, but this bench times the
+    // deflated solver.
+    let opts = BoundOptions::for_graph_size_in_tier(g.n(), graphio_spectral::ScaleTier::Sparse);
     let (h, lopts) = match opts.method {
         EigenMethod::Lanczos(l) => (opts.h, l),
-        _ => unreachable!("fft_butterfly(14) is far beyond the dense cutoff"),
+        _ => unreachable!("the sparse tier always picks Lanczos at this size"),
     };
     for threads in [1usize, 4] {
         group.bench_with_input(

@@ -141,12 +141,17 @@ mod tests {
     #[test]
     fn option_scaling_by_graph_size() {
         assert_eq!(bound_options_for(100).h, 100);
+        assert_eq!(bound_options_for(1_000).h, 48);
         assert_eq!(bound_options_for(20_000).h, 32);
-        assert_eq!(bound_options_for(200_000).h, 16);
+        assert_eq!(bound_options_for(200_000).h, 8);
         assert!(matches!(bound_options_for(100).method, EigenMethod::Dense));
         assert!(matches!(
             bound_options_for(10_000).method,
             EigenMethod::Lanczos(_)
+        ));
+        assert!(matches!(
+            bound_options_for(200_000).method,
+            EigenMethod::RitzSweep(_)
         ));
         assert!(matches!(mincut_options_for(100).sweep, VertexSweep::All));
         assert!(matches!(

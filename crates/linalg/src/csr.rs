@@ -3,9 +3,17 @@
 //! Graph Laplacians are sparse (`nnz = n + 2|E|`), so the Lanczos path
 //! operates on CSR. Mat-vec is provided both serially and in parallel via
 //! `std::thread::scope` over row chunks (the offline dependency set has no
-//! `rayon`; chunked scoped threads are the idiomatic substitute). Each row
-//! is always reduced by the same serial loop, so the parallel kernel is
-//! bit-identical to the serial one for every thread count.
+//! `rayon`; chunked scoped threads are the idiomatic substitute).
+//!
+//! Laplacian rows are a handful of scattered entries — too short for
+//! in-row SIMD lanes to pay — so alongside the CSR arrays the matrix
+//! stores an interleaved (SELL-style) mirror: rows grouped in blocks of
+//! [`crate::simd::SELL_ROWS`] = 8, each block padded to its longest row
+//! and stored step-major, so one vector register sums 8 rows at once with
+//! every row accumulating left to right in column order. The scalar
+//! fallback walks the same layout, so mat-vec results are bit-identical
+//! across SIMD on/off and across thread counts (chunks align to block
+//! boundaries).
 
 use crate::dense::DenseMatrix;
 use crate::error::LinalgError;
@@ -26,6 +34,14 @@ pub struct CsrMatrix {
     row_ptr: Vec<usize>,
     col_idx: Vec<u32>,
     values: Vec<f64>,
+    /// Interleaved-block step offsets: block `b` (rows `b*8 .. b*8+8`)
+    /// owns steps `sell_ptr[b] .. sell_ptr[b+1]`; step `s` stores 8
+    /// columns at `sell_cols[s*8..]` and 8 values at `sell_vals[s*8..]`
+    /// (lane = row within the block, short rows padded with
+    /// `(0, 0.0)`).
+    sell_ptr: Vec<usize>,
+    sell_cols: Vec<u32>,
+    sell_vals: Vec<f64>,
 }
 
 impl CsrMatrix {
@@ -89,11 +105,15 @@ impl CsrMatrix {
             }
             row_ptr.push(out_cols.len());
         }
+        let (sell_ptr, sell_cols, sell_vals) = build_sell(n, &row_ptr, &out_cols, &out_vals);
         Ok(CsrMatrix {
             n,
             row_ptr,
             col_idx: out_cols,
             values: out_vals,
+            sell_ptr,
+            sell_cols,
+            sell_vals,
         })
     }
 
@@ -123,16 +143,34 @@ impl CsrMatrix {
     }
 
     /// Row-range kernel shared by the serial and parallel entry points:
-    /// fills `y_chunk` with rows `start..start + y_chunk.len()` of `A x`.
-    fn matvec_rows(&self, x: &[f64], y_chunk: &mut [f64], start: usize) {
-        for (offset, yi) in y_chunk.iter_mut().enumerate() {
-            let (cols, vals) = self.row(start + offset);
-            let mut acc = 0.0;
-            for (c, v) in cols.iter().zip(vals.iter()) {
-                acc += v * x[*c as usize];
-            }
-            *yi = acc;
+    /// fills `y_chunk` with rows `start..start + y_chunk.len()` of `A x`
+    /// from the interleaved mirror. `start` must be a multiple of
+    /// [`crate::simd::SELL_ROWS`]; every row accumulates left to right in
+    /// column order under every `route`, so results are bit-identical for
+    /// every chunking and every SIMD policy (`Fast` shares the `Strict`
+    /// kernel — see [`crate::simd::sell_matvec_routed`]).
+    fn matvec_rows(&self, x: &[f64], y_chunk: &mut [f64], start: usize, route: crate::simd::Route) {
+        debug_assert_eq!(start % crate::simd::SELL_ROWS, 0);
+        crate::simd::sell_matvec_routed(
+            route,
+            &self.sell_ptr,
+            &self.sell_cols,
+            &self.sell_vals,
+            x,
+            y_chunk,
+            start / crate::simd::SELL_ROWS,
+        );
+    }
+
+    /// Resolves the SIMD route once per mat-vec: the AVX2 row kernel
+    /// gathers through `i32` indices, so matrices wider than `i32::MAX`
+    /// columns fall back to the (bit-identical) scalar body.
+    fn matvec_route(&self) -> crate::simd::Route {
+        if self.n > i32::MAX as usize {
+            crate::stats::record_scalar_fallback();
+            return crate::simd::Route::Scalar;
         }
+        crate::simd::route(self.nnz())
     }
 
     /// Serial mat-vec `y = A x`.
@@ -143,7 +181,7 @@ impl CsrMatrix {
         assert_eq!(x.len(), self.n, "matvec: x length mismatch");
         assert_eq!(y.len(), self.n, "matvec: y length mismatch");
         crate::stats::record_sparse_matvec();
-        self.matvec_rows(x, y, 0);
+        self.matvec_rows(x, y, 0, self.matvec_route());
     }
 
     /// Parallel mat-vec `y = A x` over row chunks using scoped threads.
@@ -158,15 +196,21 @@ impl CsrMatrix {
         let threads = threads.max(1);
         if threads == 1 || self.nnz() < PARALLEL_WORK_THRESHOLD || self.n < threads {
             crate::stats::record_sparse_matvec();
-            self.matvec_rows(x, y, 0);
+            self.matvec_rows(x, y, 0, self.matvec_route());
             return;
         }
         crate::stats::record_sparse_matvec();
-        let chunk = self.n.div_ceil(threads);
+        let route = self.matvec_route();
+        // Chunks align to interleaved-block boundaries so every thread
+        // owns whole blocks.
+        let chunk = self
+            .n
+            .div_ceil(threads)
+            .next_multiple_of(crate::simd::SELL_ROWS);
         std::thread::scope(|s| {
             for (t, y_chunk) in y.chunks_mut(chunk).enumerate() {
                 let start = t * chunk;
-                s.spawn(move || self.matvec_rows(x, y_chunk, start));
+                s.spawn(move || self.matvec_rows(x, y_chunk, start, route));
             }
         });
     }
@@ -239,6 +283,45 @@ impl CsrMatrix {
         }
         acc
     }
+}
+
+/// Builds the interleaved (SELL-style) mirror of a CSR layout: rows
+/// grouped in blocks of [`crate::simd::SELL_ROWS`], each block padded to
+/// its longest row and stored step-major. Padding entries are
+/// `(col 0, value 0.0)` — their products contribute exact zeros that the
+/// scalar twin replays identically.
+fn build_sell(
+    n: usize,
+    row_ptr: &[usize],
+    col_idx: &[u32],
+    values: &[f64],
+) -> (Vec<usize>, Vec<u32>, Vec<f64>) {
+    const C: usize = crate::simd::SELL_ROWS;
+    let nblocks = n.div_ceil(C);
+    let mut sell_ptr = Vec::with_capacity(nblocks + 1);
+    sell_ptr.push(0usize);
+    let mut total = 0usize;
+    for b in 0..nblocks {
+        let steps = (b * C..n.min(b * C + C))
+            .map(|r| row_ptr[r + 1] - row_ptr[r])
+            .max()
+            .unwrap_or(0);
+        total += steps;
+        sell_ptr.push(total);
+    }
+    let mut sell_cols = vec![0u32; total * C];
+    let mut sell_vals = vec![0.0f64; total * C];
+    for (b, &block_start) in sell_ptr[..nblocks].iter().enumerate() {
+        let base = block_start * C;
+        for (lane, r) in (b * C..n.min(b * C + C)).enumerate() {
+            let (start, end) = (row_ptr[r], row_ptr[r + 1]);
+            for (k, j) in (start..end).enumerate() {
+                sell_cols[base + k * C + lane] = col_idx[j];
+                sell_vals[base + k * C + lane] = values[j];
+            }
+        }
+    }
+    (sell_ptr, sell_cols, sell_vals)
 }
 
 #[cfg(test)]
@@ -328,6 +411,48 @@ mod tests {
             m.matvec_parallel(&x, &mut y2, threads);
             assert_eq!(y1, y2, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn matvec_simd_on_off_bit_identical_on_random_csr() {
+        // Random CSR matrices across sizes that exercise partial final
+        // interleaved blocks, empty rows, and mixed row lengths; the
+        // full dispatch path (policy knob included) must produce the
+        // same bits with SIMD on and off. xorshift keeps it seeded.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let before = crate::simd::policy();
+        for n in [1usize, 5, 8, 27, 64, 331] {
+            let mut trips = Vec::new();
+            for i in 0..n {
+                let deg = (rng() % 7) as usize; // 0..=6, some rows empty
+                for _ in 0..deg {
+                    let j = (rng() % n as u64) as usize;
+                    let v = ((rng() % 2000) as f64 - 1000.0) / 997.0;
+                    trips.push((i, j, v));
+                }
+            }
+            let m = CsrMatrix::from_triplets(n, &trips).unwrap();
+            let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+            let mut y_off = vec![0.0; n];
+            crate::simd::set_policy(crate::SimdPolicy::Off);
+            m.matvec(&x, &mut y_off);
+            for policy in [crate::SimdPolicy::Strict, crate::SimdPolicy::Fast] {
+                crate::simd::set_policy(policy);
+                let mut y = vec![0.0; n];
+                m.matvec(&x, &mut y);
+                assert_eq!(y_off, y, "n={n} policy={policy:?}");
+                let mut y_par = vec![0.0; n];
+                m.matvec_parallel(&x, &mut y_par, 3);
+                assert_eq!(y_off, y_par, "n={n} policy={policy:?} parallel");
+            }
+        }
+        crate::simd::set_policy(before);
     }
 
     #[test]

@@ -90,10 +90,7 @@ pub fn tridiagonalize_in_place_with_threads(
                         a[(j, i)] = a[(i, j)] / h;
                     }
                 }
-                f = 0.0;
-                for j in 0..=l {
-                    f += e[j] * u[j];
-                }
+                f = crate::vecops::dot(&e[..=l], &u[..=l]);
                 let hh = f / (h + h);
                 for j in 0..=l {
                     e[j] -= hh * u[j];
@@ -144,22 +141,35 @@ pub fn tridiagonalize_in_place_with_threads(
 
 /// Fills `out[j] = (Σ_{k≤j} a[j][k]·u[k] + Σ_{j<k≤l} a[k][j]·u[k]) / h`
 /// for `j ∈ 0..=l` — the symmetric mat-vec over the packed lower triangle.
-/// Each `j` costs exactly `l + 1` multiply-adds, so even row chunks
-/// balance; every `out[j]` uses the same in-order reduction regardless of
-/// chunking.
+///
+/// Cache blocking: the classical formulation walks column `j` of the
+/// lower triangle for the second sum — an `n`-strided sweep that goes
+/// memory-bound around `n ≈ 1000`. Instead, each output segment first
+/// takes its row dots (`k ≤ j`, unit stride), then accumulates the column
+/// contributions row-wise: for `k` ascending, `out[j] += a[k][j]·u[k]`
+/// over the whole segment at once — a unit-stride `axpy` on `a.row(k)`.
+/// Per element the additions land in exactly the classical order (row dot
+/// first, then `k` ascending), so the result is bit-identical for every
+/// chunking; both phases run on the SIMD kernels, whose `Strict` shape is
+/// likewise chunking-independent.
 fn lower_sym_matvec(a: &DenseMatrix, l: usize, u: &[f64], out: &mut [f64], h: f64, threads: usize) {
+    let route = crate::simd::route(l + 1);
     let kernel = |start: usize, out_chunk: &mut [f64]| {
         for (slot, g_out) in out_chunk.iter_mut().enumerate() {
             let j = start + slot;
-            let mut g = 0.0;
-            let row_j = &a.row(j)[..=j];
-            for (ajk, uk) in row_j.iter().zip(u.iter()) {
-                g += ajk * uk;
+            *g_out = crate::vecops::dot(&a.row(j)[..=j], &u[..=j]);
+        }
+        let hi = start + out_chunk.len();
+        for (k, &u_k) in u.iter().enumerate().take(l + 1).skip(start + 1) {
+            let seg_end = k.min(hi) - start;
+            if seg_end == 0 {
+                break;
             }
-            for k in (j + 1)..=l {
-                g += a[(k, j)] * u[k];
-            }
-            *g_out = g / h;
+            let row_k = &a.row(k)[start..start + seg_end];
+            crate::simd::axpy_routed(route, u_k, row_k, &mut out_chunk[..seg_end]);
+        }
+        for g_out in out_chunk.iter_mut() {
+            *g_out /= h;
         }
     };
     if threads <= 1 || l < PARALLEL_PANEL_THRESHOLD {
@@ -183,13 +193,12 @@ fn lower_sym_matvec(a: &DenseMatrix, l: usize, u: &[f64], out: &mut [f64], h: f6
 fn rank2_update_lower(a: &mut DenseMatrix, l: usize, u: &[f64], e: &[f64], threads: usize) {
     let cols = a.ncols();
     let rows = l + 1;
+    let route = crate::simd::route(rows);
     let kernel = |start_row: usize, block: &mut [f64]| {
         for (r, row) in block.chunks_mut(cols).enumerate() {
             let j = start_row + r;
             let (uj, ej) = (u[j], e[j]);
-            for k in 0..=j {
-                row[k] -= uj * e[k] + ej * u[k];
-            }
+            crate::simd::rank2_row_routed(route, &mut row[..=j], uj, ej, e, u);
         }
     };
     let data = &mut a.data_mut()[..rows * cols];

@@ -31,6 +31,7 @@ pub mod lanczos;
 pub mod linop;
 pub mod orthogonal;
 pub mod power;
+pub mod simd;
 pub mod stats;
 pub mod symeig;
 pub mod threads;
@@ -40,10 +41,13 @@ pub mod vecops;
 pub use csr::CsrMatrix;
 pub use dense::DenseMatrix;
 pub use error::LinalgError;
-pub use lanczos::{smallest_eigenvalues, LanczosOptions, LanczosResult};
+pub use lanczos::{
+    extreme_ritz_values, smallest_eigenvalues, LanczosOptions, LanczosResult, RitzSweepOptions,
+};
 pub use linop::{LinOp, ShiftedNegated};
 pub use orthogonal::random_orthogonal;
 pub use power::{power_iteration, PowerResult};
+pub use simd::SimdPolicy;
 pub use symeig::{eigenvalues_symmetric, eigh};
 pub use threads::{set_threads, Threads};
 pub use tridiag::{tridiagonal_eigenvalues, tridiagonal_eigenvalues_bisect};

@@ -1,0 +1,806 @@
+//! Runtime-dispatched AVX2 kernels with an always-compiled scalar fallback.
+//!
+//! Every hot loop in this crate — dot products, `axpy`/`axpby`/`scal`,
+//! the CSR mat-vec, and the Householder rank-2 row update — funnels
+//! through this module. Dispatch is decided per kernel entry from the
+//! process-global [`SimdPolicy`] knob and cached
+//! `is_x86_feature_detected!` probes (AVX2, plus AVX-512F where the
+//! wider mat-vec body applies); on non-x86_64 targets (or when the
+//! features are absent) the scalar bodies below are the only path, so
+//! the fallback can never rot out of the build.
+//!
+//! # Determinism contract
+//!
+//! * **Element-wise kernels** (`axpy`, `axpby`, `scal`, the rank-2 row
+//!   update) perform exactly the same multiply/add sequence per element in
+//!   scalar and vector form — no FMA contraction (a fused multiply-add
+//!   rounds once where `mul` + `add` round twice, so `Strict` never emits
+//!   it). These are bit-identical under every policy.
+//! * **Dot products** use one canonical shape in both implementations:
+//!   four accumulator lanes striped over the input
+//!   (`lane j ← elements j, j+4, j+8, …`), combined as
+//!   `((l0 + l1) + (l2 + l3))`, then a sequential tail for the remainder.
+//!   The scalar body *is* that algorithm, so `Strict` (and `Off`) produce
+//!   bit-identical results whether or not AVX2 ran — and stay
+//!   chunk-deterministic across thread counts, because the per-element
+//!   operation sequence does not depend on how callers partition work.
+//! * **CSR mat-vec** vectorizes *across* rows, not within them: graph
+//!   Laplacian rows are a handful of scattered entries, far too short for
+//!   in-row lanes to pay. [`crate::CsrMatrix`] stores an interleaved
+//!   (SELL-style) mirror of its rows in blocks of [`SELL_ROWS`] = 8, and
+//!   the kernels assign lane `r` of the accumulator to row `r`, so every
+//!   row's sum accumulates **left to right in column order** — the natural
+//!   scalar loop — in scalar, AVX2, and AVX-512 form alike. Short rows pad
+//!   with `(col 0, value 0.0)` steps, and the scalar twin walks the same
+//!   padded layout, so all three bodies are structurally bit-identical at
+//!   every thread count.
+//! * [`SimdPolicy::Fast`] widens dot reductions to eight striped lanes
+//!   (two registers). That reassociates the horizontal sum, so `Fast`
+//!   results may differ from `Strict` in the last bits; the relative error
+//!   is bounded by the usual `O(n·ε)` dot-product analysis and pinned to
+//!   `≤ 1e-12` by the property tests. The mat-vec has no horizontal
+//!   reduction to reassociate, so `Fast` and `Strict` share its kernel.
+//!
+//! The knob is settable programmatically ([`set_policy`]) and via the
+//! `GRAPHIO_SIMD` environment variable (`off` | `strict` | `fast`), which
+//! CI uses to run the whole suite with vector code disabled.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// How much SIMD the kernels may use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimdPolicy {
+    /// Never dispatch to vector code (the scalar reference path).
+    Off,
+    /// Vector code only where results stay bit-identical to scalar
+    /// (element-wise ops + the canonical striped reduction). The default.
+    #[default]
+    Strict,
+    /// Additionally allow reassociated (wider) reduction trees; results
+    /// may differ from `Strict` within a tested `1e-12` relative bound.
+    Fast,
+}
+
+impl SimdPolicy {
+    /// Parses the CLI / `GRAPHIO_SIMD` spelling.
+    pub fn parse(s: &str) -> Option<SimdPolicy> {
+        match s {
+            "off" => Some(SimdPolicy::Off),
+            "strict" => Some(SimdPolicy::Strict),
+            "fast" => Some(SimdPolicy::Fast),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling (`off` | `strict` | `fast`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SimdPolicy::Off => "off",
+            SimdPolicy::Strict => "strict",
+            SimdPolicy::Fast => "fast",
+        }
+    }
+}
+
+/// 0 = unset (defer to `GRAPHIO_SIMD` / default); 1..=3 map to the policy.
+static GLOBAL: AtomicUsize = AtomicUsize::new(0);
+
+fn env_default() -> SimdPolicy {
+    static CACHED: OnceLock<SimdPolicy> = OnceLock::new();
+    *CACHED.get_or_init(|| {
+        std::env::var("GRAPHIO_SIMD")
+            .ok()
+            .and_then(|v| SimdPolicy::parse(&v))
+            .unwrap_or_default()
+    })
+}
+
+/// Sets the process-global SIMD policy (overrides `GRAPHIO_SIMD`).
+pub fn set_policy(policy: SimdPolicy) {
+    let enc = match policy {
+        SimdPolicy::Off => 1,
+        SimdPolicy::Strict => 2,
+        SimdPolicy::Fast => 3,
+    };
+    GLOBAL.store(enc, Ordering::Relaxed);
+}
+
+/// The currently configured policy (after the `GRAPHIO_SIMD` override).
+pub fn policy() -> SimdPolicy {
+    match GLOBAL.load(Ordering::Relaxed) {
+        1 => SimdPolicy::Off,
+        2 => SimdPolicy::Strict,
+        3 => SimdPolicy::Fast,
+        _ => env_default(),
+    }
+}
+
+/// Whether the running CPU supports the AVX2 kernels.
+pub fn avx2_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        static CACHED: OnceLock<bool> = OnceLock::new();
+        *CACHED.get_or_init(|| is_x86_feature_detected!("avx2"))
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Whether the running CPU supports the AVX-512F mat-vec body (eight f64
+/// lanes in one register — one gather per interleaved step instead of two).
+pub fn avx512_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        static CACHED: OnceLock<bool> = OnceLock::new();
+        *CACHED.get_or_init(|| is_x86_feature_detected!("avx512f"))
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Rows per interleaved CSR block: the lane count of one AVX-512 `f64`
+/// register (two AVX2 registers). [`crate::CsrMatrix`] builds its
+/// interleaved mirror in blocks of this height, and the parallel mat-vec
+/// aligns its row chunks to it.
+pub const SELL_ROWS: usize = 8;
+
+/// Inputs shorter than this skip SIMD dispatch (and the stats counters)
+/// entirely — a handful of scalar ops beats the vector setup.
+const MIN_SIMD_LEN: usize = 8;
+
+/// Resolved dispatch decision for one kernel entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Route {
+    Scalar,
+    Strict,
+    Fast,
+}
+
+/// Decides the route for a kernel entry over `len` elements, ticking the
+/// stats counters: one `simd_kernel_calls` per entry that dispatches to
+/// vector code, one `scalar_fallbacks` per entry that wanted vector code
+/// but cannot run it on this CPU.
+pub(crate) fn route(len: usize) -> Route {
+    let policy = policy();
+    if policy == SimdPolicy::Off || len < MIN_SIMD_LEN {
+        return Route::Scalar;
+    }
+    if !avx2_available() {
+        crate::stats::record_scalar_fallback();
+        return Route::Scalar;
+    }
+    crate::stats::record_simd_kernel_call();
+    match policy {
+        SimdPolicy::Fast => Route::Fast,
+        _ => Route::Strict,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Canonical scalar bodies (the reference semantics for `Strict`).
+// ---------------------------------------------------------------------------
+
+/// Canonical striped-lane dot product: the scalar spelling of the `Strict`
+/// reduction (4 lanes, `((l0+l1)+(l2+l3))`, sequential tail).
+pub fn dot_scalar(x: &[f64], y: &[f64]) -> f64 {
+    debug_assert_eq!(x.len(), y.len());
+    let n = x.len();
+    let quads = n - n % 4;
+    let mut l = [0.0f64; 4];
+    let mut i = 0;
+    while i < quads {
+        l[0] += x[i] * y[i];
+        l[1] += x[i + 1] * y[i + 1];
+        l[2] += x[i + 2] * y[i + 2];
+        l[3] += x[i + 3] * y[i + 3];
+        i += 4;
+    }
+    let mut tail = 0.0;
+    for k in quads..n {
+        tail += x[k] * y[k];
+    }
+    ((l[0] + l[1]) + (l[2] + l[3])) + tail
+}
+
+/// Reference interleaved mat-vec over blocks `first_block ..`: lane `r`
+/// of each 8-wide accumulator is row `r`, each lane summing its row's
+/// entries left to right in column order (padding steps contribute
+/// `0.0 · x[0]`). The vector bodies replay exactly this per-lane op
+/// sequence, so all three are bit-identical.
+///
+/// `sell_ptr[b] .. sell_ptr[b + 1]` is block `b`'s step range; step `s`
+/// of a block stores its 8 columns at `cols[s*8 .. s*8+8]` (values
+/// likewise). `y` covers rows `first_block*8 .. first_block*8 + y.len()`
+/// and, except for the final block, must span whole blocks.
+pub(crate) fn sell_matvec_scalar(
+    sell_ptr: &[usize],
+    cols: &[u32],
+    vals: &[f64],
+    x: &[f64],
+    y: &mut [f64],
+    first_block: usize,
+) {
+    for (bi, yb) in y.chunks_mut(SELL_ROWS).enumerate() {
+        let b = first_block + bi;
+        let mut acc = [0.0f64; SELL_ROWS];
+        let mut p = sell_ptr[b] * SELL_ROWS;
+        for _ in sell_ptr[b]..sell_ptr[b + 1] {
+            for (l, a) in acc.iter_mut().enumerate() {
+                *a += vals[p + l] * x[cols[p + l] as usize];
+            }
+            p += SELL_ROWS;
+        }
+        yb.copy_from_slice(&acc[..yb.len()]);
+    }
+}
+
+fn axpy_scalar(alpha: f64, x: &[f64], y: &mut [f64]) {
+    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+        *yi += alpha * xi;
+    }
+}
+
+fn axpby_scalar(alpha: f64, x: &[f64], beta: f64, y: &mut [f64]) {
+    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+        *yi = alpha * xi + beta * *yi;
+    }
+}
+
+fn scal_scalar(alpha: f64, x: &mut [f64]) {
+    for xi in x.iter_mut() {
+        *xi *= alpha;
+    }
+}
+
+fn rank2_row_scalar(row: &mut [f64], uj: f64, ej: f64, e: &[f64], u: &[f64]) {
+    for ((rk, ek), uk) in row.iter_mut().zip(e.iter()).zip(u.iter()) {
+        *rk -= uj * ek + ej * uk;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 bodies.
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use std::arch::x86_64::*;
+
+    /// `Strict` dot: one 4-lane accumulator, `mul` + `add` per step (no
+    /// FMA), lanes combined exactly like [`super::dot_scalar`].
+    ///
+    /// # Safety
+    /// Caller must ensure AVX2 is available and `x.len() == y.len()`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn dot_strict(x: &[f64], y: &[f64]) -> f64 {
+        let n = x.len();
+        let quads = n - n % 4;
+        let mut acc = _mm256_setzero_pd();
+        let mut i = 0;
+        while i < quads {
+            let xv = _mm256_loadu_pd(x.as_ptr().add(i));
+            let yv = _mm256_loadu_pd(y.as_ptr().add(i));
+            acc = _mm256_add_pd(acc, _mm256_mul_pd(xv, yv));
+            i += 4;
+        }
+        let mut l = [0.0f64; 4];
+        _mm256_storeu_pd(l.as_mut_ptr(), acc);
+        let mut tail = 0.0;
+        for k in quads..n {
+            tail += x[k] * y[k];
+        }
+        ((l[0] + l[1]) + (l[2] + l[3])) + tail
+    }
+
+    /// `Fast` dot: two 4-lane accumulators striped over 8 elements, folded
+    /// register-wise before the lane combine — a reassociated (wider)
+    /// reduction that is *not* bit-identical to [`super::dot_scalar`].
+    ///
+    /// # Safety
+    /// Caller must ensure AVX2 is available and `x.len() == y.len()`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn dot_fast(x: &[f64], y: &[f64]) -> f64 {
+        let n = x.len();
+        let octs = n - n % 8;
+        let mut acc0 = _mm256_setzero_pd();
+        let mut acc1 = _mm256_setzero_pd();
+        let mut i = 0;
+        while i < octs {
+            let x0 = _mm256_loadu_pd(x.as_ptr().add(i));
+            let y0 = _mm256_loadu_pd(y.as_ptr().add(i));
+            acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(x0, y0));
+            let x1 = _mm256_loadu_pd(x.as_ptr().add(i + 4));
+            let y1 = _mm256_loadu_pd(y.as_ptr().add(i + 4));
+            acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(x1, y1));
+            i += 8;
+        }
+        let acc = _mm256_add_pd(acc0, acc1);
+        let mut l = [0.0f64; 4];
+        _mm256_storeu_pd(l.as_mut_ptr(), acc);
+        let mut tail = 0.0;
+        for k in octs..n {
+            tail += x[k] * y[k];
+        }
+        ((l[0] + l[1]) + (l[2] + l[3])) + tail
+    }
+
+    /// Interleaved mat-vec, two 4-lane registers per 8-row block — the
+    /// same per-lane op sequence as [`super::sell_matvec_scalar`]. Steps
+    /// whose 8 columns are consecutive (`c0 .. c0+8`, common for the
+    /// structured generator families: the diagonal and any "straight"
+    /// edge map 8 consecutive rows to 8 consecutive columns) use plain
+    /// vector loads; scattered steps use hardware gathers — either way
+    /// the same `x` elements reach the same lanes.
+    ///
+    /// # Safety
+    /// Caller must ensure AVX2 is available, the interleaved layout is
+    /// well-formed (as described on `sell_matvec_scalar`), and every
+    /// column index is `< x.len()` and `<= i32::MAX`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn sell_matvec(
+        sell_ptr: &[usize],
+        cols: &[u32],
+        vals: &[f64],
+        x: &[f64],
+        y: &mut [f64],
+        first_block: usize,
+    ) {
+        const C: usize = super::SELL_ROWS;
+        let step = _mm_setr_epi32(0, 1, 2, 3);
+        for (bi, yb) in y.chunks_mut(C).enumerate() {
+            let b = first_block + bi;
+            let mut acc0 = _mm256_setzero_pd();
+            let mut acc1 = _mm256_setzero_pd();
+            let mut p = sell_ptr[b] * C;
+            for _ in sell_ptr[b]..sell_ptr[b + 1] {
+                let c0 = *cols.get_unchecked(p);
+                let i0 = _mm_loadu_si128(cols.as_ptr().add(p) as *const __m128i);
+                let i1 = _mm_loadu_si128(cols.as_ptr().add(p + 4) as *const __m128i);
+                let e0 = _mm_add_epi32(_mm_set1_epi32(c0 as i32), step);
+                let e1 = _mm_add_epi32(_mm_set1_epi32((c0 as i32).wrapping_add(4)), step);
+                let contiguous = _mm_movemask_epi8(_mm_cmpeq_epi32(i0, e0)) == 0xFFFF
+                    && _mm_movemask_epi8(_mm_cmpeq_epi32(i1, e1)) == 0xFFFF;
+                let (x0, x1) = if contiguous {
+                    let base = x.as_ptr().add(c0 as usize);
+                    (_mm256_loadu_pd(base), _mm256_loadu_pd(base.add(4)))
+                } else {
+                    (
+                        _mm256_i32gather_pd::<8>(x.as_ptr(), i0),
+                        _mm256_i32gather_pd::<8>(x.as_ptr(), i1),
+                    )
+                };
+                let v0 = _mm256_loadu_pd(vals.as_ptr().add(p));
+                let v1 = _mm256_loadu_pd(vals.as_ptr().add(p + 4));
+                acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(v0, x0));
+                acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(v1, x1));
+                p += C;
+            }
+            let mut out = [0.0f64; C];
+            _mm256_storeu_pd(out.as_mut_ptr(), acc0);
+            _mm256_storeu_pd(out.as_mut_ptr().add(4), acc1);
+            yb.copy_from_slice(&out[..yb.len()]);
+        }
+    }
+
+    /// `y ← y + alpha·x` (element-wise; bit-identical to scalar).
+    ///
+    /// # Safety
+    /// Caller must ensure AVX2 is available and `x.len() == y.len()`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+        let n = y.len();
+        let quads = n - n % 4;
+        let a = _mm256_set1_pd(alpha);
+        let mut i = 0;
+        while i < quads {
+            let xv = _mm256_loadu_pd(x.as_ptr().add(i));
+            let yv = _mm256_loadu_pd(y.as_ptr().add(i));
+            _mm256_storeu_pd(
+                y.as_mut_ptr().add(i),
+                _mm256_add_pd(yv, _mm256_mul_pd(a, xv)),
+            );
+            i += 4;
+        }
+        for k in quads..n {
+            y[k] += alpha * x[k];
+        }
+    }
+
+    /// `y ← alpha·x + beta·y` (element-wise; bit-identical to scalar).
+    ///
+    /// # Safety
+    /// Caller must ensure AVX2 is available and `x.len() == y.len()`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn axpby(alpha: f64, x: &[f64], beta: f64, y: &mut [f64]) {
+        let n = y.len();
+        let quads = n - n % 4;
+        let a = _mm256_set1_pd(alpha);
+        let b = _mm256_set1_pd(beta);
+        let mut i = 0;
+        while i < quads {
+            let xv = _mm256_loadu_pd(x.as_ptr().add(i));
+            let yv = _mm256_loadu_pd(y.as_ptr().add(i));
+            _mm256_storeu_pd(
+                y.as_mut_ptr().add(i),
+                _mm256_add_pd(_mm256_mul_pd(a, xv), _mm256_mul_pd(b, yv)),
+            );
+            i += 4;
+        }
+        for k in quads..n {
+            y[k] = alpha * x[k] + beta * y[k];
+        }
+    }
+
+    /// `x ← alpha·x` (element-wise; bit-identical to scalar).
+    ///
+    /// # Safety
+    /// Caller must ensure AVX2 is available.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn scal(alpha: f64, x: &mut [f64]) {
+        let n = x.len();
+        let quads = n - n % 4;
+        let a = _mm256_set1_pd(alpha);
+        let mut i = 0;
+        while i < quads {
+            let xv = _mm256_loadu_pd(x.as_ptr().add(i));
+            _mm256_storeu_pd(x.as_mut_ptr().add(i), _mm256_mul_pd(a, xv));
+            i += 4;
+        }
+        for xk in &mut x[quads..] {
+            *xk *= alpha;
+        }
+    }
+
+    /// `row[k] -= uj·e[k] + ej·u[k]` (element-wise; bit-identical to
+    /// scalar: the inner sum is `add(mul, mul)` in both forms).
+    ///
+    /// # Safety
+    /// Caller must ensure AVX2 is available and
+    /// `row.len() <= min(e.len(), u.len())`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn rank2_row(row: &mut [f64], uj: f64, ej: f64, e: &[f64], u: &[f64]) {
+        let n = row.len();
+        let quads = n - n % 4;
+        let ujv = _mm256_set1_pd(uj);
+        let ejv = _mm256_set1_pd(ej);
+        let mut i = 0;
+        while i < quads {
+            let ev = _mm256_loadu_pd(e.as_ptr().add(i));
+            let uv = _mm256_loadu_pd(u.as_ptr().add(i));
+            let rv = _mm256_loadu_pd(row.as_ptr().add(i));
+            let upd = _mm256_add_pd(_mm256_mul_pd(ujv, ev), _mm256_mul_pd(ejv, uv));
+            _mm256_storeu_pd(row.as_mut_ptr().add(i), _mm256_sub_pd(rv, upd));
+            i += 4;
+        }
+        for k in quads..n {
+            row[k] -= uj * e[k] + ej * u[k];
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod avx512 {
+    use std::arch::x86_64::*;
+
+    /// Interleaved mat-vec, one 8-lane register per block — the same
+    /// per-lane op sequence as [`super::sell_matvec_scalar`] and
+    /// [`super::avx2::sell_matvec`], but each step is a single 8-wide
+    /// load-or-gather plus one `mul` + `add`.
+    ///
+    /// # Safety
+    /// Caller must ensure AVX-512F is available, the interleaved layout
+    /// is well-formed, and every column index is `< x.len()` and
+    /// `<= i32::MAX`.
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn sell_matvec(
+        sell_ptr: &[usize],
+        cols: &[u32],
+        vals: &[f64],
+        x: &[f64],
+        y: &mut [f64],
+        first_block: usize,
+    ) {
+        const C: usize = super::SELL_ROWS;
+        let iota = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+        for (bi, yb) in y.chunks_mut(C).enumerate() {
+            let b = first_block + bi;
+            let mut acc = _mm512_setzero_pd();
+            let mut p = sell_ptr[b] * C;
+            for _ in sell_ptr[b]..sell_ptr[b + 1] {
+                let c0 = *cols.get_unchecked(p);
+                let idx = _mm256_loadu_si256(cols.as_ptr().add(p) as *const __m256i);
+                let expect = _mm256_add_epi32(_mm256_set1_epi32(c0 as i32), iota);
+                let eq = _mm256_cmpeq_epi32(idx, expect);
+                let xv = if _mm256_movemask_epi8(eq) == -1 {
+                    _mm512_loadu_pd(x.as_ptr().add(c0 as usize))
+                } else {
+                    _mm512_i32gather_pd::<8>(idx, x.as_ptr())
+                };
+                let vv = _mm512_loadu_pd(vals.as_ptr().add(p));
+                acc = _mm512_add_pd(acc, _mm512_mul_pd(vv, xv));
+                p += C;
+            }
+            let mut out = [0.0f64; C];
+            _mm512_storeu_pd(out.as_mut_ptr(), acc);
+            yb.copy_from_slice(&out[..yb.len()]);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatching entry points (used by `vecops`, `csr`, `householder`).
+// ---------------------------------------------------------------------------
+
+/// Dot product under the active policy.
+pub(crate) fn dot(x: &[f64], y: &[f64]) -> f64 {
+    match route(x.len()) {
+        Route::Scalar => dot_scalar(x, y),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: route() returned a SIMD lane only after the AVX2 probe,
+        // and callers checked the lengths.
+        Route::Strict => unsafe { avx2::dot_strict(x, y) },
+        #[cfg(target_arch = "x86_64")]
+        Route::Fast => unsafe { avx2::dot_fast(x, y) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => dot_scalar(x, y),
+    }
+}
+
+/// `y ← y + alpha·x` under the active policy.
+pub(crate) fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    match route(y.len()) {
+        Route::Scalar => axpy_scalar(alpha, x, y),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as in `dot`.
+        _ => unsafe { avx2::axpy(alpha, x, y) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => axpy_scalar(alpha, x, y),
+    }
+}
+
+/// `y ← alpha·x + beta·y` under the active policy.
+pub(crate) fn axpby(alpha: f64, x: &[f64], beta: f64, y: &mut [f64]) {
+    match route(y.len()) {
+        Route::Scalar => axpby_scalar(alpha, x, beta, y),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as in `dot`.
+        _ => unsafe { avx2::axpby(alpha, x, beta, y) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => axpby_scalar(alpha, x, beta, y),
+    }
+}
+
+/// `x ← alpha·x` under the active policy.
+pub(crate) fn scal(alpha: f64, x: &mut [f64]) {
+    match route(x.len()) {
+        Route::Scalar => scal_scalar(alpha, x),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as in `dot`.
+        _ => unsafe { avx2::scal(alpha, x) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => scal_scalar(alpha, x),
+    }
+}
+
+/// `row[k] -= uj·e[k] + ej·u[k]` under a pre-resolved route (the
+/// Householder panel kernels resolve once per panel, not once per row).
+pub(crate) fn rank2_row_routed(
+    route: Route,
+    row: &mut [f64],
+    uj: f64,
+    ej: f64,
+    e: &[f64],
+    u: &[f64],
+) {
+    match route {
+        Route::Scalar => rank2_row_scalar(row, uj, ej, e, u),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: the caller resolved the route via `route()`, which only
+        // returns a SIMD lane after the AVX2 probe.
+        _ => unsafe { avx2::rank2_row(row, uj, ej, e, u) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => rank2_row_scalar(row, uj, ej, e, u),
+    }
+}
+
+/// `y ← y + alpha·x` under a pre-resolved route.
+pub(crate) fn axpy_routed(route: Route, alpha: f64, x: &[f64], y: &mut [f64]) {
+    match route {
+        Route::Scalar => axpy_scalar(alpha, x, y),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as in `rank2_row_routed`.
+        _ => unsafe { avx2::axpy(alpha, x, y) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => axpy_scalar(alpha, x, y),
+    }
+}
+
+/// Interleaved mat-vec under a pre-resolved route (the mat-vec resolves
+/// once per call, then every block runs the same body). `Fast` shares the
+/// `Strict` kernel: lanes are rows, so there is no horizontal reduction
+/// to reassociate. The widest available body wins — AVX-512F when the
+/// CPU has it, else AVX2.
+pub(crate) fn sell_matvec_routed(
+    route: Route,
+    sell_ptr: &[usize],
+    cols: &[u32],
+    vals: &[f64],
+    x: &[f64],
+    y: &mut [f64],
+    first_block: usize,
+) {
+    match route {
+        Route::Scalar => sell_matvec_scalar(sell_ptr, cols, vals, x, y, first_block),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: the caller resolved the route via `route()`, which only
+        // returns a SIMD lane after the AVX2 probe; `CsrMatrix` guards the
+        // `i32::MAX` column range before engaging SIMD and owns the layout
+        // invariants.
+        _ => unsafe {
+            if avx512_available() {
+                avx512::sell_matvec(sell_ptr, cols, vals, x, y, first_block)
+            } else {
+                avx2::sell_matvec(sell_ptr, cols, vals, x, y, first_block)
+            }
+        },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => sell_matvec_scalar(sell_ptr, cols, vals, x, y, first_block),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vecs(n: usize) -> (Vec<f64>, Vec<f64>) {
+        let x: Vec<f64> = (0..n).map(|i| ((i * 7 + 3) as f64 * 0.137).sin()).collect();
+        let y: Vec<f64> = (0..n).map(|i| ((i * 5 + 1) as f64 * 0.211).cos()).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn policy_parse_round_trips() {
+        for p in [SimdPolicy::Off, SimdPolicy::Strict, SimdPolicy::Fast] {
+            assert_eq!(SimdPolicy::parse(p.as_str()), Some(p));
+        }
+        assert_eq!(SimdPolicy::parse("avx512"), None);
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn strict_kernels_bit_identical_for_all_remainders() {
+        if !avx2_available() {
+            return;
+        }
+        // Lengths 0..64 cover every remainder class of the 4-wide loops.
+        for n in 0..64usize {
+            let (x, mut y) = vecs(n);
+            // SAFETY: guarded by avx2_available() above.
+            unsafe {
+                assert_eq!(dot_scalar(&x, &y), avx2::dot_strict(&x, &y), "dot n={n}");
+                let mut y2 = y.clone();
+                axpy_scalar(0.37, &x, &mut y);
+                avx2::axpy(0.37, &x, &mut y2);
+                assert_eq!(y, y2, "axpy n={n}");
+                axpby_scalar(1.25, &x, -0.5, &mut y);
+                avx2::axpby(1.25, &x, -0.5, &mut y2);
+                assert_eq!(y, y2, "axpby n={n}");
+                scal_scalar(-1.75, &mut y);
+                avx2::scal(-1.75, &mut y2);
+                assert_eq!(y, y2, "scal n={n}");
+                let e: Vec<f64> = (0..n).map(|i| (i as f64 * 0.31).sin()).collect();
+                rank2_row_scalar(&mut y, 0.9, -1.1, &e, &x);
+                avx2::rank2_row(&mut y2, 0.9, -1.1, &e, &x);
+                assert_eq!(y, y2, "rank2 n={n}");
+            }
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn fast_dot_within_relative_tolerance() {
+        if !avx2_available() {
+            return;
+        }
+        for n in [0usize, 1, 7, 8, 9, 63, 64, 65, 1000, 4096] {
+            let (x, y) = vecs(n);
+            let strict = dot_scalar(&x, &y);
+            // SAFETY: guarded by avx2_available() above.
+            let fast = unsafe { avx2::dot_fast(&x, &y) };
+            let scale = x
+                .iter()
+                .zip(&y)
+                .map(|(a, b)| (a * b).abs())
+                .sum::<f64>()
+                .max(1.0);
+            assert!(
+                (strict - fast).abs() <= 1e-12 * scale,
+                "n={n}: strict={strict} fast={fast}"
+            );
+        }
+    }
+
+    /// Hand-builds an interleaved layout: block `b` holds rows
+    /// `b*8 .. b*8+8` with the given per-row `(cols, vals)`.
+    fn sell_layout(rows: &[(Vec<u32>, Vec<f64>)]) -> (Vec<usize>, Vec<u32>, Vec<f64>) {
+        let nblocks = rows.len().div_ceil(SELL_ROWS);
+        let mut ptr = vec![0usize];
+        let (mut cols, mut vals) = (Vec::new(), Vec::new());
+        for b in 0..nblocks {
+            let block = &rows[b * SELL_ROWS..rows.len().min((b + 1) * SELL_ROWS)];
+            let steps = block.iter().map(|(c, _)| c.len()).max().unwrap_or(0);
+            for k in 0..steps {
+                for lane in 0..SELL_ROWS {
+                    let (c, v) = block
+                        .get(lane)
+                        .and_then(|(rc, rv)| rc.get(k).map(|&c| (c, rv[k])))
+                        .unwrap_or((0, 0.0));
+                    cols.push(c);
+                    vals.push(v);
+                }
+            }
+            ptr.push(ptr[b] + steps);
+        }
+        (ptr, cols, vals)
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn sell_matvec_bodies_bit_identical_across_patterns() {
+        if !avx2_available() {
+            return;
+        }
+        let x: Vec<f64> = (0..256).map(|i| (i as f64 * 0.173).sin()).collect();
+        // Row counts covering partial final blocks, with contiguous,
+        // scattered, mixed, and empty rows of assorted lengths — the
+        // contiguity fast path, the gather path, and padding all engage.
+        for nrows in [1usize, 7, 8, 9, 16, 23] {
+            let rows: Vec<(Vec<u32>, Vec<f64>)> = (0..nrows)
+                .map(|r| {
+                    let len = [0usize, 3, 5, 8, 13, 21][r % 6];
+                    let cols: Vec<u32> = if r % 3 == 0 {
+                        (r as u32 * 8..r as u32 * 8 + len as u32).collect()
+                    } else {
+                        let mut c: Vec<u32> = (0..len as u32)
+                            .map(|i| (i * 37 + r as u32 * 11) % 256)
+                            .collect();
+                        c.sort_unstable();
+                        c.dedup();
+                        c
+                    };
+                    let vals: Vec<f64> = (0..cols.len())
+                        .map(|i| ((i + r) as f64 * 0.91).cos())
+                        .collect();
+                    (cols, vals)
+                })
+                .collect();
+            let (ptr, cols, vals) = sell_layout(&rows);
+            let mut y_ref = vec![0.0f64; nrows];
+            sell_matvec_scalar(&ptr, &cols, &vals, &x, &mut y_ref, 0);
+            // Plain per-row sequential sums must agree exactly (padding
+            // only appends `+ 0.0 · x[0]` terms).
+            for (r, (rc, rv)) in rows.iter().enumerate() {
+                let mut s = 0.0;
+                for (c, v) in rc.iter().zip(rv) {
+                    s += v * x[*c as usize];
+                }
+                assert_eq!(s, y_ref[r], "row {r}");
+            }
+            let mut y = vec![0.0f64; nrows];
+            // SAFETY: guarded by avx2_available(); columns < 256.
+            unsafe { avx2::sell_matvec(&ptr, &cols, &vals, &x, &mut y, 0) };
+            assert_eq!(y_ref, y, "avx2 nrows={nrows}");
+            if avx512_available() {
+                let mut y = vec![0.0f64; nrows];
+                // SAFETY: guarded by avx512_available(); columns < 256.
+                unsafe { avx512::sell_matvec(&ptr, &cols, &vals, &x, &mut y, 0) };
+                assert_eq!(y_ref, y, "avx512 nrows={nrows}");
+            }
+        }
+    }
+}

@@ -3,15 +3,22 @@
 //! The spectral engine's cache tests need to prove a negative — "this call
 //! did **not** re-run the eigensolver" — so the two eigensolver entry
 //! points tick monotone process-global counters: every sparse mat-vec
-//! (the unit of Lanczos work) and every dense eigensolve. Counters are
-//! never reset; callers measure deltas. Reads and writes are `Relaxed`:
-//! the counters order nothing, and a mat-vec costs orders of magnitude
-//! more than the increment.
+//! (the unit of Lanczos work) and every dense eigensolve. The SIMD layer
+//! ticks two more (kernel entries that dispatched to vector code, and
+//! entries that wanted vector code but fell back to scalar), and the
+//! spectral scale tier ticks one per non-dense eigensolve, so `/stats`
+//! and tests can assert which path ran. Counters are never reset; callers
+//! measure deltas. Reads and writes are `Relaxed`: the counters order
+//! nothing, and a mat-vec costs orders of magnitude more than the
+//! increment.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
 static SPARSE_MATVECS: AtomicU64 = AtomicU64::new(0);
 static DENSE_EIGENSOLVES: AtomicU64 = AtomicU64::new(0);
+static SIMD_KERNEL_CALLS: AtomicU64 = AtomicU64::new(0);
+static SCALAR_FALLBACKS: AtomicU64 = AtomicU64::new(0);
+static SCALE_TIER_SOLVES: AtomicU64 = AtomicU64::new(0);
 
 pub(crate) fn record_sparse_matvec() {
     SPARSE_MATVECS.fetch_add(1, Ordering::Relaxed);
@@ -19,6 +26,22 @@ pub(crate) fn record_sparse_matvec() {
 
 pub(crate) fn record_dense_eigensolve() {
     DENSE_EIGENSOLVES.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn record_simd_kernel_call() {
+    SIMD_KERNEL_CALLS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn record_scalar_fallback() {
+    SCALAR_FALLBACKS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records one eigensolve dispatched through the sparse scale tier
+/// (Lanczos or single-sweep Ritz) rather than the dense path. Public
+/// because the tier-selection heuristic lives a crate above
+/// (`graphio_spectral::bound`).
+pub fn record_scale_tier_solve() {
+    SCALE_TIER_SOLVES.fetch_add(1, Ordering::Relaxed);
 }
 
 /// Total [`crate::CsrMatrix`] mat-vec applications so far in this process.
@@ -29,6 +52,22 @@ pub fn sparse_matvec_count() -> u64 {
 /// Total dense symmetric eigensolves so far in this process.
 pub fn dense_eigensolve_count() -> u64 {
     DENSE_EIGENSOLVES.load(Ordering::Relaxed)
+}
+
+/// Total kernel entries that dispatched to SIMD code so far.
+pub fn simd_kernel_call_count() -> u64 {
+    SIMD_KERNEL_CALLS.load(Ordering::Relaxed)
+}
+
+/// Total kernel entries that wanted SIMD but ran scalar (feature not
+/// detected at runtime, or an index-width guard tripped).
+pub fn scalar_fallback_count() -> u64 {
+    SCALAR_FALLBACKS.load(Ordering::Relaxed)
+}
+
+/// Total eigensolves dispatched through the sparse scale tier.
+pub fn scale_tier_solve_count() -> u64 {
+    SCALE_TIER_SOLVES.load(Ordering::Relaxed)
 }
 
 #[cfg(test)]
@@ -44,5 +83,14 @@ mod tests {
         let before = dense_eigensolve_count();
         record_dense_eigensolve();
         assert!(dense_eigensolve_count() > before);
+        let before = simd_kernel_call_count();
+        record_simd_kernel_call();
+        assert!(simd_kernel_call_count() > before);
+        let before = scalar_fallback_count();
+        record_scalar_fallback();
+        assert!(scalar_fallback_count() > before);
+        let before = scale_tier_solve_count();
+        record_scale_tier_solve();
+        assert!(scale_tier_solve_count() > before);
     }
 }

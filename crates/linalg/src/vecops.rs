@@ -1,20 +1,21 @@
 //! Dense vector kernels used by the iterative eigensolvers.
 //!
-//! These are deliberately simple, allocation-free loops over slices; LLVM
-//! auto-vectorizes them well in release builds, which is all the Lanczos
-//! inner loop needs.
+//! These are allocation-free loops over slices, runtime-dispatched to the
+//! AVX2 bodies in [`crate::simd`] when the CPU and the process-global
+//! [`crate::simd::SimdPolicy`] allow it. Under the default `Strict`
+//! policy every kernel is bit-identical whether the vector or the scalar
+//! body ran — reductions share one canonical striped-lane shape — so the
+//! crate's determinism contract (same bits at every thread count) extends
+//! to "same bits with SIMD on or off".
 
-/// Dot product `xᵀy`.
+/// Dot product `xᵀy`, reduced with the canonical 4-lane striped tree (see
+/// [`crate::simd::dot_scalar`] for the reference spelling).
 ///
 /// # Panics
 /// Panics if the slices have different lengths.
 pub fn dot(x: &[f64], y: &[f64]) -> f64 {
     assert_eq!(x.len(), y.len(), "dot: length mismatch");
-    let mut acc = 0.0;
-    for (a, b) in x.iter().zip(y.iter()) {
-        acc += a * b;
-    }
-    acc
+    crate::simd::dot(x, y)
 }
 
 /// Euclidean norm `‖x‖₂`.
@@ -28,16 +29,22 @@ pub fn norm2(x: &[f64]) -> f64 {
 /// Panics if the slices have different lengths.
 pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
     assert_eq!(x.len(), y.len(), "axpy: length mismatch");
-    for (yi, xi) in y.iter_mut().zip(x.iter()) {
-        *yi += alpha * xi;
-    }
+    crate::simd::axpy(alpha, x, y);
+}
+
+/// Scaled add `y ← alpha * x + beta * y` (element-wise, so bit-identical
+/// under every SIMD policy).
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn axpby(alpha: f64, x: &[f64], beta: f64, y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpby: length mismatch");
+    crate::simd::axpby(alpha, x, beta, y);
 }
 
 /// `x ← alpha * x`.
 pub fn scal(alpha: f64, x: &mut [f64]) {
-    for xi in x.iter_mut() {
-        *xi *= alpha;
-    }
+    crate::simd::scal(alpha, x);
 }
 
 /// Normalizes `x` in place and returns its original norm.
@@ -181,6 +188,14 @@ mod tests {
         let mut y = [10.0, 20.0, 30.0];
         axpy(2.0, &x, &mut y);
         assert_eq!(y, [12.0, 24.0, 36.0]);
+    }
+
+    #[test]
+    fn axpby_scales_both_sides() {
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [10.0, 20.0, 30.0];
+        axpby(2.0, &x, 0.5, &mut y);
+        assert_eq!(y, [7.0, 14.0, 21.0]);
     }
 
     #[test]

@@ -79,7 +79,10 @@ use crate::http::{
 use crate::pool::{SubmitError, WorkerPool};
 use graphio_graph::json::JsonValue;
 use graphio_graph::{fingerprint, CompGraph, Fingerprint};
-use graphio_linalg::stats::{dense_eigensolve_count, sparse_matvec_count};
+use graphio_linalg::stats::{
+    dense_eigensolve_count, scalar_fallback_count, scale_tier_solve_count, simd_kernel_call_count,
+    sparse_matvec_count,
+};
 use graphio_spectral::OwnedAnalyzer;
 use graphio_store::{load_session, save_session, Store, StoreConfig, StoreStats};
 use std::io::{self};
@@ -604,6 +607,15 @@ fn handle_stats(stream: &mut TcpStream, state: &Arc<ServiceState>, keep: bool) {
                     num(dense_eigensolve_count()),
                 ),
                 ("sparse_matvecs".to_string(), num(sparse_matvec_count())),
+                (
+                    "simd_kernel_calls".to_string(),
+                    num(simd_kernel_call_count()),
+                ),
+                ("scalar_fallbacks".to_string(), num(scalar_fallback_count())),
+                (
+                    "scale_tier_solves".to_string(),
+                    num(scale_tier_solve_count()),
+                ),
             ]),
         ),
     ]);

@@ -81,6 +81,49 @@ fn healthz_and_stats_respond() {
         .is_some());
 }
 
+/// Reads one numeric counter out of the `/stats` `linalg` block.
+fn linalg_counter(url: &str, field: &str) -> f64 {
+    let stats = client::request("GET", url, "/stats", None).unwrap();
+    assert_eq!(stats.status, 200);
+    parse(&stats.body)
+        .unwrap()
+        .get("linalg")
+        .and_then(|l| l.get(field))
+        .and_then(JsonValue::as_f64)
+        .unwrap_or_else(|| panic!("/stats linalg block missing {field}"))
+}
+
+#[test]
+fn stats_linalg_block_moves_with_scale_tier_solves() {
+    let server = test_server(2, 32);
+    let url = server.url();
+    // All five counters must be present from the start.
+    for field in [
+        "dense_eigensolves",
+        "sparse_matvecs",
+        "simd_kernel_calls",
+        "scalar_fallbacks",
+        "scale_tier_solves",
+    ] {
+        assert!(linalg_counter(&url, field) >= 0.0);
+    }
+    let matvecs_before = linalg_counter(&url, "sparse_matvecs");
+    let tier_before = linalg_counter(&url, "scale_tier_solves");
+    // n = 484 sits past the dense cutoff, so this analyze dispatches
+    // through the sparse scale tier (deflated Lanczos).
+    let g = diamond_dag(22, 22);
+    let r = client::analyze(&url, &graph_json(&g), &[4], 1, true).unwrap();
+    assert_eq!(r.status, 200, "{}", r.body);
+    assert!(
+        linalg_counter(&url, "sparse_matvecs") > matvecs_before,
+        "Lanczos analyze must run sparse mat-vecs"
+    );
+    assert!(
+        linalg_counter(&url, "scale_tier_solves") > tier_before,
+        "past-cutoff analyze must count as a scale-tier solve"
+    );
+}
+
 #[test]
 fn analyze_matches_offline_path_bit_for_bit() {
     let server = test_server(2, 32);
@@ -477,7 +520,7 @@ fn batch_equivalence_property() {
         let graphs: Vec<CompGraph> = (0..count)
             .map(|i| {
                 let s = seed.wrapping_mul(31).wrapping_add(i as u64);
-                if (seed + i as u64) % 2 == 0 {
+                if (seed + i as u64).is_multiple_of(2) {
                     erdos_renyi_dag(6 + ((s as usize) * 5) % 24, 0.3, s)
                 } else {
                     layered_random_dag(2 + s as usize % 3, 2 + s as usize % 4, 0.5, s)

@@ -10,18 +10,126 @@
 
 use crate::laplacian::{normalized_laplacian, unnormalized_laplacian};
 use graphio_graph::CompGraph;
-use graphio_linalg::{eigenvalues_symmetric, lanczos, CsrMatrix, LanczosOptions, LinalgError};
+use graphio_linalg::{
+    eigenvalues_symmetric, lanczos, CsrMatrix, LanczosOptions, LinalgError, RitzSweepOptions,
+};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Below this vertex count the `Auto` scale tier solves densely — the
+/// O(n³) solver beats Lanczos there and is exact. (Lowered from the
+/// original 640: profiling showed deflated Lanczos already strictly
+/// faster by n ≈ 500, e.g. the once-12-second cold `diamond_dag(40,40)`
+/// analyze.)
+pub const DENSE_CUTOFF: usize = 448;
+
+/// Above this vertex count the `Auto` scale tier stops paying for the
+/// deflated (restarted, fully re-orthogonalized, multiplicity-verifying)
+/// Lanczos solver and switches to the fixed-cost single-sweep Ritz
+/// estimate — see [`ScaleTier::Huge`] for the contract change.
+pub const HUGE_CUTOFF: usize = 100_000;
+
+/// Which solver tier [`BoundOptions::for_graph_size`] and the `Auto`
+/// eigensolver method dispatch to. Process-global knob (the CLI's
+/// `--scale-tier`, mirroring the `Threads` and `SimdPolicy` knobs):
+/// [`set_scale_tier`] / [`scale_tier`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScaleTier {
+    /// Pick by vertex count: `Dense` up to [`DENSE_CUTOFF`], `Sparse` up
+    /// to [`HUGE_CUTOFF`], `Huge` beyond (the default).
+    #[default]
+    Auto,
+    /// Dense O(n³) solver — exact, O(n²) memory. Forcing it on a huge
+    /// graph is the caller's own funeral.
+    Dense,
+    /// Deflated Lanczos — certified extreme eigenvalues with verified
+    /// multiplicities, cost O(sweeps · subspace · n).
+    Sparse,
+    /// Single-sweep Ritz extraction — **estimates**, not certified
+    /// eigenvalues: each Ritz value upper-bounds the same-index true
+    /// eigenvalue (Cauchy interlacing) and repeated eigenvalues collapse,
+    /// so bounds computed from them are estimates too (the scale-tier
+    /// analog of the paper's §6.5 wall-clock cutoffs). Cost is a fixed
+    /// `steps` mat-vecs.
+    Huge,
+}
+
+impl ScaleTier {
+    /// Parses a CLI/env spelling. `None` for anything unrecognized.
+    pub fn parse(raw: &str) -> Option<ScaleTier> {
+        match raw {
+            "auto" => Some(ScaleTier::Auto),
+            "dense" => Some(ScaleTier::Dense),
+            "sparse" => Some(ScaleTier::Sparse),
+            "huge" => Some(ScaleTier::Huge),
+            _ => None,
+        }
+    }
+
+    /// Canonical spelling, round-tripping [`ScaleTier::parse`].
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ScaleTier::Auto => "auto",
+            ScaleTier::Dense => "dense",
+            ScaleTier::Sparse => "sparse",
+            ScaleTier::Huge => "huge",
+        }
+    }
+
+    /// Resolves `Auto` against a vertex count; explicit tiers are kept.
+    fn resolve(self, n: usize, dense_cutoff: usize) -> ScaleTier {
+        match self {
+            ScaleTier::Auto => {
+                if n <= dense_cutoff {
+                    ScaleTier::Dense
+                } else if n <= HUGE_CUTOFF {
+                    ScaleTier::Sparse
+                } else {
+                    ScaleTier::Huge
+                }
+            }
+            tier => tier,
+        }
+    }
+}
+
+/// 0 = `Auto`, 1 = `Dense`, 2 = `Sparse`, 3 = `Huge`.
+static SCALE_TIER: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the process-global scale tier (CLI `--scale-tier`).
+pub fn set_scale_tier(tier: ScaleTier) {
+    let v = match tier {
+        ScaleTier::Auto => 0,
+        ScaleTier::Dense => 1,
+        ScaleTier::Sparse => 2,
+        ScaleTier::Huge => 3,
+    };
+    SCALE_TIER.store(v, Ordering::Relaxed);
+}
+
+/// The currently configured process-global scale tier.
+pub fn scale_tier() -> ScaleTier {
+    match SCALE_TIER.load(Ordering::Relaxed) {
+        1 => ScaleTier::Dense,
+        2 => ScaleTier::Sparse,
+        3 => ScaleTier::Huge,
+        _ => ScaleTier::Auto,
+    }
+}
 
 /// How eigenvalues are computed.
 #[derive(Debug, Clone, Default)]
 pub enum EigenMethod {
-    /// Dense path when `n ≤ dense_cutoff`, Lanczos otherwise.
+    /// Resolved by the scale tier: dense when `n ≤ dense_cutoff`, deflated
+    /// Lanczos through [`HUGE_CUTOFF`], single-sweep Ritz beyond.
     #[default]
     Auto,
     /// Always the dense O(n³) solver (exact; memory O(n²)).
     Dense,
     /// Always deflated Lanczos with these options.
     Lanczos(LanczosOptions),
+    /// Always the fixed-cost single-sweep Ritz estimate (the huge tier's
+    /// solver — see [`ScaleTier::Huge`] for what "estimate" gives up).
+    RitzSweep(RitzSweepOptions),
 }
 
 /// Options for the spectral bounds.
@@ -44,7 +152,7 @@ impl Default for BoundOptions {
         BoundOptions {
             h: 100,
             method: EigenMethod::Auto,
-            dense_cutoff: 640,
+            dense_cutoff: DENSE_CUTOFF,
             fixed_k: None,
         }
     }
@@ -52,33 +160,53 @@ impl Default for BoundOptions {
 
 impl BoundOptions {
     /// Eigensolver settings scaled to graph size — the single tuning
-    /// schedule shared by the CLI, the bench harness and the engine.
+    /// schedule shared by the CLI, the bench harness and the engine —
+    /// under the process-global [`scale_tier`] knob.
     ///
-    /// The paper fixes `h = 100`; for very large graphs we shrink `h` (the
+    /// The paper fixes `h = 100`; past the dense cutoff we shrink `h` (the
     /// optimal `k` stays far below it, §6.5) to keep the deflated-Lanczos
-    /// sweep count down, and switch from the dense O(n³) solver to Lanczos
-    /// beyond the default dense cutoff.
+    /// deflation count down, and past [`HUGE_CUTOFF`] we switch to the
+    /// fixed-cost single-sweep Ritz estimate.
     pub fn for_graph_size(n: usize) -> Self {
-        let h = if n > 100_000 {
-            16
-        } else if n > 16_000 {
-            32
-        } else {
-            100
-        };
-        let method = if n > 640 {
-            EigenMethod::Lanczos(LanczosOptions {
-                subspace: 96,
-                tol: 1e-8,
-                ..Default::default()
-            })
-        } else {
-            EigenMethod::Dense
+        Self::for_graph_size_in_tier(n, scale_tier())
+    }
+
+    /// [`BoundOptions::for_graph_size`] with an explicit tier (`Auto`
+    /// resolves by `n`).
+    pub fn for_graph_size_in_tier(n: usize, tier: ScaleTier) -> Self {
+        let (h, method) = match tier.resolve(n, DENSE_CUTOFF) {
+            ScaleTier::Dense => (100, EigenMethod::Dense),
+            ScaleTier::Sparse => (
+                if n > 16_000 { 32 } else { 48 },
+                EigenMethod::Lanczos(LanczosOptions {
+                    subspace: 96,
+                    tol: 1e-8,
+                    ..Default::default()
+                }),
+            ),
+            ScaleTier::Huge => (8, EigenMethod::RitzSweep(RitzSweepOptions::default())),
+            ScaleTier::Auto => unreachable!("resolve never returns Auto"),
         };
         BoundOptions {
             h,
             method,
             ..Default::default()
+        }
+    }
+
+    /// The concrete solver an eigensolve with these options runs on an
+    /// `n`-vertex operator — `Auto` resolved through the process-global
+    /// [`scale_tier`] knob. Never returns [`EigenMethod::Auto`]. The
+    /// engine's cache keys are derived from this exact resolution.
+    pub fn resolved_method(&self, n: usize) -> EigenMethod {
+        match &self.method {
+            EigenMethod::Auto => match scale_tier().resolve(n, self.dense_cutoff) {
+                ScaleTier::Dense => EigenMethod::Dense,
+                ScaleTier::Sparse => EigenMethod::Lanczos(LanczosOptions::default()),
+                ScaleTier::Huge => EigenMethod::RitzSweep(RitzSweepOptions::default()),
+                ScaleTier::Auto => unreachable!("resolve never returns Auto"),
+            },
+            explicit => explicit.clone(),
         }
     }
 }
@@ -178,21 +306,21 @@ pub fn smallest_eigenvalues(lap: &CsrMatrix, opts: &BoundOptions) -> Result<Vec<
     if h == 0 {
         return Ok(Vec::new());
     }
-    let use_dense = match &opts.method {
-        EigenMethod::Auto => n <= opts.dense_cutoff,
-        EigenMethod::Dense => true,
-        EigenMethod::Lanczos(_) => false,
-    };
-    if use_dense {
-        let mut vals = eigenvalues_symmetric(&lap.to_dense())?;
-        vals.truncate(h);
-        Ok(vals)
-    } else {
-        let lopts = match &opts.method {
-            EigenMethod::Lanczos(o) => o.clone(),
-            _ => LanczosOptions::default(),
-        };
-        Ok(lanczos::smallest_eigenvalues(lap, h, &lopts)?.values)
+    match opts.resolved_method(n) {
+        EigenMethod::Dense => {
+            let mut vals = eigenvalues_symmetric(&lap.to_dense())?;
+            vals.truncate(h);
+            Ok(vals)
+        }
+        EigenMethod::Lanczos(lopts) => {
+            graphio_linalg::stats::record_scale_tier_solve();
+            Ok(lanczos::smallest_eigenvalues(lap, h, &lopts)?.values)
+        }
+        EigenMethod::RitzSweep(ropts) => {
+            graphio_linalg::stats::record_scale_tier_solve();
+            Ok(lanczos::extreme_ritz_values(lap, h, &ropts)?.values)
+        }
+        EigenMethod::Auto => unreachable!("resolved_method never returns Auto"),
     }
 }
 
@@ -383,6 +511,109 @@ mod tests {
         let b = spectral_bound(&g, 1, &default_opts()).unwrap();
         assert!(b.bound > 0.0, "expected nontrivial bound, got {}", b.bound);
         assert!(b.best_k >= 2);
+    }
+
+    #[test]
+    fn scale_tier_parse_round_trips() {
+        for tier in [
+            ScaleTier::Auto,
+            ScaleTier::Dense,
+            ScaleTier::Sparse,
+            ScaleTier::Huge,
+        ] {
+            assert_eq!(ScaleTier::parse(tier.as_str()), Some(tier));
+        }
+        assert_eq!(ScaleTier::parse("fast"), None);
+        assert_eq!(ScaleTier::parse(""), None);
+    }
+
+    #[test]
+    fn schedule_pins_solver_per_graph_size() {
+        // The dense→sparse crossover regression (the once-12-second cold
+        // diamond_dag solve): n = 1600 must never dispatch densely again,
+        // and the dense cutoff sits exactly at DENSE_CUTOFF.
+        let at_cutoff = BoundOptions::for_graph_size(DENSE_CUTOFF);
+        assert!(matches!(at_cutoff.method, EigenMethod::Dense));
+        assert_eq!(at_cutoff.h, 100);
+        let past_cutoff = BoundOptions::for_graph_size(DENSE_CUTOFF + 1);
+        assert!(matches!(past_cutoff.method, EigenMethod::Lanczos(_)));
+        assert_eq!(past_cutoff.h, 48);
+        let diamond_40 = BoundOptions::for_graph_size(1600);
+        assert!(matches!(diamond_40.method, EigenMethod::Lanczos(_)));
+        let at_huge = BoundOptions::for_graph_size(HUGE_CUTOFF);
+        assert!(matches!(at_huge.method, EigenMethod::Lanczos(_)));
+        assert_eq!(at_huge.h, 32);
+        let past_huge = BoundOptions::for_graph_size(HUGE_CUTOFF + 1);
+        assert!(matches!(past_huge.method, EigenMethod::RitzSweep(_)));
+        assert_eq!(past_huge.h, 8);
+    }
+
+    #[test]
+    fn explicit_tier_overrides_graph_size() {
+        let forced_dense = BoundOptions::for_graph_size_in_tier(1 << 20, ScaleTier::Dense);
+        assert!(matches!(forced_dense.method, EigenMethod::Dense));
+        let forced_huge = BoundOptions::for_graph_size_in_tier(10, ScaleTier::Huge);
+        assert!(matches!(forced_huge.method, EigenMethod::RitzSweep(_)));
+        let forced_sparse = BoundOptions::for_graph_size_in_tier(10, ScaleTier::Sparse);
+        assert!(matches!(forced_sparse.method, EigenMethod::Lanczos(_)));
+    }
+
+    #[test]
+    fn auto_method_resolves_through_tiers() {
+        let opts = BoundOptions::default();
+        assert!(matches!(
+            opts.resolved_method(DENSE_CUTOFF),
+            EigenMethod::Dense
+        ));
+        assert!(matches!(
+            opts.resolved_method(DENSE_CUTOFF + 1),
+            EigenMethod::Lanczos(_)
+        ));
+        assert!(matches!(
+            opts.resolved_method(HUGE_CUTOFF + 1),
+            EigenMethod::RitzSweep(_)
+        ));
+        // Explicit methods are never re-resolved.
+        let dense = BoundOptions {
+            method: EigenMethod::Dense,
+            ..Default::default()
+        };
+        assert!(matches!(dense.resolved_method(1 << 20), EigenMethod::Dense));
+    }
+
+    #[test]
+    fn ritz_sweep_method_agrees_with_dense_on_small_graph() {
+        let g = fft_butterfly(4); // n = 80
+        let m = 4;
+        let dense = spectral_bound(
+            &g,
+            m,
+            &BoundOptions {
+                method: EigenMethod::Dense,
+                h: 8,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let ritz = spectral_bound(
+            &g,
+            m,
+            &BoundOptions {
+                method: EigenMethod::RitzSweep(RitzSweepOptions {
+                    steps: 64,
+                    ..Default::default()
+                }),
+                h: 8,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            (dense.bound - ritz.bound).abs() < 1e-3 * (1.0 + dense.bound),
+            "dense={} ritz={}",
+            dense.bound,
+            ritz.bound
+        );
     }
 
     #[test]

@@ -114,30 +114,36 @@ pub enum MethodKey {
         /// Starting-vector seed.
         seed: u64,
     },
+    /// Single-sweep Ritz estimate (the huge scale tier's solver).
+    RitzSweep {
+        /// Lanczos steps (= the exact mat-vec budget).
+        steps: usize,
+        /// CGS2 re-orthogonalization window.
+        reorth_window: usize,
+        /// Starting-vector seed.
+        seed: u64,
+    },
 }
 
 impl SpectrumKey {
     /// Mirrors the dispatch in [`crate::bound::smallest_eigenvalues`]
-    /// exactly, so cached results are the ones direct calls would produce.
+    /// exactly (via [`BoundOptions::resolved_method`]), so cached results
+    /// are the ones direct calls would produce.
     pub fn for_options(kind: LaplacianKind, opts: &BoundOptions, n: usize) -> Self {
-        let use_dense = match &opts.method {
-            EigenMethod::Auto => n <= opts.dense_cutoff,
-            EigenMethod::Dense => true,
-            EigenMethod::Lanczos(_) => false,
-        };
-        let method = if use_dense {
-            MethodKey::Dense
-        } else {
-            let lopts = match &opts.method {
-                EigenMethod::Lanczos(o) => o.clone(),
-                _ => Default::default(),
-            };
-            MethodKey::Lanczos {
-                subspace: lopts.subspace,
-                tol_bits: lopts.tol.to_bits(),
-                max_sweeps: lopts.max_sweeps,
-                seed: lopts.seed,
-            }
+        let method = match opts.resolved_method(n) {
+            EigenMethod::Dense => MethodKey::Dense,
+            EigenMethod::Lanczos(o) => MethodKey::Lanczos {
+                subspace: o.subspace,
+                tol_bits: o.tol.to_bits(),
+                max_sweeps: o.max_sweeps,
+                seed: o.seed,
+            },
+            EigenMethod::RitzSweep(o) => MethodKey::RitzSweep {
+                steps: o.steps,
+                reorth_window: o.reorth_window,
+                seed: o.seed,
+            },
+            EigenMethod::Auto => unreachable!("resolved_method never returns Auto"),
         };
         SpectrumKey {
             kind,

@@ -401,6 +401,16 @@ fn put_spectrum_key(w: &mut Writer, key: &SpectrumKey) {
             w.put_u64(*max_sweeps as u64);
             w.put_u64(*seed);
         }
+        MethodKey::RitzSweep {
+            steps,
+            reorth_window,
+            seed,
+        } => {
+            w.put_u8(2);
+            w.put_u64(*steps as u64);
+            w.put_u64(*reorth_window as u64);
+            w.put_u64(*seed);
+        }
     }
 }
 
@@ -417,6 +427,11 @@ fn get_spectrum_key(r: &mut Reader<'_>) -> Result<SpectrumKey, CodecError> {
             subspace: r.get_u64()? as usize,
             tol_bits: r.get_u64()?,
             max_sweeps: r.get_u64()? as usize,
+            seed: r.get_u64()?,
+        },
+        2 => MethodKey::RitzSweep {
+            steps: r.get_u64()? as usize,
+            reorth_window: r.get_u64()? as usize,
             seed: r.get_u64()?,
         },
         tag => {

@@ -4,9 +4,9 @@
 //! cargo run --release --example lanczos_timing -- 12 1,4,8
 //! ```
 //!
-//! Runs the production eigensolver schedule (`BoundOptions::for_graph_size`)
-//! on `fft_butterfly(l)` once per requested thread count and prints the
-//! wall-clock time. Sweep and mat-vec counts are identical across thread
+//! Runs the sparse-tier eigensolver schedule
+//! (`BoundOptions::for_graph_size_in_tier`) on `fft_butterfly(l)` once per
+//! requested thread count and prints the wall-clock time. Sweep and mat-vec counts are identical across thread
 //! counts (the parallel kernels are chunk-deterministic); only the clock
 //! should move.
 
@@ -26,10 +26,12 @@ fn main() {
         .unwrap_or_else(|| vec![1, 4]);
     let g = fft_butterfly(l);
     let lap = normalized_laplacian(&g);
-    let opts = BoundOptions::for_graph_size(g.n());
+    // Pin the sparse tier: this probe times the deflated Lanczos solver
+    // even at sizes the Auto tier would hand to the single-sweep estimate.
+    let opts = BoundOptions::for_graph_size_in_tier(g.n(), ScaleTier::Sparse);
     let (h, lopts) = match opts.method {
         EigenMethod::Lanczos(lo) => (opts.h, lo),
-        EigenMethod::Dense | EigenMethod::Auto => {
+        _ => {
             eprintln!("graph too small for the Lanczos schedule; try l >= 10");
             std::process::exit(2);
         }

@@ -1,0 +1,126 @@
+//! The n-sweep behind `BENCH_linalg.json`: CSR mat-vec SIMD-vs-scalar
+//! timings and end-to-end analyze wall clock from n = 10³ to n = 10⁶,
+//! on two generator families — so later PRs can't regress scale.
+//!
+//! For each (family, size) the example builds the normalized Laplacian,
+//! times one mat-vec under the default `Strict` SIMD policy and again
+//! with SIMD forced `Off` (same bits either way — that's the Strict
+//! contract), and runs the full analysis document (spectra for Theorems
+//! 4/5, min-cut sweep, LRU simulation) through the production scale-tier
+//! schedule.
+//!
+//! ```text
+//! cargo run --release --example linalg_sweep > BENCH_linalg.json
+//! cargo run --release --example linalg_sweep -- quick   # small sizes only
+//! ```
+
+use graphio::graph::generators::{bhk_hypercube, fft_butterfly};
+use graphio::graph::CompGraph;
+use graphio::linalg::simd::{avx2_available, set_policy};
+use graphio::linalg::SimdPolicy;
+use graphio::service::analysis::{analysis_body, AnalyzeSpec};
+use graphio::spectral::{normalized_laplacian, BoundOptions, EigenMethod, OwnedAnalyzer};
+use std::time::Instant;
+
+/// Seconds per mat-vec for (Strict, forced-scalar), each the best of five
+/// averaged batches — with the two policies *interleaved* batch by batch,
+/// so a slow stretch on a shared machine penalizes both sides equally
+/// instead of skewing the ratio.
+fn time_matvec_pair(lap: &graphio::linalg::CsrMatrix, reps: usize) -> (f64, f64) {
+    let n = lap.dim();
+    let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.013).sin()).collect();
+    let mut y = vec![0.0; n];
+    lap.matvec(&x, &mut y);
+    let mut best = [f64::INFINITY; 2];
+    for _ in 0..5 {
+        for (slot, policy) in [SimdPolicy::Strict, SimdPolicy::Off]
+            .into_iter()
+            .enumerate()
+        {
+            set_policy(policy);
+            let t = Instant::now();
+            for _ in 0..reps {
+                lap.matvec(&x, &mut y);
+            }
+            best[slot] = best[slot].min(t.elapsed().as_secs_f64() / reps as f64);
+        }
+    }
+    set_policy(SimdPolicy::Strict);
+    (best[0], best[1])
+}
+
+fn tier_name(n: usize) -> &'static str {
+    match BoundOptions::for_graph_size(n).method {
+        EigenMethod::Dense => "dense",
+        EigenMethod::Lanczos(_) => "sparse",
+        EigenMethod::RitzSweep(_) => "huge",
+        EigenMethod::Auto => unreachable!("for_graph_size resolves the tier"),
+    }
+}
+
+type GraphBuilder = Box<dyn Fn() -> CompGraph>;
+
+fn main() {
+    let quick = std::env::args().nth(1).as_deref() == Some("quick");
+    let sweep: Vec<(&str, GraphBuilder)> = vec![
+        ("fft_butterfly(7)", Box::new(|| fft_butterfly(7))), // n = 1,024
+        ("fft_butterfly(10)", Box::new(|| fft_butterfly(10))), // n = 11,264
+        ("fft_butterfly(13)", Box::new(|| fft_butterfly(13))), // n = 114,688
+        ("fft_butterfly(16)", Box::new(|| fft_butterfly(16))), // n = 1,114,112
+        ("bhk_hypercube(10)", Box::new(|| bhk_hypercube(10))), // n = 1,024
+        ("bhk_hypercube(13)", Box::new(|| bhk_hypercube(13))), // n = 8,192
+        ("bhk_hypercube(17)", Box::new(|| bhk_hypercube(17))), // n = 131,072
+        ("bhk_hypercube(20)", Box::new(|| bhk_hypercube(20))), // n = 1,048,576
+    ];
+
+    let mut rows = Vec::new();
+    for (name, build) in &sweep {
+        let g = build();
+        let n = g.n();
+        if quick && n > 20_000 {
+            continue;
+        }
+        let lap = normalized_laplacian(&g);
+        let nnz = lap.nnz();
+        // Enough repetitions to clear timer noise at small n without
+        // spending minutes at n = 10⁶.
+        let reps = (40_000_000 / nnz.max(1)).clamp(3, 4000);
+
+        let (simd_s, scalar_s) = time_matvec_pair(&lap, reps);
+        let speedup = scalar_s / simd_s;
+
+        let t = Instant::now();
+        let analyzer = OwnedAnalyzer::from_graph(g);
+        let body = analysis_body(&analyzer, &AnalyzeSpec::sweep(vec![4, 16]));
+        let analyze_s = t.elapsed().as_secs_f64();
+        assert!(body.contains("\"thm4\""), "analysis body malformed");
+
+        eprintln!(
+            "{name}: n={n} nnz={nnz} matvec {simd:.1}us vs {scalar:.1}us ({speedup:.2}x), \
+             analyze {analyze_s:.1}s [{tier}]",
+            simd = simd_s * 1e6,
+            scalar = scalar_s * 1e6,
+            tier = tier_name(n),
+        );
+        rows.push(format!(
+            "    {{\"graph\": \"{name}\", \"n\": {n}, \"nnz\": {nnz}, \"tier\": \"{tier}\", \
+             \"matvec_simd_us\": {simd:.2}, \"matvec_scalar_us\": {scalar:.2}, \
+             \"matvec_speedup\": {speedup:.2}, \"analyze_s\": {analyze_s:.2}}}",
+            tier = tier_name(n),
+            simd = simd_s * 1e6,
+            scalar = scalar_s * 1e6,
+        ));
+    }
+
+    println!("{{");
+    println!("  \"bench\": \"linalg_sweep\",");
+    println!(
+        "  \"description\": \"CSR mat-vec SIMD (strict) vs forced-scalar, and end-to-end \
+         analyze (memories 4,16: spectra + min-cut + simulation) across the scale tiers\","
+    );
+    println!("  \"avx2\": {},", avx2_available());
+    println!("  \"rows\": [");
+    println!("{}", rows.join(",\n"));
+    println!("  ]");
+    println!("}}");
+}

@@ -58,10 +58,10 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  graphio generate <family> <size> [--p <prob>] [--seed <s>]\n  \
          graphio bound --memory <M> [--processors <p>] [--threads <N>] < graph.json\n  \
-         graphio analyze --memory-sweep <M1,M2,...> [--processors <p>] [--threads <N>] [--no-sim] [--json] < graph.json\n  \
+         graphio analyze --memory-sweep <M1,M2,...> [--processors <p>] [--threads <N>] [--simd off|strict|fast] [--scale-tier auto|dense|sparse|huge] [--no-sim] [--json] < graph.json\n  \
          graphio simulate --memory <M> [--policy lru|fifo|belady|random] [--order natural|dfs|bfs] [--threads <N>] < graph.json\n  \
          graphio dot < graph.json\n  \
-         graphio serve [--host <H>] [--port <P>] [--workers <W>] [--queue <Q>] [--cache-mb <B>] [--shards <S>] [--max-sessions <K>] [--threads <N>] [--idle-ms <T>] [--max-requests <R>] [--store <DIR>] [--store-mb <B>]\n  \
+         graphio serve [--host <H>] [--port <P>] [--workers <W>] [--queue <Q>] [--cache-mb <B>] [--shards <S>] [--max-sessions <K>] [--threads <N>] [--simd <POLICY>] [--scale-tier <TIER>] [--idle-ms <T>] [--max-requests <R>] [--store <DIR>] [--store-mb <B>]\n  \
          graphio client analyze --url <http://host:port> --memory-sweep <M1,...> [--processors <p>] [--no-sim] [--keep-alive] [--repeat <N>] < graph.json\n  \
          graphio client batch --url <http://host:port> --memory-sweep <M1,...> [--processors <p>] [--no-sim] < graphs.ndjson\n  \
          graphio client register --url <http://host:port> < graph.json\n  \
@@ -169,6 +169,36 @@ fn parse_graph(json: &str) -> CompGraph {
 fn apply_threads(parsed: &Parsed) {
     if let Some(threads) = parsed.parse_flag::<usize>("--threads") {
         graphio::linalg::set_threads(threads);
+    }
+}
+
+/// Applies `--simd off|strict|fast` and `--scale-tier auto|dense|sparse|huge`
+/// to their process-global knobs, with the standard flag-AND-subcommand
+/// error wording on anything unrecognized.
+fn apply_kernel_knobs(parsed: &Parsed) {
+    if let Some(raw) = parsed.flag("--simd") {
+        match graphio::linalg::SimdPolicy::parse(raw) {
+            Some(policy) => graphio::linalg::simd::set_policy(policy),
+            None => {
+                eprintln!(
+                    "error: invalid value {raw:?} for --simd in `graphio {}`",
+                    parsed.cmd
+                );
+                usage()
+            }
+        }
+    }
+    if let Some(raw) = parsed.flag("--scale-tier") {
+        match graphio::spectral::ScaleTier::parse(raw) {
+            Some(tier) => graphio::spectral::set_scale_tier(tier),
+            None => {
+                eprintln!(
+                    "error: invalid value {raw:?} for --scale-tier in `graphio {}`",
+                    parsed.cmd
+                );
+                usage()
+            }
+        }
     }
 }
 
@@ -286,7 +316,13 @@ fn cmd_analyze(args: &[String]) {
     let parsed = parse_args(
         "analyze",
         args,
-        &["--memory-sweep", "--processors", "--threads"],
+        &[
+            "--memory-sweep",
+            "--processors",
+            "--threads",
+            "--simd",
+            "--scale-tier",
+        ],
         &["--no-sim", "--json"],
     );
     let memories = parse_sweep(
@@ -295,6 +331,7 @@ fn cmd_analyze(args: &[String]) {
     );
     let processors: usize = parsed.parse_flag("--processors").unwrap_or(1);
     apply_threads(&parsed);
+    apply_kernel_knobs(&parsed);
     let want_json = parsed.has("--json");
     let spec = AnalyzeSpec {
         memories,
@@ -401,12 +438,15 @@ fn cmd_serve(args: &[String]) {
             "--max-requests",
             "--store",
             "--store-mb",
+            "--simd",
+            "--scale-tier",
         ],
         &[],
     );
     if !parsed.positional.is_empty() {
         usage();
     }
+    apply_kernel_knobs(&parsed);
     let defaults = ServiceConfig::default();
     let cache_defaults = CacheConfig::default();
     let config = ServiceConfig {

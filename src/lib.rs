@@ -56,7 +56,7 @@ pub mod prelude {
     pub use graphio_service::{serve, ServiceConfig};
     pub use graphio_spectral::{
         parallel_spectral_bound, spectral_bound, spectral_bound_original, Analyzer, BoundOptions,
-        EigenMethod, LaplacianKind, OwnedAnalyzer, SpectralBound,
+        EigenMethod, LaplacianKind, OwnedAnalyzer, ScaleTier, SpectralBound,
     };
     pub use graphio_store::{load_session, save_session, warm_session, Store, StoreConfig};
 }

@@ -225,6 +225,101 @@ fn malformed_threads_flag_names_flag_and_subcommand() {
     }
 }
 
+/// The new kernel knobs follow the same contract: a bad value exits 2
+/// and the error names both the flag and the subcommand.
+#[test]
+fn malformed_simd_and_scale_tier_flags_name_flag_and_subcommand() {
+    let json = generate("fft", 3);
+    for (args, flag, cmd) in [
+        (
+            ["analyze", "--memory-sweep", "2,4", "--simd", "banana"].as_slice(),
+            "--simd",
+            "analyze",
+        ),
+        (
+            &["analyze", "--memory-sweep", "2,4", "--scale-tier", "jumbo"],
+            "--scale-tier",
+            "analyze",
+        ),
+        (
+            &["serve", "--port", "0", "--simd", "STRICT"],
+            "--simd",
+            "serve",
+        ),
+        (
+            &["serve", "--port", "0", "--scale-tier", ""],
+            "--scale-tier",
+            "serve",
+        ),
+    ] {
+        let mut child = cli()
+            .args(args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn graphio");
+        if let Err(e) = child
+            .stdin
+            .as_mut()
+            .expect("stdin piped")
+            .write_all(json.as_bytes())
+        {
+            assert_eq!(e.kind(), std::io::ErrorKind::BrokenPipe, "{e}");
+        }
+        let out = child.wait_with_output().expect("wait");
+        assert_eq!(out.status.code(), Some(2), "{args:?} must exit 2 (usage)");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("invalid value")
+                && stderr.contains(flag)
+                && stderr.contains(&format!("`graphio {cmd}`")),
+            "{args:?} must blame the flag and subcommand: {stderr}"
+        );
+    }
+}
+
+/// The accepted spellings actually take effect end-to-end: forcing the
+/// sparse tier on a small graph swaps the dense eigensolve for Lanczos
+/// without changing what the analysis reports.
+#[test]
+fn analyze_accepts_simd_and_scale_tier_flags() {
+    let json = generate("fft", 4); // n = 80: Auto would solve densely.
+    let (auto_out, _, ok) = run_with_stdin(
+        &[
+            "analyze",
+            "--memory-sweep",
+            "4",
+            "--simd",
+            "strict",
+            "--json",
+        ],
+        &json,
+    );
+    assert!(ok);
+    let (sparse_out, _, ok) = run_with_stdin(
+        &[
+            "analyze",
+            "--memory-sweep",
+            "4",
+            "--scale-tier",
+            "sparse",
+            "--simd",
+            "off",
+            "--json",
+        ],
+        &json,
+    );
+    assert!(ok);
+    // Same graph, same sweep: the tier changes the solver, not the schema.
+    for body in [&auto_out, &sparse_out] {
+        assert!(
+            body.contains("\"thm4\""),
+            "analysis body missing thm4: {body}"
+        );
+    }
+}
+
 #[test]
 fn bound_and_simulate_accept_threads() {
     let json = generate("fft", 4);
