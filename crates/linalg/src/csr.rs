@@ -180,6 +180,7 @@ impl CsrMatrix {
     pub fn matvec(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.n, "matvec: x length mismatch");
         assert_eq!(y.len(), self.n, "matvec: y length mismatch");
+        let _span = graphio_obs::span!("matvec");
         crate::stats::record_sparse_matvec();
         self.matvec_rows(x, y, 0, self.matvec_route());
     }
@@ -193,6 +194,7 @@ impl CsrMatrix {
     pub fn matvec_parallel(&self, x: &[f64], y: &mut [f64], threads: usize) {
         assert_eq!(x.len(), self.n, "matvec_parallel: x length mismatch");
         assert_eq!(y.len(), self.n, "matvec_parallel: y length mismatch");
+        let _span = graphio_obs::span!("matvec");
         let threads = threads.max(1);
         if threads == 1 || self.nnz() < PARALLEL_WORK_THRESHOLD || self.n < threads {
             crate::stats::record_sparse_matvec();

@@ -118,6 +118,7 @@ pub fn extreme_ritz_values<A: LinOp + ?Sized>(
     h: usize,
     opts: &RitzSweepOptions,
 ) -> Result<LanczosResult> {
+    let _span = graphio_obs::span!("ritz_sweep");
     let n = op.dim();
     if h > n {
         return Err(LinalgError::TooManyEigenvaluesRequested {
@@ -198,6 +199,7 @@ pub fn smallest_eigenvalues<A: LinOp + ?Sized>(
     h: usize,
     opts: &LanczosOptions,
 ) -> Result<LanczosResult> {
+    let _span = graphio_obs::span!("lanczos");
     let n = op.dim();
     if h > n {
         return Err(LinalgError::TooManyEigenvaluesRequested {

@@ -20,6 +20,7 @@ fn symmetry_scale(a: &DenseMatrix) -> f64 {
 /// Returns an error if `a` is not square/symmetric or the QL iteration
 /// fails to converge.
 pub fn eigenvalues_symmetric(a: &DenseMatrix) -> Result<Vec<f64>> {
+    let _span = graphio_obs::span!("dense_eig");
     a.require_symmetric(SYMMETRY_TOL * symmetry_scale(a))?;
     crate::stats::record_dense_eigensolve();
     let mut work = a.clone();
@@ -36,6 +37,7 @@ pub fn eigenvalues_symmetric(a: &DenseMatrix) -> Result<Vec<f64>> {
 /// # Errors
 /// Same failure modes as [`eigenvalues_symmetric`].
 pub fn eigh(a: &DenseMatrix) -> Result<(Vec<f64>, DenseMatrix)> {
+    let _span = graphio_obs::span!("dense_eig");
     a.require_symmetric(SYMMETRY_TOL * symmetry_scale(a))?;
     crate::stats::record_dense_eigensolve();
     let mut q = a.clone();

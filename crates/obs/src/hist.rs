@@ -1,0 +1,268 @@
+//! Fixed-bucket log2 latency histograms with striped atomic counters.
+//!
+//! A [`Histogram`] is an HDR-style accumulator for microsecond durations:
+//! values land in one of [`BUCKETS`] power-of-two buckets (bucket `i`
+//! covers the values whose bit length is `i`, so bucket boundaries are
+//! `2^i − 1`), giving ≤ 2× relative quantile error across twelve orders
+//! of magnitude with a few hundred bytes of state and no allocation on
+//! the record path.
+//!
+//! Recording is **lock-free and wait-free**: one relaxed `fetch_add` into
+//! a per-thread stripe (threads hash onto [`STRIPES`] independent counter
+//! banks, so concurrent recorders do not contend on a cache line) plus a
+//! relaxed `fetch_max` for the exact maximum. Reading merges the stripes
+//! into an owned [`HistSnapshot`], which is mergeable across histograms
+//! (the loadgen merges per-connection histograms this way) and extracts
+//! p50/p90/p99 at bucket resolution and the maximum exactly.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of log2 buckets. Bucket `BUCKETS − 1` is open-ended, so the
+/// covered exact range is `[0, 2^(BUCKETS−1) − 1]` microseconds — with 40
+/// buckets, values up to ~6.4 days land in an exact bucket and anything
+/// beyond clamps into the last one.
+pub const BUCKETS: usize = 40;
+
+/// Independent counter banks; concurrent recorders hash onto stripes to
+/// avoid cache-line contention. Merged on read.
+pub const STRIPES: usize = 8;
+
+/// The bucket a value lands in: 0 for 0, otherwise the value's bit length
+/// (`floor(log2(v)) + 1`), clamped to the open-ended last bucket.
+#[inline]
+#[must_use]
+pub fn bucket_index(value: u64) -> usize {
+    ((64 - value.leading_zeros()) as usize).min(BUCKETS - 1)
+}
+
+/// The largest value bucket `index` covers (`2^index − 1`); the last
+/// bucket is open-ended and reports `u64::MAX`.
+#[must_use]
+pub fn bucket_upper_bound(index: usize) -> u64 {
+    if index >= BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << index) - 1
+    }
+}
+
+/// One stripe: a full bucket array plus count/sum, padded out by the
+/// enclosing array layout. All counters relaxed — per-stripe totals only
+/// need to be eventually consistent, and the merge on read sums them.
+struct Stripe {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Stripe {
+    fn new() -> Stripe {
+        Stripe {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A lock-free fixed-bucket log2 histogram (see the module docs).
+pub struct Histogram {
+    stripes: [Stripe; STRIPES],
+    /// Exact maximum recorded value (relaxed `fetch_max`).
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+/// The stripe the current thread records into. ThreadId has no stable
+/// numeric accessor, so hash it; consecutive spawns spread across stripes.
+fn stripe_of_thread() -> usize {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::hash::DefaultHasher::new();
+    std::thread::current().id().hash(&mut h);
+    (h.finish() as usize) % STRIPES
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Histogram {
+        Histogram {
+            stripes: std::array::from_fn(|_| Stripe::new()),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value (a duration in microseconds, by convention).
+    /// Lock-free: two relaxed `fetch_add`s and a relaxed `fetch_max`.
+    pub fn record(&self, value: u64) {
+        let stripe = &self.stripes[stripe_of_thread()];
+        stripe.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        stripe.count.fetch_add(1, Ordering::Relaxed);
+        stripe.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Merges all stripes into an owned snapshot.
+    #[must_use]
+    pub fn snapshot(&self) -> HistSnapshot {
+        let mut snap = HistSnapshot::default();
+        for stripe in &self.stripes {
+            for (i, b) in stripe.buckets.iter().enumerate() {
+                snap.buckets[i] += b.load(Ordering::Relaxed);
+            }
+            snap.count += stripe.count.load(Ordering::Relaxed);
+            snap.sum += stripe.sum.load(Ordering::Relaxed);
+        }
+        snap.max = self.max.load(Ordering::Relaxed);
+        snap
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("snapshot", &self.snapshot())
+            .finish()
+    }
+}
+
+/// An owned, mergeable point-in-time view of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Per-bucket counts (see [`bucket_index`]).
+    pub buckets: [u64; BUCKETS],
+    /// Total values recorded.
+    pub count: u64,
+    /// Sum of recorded values (wrapping only past `u64::MAX` total µs).
+    pub sum: u64,
+    /// Exact maximum recorded value (0 when empty).
+    pub max: u64,
+}
+
+impl Default for HistSnapshot {
+    fn default() -> Self {
+        HistSnapshot {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl HistSnapshot {
+    /// Adds `other`'s counts into `self` (the loadgen merges per-worker
+    /// histograms; merged totals equal the sum of the parts exactly).
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// The value at quantile `q ∈ [0, 1]`, reported as the upper bound of
+    /// the bucket holding the rank-`⌈q·count⌉` sample (≤ 2× relative
+    /// error by construction; `q = 1` additionally benefits from the
+    /// exact max, see [`HistSnapshot::max`]). Returns 0 when empty.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                // Never report past the exact maximum: the top occupied
+                // bucket's upper bound can exceed every recorded value.
+                return bucket_upper_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (bucket resolution).
+    #[must_use]
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile (bucket resolution).
+    #[must_use]
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile (bucket resolution).
+    #[must_use]
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Mean of recorded values, 0 when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two_minus_one() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        for i in 1..BUCKETS - 1 {
+            let ub = bucket_upper_bound(i);
+            assert_eq!(bucket_index(ub), i, "upper bound stays in bucket {i}");
+            assert_eq!(
+                bucket_index(ub + 1),
+                i + 1,
+                "ub+1 spills to bucket {}",
+                i + 1
+            );
+        }
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_upper_bound(BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let snap = Histogram::new().snapshot();
+        assert_eq!(snap.count, 0);
+        assert_eq!(snap.quantile(0.5), 0);
+        assert_eq!(snap.max, 0);
+        assert_eq!(snap.mean(), 0.0);
+    }
+
+    #[test]
+    fn single_sample_is_every_quantile() {
+        let h = Histogram::new();
+        h.record(37);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 1);
+        assert_eq!(snap.sum, 37);
+        assert_eq!(snap.max, 37);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            let v = snap.quantile(q);
+            assert_eq!(bucket_index(v), bucket_index(37), "q={q}");
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! # graphio_obs — std-only observability layer
+//!
+//! Three pieces, all dependency-free so every crate in the workspace
+//! (including `graphio_linalg`, which otherwise depends only on the rand
+//! shim) can instrument itself:
+//!
+//! - [`span`]: monotonic-clock phase spans with a thread-local phase
+//!   stack. `span!("eigensolve")` returns an RAII guard; when tracing is
+//!   disabled (the default — only the long-running servers and the
+//!   loadgen enable it) a span site costs one relaxed atomic load and no
+//!   clock read. Enabled spans record into per-(family, phase) histograms
+//!   and, inside a [`span::begin_request`] scope, build a parented phase
+//!   tree for the slow log.
+//! - [`hist`]: fixed-bucket log2 latency histograms — lock-free striped
+//!   atomic recording, mergeable snapshots, p50/p90/p99 at ≤2× relative
+//!   error and the maximum exactly.
+//! - [`expo`]: Prometheus text exposition rendering for `GET /metrics`,
+//!   plus a validating parser used by the test suite and CI to assert
+//!   the bodies we serve actually parse.
+//!
+//! Trace IDs are 128-bit, wire-encoded as 32 hex chars in the
+//! `X-Graphio-Trace` header: minted at the router, propagated to
+//! backends, echoed in responses.
+
+pub mod expo;
+pub mod hist;
+pub mod span;
+
+pub use expo::{parse as parse_metrics, render_registered, Exposition, MetricsText};
+pub use hist::{bucket_index, bucket_upper_bound, HistSnapshot, Histogram, BUCKETS};
+pub use span::{
+    begin_request, current_trace_id, enabled, histogram, mint_trace_id, parse_trace_hex,
+    registered, request_elapsed_us, set_enabled, trace_hex, RequestGuard, TraceSummary,
+    PHASE_FAMILY,
+};

@@ -1,0 +1,146 @@
+//! Property tests for the log2 histogram against a sorted-vec oracle:
+//! record/merge/percentile agreement at bucket resolution, bucket
+//! boundary identities, empty/one-sample edges, and concurrent recording
+//! from 8 threads (merged total == sum recorded).
+
+use graphio_obs::hist::{bucket_index, bucket_upper_bound, HistSnapshot, Histogram, BUCKETS};
+use proptest::prelude::*;
+
+/// The oracle quantile: the rank-⌈q·n⌉ element of the sorted samples —
+/// the same rank definition `HistSnapshot::quantile` uses.
+fn oracle_quantile(sorted: &[u64], q: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Values drawn across the full bucket range: a raw magnitude spread over
+/// many orders via an exponent, so small and huge buckets both populate.
+fn spread(raw: (u64, u32)) -> u64 {
+    let (mantissa, shift) = raw;
+    (mantissa % 1024) << (shift % 50).min(53)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn quantiles_agree_with_sorted_oracle_at_bucket_resolution(
+        samples in proptest::collection::vec((0u64..u64::MAX, 0u32..54), 1..200),
+        q_mille in 0u64..=1000,
+    ) {
+        let values: Vec<u64> = samples.into_iter().map(spread).collect();
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+
+        prop_assert_eq!(snap.count, values.len() as u64);
+        prop_assert_eq!(snap.sum, values.iter().copied().sum::<u64>());
+        prop_assert_eq!(snap.max, *sorted.last().unwrap());
+
+        let q = q_mille as f64 / 1000.0;
+        let got = snap.quantile(q);
+        let want = oracle_quantile(&sorted, q);
+        // Bucket resolution: the histogram must land in the same log2
+        // bucket as the true rank-statistic, and never past the max.
+        prop_assert_eq!(
+            bucket_index(got), bucket_index(want),
+            "q={} got={} want={}", q, got, want
+        );
+        prop_assert!(got <= snap.max);
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_into_one(
+        a in proptest::collection::vec((0u64..u64::MAX, 0u32..54), 0..100),
+        b in proptest::collection::vec((0u64..u64::MAX, 0u32..54), 0..100),
+    ) {
+        let (va, vb): (Vec<u64>, Vec<u64>) = (
+            a.into_iter().map(spread).collect(),
+            b.into_iter().map(spread).collect(),
+        );
+        let (ha, hb, hall) = (Histogram::new(), Histogram::new(), Histogram::new());
+        for &v in &va {
+            ha.record(v);
+            hall.record(v);
+        }
+        for &v in &vb {
+            hb.record(v);
+            hall.record(v);
+        }
+        let mut merged = ha.snapshot();
+        merged.merge(&hb.snapshot());
+        prop_assert_eq!(merged, hall.snapshot());
+    }
+
+    #[test]
+    fn every_value_lands_in_the_bucket_whose_bounds_contain_it(
+        raw in (0u64..u64::MAX, 0u32..54),
+    ) {
+        let v = spread(raw);
+        let i = bucket_index(v);
+        prop_assert!(v <= bucket_upper_bound(i), "v={} above ub of bucket {}", v, i);
+        if i > 0 {
+            prop_assert!(
+                v > bucket_upper_bound(i - 1),
+                "v={} not above ub of bucket {}", v, i - 1
+            );
+        }
+    }
+}
+
+#[test]
+fn empty_snapshot_is_all_zeros() {
+    let snap = Histogram::new().snapshot();
+    assert_eq!(snap, HistSnapshot::default());
+    assert_eq!(snap.quantile(0.99), 0);
+    let mut merged = HistSnapshot::default();
+    merged.merge(&snap);
+    assert_eq!(merged, HistSnapshot::default());
+}
+
+#[test]
+fn one_sample_dominates_every_quantile() {
+    let h = Histogram::new();
+    h.record(123_456);
+    let snap = h.snapshot();
+    for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+        assert_eq!(bucket_index(snap.quantile(q)), bucket_index(123_456));
+        assert!(snap.quantile(q) <= 123_456);
+    }
+    assert_eq!(snap.max, 123_456);
+}
+
+/// 8 threads hammer one histogram concurrently; the merged snapshot must
+/// account for exactly every record call (lock-free must not lose writes).
+#[test]
+fn concurrent_recording_from_eight_threads_loses_nothing() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 10_000;
+    let h = Histogram::new();
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let h = &h;
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    // Mix of magnitudes so many buckets see contention.
+                    h.record((t * PER_THREAD + i) % 4096);
+                }
+            });
+        }
+    });
+    let snap = h.snapshot();
+    assert_eq!(snap.count, THREADS * PER_THREAD);
+    assert_eq!(snap.buckets.iter().sum::<u64>(), THREADS * PER_THREAD);
+    let expected_sum: u64 = (0..THREADS * PER_THREAD).map(|i| i % 4096).sum();
+    assert_eq!(snap.sum, expected_sum);
+    assert_eq!(snap.max, 4095);
+    assert!(
+        snap.buckets[BUCKETS - 1] == 0,
+        "nothing lands in the open bucket"
+    );
+}

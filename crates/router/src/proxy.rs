@@ -49,10 +49,12 @@ use graphio_service::analysis::{
 };
 use graphio_service::client::Response;
 use graphio_service::http::{
-    reason, respond_error, respond_error_with, serve_connection, write_response, ConnectionLimits,
-    Request, IDLE_TIMEOUT, IO_TIMEOUT, MAX_REQUESTS_PER_CONNECTION, READ_TIMEOUT,
+    reason, respond_error, respond_error_with, serve_connection, write_response,
+    write_response_typed, ConnectionLimits, Request, IDLE_TIMEOUT, IO_TIMEOUT,
+    MAX_REQUESTS_PER_CONNECTION, READ_TIMEOUT,
 };
 use graphio_service::pool::{SubmitError, WorkerPool};
+use graphio_service::{traced_request, SlowLog, SlowLogConfig};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -81,6 +83,9 @@ pub struct RouterConfig {
     pub idle_timeout: Duration,
     /// Requests per client connection before close.
     pub max_requests_per_connection: usize,
+    /// Slow-request logging: any request whose wall time reaches the
+    /// threshold dumps its router-side phase tree as one JSON line.
+    pub slow_log: Option<SlowLogConfig>,
 }
 
 impl RouterConfig {
@@ -96,6 +101,7 @@ impl RouterConfig {
             health_interval: Duration::from_millis(500),
             idle_timeout: IDLE_TIMEOUT,
             max_requests_per_connection: MAX_REQUESTS_PER_CONNECTION,
+            slow_log: None,
         }
     }
 }
@@ -109,6 +115,7 @@ pub(crate) struct RouterState {
     pub(crate) batch_ok: AtomicU64,
     pub(crate) errors: AtomicU64,
     pub(crate) started: Instant,
+    pub(crate) slow_log: Option<SlowLog>,
 }
 
 impl RouterState {
@@ -135,7 +142,15 @@ impl RouterState {
         method: &str,
         path: &str,
         body: Option<&str>,
+        trace: Option<u128>,
     ) -> Result<(Response, usize), (u16, String)> {
+        // Propagate the router's trace ID to the backend so its phase
+        // tree (and slow-log line) joins the router's trace. Passed in
+        // explicitly because batch scatter runs on scoped threads, which
+        // do not inherit the request-context thread-local.
+        let extra: Vec<(&str, String)> = trace
+            .map(|t| vec![("X-Graphio-Trace", graphio_obs::trace_hex(t))])
+            .unwrap_or_default();
         let mut last_503: Option<(Response, usize)> = None;
         let candidates = self.candidates(fp);
         let total = candidates.len();
@@ -145,7 +160,7 @@ impl RouterState {
             // last candidate's failure is *returned*, not retried, so it
             // must not inflate the counter.
             let has_next = attempt + 1 < total;
-            match up.forward(method, path, body) {
+            match up.forward(method, path, body, &extra) {
                 Ok(r) if r.status == 503 => {
                     let backoff = r
                         .header("retry-after")
@@ -197,6 +212,11 @@ pub fn serve_router(config: &RouterConfig) -> io::Result<RouterServer> {
             "router needs at least one backend",
         ));
     }
+    // Serving turns span collection on process-wide, exactly like the
+    // analysis server: the router records per-endpoint request
+    // histograms for `GET /metrics` and per-request phase trees for the
+    // slow log.
+    graphio_obs::set_enabled(true);
     let listener = TcpListener::bind((config.host.as_str(), config.port))?;
     let addr = listener.local_addr()?;
     let ring = Ring::new(&config.backends, config.replicas);
@@ -213,6 +233,7 @@ pub fn serve_router(config: &RouterConfig) -> io::Result<RouterServer> {
         batch_ok: AtomicU64::new(0),
         errors: AtomicU64::new(0),
         started: Instant::now(),
+        slow_log: config.slow_log.as_ref().map(SlowLog::open).transpose()?,
     });
     let pool = Arc::new(WorkerPool::new(config.workers, config.queue_capacity));
     let stop = Arc::new(AtomicBool::new(false));
@@ -321,6 +342,7 @@ fn accept_loop(
             continue;
         };
         let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+        let _ = stream.set_nodelay(true);
         let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
         let cell = Arc::new(std::sync::Mutex::new(Some(stream)));
         let job_cell = Arc::clone(&cell);
@@ -381,7 +403,9 @@ fn handle_connection(stream: TcpStream, state: &Arc<RouterState>, limits: Connec
         &limits,
         |stream, request, keep| {
             state.requests.fetch_add(1, Ordering::Relaxed);
-            route(stream, request, state, keep);
+            traced_request(request, &request.path, state.slow_log.as_ref(), || {
+                route(stream, request, state, keep);
+            });
         },
         |_| {
             state.errors.fetch_add(1, Ordering::Relaxed);
@@ -393,6 +417,7 @@ fn route(stream: &mut TcpStream, request: &Request, state: &Arc<RouterState>, ke
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => handle_healthz(stream, state, keep),
         ("GET", "/stats") => handle_stats(stream, state, keep),
+        ("GET", "/metrics") => handle_metrics(stream, state, keep),
         ("POST", "/analyze") => handle_passthrough(stream, request, state, keep, true),
         ("POST", "/graphs") => handle_passthrough(stream, request, state, keep, false),
         ("POST", "/batch") => handle_batch(stream, request, state, keep),
@@ -480,7 +505,8 @@ fn handle_passthrough(
         .ok()
         .and_then(|doc| route_key(&doc, is_analyze))
         .unwrap_or_else(|| fallback_fp(&request.body));
-    match state.forward_with_failover(fp, "POST", &request.path, Some(text)) {
+    let trace = graphio_obs::current_trace_id();
+    match state.forward_with_failover(fp, "POST", &request.path, Some(text), trace) {
         Ok((response, b)) => {
             if response.status == 200 && is_analyze {
                 state.analyze_ok.fetch_add(1, Ordering::Relaxed);
@@ -517,8 +543,8 @@ enum GroupOutcome {
 
 /// Scatters one group to its owner (with failover) and classifies the
 /// result.
-fn run_group(state: &RouterState, group: &Group, body: &str) -> GroupOutcome {
-    match state.forward_with_failover(group.route_fp, "POST", "/batch", Some(body)) {
+fn run_group(state: &RouterState, group: &Group, body: &str, trace: Option<u128>) -> GroupOutcome {
+    match state.forward_with_failover(group.route_fp, "POST", "/batch", Some(body), trace) {
         Ok((response, _)) if response.status == 200 => {
             match split_bodies(&response.body, group.entries.len()) {
                 Ok(bodies) => {
@@ -579,13 +605,17 @@ fn handle_batch(stream: &mut TcpStream, request: &Request, state: &Arc<RouterSta
 
     // Scatter: one thread per owner group (bounded by the backend
     // count), each forwarding with failover. Scoped threads, not the
-    // router's worker pool — this runs *on* a pooled worker.
+    // router's worker pool — this runs *on* a pooled worker. The trace
+    // ID is captured here because scoped threads do not inherit the
+    // request-context thread-local.
+    let trace = graphio_obs::current_trace_id();
+    let gather_started = Instant::now();
     let outcomes: Vec<GroupOutcome> = std::thread::scope(|scope| {
         let handles: Vec<_> = groups
             .iter()
             .map(|group| {
                 let body = batch_body(&group.entries, &spec);
-                scope.spawn(move || run_group(state, group, &body))
+                scope.spawn(move || run_group(state, group, &body, trace))
             })
             .collect();
         handles
@@ -661,6 +691,13 @@ fn handle_batch(stream: &mut TcpStream, request: &Request, state: &Arc<RouterSta
     if !warnings.is_empty() {
         extra.push(("X-Graphio-Warnings", warnings.join("; ")));
     }
+    if let Some(trace) = trace {
+        extra.push(("X-Graphio-Trace", graphio_obs::trace_hex(trace)));
+    }
+    // The batch contract: elapsed is the scatter/gather wall time, the
+    // figure a client tuning batch sizes actually wants.
+    let gather_us = u64::try_from(gather_started.elapsed().as_micros()).unwrap_or(u64::MAX);
+    extra.push(("X-Graphio-Elapsed-Us", gather_us.max(1).to_string()));
     let _ = write_response(stream, 200, "OK", keep, &extra, body.as_bytes());
 }
 
@@ -682,10 +719,89 @@ fn handle_healthz(stream: &mut TcpStream, state: &Arc<RouterState>, keep: bool) 
     let _ = write_response(stream, 200, "OK", keep, &[], body.as_bytes());
 }
 
+/// `GET /metrics`: Prometheus text exposition of the router's counters,
+/// per-backend health/traffic gauges, and every latency histogram in the
+/// process-wide registry (request durations per endpoint; the router has
+/// no analysis phases of its own, so phase series here come from the
+/// registry being shared when backends run in-process, e.g. under test).
+fn handle_metrics(stream: &mut TcpStream, state: &Arc<RouterState>, keep: bool) {
+    let mut m = graphio_obs::MetricsText::new();
+    m.gauge(
+        "graphio_router_uptime_seconds",
+        &[],
+        state.started.elapsed().as_secs_f64(),
+    );
+    m.counter(
+        "graphio_router_requests_total",
+        &[],
+        state.requests.load(Ordering::Relaxed),
+    );
+    m.counter(
+        "graphio_router_analyze_ok_total",
+        &[],
+        state.analyze_ok.load(Ordering::Relaxed),
+    );
+    m.counter(
+        "graphio_router_batch_ok_total",
+        &[],
+        state.batch_ok.load(Ordering::Relaxed),
+    );
+    m.counter(
+        "graphio_router_errors_total",
+        &[],
+        state.errors.load(Ordering::Relaxed),
+    );
+    let healthy = state.upstreams.iter().filter(|u| u.is_healthy()).count();
+    m.gauge("graphio_router_backends", &[], state.upstreams.len() as f64);
+    m.gauge("graphio_router_backends_healthy", &[], healthy as f64);
+    for up in &state.upstreams {
+        let labels = [("backend", up.addr())];
+        m.gauge(
+            "graphio_router_backend_healthy",
+            &labels,
+            f64::from(u8::from(up.is_healthy())),
+        );
+        m.counter(
+            "graphio_router_backend_requests_total",
+            &labels,
+            up.requests.load(Ordering::Relaxed),
+        );
+        m.counter(
+            "graphio_router_backend_retries_total",
+            &labels,
+            up.retries.load(Ordering::Relaxed),
+        );
+        m.counter(
+            "graphio_router_backend_ejections_total",
+            &labels,
+            up.ejections.load(Ordering::Relaxed),
+        );
+        m.counter(
+            "graphio_router_backend_restorations_total",
+            &labels,
+            up.restorations.load(Ordering::Relaxed),
+        );
+    }
+    graphio_obs::render_registered(&mut m);
+    let body = m.into_string();
+    let mut extra: Vec<(&str, String)> = Vec::new();
+    graphio_service::push_obs_headers(&mut extra);
+    let _ = write_response_typed(
+        stream,
+        200,
+        "OK",
+        keep,
+        "text/plain; version=0.0.4",
+        &extra,
+        body.as_bytes(),
+    );
+}
+
 /// `GET /stats`: router-local counters plus every backend's own `/stats`
 /// document, with cross-backend version/uptime digests (a mixed-version
 /// ring or a freshly-restarted backend is exactly what this endpoint
-/// exists to surface).
+/// exists to surface). Each backend entry carries `scrape_us`, the wall
+/// time its `/stats` scrape took from the router's vantage point.
 fn handle_stats(stream: &mut TcpStream, state: &Arc<RouterState>, keep: bool) {
     let num = |v: u64| JsonValue::Number(v as f64);
     // Scrape every backend's /stats concurrently on throwaway
@@ -693,7 +809,7 @@ fn handle_stats(stream: &mut TcpStream, state: &Arc<RouterState>, keep: bool) {
     // pooled request connections or the per-backend request counters,
     // and one hung backend must cost one read timeout — not one per
     // backend, serially.
-    let scraped: Vec<Result<graphio_service::client::Response, String>> =
+    let scraped: Vec<(Result<graphio_service::client::Response, String>, u64)> =
         std::thread::scope(|scope| {
             let handles: Vec<_> = state
                 .upstreams
@@ -701,8 +817,15 @@ fn handle_stats(stream: &mut TcpStream, state: &Arc<RouterState>, keep: bool) {
                 .map(|up| {
                     let url = format!("http://{}", up.addr());
                     scope.spawn(move || {
-                        graphio_service::client::request("GET", &url, "/stats", None)
-                            .map_err(|e| e.to_string())
+                        let started = Instant::now();
+                        let result = graphio_service::client::request("GET", &url, "/stats", None)
+                            .map_err(|e| e.to_string());
+                        // Per-backend scrape wall time (µs): the figure
+                        // that spots the one slow/hung backend hiding
+                        // behind the concurrent scatter.
+                        let scrape_us =
+                            u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+                        (result, scrape_us.max(1))
                     })
                 })
                 .collect();
@@ -716,10 +839,11 @@ fn handle_stats(stream: &mut TcpStream, state: &Arc<RouterState>, keep: bool) {
     let mut retries = 0u64;
     let mut ejections = 0u64;
     let mut rebalances = 0u64;
-    for (up, scrape) in state.upstreams.iter().zip(scraped) {
+    for (up, (scrape, scrape_us)) in state.upstreams.iter().zip(scraped) {
         let mut entry = vec![
             ("addr".to_string(), JsonValue::String(up.addr().to_string())),
             ("healthy".to_string(), JsonValue::Bool(up.is_healthy())),
+            ("scrape_us".to_string(), num(scrape_us)),
             (
                 "requests".to_string(),
                 num(up.requests.load(Ordering::Relaxed)),

@@ -90,17 +90,21 @@ impl Upstream {
         self.healthy.load(Ordering::Relaxed)
     }
 
-    /// Forwards one request over a pooled keep-alive connection. The
-    /// connection returns to the pool only after a successful exchange;
-    /// error paths drop it (its state is unknowable). 503 auto-retry is
-    /// disabled on pooled clients — on 503 the *router's* policy applies:
-    /// eject for `Retry-After` and fail over to the next replica, instead
-    /// of parking a router worker in a sleep.
+    /// Forwards one request over a pooled keep-alive connection,
+    /// attaching `extra` request headers (the router injects its
+    /// `X-Graphio-Trace` ID here so backend phase trees join the
+    /// router's trace). The connection returns to the pool only after a
+    /// successful exchange; error paths drop it (its state is
+    /// unknowable). 503 auto-retry is disabled on pooled clients — on
+    /// 503 the *router's* policy applies: eject for `Retry-After` and
+    /// fail over to the next replica, instead of parking a router worker
+    /// in a sleep.
     pub fn forward(
         &self,
         method: &str,
         path: &str,
         body: Option<&str>,
+        extra: &[(&str, String)],
     ) -> Result<Response, ClientError> {
         let mut client = match self.pool.lock().expect("upstream pool").pop() {
             Some(client) => client,
@@ -110,7 +114,7 @@ impl Upstream {
                 client
             }
         };
-        let result = client.request(method, path, body);
+        let result = client.request_with(method, path, body, extra);
         if result.is_ok() {
             let mut pool = self.pool.lock().expect("upstream pool");
             if pool.len() < MAX_POOLED_CONNECTIONS {

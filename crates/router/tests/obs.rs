@@ -1,0 +1,235 @@
+//! Router observability end-to-end: `/metrics` exposition with
+//! per-backend series, trace-ID propagation client → router → backend
+//! and back, slow-log phase trees at both tiers, and per-backend
+//! `scrape_us` in `GET /stats`.
+
+use graphio_graph::generators::fft_butterfly;
+use graphio_graph::json::{parse, JsonValue};
+use graphio_router::{serve_router, RouterConfig, RouterServer};
+use graphio_service::{client, serve, Server, ServiceConfig, SlowLogConfig, SlowLogTarget};
+use std::time::Duration;
+
+fn backends(n: usize, slow_log: Option<SlowLogConfig>) -> Vec<Server> {
+    let config = ServiceConfig {
+        workers: 2,
+        queue_capacity: 64,
+        slow_log,
+        ..Default::default()
+    };
+    (0..n).map(|_| serve(&config).expect("backend")).collect()
+}
+
+fn router_over(backends: &[Server], slow_log: Option<SlowLogConfig>) -> RouterServer {
+    let addrs: Vec<String> = backends.iter().map(|b| b.addr().to_string()).collect();
+    serve_router(&RouterConfig {
+        health_interval: Duration::from_millis(100),
+        slow_log,
+        ..RouterConfig::over(addrs)
+    })
+    .expect("router")
+}
+
+fn analyze_body_for(k: usize) -> String {
+    format!(
+        "{{\"graph\":{},\"memories\":[2,4]}}",
+        fft_butterfly(k).to_edge_list().to_json()
+    )
+}
+
+/// The router's `/metrics` parses and validates like the service's, and
+/// carries router counters plus one labeled series per backend.
+#[test]
+fn router_metrics_exposition_is_valid_with_per_backend_series() {
+    let backends = backends(2, None);
+    let router = router_over(&backends, None);
+    let body = analyze_body_for(4);
+    for _ in 0..3 {
+        let r = client::request("POST", &router.url(), "/analyze", Some(&body)).unwrap();
+        assert_eq!(r.status, 200);
+    }
+    std::thread::sleep(Duration::from_millis(150));
+    let r = client::request("GET", &router.url(), "/metrics", None).unwrap();
+    assert_eq!(r.status, 200);
+    assert!(r
+        .header("content-type")
+        .is_some_and(|ct| ct.starts_with("text/plain")));
+    let expo = graphio_obs::parse_metrics(&r.body)
+        .unwrap_or_else(|e| panic!("invalid router exposition: {e}\n{}", r.body));
+    assert!(expo.value("graphio_router_requests_total", &[]).unwrap() >= 3.0);
+    assert_eq!(
+        expo.value("graphio_router_analyze_ok_total", &[]),
+        Some(3.0)
+    );
+    assert_eq!(expo.value("graphio_router_backends", &[]), Some(2.0));
+    assert_eq!(
+        expo.value("graphio_router_backends_healthy", &[]),
+        Some(2.0)
+    );
+    // One labeled series per backend, and the per-backend request
+    // counters account for all forwarded traffic.
+    let mut labeled = expo.label_values("graphio_router_backend_requests_total", "backend");
+    labeled.sort();
+    let mut addrs: Vec<String> = backends.iter().map(|b| b.addr().to_string()).collect();
+    addrs.sort();
+    assert_eq!(labeled, addrs);
+    let forwarded: f64 = addrs
+        .iter()
+        .map(|a| {
+            expo.value(
+                "graphio_router_backend_requests_total",
+                &[("backend", a.as_str())],
+            )
+            .unwrap()
+        })
+        .sum();
+    assert_eq!(forwarded, 3.0);
+    // The router records its own request-latency histograms per
+    // endpoint. In-process backends share the registry (one process, one
+    // registry), so the count is at least the router's 3 — exactly 6
+    // here, router + backend sides of each request.
+    let analyze_count = expo
+        .value(
+            "graphio_request_duration_microseconds_count",
+            &[("endpoint", "/analyze")],
+        )
+        .expect("router /analyze latency histogram");
+    assert!(analyze_count >= 3.0);
+    router.shutdown();
+    for b in backends {
+        b.shutdown();
+    }
+}
+
+/// One trace ID, three observation points: the client-sent trace comes
+/// back in the routed response header, appears in the router's slow log,
+/// and appears in the backend's slow log (the router injects it on the
+/// forwarded request). Both phase trees are structurally consistent.
+#[test]
+fn trace_id_flows_client_to_router_to_backend_and_back() {
+    let dir = std::env::temp_dir();
+    let backend_log = dir.join(format!("graphio_obs_backend_{}.jsonl", std::process::id()));
+    let router_log = dir.join(format!("graphio_obs_router_{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&backend_log);
+    let _ = std::fs::remove_file(&router_log);
+    let slow = |path: &std::path::Path| {
+        Some(SlowLogConfig {
+            threshold_us: 0,
+            target: SlowLogTarget::File(path.to_path_buf()),
+        })
+    };
+    let backends = backends(2, slow(&backend_log));
+    let router = router_over(&backends, slow(&router_log));
+
+    let sent_trace = "feedfacecafebeef0123456789abcdef";
+    let mut session = client::Client::new(&router.url()).unwrap();
+    let body = analyze_body_for(4);
+    let r = session
+        .request_with(
+            "POST",
+            "/analyze",
+            Some(&body),
+            &[("X-Graphio-Trace", sent_trace.to_string())],
+        )
+        .unwrap();
+    assert_eq!(r.status, 200);
+    assert_eq!(
+        r.header("x-graphio-trace"),
+        Some(sent_trace),
+        "the routed response must echo the client trace"
+    );
+    assert!(
+        r.header("x-graphio-backend").is_some(),
+        "relay names the answering backend"
+    );
+
+    let find_line = |path: &std::path::Path| -> String {
+        for _ in 0..50 {
+            let text = std::fs::read_to_string(path).unwrap_or_default();
+            if let Some(line) = text.lines().find(|l| l.contains(sent_trace)) {
+                return line.to_string();
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        panic!(
+            "no slow-log line with trace {sent_trace} in {}",
+            path.display()
+        );
+    };
+    for (tier, path) in [("router", &router_log), ("backend", &backend_log)] {
+        let doc = parse(&find_line(path)).expect("slow-log line parses");
+        assert_eq!(
+            doc.get("trace").and_then(JsonValue::as_str),
+            Some(sent_trace),
+            "{tier} slow log must carry the end-to-end trace"
+        );
+        assert_eq!(
+            doc.get("endpoint").and_then(JsonValue::as_str),
+            Some("/analyze")
+        );
+        let elapsed = doc.get("elapsed_us").and_then(JsonValue::as_f64).unwrap();
+        let spans = match doc.get("spans") {
+            Some(JsonValue::Array(spans)) => spans,
+            other => panic!("{tier}: spans must be an array, got {other:?}"),
+        };
+        assert!(!spans.is_empty());
+        let root_dur = spans[0].get("dur_us").and_then(JsonValue::as_f64).unwrap();
+        assert!(root_dur <= elapsed, "{tier}: root span outlasts request");
+        let child_sum: f64 = spans[1..]
+            .iter()
+            .filter(|s| s.get("parent").and_then(JsonValue::as_f64) == Some(0.0))
+            .map(|s| s.get("dur_us").and_then(JsonValue::as_f64).unwrap())
+            .sum();
+        assert!(
+            child_sum <= root_dur,
+            "{tier}: children ({child_sum}) exceed root ({root_dur})"
+        );
+    }
+    router.shutdown();
+    for b in backends {
+        b.shutdown();
+    }
+    let _ = std::fs::remove_file(&backend_log);
+    let _ = std::fs::remove_file(&router_log);
+}
+
+/// Routed `/batch` carries the trace and a positive scatter/gather
+/// elapsed header; routed `/stats` reports a positive per-backend
+/// `scrape_us`.
+#[test]
+fn batch_headers_and_stats_scrape_us_through_the_router() {
+    let backends = backends(2, None);
+    let router = router_over(&backends, None);
+    let g4 = fft_butterfly(4).to_edge_list().to_json();
+    let g5 = fft_butterfly(5).to_edge_list().to_json();
+    let batch = format!("{{\"graphs\":[{g4},{g5}],\"memories\":[2,4]}}");
+    let r = client::request("POST", &router.url(), "/batch", Some(&batch)).unwrap();
+    assert_eq!(r.status, 200, "{}", r.body);
+    let trace = r.header("x-graphio-trace").expect("batch trace header");
+    assert_eq!(trace.len(), 32);
+    let elapsed: u64 = r
+        .header("x-graphio-elapsed-us")
+        .expect("batch elapsed header")
+        .parse()
+        .unwrap();
+    assert!(elapsed > 0 && elapsed < 60_000_000);
+
+    let r = client::request("GET", &router.url(), "/stats", None).unwrap();
+    assert_eq!(r.status, 200);
+    let doc = parse(&r.body).unwrap();
+    let Some(JsonValue::Array(entries)) = doc.get("backends") else {
+        panic!("stats backends array missing: {}", r.body)
+    };
+    assert_eq!(entries.len(), 2);
+    for entry in entries {
+        let scrape_us = entry
+            .get("scrape_us")
+            .and_then(JsonValue::as_f64)
+            .expect("per-backend scrape_us");
+        assert!(scrape_us >= 1.0, "scrape_us must be positive");
+        assert!(scrape_us < 60_000_000.0);
+    }
+    router.shutdown();
+    for b in backends {
+        b.shutdown();
+    }
+}

@@ -83,6 +83,7 @@ pub fn validate_memories(raw: &[usize]) -> Result<(Vec<usize>, Vec<String>), Str
 /// # Errors
 /// The `{"error": ...}` message for the 400 response.
 pub fn parse_request_json(body: &[u8]) -> Result<JsonValue, String> {
+    let _span = graphio_obs::span!("parse");
     let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
     graphio_graph::json::parse(text).map_err(|e| format!("invalid JSON body: {e}"))
 }
@@ -223,6 +224,7 @@ pub fn analyze_rows(analyzer: &OwnedAnalyzer, spec: &AnalyzeSpec) -> Vec<Analyze
             let mincut = analyzer.min_cut_bound(m, &mc_opts);
             let sim_upper = (!spec.no_sim)
                 .then(|| {
+                    let _span = graphio_obs::span!("simulate");
                     [Policy::Lru, Policy::Belady]
                         .iter()
                         .filter_map(|&p| simulate(g, &order, m, p, 0).ok().map(|r| r.io()))

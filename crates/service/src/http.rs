@@ -396,9 +396,34 @@ pub fn write_response(
     extra: &[(&str, String)],
     body: &[u8],
 ) -> std::io::Result<()> {
+    write_response_typed(
+        stream,
+        status,
+        reason,
+        keep,
+        "application/json",
+        extra,
+        body,
+    )
+}
+
+/// [`write_response`] with an explicit `Content-Type` (the `/metrics`
+/// endpoint serves Prometheus text, not JSON).
+///
+/// # Errors
+/// Propagates socket write failures.
+pub fn write_response_typed(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    keep: bool,
+    content_type: &str,
+    extra: &[(&str, String)],
+    body: &[u8],
+) -> std::io::Result<()> {
     let connection = if keep { "keep-alive" } else { "close" };
     let mut head = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {connection}\r\n",
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n",
         body.len()
     );
     for (name, value) in extra {
@@ -408,8 +433,13 @@ pub fn write_response(
         head.push_str("\r\n");
     }
     head.push_str("\r\n");
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body)?;
+    // One write for head + body: two small writes under Nagle leave the
+    // body queued until the peer ACKs the head, and a delayed-ACK peer
+    // turns that into a ~40 ms stall per response (the loadgen's
+    // open-loop latency histograms are how this was caught).
+    let mut message = head.into_bytes();
+    message.extend_from_slice(body);
+    stream.write_all(&message)?;
     stream.flush()
 }
 

@@ -45,6 +45,7 @@ pub mod analysis;
 pub mod cache;
 pub mod client;
 pub mod http;
+pub mod loadgen;
 pub mod pool;
 pub mod server;
 
@@ -54,5 +55,9 @@ pub use analysis::{
 };
 pub use cache::{CacheConfig, CacheStats, SessionCache};
 pub use client::{Client, ClientError, Response};
+pub use loadgen::{LoadgenConfig, LoadgenReport};
 pub use pool::{PoolSnapshot, SubmitError, WorkerPool};
-pub use server::{serve, PersistenceConfig, Server, ServiceConfig, MAX_BATCH_GRAPHS};
+pub use server::{
+    endpoint_label, push_obs_headers, serve, traced_request, PersistenceConfig, Server,
+    ServiceConfig, SlowLog, SlowLogConfig, SlowLogTarget, MAX_BATCH_GRAPHS, REQUEST_FAMILY,
+};

@@ -73,8 +73,8 @@ use crate::analysis::{
 };
 use crate::cache::{CacheConfig, SessionCache};
 use crate::http::{
-    respond_error, serve_connection, write_response, ConnectionLimits, Request, IDLE_TIMEOUT,
-    IO_TIMEOUT, MAX_REQUESTS_PER_CONNECTION, READ_TIMEOUT,
+    respond_error, serve_connection, write_response, write_response_typed, ConnectionLimits,
+    Request, IDLE_TIMEOUT, IO_TIMEOUT, MAX_REQUESTS_PER_CONNECTION, READ_TIMEOUT,
 };
 use crate::pool::{SubmitError, WorkerPool};
 use graphio_graph::json::JsonValue;
@@ -85,7 +85,7 @@ use graphio_linalg::stats::{
 };
 use graphio_spectral::OwnedAnalyzer;
 use graphio_store::{load_session, save_session, Store, StoreConfig, StoreStats};
-use std::io::{self};
+use std::io::{self, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -139,6 +139,70 @@ impl SessionSource {
     }
 }
 
+/// Where slow-log lines go.
+#[derive(Debug, Clone)]
+pub enum SlowLogTarget {
+    /// One JSON line per slow request on the server's stderr.
+    Stderr,
+    /// Appended to a file (created if missing) — what the tests and CI
+    /// use, so the lines can be parsed back.
+    File(PathBuf),
+}
+
+/// Slow-request logging (`--slow-log-us N`): any request whose total
+/// wall time reaches the threshold dumps its phase tree as one JSON
+/// line ([`graphio_obs::TraceSummary::to_json`]). Threshold 0 logs every
+/// request — the e2e tests use that to assert tree structure.
+#[derive(Debug, Clone)]
+pub struct SlowLogConfig {
+    /// Log requests taking at least this many microseconds.
+    pub threshold_us: u64,
+    /// Where the lines go.
+    pub target: SlowLogTarget,
+}
+
+/// The opened slow-log sink: threshold plus a serialized writer.
+/// Shared with the cluster router, which logs its own request trees.
+pub struct SlowLog {
+    threshold_us: u64,
+    sink: std::sync::Mutex<Box<dyn io::Write + Send>>,
+}
+
+impl SlowLog {
+    /// Opens the configured sink.
+    ///
+    /// # Errors
+    /// Propagates file-open failures for [`SlowLogTarget::File`].
+    pub fn open(config: &SlowLogConfig) -> io::Result<SlowLog> {
+        let sink: Box<dyn io::Write + Send> = match &config.target {
+            SlowLogTarget::Stderr => Box::new(io::stderr()),
+            SlowLogTarget::File(path) => Box::new(
+                std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)?,
+            ),
+        };
+        Ok(SlowLog {
+            threshold_us: config.threshold_us,
+            sink: std::sync::Mutex::new(sink),
+        })
+    }
+
+    /// The configured threshold in microseconds.
+    #[must_use]
+    pub fn threshold_us(&self) -> u64 {
+        self.threshold_us
+    }
+
+    /// Writes one line. Best-effort: a full disk must not fail requests.
+    pub fn log(&self, line: &str) {
+        let mut sink = self.sink.lock().expect("slow log lock");
+        let _ = writeln!(sink, "{line}");
+        let _ = sink.flush();
+    }
+}
+
 /// Server sizing and binding knobs.
 #[derive(Debug, Clone)]
 pub struct ServiceConfig {
@@ -161,6 +225,8 @@ pub struct ServiceConfig {
     pub cache: CacheConfig,
     /// Persistent session store (`None` keeps the cache RAM-only).
     pub store: Option<PersistenceConfig>,
+    /// Slow-request logging (`None` disables it).
+    pub slow_log: Option<SlowLogConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -174,6 +240,7 @@ impl Default for ServiceConfig {
             max_requests_per_connection: MAX_REQUESTS_PER_CONNECTION,
             cache: CacheConfig::default(),
             store: None,
+            slow_log: None,
         }
     }
 }
@@ -205,6 +272,8 @@ pub(crate) struct ServiceState {
     pub(crate) queue_capacity: usize,
     pub(crate) idle_timeout: Duration,
     pub(crate) max_requests_per_connection: usize,
+    /// The slow-request log sink, when configured.
+    pub(crate) slow_log: Option<SlowLog>,
     /// Boot time, for the `uptime_seconds` stats field — the cluster
     /// router's aggregated stats use it to spot freshly-restarted
     /// backends (whose caches are cold).
@@ -227,6 +296,9 @@ pub struct Server {
 /// # Errors
 /// Propagates bind failures.
 pub fn serve(config: &ServiceConfig) -> io::Result<Server> {
+    // Serving is the long-lived mode that wants phase histograms and
+    // request traces; the offline CLI keeps spans at their free default.
+    graphio_obs::set_enabled(true);
     let listener = TcpListener::bind((config.host.as_str(), config.port))?;
     let addr = listener.local_addr()?;
     // Opening the store *is* the boot-time index warm-load: every segment
@@ -253,6 +325,7 @@ pub fn serve(config: &ServiceConfig) -> io::Result<Server> {
         queue_capacity: config.queue_capacity.max(1),
         idle_timeout: config.idle_timeout,
         max_requests_per_connection: config.max_requests_per_connection.max(1),
+        slow_log: config.slow_log.as_ref().map(SlowLog::open).transpose()?,
         started: Instant::now(),
     });
     let pool = Arc::new(WorkerPool::new(config.workers, config.queue_capacity));
@@ -370,6 +443,7 @@ fn accept_loop(
         };
         state.connections.fetch_add(1, Ordering::Relaxed);
         let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+        let _ = stream.set_nodelay(true);
         let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
         // The stream lives in a shared cell so the acceptor can take it
         // back and answer 503 itself when the queue rejects the job (the
@@ -420,12 +494,79 @@ fn handle_connection(stream: TcpStream, state: &Arc<ServiceState>, pool: &Arc<Wo
         &limits,
         |stream, request, keep| {
             state.requests.fetch_add(1, Ordering::Relaxed);
-            route(stream, request, state, pool, keep);
+            traced_request(request, &request.path, state.slow_log.as_ref(), || {
+                route(stream, request, state, pool, keep);
+            });
         },
         |_| {
             state.errors.fetch_add(1, Ordering::Relaxed);
         },
     );
+}
+
+/// The static endpoint label a request records under — the fixed route
+/// set, with everything else folded into `"other"` so an attacker probing
+/// random paths cannot mint unbounded histogram label values.
+pub fn endpoint_label(path: &str) -> &'static str {
+    match path {
+        "/analyze" => "/analyze",
+        "/batch" => "/batch",
+        "/graphs" => "/graphs",
+        "/healthz" => "/healthz",
+        "/stats" => "/stats",
+        "/metrics" => "/metrics",
+        _ => "other",
+    }
+}
+
+/// The per-request observability envelope, shared with the cluster
+/// router: open a request context (honoring an incoming `X-Graphio-Trace`
+/// or minting one), run the handler under a root span named by endpoint,
+/// then record the request-latency histogram and emit a slow-log line
+/// when the request met the threshold.
+pub fn traced_request(
+    request: &Request,
+    path: &str,
+    slow_log: Option<&SlowLog>,
+    handler: impl FnOnce(),
+) {
+    let trace = request
+        .header("x-graphio-trace")
+        .and_then(graphio_obs::parse_trace_hex)
+        .unwrap_or_else(graphio_obs::mint_trace_id);
+    let endpoint = endpoint_label(path);
+    let guard = graphio_obs::begin_request(trace);
+    {
+        let _root = graphio_obs::span::SpanGuard::enter_dynamic(endpoint);
+        handler();
+    }
+    let Some(summary) = guard.finish() else {
+        return;
+    };
+    graphio_obs::histogram(REQUEST_FAMILY, "endpoint", endpoint).record(summary.elapsed_us.max(1));
+    if let Some(slow) = slow_log {
+        if summary.elapsed_us >= slow.threshold_us() {
+            slow.log(&summary.to_json(endpoint));
+        }
+    }
+}
+
+/// The request-latency histogram family (`le` in microseconds), labeled
+/// by endpoint. The phase histograms live under
+/// [`graphio_obs::PHASE_FAMILY`].
+pub const REQUEST_FAMILY: &str = "graphio_request_duration_microseconds";
+
+/// Appends the per-request observability headers every 200 carries:
+/// the trace ID (echoed end-to-end so a response can be correlated with
+/// its slow-log line) and server-side elapsed microseconds (clamped to
+/// ≥ 1 so "the header is present and positive" is a testable contract).
+pub fn push_obs_headers(extra: &mut Vec<(&str, String)>) {
+    if let Some(trace) = graphio_obs::current_trace_id() {
+        extra.push(("X-Graphio-Trace", graphio_obs::trace_hex(trace)));
+    }
+    if let Some(us) = graphio_obs::request_elapsed_us() {
+        extra.push(("X-Graphio-Elapsed-Us", us.max(1).to_string()));
+    }
 }
 
 fn respond_json(
@@ -436,12 +577,16 @@ fn respond_json(
     doc: &JsonValue,
 ) {
     let body = doc.to_string() + "\n";
+    let mut headers: Vec<(&str, String)> = extra.to_vec();
+    if status == 200 {
+        push_obs_headers(&mut headers);
+    }
     let _ = write_response(
         stream,
         status,
         crate::http::reason(status),
         keep,
-        extra,
+        &headers,
         body.as_bytes(),
     );
 }
@@ -456,6 +601,7 @@ fn route(
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => handle_healthz(stream, state, keep),
         ("GET", "/stats") => handle_stats(stream, state, keep),
+        ("GET", "/metrics") => handle_metrics(stream, state, keep),
         ("POST", "/graphs") => handle_graphs(stream, request, state, keep),
         ("POST", "/analyze") => handle_analyze(stream, request, state, keep),
         ("POST", "/batch") => handle_batch(stream, request, state, pool, keep),
@@ -620,6 +766,123 @@ fn handle_stats(stream: &mut TcpStream, state: &Arc<ServiceState>, keep: bool) {
         ),
     ]);
     respond_json(stream, 200, keep, &[], &doc);
+}
+
+/// `GET /metrics`: Prometheus text exposition. Mirrors every `/stats`
+/// counter (service, cache, store, engine, linalg) as a typed metric and
+/// appends the live histogram registry — request latency per endpoint
+/// plus per-phase pipeline histograms (`laplacian`, `eigensolve`,
+/// `mincut`, `matvec`, codec/segment I/O, ...). The body is validated by
+/// `graphio_obs::expo::parse` in the test suite and CI.
+fn handle_metrics(stream: &mut TcpStream, state: &Arc<ServiceState>, keep: bool) {
+    let mut m = graphio_obs::MetricsText::new();
+    m.gauge(
+        "graphio_service_uptime_seconds",
+        &[],
+        state.started.elapsed().as_secs() as f64,
+    );
+    let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+    m.counter(
+        "graphio_service_connections_total",
+        &[],
+        load(&state.connections),
+    );
+    m.counter("graphio_service_requests_total", &[], load(&state.requests));
+    m.counter("graphio_service_rejected_total", &[], load(&state.rejected));
+    m.counter(
+        "graphio_service_analyze_ok_total",
+        &[],
+        load(&state.analyze_ok),
+    );
+    m.counter("graphio_service_batch_ok_total", &[], load(&state.batch_ok));
+    m.counter("graphio_service_errors_total", &[], load(&state.errors));
+
+    let cache = state.cache.stats();
+    m.gauge("graphio_cache_sessions", &[], cache.sessions as f64);
+    m.gauge("graphio_cache_bytes", &[], cache.bytes as f64);
+    m.counter("graphio_cache_hits_total", &[], cache.hits);
+    m.counter("graphio_cache_misses_total", &[], cache.misses);
+    m.counter("graphio_cache_evictions_total", &[], cache.evictions);
+
+    m.gauge(
+        "graphio_store_enabled",
+        &[],
+        if state.store.is_some() { 1.0 } else { 0.0 },
+    );
+    if let Some(store) = &state.store {
+        let s = store.stats();
+        m.gauge("graphio_store_records", &[], s.records as f64);
+        m.gauge("graphio_store_segments", &[], s.segments as f64);
+        m.gauge("graphio_store_bytes_on_disk", &[], s.bytes_on_disk as f64);
+        m.gauge("graphio_store_live_bytes", &[], s.live_bytes as f64);
+        m.counter("graphio_store_hits_total", &[], s.hits);
+        m.counter("graphio_store_misses_total", &[], s.misses);
+        m.counter("graphio_store_puts_total", &[], s.puts);
+        m.counter("graphio_store_put_skips_total", &[], s.put_skips);
+        m.counter("graphio_store_evictions_total", &[], s.evictions);
+        m.counter("graphio_store_compactions_total", &[], s.compactions);
+    }
+
+    m.counter(
+        "graphio_engine_spectrum_hits_total",
+        &[],
+        cache.engine.spectrum_hits,
+    );
+    m.counter(
+        "graphio_engine_spectrum_misses_total",
+        &[],
+        cache.engine.spectrum_misses,
+    );
+    m.counter(
+        "graphio_engine_mincut_hits_total",
+        &[],
+        cache.engine.mincut_hits,
+    );
+    m.counter(
+        "graphio_engine_mincut_misses_total",
+        &[],
+        cache.engine.mincut_misses,
+    );
+
+    m.counter(
+        "graphio_linalg_dense_eigensolves_total",
+        &[],
+        dense_eigensolve_count(),
+    );
+    m.counter(
+        "graphio_linalg_sparse_matvecs_total",
+        &[],
+        sparse_matvec_count(),
+    );
+    m.counter(
+        "graphio_linalg_simd_kernel_calls_total",
+        &[],
+        simd_kernel_call_count(),
+    );
+    m.counter(
+        "graphio_linalg_scalar_fallbacks_total",
+        &[],
+        scalar_fallback_count(),
+    );
+    m.counter(
+        "graphio_linalg_scale_tier_solves_total",
+        &[],
+        scale_tier_solve_count(),
+    );
+
+    graphio_obs::render_registered(&mut m);
+    let body = m.into_string();
+    let mut extra: Vec<(&str, String)> = Vec::new();
+    push_obs_headers(&mut extra);
+    let _ = write_response_typed(
+        stream,
+        200,
+        "OK",
+        keep,
+        "text/plain; version=0.0.4",
+        &extra,
+        body.as_bytes(),
+    );
 }
 
 fn parse_body(request: &Request) -> Result<JsonValue, String> {
@@ -838,6 +1101,7 @@ fn handle_analyze(
     if !warnings.is_empty() {
         extra.push(("X-Graphio-Warnings", warnings.join("; ")));
     }
+    push_obs_headers(&mut extra);
     let _ = write_response(stream, 200, "OK", keep, &extra, body.as_bytes());
 }
 
@@ -890,6 +1154,7 @@ fn handle_batch(
     let count = items.len();
     let spec = Arc::new(spec);
     let scatter_state = Arc::clone(state);
+    let gather_started = Instant::now();
     let bodies = pool.scatter(
         items,
         move |(analyzer, fp): (Arc<OwnedAnalyzer>, Fingerprint)| {
@@ -919,5 +1184,12 @@ fn handle_batch(
     if !warnings.is_empty() {
         extra.push(("X-Graphio-Warnings", warnings.join("; ")));
     }
+    if let Some(trace) = graphio_obs::current_trace_id() {
+        extra.push(("X-Graphio-Trace", graphio_obs::trace_hex(trace)));
+    }
+    // For a batch, "elapsed" means the scatter/gather wall time — the
+    // part that amortizes — not body assembly.
+    let gather_us = gather_started.elapsed().as_micros() as u64;
+    extra.push(("X-Graphio-Elapsed-Us", gather_us.max(1).to_string()));
     let _ = write_response(stream, 200, "OK", keep, &extra, body.as_bytes());
 }

@@ -1,0 +1,280 @@
+//! Observability end-to-end: `/metrics` exposition validity, the
+//! per-request trace/elapsed headers, slow-log phase trees, and the
+//! bit-identity guarantee that spans never perturb analysis bodies.
+
+use graphio_graph::generators::{fft_butterfly, naive_matmul};
+use graphio_graph::json::{parse, JsonValue};
+use graphio_graph::CompGraph;
+use graphio_service::analysis::{analysis_body, AnalyzeSpec};
+use graphio_service::{client, serve, Server, ServiceConfig, SlowLogConfig, SlowLogTarget};
+use std::time::Duration;
+
+fn test_server() -> Server {
+    serve(&ServiceConfig {
+        workers: 2,
+        queue_capacity: 32,
+        ..ServiceConfig::default()
+    })
+    .expect("bind test server")
+}
+
+fn graph_json(g: &CompGraph) -> String {
+    g.to_edge_list().to_json()
+}
+
+fn scrape_metrics(url: &str) -> (graphio_obs::Exposition, String) {
+    // The request histogram records just *after* the response bytes
+    // flush, so a scrape racing the previous response could read one
+    // sample short; settle first.
+    std::thread::sleep(Duration::from_millis(150));
+    let r = client::request("GET", url, "/metrics", None).expect("GET /metrics");
+    assert_eq!(r.status, 200);
+    assert!(
+        r.header("content-type")
+            .is_some_and(|ct| ct.starts_with("text/plain")),
+        "metrics must be text exposition, got {:?}",
+        r.header("content-type")
+    );
+    let expo = graphio_obs::parse_metrics(&r.body)
+        .unwrap_or_else(|e| panic!("invalid exposition: {e}\n{}", r.body));
+    (expo, r.body)
+}
+
+/// The exposition parses line-by-line, histograms are structurally valid
+/// (cumulative monotone buckets, `+Inf == _count`, `_sum` present — all
+/// enforced inside `parse_metrics`), every `/stats` counter family is
+/// present, and the request/phase histograms move with traffic.
+#[test]
+fn metrics_exposition_is_valid_and_counts_requests() {
+    let server = test_server();
+    let g = fft_butterfly(4);
+    let body_req = format!("{{\"graph\":{},\"memories\":[2,4]}}", graph_json(&g));
+    let r = client::request("POST", &server.url(), "/analyze", Some(&body_req)).unwrap();
+    assert_eq!(r.status, 200);
+
+    let (before, _) = scrape_metrics(&server.url());
+    for name in [
+        "graphio_service_uptime_seconds",
+        "graphio_service_connections_total",
+        "graphio_service_requests_total",
+        "graphio_service_analyze_ok_total",
+        "graphio_service_errors_total",
+        "graphio_cache_sessions",
+        "graphio_cache_hits_total",
+        "graphio_cache_misses_total",
+        "graphio_engine_spectrum_misses_total",
+        "graphio_linalg_dense_eigensolves_total",
+    ] {
+        assert!(
+            before.value(name, &[]).is_some(),
+            "metric {name} missing from /metrics"
+        );
+    }
+    // The analysis phases the acceptance bar names, as histogram series.
+    for phase in ["laplacian", "eigensolve", "mincut"] {
+        let count = before
+            .value(
+                "graphio_phase_duration_microseconds_count",
+                &[("phase", phase)],
+            )
+            .unwrap_or_else(|| panic!("phase histogram {phase} missing"));
+        assert!(count >= 1.0, "phase {phase} recorded no samples");
+    }
+
+    // Counters move by exactly the traffic sent between two scrapes.
+    const N: u64 = 5;
+    for _ in 0..N {
+        let r = client::request("POST", &server.url(), "/analyze", Some(&body_req)).unwrap();
+        assert_eq!(r.status, 200);
+    }
+    let (after, _) = scrape_metrics(&server.url());
+    let delta = |name: &str, labels: &[(&str, &str)]| {
+        after.value(name, labels).unwrap_or(0.0) - before.value(name, labels).unwrap_or(0.0)
+    };
+    // +1: the second scrape's own GET /metrics has been counted by the
+    // time its handler renders.
+    assert_eq!(
+        delta("graphio_service_requests_total", &[]),
+        (N + 1) as f64,
+        "requests_total must move by exactly the request count"
+    );
+    assert_eq!(delta("graphio_service_analyze_ok_total", &[]), N as f64);
+    assert_eq!(
+        delta(
+            "graphio_request_duration_microseconds_count",
+            &[("endpoint", "/analyze")],
+        ),
+        N as f64,
+        "the /analyze latency histogram must record every request"
+    );
+    // All N repeats hit the session cached by the warm-up request.
+    assert_eq!(delta("graphio_cache_hits_total", &[]), N as f64);
+    server.shutdown();
+}
+
+/// Satellite: every 200 carries `X-Graphio-Trace` (32 hex chars) and
+/// `X-Graphio-Elapsed-Us` (positive, under a minute), across `/analyze`,
+/// `/graphs`, `/batch` (where elapsed is the scatter/gather wall time)
+/// and `/metrics` itself.
+#[test]
+fn every_200_carries_trace_and_positive_elapsed_headers() {
+    let server = test_server();
+    let g = naive_matmul(2);
+    let analyze = format!("{{\"graph\":{},\"memories\":[2,4]}}", graph_json(&g));
+    let batch = format!(
+        "{{\"graphs\":[{0},{0}],\"memories\":[2,4]}}",
+        graph_json(&g)
+    );
+    let register = format!("{{\"graph\":{}}}", graph_json(&g));
+    let checks: [(&str, &str, Option<&str>); 4] = [
+        ("POST", "/analyze", Some(&analyze)),
+        ("POST", "/batch", Some(&batch)),
+        ("POST", "/graphs", Some(&register)),
+        ("GET", "/metrics", None),
+    ];
+    for (method, path, body) in checks {
+        let r = client::request(method, &server.url(), path, body).unwrap();
+        assert_eq!(r.status, 200, "{path} failed: {}", r.body);
+        let trace = r
+            .header("x-graphio-trace")
+            .unwrap_or_else(|| panic!("{path}: missing X-Graphio-Trace"));
+        assert_eq!(trace.len(), 32, "{path}: trace {trace:?} is not 32 hex");
+        assert!(trace.chars().all(|c| c.is_ascii_hexdigit()));
+        let elapsed: u64 = r
+            .header("x-graphio-elapsed-us")
+            .unwrap_or_else(|| panic!("{path}: missing X-Graphio-Elapsed-Us"))
+            .parse()
+            .expect("elapsed header parses");
+        assert!(elapsed > 0, "{path}: elapsed must be positive");
+        assert!(
+            elapsed < 60_000_000,
+            "{path}: elapsed {elapsed}µs exceeds a minute"
+        );
+    }
+    server.shutdown();
+}
+
+/// The bit-identity contract survives instrumentation: the same spec
+/// produces byte-identical analysis bodies with span collection off and
+/// on (spans observe phases; they must never perturb results).
+#[test]
+fn analysis_bodies_are_byte_identical_with_spans_on_and_off() {
+    let spec = AnalyzeSpec {
+        memories: vec![2, 4, 8],
+        processors: 1,
+        no_sim: false,
+    };
+    let was = graphio_obs::enabled();
+    graphio_obs::set_enabled(false);
+    let off = analysis_body(
+        &graphio_spectral::OwnedAnalyzer::new(std::sync::Arc::new(fft_butterfly(4))),
+        &spec,
+    );
+    graphio_obs::set_enabled(true);
+    let on = analysis_body(
+        &graphio_spectral::OwnedAnalyzer::new(std::sync::Arc::new(fft_butterfly(4))),
+        &spec,
+    );
+    graphio_obs::set_enabled(was);
+    assert_eq!(off.as_bytes(), on.as_bytes());
+}
+
+/// `--slow-log-us 0` logs every request as a JSON phase tree whose trace
+/// matches the response's `X-Graphio-Trace`, whose root span covers its
+/// children, and whose children's durations sum to no more than the
+/// root's.
+#[test]
+fn slow_log_phase_tree_is_consistent_and_trace_matches_response() {
+    let log_path =
+        std::env::temp_dir().join(format!("graphio_slowlog_{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&log_path);
+    let server = serve(&ServiceConfig {
+        workers: 2,
+        queue_capacity: 32,
+        slow_log: Some(SlowLogConfig {
+            threshold_us: 0,
+            target: SlowLogTarget::File(log_path.clone()),
+        }),
+        ..ServiceConfig::default()
+    })
+    .expect("bind slow-log server");
+
+    let g = fft_butterfly(4);
+    let body = format!("{{\"graph\":{},\"memories\":[2,4]}}", graph_json(&g));
+    let sent_trace = "00112233445566778899aabbccddeeff";
+    let mut session = client::Client::new(&server.url()).unwrap();
+    let r = session
+        .request_with(
+            "POST",
+            "/analyze",
+            Some(&body),
+            &[("X-Graphio-Trace", sent_trace.to_string())],
+        )
+        .unwrap();
+    assert_eq!(r.status, 200);
+    assert_eq!(
+        r.header("x-graphio-trace"),
+        Some(sent_trace),
+        "the response must echo the client-supplied trace ID"
+    );
+    // The line is flushed per request; poll briefly for the writer.
+    let mut lines = String::new();
+    for _ in 0..50 {
+        lines = std::fs::read_to_string(&log_path).unwrap_or_default();
+        if lines.lines().any(|l| l.contains(sent_trace)) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let line = lines
+        .lines()
+        .find(|l| l.contains(sent_trace))
+        .unwrap_or_else(|| panic!("no slow-log line for trace {sent_trace} in {lines:?}"));
+    let doc = parse(line).expect("slow-log line is valid JSON");
+    assert_eq!(
+        doc.get("trace").and_then(JsonValue::as_str),
+        Some(sent_trace)
+    );
+    assert_eq!(
+        doc.get("endpoint").and_then(JsonValue::as_str),
+        Some("/analyze")
+    );
+    let elapsed = doc
+        .get("elapsed_us")
+        .and_then(JsonValue::as_f64)
+        .expect("elapsed_us");
+    let spans = match doc.get("spans") {
+        Some(JsonValue::Array(spans)) => spans,
+        other => panic!("spans must be an array, got {other:?}"),
+    };
+    assert!(!spans.is_empty(), "an /analyze request records phases");
+    let field = |span: &JsonValue, name: &str| span.get(name).and_then(JsonValue::as_f64);
+    // Node 0 is the root (endpoint) span: no parent, duration within the
+    // request's elapsed time.
+    let root = &spans[0];
+    assert!(
+        root.get("parent")
+            .is_none_or(|p| matches!(p, JsonValue::Null)),
+        "span 0 must be the root"
+    );
+    let root_dur = field(root, "dur_us").expect("root dur_us");
+    assert!(root_dur <= elapsed, "root span cannot outlast the request");
+    // Children of the root: each inside the root's window, durations
+    // summing to no more than the root's (phases don't overlap on one
+    // thread).
+    let mut child_sum = 0.0;
+    for span in &spans[1..] {
+        let start = field(span, "start_us").expect("start_us");
+        let dur = field(span, "dur_us").expect("dur_us");
+        assert!(start + dur <= elapsed + 1.0, "span escapes the request");
+        if span.get("parent").and_then(JsonValue::as_f64) == Some(0.0) {
+            child_sum += dur;
+        }
+    }
+    assert!(
+        child_sum <= root_dur,
+        "child span durations ({child_sum}) must sum to <= root ({root_dur})"
+    );
+    server.shutdown();
+    let _ = std::fs::remove_file(&log_path);
+}

@@ -265,9 +265,12 @@ impl EngineCore {
     }
 
     fn laplacian(&self, g: &CompGraph, kind: LaplacianKind) -> &CsrMatrix {
-        self.laplacians[kind.slot()].get_or_init(|| match kind {
-            LaplacianKind::Normalized => normalized_laplacian(g),
-            LaplacianKind::Unnormalized => unnormalized_laplacian(g),
+        self.laplacians[kind.slot()].get_or_init(|| {
+            let _span = graphio_obs::span!("laplacian");
+            match kind {
+                LaplacianKind::Normalized => normalized_laplacian(g),
+                LaplacianKind::Unnormalized => unnormalized_laplacian(g),
+            }
         })
     }
 
@@ -295,6 +298,7 @@ impl EngineCore {
             return Ok(Arc::clone(hit));
         }
         self.spectrum_misses.fetch_add(1, Ordering::Relaxed);
+        let _span = graphio_obs::span!("eigensolve");
         let eigs = Arc::new(crate::bound::smallest_eigenvalues(
             self.laplacian(g, kind),
             opts,
@@ -372,6 +376,7 @@ impl EngineCore {
             return hit.clone();
         }
         self.mincut_misses.fetch_add(1, Ordering::Relaxed);
+        let _span = graphio_obs::span!("mincut");
         // Memory 0 keeps the cached result M-independent; bounds for a
         // concrete M are derived in `min_cut_bound`.
         let result = convex_min_cut_bound(g, 0, opts);

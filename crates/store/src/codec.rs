@@ -492,6 +492,7 @@ pub struct StoredSession {
 /// session state always encodes to the same bytes (the store's
 /// skip-if-unchanged write-through relies on this).
 pub fn encode_session(graph: &CompGraph, export: &SessionExport) -> Vec<u8> {
+    let _span = graphio_obs::span!("codec_encode");
     let mut w = Writer::new();
     w.put_u8(SESSION_VERSION);
     put_graph(&mut w, graph);
@@ -516,6 +517,7 @@ pub fn encode_session(graph: &CompGraph, export: &SessionExport) -> Vec<u8> {
 /// [`CodecError`] on truncation, unknown versions/tags, or graphs that
 /// fail re-validation.
 pub fn decode_session(bytes: &[u8]) -> Result<StoredSession, CodecError> {
+    let _span = graphio_obs::span!("codec_decode");
     let mut r = Reader::new(bytes);
     let version = r.get_u8()?;
     if version != SESSION_VERSION {

@@ -504,6 +504,7 @@ impl Store {
     /// Propagates filesystem failures; a record whose re-read fails its
     /// CRC is surfaced as [`io::ErrorKind::InvalidData`].
     pub fn get(&self, fp: Fingerprint) -> io::Result<Option<Vec<u8>>> {
+        let _span = graphio_obs::span!("segment_read");
         // The file read happens *under* the store lock: a concurrent
         // budget-triggered compaction deletes old segment files, and an
         // entry cloned before the delete would dangle. Gets only run on
@@ -541,6 +542,7 @@ impl Store {
     /// # Errors
     /// Propagates filesystem failures; rejected on read-only stores.
     pub fn put(&self, fp: Fingerprint, doc: &[u8]) -> io::Result<bool> {
+        let _span = graphio_obs::span!("segment_append");
         self.require_writable()?;
         // Enforce the writer side of the recovery scanner's length
         // bound: a record the scanner would classify as corrupt must be

@@ -45,7 +45,9 @@ use graphio::pebble::{simulate, Policy};
 use graphio::router::{serve_router, RouterConfig};
 use graphio::service::analysis::{analysis_body, analyze_rows, validate_memories, AnalyzeSpec};
 use graphio::service::cache::CacheConfig;
-use graphio::service::{client, serve, PersistenceConfig, ServiceConfig};
+use graphio::service::{
+    client, loadgen, serve, PersistenceConfig, ServiceConfig, SlowLogConfig, SlowLogTarget,
+};
 use graphio::spectral::{BoundOptions, OwnedAnalyzer};
 use graphio::store::{
     canonical_edge_list, decode_session, load_session, save_session, warm_session, Store,
@@ -61,13 +63,15 @@ fn usage() -> ! {
          graphio analyze --memory-sweep <M1,M2,...> [--processors <p>] [--threads <N>] [--simd off|strict|fast] [--scale-tier auto|dense|sparse|huge] [--no-sim] [--json] < graph.json\n  \
          graphio simulate --memory <M> [--policy lru|fifo|belady|random] [--order natural|dfs|bfs] [--threads <N>] < graph.json\n  \
          graphio dot < graph.json\n  \
-         graphio serve [--host <H>] [--port <P>] [--workers <W>] [--queue <Q>] [--cache-mb <B>] [--shards <S>] [--max-sessions <K>] [--threads <N>] [--simd <POLICY>] [--scale-tier <TIER>] [--idle-ms <T>] [--max-requests <R>] [--store <DIR>] [--store-mb <B>]\n  \
-         graphio client analyze --url <http://host:port> --memory-sweep <M1,...> [--processors <p>] [--no-sim] [--keep-alive] [--repeat <N>] < graph.json\n  \
+         graphio serve [--host <H>] [--port <P>] [--workers <W>] [--queue <Q>] [--cache-mb <B>] [--shards <S>] [--max-sessions <K>] [--threads <N>] [--simd <POLICY>] [--scale-tier <TIER>] [--idle-ms <T>] [--max-requests <R>] [--store <DIR>] [--store-mb <B>] [--slow-log-us <T>] [--slow-log-file <F>]\n  \
+         graphio client analyze --url <http://host:port> --memory-sweep <M1,...> [--processors <p>] [--no-sim] [--keep-alive] [--repeat <N>] [--json] < graph.json\n  \
          graphio client batch --url <http://host:port> --memory-sweep <M1,...> [--processors <p>] [--no-sim] < graphs.ndjson\n  \
          graphio client register --url <http://host:port> < graph.json\n  \
          graphio client stats|health --url <http://host:port>\n  \
-         graphio router --backends <host:port,host:port,...> [--listen <H:P>] [--replicas <K>] [--workers <W>] [--queue <Q>] [--health-ms <T>]\n  \
+         graphio router --backends <host:port,host:port,...> [--listen <H:P>] [--replicas <K>] [--workers <W>] [--queue <Q>] [--health-ms <T>] [--slow-log-us <T>] [--slow-log-file <F>]\n  \
          graphio cluster [--backends <N>] [--listen <H:P>] [--replicas <K>] [--workers <W>]\n  \
+         graphio loadgen --url <http://host:port> [--rps <R>] [--duration <S>] [--conns <C>] [--path <P>] [--body <FILE>]\n  \
+         graphio loadgen --seed-bench [--out <FILE>]\n  \
          graphio precompute --store <DIR> [--store-mb <B>] [--threads <N>] [--jobs <J>] < graphs.ndjson\n  \
          graphio store stat|ls|compact|export --store <DIR>\n  \
          graphio store get --store <DIR> --fingerprint <HEX>\n\n\
@@ -440,6 +444,8 @@ fn cmd_serve(args: &[String]) {
             "--store-mb",
             "--simd",
             "--scale-tier",
+            "--slow-log-us",
+            "--slow-log-file",
         ],
         &[],
     );
@@ -480,6 +486,7 @@ fn cmd_serve(args: &[String]) {
             dir: dir.into(),
             store: store_config(&parsed),
         }),
+        slow_log: slow_log_config(&parsed),
     };
     if parsed.has("--store-mb") && config.store.is_none() {
         eprintln!("error: --store-mb requires --store in `graphio serve`");
@@ -510,6 +517,27 @@ fn cmd_serve(args: &[String]) {
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
     server.join();
+}
+
+/// `--slow-log-us N [--slow-log-file F]`, shared by `serve`, `router`
+/// and `cluster`: any request whose wall time reaches N microseconds
+/// dumps its phase tree as one JSON line (stderr by default; threshold 0
+/// logs every request).
+fn slow_log_config(parsed: &Parsed) -> Option<SlowLogConfig> {
+    let threshold = parsed.parse_flag::<u64>("--slow-log-us");
+    if threshold.is_none() && parsed.has("--slow-log-file") {
+        eprintln!(
+            "error: --slow-log-file requires --slow-log-us in `graphio {}`",
+            parsed.cmd
+        );
+        usage();
+    }
+    threshold.map(|threshold_us| SlowLogConfig {
+        threshold_us,
+        target: parsed
+            .flag("--slow-log-file")
+            .map_or(SlowLogTarget::Stderr, |f| SlowLogTarget::File(f.into())),
+    })
 }
 
 /// Store sizing shared by every subcommand that opens one
@@ -854,6 +882,7 @@ fn router_config(parsed: &Parsed, backends: Vec<String>) -> RouterConfig {
         health_interval: parsed
             .parse_flag::<u64>("--health-ms")
             .map_or(defaults.health_interval, std::time::Duration::from_millis),
+        slow_log: slow_log_config(parsed),
         ..defaults
     }
 }
@@ -872,6 +901,8 @@ fn cmd_router(args: &[String]) {
             "--workers",
             "--queue",
             "--health-ms",
+            "--slow-log-us",
+            "--slow-log-file",
         ],
         &[],
     );
@@ -911,7 +942,14 @@ fn cmd_cluster(args: &[String]) {
     let parsed = parse_args(
         "cluster",
         args,
-        &["--backends", "--listen", "--replicas", "--workers"],
+        &[
+            "--backends",
+            "--listen",
+            "--replicas",
+            "--workers",
+            "--slow-log-us",
+            "--slow-log-file",
+        ],
         &[],
     );
     if !parsed.positional.is_empty() {
@@ -973,6 +1011,217 @@ fn cmd_cluster(args: &[String]) {
     }
 }
 
+/// `graphio loadgen` — the open-loop load generator (see
+/// [`graphio::service::loadgen`] for the coordinated-omission argument).
+/// Prints one JSON report line. `--seed-bench` instead runs the standard
+/// benchmark matrix — single node vs. a 3-backend routed cluster, cache
+/// hit vs. cold, three request rates — against in-process servers and
+/// writes `BENCH_service.json`.
+fn cmd_loadgen(args: &[String]) {
+    let parsed = parse_args(
+        "loadgen",
+        args,
+        &[
+            "--url",
+            "--path",
+            "--rps",
+            "--duration",
+            "--conns",
+            "--body",
+            "--out",
+        ],
+        &["--seed-bench"],
+    );
+    if !parsed.positional.is_empty() {
+        usage();
+    }
+    if parsed.has("--seed-bench") {
+        run_seed_bench(parsed.flag("--out").unwrap_or("BENCH_service.json"));
+        return;
+    }
+    let url = parsed.flag("--url").unwrap_or_else(|| usage());
+    let rps: f64 = parsed.parse_flag("--rps").unwrap_or(100.0);
+    let duration =
+        std::time::Duration::from_secs_f64(parsed.parse_flag::<f64>("--duration").unwrap_or(5.0));
+    let mut config = loadgen::LoadgenConfig::at(url, rps, duration);
+    config.conns = parsed.parse_flag("--conns").unwrap_or(config.conns);
+    if let Some(path) = parsed.flag("--path") {
+        config.path = path.to_string();
+    }
+    if let Some(file) = parsed.flag("--body") {
+        let body = std::fs::read_to_string(file).unwrap_or_else(|e| {
+            eprintln!("error: cannot read --body {file}: {e}");
+            std::process::exit(1);
+        });
+        config.bodies = vec![body.trim_end().to_string()];
+    } else if config.path.starts_with("/analyze") || config.path.starts_with("/graphs") {
+        // Default body: a small FFT analysis over a modest sweep — the
+        // cache-hit steady state every repeat measures.
+        config.bodies = vec![analyze_body_json(&fft_butterfly(5), &[4, 8, 16])];
+    }
+    if config.bodies.is_empty() {
+        config.method = "GET".to_string();
+    }
+    let report = loadgen::run(&config).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+    write_stdout(&(report.to_json() + "\n"));
+}
+
+/// An `/analyze` request body for `g` over `memories`.
+fn analyze_body_json(g: &CompGraph, memories: &[usize]) -> String {
+    let sweep = memories
+        .iter()
+        .map(usize::to_string)
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        "{{\"graph\":{},\"memories\":[{sweep}]}}",
+        g.to_edge_list().to_json()
+    )
+}
+
+/// The `--seed-bench` matrix: {single node, 3-backend router} ×
+/// {cache hit, cold} × three arrival rates, 2 s each, in-process (the
+/// numbers include no network beyond loopback). "Hit" replays one
+/// pre-warmed graph; "cold" cycles a pool of distinct Erdős–Rényi graphs
+/// sized past the request count, so every request is a session miss.
+fn run_seed_bench(out: &str) {
+    const RATES: [f64; 3] = [50.0, 200.0, 800.0];
+    const DURATION: std::time::Duration = std::time::Duration::from_secs(2);
+    const CONNS: usize = 8;
+    let hit_body = analyze_body_json(&fft_butterfly(5), &[4, 8, 16]);
+    let mut cold_seed = 0u64;
+    let mut runs: Vec<String> = Vec::new();
+
+    // Workers ≥ CONNS everywhere: each keep-alive connection pins a
+    // pooled worker, so fewer workers than load-generator connections
+    // benchmarks the accept queue, not the request path.
+    let single = serve(&ServiceConfig {
+        workers: CONNS,
+        ..ServiceConfig::default()
+    })
+    .unwrap_or_else(|e| {
+        eprintln!("error: failed to start bench server: {e}");
+        std::process::exit(1);
+    });
+    bench_topology(
+        "single",
+        &single.url(),
+        &hit_body,
+        &mut cold_seed,
+        &mut runs,
+    );
+    single.shutdown();
+
+    let backends: Vec<_> = (0..3)
+        .map(|_| {
+            serve(&ServiceConfig {
+                workers: CONNS,
+                ..ServiceConfig::default()
+            })
+            .unwrap_or_else(|e| {
+                eprintln!("error: failed to start bench backend: {e}");
+                std::process::exit(1);
+            })
+        })
+        .collect();
+    let addrs = backends.iter().map(|b| b.addr().to_string()).collect();
+    let router = serve_router(&RouterConfig {
+        workers: CONNS,
+        ..RouterConfig::over(addrs)
+    })
+    .unwrap_or_else(|e| {
+        eprintln!("error: failed to start bench router: {e}");
+        std::process::exit(1);
+    });
+    bench_topology(
+        "router3",
+        &router.url(),
+        &hit_body,
+        &mut cold_seed,
+        &mut runs,
+    );
+    router.shutdown();
+    for backend in &backends {
+        backend.shutdown();
+    }
+
+    let doc = format!(
+        concat!(
+            "{{\"schema\":\"graphio-bench-service-v1\",",
+            "\"hit_graph\":\"fft_butterfly(5)\",",
+            "\"cold_graphs\":\"erdos_renyi_dag(24, 0.15, seed) per request\",",
+            "\"memories\":[4,8,16],\"duration_s\":{},\"conns\":{},",
+            "\"latency_note\":\"microseconds from scheduled (open-loop) arrival\",",
+            "\"runs\":[\n{}\n]}}\n"
+        ),
+        DURATION.as_secs(),
+        CONNS,
+        runs.join(",\n"),
+    );
+    std::fs::write(out, &doc).unwrap_or_else(|e| {
+        eprintln!("error: cannot write {out}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("seed-bench: wrote {} runs to {out}", runs.len());
+
+    fn bench_topology(
+        topology: &str,
+        url: &str,
+        hit_body: &str,
+        cold_seed: &mut u64,
+        runs: &mut Vec<String>,
+    ) {
+        // Warm the hit session (through the router this also lands it on
+        // the owner backend, so routed hits stay hits).
+        let warm = client::request("POST", url, "/analyze", Some(hit_body));
+        assert!(
+            matches!(&warm, Ok(r) if r.status == 200),
+            "seed-bench warm-up analyze failed against {url}"
+        );
+        for rate in RATES {
+            let mut config = loadgen::LoadgenConfig::at(url, rate, DURATION);
+            config.conns = CONNS;
+            config.bodies = vec![hit_body.to_string()];
+            record(topology, "hit", &config, runs);
+            // One distinct graph per scheduled arrival: all-miss load.
+            let arrivals = (rate * DURATION.as_secs_f64()).ceil() as usize + 1;
+            config.bodies = (0..arrivals)
+                .map(|_| {
+                    *cold_seed += 1;
+                    analyze_body_json(&erdos_renyi_dag(24, 0.15, *cold_seed), &[4, 8, 16])
+                })
+                .collect();
+            record(topology, "cold", &config, runs);
+        }
+    }
+
+    fn record(
+        topology: &str,
+        cache: &str,
+        config: &loadgen::LoadgenConfig,
+        runs: &mut Vec<String>,
+    ) {
+        let report = loadgen::run(config).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        });
+        assert_eq!(
+            report.errors, 0,
+            "seed-bench run {topology}/{cache} @{} rps saw errors",
+            config.rps
+        );
+        // Tag the report with the matrix coordinates (splice into the
+        // report object, which starts with '{').
+        runs.push(format!(
+            "{{\"topology\":\"{topology}\",\"cache\":\"{cache}\",{}",
+            &report.to_json()[1..]
+        ));
+    }
+}
+
 fn read_stdin_to_string() -> String {
     let mut buf = String::new();
     std::io::stdin()
@@ -993,7 +1242,7 @@ fn cmd_client(args: &[String]) {
     let (value_flags, bool_flags): (&[&str], &[&str]) = match action.as_str() {
         "analyze" => (
             &["--url", "--memory-sweep", "--processors", "--repeat"],
-            &["--no-sim", "--keep-alive"],
+            &["--no-sim", "--keep-alive", "--json"],
         ),
         "batch" => (&["--url", "--memory-sweep", "--processors"], &["--no-sim"]),
         "register" | "stats" | "health" => (&["--url"], &[]),
@@ -1016,10 +1265,19 @@ fn cmd_client(args: &[String]) {
             let no_sim = parsed.has("--no-sim");
             let repeat: u64 = parsed.parse_flag("--repeat").unwrap_or(1).max(1);
             let graph_json = read_stdin_to_string();
-            if parsed.has("--keep-alive") || repeat > 1 {
+            if parsed.has("--keep-alive") || repeat > 1 || parsed.has("--json") {
                 // One persistent connection for all rounds; responses are
-                // deterministic, so only the last is printed.
-                run_keep_alive_analyze(url, &graph_json, &memories, processors, no_sim, repeat)
+                // deterministic, so only the last is printed — or, under
+                // --json, a machine-readable round-trip summary instead.
+                run_keep_alive_analyze(
+                    url,
+                    &graph_json,
+                    &memories,
+                    processors,
+                    no_sim,
+                    repeat,
+                    parsed.has("--json"),
+                )
             } else {
                 client::analyze(url, &graph_json, &memories, processors, no_sim)
             }
@@ -1084,7 +1342,10 @@ fn cmd_client(args: &[String]) {
 /// `--keep-alive` / `--repeat N`: issue the analyze request `repeat`
 /// times over one persistent connection, verifying every round succeeds
 /// and reporting the reuse ratio on stderr (stdout stays the pristine
-/// response body for piping/diffing).
+/// response body for piping/diffing). Under `--json` the printed body is
+/// replaced by a machine-readable round-trip summary — request count,
+/// connects, client-side retries, and the latency digest (p50/p99, µs)
+/// from a client-side [`graphio::obs::Histogram`].
 fn run_keep_alive_analyze(
     url: &str,
     graph_json: &str,
@@ -1092,11 +1353,16 @@ fn run_keep_alive_analyze(
     processors: usize,
     no_sim: bool,
     repeat: u64,
+    json_summary: bool,
 ) -> Result<client::Response, client::ClientError> {
     let mut session = client::Client::new(url)?;
+    let latency = graphio::obs::Histogram::new();
     let mut last = None;
     for round in 0..repeat {
+        let started = std::time::Instant::now();
         let r = client::analyze_on(&mut session, graph_json, memories, processors, no_sim)?;
+        let us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        latency.record(us.max(1));
         if r.status != 200 {
             eprintln!(
                 "error: server returned {} on round {round}: {}",
@@ -1111,7 +1377,16 @@ fn run_keep_alive_analyze(
         "keep-alive: {repeat} requests over {} connection(s)",
         session.connects()
     );
-    Ok(last.expect("repeat >= 1"))
+    let mut last = last.expect("repeat >= 1");
+    if json_summary {
+        last.body = format!(
+            "{{\"requests\":{repeat},\"connects\":{},\"retries\":{},\"latency_us\":{}}}\n",
+            session.connects(),
+            session.retries(),
+            loadgen::latency_json(&latency.snapshot()),
+        );
+    }
+    Ok(last)
 }
 
 fn main() {
@@ -1127,6 +1402,7 @@ fn main() {
         "client" => cmd_client(rest),
         "router" => cmd_router(rest),
         "cluster" => cmd_cluster(rest),
+        "loadgen" => cmd_loadgen(rest),
         "store" => cmd_store(rest),
         "precompute" => cmd_precompute(rest),
         "dot" => {

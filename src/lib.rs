@@ -14,6 +14,7 @@
 //! | [`service`] | the HTTP analysis server: sharded session cache + worker pool, `graphio serve` / `graphio client` |
 //! | [`store`] | persistent content-addressed session store: CRC32-framed segment log + binary codec, `graphio store` / `graphio precompute`, `serve --store` |
 //! | [`router`] | the fingerprint-affine cluster tier: consistent-hash reverse proxy with scatter/gather batching and failover, `graphio router` / `graphio cluster` |
+//! | [`obs`] | observability: phase-tracing spans, lock-free log₂ latency histograms, Prometheus text exposition (`GET /metrics`), slow-request logs, `graphio loadgen` |
 //!
 //! ## Quickstart
 //!
@@ -36,6 +37,7 @@
 pub use graphio_baselines as baselines;
 pub use graphio_graph as graph;
 pub use graphio_linalg as linalg;
+pub use graphio_obs as obs;
 pub use graphio_pebble as pebble;
 pub use graphio_router as router;
 pub use graphio_service as service;
