@@ -1,0 +1,401 @@
+//! Balanced recursive bisection of a computation graph into convex
+//! components.
+//!
+//! The compose analysis mode (`spectral::compose`) bounds a huge graph by
+//! bounding each piece of a *convex partition* and stitching the pieces
+//! back together with Lemma-1 segment accounting. The partition quality
+//! determines the composed bound's tightness, but its **convexity** is
+//! what makes the composition sound: every component must be a union of
+//! contiguous segments of some topological order, so per-component
+//! segment costs inject into a refinement of that order.
+//!
+//! This driver guarantees convexity by construction: vertices are laid
+//! out in the `(longest-path depth, id)` topological order and components
+//! are *contiguous ranges* of that order (any contiguous range of a
+//! topological order is convex — positions strictly increase along
+//! directed paths, so a path between two in-range vertices cannot leave
+//! the range). Recursive bisection then picks each cut inside a balance
+//! window, preferring **depth boundaries** (positions where the
+//! longest-path depth strictly increases): a depth-boundary cut splits
+//! the vertex *set* by a depth threshold, which is relabeling-invariant,
+//! so the resulting component fingerprints are stable under vertex
+//! renumbering and can be shared across the fleet's caches. Within the
+//! admissible cut positions the driver minimizes crossing edges (the
+//! quantity the composed bound pays for).
+//!
+//! When a single depth level spans the whole balance window (very fat
+//! layers, e.g. naive matmul's product layer) there is no invariant cut;
+//! the driver falls back to the best position in the window and reports
+//! [`Decomposition::invariant`]` = false` so callers know the component
+//! fingerprints are layout-dependent for this graph.
+
+use crate::dag::{CompGraph, GraphBuilder};
+
+/// Tuning for [`decompose`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecomposeOptions {
+    /// Maximum component size: bisection stops once a range has at most
+    /// this many vertices.
+    pub target: usize,
+}
+
+impl DecomposeOptions {
+    /// The schedule used by the compose analysis mode: aim for ~64
+    /// components, but never smaller than 512 vertices (overhead
+    /// dominates) and never larger than 65 536 (keeps every component in
+    /// the certified Lanczos tier — the whole point of composing is to
+    /// avoid the estimate tier's `RitzSweep`).
+    pub fn for_graph_size(n: usize) -> Self {
+        DecomposeOptions {
+            target: n.div_ceil(64).clamp(512, 65_536),
+        }
+    }
+}
+
+/// A convex partition of a graph's vertices, produced by [`decompose`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Decomposition {
+    /// The components, each a sorted list of original vertex ids. They
+    /// are disjoint, cover every vertex, and each is convex in the graph.
+    /// Ordered by position in the underlying topological order, so
+    /// component boundaries are reproducible.
+    pub components: Vec<Vec<u32>>,
+    /// Directed edges whose endpoints land in different components.
+    pub cut_edges: usize,
+    /// True when every cut was taken at a longest-path-depth boundary, in
+    /// which case each component's vertex *set* is determined by
+    /// relabeling-invariant data and component fingerprints are stable
+    /// under vertex renumbering.
+    pub invariant: bool,
+    /// The size cap the decomposition was computed for.
+    pub target: usize,
+}
+
+impl Decomposition {
+    /// Largest component size (0 for the empty decomposition).
+    pub fn max_component(&self) -> usize {
+        self.components.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+/// Longest-path depth of every vertex from the sources (Kahn sweep).
+fn longest_path_depth(g: &CompGraph) -> Vec<u64> {
+    let n = g.n();
+    let mut depth = vec![0u64; n];
+    let mut indeg: Vec<usize> = (0..n).map(|v| g.in_degree(v)).collect();
+    let mut queue: Vec<usize> = (0..n).filter(|&v| indeg[v] == 0).collect();
+    while let Some(v) = queue.pop() {
+        for &w in g.children(v) {
+            let w = w as usize;
+            depth[w] = depth[w].max(depth[v] + 1);
+            indeg[w] -= 1;
+            if indeg[w] == 0 {
+                queue.push(w);
+            }
+        }
+    }
+    depth
+}
+
+/// Cuts `g` into convex components of at most `opts.target` vertices by
+/// balanced recursive bisection of the `(depth, id)` topological order
+/// (see the module docs for the cut-selection rules).
+pub fn decompose(g: &CompGraph, opts: &DecomposeOptions) -> Decomposition {
+    let n = g.n();
+    let target = opts.target.max(1);
+    if n == 0 {
+        return Decomposition {
+            components: Vec::new(),
+            cut_edges: 0,
+            invariant: true,
+            target,
+        };
+    }
+    let depth = longest_path_depth(g);
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_unstable_by_key(|&v| (depth[v as usize], v));
+    let mut pos = vec![0usize; n];
+    for (p, &v) in order.iter().enumerate() {
+        pos[v as usize] = p;
+    }
+
+    let mut cuts: Vec<usize> = Vec::new();
+    let mut invariant = true;
+    let mut ranges = vec![(0usize, n)];
+    let mut crossing = Vec::new();
+    while let Some((lo, hi)) = ranges.pop() {
+        let len = hi - lo;
+        if len <= target {
+            continue;
+        }
+        // crossing[p] = edges (u, v) inside the range with
+        // pos(u) < lo + p <= pos(v): the cost of cutting between
+        // positions lo+p-1 and lo+p. Edges leaving the range are cut at
+        // an outer level no matter what we pick here, so they are
+        // excluded. Built as a difference array over the range, then
+        // prefix-summed.
+        crossing.clear();
+        crossing.resize(len + 1, 0i64);
+        for p in lo..hi {
+            let u = order[p] as usize;
+            for &c in g.children(u) {
+                let pc = pos[c as usize];
+                if pc < hi {
+                    crossing[p + 1 - lo] += 1;
+                    crossing[pc + 1 - lo] -= 1;
+                }
+            }
+        }
+        for p in 1..=len {
+            crossing[p] += crossing[p - 1];
+        }
+        // Balance window: both halves keep at least a quarter of the
+        // range, so bisection depth stays logarithmic.
+        let wlo = (len / 4).max(1);
+        let whi = (3 * len / 4).min(len - 1);
+        let is_boundary =
+            |p: usize| depth[order[lo + p] as usize] != depth[order[lo + p - 1] as usize];
+        // Ties break toward the earliest position (min_by_key keeps the
+        // first minimum), so cut selection is deterministic.
+        let best_in = |boundaries_only: bool| -> Option<usize> {
+            (wlo..=whi)
+                .filter(|&p| !boundaries_only || is_boundary(p))
+                .min_by_key(|&p| crossing[p])
+        };
+        let cut_rel = match best_in(true) {
+            Some(p) => p,
+            None => {
+                // One depth level fills the window: no relabeling-
+                // invariant cut exists here.
+                invariant = false;
+                best_in(false).expect("window is non-empty for len >= 2")
+            }
+        };
+        let cut = lo + cut_rel;
+        cuts.push(cut);
+        ranges.push((lo, cut));
+        ranges.push((cut, hi));
+    }
+
+    cuts.sort_unstable();
+    let mut components = Vec::with_capacity(cuts.len() + 1);
+    let mut comp_of = vec![0u32; n];
+    let mut start = 0usize;
+    for end in cuts.into_iter().chain(std::iter::once(n)) {
+        let idx = components.len() as u32;
+        let mut verts: Vec<u32> = order[start..end].to_vec();
+        for &v in &verts {
+            comp_of[v as usize] = idx;
+        }
+        verts.sort_unstable();
+        components.push(verts);
+        start = end;
+    }
+    let cut_edges = g.edges().filter(|&(u, v)| comp_of[u] != comp_of[v]).count();
+    Decomposition {
+        components,
+        cut_edges,
+        invariant,
+        target,
+    }
+}
+
+/// The subgraph of `g` induced by `vertices` (which must be sorted and
+/// duplicate-free, as produced by [`decompose`]): local vertex `i` is
+/// `vertices[i]`, keeping its operation; every edge of `g` with both
+/// endpoints in the set is kept (parallel edges included).
+///
+/// # Panics
+/// Panics if `vertices` contains an id `>= g.n()`.
+pub fn induced_subgraph(g: &CompGraph, vertices: &[u32]) -> CompGraph {
+    let mut b = GraphBuilder::with_capacity(vertices.len(), 0);
+    for &v in vertices {
+        b.add_vertex(g.op(v as usize));
+    }
+    let local = |v: u32| vertices.binary_search(&v).ok();
+    for (lu, &u) in vertices.iter().enumerate() {
+        for &c in g.children(u as usize) {
+            if let Some(lc) = local(c) {
+                b.add_edge(lu as u32, lc as u32);
+            }
+        }
+    }
+    b.build().expect("induced subgraph of a DAG is a valid DAG")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag::EdgeListGraph;
+    use crate::fingerprint::{fingerprint, Fingerprint};
+    use crate::generators::{diamond_dag, fft_butterfly, naive_matmul};
+    use crate::ops::OpKind;
+
+    fn check_partition(g: &CompGraph, d: &Decomposition) {
+        let mut seen = vec![false; g.n()];
+        for comp in &d.components {
+            assert!(!comp.is_empty(), "no empty components");
+            assert!(
+                comp.windows(2).all(|w| w[0] < w[1]),
+                "sorted, duplicate-free"
+            );
+            assert!(comp.len() <= d.target, "component exceeds target");
+            for &v in comp {
+                assert!(
+                    !std::mem::replace(&mut seen[v as usize], true),
+                    "vertex {v} in two components"
+                );
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every vertex covered");
+    }
+
+    /// Direct convexity check (small graphs only): no directed path
+    /// leaves a component and comes back.
+    fn check_convex(g: &CompGraph, comp: &[u32]) {
+        let inside = |v: usize| comp.binary_search(&(v as u32)).is_ok();
+        for w in 0..g.n() {
+            if inside(w) {
+                continue;
+            }
+            let from_comp = g.ancestors(w).iter().any(|&u| inside(u));
+            let to_comp = g.descendants(w).iter().any(|&v| inside(v));
+            assert!(
+                !(from_comp && to_comp),
+                "vertex {w} lies on a path through the component"
+            );
+        }
+    }
+
+    #[test]
+    fn partitions_cover_and_respect_target() {
+        for (g, target) in [
+            (fft_butterfly(5), 40),
+            (diamond_dag(12, 12), 30),
+            (naive_matmul(4), 25),
+        ] {
+            let d = decompose(&g, &DecomposeOptions { target });
+            check_partition(&g, &d);
+            assert!(d.components.len() >= 2, "large graph must split");
+            let edges_inside: usize = d
+                .components
+                .iter()
+                .map(|c| induced_subgraph(&g, c).num_edges())
+                .sum();
+            assert_eq!(edges_inside + d.cut_edges, g.num_edges());
+        }
+    }
+
+    #[test]
+    fn components_are_convex() {
+        for (g, target) in [(fft_butterfly(4), 20), (diamond_dag(8, 8), 16)] {
+            let d = decompose(&g, &DecomposeOptions { target });
+            for comp in &d.components {
+                check_convex(&g, comp);
+            }
+        }
+    }
+
+    #[test]
+    fn single_component_below_target() {
+        let g = fft_butterfly(3);
+        let d = decompose(&g, &DecomposeOptions { target: g.n() });
+        assert_eq!(d.components.len(), 1);
+        assert_eq!(d.cut_edges, 0);
+        assert!(d.invariant);
+        let sub = induced_subgraph(&g, &d.components[0]);
+        assert_eq!(fingerprint(&sub), fingerprint(&g));
+    }
+
+    #[test]
+    fn empty_graph_decomposes_to_nothing() {
+        let g = GraphBuilder::new().build().unwrap();
+        let d = decompose(&g, &DecomposeOptions { target: 8 });
+        assert!(d.components.is_empty());
+        assert!(d.invariant);
+        assert_eq!(d.cut_edges, 0);
+    }
+
+    #[test]
+    fn decomposition_is_deterministic() {
+        let g = diamond_dag(10, 10);
+        let opts = DecomposeOptions { target: 24 };
+        assert_eq!(decompose(&g, &opts), decompose(&g, &opts));
+    }
+
+    fn relabel(g: &CompGraph, perm: &[u32]) -> CompGraph {
+        let mut ops = vec![OpKind::Input; g.n()];
+        for v in 0..g.n() {
+            ops[perm[v] as usize] = g.op(v);
+        }
+        let edges = g
+            .edges()
+            .map(|(u, v)| (perm[u], perm[v]))
+            .collect::<Vec<_>>();
+        CompGraph::try_from(EdgeListGraph { ops, edges }).unwrap()
+    }
+
+    #[test]
+    fn invariant_decomposition_survives_relabeling() {
+        // Layered graphs cut at depth boundaries, so the component
+        // fingerprint multiset must not move under renumbering.
+        let g = fft_butterfly(4);
+        let opts = DecomposeOptions { target: 20 };
+        let d = decompose(&g, &opts);
+        assert!(d.invariant, "butterfly layers give invariant cuts");
+        let n = g.n() as u32;
+        let perm: Vec<u32> = (0..n).map(|v| (v.wrapping_mul(37) + 11) % n).collect();
+        let mut seen = vec![false; n as usize];
+        for &p in &perm {
+            assert!(!std::mem::replace(&mut seen[p as usize], true));
+        }
+        let h = relabel(&g, &perm);
+        let dh = decompose(&h, &opts);
+        assert!(dh.invariant);
+        let fps = |g: &CompGraph, d: &Decomposition| -> Vec<Fingerprint> {
+            let mut f: Vec<Fingerprint> = d
+                .components
+                .iter()
+                .map(|c| fingerprint(&induced_subgraph(g, c)))
+                .collect();
+            f.sort_unstable();
+            f
+        };
+        assert_eq!(fps(&g, &d), fps(&h, &dh));
+        assert_eq!(d.cut_edges, dh.cut_edges);
+    }
+
+    #[test]
+    fn fat_layer_fallback_is_flagged() {
+        // naive_matmul's product layer is one giant depth level: cutting
+        // through it cannot be relabeling-invariant, and the driver must
+        // say so.
+        let g = naive_matmul(4);
+        let d = decompose(&g, &DecomposeOptions { target: 20 });
+        assert!(!d.invariant);
+        check_partition(&g, &d);
+    }
+
+    #[test]
+    fn schedule_clamps_target() {
+        assert_eq!(DecomposeOptions::for_graph_size(100).target, 512);
+        assert_eq!(DecomposeOptions::for_graph_size(1_000_000).target, 15_625);
+        assert_eq!(DecomposeOptions::for_graph_size(100_000_000).target, 65_536);
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_parallel_edges() {
+        let mut b = GraphBuilder::new();
+        let x = b.add_vertex(OpKind::Input);
+        let y = b.add_vertex(OpKind::Mul);
+        let z = b.add_vertex(OpKind::Add);
+        b.add_edge(x, y);
+        b.add_edge(x, y);
+        b.add_edge(y, z);
+        let g = b.build().unwrap();
+        let sub = induced_subgraph(&g, &[0, 1]);
+        assert_eq!(sub.n(), 2);
+        assert_eq!(sub.num_edges(), 2);
+        assert_eq!(sub.parents(1), &[0, 0]);
+    }
+}

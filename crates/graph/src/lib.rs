@@ -13,12 +13,15 @@
 //! * [`trace`] — the §6.1 "solver" frontend: operator-overloaded values
 //!   that record an ordinary Rust computation into a `CompGraph`.
 //! * [`topo`] — topological evaluation orders (deterministic and random).
+//! * [`decompose`] — balanced recursive bisection into convex components,
+//!   the partition driver of the compose analysis mode.
 //! * [`dot`] — Graphviz export.
 //! * [`json`] — the JSON edge-list interchange format used by the CLI.
 //! * [`fingerprint`] — relabeling-invariant structural hashes, the cache
 //!   key of the analysis service.
 
 pub mod dag;
+pub mod decompose;
 pub mod dot;
 pub mod fingerprint;
 pub mod generators;
@@ -28,6 +31,7 @@ pub mod topo;
 pub mod trace;
 
 pub use dag::{CompGraph, EdgeListGraph, GraphBuilder, GraphError};
+pub use decompose::{decompose, induced_subgraph, DecomposeOptions, Decomposition};
 pub use fingerprint::{fingerprint, Fingerprint};
 pub use ops::OpKind;
 pub use trace::{Tracer, Tv};

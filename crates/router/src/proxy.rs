@@ -32,6 +32,15 @@
 //!   router duplicating any wording.
 //! * `POST /batch` — split by owner, scattered, reassembled byte-exactly
 //!   (see [`crate::batch`]).
+//! * `POST /analyze` with `"mode":"compose"` and an inline graph — the
+//!   one body the router does *not* forward whole: it decomposes the
+//!   graph locally, scatters each distinct component to its ring-affine
+//!   backend as a `POST /component`, and folds the gathered spectra into
+//!   the exact compose document a single node would emit — one huge
+//!   analyze parallelizes across the fleet while every component still
+//!   lands on the backend that already caches its session.
+//!   Fingerprint-only compose bodies pass through whole (the owner holds
+//!   the session; the router cannot decompose a graph it does not have).
 //! * `POST /graphs` — keyed like an inline analyze and passed through.
 //! * Failover: connect failure or 503 ejects the backend (503 ejects for
 //!   exactly the `Retry-After` the backend asked) and the request moves
@@ -43,9 +52,10 @@ use crate::batch::{batch_body, gather, remap_blame, split, split_bodies, Group};
 use crate::ring::Ring;
 use crate::upstream::Upstream;
 use graphio_graph::json::JsonValue;
-use graphio_graph::{fingerprint, Fingerprint};
+use graphio_graph::{fingerprint, DecomposeOptions, Fingerprint};
 use graphio_service::analysis::{
-    parse_graph_doc, parse_request_json, parse_spec, validate_batch_entries,
+    component_from_doc, compose_doc, parse_graph_doc, parse_request_json, parse_spec,
+    validate_batch_entries,
 };
 use graphio_service::client::Response;
 use graphio_service::http::{
@@ -55,6 +65,7 @@ use graphio_service::http::{
 };
 use graphio_service::pool::{SubmitError, WorkerPool};
 use graphio_service::{traced_request, SlowLog, SlowLogConfig};
+use graphio_spectral::{ComponentAnalysis, ComposePlan};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -501,9 +512,24 @@ fn handle_passthrough(
         respond_error(stream, 400, keep, "body is not UTF-8");
         return;
     };
-    let fp = graphio_graph::json::parse(text)
-        .ok()
-        .and_then(|doc| route_key(&doc, is_analyze))
+    let parsed = graphio_graph::json::parse(text).ok();
+    // Compose-mode analyzes with an inline graph scatter per component
+    // instead of forwarding whole. Any other `"mode"` value (including
+    // malformed ones) falls through so the backend produces the
+    // single-node validation bytes.
+    if is_analyze {
+        if let Some(doc) = parsed.as_ref() {
+            if doc.get("mode").and_then(JsonValue::as_str) == Some("compose")
+                && doc.get("graph").is_some()
+            {
+                handle_compose(stream, doc, state, keep);
+                return;
+            }
+        }
+    }
+    let fp = parsed
+        .as_ref()
+        .and_then(|doc| route_key(doc, is_analyze))
         .unwrap_or_else(|| fallback_fp(&request.body));
     let trace = graphio_obs::current_trace_id();
     match state.forward_with_failover(fp, "POST", &request.path, Some(text), trace) {
@@ -528,6 +554,155 @@ fn handle_passthrough(
             );
         }
     }
+}
+
+/// Fetches one component sub-analysis from the component fingerprint's
+/// ring-affine backend (with failover). Returns the parsed analysis and
+/// the backend index that answered.
+fn fetch_component(
+    state: &RouterState,
+    fp: Fingerprint,
+    body: &str,
+    trace: Option<u128>,
+) -> Result<(ComponentAnalysis, usize), (u16, String)> {
+    let (response, backend) =
+        state.forward_with_failover(fp, "POST", "/component", Some(body), trace)?;
+    if response.status != 200 {
+        let msg = graphio_graph::json::parse(&response.body)
+            .ok()
+            .and_then(|d| {
+                d.get("error")
+                    .and_then(JsonValue::as_str)
+                    .map(str::to_string)
+            })
+            .unwrap_or_else(|| response.body.trim_end().to_string());
+        return Err((response.status, format!("component {}: {msg}", fp.to_hex())));
+    }
+    let doc = graphio_graph::json::parse(&response.body).map_err(|e| {
+        (
+            502,
+            format!("component {}: invalid response JSON: {e}", fp.to_hex()),
+        )
+    })?;
+    let part =
+        component_from_doc(&doc).map_err(|m| (502, format!("component {}: {m}", fp.to_hex())))?;
+    // WL fingerprints are deterministic, so a mismatch means the backend
+    // analyzed a different graph than the router sent — never fold a
+    // stranger's spectra into the composed bound.
+    if part.fingerprint != fp {
+        return Err((
+            502,
+            format!(
+                "component fingerprint mismatch: sent {}, got {}",
+                fp.to_hex(),
+                part.fingerprint.to_hex()
+            ),
+        ));
+    }
+    Ok((part, backend))
+}
+
+/// `POST /analyze` with `"mode":"compose"` and an inline graph: decompose
+/// locally, scatter one `POST /component` per *distinct* component
+/// fingerprint (isomorphic components are fetched once, exactly as a
+/// single node eigensolves them once), gather, and fold with the shared
+/// [`compose_doc`] — the same floats in the same order as a single node,
+/// so the composed body is byte-identical however it was sharded. The
+/// cache-data simulation upper bound needs the whole graph, so it runs
+/// on the router inside [`compose_doc`].
+fn handle_compose(stream: &mut TcpStream, doc: &JsonValue, state: &Arc<RouterState>, keep: bool) {
+    // Same validation order as a single node: spec errors before graph
+    // errors, with the single-node wording (shared `parse_spec`) — this
+    // is where compose + processors>1 is rejected.
+    let (spec, warnings) = match parse_spec(doc) {
+        Ok(v) => v,
+        Err((status, msg)) => {
+            state.errors.fetch_add(1, Ordering::Relaxed);
+            respond_error(stream, status, keep, &msg);
+            return;
+        }
+    };
+    let graph = match parse_graph_doc(doc) {
+        Ok(g) => g,
+        Err(msg) => {
+            state.errors.fetch_add(1, Ordering::Relaxed);
+            respond_error(stream, 400, keep, &msg);
+            return;
+        }
+    };
+    let whole_fp = fingerprint(&graph);
+    let plan = ComposePlan::build(&graph, &DecomposeOptions::for_graph_size(graph.n()));
+    let record = plan.record();
+    // Distinct fingerprints in first-appearance order, each with its
+    // component-graph request body.
+    let mut distinct: Vec<(Fingerprint, String)> = Vec::new();
+    for (fp, an) in plan.fingerprints.iter().zip(&plan.analyzers) {
+        if !distinct.iter().any(|(f, _)| f == fp) {
+            let body = format!("{{\"graph\":{}}}", an.graph().to_edge_list().to_json());
+            distinct.push((*fp, body));
+        }
+    }
+    let trace = graphio_obs::current_trace_id();
+    let gather_started = Instant::now();
+    let outcomes: Vec<Result<(ComponentAnalysis, usize), (u16, String)>> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = distinct
+                .iter()
+                .map(|(fp, body)| {
+                    let fp = *fp;
+                    scope.spawn(move || fetch_component(state, fp, body, trace))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("compose scatter thread"))
+                .collect()
+        });
+    let mut by_fp: std::collections::HashMap<Fingerprint, ComponentAnalysis> =
+        std::collections::HashMap::new();
+    let mut engaged: Vec<usize> = Vec::new();
+    for ((fp, _), outcome) in distinct.iter().zip(outcomes) {
+        match outcome {
+            Ok((part, backend)) => {
+                if !engaged.contains(&backend) {
+                    engaged.push(backend);
+                }
+                by_fp.insert(*fp, part);
+            }
+            Err((status, msg)) => {
+                state.errors.fetch_add(1, Ordering::Relaxed);
+                let extra: &[(&str, String)] = if status == 503 {
+                    &[("Retry-After", "1".to_string())][..]
+                } else {
+                    &[]
+                };
+                respond_error_with(stream, status, keep, extra, &msg);
+                return;
+            }
+        }
+    }
+    let parts: Vec<ComponentAnalysis> = plan
+        .fingerprints
+        .iter()
+        .map(|fp| by_fp[fp].clone())
+        .collect();
+    let mut body = compose_doc(&graph, &spec, &record, &parts).to_string();
+    body.push('\n');
+    state.analyze_ok.fetch_add(1, Ordering::Relaxed);
+    let mut extra = vec![
+        ("X-Graphio-Fingerprint", whole_fp.to_hex()),
+        ("X-Graphio-Compose", record.components.len().to_string()),
+        ("X-Graphio-Compose-Backends", engaged.len().to_string()),
+    ];
+    if !warnings.is_empty() {
+        extra.push(("X-Graphio-Warnings", warnings.join("; ")));
+    }
+    if let Some(trace) = trace {
+        extra.push(("X-Graphio-Trace", graphio_obs::trace_hex(trace)));
+    }
+    let gather_us = u64::try_from(gather_started.elapsed().as_micros()).unwrap_or(u64::MAX);
+    extra.push(("X-Graphio-Elapsed-Us", gather_us.max(1).to_string()));
+    let _ = write_response(stream, 200, "OK", keep, &extra, body.as_bytes());
 }
 
 /// What one scattered group came back with.

@@ -18,8 +18,9 @@
 //!
 //! | Route | Body | Response |
 //! |---|---|---|
-//! | `POST /analyze` | `{"graph": {...} \| "fingerprint": "hex", "memories": [..], "processors"?, "no_sim"?}` | the canonical analysis document ([`crate::analysis`]) |
-//! | `POST /batch` | `{"graphs": [graph \| "hex", ...], "memories": [..], "processors"?, "no_sim"?}` | the concatenation of the per-graph `/analyze` bodies |
+//! | `POST /analyze` | `{"graph": {...} \| "fingerprint": "hex", "memories": [..], "processors"?, "no_sim"?, "mode"?}` | the canonical analysis document ([`crate::analysis`]); `"mode":"compose"` selects partition-and-compose |
+//! | `POST /batch` | `{"graphs": [graph \| "hex", ...], "memories": [..], "processors"?, "no_sim"?, "mode"?}` | the concatenation of the per-graph `/analyze` bodies |
+//! | `POST /component` | `{"graph": {...} \| "fingerprint": "hex"}` | one compose component's spectra/min-cut, floats as bit-pattern hex |
 //! | `POST /graphs` | `{"graph": {...}}` or a bare edge-list document | `{"fingerprint", "n", "edges", "cached"}` |
 //! | `GET /healthz` | — | `{"status":"ok", ...}` |
 //! | `GET /stats` | — | connection/request/cache/pool/engine counters |
@@ -69,7 +70,8 @@
 //! numbering fidelity for amortization, deliberately.
 
 use crate::analysis::{
-    analysis_body, parse_graph_doc, parse_request_json, parse_spec, AnalyzeSpec,
+    analysis_body, analyze_component_cached, component_doc, compose_plan_for, parse_graph_doc,
+    parse_request_json, parse_spec, AnalyzeSpec,
 };
 use crate::cache::{CacheConfig, SessionCache};
 use crate::http::{
@@ -511,6 +513,7 @@ pub fn endpoint_label(path: &str) -> &'static str {
     match path {
         "/analyze" => "/analyze",
         "/batch" => "/batch",
+        "/component" => "/component",
         "/graphs" => "/graphs",
         "/healthz" => "/healthz",
         "/stats" => "/stats",
@@ -604,6 +607,7 @@ fn route(
         ("GET", "/metrics") => handle_metrics(stream, state, keep),
         ("POST", "/graphs") => handle_graphs(stream, request, state, keep),
         ("POST", "/analyze") => handle_analyze(stream, request, state, keep),
+        ("POST", "/component") => handle_component(stream, request, state, keep),
         ("POST", "/batch") => handle_batch(stream, request, state, pool, keep),
         ("GET" | "POST", _) => {
             state.errors.fetch_add(1, Ordering::Relaxed);
@@ -959,7 +963,10 @@ fn write_through(state: &Arc<ServiceState>, fp: Fingerprint, analyzer: &OwnedAna
         return;
     };
     let s = analyzer.stats();
-    let mark = s.spectrum_misses + s.mincut_misses;
+    // compose_plans counts built (not imported/replayed) plans, so a cold
+    // compose moves the mark — and with it the save — even when every
+    // component spectrum was already warm.
+    let mark = s.spectrum_misses + s.mincut_misses + s.compose_plans;
     {
         let marks = state.persist_marks.lock().expect("persist marks lock");
         // The mark alone is not enough: the store's byte budget may have
@@ -982,6 +989,64 @@ fn write_through(state: &Arc<ServiceState>, fp: Fingerprint, analyzer: &OwnedAna
             marks.insert(fp.0, mark);
         }
         Err(e) => eprintln!("graphio-store: write-through for {fp} failed: {e}"),
+    }
+}
+
+/// The compose-mode response body, with cluster-grade component
+/// resolution: every component is its own cacheable sub-analysis, so
+/// each resolves through the ordinary session tiers — RAM session cache,
+/// then persistent store, then the plan's fresh sub-session (back-filled
+/// into the RAM cache under the component's fingerprint). A component
+/// analyzed before — standalone, inside another graph, or before a
+/// restart — is therefore served with **zero** eigensolves, and every
+/// resolved session writes through to the store under its own
+/// fingerprint, exactly as a standalone analysis of the subgraph would.
+fn compose_body_served(
+    state: &Arc<ServiceState>,
+    analyzer: &OwnedAnalyzer,
+    spec: &AnalyzeSpec,
+) -> String {
+    let plan = compose_plan_for(analyzer);
+    let mut resolved: std::collections::HashMap<u128, Arc<OwnedAnalyzer>> =
+        std::collections::HashMap::new();
+    let parts: Vec<_> = plan
+        .fingerprints
+        .iter()
+        .zip(&plan.analyzers)
+        .map(|(&fp, plan_an)| {
+            let session = resolved.entry(fp.0).or_insert_with(|| {
+                state
+                    .cache
+                    .get(fp)
+                    .or_else(|| session_from_store(state, fp))
+                    .unwrap_or_else(|| state.cache.insert_arc_if_absent(fp, Arc::clone(plan_an)).0)
+            });
+            crate::analysis::analyze_component_cached(fp, session)
+        })
+        .collect();
+    for (&fp, an) in &resolved {
+        write_through(state, Fingerprint(fp), an);
+    }
+    let mut body =
+        crate::analysis::compose_doc(analyzer.graph(), spec, &plan.record(), &parts).to_string();
+    body.push('\n');
+    body
+}
+
+/// Dispatches between the monolithic and compose-mode response bodies.
+/// Compose goes through [`compose_body_served`] so component sessions
+/// resolve against the server's cache tiers; for byte-identical inputs
+/// the result matches the offline `graphio analyze --compose --json`
+/// bytes (the store round-trips floats by bit pattern).
+fn response_body(
+    state: &Arc<ServiceState>,
+    analyzer: &OwnedAnalyzer,
+    spec: &AnalyzeSpec,
+) -> String {
+    if spec.compose {
+        compose_body_served(state, analyzer, spec)
+    } else {
+        analysis_body(analyzer, spec)
     }
 }
 
@@ -1087,10 +1152,11 @@ fn handle_analyze(
             return;
         }
     };
-    let body = analysis_body(&analyzer, &spec);
+    let body = response_body(state, &analyzer, &spec);
     // The analysis may have grown the session (fresh spectra/min-cut
-    // sweeps): persist the growth, then re-check the shard's byte budget
-    // now that it is visible.
+    // sweeps, a compose plan — whose component sessions already wrote
+    // through under their own fingerprints): persist the growth, then
+    // re-check the shard's byte budget now that it is visible.
     write_through(state, fp, &analyzer);
     state.cache.enforce_budget(fp);
     state.analyze_ok.fetch_add(1, Ordering::Relaxed);
@@ -1103,6 +1169,50 @@ fn handle_analyze(
     }
     push_obs_headers(&mut extra);
     let _ = write_response(stream, 200, "OK", keep, &extra, body.as_bytes());
+}
+
+/// `POST /component`: one component sub-analysis of a compose-mode
+/// request, as the cluster router scatters them. Body: `{"graph": {...}}`
+/// or `{"fingerprint": "hex"}` — the graph *is* the component. The
+/// response carries both spectra (as IEEE-754 bit-pattern hex, so the
+/// router's composed document folds bit-identical floats), the min-cut,
+/// and the size-scheduled solver name. Sessions resolve through the same
+/// RAM → store → fresh tiers as `/analyze`, and write through, so a
+/// component analyzed here is warm for every later compose or standalone
+/// request that hashes to this backend.
+fn handle_component(
+    stream: &mut TcpStream,
+    request: &Request,
+    state: &Arc<ServiceState>,
+    keep: bool,
+) {
+    let parsed = parse_body(request).map_err(|m| (400, m)).and_then(|doc| {
+        if doc.get("graph").is_some() {
+            let graph = parse_graph_doc(&doc).map_err(|m| (400, m))?;
+            Ok(session_for_graph(state, graph))
+        } else if let Some(hex) = doc.get("fingerprint").and_then(JsonValue::as_str) {
+            lookup_session(hex, state)
+        } else {
+            Err((400, "need \"graph\" or \"fingerprint\"".to_string()))
+        }
+    });
+    let (analyzer, fp, source) = match parsed {
+        Ok(resolved) => resolved,
+        Err((status, msg)) => {
+            state.errors.fetch_add(1, Ordering::Relaxed);
+            respond_error(stream, status, keep, &msg);
+            return;
+        }
+    };
+    let part = analyze_component_cached(fp, &analyzer);
+    write_through(state, fp, &analyzer);
+    state.cache.enforce_budget(fp);
+    state.analyze_ok.fetch_add(1, Ordering::Relaxed);
+    let extra = vec![
+        ("X-Graphio-Fingerprint", fp.to_hex()),
+        ("X-Graphio-Session", source.header().to_string()),
+    ];
+    respond_json(stream, 200, keep, &extra, &component_doc(&part));
 }
 
 /// `POST /batch`: `{"graphs": [...], "memories": [...], "processors"?,
@@ -1158,7 +1268,7 @@ fn handle_batch(
     let bodies = pool.scatter(
         items,
         move |(analyzer, fp): (Arc<OwnedAnalyzer>, Fingerprint)| {
-            let body = analysis_body(&analyzer, &spec);
+            let body = response_body(&scatter_state, &analyzer, &spec);
             write_through(&scatter_state, fp, &analyzer);
             scatter_state.cache.enforce_budget(fp);
             body

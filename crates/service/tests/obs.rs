@@ -163,6 +163,7 @@ fn analysis_bodies_are_byte_identical_with_spans_on_and_off() {
         memories: vec![2, 4, 8],
         processors: 1,
         no_sim: false,
+        compose: false,
     };
     let was = graphio_obs::enabled();
     graphio_obs::set_enabled(false);

@@ -1,0 +1,434 @@
+//! Partition-and-compose spectral bounds.
+//!
+//! The monolithic Theorem 4/5 pipeline eigensolves one `n × n` Laplacian;
+//! past the huge-tier cutoff that solve degrades to the `RitzSweep`
+//! *estimate*. Compose mode instead cuts the graph into convex components
+//! (`graphio_graph::decompose`), bounds every component with its own
+//! small **certified** eigensolve, and recombines the per-component terms
+//! with Lemma-1 segment accounting. Each component is fingerprinted
+//! independently, so its sub-analysis is an ordinary cacheable session:
+//! RAM session cache, store write-through, and the router's
+//! consistent-hash ring all apply per component.
+//!
+//! ## The composition inequality
+//!
+//! Fix any partition of `V` into components `V_1 … V_c` and any segment
+//! counts `k_1 … k_c`. Let `X` be an arbitrary topological order of `G`
+//! and `X_i` its restriction to `V_i` (always a topological order of the
+//! induced subgraph `G_i`). Refine `X` by cutting immediately after the
+//! last `X`-position of every non-final balanced segment of every `X_i`:
+//! that yields at most `K* = 1 + Σ_i (k_i − 1)` contiguous segments of
+//! `X`. Every within-component read/write membership counted by the
+//! Lemma-1 cost `RSWS_i(X_i, k_i) = Σ_S (|R_S| + |W_S|)` (evaluated on
+//! `G_i`, memory 0) injects into the refinement's counts: components are
+//! disjoint, and two distinct segments of one component are separated by
+//! one of the cuts, so no membership is counted twice. Lemma 1 on the
+//! refinement then gives, for every `X`,
+//!
+//! ```text
+//! J_G(X) ≥ Σ_i RSWS_i(X_i, k_i) − 2M·K*
+//!        = Σ_i [RSWS_i(X_i, k_i) − 2M(k_i − 1)] − 2M .
+//! ```
+//!
+//! Each `RSWS_i` relaxes through the standard chain (Theorem 2 edge
+//! pricing, then the §4.2 trace form, then the spectral relaxation on the
+//! *component-intrinsic* Laplacian — dropping cross-component edges only
+//! loosens it) and is also trivially `≥ 0`, so with
+//!
+//! ```text
+//! g_i(M) = max_{k ≤ h_i} [ max(0, ⌊n_i/k⌋ · Σ_{l≤k} λ_l(L̃_i) · scale)
+//!                          − 2M(k − 1) ]
+//! ```
+//!
+//! (`scale = 1` for Theorem 4's normalized `L̃_i`, `1/max d_out(G_i)` for
+//! Theorem 5's unnormalized `L_i`), the composed bound
+//!
+//! ```text
+//! J*_G ≥ max(0, Σ_i g_i(M) − 2M)
+//! ```
+//!
+//! is a proven lower bound for **any** vertex partition — convexity is
+//! not needed for validity, only for tightness (convex components keep
+//! their internal structure; `k = 1` has zero penalty, so `g_i ≥ 0` and a
+//! useless component never hurts). Note the composed and monolithic
+//! bounds are incomparable in general: on disconnected graphs composing
+//! can be strictly *tighter* (the monolithic balanced partition is forced
+//! to mix components), while cross-component edges pull it below the
+//! monolithic value on connected graphs. Property tests
+//! (`tests/compose_soundness.rs`) check validity against simulated upper
+//! bounds and against `rs_ws_partition_cost` on concrete orders.
+//!
+//! The wavefront min-cut baseline composes by `max`: for `v ∈ V_i`, at
+//! the instant an execution of `G` finishes `v`, the evaluated subset of
+//! `V_i` is down-closed in `G_i`, contains `Anc_{G_i}(v) ∪ {v}` and no
+//! `G_i`-descendant of `v`, so its `G_i`-wavefront values are all live in
+//! the *real* machine: `J_G(X) ≥ 2·max(0, C_{G_i}(v) − M)`. Hence
+//! `max_cut(G) ≥ max_i max_cut(G_i)` may be used as a composed baseline.
+//!
+//! Theorem 6 (the `p`-processor variant) is **not** composed: its proof
+//! pigeonholes segments across processors on the whole order, which does
+//! not distribute over per-component segmentations. Compose mode rejects
+//! `processors > 1`.
+
+use crate::bound::BoundOptions;
+use crate::engine::{LaplacianKind, MethodKey, OwnedAnalyzer, SpectrumKey};
+use graphio_baselines::convex_mincut::ConvexMinCutOptions;
+use graphio_graph::{
+    decompose, fingerprint, induced_subgraph, CompGraph, DecomposeOptions, Decomposition,
+    Fingerprint,
+};
+use graphio_linalg::LinalgError;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A cached decomposition with one sub-analysis session per component.
+///
+/// Components with equal fingerprints (isomorphic subgraphs) share one
+/// session, so repeated structure inside a graph is eigensolved once.
+/// Built by [`OwnedAnalyzer::compose_plan`] and cached on the engine.
+#[derive(Debug)]
+pub struct ComposePlan {
+    /// The convex partition this plan analyzes.
+    pub decomposition: Decomposition,
+    /// Relabeling-invariant fingerprint of each component's subgraph,
+    /// parallel to `decomposition.components`.
+    pub fingerprints: Vec<Fingerprint>,
+    /// Per-component analysis session, parallel to the components;
+    /// fingerprint-equal components share one `Arc`.
+    pub analyzers: Vec<Arc<OwnedAnalyzer>>,
+}
+
+impl ComposePlan {
+    /// Decomposes `g` and opens a sub-session per component.
+    pub fn build(g: &CompGraph, opts: &DecomposeOptions) -> ComposePlan {
+        let d = {
+            let _span = graphio_obs::span!("decompose");
+            decompose(g, opts)
+        };
+        Self::from_parts(g, d, None)
+    }
+
+    /// Rebuilds a plan from a persisted decomposition record, trusting
+    /// its fingerprints instead of recomputing them.
+    pub fn from_record(g: &CompGraph, record: &DecompositionRecord) -> ComposePlan {
+        let d = Decomposition {
+            components: record.components.iter().map(|(_, v)| v.clone()).collect(),
+            cut_edges: record.cut_edges as usize,
+            invariant: record.invariant,
+            target: record.target,
+        };
+        let fps: Vec<Fingerprint> = record.components.iter().map(|&(fp, _)| fp).collect();
+        Self::from_parts(g, d, Some(fps))
+    }
+
+    fn from_parts(
+        g: &CompGraph,
+        decomposition: Decomposition,
+        known_fps: Option<Vec<Fingerprint>>,
+    ) -> ComposePlan {
+        let mut fingerprints = Vec::with_capacity(decomposition.components.len());
+        let mut analyzers = Vec::with_capacity(decomposition.components.len());
+        let mut shared: HashMap<Fingerprint, Arc<OwnedAnalyzer>> = HashMap::new();
+        for (i, verts) in decomposition.components.iter().enumerate() {
+            let sub = induced_subgraph(g, verts);
+            let fp = match &known_fps {
+                Some(fps) => fps[i],
+                None => fingerprint(&sub),
+            };
+            let analyzer = Arc::clone(
+                shared
+                    .entry(fp)
+                    .or_insert_with(|| Arc::new(OwnedAnalyzer::from_graph(sub))),
+            );
+            fingerprints.push(fp);
+            analyzers.push(analyzer);
+        }
+        ComposePlan {
+            decomposition,
+            fingerprints,
+            analyzers,
+        }
+    }
+
+    /// The persisted form of this plan (fingerprints + vertex sets).
+    pub fn record(&self) -> DecompositionRecord {
+        DecompositionRecord {
+            target: self.decomposition.target,
+            cut_edges: self.decomposition.cut_edges as u64,
+            invariant: self.decomposition.invariant,
+            components: self
+                .fingerprints
+                .iter()
+                .zip(&self.decomposition.components)
+                .map(|(&fp, verts)| (fp, verts.clone()))
+                .collect(),
+        }
+    }
+
+    /// Approximate heap bytes: component sessions plus the vertex lists.
+    pub fn approx_bytes(&self) -> usize {
+        let mut shared: HashMap<Fingerprint, usize> = HashMap::new();
+        for (fp, an) in self.fingerprints.iter().zip(&self.analyzers) {
+            shared.entry(*fp).or_insert_with(|| an.approx_bytes());
+        }
+        shared.values().sum::<usize>()
+            + self
+                .decomposition
+                .components
+                .iter()
+                .map(|c| c.len() * std::mem::size_of::<u32>())
+                .sum::<usize>()
+    }
+}
+
+/// The serializable form of a [`ComposePlan`]'s decomposition — what the
+/// session codec persists so a restarted process skips both the
+/// decomposition pass and the per-component fingerprinting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecompositionRecord {
+    /// The size cap the decomposition was computed for.
+    pub target: usize,
+    /// Directed edges crossing component boundaries.
+    pub cut_edges: u64,
+    /// Whether every cut was relabeling-invariant.
+    pub invariant: bool,
+    /// Per component: fingerprint plus sorted original vertex ids.
+    pub components: Vec<(Fingerprint, Vec<u32>)>,
+}
+
+/// Everything the compose arithmetic needs from one component. The
+/// service computes these locally; the router receives them bit-exactly
+/// from scattered backends — either way [`composed_bound`] folds the same
+/// floats in the same order, keeping composed analyses byte-identical
+/// however they were sharded.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComponentAnalysis {
+    /// Relabeling-invariant fingerprint of the component subgraph.
+    pub fingerprint: Fingerprint,
+    /// Component vertex count `n_i`.
+    pub n: usize,
+    /// Component (within-component) edge count.
+    pub edges: usize,
+    /// `max d_out` within the component (Theorem 5's scale).
+    pub max_out_degree: usize,
+    /// Smallest eigenvalues of the component's normalized `L̃_i`.
+    pub normalized: Vec<f64>,
+    /// Smallest eigenvalues of the component's unnormalized `L_i`.
+    pub unnormalized: Vec<f64>,
+    /// The component's wavefront min-cut `max_v C(v)`.
+    pub max_cut: u64,
+    /// The eigensolver the spectra came from (estimate-tier honesty:
+    /// `RitzSweep` here makes the composed bound an estimate too).
+    pub method: MethodKey,
+}
+
+/// Runs (or replays from cache) one component's sub-analysis: both
+/// spectra and the min-cut sweep, under the exact options a standalone
+/// analysis of the same subgraph would use — so the session's cache keys,
+/// store record and fingerprint are interchangeable with a standalone
+/// `POST /graphs` + `/analyze` of the component.
+///
+/// # Errors
+/// Propagates eigensolver failures ([`LinalgError`]).
+pub fn analyze_component(
+    fp: Fingerprint,
+    an: &OwnedAnalyzer,
+) -> Result<ComponentAnalysis, LinalgError> {
+    let _span = graphio_obs::span!("component");
+    let g = an.graph();
+    let n = g.n();
+    let opts = BoundOptions::for_graph_size(n);
+    let normalized = an.spectrum(LaplacianKind::Normalized, &opts)?;
+    let unnormalized = an.spectrum(LaplacianKind::Unnormalized, &opts)?;
+    let mc = an.min_cut(&ConvexMinCutOptions::for_graph_size(n));
+    Ok(ComponentAnalysis {
+        fingerprint: fp,
+        n,
+        edges: g.num_edges(),
+        max_out_degree: g.max_out_degree(),
+        normalized: normalized.to_vec(),
+        unnormalized: unnormalized.to_vec(),
+        max_cut: mc.max_cut,
+        method: SpectrumKey::for_options(LaplacianKind::Normalized, &opts, n).method,
+    })
+}
+
+/// One composed Theorem 4/5 bound.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComposedBound {
+    /// The certified lower bound `max(0, raw)`.
+    pub bound: f64,
+    /// `Σ_i g_i(M) − 2M` before clamping.
+    pub raw: f64,
+    /// Total refined segment count `K* = 1 + Σ_i (k_i − 1)`.
+    pub segments: usize,
+    /// The per-component `k_i` attaining each `g_i(M)`.
+    pub component_k: Vec<usize>,
+}
+
+/// The per-component term `g_i(M)` (see the module docs) and its
+/// maximizing `k`. Always `≥ 0`: `k = 1` carries no memory penalty.
+pub fn component_term(eigenvalues: &[f64], n: usize, scale: f64, memory: usize) -> (f64, usize) {
+    let m = memory as f64;
+    let mut prefix = 0.0;
+    let mut best_val = 0.0f64;
+    let mut best_k = 1usize;
+    for (i, &lam) in eigenvalues.iter().enumerate() {
+        let k = i + 1;
+        prefix += lam.max(0.0);
+        let term = (scale * (n / k) as f64 * prefix).max(0.0);
+        let value = term - 2.0 * m * (k as f64 - 1.0);
+        if value > best_val {
+            best_val = value;
+            best_k = k;
+        }
+    }
+    (best_val, best_k)
+}
+
+/// The composed Theorem 4 (`kind = Normalized`) or Theorem 5
+/// (`kind = Unnormalized`, per-component `1/max d_out` scaling) bound:
+/// `max(0, Σ_i g_i(M) − 2M)`.
+pub fn composed_bound(
+    parts: &[ComponentAnalysis],
+    kind: LaplacianKind,
+    memory: usize,
+) -> ComposedBound {
+    let mut sum = 0.0;
+    let mut segments = 1usize;
+    let mut component_k = Vec::with_capacity(parts.len());
+    for p in parts {
+        let (eigs, scale) = match kind {
+            LaplacianKind::Normalized => (&p.normalized, 1.0),
+            LaplacianKind::Unnormalized => (&p.unnormalized, 1.0 / p.max_out_degree.max(1) as f64),
+        };
+        let (g_i, k_i) = component_term(eigs, p.n, scale, memory);
+        sum += g_i;
+        segments += k_i - 1;
+        component_k.push(k_i);
+    }
+    let raw = sum - 2.0 * memory as f64;
+    ComposedBound {
+        bound: raw.max(0.0),
+        raw,
+        segments,
+        component_k,
+    }
+}
+
+/// The composed wavefront min-cut: `max_i max_cut(G_i)` (valid per the
+/// module docs; the bound for memory `M` is `2·max(0, cut − M)`).
+pub fn composed_max_cut(parts: &[ComponentAnalysis]) -> u64 {
+    parts.iter().map(|p| p.max_cut).max().unwrap_or(0)
+}
+
+/// True when any component's spectrum came from the `RitzSweep` estimate
+/// tier — the composed result is then an estimate, not a certified bound.
+pub fn any_estimated(parts: &[ComponentAnalysis]) -> bool {
+    parts
+        .iter()
+        .any(|p| matches!(p.method, MethodKey::RitzSweep { .. }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bound::spectral_bound;
+    use crate::closed_form::paths::path_p;
+    use graphio_graph::generators::{fft_butterfly, path_dag};
+
+    #[test]
+    fn component_term_by_hand() {
+        // eigenvalues [0, 1, 2], n = 10, M = 1:
+        // k=1: 0 ; k=2: 5·1 − 2 = 3 ; k=3: 3·3 − 4 = 5.
+        let (g, k) = component_term(&[0.0, 1.0, 2.0], 10, 1.0, 1);
+        assert_eq!(k, 3);
+        assert!((g - 5.0).abs() < 1e-12);
+        // Huge memory: k = 1 wins with value 0 (never negative).
+        let (g0, k0) = component_term(&[0.0, 1.0, 2.0], 10, 1.0, 1000);
+        assert_eq!((g0, k0), (0.0, 1));
+        assert_eq!(component_term(&[], 5, 1.0, 2), (0.0, 1));
+    }
+
+    #[test]
+    fn composed_accounting_matches_hand_computation() {
+        // Two identical components with eigenvalues [0, 1], n = 10, M = 1:
+        // g_i = max(0, 5·1 − 2) = 3 at k = 2; composed = 3 + 3 − 2 = 4,
+        // segments = 1 + 1 + 1 = 3.
+        let part = ComponentAnalysis {
+            fingerprint: Fingerprint(1),
+            n: 10,
+            edges: 9,
+            max_out_degree: 1,
+            normalized: vec![0.0, 1.0],
+            unnormalized: vec![0.0, 1.0],
+            max_cut: 3,
+            method: MethodKey::Dense,
+        };
+        let parts = vec![part.clone(), part];
+        let b = composed_bound(&parts, LaplacianKind::Normalized, 1);
+        assert!((b.raw - 4.0).abs() < 1e-12);
+        assert_eq!(b.segments, 3);
+        assert_eq!(b.component_k, vec![2, 2]);
+        assert_eq!(composed_max_cut(&parts), 3);
+        assert!(!any_estimated(&parts));
+    }
+
+    #[test]
+    fn plan_shares_sessions_between_isomorphic_components() {
+        // A butterfly's depth-banded components repeat structure; equal
+        // fingerprints must share one session Arc.
+        let g = fft_butterfly(4);
+        let plan = ComposePlan::build(&g, &DecomposeOptions { target: 20 });
+        assert!(plan.decomposition.components.len() >= 2);
+        let mut by_fp: HashMap<Fingerprint, *const OwnedAnalyzer> = HashMap::new();
+        for (fp, an) in plan.fingerprints.iter().zip(&plan.analyzers) {
+            let ptr = Arc::as_ptr(an);
+            assert_eq!(*by_fp.entry(*fp).or_insert(ptr), ptr);
+        }
+        // Round-trip through the persisted record.
+        let rebuilt = ComposePlan::from_record(&g, &plan.record());
+        assert_eq!(rebuilt.decomposition, plan.decomposition);
+        assert_eq!(rebuilt.fingerprints, plan.fingerprints);
+    }
+
+    #[test]
+    fn chain_component_spectrum_matches_closed_form() {
+        // A directed chain's normalized Laplacian is the classic unit
+        // path Laplacian: λ_j = 2 − 2cos(πj/n) = path_p(n)/2 (Appendix
+        // A's weight-2 paths, halved). Closed forms thus serve as exact
+        // oracles for chain-shaped components.
+        let n = 24;
+        let g = path_dag(n);
+        let an = OwnedAnalyzer::from_graph(g);
+        let opts = BoundOptions {
+            h: n,
+            ..Default::default()
+        };
+        let eigs = an.spectrum(LaplacianKind::Normalized, &opts).unwrap();
+        let closed = path_p(n);
+        for (j, (got, want)) in eigs.iter().zip(closed.iter().map(|l| l / 2.0)).enumerate() {
+            assert!((got - want).abs() < 1e-8, "j={j}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn single_component_compose_is_at_least_monolithic() {
+        // With one component, composed = max_k [max(0, ⌊n/k⌋Σλ) − 2Mk]
+        // over k ≥ 1 — a superset of the monolithic k ≥ 2 search with a
+        // per-k clamp, so it can only be tighter. Both are valid bounds.
+        let g = fft_butterfly(5);
+        let m = 2usize;
+        let opts = BoundOptions::default();
+        let mono = spectral_bound(&g, m, &opts).unwrap();
+        let an = OwnedAnalyzer::from_graph(g);
+        let part = analyze_component(fingerprint(an.graph()), &an).unwrap();
+        let composed = composed_bound(&[part], LaplacianKind::Normalized, m);
+        assert!(
+            composed.bound >= mono.bound - 1e-9,
+            "composed {} < monolithic {}",
+            composed.bound,
+            mono.bound
+        );
+    }
+}

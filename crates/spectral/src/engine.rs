@@ -46,11 +46,12 @@
 //! [`parallel_spectral_bound`]: crate::bound::parallel_spectral_bound
 
 use crate::bound::{bound_from_eigenvalues, BoundOptions, EigenMethod, SpectralBound};
+use crate::compose::{ComposePlan, DecompositionRecord};
 use crate::laplacian::{normalized_laplacian, unnormalized_laplacian};
 use graphio_baselines::convex_mincut::{
     convex_min_cut_bound, ConvexMinCutOptions, ConvexMinCutResult, VertexSweep,
 };
-use graphio_graph::CompGraph;
+use graphio_graph::{CompGraph, DecomposeOptions};
 use graphio_linalg::{CsrMatrix, LinalgError};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -123,6 +124,18 @@ pub enum MethodKey {
         /// Starting-vector seed.
         seed: u64,
     },
+}
+
+impl MethodKey {
+    /// The solver's wire name (`"method"` in analyze documents):
+    /// `dense` / `lanczos` / `ritz_sweep`.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MethodKey::Dense => "dense",
+            MethodKey::Lanczos { .. } => "lanczos",
+            MethodKey::RitzSweep { .. } => "ritz_sweep",
+        }
+    }
 }
 
 impl SpectrumKey {
@@ -198,12 +211,17 @@ pub struct SessionExport {
     pub spectra: Vec<(SpectrumKey, Vec<f64>)>,
     /// Cached min-cut sweep results per sweep strategy.
     pub cuts: Vec<(CutKey, ConvexMinCutResult)>,
+    /// Cached compose-mode decompositions, sorted by target size. The
+    /// component *vertex sets and fingerprints* persist with the parent
+    /// session; each component's spectra live in that component's own
+    /// fingerprint-keyed store record.
+    pub decompositions: Vec<DecompositionRecord>,
 }
 
 impl SessionExport {
     /// True when the snapshot carries no computed artifacts.
     pub fn is_empty(&self) -> bool {
-        self.spectra.is_empty() && self.cuts.is_empty()
+        self.spectra.is_empty() && self.cuts.is_empty() && self.decompositions.is_empty()
     }
 }
 
@@ -218,6 +236,9 @@ pub struct EngineStats {
     pub mincut_misses: u64,
     /// Min-cut requests served from cache.
     pub mincut_hits: u64,
+    /// Compose plans (decomposition + component fingerprinting) actually
+    /// built; plans replayed from cache or seeded by import don't count.
+    pub compose_plans: u64,
 }
 
 /// A single-flight cache slot: the outer map hands every caller the same
@@ -245,10 +266,16 @@ struct EngineCore {
     laplacians: [OnceLock<CsrMatrix>; 2],
     spectra: SlotMap<SpectrumKey, Spectrum>,
     cuts: SlotMap<CutKey, ConvexMinCutResult>,
+    /// Compose plans keyed by decomposition target size. Nesting gives
+    /// the issue's `(component fp, kind, h)` keying: the plan maps each
+    /// component fingerprint to a sub-session whose own spectra cache is
+    /// keyed by `(kind, h, method)`.
+    compose: SlotMap<usize, Arc<ComposePlan>>,
     spectrum_hits: AtomicU64,
     spectrum_misses: AtomicU64,
     mincut_hits: AtomicU64,
     mincut_misses: AtomicU64,
+    compose_plans: AtomicU64,
 }
 
 impl EngineCore {
@@ -257,10 +284,12 @@ impl EngineCore {
             laplacians: [OnceLock::new(), OnceLock::new()],
             spectra: Mutex::new(HashMap::new()),
             cuts: Mutex::new(HashMap::new()),
+            compose: Mutex::new(HashMap::new()),
             spectrum_hits: AtomicU64::new(0),
             spectrum_misses: AtomicU64::new(0),
             mincut_hits: AtomicU64::new(0),
             mincut_misses: AtomicU64::new(0),
+            compose_plans: AtomicU64::new(0),
         }
     }
 
@@ -384,6 +413,27 @@ impl EngineCore {
         result
     }
 
+    /// The cached compose plan for `opts.target`, built on first use with
+    /// the same single-flight discipline as spectra: concurrent compose
+    /// requests for one graph share one decomposition + fingerprint pass.
+    fn compose_plan(&self, g: &CompGraph, opts: &DecomposeOptions) -> Arc<ComposePlan> {
+        let slot = Arc::clone(
+            self.compose
+                .lock()
+                .expect("compose lock")
+                .entry(opts.target)
+                .or_insert_with(Slot::new),
+        );
+        let mut value = slot.0.lock().expect("compose slot lock");
+        if let Some(hit) = value.as_ref() {
+            return Arc::clone(hit);
+        }
+        self.compose_plans.fetch_add(1, Ordering::Relaxed);
+        let plan = Arc::new(ComposePlan::build(g, opts));
+        *value = Some(Arc::clone(&plan));
+        plan
+    }
+
     fn export(&self) -> SessionExport {
         let mut spectra: Vec<(SpectrumKey, Vec<f64>)> = {
             let map = self.spectra.lock().expect("spectra lock");
@@ -410,15 +460,31 @@ impl EngineCore {
                 })
                 .collect()
         };
+        let mut decompositions: Vec<DecompositionRecord> = {
+            let map = self.compose.lock().expect("compose lock");
+            map.values()
+                .filter_map(|slot| {
+                    slot.0
+                        .try_lock()
+                        .ok()
+                        .and_then(|v| v.as_ref().map(|plan| plan.record()))
+                })
+                .collect()
+        };
         spectra.sort_by(|a, b| a.0.cmp(&b.0));
         cuts.sort_by(|a, b| a.0.cmp(&b.0));
-        SessionExport { spectra, cuts }
+        decompositions.sort_by_key(|d| d.target);
+        SessionExport {
+            spectra,
+            cuts,
+            decompositions,
+        }
     }
 
     /// Seeds empty cache slots from `snapshot`. Occupied slots win (the
     /// session already computed — or is computing — a fresher value), and
     /// no hit/miss counter moves: imports are provenance, not traffic.
-    fn import(&self, snapshot: &SessionExport) {
+    fn import(&self, g: &CompGraph, snapshot: &SessionExport) {
         for (key, eigs) in &snapshot.spectra {
             let slot = Arc::clone(
                 self.spectra
@@ -445,6 +511,19 @@ impl EngineCore {
                 *value = Some(cut.clone());
             }
         }
+        for record in &snapshot.decompositions {
+            let slot = Arc::clone(
+                self.compose
+                    .lock()
+                    .expect("compose lock")
+                    .entry(record.target)
+                    .or_insert_with(Slot::new),
+            );
+            let mut value = slot.0.lock().expect("compose slot lock");
+            if value.is_none() {
+                *value = Some(Arc::new(ComposePlan::from_record(g, record)));
+            }
+        }
     }
 
     fn stats(&self) -> EngineStats {
@@ -453,6 +532,7 @@ impl EngineCore {
             spectrum_hits: self.spectrum_hits.load(Ordering::Relaxed),
             mincut_misses: self.mincut_misses.load(Ordering::Relaxed),
             mincut_hits: self.mincut_hits.load(Ordering::Relaxed),
+            compose_plans: self.compose_plans.load(Ordering::Relaxed),
         }
     }
 
@@ -464,17 +544,31 @@ impl EngineCore {
             .filter_map(OnceLock::get)
             .map(|m| m.nnz() * (std::mem::size_of::<u32>() + std::mem::size_of::<f64>()))
             .sum();
-        let spectra = self.spectra.lock().expect("spectra lock");
-        let spec_bytes: usize = spectra
-            .values()
-            .filter_map(|slot| {
-                slot.0
-                    .try_lock()
-                    .ok()
-                    .and_then(|v| v.as_ref().map(|eigs| eigs.len() * 8 + 64))
-            })
-            .sum();
-        lap_bytes + spec_bytes
+        let spec_bytes: usize = {
+            let spectra = self.spectra.lock().expect("spectra lock");
+            spectra
+                .values()
+                .filter_map(|slot| {
+                    slot.0
+                        .try_lock()
+                        .ok()
+                        .and_then(|v| v.as_ref().map(|eigs| eigs.len() * 8 + 64))
+                })
+                .sum()
+        };
+        let compose_bytes: usize = {
+            let compose = self.compose.lock().expect("compose lock");
+            compose
+                .values()
+                .filter_map(|slot| {
+                    slot.0
+                        .try_lock()
+                        .ok()
+                        .and_then(|v| v.as_ref().map(|plan| plan.approx_bytes()))
+                })
+                .sum()
+        };
+        lap_bytes + spec_bytes + compose_bytes
     }
 }
 
@@ -724,6 +818,14 @@ impl OwnedAnalyzer {
         2 * self.min_cut(opts).max_cut.saturating_sub(memory as u64)
     }
 
+    /// The compose plan (decomposition + per-component sub-sessions) for
+    /// `opts.target`, built once per target and cached with single-flight
+    /// de-duplication. Component sub-sessions are themselves cached
+    /// engines, so repeated compose analyses re-solve nothing.
+    pub fn compose_plan(&self, opts: &DecomposeOptions) -> Arc<ComposePlan> {
+        self.core.compose_plan(&self.graph, opts)
+    }
+
     /// Snapshots every cached spectrum and min-cut result into a
     /// serializable [`SessionExport`] (sorted by key; in-flight solves are
     /// skipped). The persistence layer stores this next to the graph so a
@@ -743,7 +845,7 @@ impl OwnedAnalyzer {
     /// graph (the store keys both by the same structural fingerprint);
     /// importing another graph's spectra silently yields wrong bounds.
     pub fn import(&self, snapshot: &SessionExport) {
-        self.core.import(snapshot);
+        self.core.import(&self.graph, snapshot);
     }
 
     /// Cache-effectiveness counters for this session.

@@ -1,0 +1,214 @@
+//! Soundness of the partition-and-compose bounds (`spectral::compose`):
+//! the composed figure must stay a *proven valid lower bound*, which the
+//! composition inequality in the module docs reduces to three checkable
+//! obligations:
+//!
+//! 1. Per component, the spectral term at the chosen `k_i` is dominated
+//!    by the concrete segment cost `RSWS_i(X_i, k_i)` on ANY topological
+//!    order `X_i` (the Theorem 2 → trace → spectral relaxation chain).
+//! 2. Folding those terms with the Lemma-1 refined-segment accounting
+//!    (`K* = 1 + Σ_i (k_i − 1)`) keeps the composed bound below the
+//!    concrete-order cost `Σ_i RSWS_i − 2M·K*`.
+//! 3. The composed bound never exceeds a simulated execution's I/O (a
+//!    concrete schedule upper-bounds `J*_G`, which the composed figure
+//!    lower-bounds).
+//!
+//! Plus the corpus check the compose mode advertises: on connected
+//! structured graphs the composed bound stays below the monolithic one
+//! (not a theorem — the decomposition discards cut edges — but the
+//! empirical contract `"mode":"compose"` is sold on).
+
+use graphio_baselines::convex_mincut::ConvexMinCutOptions;
+use graphio_graph::generators::{
+    bhk_hypercube, erdos_renyi_dag, fft_butterfly, layered_random_dag, naive_matmul,
+};
+use graphio_graph::topo::{natural_order, random_order};
+use graphio_graph::{induced_subgraph, CompGraph, DecomposeOptions};
+use graphio_pebble::{simulate, Policy};
+use graphio_spectral::partition::rs_ws_partition_cost;
+use graphio_spectral::{
+    analyze_component, component_term, composed_bound, composed_max_cut, spectral_bound,
+    spectral_bound_original, BoundOptions, ComponentAnalysis, ComposePlan, LaplacianKind,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn small_random_dag() -> impl Strategy<Value = CompGraph> {
+    (0u64..500, 0usize..2).prop_map(|(seed, kind)| match kind {
+        0 => layered_random_dag(2 + (seed as usize % 4), 2 + (seed as usize % 5), 0.5, seed),
+        _ => erdos_renyi_dag(6 + (seed as usize % 24), 0.3, seed),
+    })
+}
+
+/// Builds the plan with a test-sized component target and analyzes every
+/// component (dense tier at these sizes — certified spectra).
+fn plan_and_parts(g: &CompGraph, target: usize) -> (ComposePlan, Vec<ComponentAnalysis>) {
+    let plan = ComposePlan::build(g, &DecomposeOptions { target });
+    let parts = plan
+        .fingerprints
+        .iter()
+        .zip(&plan.analyzers)
+        .map(|(&fp, an)| analyze_component(fp, an).expect("dense-tier component analysis"))
+        .collect();
+    (plan, parts)
+}
+
+/// `X_i`: the order a topological order of `G` induces on component `i`
+/// (in the component's local vertex ids — positions in the sorted
+/// original-id list). Induced orders of topological orders are
+/// topological on induced subgraphs, which `rs_ws_partition_cost`
+/// asserts.
+fn induced_order(order: &[usize], vertices: &[u32]) -> Vec<usize> {
+    let local: std::collections::HashMap<usize, usize> = vertices
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v as usize, i))
+        .collect();
+    order.iter().filter_map(|v| local.get(v).copied()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Obligations 1 and 2: on random DAGs, random topological orders,
+    /// and both Laplacian kinds, every per-component term and the full
+    /// composed fold are dominated by the concrete segment costs.
+    #[test]
+    fn composed_bound_is_dominated_by_concrete_order_segment_costs(
+        g in small_random_dag(),
+        seed in 0u64..200,
+        target in 3usize..10,
+        m in 0usize..6,
+    ) {
+        if g.n() < 2 || g.num_edges() == 0 {
+            return Ok(());
+        }
+        let (plan, parts) = plan_and_parts(&g, target);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let order = random_order(&g, &mut rng);
+        for kind in [LaplacianKind::Normalized, LaplacianKind::Unnormalized] {
+            let composed = composed_bound(&parts, kind, m);
+            prop_assert_eq!(composed.component_k.len(), parts.len());
+            let mut folded = 0.0f64;
+            for (i, part) in parts.iter().enumerate() {
+                let k_i = composed.component_k[i];
+                // Not `plan.analyzers[i].graph()`: fingerprint-equal
+                // components share the representative's session, whose
+                // vertex ids differ. The concrete cost belongs to THIS
+                // component's induced subgraph (isomorphic, so the
+                // relabeling-invariant spectral term applies to both).
+                let sub = induced_subgraph(&g, &plan.decomposition.components[i]);
+                let x_i = induced_order(&order, &plan.decomposition.components[i]);
+                let rsws = rs_ws_partition_cost(&sub, &x_i, k_i, 0);
+                let (eigs, scale) = match kind {
+                    LaplacianKind::Normalized => (&part.normalized, 1.0),
+                    LaplacianKind::Unnormalized => {
+                        (&part.unnormalized, 1.0 / part.max_out_degree.max(1) as f64)
+                    }
+                };
+                let (g_i, k_chosen) = component_term(eigs, part.n, scale, m);
+                prop_assert_eq!(k_chosen, k_i);
+                let penalty = 2.0 * m as f64 * (k_i as f64 - 1.0);
+                prop_assert!(
+                    g_i <= (rsws - penalty).max(0.0) + 1e-9 * (1.0 + rsws),
+                    "component {i} ({kind:?}): g_i {g_i} > RSWS {rsws} − 2M(k−1) {penalty}"
+                );
+                folded += rsws - penalty;
+            }
+            // Lemma-1 accounting over the refinement: K* segments price
+            // one global −2M on top of the per-component penalties.
+            let concrete = (folded - 2.0 * m as f64).max(0.0);
+            prop_assert!(
+                composed.bound <= concrete + 1e-9 * (1.0 + concrete),
+                "{kind:?}: composed {} > concrete-order cost {concrete}",
+                composed.bound
+            );
+        }
+    }
+
+    /// Obligation 3: the composed bound (either kind, and the composed
+    /// min-cut row) never exceeds the I/O of a simulated execution.
+    #[test]
+    fn composed_bound_never_exceeds_simulated_io(
+        g in small_random_dag(),
+        target in 3usize..10,
+        m in 1usize..8,
+    ) {
+        if g.n() < 2 || g.num_edges() == 0 {
+            return Ok(());
+        }
+        let (_, parts) = plan_and_parts(&g, target);
+        let order = natural_order(&g);
+        let Ok(sim) = simulate(&g, &order, m, Policy::Lru, 0) else {
+            // Memory below the graph's feasible minimum: nothing to bound.
+            return Ok(());
+        };
+        let io = sim.io() as f64;
+        for kind in [LaplacianKind::Normalized, LaplacianKind::Unnormalized] {
+            let b = composed_bound(&parts, kind, m).bound;
+            prop_assert!(b <= io + 1e-9, "{kind:?}: composed {b} > simulated {io}");
+        }
+        let mincut = 2.0 * (composed_max_cut(&parts) as f64 - m as f64).max(0.0);
+        prop_assert!(mincut <= io + 1e-9, "composed mincut {mincut} > simulated {io}");
+    }
+
+    /// The composed min-cut is a lower bound on the whole graph's: each
+    /// component's wavefront flow network is a sub-network of the whole
+    /// graph's, so `max_cut(G) ≥ max_i max_cut(G_i)` (both exact here —
+    /// `All` candidates).
+    #[test]
+    fn composed_max_cut_never_exceeds_the_whole_graph_cut(
+        g in small_random_dag(),
+        target in 3usize..10,
+    ) {
+        if g.n() < 2 {
+            return Ok(());
+        }
+        let (plan, _) = plan_and_parts(&g, target);
+        let exact = ConvexMinCutOptions::default();
+        let whole = graphio_spectral::OwnedAnalyzer::from_graph(g.clone())
+            .min_cut(&exact)
+            .max_cut;
+        for an in &plan.analyzers {
+            let sub = an.min_cut(&exact).max_cut;
+            prop_assert!(sub <= whole, "component cut {sub} > whole-graph cut {whole}");
+        }
+    }
+}
+
+/// The corpus contract behind `"mode":"compose"`: on connected structured
+/// graphs the composed Theorem 4/5 bounds stay at or below the monolithic
+/// ones (the decomposition discards cut-edge information, so composing
+/// trades tightness for cacheable, shardable sub-analyses).
+#[test]
+fn composed_stays_below_the_monolithic_bound_on_structured_graphs() {
+    let corpus: Vec<CompGraph> = vec![fft_butterfly(6), bhk_hypercube(4), naive_matmul(4)];
+    for g in corpus {
+        // Force a real multi-component split regardless of graph size.
+        let target = (g.n() / 8).max(4);
+        let (plan, parts) = plan_and_parts(&g, target);
+        assert!(
+            plan.fingerprints.len() >= 2,
+            "corpus graph too small to decompose (n = {})",
+            g.n()
+        );
+        let opts = BoundOptions::for_graph_size(g.n());
+        for m in [2usize, 8, 32] {
+            let mono4 = spectral_bound(&g, m, &opts).unwrap().bound;
+            let mono5 = spectral_bound_original(&g, m, &opts).unwrap().bound;
+            let comp4 = composed_bound(&parts, LaplacianKind::Normalized, m).bound;
+            let comp5 = composed_bound(&parts, LaplacianKind::Unnormalized, m).bound;
+            assert!(
+                comp4 <= mono4 + 1e-6 * (1.0 + mono4),
+                "n={} M={m}: composed Thm4 {comp4} > monolithic {mono4}",
+                g.n()
+            );
+            assert!(
+                comp5 <= mono5 + 1e-6 * (1.0 + mono5),
+                "n={} M={m}: composed Thm5 {comp5} > monolithic {mono5}",
+                g.n()
+            );
+        }
+    }
+}

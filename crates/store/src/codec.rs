@@ -23,6 +23,9 @@
 //!
 //! ```text
 //! session  := ver:u8  graph  nspec:u32 [spectrum]*  ncuts:u32 [cut]*
+//!             ndec:u32 [dec]*            (ndec section: ver 2 only;
+//!                                         ver 1 documents end after cuts
+//!                                         and decode as ndec = 0)
 //! graph    := n:u32 [op]*n  m:u32 [from:u32 to:u32]*m
 //! op       := tag:u8            (0..=7: Input,Add,Sub,Mul,Div,Sum,
 //!                                Butterfly,BhkUpdate)
@@ -32,6 +35,8 @@
 //!                            max_sweeps:u64 seed:u64)
 //! cut      := (0:u8 | 1:u8 count:u64 seed:u64)
 //!             bound:u64 best_vertex:u64 max_cut:u64 evaluated:u64
+//! dec      := target:u64 cut_edges:u64 invariant:u8 ncomp:u32
+//!             [fp:u128 len:u32 [v:u32]*len]*ncomp
 //! ```
 //!
 //! Floats round-trip by bit pattern, so a restored spectrum reproduces
@@ -39,12 +44,16 @@
 //! integration is built on.
 
 use graphio_baselines::convex_mincut::ConvexMinCutResult;
-use graphio_graph::{CompGraph, EdgeListGraph, OpKind};
-use graphio_spectral::{CutKey, LaplacianKind, MethodKey, SessionExport, SpectrumKey};
+use graphio_graph::{CompGraph, EdgeListGraph, Fingerprint, OpKind};
+use graphio_spectral::{
+    CutKey, DecompositionRecord, LaplacianKind, MethodKey, SessionExport, SpectrumKey,
+};
 use std::fmt;
 
-/// Version byte of the session document format.
-pub const SESSION_VERSION: u8 = 1;
+/// Version byte of the session document format. Version 2 appended the
+/// compose-mode decompositions section; version-1 documents (which end
+/// after the cuts section) still decode, with no decompositions.
+pub const SESSION_VERSION: u8 = 2;
 
 /// A malformed or unsupported encoded document.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -477,6 +486,70 @@ fn get_cut(r: &mut Reader<'_>) -> Result<(CutKey, ConvexMinCutResult), CodecErro
     Ok((key, cut))
 }
 
+fn put_decomposition(w: &mut Writer, dec: &DecompositionRecord) {
+    w.put_u64(dec.target as u64);
+    w.put_u64(dec.cut_edges);
+    w.put_u8(dec.invariant as u8);
+    w.put_u32(dec.components.len() as u32);
+    for (fp, vertices) in &dec.components {
+        w.put_u128(fp.0);
+        w.put_u32(vertices.len() as u32);
+        for &v in vertices {
+            w.put_u32(v);
+        }
+    }
+}
+
+/// Decodes one decomposition record, re-validating what [`ComposePlan`]
+/// (`graphio_spectral::ComposePlan::from_record`) assumes: every component
+/// vertex list is non-empty, strictly ascending, and in bounds for the
+/// `n`-vertex graph the document carries.
+fn get_decomposition(r: &mut Reader<'_>, n: usize) -> Result<DecompositionRecord, CodecError> {
+    let target = r.get_u64()? as usize;
+    let cut_edges = r.get_u64()?;
+    let invariant = match r.get_u8()? {
+        0 => false,
+        1 => true,
+        tag => {
+            return Err(CodecError::BadTag {
+                what: "invariant",
+                tag,
+            })
+        }
+    };
+    let ncomp = r.get_u32()? as usize;
+    let mut components = Vec::with_capacity(ncomp.min(r.remaining() / 20));
+    for _ in 0..ncomp {
+        let fp = Fingerprint(r.get_u128()?);
+        let len = r.get_u32()? as usize;
+        if len == 0 {
+            return Err(CodecError::Invalid("empty decomposition component".into()));
+        }
+        let mut vertices = Vec::with_capacity(len.min(r.remaining() / 4));
+        for _ in 0..len {
+            let v = r.get_u32()?;
+            if v as usize >= n {
+                return Err(CodecError::Invalid(format!(
+                    "component vertex {v} out of bounds for {n}-vertex graph"
+                )));
+            }
+            if vertices.last().is_some_and(|&prev| prev >= v) {
+                return Err(CodecError::Invalid(
+                    "component vertices not strictly ascending".into(),
+                ));
+            }
+            vertices.push(v);
+        }
+        components.push((fp, vertices));
+    }
+    Ok(DecompositionRecord {
+        target,
+        cut_edges,
+        invariant,
+        components,
+    })
+}
+
 /// A decoded store document: the graph plus its session snapshot.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StoredSession {
@@ -508,6 +581,10 @@ pub fn encode_session(graph: &CompGraph, export: &SessionExport) -> Vec<u8> {
     for (key, cut) in &export.cuts {
         put_cut(&mut w, key, cut);
     }
+    w.put_u32(export.decompositions.len() as u32);
+    for dec in &export.decompositions {
+        put_decomposition(&mut w, dec);
+    }
     w.into_bytes()
 }
 
@@ -520,7 +597,7 @@ pub fn decode_session(bytes: &[u8]) -> Result<StoredSession, CodecError> {
     let _span = graphio_obs::span!("codec_decode");
     let mut r = Reader::new(bytes);
     let version = r.get_u8()?;
-    if version != SESSION_VERSION {
+    if !(1..=SESSION_VERSION).contains(&version) {
         return Err(CodecError::UnsupportedVersion(version));
     }
     let graph = get_graph(&mut r)?;
@@ -540,6 +617,16 @@ pub fn decode_session(bytes: &[u8]) -> Result<StoredSession, CodecError> {
     for _ in 0..ncuts {
         cuts.push(get_cut(&mut r)?);
     }
+    // Version 1 documents end here; the decompositions section arrived
+    // with version 2.
+    let mut decompositions = Vec::new();
+    if version >= 2 {
+        let ndec = r.get_u32()? as usize;
+        decompositions.reserve(ndec.min(r.remaining() / 21));
+        for _ in 0..ndec {
+            decompositions.push(get_decomposition(&mut r, graph.n())?);
+        }
+    }
     if r.remaining() != 0 {
         return Err(CodecError::Invalid(format!(
             "{} trailing bytes after document",
@@ -548,7 +635,11 @@ pub fn decode_session(bytes: &[u8]) -> Result<StoredSession, CodecError> {
     }
     Ok(StoredSession {
         graph,
-        export: SessionExport { spectra, cuts },
+        export: SessionExport {
+            spectra,
+            cuts,
+            decompositions,
+        },
     })
 }
 
@@ -619,6 +710,15 @@ mod tests {
                     },
                 ),
             ],
+            decompositions: vec![DecompositionRecord {
+                target: 512,
+                cut_edges: 1,
+                invariant: true,
+                components: vec![
+                    (Fingerprint(0xDEAD_BEEF), vec![0, 2]),
+                    (Fingerprint(0xFEED_FACE), vec![1, 3]),
+                ],
+            }],
         }
     }
 
@@ -678,39 +778,127 @@ mod tests {
                     vertices_evaluated: 2,
                 },
             )],
+            decompositions: vec![DecompositionRecord {
+                target: 2,
+                cut_edges: 1,
+                invariant: true,
+                components: vec![(Fingerprint(0xA5), vec![0]), (Fingerprint(0x5A), vec![1])],
+            }],
         };
         let bytes = encode_session(&g, &export);
         let hex: String = bytes.iter().map(|b| format!("{b:02x}")).collect();
         assert_eq!(
             hex,
             concat!(
-                "01",               // session version
-                "02000000",         // n = 2
-                "00",               // op[0] = Input
-                "0804030201",       // op[1] = Custom(0x01020304)
-                "01000000",         // m = 1
-                "00000000",         // edge from 0
-                "01000000",         // edge to 1
-                "01000000",         // 1 spectrum
-                "00",               // kind = Normalized
-                "0200000000000000", // h = 2
-                "00",               // method = Dense
-                "02000000",         // 2 eigenvalues
-                "000000000000e03f", // 0.5
-                "000000000000f83f", // 1.5
-                "01000000",         // 1 cut
-                "00",               // CutKey::All
-                "0200000000000000", // bound = 2
-                "0100000000000000", // best_vertex = 1
-                "0100000000000000", // max_cut = 1
-                "0200000000000000", // vertices_evaluated = 2
+                "02",                               // session version
+                "02000000",                         // n = 2
+                "00",                               // op[0] = Input
+                "0804030201",                       // op[1] = Custom(0x01020304)
+                "01000000",                         // m = 1
+                "00000000",                         // edge from 0
+                "01000000",                         // edge to 1
+                "01000000",                         // 1 spectrum
+                "00",                               // kind = Normalized
+                "0200000000000000",                 // h = 2
+                "00",                               // method = Dense
+                "02000000",                         // 2 eigenvalues
+                "000000000000e03f",                 // 0.5
+                "000000000000f83f",                 // 1.5
+                "01000000",                         // 1 cut
+                "00",                               // CutKey::All
+                "0200000000000000",                 // bound = 2
+                "0100000000000000",                 // best_vertex = 1
+                "0100000000000000",                 // max_cut = 1
+                "0200000000000000",                 // vertices_evaluated = 2
+                "01000000",                         // 1 decomposition
+                "0200000000000000",                 // target = 2
+                "0100000000000000",                 // cut_edges = 1
+                "01",                               // invariant = true
+                "02000000",                         // 2 components
+                "a5000000000000000000000000000000", // fp = 0xA5
+                "01000000",                         // 1 vertex
+                "00000000",                         // vertex 0
+                "5a000000000000000000000000000000", // fp = 0x5A
+                "01000000",                         // 1 vertex
+                "01000000",                         // vertex 1
             ),
             "codec layout changed — bump SESSION_VERSION and migrate"
         );
         // The CRC of the golden bytes is part of the contract too: it is
         // what an existing store's records carry. (Value pinned from the
         // implementation validated against the standard vectors above.)
+        assert_eq!(crc32(&bytes), 0xFF6C_CEED);
+    }
+
+    /// Version-1 documents — everything an existing store holds — must
+    /// keep decoding forever. These bytes are the version-1 golden pin
+    /// verbatim (same document as above, minus the decompositions
+    /// section, under the old version byte).
+    #[test]
+    fn version_1_documents_still_decode() {
+        let hex = concat!(
+            "01",               // session version 1
+            "02000000",         // n = 2
+            "00",               // op[0] = Input
+            "0804030201",       // op[1] = Custom(0x01020304)
+            "01000000",         // m = 1
+            "00000000",         // edge from 0
+            "01000000",         // edge to 1
+            "01000000",         // 1 spectrum
+            "00",               // kind = Normalized
+            "0200000000000000", // h = 2
+            "00",               // method = Dense
+            "02000000",         // 2 eigenvalues
+            "000000000000e03f", // 0.5
+            "000000000000f83f", // 1.5
+            "01000000",         // 1 cut
+            "00",               // CutKey::All
+            "0200000000000000", // bound = 2
+            "0100000000000000", // best_vertex = 1
+            "0100000000000000", // max_cut = 1
+            "0200000000000000", // vertices_evaluated = 2
+        );
+        let bytes: Vec<u8> = (0..hex.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&hex[i..i + 2], 16).unwrap())
+            .collect();
+        // The version-1 record CRC as existing stores carry it.
         assert_eq!(crc32(&bytes), 0xD3C9_7A9E);
+        let back = decode_session(&bytes).unwrap();
+        assert_eq!(back.graph.n(), 2);
+        assert_eq!(back.export.spectra.len(), 1);
+        assert_eq!(back.export.cuts.len(), 1);
+        assert!(back.export.decompositions.is_empty());
+    }
+
+    #[test]
+    fn corrupt_decompositions_are_rejected() {
+        let g = tiny_graph();
+        let good = tiny_export();
+        // Out-of-bounds vertex id.
+        let mut oob = good.clone();
+        oob.decompositions[0].components[0].1 = vec![0, 99];
+        let bytes = encode_session(&g, &oob);
+        assert!(matches!(
+            decode_session(&bytes),
+            Err(CodecError::Invalid(_))
+        ));
+        // Unsorted vertex list.
+        let mut unsorted = good.clone();
+        unsorted.decompositions[0].components[0].1 = vec![2, 0];
+        let bytes = encode_session(&g, &unsorted);
+        assert!(matches!(
+            decode_session(&bytes),
+            Err(CodecError::Invalid(_))
+        ));
+        // Empty component.
+        let mut empty = good;
+        empty.decompositions[0].components[0].1 = vec![];
+        let bytes = encode_session(&g, &empty);
+        assert!(matches!(
+            decode_session(&bytes),
+            Err(CodecError::Invalid(_))
+        ));
     }
 
     #[test]

@@ -60,7 +60,7 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  graphio generate <family> <size> [--p <prob>] [--seed <s>]\n  \
          graphio bound --memory <M> [--processors <p>] [--threads <N>] < graph.json\n  \
-         graphio analyze --memory-sweep <M1,M2,...> [--processors <p>] [--threads <N>] [--simd off|strict|fast] [--scale-tier auto|dense|sparse|huge] [--no-sim] [--json] < graph.json\n  \
+         graphio analyze --memory-sweep <M1,M2,...> [--processors <p>] [--threads <N>] [--simd off|strict|fast] [--scale-tier auto|dense|sparse|huge] [--no-sim] [--compose] [--json] < graph.json\n  \
          graphio simulate --memory <M> [--policy lru|fifo|belady|random] [--order natural|dfs|bfs] [--threads <N>] < graph.json\n  \
          graphio dot < graph.json\n  \
          graphio serve [--host <H>] [--port <P>] [--workers <W>] [--queue <Q>] [--cache-mb <B>] [--shards <S>] [--max-sessions <K>] [--threads <N>] [--simd <POLICY>] [--scale-tier <TIER>] [--idle-ms <T>] [--max-requests <R>] [--store <DIR>] [--store-mb <B>] [--slow-log-us <T>] [--slow-log-file <F>]\n  \
@@ -70,7 +70,7 @@ fn usage() -> ! {
          graphio client stats|health --url <http://host:port>\n  \
          graphio router --backends <host:port,host:port,...> [--listen <H:P>] [--replicas <K>] [--workers <W>] [--queue <Q>] [--health-ms <T>] [--slow-log-us <T>] [--slow-log-file <F>]\n  \
          graphio cluster [--backends <N>] [--listen <H:P>] [--replicas <K>] [--workers <W>]\n  \
-         graphio loadgen --url <http://host:port> [--rps <R>] [--duration <S>] [--conns <C>] [--path <P>] [--body <FILE>]\n  \
+         graphio loadgen --url <http://host:port> [--rps <R>] [--duration <S>] [--conns <C>] [--path <P>] [--body <FILE.ndjson: one body per line, cycled>]\n  \
          graphio loadgen --seed-bench [--out <FILE>]\n  \
          graphio precompute --store <DIR> [--store-mb <B>] [--threads <N>] [--jobs <J>] < graphs.ndjson\n  \
          graphio store stat|ls|compact|export --store <DIR>\n  \
@@ -327,7 +327,7 @@ fn cmd_analyze(args: &[String]) {
             "--simd",
             "--scale-tier",
         ],
-        &["--no-sim", "--json"],
+        &["--no-sim", "--json", "--compose"],
     );
     let memories = parse_sweep(
         &parsed.cmd,
@@ -341,7 +341,12 @@ fn cmd_analyze(args: &[String]) {
         memories,
         processors,
         no_sim: parsed.has("--no-sim"),
+        compose: parsed.has("--compose"),
     };
+    if spec.compose && spec.processors > 1 {
+        eprintln!("error: compose mode does not support processors>1");
+        std::process::exit(2);
+    }
 
     let analyzer = OwnedAnalyzer::from_graph(read_graph_from_stdin());
     let matvecs_before = sparse_matvec_count();
@@ -350,6 +355,11 @@ fn cmd_analyze(args: &[String]) {
         // The exact bytes `POST /analyze` serves for the same request
         // (property-tested in crates/service/tests).
         write_stdout(&analysis_body(&analyzer, &spec));
+        return;
+    }
+
+    if spec.compose {
+        cmd_analyze_compose(&analyzer, &spec, matvecs_before);
         return;
     }
 
@@ -384,6 +394,71 @@ fn cmd_analyze(args: &[String]) {
     println!(
         "eigensolves: {} ({} cache hits), sparse mat-vecs: {}, min-cut sweeps: {}",
         stats.spectrum_misses, stats.spectrum_hits, matvecs, stats.mincut_misses,
+    );
+}
+
+/// The human-readable rendering of a compose-mode analysis (`--compose`
+/// without `--json`): decomposition summary, then the composed sweep.
+fn cmd_analyze_compose(analyzer: &OwnedAnalyzer, spec: &AnalyzeSpec, matvecs_before: u64) {
+    use graphio::service::analysis::{compose_parts, compose_plan_for};
+    use graphio::spectral::{any_estimated, composed_bound, composed_max_cut, LaplacianKind};
+
+    let plan = compose_plan_for(analyzer);
+    let parts = compose_parts(&plan);
+    let g = analyzer.graph();
+    let d = &plan.decomposition;
+    let distinct: std::collections::HashSet<_> = plan.fingerprints.iter().collect();
+    println!(
+        "compose analysis: n = {}, edges = {}, components = {} ({} distinct), \
+         target = {}, cut edges = {}, invariant = {}{}",
+        g.n(),
+        g.num_edges(),
+        d.components.len(),
+        distinct.len(),
+        d.target,
+        d.cut_edges,
+        d.invariant,
+        if any_estimated(&parts) {
+            " [ESTIMATE: ritz_sweep component]"
+        } else {
+            ""
+        },
+    );
+    let order = if spec.no_sim {
+        Vec::new()
+    } else {
+        natural_order(g)
+    };
+    println!(
+        "{:>8} {:>14} {:>9} {:>14} {:>10} {:>11}",
+        "M", "thm4", "segments", "thm5", "mincut", "sim_upper"
+    );
+    for &m in &spec.memories {
+        let thm4 = composed_bound(&parts, LaplacianKind::Normalized, m);
+        let thm5 = composed_bound(&parts, LaplacianKind::Unnormalized, m);
+        let mincut = 2 * composed_max_cut(&parts).saturating_sub(m as u64);
+        let sim = (!spec.no_sim)
+            .then(|| {
+                [Policy::Lru, Policy::Belady]
+                    .iter()
+                    .filter_map(|&p| simulate(g, &order, m, p, 0).ok().map(|r| r.io()))
+                    .min()
+            })
+            .flatten();
+        println!(
+            "{:>8} {:>14.1} {:>9} {:>14.1} {:>10} {:>11}",
+            m,
+            thm4.bound,
+            thm4.segments,
+            thm5.bound,
+            mincut,
+            sim.map_or("-".to_string(), |s| s.to_string()),
+        );
+    }
+    println!(
+        "component eigensolves: {} distinct sessions, sparse mat-vecs: {}",
+        distinct.len(),
+        sparse_matvec_count() - matvecs_before,
     );
 }
 
@@ -1049,11 +1124,24 @@ fn cmd_loadgen(args: &[String]) {
         config.path = path.to_string();
     }
     if let Some(file) = parsed.flag("--body") {
-        let body = std::fs::read_to_string(file).unwrap_or_else(|e| {
+        let text = std::fs::read_to_string(file).unwrap_or_else(|e| {
             eprintln!("error: cannot read --body {file}: {e}");
             std::process::exit(1);
         });
-        config.bodies = vec![body.trim_end().to_string()];
+        // NDJSON: every non-empty line is one request body in the cycled
+        // pool, so a captured request log (e.g. the per-entry bodies of a
+        // `POST /batch`) replays as a mixed workload. A single-line file
+        // keeps the old one-body behavior.
+        config.bodies = text
+            .lines()
+            .map(str::trim)
+            .filter(|line| !line.is_empty())
+            .map(str::to_string)
+            .collect();
+        if config.bodies.is_empty() {
+            eprintln!("error: --body {file} contains no request bodies");
+            std::process::exit(1);
+        }
     } else if config.path.starts_with("/analyze") || config.path.starts_with("/graphs") {
         // Default body: a small FFT analysis over a modest sweep — the
         // cache-hit steady state every repeat measures.
