@@ -4,13 +4,15 @@
 //! The dialect is Prometheus text format 0.0.4 restricted to what the
 //! workspace emits: `# TYPE` comments, `name{label="value",...} value`
 //! samples, histograms as cumulative `_bucket{le="..."}` series closed by
-//! `le="+Inf"` plus `_sum`/`_count`. The parser checks structure — every
-//! line parses, bucket series are cumulative-monotone, `+Inf` equals
-//! `_count` — because "emits valid exposition" is an acceptance test, not
-//! a hope.
+//! `le="+Inf"` plus `_sum`/`_count`, and OpenMetrics-style exemplars on
+//! `_bucket` lines (`... count # {trace_id="<32 hex>"} value`) linking
+//! each latency bucket to a recent fetchable trace. The parser checks
+//! structure — every line parses, bucket series are cumulative-monotone,
+//! `+Inf` equals `_count`, exemplars appear only on buckets — because
+//! "emits valid exposition" is an acceptance test, not a hope.
 
-use crate::hist::{bucket_upper_bound, HistSnapshot, BUCKETS};
-use crate::span::registered;
+use crate::hist::{bucket_upper_bound, Exemplar, HistSnapshot, BUCKETS};
+use crate::span::{registered, trace_hex};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -87,6 +89,21 @@ impl MetricsText {
     /// Empty trailing buckets are elided (the `+Inf` bucket closes the
     /// series), keeping bodies small without losing any count.
     pub fn histogram(&mut self, name: &str, labels: &[(&str, &str)], snap: &HistSnapshot) {
+        self.histogram_with_exemplars(name, labels, snap, &[]);
+    }
+
+    /// [`MetricsText::histogram`] plus per-bucket exemplars: a bucket
+    /// with an [`Exemplar`] renders the OpenMetrics suffix
+    /// `# {trace_id="<32 hex>"} <value>` on its `_bucket` line, so a
+    /// latency band in a dashboard links to a `GET /trace/{id}`-fetchable
+    /// request.
+    pub fn histogram_with_exemplars(
+        &mut self,
+        name: &str,
+        labels: &[(&str, &str)],
+        snap: &HistSnapshot,
+        exemplars: &[Exemplar],
+    ) {
         self.type_line(name, "histogram");
         let top = (0..BUCKETS)
             .rev()
@@ -103,7 +120,16 @@ impl MetricsText {
                 .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
                 .collect::<Vec<_>>()
                 .join(",");
-            let _ = writeln!(self.buf, "{name}_bucket{{{rendered}}} {cumulative}");
+            let _ = write!(self.buf, "{name}_bucket{{{rendered}}} {cumulative}");
+            if let Some(ex) = exemplars.iter().find(|e| e.bucket == i) {
+                let _ = write!(
+                    self.buf,
+                    " # {{trace_id=\"{}\"}} {}",
+                    trace_hex(ex.trace),
+                    ex.value
+                );
+            }
+            let _ = writeln!(self.buf);
         }
         let mut inf_labels: Vec<String> = labels
             .iter()
@@ -137,10 +163,11 @@ impl MetricsText {
 /// service and router `/metrics` handlers.
 pub fn render_registered(out: &mut MetricsText) {
     for reg in registered() {
-        out.histogram(
+        out.histogram_with_exemplars(
             reg.family,
             &[(reg.label_key, reg.label_value.as_str())],
             &reg.hist.snapshot(),
+            &reg.hist.exemplars(),
         );
     }
 }
@@ -148,6 +175,26 @@ pub fn render_registered(out: &mut MetricsText) {
 // ---------------------------------------------------------------------
 // Parser
 // ---------------------------------------------------------------------
+
+/// An exemplar parsed off a `_bucket` line's ` # {...} value` suffix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedExemplar {
+    /// Exemplar labels (for our emitters, exactly `trace_id`).
+    pub labels: Vec<(String, String)>,
+    /// The exemplar's measured value.
+    pub value: f64,
+}
+
+impl ParsedExemplar {
+    /// The `trace_id` exemplar label, when present.
+    #[must_use]
+    pub fn trace_id(&self) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == "trace_id")
+            .map(|(_, v)| v.as_str())
+    }
+}
 
 /// One parsed sample line.
 #[derive(Debug, Clone, PartialEq)]
@@ -158,6 +205,8 @@ pub struct Sample {
     pub labels: Vec<(String, String)>,
     /// The sample value.
     pub value: f64,
+    /// The exemplar suffix, when the line carried one.
+    pub exemplar: Option<ParsedExemplar>,
 }
 
 /// A parsed (and structurally validated) exposition body.
@@ -260,6 +309,17 @@ fn parse_labels(block: &str, line: &str) -> Result<Vec<(String, String)>, String
     Ok(labels)
 }
 
+/// Parses an exemplar suffix: the `{labels} value` text after a ` # `
+/// separator. Returns `None` when the text is not exemplar-shaped — the
+/// caller then parses the whole line as a plain sample instead.
+fn parse_exemplar(s: &str, line: &str) -> Option<ParsedExemplar> {
+    let (block, value_str) = s.rsplit_once(' ')?;
+    let inner = block.strip_prefix('{')?.strip_suffix('}')?;
+    let labels = parse_labels(inner, line).ok()?;
+    let value = value_str.trim().parse::<f64>().ok()?;
+    Some(ParsedExemplar { labels, value })
+}
+
 /// Parses one exposition body, validating every line and the histogram
 /// structure (see [`validate_histograms`]).
 ///
@@ -292,8 +352,20 @@ pub fn parse(text: &str) -> Result<Exposition, String> {
             }
             continue; // other comments (# HELP, ...) are free-form
         }
-        // name[{labels}] value
-        let (name_and_labels, value_str) = line
+        // name[{labels}] value [# {exemplar labels} exemplar_value]
+        //
+        // The exemplar separator is searched from the right and only
+        // honored when the suffix actually parses as an exemplar, so a
+        // (legal, if weird) label value containing " # " cannot be
+        // misread as one.
+        let (line_sample, exemplar) = match line.rfind(" # ") {
+            Some(pos) => match parse_exemplar(&line[pos + 3..], line) {
+                Some(ex) => (&line[..pos], Some(ex)),
+                None => (line, None),
+            },
+            None => (line, None),
+        };
+        let (name_and_labels, value_str) = line_sample
             .rsplit_once(' ')
             .ok_or_else(|| format!("sample without value: {line}"))?;
         let value = value_str
@@ -324,10 +396,14 @@ pub fn parse(text: &str) -> Result<Exposition, String> {
         {
             return Err(format!("bad metric name {name:?}: {line}"));
         }
+        if exemplar.is_some() && !name.ends_with("_bucket") {
+            return Err(format!("exemplar on non-bucket sample: {line}"));
+        }
         expo.samples.push(Sample {
             name: name.to_string(),
             labels,
             value,
+            exemplar,
         });
     }
     validate_histograms(&expo)?;
@@ -500,5 +576,115 @@ m_count 6
         out.counter("m", &[("path", "a\"b\\c")], 1);
         let expo = parse(&out.into_string()).unwrap();
         assert_eq!(expo.value("m", &[("path", "a\"b\\c")]), Some(1.0));
+    }
+
+    /// Satellite: every escapable character class — backslash, quote,
+    /// newline, and combinations a hostile backend address could carry —
+    /// must render as valid exposition and parse back verbatim, for
+    /// counters, gauges and full histogram series alike.
+    #[test]
+    fn hostile_label_values_roundtrip_through_render_and_parse() {
+        let hostile = [
+            "plain",
+            "back\\slash",
+            "quo\"te",
+            "new\nline",
+            "\\",
+            "\"",
+            "\n",
+            "tab\tand space end\\",
+            "127.0.0.1:7878\n\"evil\\addr\"",
+            "trailing newline\n",
+            "a # b",
+            "μs/λ unicode",
+        ];
+        for value in hostile {
+            let h = Histogram::new();
+            h.record(5);
+            h.record(900);
+            let mut out = MetricsText::new();
+            out.counter("m_total", &[("backend", value)], 3);
+            out.gauge("m_gauge", &[("backend", value)], 1.5);
+            out.histogram("m_hist", &[("backend", value)], &h.snapshot());
+            let text = out.into_string();
+            let expo = parse(&text)
+                .unwrap_or_else(|e| panic!("render of {value:?} must parse: {e}\n{text}"));
+            assert_eq!(
+                expo.value("m_total", &[("backend", value)]),
+                Some(3.0),
+                "counter label {value:?} round-trips"
+            );
+            assert_eq!(expo.value("m_gauge", &[("backend", value)]), Some(1.5));
+            assert_eq!(
+                expo.value("m_hist_count", &[("backend", value)]),
+                Some(2.0),
+                "histogram labels {value:?} round-trip"
+            );
+        }
+    }
+
+    #[test]
+    fn exemplars_render_and_parse_back() {
+        let h = Histogram::new();
+        h.record_with_exemplar(3, 0xDEAD_BEEF);
+        h.record_with_exemplar(70_000, 0xCAFE);
+        let mut out = MetricsText::new();
+        out.histogram_with_exemplars(
+            "m",
+            &[("endpoint", "/analyze")],
+            &h.snapshot(),
+            &h.exemplars(),
+        );
+        let text = out.into_string();
+        let expo = parse(&text).expect("exemplar body parses");
+        let with_exemplars: Vec<_> = expo
+            .samples
+            .iter()
+            .filter(|s| s.exemplar.is_some())
+            .collect();
+        assert_eq!(with_exemplars.len(), 2, "{text}");
+        let first = with_exemplars[0].exemplar.as_ref().unwrap();
+        assert_eq!(first.trace_id(), Some("000000000000000000000000deadbeef"));
+        assert_eq!(first.value, 3.0);
+        let second = with_exemplars[1].exemplar.as_ref().unwrap();
+        assert_eq!(second.trace_id(), Some("0000000000000000000000000000cafe"));
+        assert_eq!(second.value, 70_000.0);
+        // The bucket counts themselves are unaffected by exemplar suffixes.
+        assert_eq!(
+            expo.value("m_count", &[("endpoint", "/analyze")]),
+            Some(2.0)
+        );
+    }
+
+    #[test]
+    fn exemplars_are_rejected_off_bucket_lines_but_hash_labels_are_not_exemplars() {
+        let bad = "m_total 3 # {trace_id=\"00ff\"} 3\n";
+        assert!(parse(bad).unwrap_err().contains("non-bucket"));
+        // A label value containing the separator text parses as a plain
+        // sample, not an exemplar.
+        let sneaky = "m_total{path=\"a # b\"} 3\n";
+        let expo = parse(sneaky).unwrap();
+        assert_eq!(expo.value("m_total", &[("path", "a # b")]), Some(3.0));
+        assert!(expo.samples[0].exemplar.is_none());
+    }
+
+    #[test]
+    fn registered_histograms_render_with_exemplars() {
+        let h = crate::span::histogram("expo_test_exemplar_family", "endpoint", "/t");
+        h.record_with_exemplar(9, 0xF00D);
+        let mut out = MetricsText::new();
+        render_registered(&mut out);
+        let text = out.into_string();
+        let expo = parse(&text).expect("registry body parses");
+        assert!(
+            expo.samples.iter().any(|s| {
+                s.name == "expo_test_exemplar_family_bucket"
+                    && s.exemplar
+                        .as_ref()
+                        .and_then(ParsedExemplar::trace_id)
+                        .is_some_and(|t| t.ends_with("f00d"))
+            }),
+            "{text}"
+        );
     }
 }

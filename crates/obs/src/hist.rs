@@ -70,6 +70,29 @@ pub struct Histogram {
     stripes: [Stripe; STRIPES],
     /// Exact maximum recorded value (relaxed `fetch_max`).
     max: AtomicU64,
+    /// Per-bucket exemplar: the most recent trace ID (split across two
+    /// words) and measured value to land in each bucket. Written with
+    /// independent relaxed stores, so a concurrent reader can observe a
+    /// mix of two exemplars — acceptable for an advisory "here is *a*
+    /// recent trace in this latency band" link (both halves still name
+    /// fetchable traces), and the price of keeping the record path free
+    /// of any wider synchronization.
+    exemplar_hi: [AtomicU64; BUCKETS],
+    exemplar_lo: [AtomicU64; BUCKETS],
+    exemplar_val: [AtomicU64; BUCKETS],
+}
+
+/// One per-bucket exemplar: a recent trace that landed in `bucket` with
+/// the measured `value`. Rendered as Prometheus exemplar syntax on
+/// `_bucket` lines by [`crate::expo::MetricsText::histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Exemplar {
+    /// The bucket index (see [`bucket_index`]).
+    pub bucket: usize,
+    /// The exemplar trace ID (never 0 — 0 marks an empty slot).
+    pub trace: u128,
+    /// The recorded value that selected this exemplar.
+    pub value: u64,
 }
 
 impl Default for Histogram {
@@ -94,6 +117,9 @@ impl Histogram {
         Histogram {
             stripes: std::array::from_fn(|_| Stripe::new()),
             max: AtomicU64::new(0),
+            exemplar_hi: std::array::from_fn(|_| AtomicU64::new(0)),
+            exemplar_lo: std::array::from_fn(|_| AtomicU64::new(0)),
+            exemplar_val: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
 
@@ -105,6 +131,37 @@ impl Histogram {
         stripe.count.fetch_add(1, Ordering::Relaxed);
         stripe.sum.fetch_add(value, Ordering::Relaxed);
         self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Records one value and stamps it as its bucket's exemplar (most
+    /// recent write wins). Still lock-free: three extra relaxed stores.
+    /// A trace ID of 0 records without an exemplar.
+    pub fn record_with_exemplar(&self, value: u64, trace: u128) {
+        self.record(value);
+        if trace != 0 {
+            let i = bucket_index(value);
+            self.exemplar_hi[i].store((trace >> 64) as u64, Ordering::Relaxed);
+            self.exemplar_lo[i].store(trace as u64, Ordering::Relaxed);
+            self.exemplar_val[i].store(value, Ordering::Relaxed);
+        }
+    }
+
+    /// The current per-bucket exemplars (buckets that never saw an
+    /// exemplar-carrying record are omitted).
+    #[must_use]
+    pub fn exemplars(&self) -> Vec<Exemplar> {
+        (0..BUCKETS)
+            .filter_map(|i| {
+                let hi = self.exemplar_hi[i].load(Ordering::Relaxed);
+                let lo = self.exemplar_lo[i].load(Ordering::Relaxed);
+                let trace = (u128::from(hi) << 64) | u128::from(lo);
+                (trace != 0).then(|| Exemplar {
+                    bucket: i,
+                    trace,
+                    value: self.exemplar_val[i].load(Ordering::Relaxed),
+                })
+            })
+            .collect()
     }
 
     /// Merges all stripes into an owned snapshot.
@@ -207,6 +264,13 @@ impl HistSnapshot {
         self.quantile(0.99)
     }
 
+    /// 99.9th percentile (bucket resolution) — the tail the flight
+    /// recorder's retention policy and `loadgen` reports care about.
+    #[must_use]
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+
     /// Mean of recorded values, 0 when empty.
     #[must_use]
     pub fn mean(&self) -> f64 {
@@ -250,6 +314,35 @@ mod tests {
         assert_eq!(snap.quantile(0.5), 0);
         assert_eq!(snap.max, 0);
         assert_eq!(snap.mean(), 0.0);
+    }
+
+    #[test]
+    fn exemplars_track_the_latest_trace_per_bucket() {
+        let h = Histogram::new();
+        assert!(h.exemplars().is_empty());
+        h.record_with_exemplar(3, 0xAA); // bucket 2
+        h.record_with_exemplar(2, 0xBB); // bucket 2, replaces
+        h.record_with_exemplar(1000, 0xCC); // bucket 10
+        h.record_with_exemplar(7, 0); // trace 0: counted, no exemplar
+        let ex = h.exemplars();
+        assert_eq!(ex.len(), 2);
+        assert_eq!(
+            ex[0],
+            Exemplar {
+                bucket: 2,
+                trace: 0xBB,
+                value: 2
+            }
+        );
+        assert_eq!(
+            ex[1],
+            Exemplar {
+                bucket: bucket_index(1000),
+                trace: 0xCC,
+                value: 1000
+            }
+        );
+        assert_eq!(h.snapshot().count, 4, "every record still counts");
     }
 
     #[test]

@@ -14,9 +14,14 @@
 //! - [`hist`]: fixed-bucket log2 latency histograms — lock-free striped
 //!   atomic recording, mergeable snapshots, p50/p90/p99 at ≤2× relative
 //!   error and the maximum exactly.
-//! - [`expo`]: Prometheus text exposition rendering for `GET /metrics`,
-//!   plus a validating parser used by the test suite and CI to assert
-//!   the bodies we serve actually parse.
+//! - [`expo`]: Prometheus text exposition rendering for `GET /metrics`
+//!   (including per-bucket trace-ID exemplars), plus a validating parser
+//!   used by the test suite and CI to assert the bodies we serve
+//!   actually parse.
+//! - [`recorder`]: a bounded, lock-free flight recorder — the last N
+//!   completed requests as fixed-size records in a seqlock ring, plus a
+//!   pinned ring for tail-based retention of slow and error traces.
+//!   `GET /trace/{id}` and `GET /traces` read it back.
 //!
 //! Trace IDs are 128-bit, wire-encoded as 32 hex chars in the
 //! `X-Graphio-Trace` header: minted at the router, propagated to
@@ -24,12 +29,14 @@
 
 pub mod expo;
 pub mod hist;
+pub mod recorder;
 pub mod span;
 
 pub use expo::{parse as parse_metrics, render_registered, Exposition, MetricsText};
-pub use hist::{bucket_index, bucket_upper_bound, HistSnapshot, Histogram, BUCKETS};
+pub use hist::{bucket_index, bucket_upper_bound, Exemplar, HistSnapshot, Histogram, BUCKETS};
+pub use recorder::{CacheOutcome, Recorder, TraceRecord, RECORD_NODES};
 pub use span::{
     begin_request, current_trace_id, enabled, histogram, mint_trace_id, parse_trace_hex,
-    registered, request_elapsed_us, set_enabled, trace_hex, RequestGuard, TraceSummary,
+    registered, request_elapsed_us, set_enabled, trace_hex, RequestGuard, TraceNode, TraceSummary,
     PHASE_FAMILY,
 };

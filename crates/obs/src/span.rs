@@ -158,8 +158,10 @@ macro_rules! span {
 // Trace trees
 // ---------------------------------------------------------------------
 
-/// One node of a request's phase tree.
-#[derive(Debug, Clone)]
+/// One node of a request's phase tree. `Copy` (and heap-free: the name
+/// is a `span!` literal) so the flight recorder can hold nodes inline in
+/// fixed-size seqlock slots.
+#[derive(Debug, Clone, Copy)]
 pub struct TraceNode {
     /// The phase name (`span!` literal).
     pub name: &'static str,

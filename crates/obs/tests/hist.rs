@@ -77,6 +77,91 @@ proptest! {
         prop_assert_eq!(merged, hall.snapshot());
     }
 
+    /// Merge is associative: (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c) field-for-field,
+    /// so the loadgen can fold per-connection snapshots in any grouping.
+    #[test]
+    fn merge_is_associative(
+        a in proptest::collection::vec((0u64..u64::MAX, 0u32..54), 0..60),
+        b in proptest::collection::vec((0u64..u64::MAX, 0u32..54), 0..60),
+        c in proptest::collection::vec((0u64..u64::MAX, 0u32..54), 0..60),
+    ) {
+        let snap = |vals: Vec<(u64, u32)>| {
+            let h = Histogram::new();
+            for v in vals.into_iter().map(spread) {
+                h.record(v);
+            }
+            h.snapshot()
+        };
+        let (sa, sb, sc) = (snap(a), snap(b), snap(c));
+
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&bc);
+
+        prop_assert_eq!(left, right);
+    }
+
+    /// The empty snapshot is the merge identity, on both sides.
+    #[test]
+    fn merge_with_empty_is_identity(
+        a in proptest::collection::vec((0u64..u64::MAX, 0u32..54), 0..100),
+    ) {
+        let h = Histogram::new();
+        for v in a.into_iter().map(spread) {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+
+        let mut left = snap.clone();
+        left.merge(&HistSnapshot::default());
+        prop_assert_eq!(&left, &snap, "right identity");
+
+        let mut right = HistSnapshot::default();
+        right.merge(&snap);
+        prop_assert_eq!(&right, &snap, "left identity");
+    }
+
+    /// Merge is commutative, and — checked against the sorted-vec oracle —
+    /// both orders report the oracle's quantiles at bucket resolution.
+    #[test]
+    fn merge_is_commutative_and_matches_the_oracle(
+        a in proptest::collection::vec((0u64..u64::MAX, 0u32..54), 1..100),
+        b in proptest::collection::vec((0u64..u64::MAX, 0u32..54), 1..100),
+        q_mille in 0u64..=1000,
+    ) {
+        let (va, vb): (Vec<u64>, Vec<u64>) = (
+            a.into_iter().map(spread).collect(),
+            b.into_iter().map(spread).collect(),
+        );
+        let (ha, hb) = (Histogram::new(), Histogram::new());
+        for &v in &va {
+            ha.record(v);
+        }
+        for &v in &vb {
+            hb.record(v);
+        }
+        let mut ab = ha.snapshot();
+        ab.merge(&hb.snapshot());
+        let mut ba = hb.snapshot();
+        ba.merge(&ha.snapshot());
+        prop_assert_eq!(&ab, &ba, "merge is commutative");
+
+        let mut sorted: Vec<u64> = va.iter().chain(&vb).copied().collect();
+        sorted.sort_unstable();
+        let q = q_mille as f64 / 1000.0;
+        let want = oracle_quantile(&sorted, q);
+        prop_assert_eq!(
+            bucket_index(ab.quantile(q)), bucket_index(want),
+            "merged quantile q={} got={} want={}", q, ab.quantile(q), want
+        );
+        prop_assert!(ab.quantile(q) <= ab.max);
+    }
+
     #[test]
     fn every_value_lands_in_the_bucket_whose_bounds_contain_it(
         raw in (0u64..u64::MAX, 0u32..54),

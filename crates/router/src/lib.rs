@@ -46,6 +46,6 @@ pub mod proxy;
 pub mod ring;
 pub mod upstream;
 
-pub use proxy::{serve_router, RouterConfig, RouterServer};
+pub use proxy::{assemble_trace, serve_router, RouterConfig, RouterServer};
 pub use ring::{Ring, DEFAULT_REPLICAS};
 pub use upstream::Upstream;

@@ -53,6 +53,7 @@ use crate::ring::Ring;
 use crate::upstream::Upstream;
 use graphio_graph::json::JsonValue;
 use graphio_graph::{fingerprint, DecomposeOptions, Fingerprint};
+use graphio_obs::recorder;
 use graphio_service::analysis::{
     component_from_doc, compose_doc, parse_graph_doc, parse_request_json, parse_spec,
     validate_batch_entries,
@@ -64,7 +65,7 @@ use graphio_service::http::{
     MAX_REQUESTS_PER_CONNECTION, READ_TIMEOUT,
 };
 use graphio_service::pool::{SubmitError, WorkerPool};
-use graphio_service::{traced_request, SlowLog, SlowLogConfig};
+use graphio_service::{parse_traces_query, traced_request, SlowLog, SlowLogConfig};
 use graphio_spectral::{ComponentAnalysis, ComposePlan};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -226,7 +227,9 @@ pub fn serve_router(config: &RouterConfig) -> io::Result<RouterServer> {
     // Serving turns span collection on process-wide, exactly like the
     // analysis server: the router records per-endpoint request
     // histograms for `GET /metrics` and per-request phase trees for the
-    // slow log.
+    // slow log — and its own flight recorder, so `GET /trace/{id}`
+    // answers with the router-side tree joined to the backends'.
+    recorder::attach(recorder::DEFAULT_CAPACITY);
     graphio_obs::set_enabled(true);
     let listener = TcpListener::bind((config.host.as_str(), config.port))?;
     let addr = listener.local_addr()?;
@@ -414,9 +417,15 @@ fn handle_connection(stream: TcpStream, state: &Arc<RouterState>, limits: Connec
         &limits,
         |stream, request, keep| {
             state.requests.fetch_add(1, Ordering::Relaxed);
-            traced_request(request, &request.path, state.slow_log.as_ref(), || {
-                route(stream, request, state, keep);
-            });
+            traced_request(
+                request,
+                &request.path,
+                state.slow_log.as_ref(),
+                None,
+                || {
+                    route(stream, request, state, keep);
+                },
+            );
         },
         |_| {
             state.errors.fetch_add(1, Ordering::Relaxed);
@@ -429,6 +438,10 @@ fn route(stream: &mut TcpStream, request: &Request, state: &Arc<RouterState>, ke
         ("GET", "/healthz") => handle_healthz(stream, state, keep),
         ("GET", "/stats") => handle_stats(stream, state, keep),
         ("GET", "/metrics") => handle_metrics(stream, state, keep),
+        ("GET", p) if p.starts_with("/trace/") => handle_trace(stream, request, state, keep),
+        ("GET", p) if p == "/traces" || p.starts_with("/traces?") => {
+            handle_traces(stream, request, state, keep)
+        }
         ("POST", "/analyze") => handle_passthrough(stream, request, state, keep, true),
         ("POST", "/graphs") => handle_passthrough(stream, request, state, keep, false),
         ("POST", "/batch") => handle_batch(stream, request, state, keep),
@@ -644,7 +657,13 @@ fn handle_compose(stream: &mut TcpStream, doc: &JsonValue, state: &Arc<RouterSta
     }
     let trace = graphio_obs::current_trace_id();
     let gather_started = Instant::now();
-    let outcomes: Vec<Result<(ComponentAnalysis, usize), (u16, String)>> =
+    // The scatter runs on scoped worker threads, which cannot contribute
+    // to this thread's span tree — so the request thread opens one
+    // `compose_scatter` span around the whole fan-out. That span is where
+    // `GET /trace/{id}` splices each backend's phase tree when it
+    // assembles the distributed trace.
+    let outcomes: Vec<Result<(ComponentAnalysis, usize), (u16, String)>> = {
+        let _scatter = graphio_obs::span::SpanGuard::enter_dynamic("compose_scatter");
         std::thread::scope(|scope| {
             let handles: Vec<_> = distinct
                 .iter()
@@ -657,7 +676,8 @@ fn handle_compose(stream: &mut TcpStream, doc: &JsonValue, state: &Arc<RouterSta
                 .into_iter()
                 .map(|h| h.join().expect("compose scatter thread"))
                 .collect()
-        });
+        })
+    };
     let mut by_fp: std::collections::HashMap<Fingerprint, ComponentAnalysis> =
         std::collections::HashMap::new();
     let mut engaged: Vec<usize> = Vec::new();
@@ -785,19 +805,24 @@ fn handle_batch(stream: &mut TcpStream, request: &Request, state: &Arc<RouterSta
     // request-context thread-local.
     let trace = graphio_obs::current_trace_id();
     let gather_started = Instant::now();
-    let outcomes: Vec<GroupOutcome> = std::thread::scope(|scope| {
-        let handles: Vec<_> = groups
-            .iter()
-            .map(|group| {
-                let body = batch_body(&group.entries, &spec);
-                scope.spawn(move || run_group(state, group, &body, trace))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("scatter thread"))
-            .collect()
-    });
+    let outcomes: Vec<GroupOutcome> = {
+        // Same shape as the compose scatter: one request-thread span
+        // around the fan-out, the anchor for distributed trace assembly.
+        let _scatter = graphio_obs::span::SpanGuard::enter_dynamic("batch_scatter");
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = groups
+                .iter()
+                .map(|group| {
+                    let body = batch_body(&group.entries, &spec);
+                    scope.spawn(move || run_group(state, group, &body, trace))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("scatter thread"))
+                .collect()
+        })
+    };
 
     // Blame: the globally first failing entry (see module docs for why
     // the minimum over local + reported errors is exact).
@@ -873,6 +898,199 @@ fn handle_batch(stream: &mut TcpStream, request: &Request, state: &Arc<RouterSta
     // figure a client tuning batch sizes actually wants.
     let gather_us = u64::try_from(gather_started.elapsed().as_micros()).unwrap_or(u64::MAX);
     extra.push(("X-Graphio-Elapsed-Us", gather_us.max(1).to_string()));
+    let _ = write_response(stream, 200, "OK", keep, &extra, body.as_bytes());
+}
+
+/// Splices each backend's phase tree into the router's own trace record,
+/// producing the one assembled tree the router's `GET /trace/{id}`
+/// returns. Pure over parsed JSON so it is unit-testable without a
+/// cluster: `router` is the router's `TraceRecord::to_json` document,
+/// `backends` the `(addr, record)` pairs fetched from backends that
+/// answered 200 for the same trace ID.
+///
+/// Each contributing backend becomes one synthetic `backend <addr>` span
+/// — parented to the router's scatter span (the last `*_scatter` span,
+/// falling back to the root) and spanning the backend's own
+/// `elapsed_us` — with the backend's phase tree re-indexed beneath it,
+/// so children-sum ≤ parent holds at every level (the backend's wall
+/// time sits inside the router's scatter wall time). A backend record
+/// identical to the router's own is skipped as an echo: when router and
+/// backends share one process (in-process tests) they share one flight
+/// recorder, so a backend's `/trace` answer can be the very record the
+/// router is assembling around. Identity is full-record equality, not
+/// sequence-number equality — every process numbers its ring from zero,
+/// so seqs collide across real backends. The assembled document gains a
+/// `"backends"` array naming the joined backends.
+pub fn assemble_trace(router: &JsonValue, backends: &[(String, JsonValue)]) -> JsonValue {
+    let mut spans: Vec<JsonValue> = router
+        .get("spans")
+        .and_then(JsonValue::as_array)
+        .map(<[JsonValue]>::to_vec)
+        .unwrap_or_default();
+    // Anchor: the last scatter span the router opened, else the root.
+    let mut attach = 0usize;
+    for (i, span) in spans.iter().enumerate() {
+        let name = span.get("name").and_then(JsonValue::as_str).unwrap_or("");
+        if name.ends_with("_scatter")
+            || (matches!(span.get("parent"), Some(JsonValue::Null)) && attach == 0)
+        {
+            attach = i;
+        }
+    }
+    // Echo/duplicate suppression by full-record identity: in-process all
+    // tiers answer from one shared ring, so the router's own record and
+    // repeated backend answers arrive as byte-identical documents.
+    let mut seen: Vec<String> = vec![router.to_string()];
+    let mut joined: Vec<JsonValue> = Vec::new();
+    for (addr, record) in backends {
+        let rendered = record.to_string();
+        if seen.contains(&rendered) {
+            continue;
+        }
+        seen.push(rendered);
+        let elapsed = record
+            .get("elapsed_us")
+            .and_then(JsonValue::as_f64)
+            .unwrap_or(0.0);
+        let base = spans.len();
+        spans.push(JsonValue::Object(vec![
+            (
+                "name".to_string(),
+                JsonValue::String(format!("backend {addr}")),
+            ),
+            ("parent".to_string(), JsonValue::Number(attach as f64)),
+            ("start_us".to_string(), JsonValue::Number(0.0)),
+            ("dur_us".to_string(), JsonValue::Number(elapsed)),
+        ]));
+        let sub = record
+            .get("spans")
+            .and_then(JsonValue::as_array)
+            .unwrap_or(&[]);
+        for span in sub {
+            let field = |key: &str| {
+                JsonValue::Number(span.get(key).and_then(JsonValue::as_f64).unwrap_or(0.0))
+            };
+            let parent = match span.get("parent").and_then(JsonValue::as_f64) {
+                Some(p) => (base + 1) as f64 + p,
+                None => base as f64,
+            };
+            spans.push(JsonValue::Object(vec![
+                (
+                    "name".to_string(),
+                    span.get("name").cloned().unwrap_or(JsonValue::Null),
+                ),
+                ("parent".to_string(), JsonValue::Number(parent)),
+                ("start_us".to_string(), field("start_us")),
+                ("dur_us".to_string(), field("dur_us")),
+            ]));
+        }
+        joined.push(JsonValue::String(addr.clone()));
+    }
+    let mut assembled: Vec<(String, JsonValue)> = match router {
+        JsonValue::Object(entries) => entries
+            .iter()
+            .filter(|(k, _)| k != "spans")
+            .cloned()
+            .collect(),
+        _ => Vec::new(),
+    };
+    assembled.push(("backends".to_string(), JsonValue::Array(joined)));
+    assembled.push(("spans".to_string(), JsonValue::Array(spans)));
+    JsonValue::Object(assembled)
+}
+
+/// `GET /trace/{id}` at the router: the distributed view. Fetches the
+/// same path from every backend concurrently on throwaway connections
+/// (like the `/stats` scrape — observability must not touch the pooled
+/// request connections), then joins whatever answered into one assembled
+/// tree via [`assemble_trace`]. When the router's own ring no longer has
+/// the record but a backend does, the first backend record stands in as
+/// the assembly root, so the trace remains queryable as long as *any*
+/// tier remembers it.
+/// The router's own record for `trace`. When several records share the
+/// ring (in-process cluster: router and backends share one recorder, and
+/// a backend's post-response work can out-sequence the router), the one
+/// holding a `*_scatter` span is the router's viewpoint; otherwise the
+/// newest wins, matching [`graphio_service::trace_record_json`].
+fn local_router_record(trace: u128) -> Option<String> {
+    let records = recorder::recorder()?.records_for(trace);
+    let chosen = records
+        .iter()
+        .find(|r| r.nodes().iter().any(|n| n.name.ends_with("_scatter")))
+        .or_else(|| records.iter().max_by_key(|r| r.seq))?;
+    Some(chosen.to_json())
+}
+
+fn handle_trace(stream: &mut TcpStream, request: &Request, state: &Arc<RouterState>, keep: bool) {
+    let hex = request.path["/trace/".len()..]
+        .split('?')
+        .next()
+        .unwrap_or("")
+        .to_string();
+    let Some(trace) = graphio_obs::parse_trace_hex(&hex) else {
+        state.errors.fetch_add(1, Ordering::Relaxed);
+        respond_error(stream, 400, keep, &format!("malformed trace id {hex:?}"));
+        return;
+    };
+    let local = local_router_record(trace).and_then(|s| graphio_graph::json::parse(&s).ok());
+    let fetched: Vec<Option<(String, JsonValue)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = state
+            .upstreams
+            .iter()
+            .map(|up| {
+                let url = format!("http://{}", up.addr());
+                let path = format!("/trace/{hex}");
+                let addr = up.addr().to_string();
+                scope.spawn(move || {
+                    let response =
+                        graphio_service::client::request("GET", &url, &path, None).ok()?;
+                    if response.status != 200 {
+                        return None;
+                    }
+                    Some((addr, graphio_graph::json::parse(&response.body).ok()?))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("trace scrape thread"))
+            .collect()
+    });
+    let mut backends: Vec<(String, JsonValue)> = fetched.into_iter().flatten().collect();
+    let root = match local {
+        Some(doc) => doc,
+        None if !backends.is_empty() => backends.remove(0).1,
+        None => {
+            state.errors.fetch_add(1, Ordering::Relaxed);
+            respond_error(stream, 404, keep, &format!("no record of trace {hex}"));
+            return;
+        }
+    };
+    let body = assemble_trace(&root, &backends).to_string() + "\n";
+    let mut extra: Vec<(&str, String)> = Vec::new();
+    graphio_service::push_obs_headers(&mut extra);
+    let _ = write_response(stream, 200, "OK", keep, &extra, body.as_bytes());
+}
+
+/// `GET /traces` at the router: the router's own recent flight-recorder
+/// records (each one a distributed request the router fronted), same
+/// query vocabulary as the backends'.
+fn handle_traces(stream: &mut TcpStream, request: &Request, state: &Arc<RouterState>, keep: bool) {
+    let (n, min_us, status) = match parse_traces_query(&request.path) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            state.errors.fetch_add(1, Ordering::Relaxed);
+            respond_error(stream, 400, keep, &msg);
+            return;
+        }
+    };
+    let records = recorder::recorder()
+        .map(|r| r.recent(n, min_us, status))
+        .unwrap_or_default();
+    let summaries: Vec<String> = records.iter().map(|r| r.to_summary_json()).collect();
+    let body = format!("[{}]\n", summaries.join(","));
+    let mut extra: Vec<(&str, String)> = Vec::new();
+    graphio_service::push_obs_headers(&mut extra);
     let _ = write_response(stream, 200, "OK", keep, &extra, body.as_bytes());
 }
 

@@ -192,6 +192,202 @@ fn trace_id_flows_client_to_router_to_backend_and_back() {
     let _ = std::fs::remove_file(&router_log);
 }
 
+/// Trace assembly is a pure function over parsed records. A backend's
+/// phase tree is grafted under a synthetic `backend <addr>` span that
+/// parents to the router's scatter span, with every backend span index
+/// re-based; a backend record identical to the router's own (the shared
+/// in-process recorder answering for "both" tiers) is skipped as an
+/// echo; joined backends are named in the `backends` array.
+#[test]
+fn assemble_trace_grafts_backend_trees_under_the_scatter_span() {
+    let router_json = concat!(
+        "{\"trace\":\"00000000000000000000000000000abc\",\"endpoint\":\"/batch\",",
+        "\"status\":200,\"elapsed_us\":100,\"seq\":7,\"spans\":[",
+        "{\"name\":\"/batch\",\"parent\":null,\"start_us\":0,\"dur_us\":100},",
+        "{\"name\":\"batch_scatter\",\"parent\":0,\"start_us\":10,\"dur_us\":80}]}"
+    );
+    let router_doc = parse(router_json).unwrap();
+    let backend_doc = parse(concat!(
+        "{\"trace\":\"00000000000000000000000000000abc\",\"endpoint\":\"/batch\",",
+        "\"status\":200,\"elapsed_us\":40,\"seq\":3,\"spans\":[",
+        "{\"name\":\"/batch\",\"parent\":null,\"start_us\":0,\"dur_us\":40},",
+        "{\"name\":\"eigensolve\",\"parent\":0,\"start_us\":5,\"dur_us\":30}]}"
+    ))
+    .unwrap();
+    // Identical to the router's record: the shared-recorder echo, skipped.
+    let echo_doc = parse(router_json).unwrap();
+    let assembled = graphio_router::assemble_trace(
+        &router_doc,
+        &[
+            ("127.0.0.1:9001".to_string(), backend_doc),
+            ("127.0.0.1:9002".to_string(), echo_doc),
+        ],
+    );
+    let joined: Vec<&str> = assembled
+        .get("backends")
+        .and_then(JsonValue::as_array)
+        .expect("backends array")
+        .iter()
+        .filter_map(JsonValue::as_str)
+        .collect();
+    assert_eq!(joined, ["127.0.0.1:9001"], "echo record must be skipped");
+    let spans = assembled
+        .get("spans")
+        .and_then(JsonValue::as_array)
+        .expect("assembled spans");
+    // Router's 2 spans + 1 synthetic + the joined backend's 2.
+    assert_eq!(spans.len(), 5);
+    let name = |i: usize| spans[i].get("name").and_then(JsonValue::as_str).unwrap();
+    let parent = |i: usize| spans[i].get("parent").and_then(JsonValue::as_f64);
+    let dur = |i: usize| spans[i].get("dur_us").and_then(JsonValue::as_f64).unwrap();
+    assert_eq!(name(2), "backend 127.0.0.1:9001");
+    assert_eq!(parent(2), Some(1.0), "synthetic span parents the scatter");
+    assert_eq!(dur(2), 40.0, "synthetic span covers the backend's elapsed");
+    assert_eq!(name(3), "/batch");
+    assert_eq!(parent(3), Some(2.0), "backend root re-bases to the graft");
+    assert_eq!(name(4), "eigensolve");
+    assert_eq!(parent(4), Some(3.0), "backend children re-index by base+1");
+    // Scalars (trace, status, elapsed) come from the router record.
+    assert_eq!(
+        assembled.get("trace").and_then(JsonValue::as_str),
+        Some("00000000000000000000000000000abc")
+    );
+    assert_eq!(
+        assembled.get("elapsed_us").and_then(JsonValue::as_f64),
+        Some(100.0)
+    );
+}
+
+/// Without a `*_scatter` span the graft anchors at the root, so
+/// single-backend relays (`/analyze`) still assemble a sane tree.
+#[test]
+fn assemble_trace_falls_back_to_the_root_anchor() {
+    let router_doc = parse(concat!(
+        "{\"trace\":\"00000000000000000000000000000def\",\"endpoint\":\"/analyze\",",
+        "\"status\":200,\"elapsed_us\":50,\"seq\":9,\"spans\":[",
+        "{\"name\":\"/analyze\",\"parent\":null,\"start_us\":0,\"dur_us\":50}]}"
+    ))
+    .unwrap();
+    let backend_doc =
+        parse("{\"seq\":2,\"elapsed_us\":20,\"spans\":[{\"name\":\"/analyze\",\"parent\":null,\"start_us\":0,\"dur_us\":20}]}")
+            .unwrap();
+    let assembled = graphio_router::assemble_trace(&router_doc, &[("b1".to_string(), backend_doc)]);
+    let spans = assembled
+        .get("spans")
+        .and_then(JsonValue::as_array)
+        .unwrap();
+    assert_eq!(spans.len(), 3);
+    assert_eq!(
+        spans[1].get("parent").and_then(JsonValue::as_f64),
+        Some(0.0),
+        "no scatter span: the synthetic backend span parents the root"
+    );
+}
+
+/// Tentpole e2e at the router tier: a routed request's trace is
+/// queryable back through the router. `GET /trace/{id}` answers one
+/// assembled document — root scalars from the router's own record, the
+/// scatter span anchoring at least one joined backend tree, and a
+/// `backends` array naming the contributors. (`GET /traces` lists the
+/// request; garbage queries 400/404.)
+#[test]
+fn router_trace_endpoint_returns_assembled_tree() {
+    let backends = backends(2, None);
+    let router = router_over(&backends, None);
+    let g4 = fft_butterfly(4).to_edge_list().to_json();
+    let g5 = fft_butterfly(5).to_edge_list().to_json();
+    let batch = format!("{{\"graphs\":[{g4},{g5}],\"memories\":[2,4]}}");
+    let sent_trace = "a0b1c2d3e4f5a6b7c8d9e0f1a2b3c4d5";
+    let mut session = client::Client::new(&router.url()).unwrap();
+    let mut record_body = None;
+    // Retry until the assembly is complete: the router's own record (the
+    // scatter anchor) and the backend's both land just *after* their
+    // response bytes flush, in either order.
+    for _ in 0..50 {
+        let r = session
+            .request_with(
+                "POST",
+                "/batch",
+                Some(&batch),
+                &[("X-Graphio-Trace", sent_trace.to_string())],
+            )
+            .unwrap();
+        assert_eq!(r.status, 200, "{}", r.body);
+        std::thread::sleep(Duration::from_millis(50));
+        let r =
+            client::request("GET", &router.url(), &format!("/trace/{sent_trace}"), None).unwrap();
+        if r.status == 200 && r.body.contains("batch_scatter") && r.body.contains("backend ") {
+            record_body = Some(r.body);
+            break;
+        }
+    }
+    let record_body = record_body.expect("routed trace never assembled fully");
+    let doc = parse(&record_body).expect("assembled trace is valid JSON");
+    assert_eq!(
+        doc.get("trace").and_then(JsonValue::as_str),
+        Some(sent_trace)
+    );
+    assert_eq!(
+        doc.get("endpoint").and_then(JsonValue::as_str),
+        Some("/batch")
+    );
+    let joined = doc
+        .get("backends")
+        .and_then(JsonValue::as_array)
+        .expect("assembled document names its joined backends");
+    assert!(!joined.is_empty(), "at least one backend tree joined");
+    let spans = doc
+        .get("spans")
+        .and_then(JsonValue::as_array)
+        .expect("spans");
+    let scatter = spans
+        .iter()
+        .position(|s| s.get("name").and_then(JsonValue::as_str) == Some("batch_scatter"))
+        .expect("the router's scatter span anchors the assembly");
+    assert!(
+        spans.iter().any(|s| {
+            s.get("name")
+                .and_then(JsonValue::as_str)
+                .is_some_and(|n| n.starts_with("backend "))
+                && s.get("parent").and_then(JsonValue::as_f64) == Some(scatter as f64)
+        }),
+        "a synthetic backend span parents the scatter: {record_body}"
+    );
+    // Children-of-root durations stay inside the root span at every
+    // assembled level (the invariant the synthetic spans must preserve).
+    let root_dur = spans[0]
+        .get("dur_us")
+        .and_then(JsonValue::as_f64)
+        .expect("root dur");
+    let child_sum: f64 = spans[1..]
+        .iter()
+        .filter(|s| s.get("parent").and_then(JsonValue::as_f64) == Some(0.0))
+        .map(|s| s.get("dur_us").and_then(JsonValue::as_f64).unwrap_or(0.0))
+        .sum();
+    assert!(child_sum <= root_dur);
+
+    let r = client::request("GET", &router.url(), "/traces?n=100", None).unwrap();
+    assert_eq!(r.status, 200);
+    assert!(
+        r.body.contains(sent_trace),
+        "router /traces lists the routed request"
+    );
+    let r = client::request("GET", &router.url(), "/trace/not-hex", None).unwrap();
+    assert_eq!(r.status, 400);
+    let r = client::request(
+        "GET",
+        &router.url(),
+        "/trace/ffffffffffffffffffffffffffff0001",
+        None,
+    )
+    .unwrap();
+    assert_eq!(r.status, 404, "unknown trace 404s through the router");
+    router.shutdown();
+    for b in backends {
+        b.shutdown();
+    }
+}
+
 /// Routed `/batch` carries the trace and a positive scatter/gather
 /// elapsed header; routed `/stats` reports a positive per-backend
 /// `scrape_us`.

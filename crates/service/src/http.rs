@@ -421,6 +421,10 @@ pub fn write_response_typed(
     extra: &[(&str, String)],
     body: &[u8],
 ) -> std::io::Result<()> {
+    // Every response in the workspace funnels through here, so this is
+    // the one choke-point where the flight recorder learns what status a
+    // request answered with (thread-local; consumed by `traced_request`).
+    graphio_obs::recorder::annotate_status(status);
     let connection = if keep { "keep-alive" } else { "close" };
     let mut head = format!(
         "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n",

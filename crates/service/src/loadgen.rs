@@ -127,18 +127,47 @@ impl LoadgenReport {
             latency_json(&self.latency),
         )
     }
+
+    /// The run as a short human-readable summary — the default
+    /// `graphio loadgen` output (`--json` selects
+    /// [`LoadgenReport::to_json`] for machine consumption).
+    #[must_use]
+    pub fn to_human(&self) -> String {
+        format!(
+            concat!(
+                "{} requests in {:.3}s — {:.1} rps achieved (target {})\n",
+                "latency µs (from scheduled arrival): ",
+                "p50={} p90={} p99={} p99.9={} max={}\n",
+                "ok={} errors={} connects={} retries={}"
+            ),
+            self.requests,
+            self.elapsed.as_secs_f64(),
+            self.achieved_rps(),
+            self.target_rps,
+            self.latency.p50(),
+            self.latency.p90(),
+            self.latency.p99(),
+            self.latency.p999(),
+            self.latency.max,
+            self.ok,
+            self.errors,
+            self.connects,
+            self.retries,
+        )
+    }
 }
 
-/// The standard latency digest (`{"p50":..,"p90":..,"p99":..,"max":..,
-/// "mean":..,"count":..}`, µs), shared by `loadgen` and
+/// The standard latency digest (`{"p50":..,"p90":..,"p99":..,"p999":..,
+/// "max":..,"mean":..,"count":..}`, µs), shared by `loadgen` and
 /// `client analyze --json`.
 #[must_use]
 pub fn latency_json(snap: &HistSnapshot) -> String {
     format!(
-        "{{\"p50\":{},\"p90\":{},\"p99\":{},\"max\":{},\"mean\":{:.1},\"count\":{}}}",
+        "{{\"p50\":{},\"p90\":{},\"p99\":{},\"p999\":{},\"max\":{},\"mean\":{:.1},\"count\":{}}}",
         snap.p50(),
         snap.p90(),
         snap.p99(),
+        snap.p999(),
         snap.max,
         snap.mean(),
         snap.count,

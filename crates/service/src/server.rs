@@ -85,8 +85,12 @@ use graphio_linalg::stats::{
     dense_eigensolve_count, scalar_fallback_count, scale_tier_solve_count, simd_kernel_call_count,
     sparse_matvec_count,
 };
+use graphio_obs::recorder::{self, CacheOutcome};
 use graphio_spectral::OwnedAnalyzer;
-use graphio_store::{load_session, save_session, Store, StoreConfig, StoreStats};
+use graphio_store::{
+    decode_trace_record, encode_trace_record, load_session, save_session, Store, StoreConfig,
+    StoreStats, StoredTrace,
+};
 use std::io::{self, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -229,6 +233,11 @@ pub struct ServiceConfig {
     pub store: Option<PersistenceConfig>,
     /// Slow-request logging (`None` disables it).
     pub slow_log: Option<SlowLogConfig>,
+    /// Persistent trace store (`--trace-store DIR`): pinned flight-
+    /// recorder records (slow and error traces) write through here so the
+    /// last interesting traces survive a crash or restart. `None` keeps
+    /// the recorder RAM-only.
+    pub trace_store: Option<PathBuf>,
 }
 
 impl Default for ServiceConfig {
@@ -243,6 +252,7 @@ impl Default for ServiceConfig {
             cache: CacheConfig::default(),
             store: None,
             slow_log: None,
+            trace_store: None,
         }
     }
 }
@@ -276,6 +286,10 @@ pub(crate) struct ServiceState {
     pub(crate) max_requests_per_connection: usize,
     /// The slow-request log sink, when configured.
     pub(crate) slow_log: Option<SlowLog>,
+    /// The persistent trace store (pinned flight-recorder records), when
+    /// configured. Keyed by trace ID (reusing the fingerprint-keyed
+    /// segment log — a trace ID is the same 128 bits).
+    pub(crate) trace_store: Option<Arc<Store>>,
     /// Boot time, for the `uptime_seconds` stats field — the cluster
     /// router's aggregated stats use it to spot freshly-restarted
     /// backends (whose caches are cold).
@@ -300,6 +314,9 @@ pub struct Server {
 pub fn serve(config: &ServiceConfig) -> io::Result<Server> {
     // Serving is the long-lived mode that wants phase histograms and
     // request traces; the offline CLI keeps spans at their free default.
+    // Attaching the flight recorder also flips spans on, so recording is
+    // the serving default — `GET /trace/{id}` works out of the box.
+    recorder::attach(recorder::DEFAULT_CAPACITY);
     graphio_obs::set_enabled(true);
     let listener = TcpListener::bind((config.host.as_str(), config.port))?;
     let addr = listener.local_addr()?;
@@ -311,6 +328,16 @@ pub fn serve(config: &ServiceConfig) -> io::Result<Server> {
         .store
         .as_ref()
         .map(|p| Store::open(&p.dir, p.store.clone()))
+        .transpose()?
+        .map(Arc::new);
+    // The trace store shares the session store's segment-log machinery
+    // but is its own directory and key space (trace IDs, not graph
+    // fingerprints); opening it warm-loads the index so pinned traces
+    // from before a restart answer `GET /trace/{id}` immediately.
+    let trace_store = config
+        .trace_store
+        .as_ref()
+        .map(|dir| Store::open(dir, StoreConfig::default()))
         .transpose()?
         .map(Arc::new);
     let state = Arc::new(ServiceState {
@@ -328,6 +355,7 @@ pub fn serve(config: &ServiceConfig) -> io::Result<Server> {
         idle_timeout: config.idle_timeout,
         max_requests_per_connection: config.max_requests_per_connection.max(1),
         slow_log: config.slow_log.as_ref().map(SlowLog::open).transpose()?,
+        trace_store,
         started: Instant::now(),
     });
     let pool = Arc::new(WorkerPool::new(config.workers, config.queue_capacity));
@@ -496,9 +524,15 @@ fn handle_connection(stream: TcpStream, state: &Arc<ServiceState>, pool: &Arc<Wo
         &limits,
         |stream, request, keep| {
             state.requests.fetch_add(1, Ordering::Relaxed);
-            traced_request(request, &request.path, state.slow_log.as_ref(), || {
-                route(stream, request, state, pool, keep);
-            });
+            traced_request(
+                request,
+                &request.path,
+                state.slow_log.as_ref(),
+                state.trace_store.as_deref(),
+                || {
+                    route(stream, request, state, pool, keep);
+                },
+            );
         },
         |_| {
             state.errors.fetch_add(1, Ordering::Relaxed);
@@ -510,6 +544,14 @@ fn handle_connection(stream: TcpStream, state: &Arc<ServiceState>, pool: &Arc<Wo
 /// set, with everything else folded into `"other"` so an attacker probing
 /// random paths cannot mint unbounded histogram label values.
 pub fn endpoint_label(path: &str) -> &'static str {
+    // The trace routes carry per-request path segments (`/trace/{id}`)
+    // and query strings (`/traces?n=...`), so they label by prefix.
+    if path.starts_with("/trace/") {
+        return "/trace";
+    }
+    if path == "/traces" || path.starts_with("/traces?") {
+        return "/traces";
+    }
     match path {
         "/analyze" => "/analyze",
         "/batch" => "/batch",
@@ -525,12 +567,17 @@ pub fn endpoint_label(path: &str) -> &'static str {
 /// The per-request observability envelope, shared with the cluster
 /// router: open a request context (honoring an incoming `X-Graphio-Trace`
 /// or minting one), run the handler under a root span named by endpoint,
-/// then record the request-latency histogram and emit a slow-log line
-/// when the request met the threshold.
+/// then record the request-latency histogram (with the trace ID as the
+/// bucket's exemplar), insert the completed request into the flight
+/// recorder — pinning slow (≥ the endpoint's running p99) and error
+/// traces, and writing pinned records through to `trace_store` when one
+/// is configured — and emit a slow-log line when the request met the
+/// threshold.
 pub fn traced_request(
     request: &Request,
     path: &str,
     slow_log: Option<&SlowLog>,
+    trace_store: Option<&Store>,
     handler: impl FnOnce(),
 ) {
     let trace = request
@@ -538,6 +585,9 @@ pub fn traced_request(
         .and_then(graphio_obs::parse_trace_hex)
         .unwrap_or_else(graphio_obs::mint_trace_id);
     let endpoint = endpoint_label(path);
+    // Clear any annotations a previous request on this worker thread left
+    // behind (e.g. a response written outside a traced scope).
+    let _ = recorder::take_annotations();
     let guard = graphio_obs::begin_request(trace);
     {
         let _root = graphio_obs::span::SpanGuard::enter_dynamic(endpoint);
@@ -546,12 +596,93 @@ pub fn traced_request(
     let Some(summary) = guard.finish() else {
         return;
     };
-    graphio_obs::histogram(REQUEST_FAMILY, "endpoint", endpoint).record(summary.elapsed_us.max(1));
+    let elapsed = summary.elapsed_us.max(1);
+    let hist = graphio_obs::histogram(REQUEST_FAMILY, "endpoint", endpoint);
+    let (status, fingerprint, outcome) = recorder::take_annotations();
+    if let Some(rec) = recorder::recorder() {
+        // Tail-based retention: pin errors and requests at or above the
+        // endpoint's running p99 (from the histogram *before* this
+        // sample), so the interesting tail outlives ring eviction.
+        let p99 = hist.snapshot().p99();
+        let pin = status >= 400 || (p99 > 0 && elapsed >= p99);
+        let mut record = graphio_obs::TraceRecord::from_summary(
+            &summary,
+            endpoint,
+            status,
+            fingerprint,
+            outcome,
+        );
+        record.seq = rec.insert(record, pin);
+        if pin {
+            if let Some(store) = trace_store {
+                // Best-effort, like the session write-through: a full
+                // disk must not fail the request that already succeeded.
+                let doc = encode_trace_record(&StoredTrace::from_record(&record));
+                if let Err(e) = store.put(Fingerprint(trace), &doc) {
+                    eprintln!("graphio-trace-store: write-through failed: {e}");
+                }
+            }
+        }
+    }
+    hist.record_with_exemplar(elapsed, trace);
     if let Some(slow) = slow_log {
         if summary.elapsed_us >= slow.threshold_us() {
             slow.log(&summary.to_json(endpoint));
         }
     }
+}
+
+/// Resolves one trace ID to its `GET /trace/{id}` JSON body: the live
+/// flight-recorder ring first (main or pinned), then the persistent trace
+/// store — [`StoredTrace::to_json`] is byte-identical to
+/// [`graphio_obs::TraceRecord::to_json`] for the same record, so callers
+/// cannot tell which tier answered. Shared with the cluster router.
+#[must_use]
+pub fn trace_record_json(trace_store: Option<&Store>, trace: u128) -> Option<String> {
+    if let Some(record) = recorder::recorder().and_then(|r| r.get(trace)) {
+        return Some(record.to_json());
+    }
+    let doc = trace_store?.get(Fingerprint(trace)).ok().flatten()?;
+    match decode_trace_record(&doc) {
+        Ok(stored) => Some(stored.to_json()),
+        Err(e) => {
+            eprintln!(
+                "graphio-trace-store: ignoring unreadable record for {}: {e}",
+                graphio_obs::trace_hex(trace)
+            );
+            None
+        }
+    }
+}
+
+/// Parses the `GET /traces` query string (`n`, `min_us`, `status`) with
+/// defaults `(50, 0, None)`. Shared with the cluster router.
+///
+/// # Errors
+/// A message naming the unparsable or unknown parameter (→ 400).
+pub fn parse_traces_query(path: &str) -> Result<(usize, u64, Option<u16>), String> {
+    let query = path.split_once('?').map_or("", |x| x.1);
+    let (mut n, mut min_us, mut status) = (50usize, 0u64, None);
+    for pair in query.split('&').filter(|p| !p.is_empty()) {
+        let (key, value) = pair.split_once('=').unwrap_or((pair, ""));
+        match key {
+            "n" => n = value.parse().map_err(|_| format!("bad n: {value:?}"))?,
+            "min_us" => {
+                min_us = value
+                    .parse()
+                    .map_err(|_| format!("bad min_us: {value:?}"))?;
+            }
+            "status" => {
+                status = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("bad status: {value:?}"))?,
+                );
+            }
+            other => return Err(format!("unknown query parameter {other:?}")),
+        }
+    }
+    Ok((n, min_us, status))
 }
 
 /// The request-latency histogram family (`le` in microseconds), labeled
@@ -605,6 +736,10 @@ fn route(
         ("GET", "/healthz") => handle_healthz(stream, state, keep),
         ("GET", "/stats") => handle_stats(stream, state, keep),
         ("GET", "/metrics") => handle_metrics(stream, state, keep),
+        ("GET", p) if p.starts_with("/trace/") => handle_trace(stream, request, state, keep),
+        ("GET", p) if p == "/traces" || p.starts_with("/traces?") => {
+            handle_traces(stream, request, state, keep)
+        }
         ("POST", "/graphs") => handle_graphs(stream, request, state, keep),
         ("POST", "/analyze") => handle_analyze(stream, request, state, keep),
         ("POST", "/component") => handle_component(stream, request, state, keep),
@@ -889,6 +1024,55 @@ fn handle_metrics(stream: &mut TcpStream, state: &Arc<ServiceState>, keep: bool)
     );
 }
 
+/// Writes a response whose JSON body is already serialized (the trace
+/// endpoints serve recorder/store JSON verbatim).
+fn respond_raw_json(stream: &mut TcpStream, keep: bool, body: &str) {
+    let mut extra: Vec<(&str, String)> = Vec::new();
+    push_obs_headers(&mut extra);
+    let _ = write_response(stream, 200, "OK", keep, &extra, body.as_bytes());
+}
+
+/// `GET /trace/{id}`: the flight-recorder record for one trace ID as
+/// JSON — from the live ring, or from the persistent trace store for
+/// pinned records that survived a restart. 404 when neither tier has it
+/// (the ring is bounded; an unpinned record eventually evicts).
+fn handle_trace(stream: &mut TcpStream, request: &Request, state: &Arc<ServiceState>, keep: bool) {
+    let hex = request.path["/trace/".len()..]
+        .split('?')
+        .next()
+        .unwrap_or("");
+    let Some(trace) = graphio_obs::parse_trace_hex(hex) else {
+        state.errors.fetch_add(1, Ordering::Relaxed);
+        respond_error(stream, 400, keep, &format!("malformed trace id {hex:?}"));
+        return;
+    };
+    match trace_record_json(state.trace_store.as_deref(), trace) {
+        Some(body) => respond_raw_json(stream, keep, &(body + "\n")),
+        None => {
+            state.errors.fetch_add(1, Ordering::Relaxed);
+            respond_error(stream, 404, keep, &format!("no record of trace {hex}"));
+        }
+    }
+}
+
+/// `GET /traces?n=K&min_us=U&status=S`: summaries of the most recent
+/// matching flight-recorder records, newest first.
+fn handle_traces(stream: &mut TcpStream, request: &Request, state: &Arc<ServiceState>, keep: bool) {
+    let (n, min_us, status) = match parse_traces_query(&request.path) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            state.errors.fetch_add(1, Ordering::Relaxed);
+            respond_error(stream, 400, keep, &msg);
+            return;
+        }
+    };
+    let records = recorder::recorder()
+        .map(|r| r.recent(n, min_us, status))
+        .unwrap_or_default();
+    let summaries: Vec<String> = records.iter().map(|r| r.to_summary_json()).collect();
+    respond_raw_json(stream, keep, &format!("[{}]\n", summaries.join(",")));
+}
+
 fn parse_body(request: &Request) -> Result<JsonValue, String> {
     parse_request_json(&request.body)
 }
@@ -1050,6 +1234,19 @@ fn response_body(
     }
 }
 
+/// Tells the flight recorder which session this request resolved and
+/// how it was obtained — the `X-Graphio-Fingerprint` /
+/// `X-Graphio-Session` headers' information, queryable after the fact
+/// via `GET /trace/{id}`.
+fn annotate_session(fp: Fingerprint, source: SessionSource) {
+    recorder::annotate_fingerprint(fp.0);
+    recorder::annotate_outcome(match source {
+        SessionSource::Ram => CacheOutcome::Hit,
+        SessionSource::Disk => CacheOutcome::Store,
+        SessionSource::Fresh => CacheOutcome::Miss,
+    });
+}
+
 /// Resolves the session for a request that carried a full graph:
 /// RAM → disk → fresh. Exactly one hit-or-miss counter moves (in
 /// [`SessionCache::get`]); the back-fill inserts are counter-silent.
@@ -1152,6 +1349,7 @@ fn handle_analyze(
             return;
         }
     };
+    annotate_session(fp, source);
     let body = response_body(state, &analyzer, &spec);
     // The analysis may have grown the session (fresh spectra/min-cut
     // sweeps, a compose plan — whose component sessions already wrote
@@ -1204,6 +1402,7 @@ fn handle_component(
             return;
         }
     };
+    annotate_session(fp, source);
     let part = analyze_component_cached(fp, &analyzer);
     write_through(state, fp, &analyzer);
     state.cache.enforce_budget(fp);

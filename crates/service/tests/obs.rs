@@ -180,6 +180,188 @@ fn analysis_bodies_are_byte_identical_with_spans_on_and_off() {
     assert_eq!(off.as_bytes(), on.as_bytes());
 }
 
+/// Sends `method path body` with a client-chosen trace ID until
+/// `GET /trace/{id}` answers 200, returning the status of the last send
+/// and the trace body. Retrying absorbs two benign races: the recorder
+/// inserts just *after* the response flushes, and a sibling test toggles
+/// the global span switch off briefly (a request landing in that window
+/// records nothing).
+fn send_until_recorded(
+    server: &Server,
+    method: &str,
+    path: &str,
+    body: &str,
+    trace: &str,
+) -> (u16, String) {
+    let mut session = client::Client::new(&server.url()).expect("connect");
+    let mut last_status = 0;
+    for _ in 0..50 {
+        let r = session
+            .request_with(
+                method,
+                path,
+                Some(body),
+                &[("X-Graphio-Trace", trace.to_string())],
+            )
+            .expect("send traced request");
+        last_status = r.status;
+        std::thread::sleep(Duration::from_millis(50));
+        let r = client::request("GET", &server.url(), &format!("/trace/{trace}"), None).unwrap();
+        if r.status == 200 {
+            return (last_status, r.body);
+        }
+    }
+    panic!("trace {trace} never became queryable (last send: {last_status})");
+}
+
+/// Tentpole: the flight recorder makes `X-Graphio-Trace` queryable.
+/// A client-supplied trace ID comes back verbatim from `GET /trace/{id}`
+/// as a full phase tree, shows up in `GET /traces` summaries, and the
+/// query vocabulary rejects garbage (malformed hex → 400, unknown trace
+/// → 404, unknown query parameter → 400).
+#[test]
+fn trace_endpoints_serve_recorded_requests() {
+    let server = test_server();
+    let g = fft_butterfly(4);
+    let body = format!("{{\"graph\":{},\"memories\":[2,4]}}", graph_json(&g));
+    let sent_trace = "0f1e2d3c4b5a69788796a5b4c3d2e1f0";
+    let (status, record_body) = send_until_recorded(&server, "POST", "/analyze", &body, sent_trace);
+    assert_eq!(status, 200);
+    let doc = parse(&record_body).expect("trace record is valid JSON");
+    assert_eq!(
+        doc.get("trace").and_then(JsonValue::as_str),
+        Some(sent_trace)
+    );
+    assert_eq!(
+        doc.get("endpoint").and_then(JsonValue::as_str),
+        Some("/analyze")
+    );
+    assert_eq!(doc.get("status").and_then(JsonValue::as_f64), Some(200.0));
+    let elapsed = doc
+        .get("elapsed_us")
+        .and_then(JsonValue::as_f64)
+        .expect("elapsed_us");
+    assert!(elapsed >= 1.0);
+    let spans = doc
+        .get("spans")
+        .and_then(JsonValue::as_array)
+        .expect("spans array");
+    assert!(!spans.is_empty(), "an /analyze trace records phases");
+    // The root span is the endpoint span; children stay inside it.
+    let root_dur = spans[0]
+        .get("dur_us")
+        .and_then(JsonValue::as_f64)
+        .expect("root dur_us");
+    assert!(root_dur <= elapsed);
+
+    // The summary listing carries the same request.
+    let r = client::request("GET", &server.url(), "/traces?n=100", None).unwrap();
+    assert_eq!(r.status, 200);
+    let listing = parse(&r.body).expect("traces listing is valid JSON");
+    let summaries = listing.as_array().expect("listing is an array");
+    let ours = summaries
+        .iter()
+        .find(|s| s.get("trace").and_then(JsonValue::as_str) == Some(sent_trace))
+        .expect("recorded trace appears in GET /traces");
+    assert_eq!(
+        ours.get("spans").and_then(JsonValue::as_f64),
+        Some(spans.len() as f64),
+        "summary span count matches the full record"
+    );
+
+    // Filters apply: a status filter that matches nothing hides it.
+    let r = client::request("GET", &server.url(), "/traces?n=100&status=404", None).unwrap();
+    assert_eq!(r.status, 200);
+    assert!(
+        !r.body.contains(sent_trace),
+        "status filter must exclude 200s"
+    );
+
+    // Query-vocabulary errors.
+    let r = client::request("GET", &server.url(), "/trace/not-hex", None).unwrap();
+    assert_eq!(r.status, 400, "malformed trace id is a client error");
+    let r = client::request(
+        "GET",
+        &server.url(),
+        "/trace/00000000000000000000000000000001",
+        None,
+    )
+    .unwrap();
+    assert_eq!(r.status, 404, "unknown trace is not found");
+    let r = client::request("GET", &server.url(), "/traces?bogus=1", None).unwrap();
+    assert_eq!(r.status, 400, "unknown query parameter is rejected");
+    server.shutdown();
+}
+
+/// Acceptance bar: recording must never perturb responses. The body a
+/// server with the flight recorder attached (every `serve()` attaches
+/// it) returns for `POST /analyze` is byte-identical to the analysis
+/// document computed directly — the same contract `graphio analyze
+/// --json` relies on, now holding through record insertion.
+#[test]
+fn analyze_bodies_are_byte_identical_with_recorder_attached() {
+    let server = test_server();
+    assert!(
+        graphio_obs::recorder::recorder().is_some(),
+        "serve() must attach the flight recorder"
+    );
+    let g = fft_butterfly(4);
+    let body = format!("{{\"graph\":{},\"memories\":[2,4,8]}}", graph_json(&g));
+    let r = client::request("POST", &server.url(), "/analyze", Some(&body)).unwrap();
+    assert_eq!(r.status, 200);
+    let spec = AnalyzeSpec {
+        memories: vec![2, 4, 8],
+        processors: 1,
+        no_sim: false,
+        compose: false,
+    };
+    let reference = analysis_body(
+        &graphio_spectral::OwnedAnalyzer::new(std::sync::Arc::new(fft_butterfly(4))),
+        &spec,
+    );
+    assert_eq!(
+        r.body.as_bytes(),
+        reference.as_bytes(),
+        "recorder must not perturb analysis bodies"
+    );
+    server.shutdown();
+}
+
+/// Tail-based retention: an error response (status ≥ 400) is pinned and
+/// written through to `--trace-store`, and the persisted record decodes
+/// to byte-identical JSON after the server is gone — the trace outlives
+/// both the ring and the process.
+#[test]
+fn pinned_error_traces_persist_to_the_trace_store() {
+    use graphio_store::{decode_trace_record, Store, StoreConfig};
+    let dir = std::env::temp_dir().join(format!("graphio_trace_store_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let server = serve(&ServiceConfig {
+        workers: 2,
+        trace_store: Some(dir.clone()),
+        ..ServiceConfig::default()
+    })
+    .expect("bind trace-store server");
+    let sent_trace = "deadbeefdeadbeefdeadbeefdeadbeef";
+    let (status, live) =
+        send_until_recorded(&server, "POST", "/analyze", "{this is not json", sent_trace);
+    assert_eq!(status, 400, "malformed body is a client error");
+    server.shutdown();
+    // After shutdown, the record must still be in the store — and decode
+    // to the exact JSON the ring served. (Read-only: the server's own
+    // store handle keeps the in-process write lock until it drops.)
+    let store = Store::open_read_only(&dir, StoreConfig::default()).expect("reopen trace store");
+    let trace = graphio_obs::parse_trace_hex(sent_trace).unwrap();
+    let bytes = store
+        .get(graphio_graph::Fingerprint(trace))
+        .expect("store read")
+        .expect("pinned error trace persisted");
+    let stored = decode_trace_record(&bytes).expect("stored trace decodes");
+    assert_eq!(stored.to_json() + "\n", live);
+    assert_eq!(stored.status, 400);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// `--slow-log-us 0` logs every request as a JSON phase tree whose trace
 /// matches the response's `X-Graphio-Trace`, whose root span covers its
 /// children, and whose children's durations sum to no more than the

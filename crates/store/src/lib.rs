@@ -43,7 +43,8 @@ pub mod codec;
 pub mod segment;
 
 pub use codec::{
-    canonical_edge_list, decode_session, encode_session, CodecError, StoredSession, SESSION_VERSION,
+    canonical_edge_list, decode_session, decode_trace_record, encode_session, encode_trace_record,
+    CodecError, StoredSession, StoredTrace, StoredTraceSpan, SESSION_VERSION, TRACE_RECORD_VERSION,
 };
 pub use segment::{Store, StoreConfig, StoreStats};
 

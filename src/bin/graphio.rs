@@ -63,15 +63,17 @@ fn usage() -> ! {
          graphio analyze --memory-sweep <M1,M2,...> [--processors <p>] [--threads <N>] [--simd off|strict|fast] [--scale-tier auto|dense|sparse|huge] [--no-sim] [--compose] [--json] < graph.json\n  \
          graphio simulate --memory <M> [--policy lru|fifo|belady|random] [--order natural|dfs|bfs] [--threads <N>] < graph.json\n  \
          graphio dot < graph.json\n  \
-         graphio serve [--host <H>] [--port <P>] [--workers <W>] [--queue <Q>] [--cache-mb <B>] [--shards <S>] [--max-sessions <K>] [--threads <N>] [--simd <POLICY>] [--scale-tier <TIER>] [--idle-ms <T>] [--max-requests <R>] [--store <DIR>] [--store-mb <B>] [--slow-log-us <T>] [--slow-log-file <F>]\n  \
+         graphio serve [--host <H>] [--port <P>] [--workers <W>] [--queue <Q>] [--cache-mb <B>] [--shards <S>] [--max-sessions <K>] [--threads <N>] [--simd <POLICY>] [--scale-tier <TIER>] [--idle-ms <T>] [--max-requests <R>] [--store <DIR>] [--store-mb <B>] [--slow-log-us <T>] [--slow-log-file <F>] [--trace-store <DIR>]\n  \
          graphio client analyze --url <http://host:port> --memory-sweep <M1,...> [--processors <p>] [--no-sim] [--keep-alive] [--repeat <N>] [--json] < graph.json\n  \
          graphio client batch --url <http://host:port> --memory-sweep <M1,...> [--processors <p>] [--no-sim] < graphs.ndjson\n  \
          graphio client register --url <http://host:port> < graph.json\n  \
          graphio client stats|health --url <http://host:port>\n  \
          graphio router --backends <host:port,host:port,...> [--listen <H:P>] [--replicas <K>] [--workers <W>] [--queue <Q>] [--health-ms <T>] [--slow-log-us <T>] [--slow-log-file <F>]\n  \
          graphio cluster [--backends <N>] [--listen <H:P>] [--replicas <K>] [--workers <W>]\n  \
-         graphio loadgen --url <http://host:port> [--rps <R>] [--duration <S>] [--conns <C>] [--path <P>] [--body <FILE.ndjson: one body per line, cycled>]\n  \
+         graphio loadgen --url <http://host:port> [--rps <R>] [--duration <S>] [--conns <C>] [--path <P>] [--body <FILE.ndjson: one body per line, cycled>] [--json]\n  \
          graphio loadgen --seed-bench [--out <FILE>]\n  \
+         graphio trace <id> [--server <http://host:port>]\n  \
+         graphio traces [--slowest <K>] [--server <http://host:port>]\n  \
          graphio precompute --store <DIR> [--store-mb <B>] [--threads <N>] [--jobs <J>] < graphs.ndjson\n  \
          graphio store stat|ls|compact|export --store <DIR>\n  \
          graphio store get --store <DIR> --fingerprint <HEX>\n\n\
@@ -521,6 +523,7 @@ fn cmd_serve(args: &[String]) {
             "--scale-tier",
             "--slow-log-us",
             "--slow-log-file",
+            "--trace-store",
         ],
         &[],
     );
@@ -562,6 +565,7 @@ fn cmd_serve(args: &[String]) {
             store: store_config(&parsed),
         }),
         slow_log: slow_log_config(&parsed),
+        trace_store: parsed.flag("--trace-store").map(Into::into),
     };
     if parsed.has("--store-mb") && config.store.is_none() {
         eprintln!("error: --store-mb requires --store in `graphio serve`");
@@ -1105,7 +1109,7 @@ fn cmd_loadgen(args: &[String]) {
             "--body",
             "--out",
         ],
-        &["--seed-bench"],
+        &["--seed-bench", "--json"],
     );
     if !parsed.positional.is_empty() {
         usage();
@@ -1154,7 +1158,13 @@ fn cmd_loadgen(args: &[String]) {
         eprintln!("error: {e}");
         std::process::exit(1);
     });
-    write_stdout(&(report.to_json() + "\n"));
+    // Humans get the readable summary; `--json` keeps the stable
+    // machine-readable line (what the CI driver greps).
+    if parsed.has("--json") {
+        write_stdout(&(report.to_json() + "\n"));
+    } else {
+        write_stdout(&(report.to_human() + "\n"));
+    }
 }
 
 /// An `/analyze` request body for `g` over `memories`.
@@ -1477,6 +1487,165 @@ fn run_keep_alive_analyze(
     Ok(last)
 }
 
+/// Default server for the trace subcommands: the `graphio serve` /
+/// `graphio cluster` default port.
+const DEFAULT_TRACE_SERVER: &str = "http://127.0.0.1:7878";
+
+/// `graphio trace <id> [--server URL]`: fetch one flight-recorder record
+/// — through a router this is the assembled distributed tree — and
+/// pretty-print its phase tree with per-span share of the parent.
+fn cmd_trace(args: &[String]) {
+    let parsed = parse_args("trace", args, &["--server"], &[]);
+    let [id] = parsed.positional.as_slice() else {
+        eprintln!("error: `graphio trace` expects exactly one trace id");
+        usage()
+    };
+    let url = parsed.flag("--server").unwrap_or(DEFAULT_TRACE_SERVER);
+    let response = client::request("GET", url, &format!("/trace/{id}"), None);
+    match response {
+        Ok(r) if r.status == 200 => {
+            let doc = graphio::graph::json::parse(&r.body).unwrap_or_else(|e| {
+                eprintln!("error: trace response is not JSON: {e}");
+                std::process::exit(1);
+            });
+            write_stdout(&render_trace(&doc));
+        }
+        Ok(r) => {
+            eprintln!("error: server returned {}: {}", r.status, r.body.trim_end());
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `graphio traces [--slowest K] [--server URL]`: list the slowest recent
+/// flight-recorder records, one line each — the candidates to feed into
+/// `graphio trace <id>`.
+fn cmd_traces(args: &[String]) {
+    let parsed = parse_args("traces", args, &["--server", "--slowest"], &[]);
+    if !parsed.positional.is_empty() {
+        usage();
+    }
+    let url = parsed.flag("--server").unwrap_or(DEFAULT_TRACE_SERVER);
+    let k: usize = parsed.parse_flag("--slowest").unwrap_or(10).max(1);
+    // Over-fetch the whole ring and rank client-side: "slowest" is a
+    // different order than the server's "most recent".
+    let response = client::request("GET", url, "/traces?n=4096", None);
+    let body = match response {
+        Ok(r) if r.status == 200 => r.body,
+        Ok(r) => {
+            eprintln!("error: server returned {}: {}", r.status, r.body.trim_end());
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    let doc = graphio::graph::json::parse(&body).unwrap_or_else(|e| {
+        eprintln!("error: traces response is not JSON: {e}");
+        std::process::exit(1);
+    });
+    use graphio::graph::json::JsonValue;
+    let mut records: Vec<&JsonValue> = doc.as_array().unwrap_or(&[]).iter().collect();
+    records.sort_by_key(|r| {
+        std::cmp::Reverse(r.get("elapsed_us").and_then(JsonValue::as_u64).unwrap_or(0))
+    });
+    let mut out = String::new();
+    for record in records.into_iter().take(k) {
+        let field = |key: &str| {
+            record
+                .get(key)
+                .and_then(JsonValue::as_str)
+                .unwrap_or("-")
+                .to_string()
+        };
+        let num = |key: &str| record.get(key).and_then(JsonValue::as_u64).unwrap_or(0);
+        out.push_str(&format!(
+            "{}  {:>10}µs  status {}  {}  spans {}\n",
+            field("trace"),
+            num("elapsed_us"),
+            num("status"),
+            field("endpoint"),
+            num("spans"),
+        ));
+    }
+    if out.is_empty() {
+        eprintln!("no recorded traces at {url}");
+        return;
+    }
+    write_stdout(&out);
+}
+
+/// Renders one `GET /trace/{id}` document as an indented phase tree:
+/// header scalars, then one line per span with its duration and share of
+/// the parent span's duration.
+fn render_trace(doc: &graphio::graph::json::JsonValue) -> String {
+    use graphio::graph::json::JsonValue;
+    let text = |key: &str| doc.get(key).and_then(JsonValue::as_str).unwrap_or("-");
+    let num = |key: &str| doc.get(key).and_then(JsonValue::as_u64).unwrap_or(0);
+    let mut out = format!(
+        "trace {}  endpoint {}  status {}  elapsed {}µs\n",
+        text("trace"),
+        text("endpoint"),
+        num("status"),
+        num("elapsed_us"),
+    );
+    if let Some(fp) = doc.get("fingerprint").and_then(JsonValue::as_str) {
+        out.push_str(&format!("fingerprint {fp}  session {}\n", text("outcome")));
+    }
+    if let Some(backends) = doc.get("backends").and_then(JsonValue::as_array) {
+        let names: Vec<&str> = backends.iter().filter_map(JsonValue::as_str).collect();
+        if !names.is_empty() {
+            out.push_str(&format!("backends: {}\n", names.join(", ")));
+        }
+    }
+    let dropped = num("dropped_spans");
+    if dropped > 0 {
+        out.push_str(&format!("dropped spans: {dropped}\n"));
+    }
+    let spans = doc
+        .get("spans")
+        .and_then(JsonValue::as_array)
+        .unwrap_or(&[]);
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); spans.len()];
+    let mut roots: Vec<usize> = Vec::new();
+    for (i, span) in spans.iter().enumerate() {
+        match span.get("parent").and_then(JsonValue::as_u64) {
+            Some(p) if (p as usize) < i => children[p as usize].push(i),
+            _ => roots.push(i),
+        }
+    }
+    fn emit(
+        out: &mut String,
+        spans: &[graphio::graph::json::JsonValue],
+        children: &[Vec<usize>],
+        index: usize,
+        depth: usize,
+        parent_us: Option<u64>,
+    ) {
+        use graphio::graph::json::JsonValue;
+        let span = &spans[index];
+        let name = span.get("name").and_then(JsonValue::as_str).unwrap_or("?");
+        let dur = span.get("dur_us").and_then(JsonValue::as_u64).unwrap_or(0);
+        let share = match parent_us {
+            Some(p) if p > 0 => format!("  ({:.1}% of parent)", 100.0 * dur as f64 / p as f64),
+            _ => String::new(),
+        };
+        out.push_str(&format!("{}{name}  {dur}µs{share}\n", "  ".repeat(depth)));
+        for &child in &children[index] {
+            emit(out, spans, children, child, depth + 1, Some(dur));
+        }
+    }
+    for root in roots {
+        emit(&mut out, spans, &children, root, 1, None);
+    }
+    out
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else { usage() };
@@ -1491,6 +1660,8 @@ fn main() {
         "router" => cmd_router(rest),
         "cluster" => cmd_cluster(rest),
         "loadgen" => cmd_loadgen(rest),
+        "trace" => cmd_trace(rest),
+        "traces" => cmd_traces(rest),
         "store" => cmd_store(rest),
         "precompute" => cmd_precompute(rest),
         "dot" => {
