@@ -22,18 +22,34 @@
 //!   completed requests as fixed-size records in a seqlock ring, plus a
 //!   pinned ring for tail-based retention of slow and error traces.
 //!   `GET /trace/{id}` and `GET /traces` read it back.
+//! - [`profile`]: a sampling profiler over per-thread published span
+//!   stacks (single-writer seqlocks). `GET /debug/profile?seconds=S`
+//!   samples the registered threads and renders collapsed-stack
+//!   flamegraph text; the router merges backend profiles under
+//!   `backend <addr>` frames.
+//! - [`alloc`]: a `GlobalAlloc` wrapper attributing allocation bytes and
+//!   counts to the innermost active span — per-phase counters on
+//!   `/metrics`, per-node `alloc_bytes`/`allocs` in trace records.
+//! - [`procfs`]: std-only `/proc` readers (RSS, per-thread CPU, fd and
+//!   thread counts) behind golden-tested parsers, exposed as
+//!   `process_*`/`thread_*` gauges.
 //!
 //! Trace IDs are 128-bit, wire-encoded as 32 hex chars in the
 //! `X-Graphio-Trace` header: minted at the router, propagated to
 //! backends, echoed in responses.
 
+pub mod alloc;
 pub mod expo;
 pub mod hist;
+pub mod procfs;
+pub mod profile;
 pub mod recorder;
 pub mod span;
 
+pub use alloc::CountingAlloc;
 pub use expo::{parse as parse_metrics, render_registered, Exposition, MetricsText};
 pub use hist::{bucket_index, bucket_upper_bound, Exemplar, HistSnapshot, Histogram, BUCKETS};
+pub use profile::Profile;
 pub use recorder::{CacheOutcome, Recorder, TraceRecord, RECORD_NODES};
 pub use span::{
     begin_request, current_trace_id, enabled, histogram, mint_trace_id, parse_trace_hex,

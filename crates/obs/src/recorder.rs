@@ -99,6 +99,8 @@ const EMPTY_NODE: TraceNode = TraceNode {
     parent: None,
     start_us: 0,
     dur_us: 0,
+    alloc_bytes: 0,
+    allocs: 0,
 };
 
 /// One completed request, as the recorder stores it: fixed-size and
@@ -197,16 +199,7 @@ impl TraceRecord {
             if i > 0 {
                 out.push(',');
             }
-            match node.parent {
-                Some(p) => out.push_str(&format!(
-                    "{{\"name\":\"{}\",\"parent\":{},\"start_us\":{},\"dur_us\":{}}}",
-                    node.name, p, node.start_us, node.dur_us
-                )),
-                None => out.push_str(&format!(
-                    "{{\"name\":\"{}\",\"parent\":null,\"start_us\":{},\"dur_us\":{}}}",
-                    node.name, node.start_us, node.dur_us
-                )),
-            }
+            out.push_str(&node.to_json());
         }
         out.push_str("]}");
         out
@@ -349,6 +342,17 @@ impl Ring {
     fn scan(&self) -> Vec<TraceRecord> {
         (0..self.slots.len()).filter_map(|i| self.read(i)).collect()
     }
+
+    /// Slots holding a stable record right now (written, not mid-write).
+    fn occupancy(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| {
+                let v = s.version.load(Ordering::Relaxed);
+                v != 0 && v & 1 == 0
+            })
+            .count()
+    }
 }
 
 /// The flight recorder: a main ring for every completed request plus a
@@ -357,6 +361,10 @@ impl Ring {
 pub struct Recorder {
     ring: Ring,
     pinned: Ring,
+    /// Sum of `dropped_spans` over every inserted record — the recorder's
+    /// health counter on `/metrics` (trees truncated by the span cap or
+    /// the inline-array cap).
+    dropped_spans: AtomicU64,
 }
 
 impl Recorder {
@@ -367,6 +375,7 @@ impl Recorder {
         Recorder {
             ring: Ring::new(capacity),
             pinned: Ring::new(capacity / 8),
+            dropped_spans: AtomicU64::new(0),
         }
     }
 
@@ -374,6 +383,10 @@ impl Recorder {
     /// the pinned ring so it outlives main-ring churn. Returns the
     /// record's sequence number. Lock-free on every path.
     pub fn insert(&self, record: TraceRecord, pin: bool) -> u64 {
+        if record.dropped_spans > 0 {
+            self.dropped_spans
+                .fetch_add(record.dropped_spans, Ordering::Relaxed);
+        }
         let seq = self.ring.push(record, true);
         if pin {
             // Pre-stamp the main-ring sequence number so the same request
@@ -462,6 +475,54 @@ impl Recorder {
     #[must_use]
     pub fn inserted(&self) -> u64 {
         self.ring.head.load(Ordering::Relaxed)
+    }
+
+    /// Total spans dropped from inserted records' trees.
+    #[must_use]
+    pub fn dropped_spans_total(&self) -> u64 {
+        self.dropped_spans.load(Ordering::Relaxed)
+    }
+
+    /// `(occupied, capacity)` of the main ring.
+    #[must_use]
+    pub fn ring_occupancy(&self) -> (usize, usize) {
+        (self.ring.occupancy(), self.ring.slots.len())
+    }
+
+    /// `(occupied, capacity)` of the pinned ring.
+    #[must_use]
+    pub fn pinned_occupancy(&self) -> (usize, usize) {
+        (self.pinned.occupancy(), self.pinned.slots.len())
+    }
+}
+
+/// Appends the flight recorder's health series to a `/metrics`
+/// exposition: total dropped spans and live/pinned ring occupancy against
+/// capacity. Emits nothing when no recorder is attached.
+pub fn render(out: &mut crate::expo::MetricsText) {
+    let Some(r) = recorder() else {
+        return;
+    };
+    out.counter(
+        "graphio_recorder_dropped_spans_total",
+        &[],
+        r.dropped_spans_total(),
+    );
+    out.counter("graphio_recorder_inserted_total", &[], r.inserted());
+    for (ring, (occupied, capacity)) in [
+        ("live", r.ring_occupancy()),
+        ("pinned", r.pinned_occupancy()),
+    ] {
+        out.gauge(
+            "graphio_recorder_ring_occupancy",
+            &[("ring", ring)],
+            occupied as f64,
+        );
+        out.gauge(
+            "graphio_recorder_ring_capacity",
+            &[("ring", ring)],
+            capacity as f64,
+        );
     }
 }
 
@@ -559,6 +620,8 @@ mod tests {
                 parent: None,
                 start_us: 0,
                 dur_us: elapsed_us,
+                alloc_bytes: 0,
+                allocs: 0,
             }],
             dropped_spans: 0,
         };
@@ -601,6 +664,20 @@ mod tests {
     }
 
     #[test]
+    fn health_counters_track_drops_and_occupancy() {
+        let r = Recorder::new(16);
+        assert_eq!(r.dropped_spans_total(), 0);
+        assert_eq!(r.ring_occupancy(), (0, 16));
+        let mut dropped = record(1, 10, 200);
+        dropped.dropped_spans = 3;
+        r.insert(dropped, true);
+        r.insert(record(2, 10, 200), false);
+        assert_eq!(r.dropped_spans_total(), 3);
+        assert_eq!(r.ring_occupancy().0, 2);
+        assert_eq!(r.pinned_occupancy(), (1, 8), "capacity/8 floored at 8");
+    }
+
+    #[test]
     fn recent_filters_and_orders_newest_first() {
         let r = Recorder::new(64);
         r.insert(record(1, 10, 200), false);
@@ -627,6 +704,8 @@ mod tests {
                 parent: i.checked_sub(1),
                 start_us: i as u64,
                 dur_us: 1,
+                alloc_bytes: 0,
+                allocs: 0,
             })
             .collect();
         let summary = TraceSummary {

@@ -14,7 +14,10 @@
 //! no allocation, nothing. The serving paths ([`set_enabled`] is called
 //! by `graphio serve`, `graphio router` and the loadgen) flip the flag
 //! on; an enabled span costs two `Instant::now()` calls, one lock-free
-//! histogram record, and (inside a traced request only) one `Vec` push.
+//! histogram record, a seqlock frame push/pop on the thread's published
+//! profiler stack (`crate::profile`), two thread-local allocation-total
+//! reads (`crate::alloc`), and (inside a traced request only) one `Vec`
+//! push.
 //!
 //! ## Trace trees
 //!
@@ -171,6 +174,12 @@ pub struct TraceNode {
     pub start_us: u64,
     /// The span's duration in microseconds.
     pub dur_us: u64,
+    /// Bytes allocated on this thread while the span was open
+    /// (*inclusive* — covers child spans, like `dur_us`). Zero unless the
+    /// binary installed [`crate::alloc::CountingAlloc`] and enabled it.
+    pub alloc_bytes: u64,
+    /// Allocation count over the same window, same inclusivity.
+    pub allocs: u64,
 }
 
 struct RequestCtx {
@@ -221,19 +230,26 @@ impl TraceSummary {
             if i > 0 {
                 out.push(',');
             }
-            match node.parent {
-                Some(p) => out.push_str(&format!(
-                    "{{\"name\":\"{}\",\"parent\":{},\"start_us\":{},\"dur_us\":{}}}",
-                    node.name, p, node.start_us, node.dur_us
-                )),
-                None => out.push_str(&format!(
-                    "{{\"name\":\"{}\",\"parent\":null,\"start_us\":{},\"dur_us\":{}}}",
-                    node.name, node.start_us, node.dur_us
-                )),
-            }
+            out.push_str(&node.to_json());
         }
         out.push_str("]}");
         out
+    }
+}
+
+impl TraceNode {
+    /// One span object of the slow-log / trace-record schema.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let parent = match self.parent {
+            Some(p) => p.to_string(),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"name\":\"{}\",\"parent\":{parent},\"start_us\":{},\"dur_us\":{},\
+             \"alloc_bytes\":{},\"allocs\":{}}}",
+            self.name, self.start_us, self.dur_us, self.alloc_bytes, self.allocs
+        )
     }
 }
 
@@ -327,6 +343,13 @@ struct LiveSpan {
     hist: &'static Histogram,
     /// This span's node index in the thread's trace tree, when collected.
     node: Option<usize>,
+    /// Thread-cumulative `(bytes, allocs)` at entry; drop differences a
+    /// second reading to charge the node (zero deltas when the counting
+    /// allocator is absent or off).
+    alloc0: (u64, u64),
+    /// Whether this span's frame was published to the profiler stack
+    /// (false only during TLS teardown); guards the matching pop.
+    published: bool,
 }
 
 impl SpanGuard {
@@ -357,6 +380,9 @@ impl SpanGuard {
 
     fn open(name: &'static str, hist: &'static Histogram) -> SpanGuard {
         let start = Instant::now();
+        // Snapshot allocation totals before the node push below, so the
+        // tree's own bookkeeping is charged to the parent phase.
+        let alloc0 = crate::alloc::thread_totals();
         let node = REQUEST.with(|cell| {
             let mut slot = cell.borrow_mut();
             let ctx = slot.as_mut().filter(|c| c.collect)?;
@@ -371,13 +397,22 @@ impl SpanGuard {
                 parent,
                 start_us,
                 dur_us: 0,
+                alloc_bytes: 0,
+                allocs: 0,
             });
             let index = ctx.nodes.len() - 1;
             ctx.stack.push(index);
             Some(index)
         });
+        let published = crate::profile::push_frame(name);
         SpanGuard {
-            live: Some(LiveSpan { start, hist, node }),
+            live: Some(LiveSpan {
+                start,
+                hist,
+                node,
+                alloc0,
+                published,
+            }),
         }
     }
 }
@@ -388,6 +423,12 @@ impl Drop for SpanGuard {
             return;
         };
         let dur_us = live.start.elapsed().as_micros() as u64;
+        // Difference the allocation totals before unpublishing, so a
+        // concurrent allocator hook still sees this span as innermost.
+        let (bytes_now, allocs_now) = crate::alloc::thread_totals();
+        if live.published {
+            crate::profile::pop_frame();
+        }
         live.hist.record(dur_us);
         if let Some(index) = live.node {
             REQUEST.with(|cell| {
@@ -395,6 +436,8 @@ impl Drop for SpanGuard {
                 if let Some(ctx) = slot.as_mut() {
                     if let Some(node) = ctx.nodes.get_mut(index) {
                         node.dur_us = dur_us;
+                        node.alloc_bytes = bytes_now.saturating_sub(live.alloc0.0);
+                        node.allocs = allocs_now.saturating_sub(live.alloc0.1);
                     }
                     // Drop order nests, but a span can legitimately cross
                     // into finish-less cleanup; only pop our own frame.

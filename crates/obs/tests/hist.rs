@@ -182,7 +182,33 @@ proptest! {
 fn empty_snapshot_is_all_zeros() {
     let snap = Histogram::new().snapshot();
     assert_eq!(snap, HistSnapshot::default());
-    assert_eq!(snap.quantile(0.99), 0);
+    // Every quantile of an empty histogram is 0 — including the edges and
+    // out-of-range inputs, which must not panic, index out of bounds, or
+    // return a bucket bound. (p50/p90/p99 are the `/metrics` summary
+    // wrappers; a freshly-attached endpoint serves them before its first
+    // request.)
+    for q in [
+        f64::MIN,
+        -1.0,
+        0.0,
+        1e-12,
+        0.25,
+        0.5,
+        0.9,
+        0.99,
+        0.999,
+        1.0,
+        2.0,
+        f64::MAX,
+        f64::NAN,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+    ] {
+        assert_eq!(snap.quantile(q), 0, "empty quantile({q}) must be 0");
+    }
+    assert_eq!(snap.p50(), 0);
+    assert_eq!(snap.p90(), 0);
+    assert_eq!(snap.p99(), 0);
     let mut merged = HistSnapshot::default();
     merged.merge(&snap);
     assert_eq!(merged, HistSnapshot::default());

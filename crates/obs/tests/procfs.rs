@@ -1,0 +1,90 @@
+//! Golden tests for the `/proc` parsers against committed fixture files:
+//! the exact field offsets of stat/statm/task layouts are pinned here, so
+//! parser drift fails in CI instead of silently zeroing the gauges.
+
+use graphio_obs::procfs::{
+    parse_auxv_page_size, parse_stat, parse_statm, StatFields, Statm, USER_HZ,
+};
+
+const STAT: &str = include_str!("fixtures/stat");
+const STATM: &str = include_str!("fixtures/statm");
+const TASK_STAT: &str = include_str!("fixtures/task_stat");
+
+#[test]
+fn stat_fixture_parses_field_for_field() {
+    let got = parse_stat(STAT).expect("fixture stat parses");
+    assert_eq!(
+        got,
+        StatFields {
+            pid: 1234,
+            // The comm contains a `)`: splitting must use the *last* one.
+            comm: "graphio) srv".to_string(),
+            state: 'S',
+            utime_ticks: 1234,
+            stime_ticks: 567,
+            num_threads: 9,
+            rss_pages: 2560,
+        }
+    );
+}
+
+#[test]
+fn task_stat_fixture_parses_like_the_process_stat() {
+    let got = parse_stat(TASK_STAT).expect("fixture task stat parses");
+    assert_eq!(got.pid, 1240);
+    assert_eq!(got.comm, "graphio-worker3");
+    assert_eq!(got.state, 'R');
+    assert_eq!(got.utime_ticks, 88);
+    assert_eq!(got.stime_ticks, 11);
+    // Tick → seconds conversion assumed by the exposed gauges.
+    assert!((got.utime_ticks as f64 / USER_HZ as f64 - 0.88).abs() < 1e-9);
+}
+
+#[test]
+fn statm_fixture_parses_the_first_three_columns() {
+    assert_eq!(
+        parse_statm(STATM).expect("fixture statm parses"),
+        Statm {
+            size_pages: 25600,
+            resident_pages: 2560,
+            shared_pages: 1024,
+        }
+    );
+}
+
+#[test]
+fn malformed_inputs_parse_to_none_not_zeroes() {
+    for bad in [
+        "",
+        "1234",
+        "1234 (comm",                   // unclosed comm
+        "1234 (comm) S 1 2 3",          // too few fields
+        "abc (comm) S 1 2 3 4 5 6 7 8", // non-numeric pid
+    ] {
+        assert!(parse_stat(bad).is_none(), "stat {bad:?} must not parse");
+    }
+    assert!(parse_statm("12 34").is_none(), "statm needs three columns");
+    assert!(parse_statm("a b c").is_none());
+}
+
+#[test]
+fn auxv_pairs_yield_at_pagesz_and_stop_at_the_null_key() {
+    let word = |v: usize| v.to_ne_bytes();
+    let mut auxv: Vec<u8> = Vec::new();
+    // (AT_UID=11, 1000), (AT_PAGESZ=6, 16384), (AT_NULL, AT_NULL)
+    for (k, v) in [(11usize, 1000usize), (6, 16384), (0, 0)] {
+        auxv.extend_from_slice(&word(k));
+        auxv.extend_from_slice(&word(v));
+    }
+    assert_eq!(parse_auxv_page_size(&auxv), Some(16384));
+
+    // Terminator before AT_PAGESZ hides it.
+    let mut truncated: Vec<u8> = Vec::new();
+    for (k, v) in [(11usize, 1000usize), (0, 0), (6, 16384)] {
+        truncated.extend_from_slice(&word(k));
+        truncated.extend_from_slice(&word(v));
+    }
+    assert_eq!(parse_auxv_page_size(&truncated), None);
+    assert_eq!(parse_auxv_page_size(&[]), None);
+    assert_eq!(parse_auxv_page_size(&[1, 2, 3]), None, "ragged tail");
+}

@@ -231,6 +231,10 @@ pub fn serve_router(config: &RouterConfig) -> io::Result<RouterServer> {
     // answers with the router-side tree joined to the backends'.
     recorder::attach(recorder::DEFAULT_CAPACITY);
     graphio_obs::set_enabled(true);
+    // Same second switch as the analysis server: under the CLI's counting
+    // allocator this attributes router-side allocations (body buffers,
+    // scatter/gather assembly) to their phases; without it, it's inert.
+    graphio_obs::alloc::set_enabled(true);
     let listener = TcpListener::bind((config.host.as_str(), config.port))?;
     let addr = listener.local_addr()?;
     let ring = Ring::new(&config.backends, config.replicas);
@@ -441,6 +445,9 @@ fn route(stream: &mut TcpStream, request: &Request, state: &Arc<RouterState>, ke
         ("GET", p) if p.starts_with("/trace/") => handle_trace(stream, request, state, keep),
         ("GET", p) if p == "/traces" || p.starts_with("/traces?") => {
             handle_traces(stream, request, state, keep)
+        }
+        ("GET", p) if p == "/debug/profile" || p.starts_with("/debug/profile?") => {
+            handle_profile(stream, request, state, keep)
         }
         ("POST", "/analyze") => handle_passthrough(stream, request, state, keep, true),
         ("POST", "/graphs") => handle_passthrough(stream, request, state, keep, false),
@@ -974,6 +981,9 @@ pub fn assemble_trace(router: &JsonValue, backends: &[(String, JsonValue)]) -> J
                 Some(p) => (base + 1) as f64 + p,
                 None => base as f64,
             };
+            // Allocation attribution rides along: backend spans carry
+            // `alloc_bytes`/`allocs` and the assembled view keeps them
+            // (absent fields — older backends — re-emit as 0).
             spans.push(JsonValue::Object(vec![
                 (
                     "name".to_string(),
@@ -982,6 +992,8 @@ pub fn assemble_trace(router: &JsonValue, backends: &[(String, JsonValue)]) -> J
                 ("parent".to_string(), JsonValue::Number(parent)),
                 ("start_us".to_string(), field("start_us")),
                 ("dur_us".to_string(), field("dur_us")),
+                ("alloc_bytes".to_string(), field("alloc_bytes")),
+                ("allocs".to_string(), field("allocs")),
             ]));
         }
         joined.push(JsonValue::String(addr.clone()));
@@ -1070,6 +1082,78 @@ fn handle_trace(stream: &mut TcpStream, request: &Request, state: &Arc<RouterSta
     let mut extra: Vec<(&str, String)> = Vec::new();
     graphio_service::push_obs_headers(&mut extra);
     let _ = write_response(stream, 200, "OK", keep, &extra, body.as_bytes());
+}
+
+/// `GET /debug/profile?seconds=S` at the router: the cluster-wide
+/// flamegraph. Every backend's `/debug/profile` is fetched concurrently
+/// on throwaway connections (like `/stats` and `/trace/{id}` — never the
+/// pooled request connections) while the router samples its *own* thread
+/// stacks for the same window; backend stacks merge under a
+/// `backend <addr>` root frame, exactly the shape `assemble_trace` gives
+/// the distributed span tree. S is capped at
+/// [`graphio_obs::profile::MAX_SECONDS`], well under the scrape client's
+/// read timeout, so the fan-out cannot hang the handler.
+fn handle_profile(stream: &mut TcpStream, request: &Request, state: &Arc<RouterState>, keep: bool) {
+    let query = request.path.split_once('?').map_or("", |x| x.1);
+    let seconds = match graphio_obs::profile::parse_profile_query(query) {
+        Ok(s) => s,
+        Err(msg) => {
+            state.errors.fetch_add(1, Ordering::Relaxed);
+            respond_error(stream, 400, keep, &msg);
+            return;
+        }
+    };
+    let path = format!("/debug/profile?seconds={seconds}");
+    let (local, fetched): (graphio_obs::Profile, Vec<Option<(String, String)>>) =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = state
+                .upstreams
+                .iter()
+                .map(|up| {
+                    let url = format!("http://{}", up.addr());
+                    let path = path.clone();
+                    let addr = up.addr().to_string();
+                    scope.spawn(move || {
+                        let response =
+                            graphio_service::client::request("GET", &url, &path, None).ok()?;
+                        if response.status != 200 {
+                            return None;
+                        }
+                        Some((addr, response.body))
+                    })
+                })
+                .collect();
+            // Sample the router itself on the handler thread while the
+            // backends sample themselves: one S-second window, whole
+            // cluster.
+            let local = graphio_obs::profile::sample_for(
+                Duration::from_secs(seconds),
+                graphio_obs::profile::DEFAULT_HZ,
+            );
+            let fetched = handles
+                .into_iter()
+                .map(|h| h.join().expect("profile scrape thread"))
+                .collect();
+            (local, fetched)
+        });
+    let mut body = local.to_collapsed();
+    for (addr, backend_body) in fetched.into_iter().flatten() {
+        body.push_str(&graphio_obs::profile::prefix_collapsed(
+            &backend_body,
+            &format!("backend {addr}"),
+        ));
+    }
+    let mut extra: Vec<(&str, String)> = Vec::new();
+    graphio_service::push_obs_headers(&mut extra);
+    let _ = write_response_typed(
+        stream,
+        200,
+        "OK",
+        keep,
+        "text/plain; charset=utf-8",
+        &extra,
+        body.as_bytes(),
+    );
 }
 
 /// `GET /traces` at the router: the router's own recent flight-recorder
@@ -1176,6 +1260,9 @@ fn handle_metrics(stream: &mut TcpStream, state: &Arc<RouterState>, keep: bool) 
         );
     }
     graphio_obs::render_registered(&mut m);
+    recorder::render(&mut m);
+    graphio_obs::alloc::render(&mut m);
+    graphio_obs::procfs::render(&mut m);
     let body = m.into_string();
     let mut extra: Vec<(&str, String)> = Vec::new();
     graphio_service::push_obs_headers(&mut extra);
@@ -1311,6 +1398,7 @@ fn handle_stats(stream: &mut TcpStream, state: &Arc<RouterState>, keep: bool) {
                 ),
             ]),
         ),
+        ("process".to_string(), graphio_service::process_stats_doc()),
         (
             "mixed_versions".to_string(),
             JsonValue::Bool(versions.len() > 1),

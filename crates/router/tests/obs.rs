@@ -83,6 +83,28 @@ fn router_metrics_exposition_is_valid_with_per_backend_series() {
         })
         .sum();
     assert_eq!(forwarded, 3.0);
+    // Recorder health and process gauges surface at the router tier too
+    // (same series names as the service, scraped per process in a real
+    // cluster).
+    for name in [
+        "graphio_recorder_dropped_spans_total",
+        "graphio_recorder_inserted_total",
+        "process_resident_bytes",
+        "process_threads",
+        "process_open_fds",
+    ] {
+        assert!(
+            expo.value(name, &[]).is_some(),
+            "metric {name} missing from router /metrics"
+        );
+    }
+    for ring in ["live", "pinned"] {
+        assert!(
+            expo.value("graphio_recorder_ring_occupancy", &[("ring", ring)])
+                .is_some(),
+            "ring occupancy {ring} missing from router /metrics"
+        );
+    }
     // The router records its own request-latency histograms per
     // endpoint. In-process backends share the registry (one process, one
     // registry), so the count is at least the router's 3 — exactly 6
@@ -115,6 +137,7 @@ fn trace_id_flows_client_to_router_to_backend_and_back() {
         Some(SlowLogConfig {
             threshold_us: 0,
             target: SlowLogTarget::File(path.to_path_buf()),
+            rotate_bytes: None,
         })
     };
     let backends = backends(2, slow(&backend_log));
@@ -424,6 +447,68 @@ fn batch_headers_and_stats_scrape_us_through_the_router() {
         assert!(scrape_us >= 1.0, "scrape_us must be positive");
         assert!(scrape_us < 60_000_000.0);
     }
+    router.shutdown();
+    for b in backends {
+        b.shutdown();
+    }
+}
+
+/// Tentpole at the router tier: `GET /debug/profile` fans out to every
+/// backend while the router samples itself; the merged collapsed-stack
+/// body parses, backend samples sit under `backend <addr>` root frames
+/// (the same shape `assemble_trace` gives the span tree), and the strict
+/// query vocabulary still 400s.
+#[test]
+fn router_profile_fans_out_and_merges_under_backend_frames() {
+    let backends = backends(2, None);
+    let router = router_over(&backends, None);
+
+    // Keep analysis phases alive on the backends for the whole window.
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let url = router.url();
+    let load = {
+        let stop = std::sync::Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let bodies = [analyze_body_for(5), analyze_body_for(6)];
+            let mut i = 0usize;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                let _ = client::request("POST", &url, "/analyze", Some(&bodies[i % 2]));
+                i += 1;
+            }
+        })
+    };
+    let r = client::request("GET", &router.url(), "/debug/profile?seconds=1", None).unwrap();
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    load.join().unwrap();
+    assert_eq!(r.status, 200, "{}", r.body);
+    let stacks = graphio_obs::profile::parse_collapsed(&r.body)
+        .unwrap_or_else(|| panic!("malformed merged profile:\n{}", r.body));
+    assert!(!stacks.is_empty(), "loaded window must catch samples");
+    // Every merged backend frame names a real backend address.
+    let addrs: Vec<String> = backends
+        .iter()
+        .map(|b| format!("backend {}", b.addr()))
+        .collect();
+    let backend_roots: Vec<&str> = stacks
+        .iter()
+        .filter_map(|(path, _)| path.first())
+        .filter(|f| f.starts_with("backend "))
+        .map(String::as_str)
+        .collect();
+    assert!(
+        !backend_roots.is_empty(),
+        "backend frames must appear in the merge:\n{}",
+        r.body
+    );
+    for root in &backend_roots {
+        assert!(
+            addrs.iter().any(|a| a == root),
+            "unknown backend frame {root}"
+        );
+    }
+
+    let r = client::request("GET", &router.url(), "/debug/profile?seconds=99", None).unwrap();
+    assert_eq!(r.status, 400, "oversized window must be refused");
     router.shutdown();
     for b in backends {
         b.shutdown();

@@ -165,13 +165,28 @@ pub struct SlowLogConfig {
     pub threshold_us: u64,
     /// Where the lines go.
     pub target: SlowLogTarget,
+    /// Size-based rotation (`--slow-log-rotate-mb N`): when a write would
+    /// push a [`SlowLogTarget::File`] past this many bytes, the file is
+    /// renamed to `<path>.1` (replacing any previous `.1`) and a fresh
+    /// file opened — one generation of history, bounded disk. `None`
+    /// (and the stderr target) never rotates.
+    pub rotate_bytes: Option<u64>,
 }
 
 /// The opened slow-log sink: threshold plus a serialized writer.
 /// Shared with the cluster router, which logs its own request trees.
 pub struct SlowLog {
     threshold_us: u64,
-    sink: std::sync::Mutex<Box<dyn io::Write + Send>>,
+    sink: std::sync::Mutex<SlowSink>,
+    /// `(path, limit)` when file rotation is configured.
+    rotate: Option<(PathBuf, u64)>,
+}
+
+struct SlowSink {
+    writer: Box<dyn io::Write + Send>,
+    /// Bytes in the current file (seeded from its length at open so
+    /// rotation carries across restarts); meaningless for stderr.
+    written: u64,
 }
 
 impl SlowLog {
@@ -180,18 +195,31 @@ impl SlowLog {
     /// # Errors
     /// Propagates file-open failures for [`SlowLogTarget::File`].
     pub fn open(config: &SlowLogConfig) -> io::Result<SlowLog> {
-        let sink: Box<dyn io::Write + Send> = match &config.target {
-            SlowLogTarget::Stderr => Box::new(io::stderr()),
-            SlowLogTarget::File(path) => Box::new(
-                std::fs::OpenOptions::new()
+        let sink = match &config.target {
+            SlowLogTarget::Stderr => SlowSink {
+                writer: Box::new(io::stderr()),
+                written: 0,
+            },
+            SlowLogTarget::File(path) => {
+                let file = std::fs::OpenOptions::new()
                     .create(true)
                     .append(true)
-                    .open(path)?,
-            ),
+                    .open(path)?;
+                let written = file.metadata().map(|m| m.len()).unwrap_or(0);
+                SlowSink {
+                    writer: Box::new(file),
+                    written,
+                }
+            }
+        };
+        let rotate = match (&config.target, config.rotate_bytes) {
+            (SlowLogTarget::File(path), Some(limit)) => Some((path.clone(), limit.max(1))),
+            _ => None,
         };
         Ok(SlowLog {
             threshold_us: config.threshold_us,
             sink: std::sync::Mutex::new(sink),
+            rotate,
         })
     }
 
@@ -201,11 +229,30 @@ impl SlowLog {
         self.threshold_us
     }
 
-    /// Writes one line. Best-effort: a full disk must not fail requests.
+    /// Writes one line. Best-effort: a full disk must not fail requests,
+    /// and neither may a failed rotation (the line goes to the old file).
     pub fn log(&self, line: &str) {
         let mut sink = self.sink.lock().expect("slow log lock");
-        let _ = writeln!(sink, "{line}");
-        let _ = sink.flush();
+        let incoming = line.len() as u64 + 1;
+        if let Some((path, limit)) = &self.rotate {
+            if sink.written > 0 && sink.written + incoming > *limit {
+                let mut rotated = path.as_os_str().to_owned();
+                rotated.push(".1");
+                if std::fs::rename(path, &rotated).is_ok() {
+                    if let Ok(file) = std::fs::OpenOptions::new()
+                        .create(true)
+                        .append(true)
+                        .open(path)
+                    {
+                        sink.writer = Box::new(file);
+                        sink.written = 0;
+                    }
+                }
+            }
+        }
+        let _ = writeln!(sink.writer, "{line}");
+        let _ = sink.writer.flush();
+        sink.written += incoming;
     }
 }
 
@@ -318,6 +365,12 @@ pub fn serve(config: &ServiceConfig) -> io::Result<Server> {
     // the serving default — `GET /trace/{id}` works out of the box.
     recorder::attach(recorder::DEFAULT_CAPACITY);
     graphio_obs::set_enabled(true);
+    // Allocation attribution is a second relaxed-load switch: flipping it
+    // on here means per-phase `alloc_bytes`/`allocs` appear in trace
+    // records and `/metrics` whenever the binary runs under
+    // `graphio_obs::CountingAlloc` (the CLI installs it); without the
+    // wrapper the switch is harmless.
+    graphio_obs::alloc::set_enabled(true);
     let listener = TcpListener::bind((config.host.as_str(), config.port))?;
     let addr = listener.local_addr()?;
     // Opening the store *is* the boot-time index warm-load: every segment
@@ -552,6 +605,9 @@ pub fn endpoint_label(path: &str) -> &'static str {
     if path == "/traces" || path.starts_with("/traces?") {
         return "/traces";
     }
+    if path == "/debug/profile" || path.starts_with("/debug/profile?") {
+        return "/debug/profile";
+    }
     match path {
         "/analyze" => "/analyze",
         "/batch" => "/batch",
@@ -740,6 +796,9 @@ fn route(
         ("GET", p) if p == "/traces" || p.starts_with("/traces?") => {
             handle_traces(stream, request, state, keep)
         }
+        ("GET", p) if p == "/debug/profile" || p.starts_with("/debug/profile?") => {
+            handle_profile(stream, request, state, keep)
+        }
         ("POST", "/graphs") => handle_graphs(stream, request, state, keep),
         ("POST", "/analyze") => handle_analyze(stream, request, state, keep),
         ("POST", "/component") => handle_component(stream, request, state, keep),
@@ -903,8 +962,40 @@ fn handle_stats(stream: &mut TcpStream, state: &Arc<ServiceState>, keep: bool) {
                 ),
             ]),
         ),
+        ("process".to_string(), process_stats_doc()),
     ]);
     respond_json(stream, 200, keep, &[], &doc);
+}
+
+/// The `"process"` sub-document of `GET /stats`, read live from `/proc`:
+/// `{"available":false}` on platforms without procfs so the key is
+/// always present and the shape is discoverable. Shared with the cluster
+/// router, whose `/stats` reports its own process the same way.
+pub fn process_stats_doc() -> JsonValue {
+    let Some(p) = graphio_obs::procfs::process_snapshot() else {
+        return JsonValue::Object(vec![("available".to_string(), JsonValue::Bool(false))]);
+    };
+    JsonValue::Object(vec![
+        ("available".to_string(), JsonValue::Bool(true)),
+        (
+            "resident_bytes".to_string(),
+            JsonValue::Number(p.resident_bytes as f64),
+        ),
+        (
+            "virtual_bytes".to_string(),
+            JsonValue::Number(p.virtual_bytes as f64),
+        ),
+        ("threads".to_string(), JsonValue::Number(p.threads as f64)),
+        ("open_fds".to_string(), JsonValue::Number(p.open_fds as f64)),
+        (
+            "cpu_user_seconds".to_string(),
+            JsonValue::Number(p.cpu_user_seconds),
+        ),
+        (
+            "cpu_system_seconds".to_string(),
+            JsonValue::Number(p.cpu_system_seconds),
+        ),
+    ])
 }
 
 /// `GET /metrics`: Prometheus text exposition. Mirrors every `/stats`
@@ -1010,6 +1101,9 @@ fn handle_metrics(stream: &mut TcpStream, state: &Arc<ServiceState>, keep: bool)
     );
 
     graphio_obs::render_registered(&mut m);
+    recorder::render(&mut m);
+    graphio_obs::alloc::render(&mut m);
+    graphio_obs::procfs::render(&mut m);
     let body = m.into_string();
     let mut extra: Vec<(&str, String)> = Vec::new();
     push_obs_headers(&mut extra);
@@ -1053,6 +1147,44 @@ fn handle_trace(stream: &mut TcpStream, request: &Request, state: &Arc<ServiceSt
             respond_error(stream, 404, keep, &format!("no record of trace {hex}"));
         }
     }
+}
+
+/// `GET /debug/profile?seconds=S`: runs the sampling profiler for S
+/// seconds (capped well under the HTTP client's 60s read timeout so the
+/// router's fan-out never times out) and serves the collapsed-stack
+/// flamegraph text. The handler thread *is* the sampler — there is no
+/// background profiling thread — so the cost is zero until someone asks.
+fn handle_profile(
+    stream: &mut TcpStream,
+    request: &Request,
+    state: &Arc<ServiceState>,
+    keep: bool,
+) {
+    let query = request.path.split_once('?').map_or("", |x| x.1);
+    let seconds = match graphio_obs::profile::parse_profile_query(query) {
+        Ok(s) => s,
+        Err(msg) => {
+            state.errors.fetch_add(1, Ordering::Relaxed);
+            respond_error(stream, 400, keep, &msg);
+            return;
+        }
+    };
+    let profile = graphio_obs::profile::sample_for(
+        std::time::Duration::from_secs(seconds),
+        graphio_obs::profile::DEFAULT_HZ,
+    );
+    let body = profile.to_collapsed();
+    let mut extra: Vec<(&str, String)> = Vec::new();
+    push_obs_headers(&mut extra);
+    let _ = write_response_typed(
+        stream,
+        200,
+        "OK",
+        keep,
+        "text/plain; charset=utf-8",
+        &extra,
+        body.as_bytes(),
+    );
 }
 
 /// `GET /traces?n=K&min_us=U&status=S`: summaries of the most recent

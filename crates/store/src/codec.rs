@@ -649,8 +649,10 @@ pub fn decode_session(bytes: &[u8]) -> Result<StoredSession, CodecError> {
 
 /// Version byte of the trace-record encoding. Independent of
 /// [`SESSION_VERSION`]: trace records live in their own store directory
-/// and evolve on their own schedule.
-pub const TRACE_RECORD_VERSION: u8 = 1;
+/// and evolve on their own schedule. Version 2 added per-span allocation
+/// attribution (`alloc_bytes`/`allocs`); version-1 documents still decode
+/// (their spans read back as zero allocation).
+pub const TRACE_RECORD_VERSION: u8 = 2;
 
 /// One phase-tree node of a persisted trace.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -663,6 +665,12 @@ pub struct StoredTraceSpan {
     pub start_us: u64,
     /// The span's duration in microseconds.
     pub dur_us: u64,
+    /// Bytes allocated while the span was open (inclusive of children,
+    /// like `dur_us`). Zero when the binary ran without the counting
+    /// allocator or the record predates version 2.
+    pub alloc_bytes: u64,
+    /// Allocation count while the span was open (inclusive).
+    pub allocs: u64,
 }
 
 /// A persisted flight-recorder record: what `serve --trace-store DIR`
@@ -712,6 +720,8 @@ impl StoredTrace {
                     parent: n.parent.map(|p| p as u32),
                     start_us: n.start_us,
                     dur_us: n.dur_us,
+                    alloc_bytes: n.alloc_bytes,
+                    allocs: n.allocs,
                 })
                 .collect(),
         }
@@ -743,16 +753,15 @@ impl StoredTrace {
             if i > 0 {
                 out.push(',');
             }
-            match span.parent {
-                Some(p) => out.push_str(&format!(
-                    "{{\"name\":\"{}\",\"parent\":{},\"start_us\":{},\"dur_us\":{}}}",
-                    span.name, p, span.start_us, span.dur_us
-                )),
-                None => out.push_str(&format!(
-                    "{{\"name\":\"{}\",\"parent\":null,\"start_us\":{},\"dur_us\":{}}}",
-                    span.name, span.start_us, span.dur_us
-                )),
-            }
+            let parent = match span.parent {
+                Some(p) => p.to_string(),
+                None => "null".to_string(),
+            };
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"parent\":{parent},\"start_us\":{},\"dur_us\":{},\
+                 \"alloc_bytes\":{},\"allocs\":{}}}",
+                span.name, span.start_us, span.dur_us, span.alloc_bytes, span.allocs
+            ));
         }
         out.push_str("]}");
         out
@@ -816,6 +825,8 @@ pub fn encode_trace_record(t: &StoredTrace) -> Vec<u8> {
         w.put_u32(span.parent.unwrap_or(NO_PARENT));
         w.put_u64(span.start_us);
         w.put_u64(span.dur_us);
+        w.put_u64(span.alloc_bytes);
+        w.put_u64(span.allocs);
     }
     w.into_bytes()
 }
@@ -828,7 +839,7 @@ pub fn encode_trace_record(t: &StoredTrace) -> Vec<u8> {
 pub fn decode_trace_record(bytes: &[u8]) -> Result<StoredTrace, CodecError> {
     let mut r = Reader::new(bytes);
     let version = r.get_u8()?;
-    if version != TRACE_RECORD_VERSION {
+    if version != 1 && version != TRACE_RECORD_VERSION {
         return Err(CodecError::UnsupportedVersion(version));
     }
     let trace = r.get_u128()?;
@@ -873,11 +884,22 @@ pub fn decode_trace_record(bytes: &[u8]) -> Result<StoredTrace, CodecError> {
                 )))
             }
         };
+        let start_us = r.get_u64()?;
+        let dur_us = r.get_u64()?;
+        // Version 1 predates allocation attribution: its spans read back
+        // as zero, matching a binary without the counting allocator.
+        let (alloc_bytes, allocs) = if version >= 2 {
+            (r.get_u64()?, r.get_u64()?)
+        } else {
+            (0, 0)
+        };
         spans.push(StoredTraceSpan {
             name,
             parent,
-            start_us: r.get_u64()?,
-            dur_us: r.get_u64()?,
+            start_us,
+            dur_us,
+            alloc_bytes,
+            allocs,
         });
     }
     if r.remaining() != 0 {
@@ -1203,12 +1225,16 @@ mod tests {
                     parent: None,
                     start_us: 0,
                     dur_us: 12_000,
+                    alloc_bytes: 4096,
+                    allocs: 12,
                 },
                 StoredTraceSpan {
                     name: "eigensolve".to_string(),
                     parent: Some(0),
                     start_us: 10,
                     dur_us: 11_000,
+                    alloc_bytes: 2048,
+                    allocs: 5,
                 },
             ],
         }
@@ -1278,16 +1304,16 @@ mod tests {
                 parent: None,
                 start_us: 0,
                 dur_us: 7,
+                alloc_bytes: 9,
+                allocs: 2,
             }],
         };
-        let hex: String = encode_trace_record(&t)
-            .iter()
-            .map(|b| format!("{b:02x}"))
-            .collect();
+        let bytes = encode_trace_record(&t);
+        let hex: String = bytes.iter().map(|b| format!("{b:02x}")).collect();
         assert_eq!(
             hex,
             concat!(
-                "01",                               // trace record version
+                "02",                               // trace record version
                 "ab000000000000000000000000000000", // trace = 0xAB
                 "02000000",                         // endpoint len = 2
                 "2f74",                             // "/t"
@@ -1303,9 +1329,20 @@ mod tests {
                 "ffffffff",                         // parent = none
                 "0000000000000000",                 // start_us = 0
                 "0700000000000000",                 // dur_us = 7
+                "0900000000000000",                 // alloc_bytes = 9
+                "0200000000000000",                 // allocs = 2
             ),
             "trace codec layout changed — bump TRACE_RECORD_VERSION"
         );
+        // A version-1 document (no alloc fields) still decodes, its spans
+        // reading back as zero allocation.
+        let mut v1 = bytes.clone();
+        v1[0] = 1;
+        v1.truncate(v1.len() - 16);
+        let decoded = decode_trace_record(&v1).expect("version-1 record decodes");
+        assert_eq!(decoded.spans[0].alloc_bytes, 0);
+        assert_eq!(decoded.spans[0].allocs, 0);
+        assert_eq!(decoded.spans[0].dur_us, 7);
     }
 
     #[test]

@@ -56,6 +56,14 @@ use graphio::store::{
 use std::collections::HashMap;
 use std::io::Read;
 
+/// Route every allocation through the counting wrapper so `serve`,
+/// `router` and `cluster` can attribute bytes to the active phase
+/// (`alloc_bytes`/`allocs` in trace records, per-phase counters on
+/// `/metrics`). Attribution is off until the server flips the switch, so
+/// offline subcommands pay one relaxed load per allocation.
+#[global_allocator]
+static COUNTING_ALLOC: graphio::obs::CountingAlloc = graphio::obs::CountingAlloc;
+
 fn usage() -> ! {
     eprintln!(
         "usage:\n  graphio generate <family> <size> [--p <prob>] [--seed <s>]\n  \
@@ -63,17 +71,18 @@ fn usage() -> ! {
          graphio analyze --memory-sweep <M1,M2,...> [--processors <p>] [--threads <N>] [--simd off|strict|fast] [--scale-tier auto|dense|sparse|huge] [--no-sim] [--compose] [--json] < graph.json\n  \
          graphio simulate --memory <M> [--policy lru|fifo|belady|random] [--order natural|dfs|bfs] [--threads <N>] < graph.json\n  \
          graphio dot < graph.json\n  \
-         graphio serve [--host <H>] [--port <P>] [--workers <W>] [--queue <Q>] [--cache-mb <B>] [--shards <S>] [--max-sessions <K>] [--threads <N>] [--simd <POLICY>] [--scale-tier <TIER>] [--idle-ms <T>] [--max-requests <R>] [--store <DIR>] [--store-mb <B>] [--slow-log-us <T>] [--slow-log-file <F>] [--trace-store <DIR>]\n  \
+         graphio serve [--host <H>] [--port <P>] [--workers <W>] [--queue <Q>] [--cache-mb <B>] [--shards <S>] [--max-sessions <K>] [--threads <N>] [--simd <POLICY>] [--scale-tier <TIER>] [--idle-ms <T>] [--max-requests <R>] [--store <DIR>] [--store-mb <B>] [--slow-log-us <T>] [--slow-log-file <F>] [--slow-log-rotate-mb <M>] [--trace-store <DIR>]\n  \
          graphio client analyze --url <http://host:port> --memory-sweep <M1,...> [--processors <p>] [--no-sim] [--keep-alive] [--repeat <N>] [--json] < graph.json\n  \
          graphio client batch --url <http://host:port> --memory-sweep <M1,...> [--processors <p>] [--no-sim] < graphs.ndjson\n  \
          graphio client register --url <http://host:port> < graph.json\n  \
          graphio client stats|health --url <http://host:port>\n  \
-         graphio router --backends <host:port,host:port,...> [--listen <H:P>] [--replicas <K>] [--workers <W>] [--queue <Q>] [--health-ms <T>] [--slow-log-us <T>] [--slow-log-file <F>]\n  \
+         graphio router --backends <host:port,host:port,...> [--listen <H:P>] [--replicas <K>] [--workers <W>] [--queue <Q>] [--health-ms <T>] [--slow-log-us <T>] [--slow-log-file <F>] [--slow-log-rotate-mb <M>]\n  \
          graphio cluster [--backends <N>] [--listen <H:P>] [--replicas <K>] [--workers <W>]\n  \
          graphio loadgen --url <http://host:port> [--rps <R>] [--duration <S>] [--conns <C>] [--path <P>] [--body <FILE.ndjson: one body per line, cycled>] [--json]\n  \
          graphio loadgen --seed-bench [--out <FILE>]\n  \
          graphio trace <id> [--server <http://host:port>]\n  \
          graphio traces [--slowest <K>] [--server <http://host:port>]\n  \
+         graphio profile --server <http://host:port> [--seconds <S>] [--flamegraph <FILE>]\n  \
          graphio precompute --store <DIR> [--store-mb <B>] [--threads <N>] [--jobs <J>] < graphs.ndjson\n  \
          graphio store stat|ls|compact|export --store <DIR>\n  \
          graphio store get --store <DIR> --fingerprint <HEX>\n\n\
@@ -523,6 +532,7 @@ fn cmd_serve(args: &[String]) {
             "--scale-tier",
             "--slow-log-us",
             "--slow-log-file",
+            "--slow-log-rotate-mb",
             "--trace-store",
         ],
         &[],
@@ -598,10 +608,11 @@ fn cmd_serve(args: &[String]) {
     server.join();
 }
 
-/// `--slow-log-us N [--slow-log-file F]`, shared by `serve`, `router`
-/// and `cluster`: any request whose wall time reaches N microseconds
-/// dumps its phase tree as one JSON line (stderr by default; threshold 0
-/// logs every request).
+/// `--slow-log-us N [--slow-log-file F] [--slow-log-rotate-mb M]`, shared
+/// by `serve`, `router` and `cluster`: any request whose wall time reaches
+/// N microseconds dumps its phase tree as one JSON line (stderr by
+/// default; threshold 0 logs every request). With a file target, M caps
+/// the file size: on overflow it rotates to `<file>.1` and starts fresh.
 fn slow_log_config(parsed: &Parsed) -> Option<SlowLogConfig> {
     let threshold = parsed.parse_flag::<u64>("--slow-log-us");
     if threshold.is_none() && parsed.has("--slow-log-file") {
@@ -611,11 +622,22 @@ fn slow_log_config(parsed: &Parsed) -> Option<SlowLogConfig> {
         );
         usage();
     }
+    let rotate_bytes = parsed
+        .parse_flag::<u64>("--slow-log-rotate-mb")
+        .map(|mb| mb.saturating_mul(1 << 20));
+    if rotate_bytes.is_some() && !parsed.has("--slow-log-file") {
+        eprintln!(
+            "error: --slow-log-rotate-mb requires --slow-log-file in `graphio {}`",
+            parsed.cmd
+        );
+        usage();
+    }
     threshold.map(|threshold_us| SlowLogConfig {
         threshold_us,
         target: parsed
             .flag("--slow-log-file")
             .map_or(SlowLogTarget::Stderr, |f| SlowLogTarget::File(f.into())),
+        rotate_bytes,
     })
 }
 
@@ -982,6 +1004,7 @@ fn cmd_router(args: &[String]) {
             "--health-ms",
             "--slow-log-us",
             "--slow-log-file",
+            "--slow-log-rotate-mb",
         ],
         &[],
     );
@@ -1028,6 +1051,7 @@ fn cmd_cluster(args: &[String]) {
             "--workers",
             "--slow-log-us",
             "--slow-log-file",
+            "--slow-log-rotate-mb",
         ],
         &[],
     );
@@ -1246,17 +1270,84 @@ fn run_seed_bench(out: &str) {
         backend.shutdown();
     }
 
+    // Overhead of the continuous-profiling layer on the steady cache-hit
+    // path: the single/hit workload at the top rate, once with allocation
+    // attribution forced off and no sampler running, once with
+    // attribution live AND a `/debug/profile` scrape spanning the whole
+    // loadgen window. The acceptance bar is a ≤ 2% p50 regression.
+    // CONNS + 1 workers: the scrape handler IS the sampler, so it pins a
+    // pooled worker for the entire window — without the spare, the bench
+    // measures one starved loadgen connection, not profiler overhead.
+    let single = serve(&ServiceConfig {
+        workers: CONNS + 1,
+        ..ServiceConfig::default()
+    })
+    .unwrap_or_else(|e| {
+        eprintln!("error: failed to start overhead server: {e}");
+        std::process::exit(1);
+    });
+    let warm = client::request("POST", &single.url(), "/analyze", Some(&hit_body));
+    assert!(
+        matches!(&warm, Ok(r) if r.status == 200),
+        "seed-bench overhead warm-up analyze failed"
+    );
+    let mut config = loadgen::LoadgenConfig::at(&single.url(), RATES[2], DURATION);
+    config.conns = CONNS;
+    config.bodies = vec![hit_body.clone()];
+    let run_or_die = |config: &loadgen::LoadgenConfig| {
+        loadgen::run(config).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        })
+    };
+    graphio::obs::alloc::set_enabled(false);
+    let baseline = run_or_die(&config);
+    graphio::obs::alloc::set_enabled(true);
+    let scrape_url = single.url();
+    let scrape = std::thread::spawn(move || {
+        client::request(
+            "GET",
+            &scrape_url,
+            &format!("/debug/profile?seconds={}", DURATION.as_secs()),
+            None,
+        )
+    });
+    let profiled = run_or_die(&config);
+    let scraped = scrape.join().expect("profile scrape thread");
+    assert!(
+        matches!(&scraped, Ok(r) if r.status == 200),
+        "seed-bench overhead profile scrape failed"
+    );
+    single.shutdown();
+    let mean = |s: &graphio::obs::hist::HistSnapshot| s.sum as f64 / s.count.max(1) as f64;
+    let overhead = format!(
+        concat!(
+            "{{\"workload\":\"single/hit @{} rps\",",
+            "\"profiling_off\":{{\"p50_us\":{},\"mean_us\":{:.1}}},",
+            "\"profiling_on\":{{\"p50_us\":{},\"mean_us\":{:.1}}},",
+            "\"note\":\"off: alloc attribution disabled, sampler idle; ",
+            "on: attribution live + a /debug/profile scrape spanning the run\"}}"
+        ),
+        RATES[2],
+        baseline.latency.p50(),
+        mean(&baseline.latency),
+        profiled.latency.p50(),
+        mean(&profiled.latency),
+    );
+
     let doc = format!(
         concat!(
-            "{{\"schema\":\"graphio-bench-service-v1\",",
+            "{{\"schema\":\"graphio-bench-service-v2\",",
             "\"hit_graph\":\"fft_butterfly(5)\",",
             "\"cold_graphs\":\"erdos_renyi_dag(24, 0.15, seed) per request\",",
             "\"memories\":[4,8,16],\"duration_s\":{},\"conns\":{},",
             "\"latency_note\":\"microseconds from scheduled (open-loop) arrival\",",
+            "\"profiling_overhead\":{},",
             "\"runs\":[\n{}\n]}}\n"
         ),
         DURATION.as_secs(),
         CONNS,
+        overhead,
         runs.join(",\n"),
     );
     std::fs::write(out, &doc).unwrap_or_else(|e| {
@@ -1580,6 +1671,95 @@ fn cmd_traces(args: &[String]) {
     write_stdout(&out);
 }
 
+/// `graphio profile --server URL [--seconds S] [--flamegraph FILE]`:
+/// sample a live server (through a router this merges every backend's
+/// profile under `backend <addr>` frames) and summarize where the time
+/// went. `--flamegraph` writes the raw collapsed-stack text, ready for
+/// `flamegraph.pl` or any speedscope-style viewer.
+fn cmd_profile(args: &[String]) {
+    let parsed = parse_args(
+        "profile",
+        args,
+        &["--server", "--seconds", "--flamegraph"],
+        &[],
+    );
+    if !parsed.positional.is_empty() {
+        usage();
+    }
+    let url = parsed.flag("--server").unwrap_or(DEFAULT_TRACE_SERVER);
+    let seconds: u64 = parsed.parse_flag("--seconds").unwrap_or(2);
+    let response = client::request(
+        "GET",
+        url,
+        &format!("/debug/profile?seconds={seconds}"),
+        None,
+    );
+    let body = match response {
+        Ok(r) if r.status == 200 => r.body,
+        Ok(r) => {
+            eprintln!("error: server returned {}: {}", r.status, r.body.trim_end());
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    let Some(stacks) = graphio::obs::profile::parse_collapsed(&body) else {
+        eprintln!("error: malformed collapsed-stack response");
+        std::process::exit(1);
+    };
+    if let Some(path) = parsed.flag("--flamegraph") {
+        if let Err(e) = std::fs::write(path, &body) {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote collapsed stacks to {path}");
+    }
+    let total: u64 = stacks.iter().map(|(_, count)| count).sum();
+    if total == 0 {
+        println!("no samples in {seconds}s window (is the server idle?)");
+        return;
+    }
+    // Two views: time by leaf frame (self time — where samples actually
+    // landed) and time by any-frame presence (inclusive time).
+    let mut self_counts: HashMap<&str, u64> = HashMap::new();
+    let mut incl_counts: HashMap<&str, u64> = HashMap::new();
+    for (path, count) in &stacks {
+        if let Some(leaf) = path.last() {
+            *self_counts.entry(leaf).or_insert(0) += count;
+        }
+        let mut seen: Vec<&str> = Vec::new();
+        for frame in path {
+            if !seen.contains(&frame.as_str()) {
+                seen.push(frame);
+                *incl_counts.entry(frame).or_insert(0) += count;
+            }
+        }
+    }
+    let mut out = format!("{total} samples over {seconds}s\n\nself  (leaf frame)\n");
+    fn top<'a>(counts: &HashMap<&'a str, u64>) -> Vec<(&'a str, u64)> {
+        let mut rows: Vec<(&str, u64)> = counts.iter().map(|(k, v)| (*k, *v)).collect();
+        rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        rows.truncate(12);
+        rows
+    }
+    for (name, count) in top(&self_counts) {
+        out.push_str(&format!(
+            "  {:>5.1}%  {count:>7}  {name}\n",
+            100.0 * count as f64 / total as f64
+        ));
+    }
+    out.push_str("\ninclusive  (frame anywhere on stack)\n");
+    for (name, count) in top(&incl_counts) {
+        out.push_str(&format!(
+            "  {:>5.1}%  {count:>7}  {name}\n",
+            100.0 * count as f64 / total as f64
+        ));
+    }
+    write_stdout(&out);
+}
+
 /// Renders one `GET /trace/{id}` document as an indented phase tree:
 /// header scalars, then one line per span with its duration and share of
 /// the parent span's duration.
@@ -1662,6 +1842,7 @@ fn main() {
         "loadgen" => cmd_loadgen(rest),
         "trace" => cmd_trace(rest),
         "traces" => cmd_traces(rest),
+        "profile" => cmd_profile(rest),
         "store" => cmd_store(rest),
         "precompute" => cmd_precompute(rest),
         "dot" => {
